@@ -1,0 +1,262 @@
+package s2
+
+// Benchmarks regenerating every figure of the paper's evaluation (§5,
+// Figures 4–10) plus micro-benchmarks of the core subsystems. Figure
+// benches run the corresponding experiments runner once per iteration and
+// report the headline series as custom metrics; the full tables print via
+// cmd/s2bench. Set S2_BENCH_FULL=1 for the default (larger) experiment
+// scale instead of the quick one.
+
+import (
+	"os"
+	"testing"
+
+	"s2/internal/config"
+	"s2/internal/experiments"
+	"s2/internal/partition"
+	"s2/internal/synth"
+	"s2/internal/topology"
+)
+
+func benchConfig() experiments.Config {
+	if os.Getenv("S2_BENCH_FULL") != "" {
+		return experiments.Config{}.Defaults()
+	}
+	return experiments.Quick()
+}
+
+// reportRows surfaces each row's headline numbers as benchmark metrics.
+func reportRows(b *testing.B, rows []experiments.Row) {
+	b.Helper()
+	for _, r := range rows {
+		label := r.System
+		if r.Variant != "" {
+			label += "/" + r.Variant
+		}
+		label += "@" + r.Network
+		if r.OOM {
+			b.ReportMetric(1, label+":OOM")
+			continue
+		}
+		b.ReportMetric(float64(r.Total.Microseconds()), label+":total-µs")
+		b.ReportMetric(float64(r.PeakBytes)/1024, label+":peak-KiB")
+	}
+}
+
+// BenchmarkFig4RealDCN — §5.3 / Figure 4: Batfish, Batfish+sharding, S2
+// without sharding, and full S2 on the DCN-like workload under one
+// calibrated memory budget.
+func BenchmarkFig4RealDCN(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig5FatTreeSweep — §5.4 / Figure 5: FatTree size sweep across
+// Batfish, Bonsai, and S2 worker ladders.
+func BenchmarkFig5FatTreeSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig6ScaleOut — §5.5 / Figure 6: one FatTree across the worker
+// ladder.
+func BenchmarkFig6ScaleOut(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig7Partition — §5.6 / Figure 7: partition schemes on FatTree
+// and DCN.
+func BenchmarkFig7Partition(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig8Sharding — §5.7 / Figure 8: sharding on/off across FatTree
+// sizes under a fixed per-worker budget.
+func BenchmarkFig8Sharding(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig9ShardCount — §5.7 / Figure 9: shard-count sweep on one
+// FatTree.
+func BenchmarkFig9ShardCount(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig10DPV — §5.8 / Figure 10: all-pair and single-pair
+// reachability, Batfish vs S2, with the predicate/forwarding phase split.
+func BenchmarkFig10DPV(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the substrates ---
+
+// BenchmarkParseFatTree measures the configuration parser over a full
+// FatTree snapshot.
+func BenchmarkParseFatTree(b *testing.B) {
+	texts, err := synth.FatTree(synth.FatTreeOptions{K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keyed := map[string]string{}
+	for k, v := range texts {
+		keyed[k+".cfg"] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := config.ParseTexts(keyed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyBuild measures adjacency and session derivation.
+func BenchmarkTopologyBuild(b *testing.B) {
+	texts, err := synth.FatTree(synth.FatTreeOptions{K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keyed := map[string]string{}
+	for k, v := range texts {
+		keyed[k+".cfg"] = v
+	}
+	snap, err := config.ParseTexts(keyed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.Build(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionMetis measures the multilevel partitioner.
+func BenchmarkPartitionMetis(b *testing.B) {
+	texts, err := synth.FatTree(synth.FatTreeOptions{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keyed := map[string]string{}
+	for k, v := range texts {
+		keyed[k+".cfg"] = v
+	}
+	snap, err := config.ParseTexts(keyed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := topology.Build(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := net.Graph(partition.EstimateFatTreeLoad(10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Partition(g, 8, partition.Metis, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControlPlaneFatTree measures one full distributed control plane
+// simulation.
+func BenchmarkControlPlaneFatTree(b *testing.B) {
+	net, err := SynthesizeFatTree(FatTreeSpec{K: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := NewVerifier(net, Options{Workers: 4, Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := v.SimulateControlPlane(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllPairsFatTree measures the full pipeline including the
+// distributed data plane verification.
+func BenchmarkAllPairsFatTree(b *testing.B) {
+	net, err := SynthesizeFatTree(FatTreeSpec{K: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := NewVerifier(net, Options{Workers: 4, Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := v.CheckAllPairs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatal(rep)
+		}
+	}
+}

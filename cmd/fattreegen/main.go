@@ -1,0 +1,45 @@
+// Command fattreegen synthesizes a k-pod FatTree's device configurations
+// (the ACORN-style workload of the paper's §5.2) and writes them as *.cfg
+// files.
+//
+// Usage:
+//
+//	fattreegen -k 8 -out configs/ [-maxpaths 64] [-prefixes 1] [-acl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s2/internal/config"
+	"s2/internal/synth"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 4, "pod count (even, >= 2); switch count is 5k²/4")
+		out      = flag.String("out", "", "output directory (required)")
+		maxPaths = flag.Int("maxpaths", 64, "ECMP maximum-paths on every switch")
+		prefixes = flag.Int("prefixes", 1, "announced /24s per edge switch")
+		acl      = flag.Bool("acl", false, "plant a deliberate ACL blackhole on edge 0")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	texts, err := synth.FatTree(synth.FatTreeOptions{
+		K: *k, MaxPaths: *maxPaths, PrefixesPerEdge: *prefixes, WithACL: *acl,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fattreegen:", err)
+		os.Exit(1)
+	}
+	if err := config.WriteDirectory(*out, texts); err != nil {
+		fmt.Fprintln(os.Stderr, "fattreegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d configs (FatTree%d, %d switches) to %s\n",
+		len(texts), *k, synth.FatTreeSize(*k), *out)
+}

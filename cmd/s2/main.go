@@ -1,0 +1,148 @@
+// Command s2 verifies a directory of device configurations: it simulates
+// the control plane across distributed workers, builds the data plane, and
+// checks all-pair reachability plus loop- and blackhole-freedom.
+//
+// Usage:
+//
+//	s2 -configs DIR [-workers N] [-shards M] [-scheme metis|random|expert]
+//	   [-workers-at host:port,host:port]  # remote workers via cmd/s2worker
+//	   [-ribs] [-budget BYTES] [-spill DIR] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"s2"
+)
+
+func main() {
+	var (
+		configs    = flag.String("configs", "", "directory of *.cfg device configurations (required)")
+		workers    = flag.Int("workers", 4, "number of in-process workers")
+		workerAddr = flag.String("workers-at", "", "comma-separated sidecar addresses of remote workers (overrides -workers)")
+		shards     = flag.Int("shards", 1, "prefix shard count (>1 enables sharding)")
+		scheme     = flag.String("scheme", "metis", "partition scheme: metis|random|expert|imbalanced|commheavy")
+		budget     = flag.Int64("budget", 0, "modelled per-worker memory budget in bytes (0 = unlimited)")
+		spill      = flag.String("spill", "", "directory for spilling shard results between rounds")
+		seed       = flag.Int64("seed", 1, "seed for partitioning and shard shuffling")
+		showRIBs   = flag.Bool("ribs", false, "print every device's computed routes")
+		checkDst   = flag.String("check-dst", "", "run a single-pair query: destination prefix (a.b.c.d/len)")
+		checkFrom  = flag.String("check-from", "", "single-pair query: source node (with -check-dst)")
+		checkTo    = flag.String("check-to", "", "single-pair query: destination node (with -check-dst)")
+		checkVia   = flag.String("check-via", "", "single-pair query: required waypoint node (optional)")
+		verbose    = flag.Bool("v", false, "print phase timings and per-worker stats")
+	)
+	flag.Parse()
+	if *configs == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	net, err := s2.LoadDirectory(*configs)
+	fatal(err)
+	fmt.Printf("parsed %d devices from %s\n", net.Size(), *configs)
+
+	waypointBits := 0
+	if *checkVia != "" {
+		waypointBits = 1
+	}
+	opts := s2.Options{
+		WaypointBits:      waypointBits,
+		Workers:           *workers,
+		PartitionScheme:   *scheme,
+		Shards:            *shards,
+		Seed:              *seed,
+		MemoryBudgetBytes: *budget,
+		SpillDir:          *spill,
+		KeepRIBs:          *showRIBs,
+	}
+	if *workerAddr != "" {
+		opts.WorkerAddrs = strings.Split(*workerAddr, ",")
+	}
+	v, err := s2.NewVerifier(net, opts)
+	fatal(err)
+
+	for _, w := range v.TopologyWarnings() {
+		fmt.Printf("warning: %s\n", w)
+	}
+
+	start := time.Now()
+	fatal(v.SimulateControlPlane())
+	fmt.Printf("control plane converged in %v\n", time.Since(start).Round(time.Millisecond))
+
+	warnings, err := v.ComputeDataPlane()
+	fatal(err)
+	for _, w := range warnings {
+		fmt.Printf("warning: %s\n", w)
+	}
+
+	report, err := v.CheckAllPairs()
+	fatal(err)
+	fmt.Println(report)
+
+	if *checkDst != "" {
+		q := s2.Query{DstPrefix: *checkDst}
+		if *checkFrom != "" {
+			q.Sources = []string{*checkFrom}
+		}
+		if *checkTo != "" {
+			q.Dests = []string{*checkTo}
+		}
+		if *checkVia != "" {
+			q.Transits = []string{*checkVia}
+		}
+		rep, err := v.Check(q)
+		fatal(err)
+		fmt.Printf("\nquery dst=%s from=%v to=%v via=%q:\n", *checkDst, q.Sources, q.Dests, *checkVia)
+		if rep.OK() {
+			fmt.Printf("  OK; reached: %v\n", rep.ReachedDests)
+		}
+		for _, vio := range rep.Violations {
+			fmt.Printf("  %s: %s (src=%s node=%s dst=%s)\n", vio.Kind, vio.Detail, vio.Source, vio.Node, vio.ExampleDst)
+		}
+	}
+
+	if *showRIBs {
+		ribs, err := v.RIBs()
+		fatal(err)
+		names := make([]string, 0, len(ribs))
+		for n := range ribs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("\n%s:\n", n)
+			for _, r := range ribs[n] {
+				fmt.Printf("  %s\n", r)
+			}
+		}
+	}
+
+	if *verbose {
+		for name, d := range v.PhaseDurations() {
+			fmt.Printf("phase %-18s %v\n", name, d.Round(time.Millisecond))
+		}
+		stats, err := v.Stats()
+		fatal(err)
+		for _, st := range stats {
+			fmt.Printf("worker %d: %d nodes, peak %d bytes, %d route pulls, %d packets in\n",
+				st.Worker, st.Nodes, st.PeakBytes, st.RoutePulls, st.PacketsIn)
+		}
+	}
+
+	if !report.OK() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2:", err)
+		os.Exit(1)
+	}
+}

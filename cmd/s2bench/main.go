@@ -1,0 +1,99 @@
+// Command s2bench regenerates the paper's evaluation figures (§5,
+// Figures 4–10) and prints the measured series as tables.
+//
+// Usage:
+//
+//	s2bench                 # all figures at the default scale
+//	s2bench -fig 5          # one figure
+//	s2bench -quick          # small sizes (seconds instead of minutes)
+//	s2bench -ks 4,6,8,10    # custom FatTree sweep
+//
+// Times are critical-path durations (the slowest worker per round); see
+// EXPERIMENTS.md for how the laptop-scale substitution maps to the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"s2/internal/experiments"
+)
+
+var figures = map[int]struct {
+	desc string
+	run  func(experiments.Config) ([]experiments.Row, error)
+}{
+	4:  {"real-DCN-like: Batfish / Batfish+shard / S2±shard", experiments.Figure4},
+	5:  {"FatTree sweep: Batfish vs Bonsai vs S2×workers", experiments.Figure5},
+	6:  {"scale-out: one FatTree across 1..N workers", experiments.Figure6},
+	7:  {"partition schemes: random/expert/metis + extremes", experiments.Figure7},
+	8:  {"prefix sharding on/off across FatTree sizes", experiments.Figure8},
+	9:  {"shard-count sweep on one FatTree", experiments.Figure9},
+	10: {"DPV: all-pair vs single-pair, Batfish vs S2", experiments.Figure10},
+}
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "figure number (4-10); 0 = all")
+		quick = flag.Bool("quick", false, "small sizes for a fast smoke run")
+		ks    = flag.String("ks", "", "comma-separated FatTree pod counts for sweeps (e.g. 4,6,8,10)")
+		fixed = flag.Int("k", 0, "FatTree size for single-size figures")
+		shard = flag.Int("shards", 0, "default prefix shard count")
+		maxW  = flag.Int("maxworkers", 0, "largest S2 worker count")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{}
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *ks != "" {
+		cfg.SweepKs = nil
+		for _, s := range strings.Split(*ks, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "s2bench: bad -ks:", err)
+				os.Exit(2)
+			}
+			cfg.SweepKs = append(cfg.SweepKs, k)
+		}
+	}
+	if *fixed > 0 {
+		cfg.FixedK = *fixed
+	}
+	if *shard > 0 {
+		cfg.Shards = *shard
+	}
+	if *maxW > 0 {
+		cfg.MaxWorkers = *maxW
+	}
+	cfg = cfg.Defaults()
+
+	var nums []int
+	if *fig != 0 {
+		if _, ok := figures[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "s2bench: unknown figure %d (have 4-10)\n", *fig)
+			os.Exit(2)
+		}
+		nums = []int{*fig}
+	} else {
+		nums = []int{4, 5, 6, 7, 8, 9, 10}
+	}
+
+	for _, n := range nums {
+		f := figures[n]
+		fmt.Printf("=== Figure %d: %s ===\n", n, f.desc)
+		start := time.Now()
+		rows, err := f.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s2bench: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.Format(rows))
+		fmt.Printf("(figure %d measured in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

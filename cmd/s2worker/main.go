@@ -1,0 +1,38 @@
+// Command s2worker runs one S2 worker as a standalone process serving the
+// sidecar RPC protocol over TCP. Start several workers, then point the s2
+// CLI (or the library's Options.WorkerAddrs) at their addresses:
+//
+//	s2worker -listen 127.0.0.1:7001 &
+//	s2worker -listen 127.0.0.1:7002 &
+//	s2 -configs DIR -workers-at 127.0.0.1:7001,127.0.0.1:7002
+//
+// The controller sends each worker its segment of the network during
+// Setup; workers dial each other directly for shadow-node route pulls and
+// symbolic packet deliveries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"s2/internal/core"
+	"s2/internal/sidecar"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address for the worker's sidecar")
+	flag.Parse()
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("s2worker listening on %s\n", lis.Addr())
+	if err := sidecar.Serve(core.NewWorker(), lis); err != nil {
+		fmt.Fprintln(os.Stderr, "s2worker:", err)
+		os.Exit(1)
+	}
+}

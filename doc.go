@@ -1,0 +1,31 @@
+// Package s2 is a distributed network configuration verifier for
+// hyper-scale datacenter networks, a from-scratch Go implementation of
+// "S2: A Distributed Configuration Verifier for Hyper-Scale Networks"
+// (SIGCOMM 2025).
+//
+// S2 "scales out" configuration verification: it parses vendor-style
+// device configurations, partitions the network model into segments, and
+// distributes both control plane simulation (computing every switch's
+// routes to a fixed point) and data plane verification (forwarding
+// symbolic packets encoded as BDDs) across multiple workers. Prefix
+// sharding further bounds per-worker memory by computing routes for one
+// subset of prefixes at a time.
+//
+// # Quick start
+//
+//	net, err := s2.LoadDirectory("configs/")
+//	if err != nil { ... }
+//	v, err := s2.NewVerifier(net, s2.Options{Workers: 4, Shards: 8})
+//	if err != nil { ... }
+//	if err := v.SimulateControlPlane(); err != nil { ... }
+//	if _, err := v.ComputeDataPlane(); err != nil { ... }
+//	report, err := v.CheckAllPairs()
+//
+// Workers run in-process by default; set Options.WorkerAddrs to drive
+// worker processes started with cmd/s2worker over the sidecar RPC
+// protocol.
+//
+// The package also exposes the paper's workload generators
+// (SynthesizeFatTree, SynthesizeDCN) and the two baselines used in its
+// evaluation live in internal/baseline with runners in cmd/s2bench.
+package s2

@@ -1,0 +1,58 @@
+// sharding_study: the effect of prefix sharding (§4.5, §5.7) — computing
+// routes for one subset of prefixes at a time trades extra rounds for a
+// lower per-worker peak. Results are bit-identical at every shard count.
+//
+//	go run ./examples/sharding_study
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"s2"
+)
+
+func main() {
+	const k = 6
+	fmt.Printf("%-8s %14s %12s %10s\n", "shards", "peak-mem", "cp-time", "routes")
+	var baseRoutes int
+	for _, shards := range []int{1, 2, 4, 8, 16, 32} {
+		net, err := s2.SynthesizeFatTree(s2.FatTreeSpec{K: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := s2.NewVerifier(net, s2.Options{
+			Workers:       4,
+			Shards:        shards,
+			KeepRIBs:      true,
+			LoadEstimator: s2.FatTreeLoadEstimator(k),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if err := v.SimulateControlPlane(); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		peak, err := v.PeakMemoryBytes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		routes, err := v.RouteCount()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseRoutes == 0 {
+			baseRoutes = routes
+		} else if routes != baseRoutes {
+			log.Fatalf("shard count changed results: %d vs %d routes", routes, baseRoutes)
+		}
+		fmt.Printf("%-8d %11dKiB %12s %10d\n",
+			shards, peak/1024, elapsed.Round(time.Millisecond), routes)
+	}
+	fmt.Println("\nPeak memory falls with shard count while the computed routes stay")
+	fmt.Println("identical; past the sweet spot the per-shard round overhead dominates")
+	fmt.Println("the time (the U-shape of the paper's Figure 9).")
+}

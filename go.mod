@@ -1,0 +1,3 @@
+module s2
+
+go 1.22

@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"s2/internal/config"
+	"s2/internal/dataplane"
+	"s2/internal/metrics"
+	"s2/internal/route"
+	"s2/internal/synth"
+)
+
+func fatTreeSnap(t *testing.T, opts synth.FatTreeOptions) *config.Snapshot {
+	t.Helper()
+	texts, err := synth.FatTree(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]string{}
+	for k, v := range texts {
+		m[k+".cfg"] = v
+	}
+	snap, err := config.ParseTexts(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestBatfishFatTreeAllPairs(t *testing.T) {
+	snap := fatTreeSnap(t, synth.FatTreeOptions{K: 4})
+	bf, err := NewBatfish(snap, BatfishOptions{KeepRIBs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.RunControlPlane(); err != nil {
+		t.Fatal(err)
+	}
+	if bf.CPRounds() == 0 || bf.PeakBytes() <= 0 {
+		t.Fatal("accounting not recorded")
+	}
+	ribs, err := bf.RIBs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every switch learns all 8 edge prefixes.
+	for name, rib := range ribs {
+		count := 0
+		for _, p := range rib.Prefixes() {
+			if p.Len == 24 {
+				count++
+			}
+		}
+		if count != 8 {
+			t.Fatalf("%s sees %d /24s, want 8", name, count)
+		}
+	}
+	warnings, err := bf.ComputeDataPlane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("warnings: %v", warnings)
+	}
+	res, err := bf.CheckAllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unreached) != 0 || len(res.Violations) != 0 {
+		t.Fatalf("healthy FatTree: unreached=%v violations=%v", res.Unreached, res.Violations)
+	}
+}
+
+func TestBatfishShardingEquivalence(t *testing.T) {
+	plain := fatTreeSnap(t, synth.FatTreeOptions{K: 4})
+	sharded := fatTreeSnap(t, synth.FatTreeOptions{K: 4})
+
+	a, err := NewBatfish(plain, BatfishOptions{KeepRIBs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RunControlPlane(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatfish(sharded, BatfishOptions{KeepRIBs: true, Shards: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunControlPlane(); err != nil {
+		t.Fatal(err)
+	}
+	aRIBs, _ := a.RIBs()
+	bRIBs, _ := b.RIBs()
+	for node, rib := range aRIBs {
+		if !rib.Equal(bRIBs[node]) {
+			t.Fatalf("sharding changes %s: %v", node, rib.Diff(bRIBs[node]))
+		}
+	}
+}
+
+func TestBatfishOOM(t *testing.T) {
+	snap := fatTreeSnap(t, synth.FatTreeOptions{K: 4})
+	bf, err := NewBatfish(snap, BatfishOptions{MemoryBudget: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = bf.RunControlPlane()
+	if err == nil || !strings.Contains(err.Error(), "memory budget") {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	_ = metrics.ErrOutOfMemory
+}
+
+func TestBatfishQueryBeforeDPFails(t *testing.T) {
+	snap := fatTreeSnap(t, synth.FatTreeOptions{K: 4})
+	bf, err := NewBatfish(snap, BatfishOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.RunQuery(&dataplane.Query{}, false); err == nil {
+		t.Fatal("query before ComputeDataPlane must fail")
+	}
+	if _, err := bf.RIBs(); err == nil {
+		t.Fatal("RIBs without KeepRIBs must fail")
+	}
+}
+
+func TestBatfishSinglePairQuery(t *testing.T) {
+	snap := fatTreeSnap(t, synth.FatTreeOptions{K: 4})
+	bf, err := NewBatfish(snap, BatfishOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.RunControlPlane(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.ComputeDataPlane(); err != nil {
+		t.Fatal(err)
+	}
+	dst := bf.OwnedPrefixes("edge-1-0")[0]
+	q := &dataplane.Query{
+		Header:  &dataplane.HeaderSpace{DstPrefix: &dst},
+		Sources: []string{"edge-0-0"},
+		Dests:   []string{"edge-1-0"},
+	}
+	col, err := bf.RunQuery(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Arrived("edge-1-0") == 0 {
+		t.Fatal("single-pair reachability failed")
+	}
+	vios, err := col.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vios) != 0 {
+		t.Fatalf("violations: %v", vios)
+	}
+}
+
+func TestBonsaiFatTree(t *testing.T) {
+	snap := fatTreeSnap(t, synth.FatTreeOptions{K: 4})
+	res, err := RunBonsai(snap, BonsaiOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prefixes != 8 {
+		t.Fatalf("prefixes = %d, want 8", res.Prefixes)
+	}
+	if res.Reachable != 8 || len(res.Unreached) != 0 {
+		t.Fatalf("reachable=%d unreached=%v", res.Reachable, res.Unreached)
+	}
+	if res.CompressTime < 0 || res.SimTime <= 0 || res.PeakBytes <= 0 {
+		t.Fatalf("accounting: %+v", res)
+	}
+}
+
+func TestBonsaiRejectsNonFatTree(t *testing.T) {
+	// A DCN-like Clos is not a three-tier FatTree: every fabric layer
+	// would need to classify cleanly, and it does not.
+	texts, err := synth.DCN(synth.DCNOptions{
+		Clusters: 2, TORsPerCluster: 2, FabricWidth: 2, CoreWidth: 2,
+		DeepClusters: true, WithAggregation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]string{}
+	for k, v := range texts {
+		m[k+".cfg"] = v
+	}
+	snap, err := config.ParseTexts(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBonsai(snap, BonsaiOptions{}); err == nil {
+		t.Fatal("bonsai must reject non-FatTree topologies")
+	}
+}
+
+func TestBonsaiTimeout(t *testing.T) {
+	snap := fatTreeSnap(t, synth.FatTreeOptions{K: 6})
+	_, err := RunBonsai(snap, BonsaiOptions{Parallelism: 1, Timeout: time.Nanosecond})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+}
+
+func TestBonsaiDetectsUnreachability(t *testing.T) {
+	// Bonsai's compressed check must catch a destination whose host port
+	// drops traffic (the WithACL blackhole)... but the ACL lives on the
+	// host port of edge 0 only, which IS part of the compressed network
+	// when edge 0 is the destination.
+	snap := fatTreeSnap(t, synth.FatTreeOptions{K: 4, WithACL: true})
+	res, err := RunBonsai(snap, BonsaiOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unreached) != 1 {
+		t.Fatalf("unreached = %v, want the ACL'd prefix", res.Unreached)
+	}
+}
+
+func TestCompressedTextsParse(t *testing.T) {
+	comp := &compressed{
+		dest: "edge-0-0", aggSame: "agg-0-0", edgeSame: "edge-0-1",
+		core: "core-0", aggOther: "agg-1-0", edgeOther: "edge-1-0",
+	}
+	texts := buildCompressedTexts(comp, route.MustParsePrefix("10.128.0.0/24"), nil)
+	if len(texts) != 6 {
+		t.Fatalf("compressed net must have 6 nodes, got %d", len(texts))
+	}
+	m := map[string]string{}
+	for k, v := range texts {
+		m[k+".cfg"] = v
+	}
+	if _, err := config.ParseTexts(m); err != nil {
+		t.Fatalf("compressed configs must parse: %v", err)
+	}
+}

@@ -1,0 +1,388 @@
+package baseline
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"s2/internal/config"
+	"s2/internal/dataplane"
+	"s2/internal/route"
+	"s2/internal/topology"
+)
+
+// BonsaiOptions configures the compression baseline.
+type BonsaiOptions struct {
+	// Parallelism bounds concurrent per-prefix simulations (default:
+	// GOMAXPROCS) — the core-count limit that caps Bonsai's scalability
+	// in §5.4.
+	Parallelism int
+	// MetaBits passes through to the per-prefix verifier.
+	MetaBits int
+	// Timeout aborts the run when the per-prefix sweep exceeds it
+	// (0 = none) — Bonsai "times out on hyper-scale FatTrees".
+	Timeout time.Duration
+}
+
+// BonsaiResult summarizes an all-pair reachability run.
+type BonsaiResult struct {
+	Prefixes  int
+	Reachable int
+	Unreached []string
+	// CompressTime is the total time spent deriving compressed
+	// topologies (grows with network size, per §5.4); SimTime is the
+	// total compressed-simulation time across prefixes.
+	CompressTime time.Duration
+	SimTime      time.Duration
+	// PeakBytes models the worst-case resident memory: the full snapshot
+	// scan plus Parallelism concurrent 6-node simulations.
+	PeakBytes int64
+}
+
+// fatTreeRoles classifies switches structurally (not by name): edges
+// announce prefixes, aggregations neighbor edges, cores neighbor only
+// aggregations. Returns an error when the topology does not decompose,
+// reproducing Bonsai's inapplicability beyond FatTree-like networks.
+type fatTreeRoles struct {
+	edge, agg, core map[string]bool
+}
+
+func classifyFatTree(snap *config.Snapshot, net *topology.Network) (*fatTreeRoles, error) {
+	r := &fatTreeRoles{edge: map[string]bool{}, agg: map[string]bool{}, core: map[string]bool{}}
+	for name, dev := range snap.Devices {
+		if dev.BGP == nil {
+			return nil, fmt.Errorf("baseline: bonsai requires BGP on every switch (%s)", name)
+		}
+		if len(dev.BGP.Networks) > 0 {
+			r.edge[name] = true
+		}
+	}
+	for name := range snap.Devices {
+		if r.edge[name] {
+			continue
+		}
+		for _, nb := range net.Neighbors(name) {
+			if r.edge[nb] {
+				r.agg[name] = true
+				break
+			}
+		}
+	}
+	for name := range snap.Devices {
+		if !r.edge[name] && !r.agg[name] {
+			r.core[name] = true
+		}
+	}
+	// Sanity: cores neighbor only aggs; edges neighbor only aggs.
+	for name := range r.core {
+		for _, nb := range net.Neighbors(name) {
+			if !r.agg[nb] {
+				return nil, fmt.Errorf("baseline: %s breaks the FatTree shape (core adjacent to %s)", name, nb)
+			}
+		}
+	}
+	for name := range r.edge {
+		for _, nb := range net.Neighbors(name) {
+			if !r.agg[nb] {
+				return nil, fmt.Errorf("baseline: %s breaks the FatTree shape (edge adjacent to %s)", name, nb)
+			}
+		}
+	}
+	if len(r.edge) == 0 || len(r.agg) == 0 || len(r.core) == 0 {
+		return nil, fmt.Errorf("baseline: topology is not a three-tier FatTree")
+	}
+	return r, nil
+}
+
+// compressed is the 6-node abstraction for one destination (§5.4
+// footnote): the destination edge, a same-pod aggregation and edge, one
+// core, and a different-pod aggregation and edge.
+type compressed struct {
+	dest, aggSame, edgeSame, core, aggOther, edgeOther string
+}
+
+// compressFor derives the 6 representative nodes for a destination edge
+// switch by scanning the real topology — the per-destination cost that
+// grows with FatTree size.
+func compressFor(net *topology.Network, roles *fatTreeRoles, dest string) (*compressed, error) {
+	c := &compressed{dest: dest}
+	destAggs := map[string]bool{}
+	for _, nb := range net.Neighbors(dest) {
+		destAggs[nb] = true
+		if c.aggSame == "" {
+			c.aggSame = nb
+		}
+	}
+	if c.aggSame == "" {
+		return nil, fmt.Errorf("baseline: destination %s has no aggregation neighbors", dest)
+	}
+	for _, nb := range net.Neighbors(c.aggSame) {
+		if roles.edge[nb] && nb != dest {
+			c.edgeSame = nb
+			break
+		}
+	}
+	for _, nb := range net.Neighbors(c.aggSame) {
+		if roles.core[nb] {
+			c.core = nb
+			break
+		}
+	}
+	if c.core == "" {
+		return nil, fmt.Errorf("baseline: aggregation %s reaches no core", c.aggSame)
+	}
+	for _, nb := range net.Neighbors(c.core) {
+		if roles.agg[nb] && !destAggs[nb] && !sharesEdge(net, roles, nb, destAggs) {
+			c.aggOther = nb
+			break
+		}
+	}
+	if c.aggOther == "" {
+		return nil, fmt.Errorf("baseline: no different-pod aggregation reachable from %s", c.core)
+	}
+	for _, nb := range net.Neighbors(c.aggOther) {
+		if roles.edge[nb] {
+			c.edgeOther = nb
+			break
+		}
+	}
+	if c.edgeSame == "" || c.edgeOther == "" {
+		return nil, fmt.Errorf("baseline: pod of %s too small to compress", dest)
+	}
+	return c, nil
+}
+
+// sharesEdge reports whether agg shares a pod (an edge neighbor) with any
+// aggregation in the set — used to find a genuinely different pod.
+func sharesEdge(net *topology.Network, roles *fatTreeRoles, agg string, destAggs map[string]bool) bool {
+	for _, e := range net.Neighbors(agg) {
+		if !roles.edge[e] {
+			continue
+		}
+		for _, a := range net.Neighbors(e) {
+			if destAggs[a] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildCompressedTexts generates configurations for the 6-node quotient
+// topology: a path edgeSame—aggSame—dest plus aggSame—core—aggOther—edgeOther,
+// with the destination announcing the prefix. The destination's real ACLs
+// and its host-port bindings are carried over so the abstraction preserves
+// filtering behaviour; snap may be nil in tests.
+func buildCompressedTexts(c *compressed, prefix route.Prefix, snap *config.Snapshot) map[string]string {
+	type link struct{ a, b string }
+	links := []link{
+		{c.edgeSame, c.aggSame},
+		{c.dest, c.aggSame},
+		{c.aggSame, c.core},
+		{c.core, c.aggOther},
+		{c.aggOther, c.edgeOther},
+	}
+	nodes := []string{c.dest, c.aggSame, c.edgeSame, c.core, c.aggOther, c.edgeOther}
+	asn := map[string]uint32{}
+	for i, n := range nodes {
+		asn[n] = 65001 + uint32(i)
+	}
+	iface := map[string][]string{}
+	neighborLines := map[string][]string{}
+	for i, l := range links {
+		base := route.MustParseAddr("10.200.0.0") + uint32(i)*2
+		iface[l.a] = append(iface[l.a], fmt.Sprintf("interface p%d\n ip address %s/31\n", i, route.FormatAddr(base)))
+		iface[l.b] = append(iface[l.b], fmt.Sprintf("interface p%d\n ip address %s/31\n", i, route.FormatAddr(base+1)))
+		neighborLines[l.a] = append(neighborLines[l.a], fmt.Sprintf(" neighbor %s remote-as %d\n", route.FormatAddr(base+1), asn[l.b]))
+		neighborLines[l.b] = append(neighborLines[l.b], fmt.Sprintf(" neighbor %s remote-as %d\n", route.FormatAddr(base), asn[l.a]))
+	}
+	texts := map[string]string{}
+	for i, n := range nodes {
+		cfg := fmt.Sprintf("hostname %s\n", n)
+		for _, s := range iface[n] {
+			cfg += s
+		}
+		if n == c.dest {
+			cfg += fmt.Sprintf("interface vlan10\n ip address %s/%d\n", route.FormatAddr(prefix.Addr+1), prefix.Len)
+			if snap != nil {
+				if dev := snap.Devices[c.dest]; dev != nil {
+					for _, aclName := range dev.ACLNames() {
+						cfg += config.FormatACL(dev.ACLs[aclName])
+					}
+					// Re-bind host-port ACLs on the quotient's vlan10.
+					for _, ifcName := range dev.InterfaceNames() {
+						ifc := dev.Interfaces[ifcName]
+						if ifc.Subnet != prefix {
+							continue
+						}
+						if ifc.InACL != "" {
+							cfg += fmt.Sprintf("interface vlan10\n ip access-group %s in\n", ifc.InACL)
+						}
+						if ifc.OutACL != "" {
+							cfg += fmt.Sprintf("interface vlan10\n ip access-group %s out\n", ifc.OutACL)
+						}
+					}
+				}
+			}
+		}
+		cfg += fmt.Sprintf("router bgp %d\n router-id 0.0.0.%d\n maximum-paths 4\n", asn[n], i+1)
+		if n == c.dest {
+			cfg += fmt.Sprintf(" network %s\n", prefix)
+		}
+		for _, s := range neighborLines[n] {
+			cfg += s
+		}
+		texts[n] = cfg
+	}
+	return texts
+}
+
+// RunBonsai checks all-pair reachability the Bonsai way: compress per
+// destination prefix, simulate the 6-node network, verify reachability to
+// the destination from the in-pod and out-of-pod representatives, all in
+// parallel up to the core budget.
+func RunBonsai(snap *config.Snapshot, opts BonsaiOptions) (*BonsaiResult, error) {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	net, err := topology.Build(snap)
+	if err != nil {
+		return nil, err
+	}
+	roles, err := classifyFatTree(snap, net)
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		dest   string
+		prefix route.Prefix
+	}
+	var jobs []job
+	for name := range roles.edge {
+		for _, p := range snap.Devices[name].BGP.Networks {
+			jobs = append(jobs, job{dest: name, prefix: p})
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].prefix.Compare(jobs[j].prefix) < 0 })
+
+	res := &BonsaiResult{Prefixes: len(jobs)}
+	start := time.Now()
+
+	var (
+		mu           sync.Mutex
+		firstErr     error
+		compressTime time.Duration
+		simTime      time.Duration
+		maxRunPeak   int64
+	)
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+			mu.Lock()
+			firstErr = fmt.Errorf("baseline: bonsai timed out after %v with %d/%d prefixes checked",
+				opts.Timeout, res.Reachable, len(jobs))
+			mu.Unlock()
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+
+			t0 := time.Now()
+			comp, err := compressFor(net, roles, j.dest)
+			dCompress := time.Since(t0)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+
+			t1 := time.Now()
+			texts := buildCompressedTexts(comp, j.prefix, snap)
+			csnap, err := config.ParseTexts(texts)
+			var ok bool
+			var peak int64
+			if err == nil {
+				ok, peak, err = checkCompressed(csnap, comp, j.prefix, opts.MetaBits)
+			}
+			dSim := time.Since(t1)
+
+			mu.Lock()
+			defer mu.Unlock()
+			compressTime += dCompress
+			simTime += dSim
+			if peak > maxRunPeak {
+				maxRunPeak = peak
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if ok {
+				res.Reachable++
+			} else {
+				res.Unreached = append(res.Unreached, j.prefix.String())
+			}
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return res, firstErr
+	}
+	res.CompressTime = compressTime
+	res.SimTime = simTime
+	res.PeakBytes = int64(opts.Parallelism)*maxRunPeak + int64(len(snap.Devices))*256
+	sort.Strings(res.Unreached)
+	return res, nil
+}
+
+// checkCompressed runs the centralized verifier on a compressed network
+// and checks that the destination prefix is reachable from both
+// representatives.
+func checkCompressed(csnap *config.Snapshot, comp *compressed, prefix route.Prefix, metaBits int) (bool, int64, error) {
+	bf, err := NewBatfish(csnap, BatfishOptions{MetaBits: metaBits})
+	if err != nil {
+		return false, 0, err
+	}
+	if err := bf.RunControlPlane(); err != nil {
+		return false, 0, err
+	}
+	if _, err := bf.ComputeDataPlane(); err != nil {
+		return false, 0, err
+	}
+	q := &dataplane.Query{
+		Header:  &dataplane.HeaderSpace{DstPrefix: &prefix},
+		Sources: []string{comp.edgeSame, comp.edgeOther},
+		Dests:   []string{comp.dest},
+	}
+	col, err := bf.RunQuery(q, false)
+	if err != nil {
+		return false, 0, err
+	}
+	// Both representatives' packets must fully arrive.
+	arrived := col.Arrived(comp.dest)
+	expected, err := q.Header.Compile(bf.engine)
+	if err != nil {
+		return false, 0, err
+	}
+	// Each source injects `expected`; arrival set is their union, which
+	// must cover the whole header space for the prefix.
+	covered, err := bf.engine.Implies(expected, arrived)
+	if err != nil {
+		return false, 0, err
+	}
+	// Loops or blackholes on the compressed paths mean non-reachability.
+	clean := col.StateSet(dataplane.Loop) == 0 && col.StateSet(dataplane.Blackhole) == 0
+	return covered && clean, bf.PeakBytes(), nil
+}

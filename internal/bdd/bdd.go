@@ -1,0 +1,477 @@
+// Package bdd implements a reduced ordered binary decision diagram engine —
+// the symbolic-packet substrate for data plane verification. It replaces the
+// JDD library the paper's prototype uses (§5.1).
+//
+// Design points that matter for S2:
+//
+//   - Every worker owns a private Engine, so BDD operations on different
+//     workers never contend (§4.3, "each worker has its own BDD node table").
+//   - Symbolic packets crossing workers are serialized as reduced node lists
+//     and re-encoded into the destination engine (Serialize/Deserialize).
+//   - The node table is observable (NodeCount) so the metrics package can
+//     charge modelled memory, and bounded (MaxNodes) so the paper's "BDD
+//     node table overflow" failure mode is reproducible.
+//
+// An Engine is not safe for concurrent use; the centralized baseline wraps
+// one in a SharedEngine whose single mutex reproduces the paper's
+// parallelism bottleneck.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ref is a node reference. The constants False and True are the terminal
+// nodes; all other refs index the engine's node table. Refs are only
+// meaningful within the engine that produced them.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// ErrNodeTableFull reports that an engine exceeded its configured node
+// limit — the analogue of overflowing the 2^32-bounded node table in §2.2.
+var ErrNodeTableFull = errors.New("bdd: node table full")
+
+type node struct {
+	level     int32 // variable index; terminals use level = numVars
+	low, high Ref
+}
+
+type uniqueKey struct {
+	level     int32
+	low, high Ref
+}
+
+type opKey struct {
+	op   uint8
+	a, b Ref
+}
+
+const (
+	opAnd uint8 = iota
+	opOr
+	opXor
+	opDiff
+	opNot
+	opExists
+)
+
+// Engine is one BDD node table with its operation caches.
+type Engine struct {
+	numVars  int
+	maxNodes int
+	nodes    []node
+	unique   map[uniqueKey]Ref
+	cache    map[opKey]Ref
+
+	// onGrow, when set, observes node-table growth for memory modelling.
+	onGrow func(delta int)
+}
+
+// New creates an engine over numVars Boolean variables with an optional
+// node limit (0 = unlimited).
+func New(numVars, maxNodes int) *Engine {
+	e := &Engine{
+		numVars:  numVars,
+		maxNodes: maxNodes,
+		unique:   make(map[uniqueKey]Ref),
+		cache:    make(map[opKey]Ref),
+	}
+	// Terminals at the bottom of the order.
+	e.nodes = append(e.nodes,
+		node{level: int32(numVars)}, // False
+		node{level: int32(numVars)}, // True
+	)
+	return e
+}
+
+// NumVars returns the variable count.
+func (e *Engine) NumVars() int { return e.numVars }
+
+// NodeCount returns the number of live nodes including terminals.
+func (e *Engine) NodeCount() int { return len(e.nodes) }
+
+// NodeModelBytes is the modelled memory charged per BDD node, matching
+// packed int-array node tables (level, low, high, hash link) as in JDD.
+const NodeModelBytes = 24
+
+// ModelBytes returns the engine's modelled memory footprint.
+func (e *Engine) ModelBytes() int64 {
+	return int64(e.NodeCount()) * NodeModelBytes
+}
+
+// SetGrowObserver registers a callback invoked with the node-count delta
+// whenever the table grows. Used by workers to feed memory trackers.
+func (e *Engine) SetGrowObserver(fn func(delta int)) { e.onGrow = fn }
+
+// mk returns the canonical node (level, low, high), applying the two ROBDD
+// reduction rules.
+func (e *Engine) mk(level int32, low, high Ref) (Ref, error) {
+	if low == high {
+		return low, nil
+	}
+	key := uniqueKey{level, low, high}
+	if r, ok := e.unique[key]; ok {
+		return r, nil
+	}
+	if e.maxNodes > 0 && len(e.nodes) >= e.maxNodes {
+		return False, fmt.Errorf("%w: %d nodes", ErrNodeTableFull, len(e.nodes))
+	}
+	r := Ref(len(e.nodes))
+	e.nodes = append(e.nodes, node{level: level, low: low, high: high})
+	e.unique[key] = r
+	if e.onGrow != nil {
+		e.onGrow(1)
+	}
+	return r, nil
+}
+
+// Var returns the BDD for "variable i is 1".
+func (e *Engine) Var(i int) (Ref, error) {
+	if i < 0 || i >= e.numVars {
+		return False, fmt.Errorf("bdd: variable %d out of range [0,%d)", i, e.numVars)
+	}
+	return e.mk(int32(i), False, True)
+}
+
+// NVar returns the BDD for "variable i is 0".
+func (e *Engine) NVar(i int) (Ref, error) {
+	if i < 0 || i >= e.numVars {
+		return False, fmt.Errorf("bdd: variable %d out of range [0,%d)", i, e.numVars)
+	}
+	return e.mk(int32(i), True, False)
+}
+
+func (e *Engine) level(r Ref) int32 { return e.nodes[r].level }
+
+// apply evaluates a binary Boolean operation with memoization.
+func (e *Engine) apply(op uint8, a, b Ref) (Ref, error) {
+	switch op {
+	case opAnd:
+		if a == b {
+			return a, nil
+		}
+		if a == False || b == False {
+			return False, nil
+		}
+		if a == True {
+			return b, nil
+		}
+		if b == True {
+			return a, nil
+		}
+	case opOr:
+		if a == b {
+			return a, nil
+		}
+		if a == True || b == True {
+			return True, nil
+		}
+		if a == False {
+			return b, nil
+		}
+		if b == False {
+			return a, nil
+		}
+	case opXor:
+		if a == b {
+			return False, nil
+		}
+		if a == False {
+			return b, nil
+		}
+		if b == False {
+			return a, nil
+		}
+	case opDiff: // a AND NOT b
+		if a == False || b == True || a == b {
+			return False, nil
+		}
+		if b == False {
+			return a, nil
+		}
+	}
+	// Normalize commutative operations for better cache hits.
+	if (op == opAnd || op == opOr || op == opXor) && a > b {
+		a, b = b, a
+	}
+	key := opKey{op, a, b}
+	if r, ok := e.cache[key]; ok {
+		return r, nil
+	}
+	la, lb := e.level(a), e.level(b)
+	top := la
+	if lb < top {
+		top = lb
+	}
+	a0, a1 := a, a
+	if la == top {
+		a0, a1 = e.nodes[a].low, e.nodes[a].high
+	}
+	b0, b1 := b, b
+	if lb == top {
+		b0, b1 = e.nodes[b].low, e.nodes[b].high
+	}
+	low, err := e.apply(op, a0, b0)
+	if err != nil {
+		return False, err
+	}
+	high, err := e.apply(op, a1, b1)
+	if err != nil {
+		return False, err
+	}
+	r, err := e.mk(top, low, high)
+	if err != nil {
+		return False, err
+	}
+	e.cache[key] = r
+	return r, nil
+}
+
+// And returns a ∧ b.
+func (e *Engine) And(a, b Ref) (Ref, error) { return e.apply(opAnd, a, b) }
+
+// Or returns a ∨ b.
+func (e *Engine) Or(a, b Ref) (Ref, error) { return e.apply(opOr, a, b) }
+
+// Xor returns a ⊕ b.
+func (e *Engine) Xor(a, b Ref) (Ref, error) { return e.apply(opXor, a, b) }
+
+// Diff returns a ∧ ¬b.
+func (e *Engine) Diff(a, b Ref) (Ref, error) { return e.apply(opDiff, a, b) }
+
+// Not returns ¬a.
+func (e *Engine) Not(a Ref) (Ref, error) {
+	switch a {
+	case False:
+		return True, nil
+	case True:
+		return False, nil
+	}
+	key := opKey{opNot, a, 0}
+	if r, ok := e.cache[key]; ok {
+		return r, nil
+	}
+	low, err := e.Not(e.nodes[a].low)
+	if err != nil {
+		return False, err
+	}
+	high, err := e.Not(e.nodes[a].high)
+	if err != nil {
+		return False, err
+	}
+	r, err := e.mk(e.nodes[a].level, low, high)
+	if err != nil {
+		return False, err
+	}
+	e.cache[key] = r
+	return r, nil
+}
+
+// Exists existentially quantifies variable v out of a: the result is true
+// for an assignment iff a is true under some value of v. Used to "clear" a
+// header bit before setting it (waypoint write rules, §4.4).
+func (e *Engine) Exists(a Ref, v int) (Ref, error) {
+	if v < 0 || v >= e.numVars {
+		return False, fmt.Errorf("bdd: variable %d out of range [0,%d)", v, e.numVars)
+	}
+	if a == False || a == True {
+		return a, nil
+	}
+	n := e.nodes[a]
+	if int(n.level) > v {
+		// Levels increase downward, so v cannot appear in this sub-DAG.
+		return a, nil
+	}
+	key := opKey{opExists, a, Ref(v)}
+	if r, ok := e.cache[key]; ok {
+		return r, nil
+	}
+	var r Ref
+	var err error
+	if int(n.level) == v {
+		r, err = e.Or(n.low, n.high)
+	} else {
+		var low, high Ref
+		low, err = e.Exists(n.low, v)
+		if err != nil {
+			return False, err
+		}
+		high, err = e.Exists(n.high, v)
+		if err != nil {
+			return False, err
+		}
+		r, err = e.mk(n.level, low, high)
+	}
+	if err != nil {
+		return False, err
+	}
+	e.cache[key] = r
+	return r, nil
+}
+
+// SetVar constrains variable v of a to the given value, overwriting any
+// prior constraint: Exists(a, v) ∧ (v = value). This is the symbolic form
+// of a header "write rule".
+func (e *Engine) SetVar(a Ref, v int, value bool) (Ref, error) {
+	q, err := e.Exists(a, v)
+	if err != nil {
+		return False, err
+	}
+	var lit Ref
+	if value {
+		lit, err = e.Var(v)
+	} else {
+		lit, err = e.NVar(v)
+	}
+	if err != nil {
+		return False, err
+	}
+	return e.And(q, lit)
+}
+
+// AndAll folds And over refs; the empty conjunction is True.
+func (e *Engine) AndAll(refs ...Ref) (Ref, error) {
+	acc := True
+	for _, r := range refs {
+		var err error
+		acc, err = e.And(acc, r)
+		if err != nil {
+			return False, err
+		}
+		if acc == False {
+			return False, nil
+		}
+	}
+	return acc, nil
+}
+
+// OrAll folds Or over refs; the empty disjunction is False.
+func (e *Engine) OrAll(refs ...Ref) (Ref, error) {
+	acc := False
+	for _, r := range refs {
+		var err error
+		acc, err = e.Or(acc, r)
+		if err != nil {
+			return False, err
+		}
+		if acc == True {
+			return True, nil
+		}
+	}
+	return acc, nil
+}
+
+// Implies reports whether a ⇒ b (a ∧ ¬b is empty).
+func (e *Engine) Implies(a, b Ref) (bool, error) {
+	d, err := e.Diff(a, b)
+	return d == False, err
+}
+
+// SatCount returns the number of satisfying assignments over all variables.
+func (e *Engine) SatCount(r Ref) float64 {
+	memo := map[Ref]float64{}
+	var count func(Ref) float64
+	count = func(r Ref) float64 {
+		if r == False {
+			return 0
+		}
+		if r == True {
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := e.nodes[r]
+		low := count(n.low) * pow2(int(e.level(n.low)-n.level-1))
+		high := count(n.high) * pow2(int(e.level(n.high)-n.level-1))
+		v := low + high
+		memo[r] = v
+		return v
+	}
+	return count(r) * pow2(int(e.level(r)))
+}
+
+func pow2(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// AnySat returns one satisfying assignment as a map from variable index to
+// value, or ok=false for the empty set. Variables absent from the map are
+// don't-cares.
+func (e *Engine) AnySat(r Ref) (map[int]bool, bool) {
+	if r == False {
+		return nil, false
+	}
+	out := map[int]bool{}
+	for r != True {
+		n := e.nodes[r]
+		if n.high != False {
+			out[int(n.level)] = true
+			r = n.high
+		} else {
+			out[int(n.level)] = false
+			r = n.low
+		}
+	}
+	return out, true
+}
+
+// Eval evaluates the BDD under a complete assignment (indexed by variable).
+func (e *Engine) Eval(r Ref, assignment []bool) bool {
+	for r != True && r != False {
+		n := e.nodes[r]
+		if assignment[n.level] {
+			r = n.high
+		} else {
+			r = n.low
+		}
+	}
+	return r == True
+}
+
+// Cube builds the conjunction of the given literals (variable index →
+// polarity).
+func (e *Engine) Cube(literals map[int]bool) (Ref, error) {
+	// Build bottom-up in descending level order for linear node count.
+	vars := make([]int, 0, len(literals))
+	for v := range literals {
+		vars = append(vars, v)
+	}
+	// Insertion sort descending (small inputs).
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j] > vars[j-1]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	acc := True
+	for _, v := range vars {
+		var err error
+		var r Ref
+		if literals[v] {
+			r, err = e.mk(int32(v), False, acc)
+		} else {
+			r, err = e.mk(int32(v), acc, False)
+		}
+		if err != nil {
+			return False, err
+		}
+		acc = r
+	}
+	return acc, nil
+}
+
+// ClearCache drops the operation cache (the unique table is kept). Workers
+// call this between phases to bound cache growth.
+func (e *Engine) ClearCache() {
+	e.cache = make(map[opKey]Ref)
+}

@@ -1,0 +1,63 @@
+package bdd
+
+// GC performs a mark-sweep collection: every node unreachable from the
+// given roots is discarded, the node table is compacted, and the operation
+// cache is cleared. It returns a remap function translating old refs of
+// reachable nodes to their new values; passing an unreachable (collected)
+// ref to the remap is a programming error and returns False.
+//
+// Real BDD libraries collect dead nodes the same way; the paper leans on
+// this twice: BDD node-table garbage collections are a major cost of the
+// centralized design (§2.2), and per-worker tables reduce them (§4.3).
+func (e *Engine) GC(roots []Ref) func(Ref) Ref {
+	reachable := make([]bool, len(e.nodes))
+	reachable[False], reachable[True] = true, true
+	var mark func(Ref)
+	mark = func(r Ref) {
+		if reachable[r] {
+			return
+		}
+		reachable[r] = true
+		n := e.nodes[r]
+		mark(n.low)
+		mark(n.high)
+	}
+	for _, r := range roots {
+		mark(r)
+	}
+
+	remap := make([]Ref, len(e.nodes))
+	for i := range remap {
+		remap[i] = -1
+	}
+	remap[False], remap[True] = False, True
+
+	newNodes := e.nodes[:2:2]
+	newUnique := make(map[uniqueKey]Ref)
+	for i := 2; i < len(e.nodes); i++ {
+		if !reachable[i] {
+			continue
+		}
+		n := e.nodes[i]
+		// Children precede parents in the table (mk appends), so their
+		// remaps exist already.
+		nn := node{level: n.level, low: remap[n.low], high: remap[n.high]}
+		id := Ref(len(newNodes))
+		newNodes = append(newNodes, nn)
+		newUnique[uniqueKey{nn.level, nn.low, nn.high}] = id
+		remap[i] = id
+	}
+	freed := len(e.nodes) - len(newNodes)
+	e.nodes = newNodes
+	e.unique = newUnique
+	e.cache = make(map[opKey]Ref)
+	if e.onGrow != nil && freed > 0 {
+		e.onGrow(-freed)
+	}
+	return func(r Ref) Ref {
+		if int(r) >= len(remap) || remap[r] < 0 {
+			return False
+		}
+		return remap[r]
+	}
+}

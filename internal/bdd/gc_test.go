@@ -1,0 +1,145 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGCCollectsGarbage(t *testing.T) {
+	e := New(16, 0)
+	x, _ := e.Var(0)
+	y, _ := e.Var(1)
+	keep, _ := e.And(x, y)
+	// Create garbage: many dead intermediate results.
+	for i := 2; i < 16; i++ {
+		v, _ := e.Var(i)
+		tmp, _ := e.Or(keep, v)
+		_, _ = e.And(tmp, v)
+	}
+	before := e.NodeCount()
+	remap := e.GC([]Ref{keep})
+	after := e.NodeCount()
+	if after >= before {
+		t.Fatalf("GC freed nothing: %d -> %d", before, after)
+	}
+	nk := remap(keep)
+	if e.SatCount(nk) != 1<<14 {
+		t.Fatalf("kept function changed: satcount %v", e.SatCount(nk))
+	}
+	// Collected refs map to False rather than dangling.
+	if remap(Ref(before-1)) != False && int(Ref(before-1)) >= after {
+		t.Fatal("collected ref should remap to False")
+	}
+	// Terminals are stable.
+	if remap(True) != True || remap(False) != False {
+		t.Fatal("terminals must survive GC")
+	}
+}
+
+func TestGCPreservesSemantics(t *testing.T) {
+	const nvars = 10
+	e := New(nvars, 0)
+	rng := rand.New(rand.NewSource(4))
+
+	// Build a set of live functions plus garbage.
+	var live []Ref
+	for i := 0; i < 8; i++ {
+		f := True
+		for j := 0; j < 5; j++ {
+			v, _ := e.Var(rng.Intn(nvars))
+			if rng.Intn(2) == 0 {
+				v, _ = e.Not(v)
+			}
+			if rng.Intn(2) == 0 {
+				f, _ = e.And(f, v)
+			} else {
+				f, _ = e.Or(f, v)
+			}
+		}
+		live = append(live, f)
+	}
+	// Record truth tables before GC.
+	tables := make([][]bool, len(live))
+	asg := make([]bool, nvars)
+	for i, f := range live {
+		tables[i] = make([]bool, 1<<nvars)
+		for a := 0; a < 1<<nvars; a++ {
+			for v := 0; v < nvars; v++ {
+				asg[v] = a&(1<<v) != 0
+			}
+			tables[i][a] = e.Eval(f, asg)
+		}
+	}
+
+	remap := e.GC(live)
+	for i, f := range live {
+		nf := remap(f)
+		for a := 0; a < 1<<nvars; a++ {
+			for v := 0; v < nvars; v++ {
+				asg[v] = a&(1<<v) != 0
+			}
+			if e.Eval(nf, asg) != tables[i][a] {
+				t.Fatalf("function %d changed at assignment %d", i, a)
+			}
+		}
+	}
+
+	// The engine stays fully usable: new operations on remapped refs.
+	a, b := remap(live[0]), remap(live[1])
+	or, err := e.Or(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, err := e.And(or, a)
+	if err != nil || and != a {
+		t.Fatalf("absorption after GC: %v %v", and, err)
+	}
+}
+
+func TestGCObserverSeesShrink(t *testing.T) {
+	e := New(8, 0)
+	total := 0
+	e.SetGrowObserver(func(d int) { total += d })
+	x, _ := e.Var(0)
+	for i := 1; i < 8; i++ {
+		v, _ := e.Var(i)
+		_, _ = e.Xor(x, v)
+	}
+	e.GC([]Ref{x})
+	if total != e.NodeCount()-2 {
+		t.Fatalf("observer total %d vs table %d", total, e.NodeCount()-2)
+	}
+}
+
+func TestGCEmptyRoots(t *testing.T) {
+	e := New(8, 0)
+	x, _ := e.Var(0)
+	y, _ := e.Var(1)
+	_, _ = e.And(x, y)
+	e.GC(nil)
+	if e.NodeCount() != 2 {
+		t.Fatalf("GC with no roots keeps only terminals, got %d nodes", e.NodeCount())
+	}
+	// Rebuild after total collection works.
+	x2, err := e.Var(0)
+	if err != nil || x2 == False {
+		t.Fatal("engine unusable after full GC")
+	}
+}
+
+func TestGCIdempotent(t *testing.T) {
+	e := New(8, 0)
+	x, _ := e.Var(3)
+	y, _ := e.Var(5)
+	f, _ := e.Xor(x, y)
+	r1 := e.GC([]Ref{f})
+	f = r1(f)
+	n1 := e.NodeCount()
+	r2 := e.GC([]Ref{f})
+	if e.NodeCount() != n1 {
+		t.Fatal("second GC must not change a fully live table")
+	}
+	if r2(f) == False {
+		t.Fatal("live ref lost")
+	}
+}

@@ -1,0 +1,113 @@
+package bdd
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Serialization lets symbolic packets cross worker boundaries: the sender
+// walks the reachable sub-DAG of a ref and emits a compact node list; the
+// receiver re-encodes it into its own engine with Deserialize (③/⑤ in the
+// paper's Figure 3). Because all engines share the global variable order,
+// re-encoding preserves the packet set exactly.
+
+// serialMagic guards against decoding garbage.
+const serialMagic = 0x53324244 // "S2BD"
+
+// Serialize encodes the function rooted at r as a byte string independent
+// of this engine's node numbering.
+func (e *Engine) Serialize(r Ref) []byte {
+	// Topological order: children before parents. Index 0 = False,
+	// 1 = True by convention, further indices follow discovery order.
+	index := map[Ref]uint32{False: 0, True: 1}
+	var order []Ref
+	var visit func(Ref)
+	visit = func(x Ref) {
+		if _, ok := index[x]; ok {
+			return
+		}
+		n := e.nodes[x]
+		visit(n.low)
+		visit(n.high)
+		index[x] = uint32(len(order) + 2)
+		order = append(order, x)
+	}
+	visit(r)
+
+	buf := make([]byte, 0, 16+len(order)*12)
+	buf = binary.AppendUvarint(buf, serialMagic)
+	buf = binary.AppendUvarint(buf, uint64(e.numVars))
+	buf = binary.AppendUvarint(buf, uint64(len(order)))
+	for _, x := range order {
+		n := e.nodes[x]
+		buf = binary.AppendUvarint(buf, uint64(n.level))
+		buf = binary.AppendUvarint(buf, uint64(index[n.low]))
+		buf = binary.AppendUvarint(buf, uint64(index[n.high]))
+	}
+	buf = binary.AppendUvarint(buf, uint64(index[r]))
+	return buf
+}
+
+// Deserialize re-encodes a serialized function into this engine, returning
+// the local ref. The source engine must have used the same variable count.
+func (e *Engine) Deserialize(data []byte) (Ref, error) {
+	magic, n := binary.Uvarint(data)
+	if n <= 0 || magic != serialMagic {
+		return False, fmt.Errorf("bdd: bad serialization header")
+	}
+	data = data[n:]
+	numVars, n := binary.Uvarint(data)
+	if n <= 0 {
+		return False, fmt.Errorf("bdd: truncated serialization")
+	}
+	if int(numVars) != e.numVars {
+		return False, fmt.Errorf("bdd: variable count mismatch: encoded %d, engine %d", numVars, e.numVars)
+	}
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return False, fmt.Errorf("bdd: truncated serialization")
+	}
+	data = data[n:]
+
+	refs := make([]Ref, count+2)
+	refs[0], refs[1] = False, True
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("bdd: truncated serialization")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	for i := uint64(0); i < count; i++ {
+		level, err := next()
+		if err != nil {
+			return False, err
+		}
+		lowIdx, err := next()
+		if err != nil {
+			return False, err
+		}
+		highIdx, err := next()
+		if err != nil {
+			return False, err
+		}
+		if int(level) >= e.numVars || lowIdx >= i+2 || highIdx >= i+2 {
+			return False, fmt.Errorf("bdd: malformed serialization entry %d", i)
+		}
+		r, err := e.mk(int32(level), refs[lowIdx], refs[highIdx])
+		if err != nil {
+			return False, err
+		}
+		refs[i+2] = r
+	}
+	rootIdx, err := next()
+	if err != nil {
+		return False, err
+	}
+	if rootIdx >= uint64(len(refs)) {
+		return False, fmt.Errorf("bdd: malformed serialization root")
+	}
+	return refs[rootIdx], nil
+}

@@ -1,0 +1,38 @@
+package bdd
+
+import "sync"
+
+// SharedEngine serializes all operations on one Engine behind a single
+// mutex. The centralized baseline ("Batfish") uses it to model the paper's
+// observation that a single shared BDD node table allows only one operation
+// at a time, limiting parallelism during data plane verification (§2.2).
+type SharedEngine struct {
+	mu sync.Mutex
+	e  *Engine
+}
+
+// NewShared wraps an engine.
+func NewShared(e *Engine) *SharedEngine { return &SharedEngine{e: e} }
+
+// Do runs fn with exclusive access to the engine. All BDD work in callers
+// must go through Do, making the serialization point explicit and
+// measurable.
+func (s *SharedEngine) Do(fn func(*Engine) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s.e)
+}
+
+// NodeCount returns the wrapped engine's node count.
+func (s *SharedEngine) NodeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.NodeCount()
+}
+
+// ModelBytes returns the wrapped engine's modelled memory.
+func (s *SharedEngine) ModelBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.ModelBytes()
+}

@@ -1,0 +1,138 @@
+// Package bgp implements the BGP speaker model: per-neighbor import/export
+// processing with routing policy, the best-path decision process with ECMP,
+// route aggregation with activation and suppression, and redistribution.
+// This is the Go substitute for the Batfish BGP classes the paper extends
+// via sub-classing (§5.1).
+package bgp
+
+import (
+	"sort"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+// preferenceClass captures the attributes that must tie for two routes to be
+// ECMP candidates: everything the decision process compares before the
+// router-id tiebreak.
+type preferenceClass struct {
+	localPref uint32
+	asPathLen int
+	origin    route.Origin
+	ebgp      bool
+}
+
+func classOf(r *route.Route) preferenceClass {
+	return preferenceClass{
+		localPref: r.LocalPref,
+		asPathLen: len(r.ASPath),
+		origin:    r.Origin,
+		ebgp:      r.Protocol == route.BGP || r.Protocol == route.Aggregate,
+	}
+}
+
+// better reports whether a is strictly preferred over b by the BGP decision
+// process. The MED step follows standard semantics: MEDs are compared only
+// between routes learned from the same neighbouring AS; the vendor-specific
+// missingMEDWorst flag treats MED 0 as the worst value instead of the best.
+func better(a, b *route.Route, missingMEDWorst bool) bool {
+	// 1. Higher local preference.
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	// 2. Locally originated (aggregate/network, empty AS path from self)
+	// is covered by the AS-path length comparison in practice.
+	// 3. Shorter AS path.
+	if len(a.ASPath) != len(b.ASPath) {
+		return len(a.ASPath) < len(b.ASPath)
+	}
+	// 4. Lower origin.
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	// 5. Lower MED, only among routes from the same neighbouring AS.
+	if a.PeerAS == b.PeerAS {
+		am, bm := effectiveMED(a, missingMEDWorst), effectiveMED(b, missingMEDWorst)
+		if am != bm {
+			return am < bm
+		}
+	}
+	// 6. eBGP over iBGP (aggregates and local routes sort as eBGP-class).
+	ae, be := classOf(a).ebgp, classOf(b).ebgp
+	if ae != be {
+		return ae
+	}
+	// 7. Lowest originator router ID.
+	if a.OriginatorID != b.OriginatorID {
+		return a.OriginatorID < b.OriginatorID
+	}
+	// 8. Lowest neighbor address.
+	return a.NextHop < b.NextHop
+}
+
+func effectiveMED(r *route.Route, missingWorst bool) uint64 {
+	if missingWorst && r.Metric == 0 {
+		return 1 << 40 // worse than any real MED
+	}
+	return uint64(r.Metric)
+}
+
+// selectBest runs the decision process over the candidates for one prefix
+// and returns the installed route set: the single best route plus any ECMP
+// companions permitted by maxPaths and the vendor behaviour. Candidates must
+// all target the same prefix. The returned slice is newly allocated.
+func selectBest(cands []*route.Route, maxPaths int, vsb config.VSB) []*route.Route {
+	if len(cands) == 0 {
+		return nil
+	}
+	// Deterministic iteration order independent of map/slice history.
+	sorted := append([]*route.Route(nil), cands...)
+	route.SortRoutes(sorted)
+
+	best := sorted[0]
+	for _, c := range sorted[1:] {
+		if better(c, best, vsb.MissingMEDWorst) {
+			best = c
+		}
+	}
+	if maxPaths <= 1 {
+		return []*route.Route{best}
+	}
+
+	// Multipath: candidates tying with the best through step 6.
+	bestClass := classOf(best)
+	var multi []*route.Route
+	for _, c := range sorted {
+		if classOf(c) != bestClass {
+			continue
+		}
+		// Same-AS MED comparability: a candidate from the same
+		// neighbouring AS as the best must also tie on MED.
+		if c.PeerAS == best.PeerAS &&
+			effectiveMED(c, vsb.MissingMEDWorst) != effectiveMED(best, vsb.MissingMEDWorst) {
+			continue
+		}
+		if vsb.ECMPRequiresSameNeighborAS && c.PeerAS != best.PeerAS {
+			continue
+		}
+		multi = append(multi, c)
+	}
+	// Deterministic ECMP truncation: prefer the best, then lowest
+	// originator/next hop.
+	sort.Slice(multi, func(i, j int) bool {
+		if multi[i] == best {
+			return true
+		}
+		if multi[j] == best {
+			return false
+		}
+		if multi[i].OriginatorID != multi[j].OriginatorID {
+			return multi[i].OriginatorID < multi[j].OriginatorID
+		}
+		return multi[i].NextHop < multi[j].NextHop
+	})
+	if len(multi) > maxPaths {
+		multi = multi[:maxPaths]
+	}
+	return multi
+}

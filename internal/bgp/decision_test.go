@@ -1,0 +1,155 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+func randRoute(rng *rand.Rand, pfx route.Prefix) *route.Route {
+	pathLen := rng.Intn(4) + 1
+	path := make([]uint32, pathLen)
+	for i := range path {
+		path[i] = uint32(65000 + rng.Intn(20))
+	}
+	return &route.Route{
+		Prefix:       pfx,
+		Protocol:     route.BGP,
+		NextHop:      rng.Uint32(),
+		NextHopNode:  "n",
+		Metric:       uint32(rng.Intn(3)),
+		ASPath:       path,
+		LocalPref:    uint32(100 + 10*rng.Intn(3)),
+		Origin:       route.Origin(rng.Intn(3)),
+		OriginatorID: rng.Uint32(),
+		PeerAS:       uint32(65000 + rng.Intn(4)),
+	}
+}
+
+// TestSelectBestInvariants checks the decision process properties that the
+// rest of the system depends on, over random candidate sets:
+//
+//  1. the result is a non-empty subset of the candidates (for non-empty
+//     input) and respects maxPaths;
+//  2. the result is insensitive to candidate order (determinism under
+//     permutation — crucial for S2/baseline RIB equality);
+//  3. every selected route ties the winner on the pre-tiebreak attributes;
+//  4. no candidate is strictly better than the winner.
+func TestSelectBestInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pfx := route.MustParsePrefix("10.0.0.0/24")
+	vsbs := []config.VSB{
+		{},
+		{MissingMEDWorst: true},
+		{ECMPRequiresSameNeighborAS: true},
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(8) + 1
+		cands := make([]*route.Route, n)
+		for i := range cands {
+			cands[i] = randRoute(rng, pfx)
+		}
+		maxPaths := rng.Intn(4) + 1
+		vsb := vsbs[trial%len(vsbs)]
+
+		got := selectBest(cands, maxPaths, vsb)
+		if len(got) == 0 || len(got) > maxPaths {
+			t.Fatalf("trial %d: %d selected with maxPaths %d", trial, len(got), maxPaths)
+		}
+		inCands := func(r *route.Route) bool {
+			for _, c := range cands {
+				if c == r {
+					return true
+				}
+			}
+			return false
+		}
+		for _, r := range got {
+			if !inCands(r) {
+				t.Fatalf("trial %d: selected route not among candidates", trial)
+			}
+		}
+
+		// Permutation invariance (compare by Key multiset).
+		perm := append([]*route.Route(nil), cands...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got2 := selectBest(perm, maxPaths, vsb)
+		if len(got) != len(got2) {
+			t.Fatalf("trial %d: permutation changed ECMP size %d→%d", trial, len(got), len(got2))
+		}
+		keys := map[string]int{}
+		for _, r := range got {
+			keys[r.Key()]++
+		}
+		for _, r := range got2 {
+			keys[r.Key()]--
+		}
+		for k, v := range keys {
+			if v != 0 {
+				t.Fatalf("trial %d: permutation changed selection (%s)", trial, k)
+			}
+		}
+
+		// The first selected route is the best: nothing beats it.
+		best := got[0]
+		for _, c := range cands {
+			if better(c, best, vsb.MissingMEDWorst) && !better(best, c, vsb.MissingMEDWorst) {
+				// c strictly preferred over best — selection broke.
+				t.Fatalf("trial %d: candidate strictly better than winner\n c=%v\n w=%v", trial, c, best)
+			}
+		}
+		// ECMP companions tie on the preference class.
+		for _, r := range got[1:] {
+			if classOf(r) != classOf(best) {
+				t.Fatalf("trial %d: ECMP companion differs in preference class", trial)
+			}
+			if vsb.ECMPRequiresSameNeighborAS && r.PeerAS != best.PeerAS {
+				t.Fatalf("trial %d: VSB same-AS multipath violated", trial)
+			}
+		}
+	}
+}
+
+func TestSelectBestEmpty(t *testing.T) {
+	if got := selectBest(nil, 4, config.VSB{}); got != nil {
+		t.Fatalf("empty candidates: %v", got)
+	}
+}
+
+func TestBetterPrefersLocalPrefThenPathLen(t *testing.T) {
+	a := &route.Route{LocalPref: 200, ASPath: []uint32{1, 2, 3}}
+	b := &route.Route{LocalPref: 100, ASPath: []uint32{1}}
+	if !better(a, b, false) || better(b, a, false) {
+		t.Fatal("higher local-pref wins regardless of path length")
+	}
+	c := &route.Route{LocalPref: 100, ASPath: []uint32{1, 2}}
+	if !better(b, c, false) {
+		t.Fatal("shorter path wins at equal local-pref")
+	}
+}
+
+func TestBetterMEDSemantics(t *testing.T) {
+	// Same neighbor AS: lower MED wins.
+	a := &route.Route{LocalPref: 100, ASPath: []uint32{1}, PeerAS: 7, Metric: 10}
+	b := &route.Route{LocalPref: 100, ASPath: []uint32{2}, PeerAS: 7, Metric: 20}
+	if !better(a, b, false) {
+		t.Fatal("lower MED should win within one neighbor AS")
+	}
+	// Different neighbor AS: MED skipped, falls to router-id.
+	c := &route.Route{LocalPref: 100, ASPath: []uint32{3}, PeerAS: 8, Metric: 999, OriginatorID: 1}
+	d := &route.Route{LocalPref: 100, ASPath: []uint32{4}, PeerAS: 9, Metric: 0, OriginatorID: 2}
+	if !better(c, d, false) {
+		t.Fatal("cross-AS MED must be ignored; lower originator wins")
+	}
+	// MissingMEDWorst: MED 0 loses to MED 5 within one AS.
+	e := &route.Route{LocalPref: 100, ASPath: []uint32{5}, PeerAS: 7, Metric: 0}
+	f := &route.Route{LocalPref: 100, ASPath: []uint32{6}, PeerAS: 7, Metric: 5}
+	if !better(f, e, true) {
+		t.Fatal("missing-MED-worst vendor treats MED 0 as worst")
+	}
+	if !better(e, f, false) {
+		t.Fatal("default vendor treats MED 0 as best")
+	}
+}

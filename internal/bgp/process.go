@@ -1,0 +1,508 @@
+package bgp
+
+import (
+	"sort"
+
+	"s2/internal/config"
+	"s2/internal/metrics"
+	"s2/internal/policy"
+	"s2/internal/route"
+	"s2/internal/topology"
+)
+
+// defaultLocalPref is the local preference assigned to routes received over
+// eBGP and to locally originated routes.
+const defaultLocalPref = 100
+
+// PrefixFilter restricts which prefixes a process may originate during a
+// prefix-shard round (§4.5). A nil filter admits everything.
+type PrefixFilter func(route.Prefix) bool
+
+// Process is the BGP speaker for one device. It follows the pull model of
+// the paper's Algorithm 1: neighbors call ExportsTo to obtain advertisements
+// and feed what they learn into their own ImportFrom/RunDecision cycle.
+//
+// A Process is confined to its worker: only the goroutine executing the
+// owning node's round mutates it, while ExportsTo is read-only under a
+// version check, so concurrent pulls from co-located neighbors are safe
+// once the round barrier orders them (the sim engine guarantees pulls see a
+// quiesced previous-round state).
+type Process struct {
+	dev      *config.Device
+	cfg      *config.BGPConfig
+	vsb      config.VSB
+	eval     *policy.Evaluator
+	sessions map[string]topology.BGPSession // by remote device name
+
+	filter PrefixFilter
+
+	// adjIn holds accepted post-import routes per neighbor, keyed by
+	// neighbor device name then prefix.
+	adjIn map[string]map[route.Prefix]*route.Route
+
+	// locRIB is the BGP RIB: best (plus ECMP) routes per prefix.
+	locRIB *route.RIB
+	// suppressed marks prefixes covered by an active summary-only
+	// aggregate; they stay in the RIB/FIB but are not exported.
+	suppressed map[route.Prefix]bool
+
+	// external carries routes available for redistribution, by source
+	// ("connected", "static", "ospf").
+	external map[string][]*route.Route
+
+	// version increments whenever the exportable state changes; neighbors
+	// pull with their last-seen version to skip unchanged state.
+	version uint64
+
+	// usedConditions records the prefix-lists consulted by conditional
+	// advertisement during the current shard round — the raw material for
+	// runtime dependency detection (§7, "collect prefix dependencies when
+	// computing routes").
+	usedConditions map[string]bool
+
+	tracker *metrics.Tracker
+}
+
+// NewProcess builds the speaker for dev. sessions are the device's resolved
+// BGP sessions; tracker (optional) receives modelled memory gauges.
+func NewProcess(dev *config.Device, sessions []topology.BGPSession, tracker *metrics.Tracker) *Process {
+	p := &Process{
+		dev:        dev,
+		cfg:        dev.BGP,
+		vsb:        dev.Vendor.Behaviours(),
+		eval:       policy.NewEvaluator(dev),
+		sessions:   make(map[string]topology.BGPSession, len(sessions)),
+		adjIn:      make(map[string]map[route.Prefix]*route.Route),
+		locRIB:     route.NewRIB(),
+		suppressed: make(map[route.Prefix]bool),
+		external:   make(map[string][]*route.Route),
+		tracker:    tracker,
+
+		usedConditions: make(map[string]bool),
+	}
+	for _, s := range sessions {
+		p.sessions[s.Remote] = s
+	}
+	return p
+}
+
+// Device returns the underlying device model.
+func (p *Process) Device() *config.Device { return p.dev }
+
+// NeighborNames returns the devices this speaker has sessions with, sorted.
+func (p *Process) NeighborNames() []string {
+	out := make([]string, 0, len(p.sessions))
+	for n := range p.sessions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version returns the current export version.
+func (p *Process) Version() uint64 { return p.version }
+
+// LocRIB exposes the computed BGP RIB.
+func (p *Process) LocRIB() *route.RIB { return p.locRIB }
+
+// SetExternalRoutes provides routes from another protocol for
+// redistribution ("connected" and "static" are derived internally; use this
+// for "ospf").
+func (p *Process) SetExternalRoutes(source string, routes []*route.Route) {
+	p.external[source] = routes
+}
+
+// ResetForShard clears all learned and computed state and installs the
+// prefix filter for the next shard round. Peak memory gauges on the tracker
+// survive, mirroring how freeing a shard lowers live usage but not the
+// observed peak.
+func (p *Process) ResetForShard(filter PrefixFilter) {
+	p.filter = filter
+	p.adjIn = make(map[string]map[route.Prefix]*route.Route)
+	p.locRIB = route.NewRIB()
+	p.suppressed = make(map[route.Prefix]bool)
+	p.version = 0
+	p.usedConditions = make(map[string]bool)
+	p.updateGauges()
+}
+
+// UsedConditions returns the prefix-list names consulted by conditional
+// advertisement since the last shard reset, sorted.
+func (p *Process) UsedConditions() []string {
+	out := make([]string, 0, len(p.usedConditions))
+	for name := range p.usedConditions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// conditionHolds evaluates a conditional-advertisement condition against
+// the current Loc-RIB: exist-map requires some matching route; the
+// non-exist variant requires none.
+func (p *Process) conditionHolds(nb *config.Neighbor) bool {
+	pl, ok := p.dev.PrefixLists[nb.ConditionList]
+	exists := false
+	if ok {
+		for _, pfx := range p.locRIB.Prefixes() {
+			if pl.Permits(pfx) {
+				exists = true
+				break
+			}
+		}
+	}
+	if nb.ConditionAbsence {
+		return !exists
+	}
+	return exists
+}
+
+func (p *Process) admits(pfx route.Prefix) bool {
+	return p.filter == nil || p.filter(pfx)
+}
+
+// originated computes the locally originated candidates: network statements
+// (validated against local non-BGP routes) and redistributions, restricted
+// by the shard filter.
+func (p *Process) originated() []*route.Route {
+	var out []*route.Route
+
+	localPrefixes := map[route.Prefix]bool{}
+	for _, pfx := range p.dev.ConnectedPrefixes() {
+		localPrefixes[pfx] = true
+	}
+	for _, sr := range p.dev.StaticRoutes {
+		localPrefixes[sr.Prefix] = true
+	}
+	for _, r := range p.external["ospf"] {
+		localPrefixes[r.Prefix] = true
+	}
+
+	for _, pfx := range p.cfg.Networks {
+		if !p.admits(pfx) || !localPrefixes[pfx] {
+			continue
+		}
+		out = append(out, &route.Route{
+			Prefix:       pfx,
+			Protocol:     route.BGP,
+			Origin:       route.OriginIGP,
+			LocalPref:    defaultLocalPref,
+			OriginatorID: p.cfg.RouterID,
+		})
+	}
+
+	origin := route.OriginIGP
+	if p.vsb.DefaultOriginIncomplete {
+		origin = route.OriginIncomplete
+	}
+	for _, rd := range p.cfg.Redistribute {
+		var sources []route.Prefix
+		switch rd.Source {
+		case "connected":
+			sources = p.dev.ConnectedPrefixes()
+		case "static":
+			for _, sr := range p.dev.StaticRoutes {
+				sources = append(sources, sr.Prefix)
+			}
+		case "ospf":
+			for _, r := range p.external["ospf"] {
+				sources = append(sources, r.Prefix)
+			}
+		}
+		for _, pfx := range sources {
+			if !p.admits(pfx) {
+				continue
+			}
+			cand := &route.Route{
+				Prefix:       pfx,
+				Protocol:     route.BGP,
+				Origin:       origin,
+				LocalPref:    defaultLocalPref,
+				OriginatorID: p.cfg.RouterID,
+			}
+			if rd.RouteMap != "" {
+				transformed, res := p.eval.Apply(rd.RouteMap, cand)
+				if res != policy.PermitRoute {
+					continue
+				}
+				cand = transformed
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// Advertisement is the wire form of one exported route.
+type Advertisement struct {
+	Route *route.Route
+}
+
+// ExportsTo returns the advertisements for neighbor (a device name) if the
+// exportable state changed since sinceVersion. When unchanged it returns
+// (nil, version, false), letting remote pulls skip serialization.
+func (p *Process) ExportsTo(neighbor string, sinceVersion uint64, haveSeen bool) ([]Advertisement, uint64, bool) {
+	if haveSeen && sinceVersion == p.version {
+		return nil, p.version, false
+	}
+	s, ok := p.sessions[neighbor]
+	if !ok {
+		return nil, p.version, false
+	}
+	nb := p.cfg.Neighbors[s.RemoteIP]
+	if nb == nil {
+		return nil, p.version, false
+	}
+
+	// Conditional advertisement: evaluate the condition once per export.
+	conditional := nb.AdvertiseMap != "" && nb.ConditionList != ""
+	condHolds := false
+	if conditional {
+		condHolds = p.conditionHolds(nb)
+	}
+
+	var advs []Advertisement
+	for _, pfx := range p.locRIB.Prefixes() {
+		if p.suppressed[pfx] {
+			continue
+		}
+		installed := p.locRIB.Get(pfx)
+		best := installed[0] // canonical representative of the ECMP set
+
+		// iBGP learned routes are not re-advertised to iBGP peers
+		// (no route reflection).
+		if !s.EBGP() && best.Protocol == route.IBGP {
+			continue
+		}
+		out := best.Clone()
+		if s.EBGP() {
+			// MED is not propagated for transit routes.
+			if out.NextHopNode != "" {
+				out.Metric = 0
+			}
+			out.LocalPref = defaultLocalPref
+		}
+		// Conditional advertisement: routes matched by the advertise-map
+		// are sent only while the condition holds; unmatched routes are
+		// unaffected.
+		if conditional {
+			transformed, res := p.eval.Apply(nb.AdvertiseMap, out)
+			if res == policy.PermitRoute {
+				// The condition gated a route this shard actually
+				// computes: record the dependency for §7 runtime
+				// detection.
+				p.usedConditions[nb.ConditionList] = true
+				if !condHolds {
+					continue
+				}
+				out = transformed.Clone()
+			}
+		}
+		// Export policy sees the route before AS-path manipulation.
+		if nb.ExportPolicy != "" {
+			transformed, res := p.eval.Apply(nb.ExportPolicy, out)
+			if res != policy.PermitRoute {
+				continue
+			}
+			out = transformed.Clone()
+		}
+		if s.EBGP() {
+			if nb.RemovePrivateAS {
+				out.ASPath = config.StripPrivateASNs(out.ASPath, p.vsb.RemovePrivateASAll)
+			}
+			out.ASPath = append([]uint32{p.cfg.ASN}, out.ASPath...)
+			out.NextHop = s.LocalIP
+		} else if nb.NextHopSelf {
+			out.NextHop = s.LocalIP
+		}
+		out.NextHopNode = p.dev.Hostname
+		out.Protocol = route.BGP
+		advs = append(advs, Advertisement{Route: out})
+	}
+	return advs, p.version, true
+}
+
+// ImportFrom applies import processing to a neighbor's advertisements,
+// replacing the Adj-RIB-In for that neighbor. It reports whether the
+// Adj-RIB-In changed (requiring a decision run).
+func (p *Process) ImportFrom(neighbor string, advs []Advertisement) bool {
+	s, ok := p.sessions[neighbor]
+	if !ok {
+		return false
+	}
+	nb := p.cfg.Neighbors[s.RemoteIP]
+	if nb == nil {
+		return false
+	}
+
+	fresh := make(map[route.Prefix]*route.Route, len(advs))
+	for _, adv := range advs {
+		r := adv.Route.Clone()
+		// Receiver-side loop prevention.
+		if s.EBGP() && !nb.AllowASIn && r.ASPathContains(p.cfg.ASN) {
+			continue
+		}
+		if s.EBGP() {
+			r.Protocol = route.BGP
+			r.LocalPref = defaultLocalPref
+		} else {
+			r.Protocol = route.IBGP
+		}
+		r.PeerAS = s.RemoteAS
+		r.NextHopNode = neighbor
+		if r.NextHop == 0 {
+			r.NextHop = s.RemoteIP
+		}
+		if nb.ImportPolicy != "" {
+			transformed, res := p.eval.Apply(nb.ImportPolicy, r)
+			if res != policy.PermitRoute {
+				continue
+			}
+			r = transformed
+		}
+		// First advertisement per prefix wins within one batch
+		// (exporters send one route per prefix).
+		if _, dup := fresh[r.Prefix]; !dup {
+			fresh[r.Prefix] = r
+		}
+	}
+
+	old := p.adjIn[neighbor]
+	if adjInEqual(old, fresh) {
+		return false
+	}
+	p.adjIn[neighbor] = fresh
+	p.updateGauges()
+	return true
+}
+
+func adjInEqual(a, b map[route.Prefix]*route.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for pfx, ra := range a {
+		rb, ok := b[pfx]
+		if !ok || !ra.Equal(rb) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunDecision recomputes the Loc-RIB from local origination, Adj-RIB-Ins,
+// and aggregate activation. It reports whether the exportable state changed
+// and bumps the export version accordingly.
+func (p *Process) RunDecision() bool {
+	cands := map[route.Prefix][]*route.Route{}
+	add := func(r *route.Route) { cands[r.Prefix] = append(cands[r.Prefix], r) }
+
+	for _, r := range p.originated() {
+		add(r)
+	}
+	neighbors := make([]string, 0, len(p.adjIn))
+	for n := range p.adjIn {
+		neighbors = append(neighbors, n)
+	}
+	sort.Strings(neighbors)
+	for _, n := range neighbors {
+		for _, r := range p.adjIn[n] {
+			add(r)
+		}
+	}
+
+	next := route.NewRIB()
+	for pfx, cs := range cands {
+		next.SetRoutes(pfx, selectBest(cs, p.cfg.MaxPaths, p.vsb))
+	}
+
+	suppressed := p.applyAggregates(next)
+
+	changed := !next.Equal(p.locRIB) || !prefixSetEqual(suppressed, p.suppressed)
+	p.locRIB = next
+	p.suppressed = suppressed
+	p.updateGauges()
+	if changed {
+		p.version++
+	}
+	return changed
+}
+
+// applyAggregates activates configured aggregates against the computed RIB,
+// most specific first so an activated aggregate can contribute to a broader
+// one, and returns the suppressed prefix set.
+func (p *Process) applyAggregates(rib *route.RIB) map[route.Prefix]bool {
+	suppressed := map[route.Prefix]bool{}
+	if len(p.cfg.Aggregates) == 0 {
+		return suppressed
+	}
+	aggs := append([]config.Aggregate(nil), p.cfg.Aggregates...)
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].Prefix.Len != aggs[j].Prefix.Len {
+			return aggs[i].Prefix.Len > aggs[j].Prefix.Len
+		}
+		return aggs[i].Prefix.Compare(aggs[j].Prefix) < 0
+	})
+	for _, agg := range aggs {
+		if !p.admits(agg.Prefix) {
+			continue
+		}
+		var contributors []route.Prefix
+		for _, pfx := range rib.Prefixes() {
+			if pfx != agg.Prefix && agg.Prefix.Covers(pfx) {
+				contributors = append(contributors, pfx)
+			}
+		}
+		if len(contributors) == 0 {
+			continue
+		}
+		ar := &route.Route{
+			Prefix:       agg.Prefix,
+			Protocol:     route.Aggregate,
+			Origin:       route.OriginIGP,
+			LocalPref:    defaultLocalPref,
+			OriginatorID: p.cfg.RouterID,
+		}
+		if agg.AttributeMap != "" {
+			transformed, res := p.eval.Apply(agg.AttributeMap, ar)
+			if res != policy.PermitRoute {
+				continue
+			}
+			ar = transformed
+		}
+		existing := rib.Get(agg.Prefix)
+		rib.SetRoutes(agg.Prefix, selectBest(append([]*route.Route{ar}, existing...), p.cfg.MaxPaths, p.vsb))
+		if agg.SummaryOnly {
+			for _, c := range contributors {
+				suppressed[c] = true
+			}
+		}
+	}
+	return suppressed
+}
+
+func prefixSetEqual(a, b map[route.Prefix]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// updateGauges refreshes the tracker's modelled memory for this node.
+func (p *Process) updateGauges() {
+	if p.tracker == nil {
+		return
+	}
+	var adjBytes int64
+	for _, m := range p.adjIn {
+		for _, r := range m {
+			adjBytes += r.ModelBytes()
+		}
+	}
+	p.tracker.Set("bgp.rib."+p.dev.Hostname, p.locRIB.ModelBytes())
+	p.tracker.Set("bgp.adjin."+p.dev.Hostname, adjBytes)
+}

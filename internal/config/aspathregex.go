@@ -1,0 +1,74 @@
+package config
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ASPathRegex is a Cisco-style AS-path regular expression. The supported
+// syntax is the practical subset used in datacenter policies: literal ASNs,
+// character classes ([0-9]), '.', '*', '+', '?', alternation, grouping, the
+// anchors '^' and '$', and '_' which matches a boundary (start, end, or the
+// separator between ASNs).
+//
+// Matching renders the AS path as a space-separated decimal string
+// ("65001 65100") and evaluates a translated stdlib regexp against it, the
+// same strategy production implementations use.
+type ASPathRegex struct {
+	src string
+	re  *regexp.Regexp
+}
+
+// CompileASPathRegex translates and compiles a Cisco-style expression.
+func CompileASPathRegex(expr string) (*ASPathRegex, error) {
+	var b strings.Builder
+	b.Grow(len(expr) + 8)
+	for _, r := range expr {
+		if r == '_' {
+			// Boundary: start of string, end of string, or a space.
+			b.WriteString(`(?:^|$| )`)
+			continue
+		}
+		b.WriteRune(r)
+	}
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return nil, err
+	}
+	return &ASPathRegex{src: expr, re: re}, nil
+}
+
+// MustCompileASPathRegex panics on compile failure; for tests and synthesis.
+func MustCompileASPathRegex(expr string) *ASPathRegex {
+	r, err := CompileASPathRegex(expr)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// String returns the original Cisco-style expression.
+func (r *ASPathRegex) String() string { return r.src }
+
+// Match reports whether the AS path satisfies the expression.
+func (r *ASPathRegex) Match(path []uint32) bool {
+	return r.re.MatchString(FormatASPath(path))
+}
+
+// FormatASPath renders an AS path as the space-separated decimal string the
+// regex engine matches against.
+func FormatASPath(path []uint32) string {
+	if len(path) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(len(path) * 6)
+	for i, a := range path {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatUint(uint64(a), 10))
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package config
+
+import "testing"
+
+func TestASPathRegexMatch(t *testing.T) {
+	cases := []struct {
+		expr string
+		path []uint32
+		want bool
+	}{
+		{"_65001_", []uint32{65001}, true},
+		{"_65001_", []uint32{100, 65001, 200}, true},
+		{"_65001_", []uint32{165001}, false},
+		{"_65001_", []uint32{65001100}, false},
+		{"^65001", []uint32{65001, 200}, true},
+		{"^65001", []uint32{200, 65001}, false},
+		{"65001$", []uint32{200, 65001}, true},
+		{"65001$", []uint32{65001, 200}, false},
+		{"^$", nil, true},
+		{"^$", []uint32{1}, false},
+		{".*", []uint32{1, 2, 3}, true},
+		{"_6500[0-9]_", []uint32{65007}, true},
+		{"_6500[0-9]_", []uint32{65017}, false},
+		{"^65001 65002$", []uint32{65001, 65002}, true},
+		{"_65001_65002_", []uint32{65001, 65002}, true},
+		{"_65001_65002_", []uint32{65001, 99, 65002}, false},
+	}
+	for _, c := range cases {
+		re, err := CompileASPathRegex(c.expr)
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.expr, err)
+		}
+		if got := re.Match(c.path); got != c.want {
+			t.Errorf("%q on %v = %v, want %v", c.expr, c.path, got, c.want)
+		}
+		if re.String() != c.expr {
+			t.Errorf("String() = %q", re.String())
+		}
+	}
+}
+
+func TestASPathRegexCompileError(t *testing.T) {
+	if _, err := CompileASPathRegex("[unclosed"); err == nil {
+		t.Error("invalid regex should fail to compile")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompileASPathRegex should panic on bad input")
+		}
+	}()
+	MustCompileASPathRegex("[unclosed")
+}
+
+func TestFormatASPath(t *testing.T) {
+	if got := FormatASPath(nil); got != "" {
+		t.Errorf("empty path = %q", got)
+	}
+	if got := FormatASPath([]uint32{65001, 100}); got != "65001 100" {
+		t.Errorf("path = %q", got)
+	}
+}

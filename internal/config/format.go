@@ -1,0 +1,70 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"s2/internal/route"
+)
+
+// FormatACL renders an ACL back to configuration text, the inverse of the
+// parser's "ip access-list" block. Used when deriving reduced networks
+// (e.g. Bonsai's per-destination compression) that must preserve a real
+// device's filtering behaviour.
+func FormatACL(acl *ACL) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ip access-list %s\n", acl.Name)
+	for _, e := range acl.Entries {
+		b.WriteString(" ")
+		b.WriteString(e.Action.String())
+		switch e.Proto {
+		case 0:
+			b.WriteString(" ip")
+		case 1:
+			b.WriteString(" icmp")
+		case 6:
+			b.WriteString(" tcp")
+		case 17:
+			b.WriteString(" udp")
+		default:
+			fmt.Fprintf(&b, " %d", e.Proto)
+		}
+		writeACLAddr(&b, e.Src)
+		writeACLPorts(&b, e.SrcPortLo, e.SrcPortHi)
+		writeACLAddr(&b, e.Dst)
+		writeACLPorts(&b, e.DstPortLo, e.DstPortHi)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func writeACLAddr(b *strings.Builder, p route.Prefix) {
+	if p.Len == 0 {
+		b.WriteString(" any")
+		return
+	}
+	b.WriteString(" ")
+	b.WriteString(p.String())
+}
+
+func writeACLPorts(b *strings.Builder, lo, hi uint16) {
+	switch {
+	case lo == 0 && hi == 65535:
+		// any: nothing to write
+	case lo == hi:
+		fmt.Fprintf(b, " eq %d", lo)
+	default:
+		fmt.Fprintf(b, " range %d %d", lo, hi)
+	}
+}
+
+// ACLNames returns a device's ACL names in sorted order.
+func (d *Device) ACLNames() []string {
+	names := make([]string, 0, len(d.ACLs))
+	for n := range d.ACLs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

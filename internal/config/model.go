@@ -1,0 +1,450 @@
+// Package config defines the vendor-independent (VI) device model and a
+// parser for a Cisco-IOS-like configuration language with several synthetic
+// vendor dialects.
+//
+// In the paper, S2 reuses Batfish's parsers to convert vendor-specific
+// configuration files into vendor-independent models (§3.2, "Controller /
+// Parser"). This package is the from-scratch substitute: a single surface
+// syntax whose semantics vary by vendor through declared vendor-specific
+// behaviours (VSBs), reproducing the paper's motivation that VSBs make
+// hyper-scale DCNs error-prone (§2.1).
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"s2/internal/route"
+)
+
+// Device is the vendor-independent model of one switch/router.
+type Device struct {
+	Hostname string
+	Vendor   Vendor
+
+	Interfaces map[string]*Interface
+
+	BGP  *BGPConfig
+	OSPF *OSPFConfig
+
+	StaticRoutes []StaticRoute
+
+	PrefixLists    map[string]*PrefixList
+	CommunityLists map[string]*CommunityList
+	ASPathLists    map[string]*ASPathList
+	RouteMaps      map[string]*RouteMap
+	ACLs           map[string]*ACL
+}
+
+// NewDevice returns an empty device with initialized maps.
+func NewDevice(hostname string) *Device {
+	return &Device{
+		Hostname:       hostname,
+		Vendor:         VendorAlpha,
+		Interfaces:     make(map[string]*Interface),
+		PrefixLists:    make(map[string]*PrefixList),
+		CommunityLists: make(map[string]*CommunityList),
+		ASPathLists:    make(map[string]*ASPathList),
+		RouteMaps:      make(map[string]*RouteMap),
+		ACLs:           make(map[string]*ACL),
+	}
+}
+
+// InterfaceNames returns interface names in sorted order.
+func (d *Device) InterfaceNames() []string {
+	names := make([]string, 0, len(d.Interfaces))
+	for n := range d.Interfaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ConnectedPrefixes returns the subnets of all non-shutdown addressed
+// interfaces, deduplicated and sorted.
+func (d *Device) ConnectedPrefixes() []route.Prefix {
+	seen := map[route.Prefix]bool{}
+	var out []route.Prefix
+	for _, ifc := range d.Interfaces {
+		if ifc.Shutdown || ifc.Subnet.Len == 0 && ifc.IP == 0 {
+			continue
+		}
+		if !seen[ifc.Subnet] {
+			seen[ifc.Subnet] = true
+			out = append(out, ifc.Subnet)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// InterfaceForAddr returns the interface whose subnet contains addr, if any.
+// This is how next-hop IPs resolve to egress ports.
+func (d *Device) InterfaceForAddr(addr uint32) *Interface {
+	var best *Interface
+	for _, ifc := range d.Interfaces {
+		if ifc.Shutdown || ifc.IP == 0 {
+			continue
+		}
+		if ifc.Subnet.Contains(addr) && (best == nil || ifc.Subnet.Len > best.Subnet.Len ||
+			(ifc.Subnet.Len == best.Subnet.Len && ifc.Name < best.Name)) {
+			best = ifc
+		}
+	}
+	return best
+}
+
+// Validate performs semantic checks after parsing: referenced policies,
+// prefix lists, and ACLs must exist. It returns all problems found.
+func (d *Device) Validate() []error {
+	var errs []error
+	check := func(kind, name string, ok bool) {
+		if name != "" && !ok {
+			errs = append(errs, fmt.Errorf("%s: undefined %s %q", d.Hostname, kind, name))
+		}
+	}
+	for _, ifc := range d.Interfaces {
+		_, inOK := d.ACLs[ifc.InACL]
+		_, outOK := d.ACLs[ifc.OutACL]
+		check("acl", ifc.InACL, inOK)
+		check("acl", ifc.OutACL, outOK)
+	}
+	if d.BGP != nil {
+		for _, n := range d.BGP.SortedNeighbors() {
+			_, inOK := d.RouteMaps[n.ImportPolicy]
+			_, outOK := d.RouteMaps[n.ExportPolicy]
+			check("route-map", n.ImportPolicy, inOK)
+			check("route-map", n.ExportPolicy, outOK)
+			_, advOK := d.RouteMaps[n.AdvertiseMap]
+			check("route-map", n.AdvertiseMap, advOK)
+			_, condOK := d.PrefixLists[n.ConditionList]
+			check("prefix-list", n.ConditionList, condOK)
+		}
+		for _, a := range d.BGP.Aggregates {
+			_, ok := d.RouteMaps[a.AttributeMap]
+			check("route-map", a.AttributeMap, ok)
+		}
+		for _, rd := range d.BGP.Redistribute {
+			_, ok := d.RouteMaps[rd.RouteMap]
+			check("route-map", rd.RouteMap, ok)
+		}
+	}
+	for _, rm := range d.RouteMaps {
+		for _, cl := range rm.Clauses {
+			for _, m := range cl.Matches {
+				switch m.Kind {
+				case MatchPrefixList:
+					_, ok := d.PrefixLists[m.Name]
+					check("prefix-list", m.Name, ok)
+				case MatchCommunityList:
+					_, ok := d.CommunityLists[m.Name]
+					check("community-list", m.Name, ok)
+				case MatchASPathList:
+					_, ok := d.ASPathLists[m.Name]
+					check("as-path access-list", m.Name, ok)
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// Interface is a routed port.
+type Interface struct {
+	Name        string
+	Description string
+	// IP is the interface's own address; Subnet the connected prefix.
+	IP     uint32
+	Subnet route.Prefix
+	// OSPFCost is the interface cost when OSPF is enabled (default 1).
+	OSPFCost uint32
+	// InACL and OutACL name ACLs applied to packets entering/leaving.
+	InACL, OutACL string
+	Shutdown      bool
+}
+
+// StaticRoute is an "ip route" statement.
+type StaticRoute struct {
+	Prefix  route.Prefix
+	NextHop uint32
+	// Drop marks a discard route (next-hop Null0) — a deliberate blackhole.
+	Drop bool
+}
+
+// BGPConfig is the device's BGP process.
+type BGPConfig struct {
+	ASN      uint32
+	RouterID uint32
+	// MaxPaths is the ECMP limit (maximum-paths); 1 disables multipath.
+	MaxPaths int
+	// Networks are locally originated prefixes ("network" statements).
+	Networks []route.Prefix
+	// Aggregates are "aggregate-address" statements.
+	Aggregates []Aggregate
+	// Neighbors keyed by peer IP.
+	Neighbors map[uint32]*Neighbor
+	// Redistribute imports routes from other protocols into BGP.
+	Redistribute []Redistribution
+}
+
+// SortedNeighbors returns neighbors ordered by peer IP for deterministic
+// iteration.
+func (b *BGPConfig) SortedNeighbors() []*Neighbor {
+	out := make([]*Neighbor, 0, len(b.Neighbors))
+	for _, n := range b.Neighbors {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PeerIP < out[j].PeerIP })
+	return out
+}
+
+// Aggregate is a BGP aggregate-address: it activates when at least one more
+// specific contributor is present in the BGP RIB, and with SummaryOnly the
+// contributors are suppressed from advertisement (§4.5's prefix-dependency
+// source).
+type Aggregate struct {
+	Prefix      route.Prefix
+	SummaryOnly bool
+	// AttributeMap names a route-map applied to the generated aggregate
+	// (the DCN uses this to tag aggregates with communities, §2.3).
+	AttributeMap string
+}
+
+// Neighbor is one BGP peering.
+type Neighbor struct {
+	PeerIP   uint32
+	RemoteAS uint32
+	// ImportPolicy/ExportPolicy name route-maps applied to received/sent
+	// routes ("neighbor X route-map NAME in|out").
+	ImportPolicy, ExportPolicy string
+	// RemovePrivateAS strips private ASNs on export; which ASNs are
+	// stripped is a vendor-specific behaviour (§2.1).
+	RemovePrivateAS bool
+	// NextHopSelf rewrites the next hop to the local peering address on
+	// export (default behaviour on eBGP sessions regardless).
+	NextHopSelf bool
+	// AllowASIn accepts routes whose AS path already contains the local
+	// ASN (disables loop rejection), as used with AS_PATH overwrite
+	// deployments.
+	AllowASIn bool
+	// Conditional advertisement ("neighbor X advertise-map M exist-map P"
+	// / "non-exist-map P"): routes matching the AdvertiseMap route-map
+	// are advertised to this neighbor only while some route matching the
+	// ConditionList prefix-list exists (exist-map) or is absent
+	// (non-exist-map) in the BGP table. This is the paper's example of a
+	// prefix dependency beyond aggregation (§4.5, citing the Cisco
+	// conditional advertisement feature).
+	AdvertiseMap     string
+	ConditionList    string
+	ConditionAbsence bool // true for non-exist-map
+}
+
+// Redistribution imports routes from a source protocol into BGP.
+type Redistribution struct {
+	// Source is "connected", "static", or "ospf".
+	Source   string
+	RouteMap string
+}
+
+// OSPFConfig is a single-area OSPF process.
+type OSPFConfig struct {
+	ProcessID uint32
+	RouterID  uint32
+	// Networks lists the interface subnets OSPF is enabled on; empty
+	// means all addressed interfaces.
+	Networks []route.Prefix
+	// MaxPaths is the ECMP limit.
+	MaxPaths int
+	// Passive interfaces advertise their subnet but form no adjacency.
+	Passive map[string]bool
+}
+
+// Action is a permit/deny disposition shared by lists, maps, and ACLs.
+type Action uint8
+
+const (
+	Deny Action = iota
+	Permit
+)
+
+func (a Action) String() string {
+	if a == Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// PrefixList is an ordered ip prefix-list.
+type PrefixList struct {
+	Name    string
+	Entries []PrefixListEntry
+}
+
+// PrefixListEntry matches prefixes covered by Prefix with length in [Ge,Le].
+// Ge/Le of 0 default to the prefix's own length.
+type PrefixListEntry struct {
+	Seq    int
+	Action Action
+	Prefix route.Prefix
+	Ge, Le uint8
+}
+
+// Matches reports whether entry e matches prefix p.
+func (e PrefixListEntry) Matches(p route.Prefix) bool {
+	lo := e.Prefix.Len
+	hi := e.Prefix.Len
+	if e.Ge > 0 {
+		lo = e.Ge
+	}
+	if e.Le > 0 {
+		hi = e.Le
+	}
+	if e.Ge > 0 && e.Le == 0 {
+		hi = 32
+	}
+	return e.Prefix.Covers(p) && p.Len >= lo && p.Len <= hi
+}
+
+// Permits evaluates the list against p: first matching entry wins; an
+// unmatched prefix is denied (implicit deny).
+func (l *PrefixList) Permits(p route.Prefix) bool {
+	for _, e := range l.Entries {
+		if e.Matches(p) {
+			return e.Action == Permit
+		}
+	}
+	return false
+}
+
+// CommunityList is a standard community list.
+type CommunityList struct {
+	Name    string
+	Entries []CommunityListEntry
+}
+
+// CommunityListEntry matches a route that carries all listed communities.
+type CommunityListEntry struct {
+	Action      Action
+	Communities []route.Community
+}
+
+// Matches reports whether the route's communities satisfy the entry.
+func (e CommunityListEntry) Matches(has func(route.Community) bool) bool {
+	for _, c := range e.Communities {
+		if !has(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Permits evaluates the list; first match wins, default deny.
+func (l *CommunityList) Permits(has func(route.Community) bool) bool {
+	for _, e := range l.Entries {
+		if e.Matches(has) {
+			return e.Action == Permit
+		}
+	}
+	return false
+}
+
+// ASPathList is an as-path access-list of regex entries.
+type ASPathList struct {
+	Name    string
+	Entries []ASPathListEntry
+}
+
+// ASPathListEntry matches AS paths against a Cisco-style regex (see
+// aspathregex.go for the supported subset).
+type ASPathListEntry struct {
+	Action Action
+	Regex  *ASPathRegex
+}
+
+// Permits evaluates the list against an AS path; first match wins, default
+// deny.
+func (l *ASPathList) Permits(path []uint32) bool {
+	for _, e := range l.Entries {
+		if e.Regex.Match(path) {
+			return e.Action == Permit
+		}
+	}
+	return false
+}
+
+// ACL is a named IP access list applied to interfaces.
+type ACL struct {
+	Name    string
+	Entries []ACLEntry
+}
+
+// ACLEntry matches on the 5-tuple. Proto 0 matches any protocol; port
+// ranges [0,65535] match any port.
+type ACLEntry struct {
+	Action               Action
+	Proto                uint8 // 0 = any
+	Src, Dst             route.Prefix
+	SrcPortLo, SrcPortHi uint16
+	DstPortLo, DstPortHi uint16
+}
+
+// MatchesAny reports whether the entry constrains nothing (permit ip any
+// any), which the data plane fast-paths.
+func (e ACLEntry) MatchesAny() bool {
+	return e.Proto == 0 && e.Src.Len == 0 && e.Dst.Len == 0 &&
+		e.SrcPortLo == 0 && e.SrcPortHi == 65535 &&
+		e.DstPortLo == 0 && e.DstPortHi == 65535
+}
+
+// MatchKind discriminates route-map match clauses.
+type MatchKind uint8
+
+const (
+	MatchPrefixList MatchKind = iota
+	MatchCommunityList
+	MatchASPathList
+)
+
+// Match is one route-map match condition.
+type Match struct {
+	Kind MatchKind
+	Name string
+}
+
+// SetKind discriminates route-map set actions.
+type SetKind uint8
+
+const (
+	SetLocalPref SetKind = iota
+	SetMED
+	SetCommunity       // replace or add communities
+	SetCommunityDelete // delete communities matching a community-list
+	SetASPathPrepend
+	SetASPathOverwrite // nonstandard: replace the whole AS path (§2.3)
+	SetOrigin
+)
+
+// Set is one route-map set action.
+type Set struct {
+	Kind        SetKind
+	Value       uint32            // local-pref, MED, overwrite ASN
+	Communities []route.Community // for SetCommunity
+	Additive    bool              // for SetCommunity
+	Name        string            // community-list name for SetCommunityDelete
+	Prepend     []uint32          // for SetASPathPrepend
+	Origin      route.Origin      // for SetOrigin
+}
+
+// RouteMap is an ordered list of clauses with first-match semantics.
+type RouteMap struct {
+	Name    string
+	Clauses []*RouteMapClause
+}
+
+// RouteMapClause is one numbered permit/deny block.
+type RouteMapClause struct {
+	Seq     int
+	Action  Action
+	Matches []Match
+	Sets    []Set
+}

@@ -1,0 +1,877 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"s2/internal/route"
+)
+
+// ParseError records one problem found while parsing a configuration file.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// ParseErrors aggregates all problems in a file.
+type ParseErrors []*ParseError
+
+func (es ParseErrors) Error() string {
+	switch len(es) {
+	case 0:
+		return "no errors"
+	case 1:
+		return es[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (and %d more errors)", es[0].Error(), len(es)-1)
+	return b.String()
+}
+
+// Parse converts one vendor-style configuration file into the
+// vendor-independent device model. All syntax errors are collected; the
+// returned device reflects every line that parsed cleanly.
+func Parse(filename, text string) (*Device, error) {
+	p := &parser{file: filename, dev: NewDevice(deviceNameFromFile(filename))}
+	for i, raw := range strings.Split(text, "\n") {
+		p.line = i + 1
+		p.parseLine(raw)
+	}
+	if errs := p.dev.Validate(); len(errs) > 0 {
+		for _, e := range errs {
+			p.errs = append(p.errs, &ParseError{File: filename, Msg: e.Error()})
+		}
+	}
+	if len(p.errs) > 0 {
+		return p.dev, p.errs
+	}
+	return p.dev, nil
+}
+
+func deviceNameFromFile(filename string) string {
+	name := filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.TrimSuffix(name, ".cfg")
+}
+
+// parser holds mode state while scanning lines.
+type parser struct {
+	file string
+	line int
+	dev  *Device
+	errs ParseErrors
+
+	// Current sub-mode targets; at most one is non-nil.
+	curIfc    *Interface
+	curClause *RouteMapClause
+	curACL    *ACL
+	curBGP    *BGPConfig
+	curOSPF   *OSPFConfig
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, &ParseError{File: p.file, Line: p.line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) resetMode() {
+	p.curIfc, p.curClause, p.curACL, p.curBGP, p.curOSPF = nil, nil, nil, nil, nil
+}
+
+func (p *parser) parseLine(raw string) {
+	line := strings.TrimSpace(raw)
+	if line == "" {
+		return
+	}
+	if strings.HasPrefix(line, "!") {
+		// "! vendor: <name>" is a directive; other comments reset mode
+		// (the conventional IOS block separator).
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "!"))
+		if v, ok := strings.CutPrefix(rest, "vendor:"); ok {
+			vendor, err := ParseVendor(strings.TrimSpace(v))
+			if err != nil {
+				p.errorf("%v", err)
+				return
+			}
+			p.dev.Vendor = vendor
+			return
+		}
+		p.resetMode()
+		return
+	}
+	f := strings.Fields(line)
+
+	// Top-level commands switch modes.
+	switch f[0] {
+	case "hostname":
+		p.resetMode()
+		if len(f) != 2 {
+			p.errorf("hostname takes one argument")
+			return
+		}
+		p.dev.Hostname = f[1]
+		return
+	case "interface":
+		p.resetMode()
+		if len(f) != 2 {
+			p.errorf("interface takes one argument")
+			return
+		}
+		ifc, ok := p.dev.Interfaces[f[1]]
+		if !ok {
+			ifc = &Interface{Name: f[1], OSPFCost: 1}
+			p.dev.Interfaces[f[1]] = ifc
+		}
+		p.curIfc = ifc
+		return
+	case "router":
+		p.resetMode()
+		p.parseRouter(f)
+		return
+	case "route-map":
+		p.resetMode()
+		p.parseRouteMapHeader(f)
+		return
+	case "ip":
+		if p.curIfc != nil && len(f) >= 2 && (f[1] == "address" || f[1] == "ospf" || f[1] == "access-group") {
+			p.parseInterfaceIP(f)
+			return
+		}
+		p.resetMode()
+		p.parseTopLevelIP(f)
+		return
+	}
+
+	// Sub-mode commands.
+	switch {
+	case p.curIfc != nil:
+		p.parseInterfaceLine(f, line)
+	case p.curBGP != nil:
+		p.parseBGPLine(f)
+	case p.curOSPF != nil:
+		p.parseOSPFLine(f)
+	case p.curClause != nil:
+		p.parseRouteMapLine(f)
+	case p.curACL != nil:
+		p.parseACLLine(f)
+	default:
+		p.errorf("unrecognized top-level command %q", f[0])
+	}
+}
+
+func (p *parser) parseInterfaceIP(f []string) {
+	switch f[1] {
+	case "address":
+		if len(f) != 3 {
+			p.errorf("ip address takes addr/len")
+			return
+		}
+		slash := strings.IndexByte(f[2], '/')
+		if slash < 0 {
+			p.errorf("ip address %q missing /length", f[2])
+			return
+		}
+		addr, err := route.ParseAddr(f[2][:slash])
+		if err != nil {
+			p.errorf("%v", err)
+			return
+		}
+		l, err := strconv.ParseUint(f[2][slash+1:], 10, 8)
+		if err != nil || l > 32 {
+			p.errorf("invalid prefix length %q", f[2][slash+1:])
+			return
+		}
+		p.curIfc.IP = addr
+		p.curIfc.Subnet = route.MakePrefix(addr, uint8(l))
+	case "ospf":
+		if len(f) == 4 && f[2] == "cost" {
+			v, err := strconv.ParseUint(f[3], 10, 32)
+			if err != nil {
+				p.errorf("invalid ospf cost %q", f[3])
+				return
+			}
+			p.curIfc.OSPFCost = uint32(v)
+			return
+		}
+		p.errorf("unsupported interface ospf command")
+	case "access-group":
+		if len(f) != 4 || (f[3] != "in" && f[3] != "out") {
+			p.errorf("ip access-group takes NAME in|out")
+			return
+		}
+		if f[3] == "in" {
+			p.curIfc.InACL = f[2]
+		} else {
+			p.curIfc.OutACL = f[2]
+		}
+	}
+}
+
+func (p *parser) parseInterfaceLine(f []string, line string) {
+	switch f[0] {
+	case "description":
+		p.curIfc.Description = strings.TrimSpace(strings.TrimPrefix(line, "description"))
+	case "shutdown":
+		p.curIfc.Shutdown = true
+	case "no":
+		if len(f) == 2 && f[1] == "shutdown" {
+			p.curIfc.Shutdown = false
+			return
+		}
+		p.errorf("unsupported interface command %q", strings.Join(f, " "))
+	default:
+		p.errorf("unsupported interface command %q", f[0])
+	}
+}
+
+func (p *parser) parseRouter(f []string) {
+	if len(f) != 3 {
+		p.errorf("router takes protocol and process/AS number")
+		return
+	}
+	id, err := strconv.ParseUint(f[2], 10, 32)
+	if err != nil {
+		p.errorf("invalid process/AS number %q", f[2])
+		return
+	}
+	switch f[1] {
+	case "bgp":
+		if p.dev.BGP == nil {
+			p.dev.BGP = &BGPConfig{ASN: uint32(id), MaxPaths: 1, Neighbors: make(map[uint32]*Neighbor)}
+		}
+		p.curBGP = p.dev.BGP
+	case "ospf":
+		if p.dev.OSPF == nil {
+			p.dev.OSPF = &OSPFConfig{ProcessID: uint32(id), MaxPaths: 1, Passive: make(map[string]bool)}
+		}
+		p.curOSPF = p.dev.OSPF
+	default:
+		p.errorf("unsupported routing protocol %q", f[1])
+	}
+}
+
+func (p *parser) parseBGPLine(f []string) {
+	b := p.curBGP
+	switch f[0] {
+	case "router-id":
+		if len(f) != 2 {
+			p.errorf("router-id takes one address")
+			return
+		}
+		id, err := route.ParseAddr(f[1])
+		if err != nil {
+			p.errorf("%v", err)
+			return
+		}
+		b.RouterID = id
+	case "maximum-paths":
+		if len(f) != 2 {
+			p.errorf("maximum-paths takes one number")
+			return
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil || n < 1 {
+			p.errorf("invalid maximum-paths %q", f[1])
+			return
+		}
+		b.MaxPaths = n
+	case "network":
+		if len(f) != 2 {
+			p.errorf("network takes one prefix")
+			return
+		}
+		pfx, err := route.ParsePrefix(f[1])
+		if err != nil {
+			p.errorf("%v", err)
+			return
+		}
+		b.Networks = append(b.Networks, pfx)
+	case "aggregate-address":
+		p.parseAggregate(f)
+	case "redistribute":
+		if len(f) < 2 {
+			p.errorf("redistribute takes a source protocol")
+			return
+		}
+		src := f[1]
+		if src != "connected" && src != "static" && src != "ospf" {
+			p.errorf("unsupported redistribute source %q", src)
+			return
+		}
+		rd := Redistribution{Source: src}
+		if len(f) == 4 && f[2] == "route-map" {
+			rd.RouteMap = f[3]
+		} else if len(f) != 2 {
+			p.errorf("redistribute syntax: redistribute SRC [route-map NAME]")
+			return
+		}
+		b.Redistribute = append(b.Redistribute, rd)
+	case "neighbor":
+		p.parseNeighbor(f)
+	default:
+		p.errorf("unsupported bgp command %q", f[0])
+	}
+}
+
+func (p *parser) parseAggregate(f []string) {
+	if len(f) < 2 {
+		p.errorf("aggregate-address takes a prefix")
+		return
+	}
+	pfx, err := route.ParsePrefix(f[1])
+	if err != nil {
+		p.errorf("%v", err)
+		return
+	}
+	agg := Aggregate{Prefix: pfx}
+	rest := f[2:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "summary-only":
+			agg.SummaryOnly = true
+			rest = rest[1:]
+		case "attribute-map":
+			if len(rest) < 2 {
+				p.errorf("attribute-map takes a route-map name")
+				return
+			}
+			agg.AttributeMap = rest[1]
+			rest = rest[2:]
+		default:
+			p.errorf("unsupported aggregate-address option %q", rest[0])
+			return
+		}
+	}
+	p.curBGP.Aggregates = append(p.curBGP.Aggregates, agg)
+}
+
+func (p *parser) parseNeighbor(f []string) {
+	if len(f) < 3 {
+		p.errorf("neighbor takes an address and a command")
+		return
+	}
+	ip, err := route.ParseAddr(f[1])
+	if err != nil {
+		p.errorf("%v", err)
+		return
+	}
+	n, ok := p.curBGP.Neighbors[ip]
+	if !ok {
+		n = &Neighbor{PeerIP: ip}
+		p.curBGP.Neighbors[ip] = n
+	}
+	switch f[2] {
+	case "remote-as":
+		if len(f) != 4 {
+			p.errorf("remote-as takes one AS number")
+			return
+		}
+		asn, err := strconv.ParseUint(f[3], 10, 32)
+		if err != nil {
+			p.errorf("invalid AS number %q", f[3])
+			return
+		}
+		n.RemoteAS = uint32(asn)
+	case "route-map":
+		if len(f) != 5 || (f[4] != "in" && f[4] != "out") {
+			p.errorf("neighbor route-map takes NAME in|out")
+			return
+		}
+		if f[4] == "in" {
+			n.ImportPolicy = f[3]
+		} else {
+			n.ExportPolicy = f[3]
+		}
+	case "advertise-map":
+		// neighbor IP advertise-map MAP exist-map|non-exist-map LIST
+		if len(f) != 6 || (f[4] != "exist-map" && f[4] != "non-exist-map") {
+			p.errorf("advertise-map syntax: neighbor IP advertise-map MAP exist-map|non-exist-map PREFIXLIST")
+			return
+		}
+		n.AdvertiseMap = f[3]
+		n.ConditionList = f[5]
+		n.ConditionAbsence = f[4] == "non-exist-map"
+	case "remove-private-as":
+		n.RemovePrivateAS = true
+	case "next-hop-self":
+		n.NextHopSelf = true
+	case "allowas-in":
+		n.AllowASIn = true
+	default:
+		p.errorf("unsupported neighbor command %q", f[2])
+	}
+}
+
+func (p *parser) parseOSPFLine(f []string) {
+	o := p.curOSPF
+	switch f[0] {
+	case "router-id":
+		if len(f) != 2 {
+			p.errorf("router-id takes one address")
+			return
+		}
+		id, err := route.ParseAddr(f[1])
+		if err != nil {
+			p.errorf("%v", err)
+			return
+		}
+		o.RouterID = id
+	case "maximum-paths":
+		if len(f) != 2 {
+			p.errorf("maximum-paths takes one number")
+			return
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil || n < 1 {
+			p.errorf("invalid maximum-paths %q", f[1])
+			return
+		}
+		o.MaxPaths = n
+	case "network":
+		if len(f) != 4 || f[2] != "area" || f[3] != "0" {
+			p.errorf("only 'network PREFIX area 0' is supported")
+			return
+		}
+		pfx, err := route.ParsePrefix(f[1])
+		if err != nil {
+			p.errorf("%v", err)
+			return
+		}
+		o.Networks = append(o.Networks, pfx)
+	case "passive-interface":
+		if len(f) != 2 {
+			p.errorf("passive-interface takes one interface name")
+			return
+		}
+		o.Passive[f[1]] = true
+	default:
+		p.errorf("unsupported ospf command %q", f[0])
+	}
+}
+
+func (p *parser) parseTopLevelIP(f []string) {
+	if len(f) < 2 {
+		p.errorf("incomplete ip command")
+		return
+	}
+	switch f[1] {
+	case "route":
+		p.parseStaticRoute(f)
+	case "prefix-list":
+		p.parsePrefixList(f)
+	case "community-list":
+		p.parseCommunityList(f)
+	case "as-path":
+		p.parseASPathList(f)
+	case "access-list":
+		if len(f) != 3 {
+			p.errorf("ip access-list takes a name")
+			return
+		}
+		acl, ok := p.dev.ACLs[f[2]]
+		if !ok {
+			acl = &ACL{Name: f[2]}
+			p.dev.ACLs[f[2]] = acl
+		}
+		p.curACL = acl
+	default:
+		p.errorf("unsupported ip command %q", f[1])
+	}
+}
+
+func (p *parser) parseStaticRoute(f []string) {
+	if len(f) != 4 {
+		p.errorf("ip route takes PREFIX NEXTHOP|null0")
+		return
+	}
+	pfx, err := route.ParsePrefix(f[2])
+	if err != nil {
+		p.errorf("%v", err)
+		return
+	}
+	sr := StaticRoute{Prefix: pfx}
+	if strings.EqualFold(f[3], "null0") {
+		sr.Drop = true
+	} else {
+		nh, err := route.ParseAddr(f[3])
+		if err != nil {
+			p.errorf("%v", err)
+			return
+		}
+		sr.NextHop = nh
+	}
+	p.dev.StaticRoutes = append(p.dev.StaticRoutes, sr)
+}
+
+func (p *parser) parsePrefixList(f []string) {
+	// ip prefix-list NAME seq N permit|deny PREFIX [ge N] [le N]
+	if len(f) < 6 || f[3] != "seq" {
+		p.errorf("prefix-list syntax: ip prefix-list NAME seq N permit|deny PREFIX [ge N] [le N]")
+		return
+	}
+	name := f[2]
+	seq, err := strconv.Atoi(f[4])
+	if err != nil {
+		p.errorf("invalid sequence number %q", f[4])
+		return
+	}
+	action, ok := parseAction(f[5])
+	if !ok || len(f) < 7 {
+		p.errorf("prefix-list entry needs permit|deny and a prefix")
+		return
+	}
+	pfx, err := route.ParsePrefix(f[6])
+	if err != nil {
+		p.errorf("%v", err)
+		return
+	}
+	e := PrefixListEntry{Seq: seq, Action: action, Prefix: pfx}
+	rest := f[7:]
+	for len(rest) >= 2 {
+		v, err := strconv.ParseUint(rest[1], 10, 8)
+		if err != nil || v > 32 {
+			p.errorf("invalid ge/le value %q", rest[1])
+			return
+		}
+		switch rest[0] {
+		case "ge":
+			e.Ge = uint8(v)
+		case "le":
+			e.Le = uint8(v)
+		default:
+			p.errorf("unsupported prefix-list option %q", rest[0])
+			return
+		}
+		rest = rest[2:]
+	}
+	if len(rest) != 0 {
+		p.errorf("trailing tokens in prefix-list entry")
+		return
+	}
+	pl, ok := p.dev.PrefixLists[name]
+	if !ok {
+		pl = &PrefixList{Name: name}
+		p.dev.PrefixLists[name] = pl
+	}
+	pl.Entries = append(pl.Entries, e)
+	sort.SliceStable(pl.Entries, func(i, j int) bool { return pl.Entries[i].Seq < pl.Entries[j].Seq })
+}
+
+func (p *parser) parseCommunityList(f []string) {
+	// ip community-list standard NAME permit|deny COMM...
+	if len(f) < 6 || f[2] != "standard" {
+		p.errorf("community-list syntax: ip community-list standard NAME permit|deny ASN:VAL...")
+		return
+	}
+	name := f[3]
+	action, ok := parseAction(f[4])
+	if !ok {
+		p.errorf("community-list entry needs permit|deny")
+		return
+	}
+	var comms []route.Community
+	for _, s := range f[5:] {
+		c, err := route.ParseCommunity(s)
+		if err != nil {
+			p.errorf("%v", err)
+			return
+		}
+		comms = append(comms, c)
+	}
+	cl, ok := p.dev.CommunityLists[name]
+	if !ok {
+		cl = &CommunityList{Name: name}
+		p.dev.CommunityLists[name] = cl
+	}
+	cl.Entries = append(cl.Entries, CommunityListEntry{Action: action, Communities: comms})
+}
+
+func (p *parser) parseASPathList(f []string) {
+	// ip as-path access-list NAME permit|deny REGEX
+	if len(f) < 6 || f[2] != "access-list" {
+		p.errorf("as-path syntax: ip as-path access-list NAME permit|deny REGEX")
+		return
+	}
+	name := f[3]
+	action, ok := parseAction(f[4])
+	if !ok {
+		p.errorf("as-path entry needs permit|deny")
+		return
+	}
+	re, err := CompileASPathRegex(strings.Join(f[5:], " "))
+	if err != nil {
+		p.errorf("invalid as-path regex: %v", err)
+		return
+	}
+	al, ok := p.dev.ASPathLists[name]
+	if !ok {
+		al = &ASPathList{Name: name}
+		p.dev.ASPathLists[name] = al
+	}
+	al.Entries = append(al.Entries, ASPathListEntry{Action: action, Regex: re})
+}
+
+func (p *parser) parseRouteMapHeader(f []string) {
+	// route-map NAME permit|deny SEQ
+	if len(f) != 4 {
+		p.errorf("route-map syntax: route-map NAME permit|deny SEQ")
+		return
+	}
+	action, ok := parseAction(f[2])
+	if !ok {
+		p.errorf("route-map action must be permit|deny")
+		return
+	}
+	seq, err := strconv.Atoi(f[3])
+	if err != nil {
+		p.errorf("invalid route-map sequence %q", f[3])
+		return
+	}
+	rm, ok := p.dev.RouteMaps[f[1]]
+	if !ok {
+		rm = &RouteMap{Name: f[1]}
+		p.dev.RouteMaps[f[1]] = rm
+	}
+	clause := &RouteMapClause{Seq: seq, Action: action}
+	rm.Clauses = append(rm.Clauses, clause)
+	sort.SliceStable(rm.Clauses, func(i, j int) bool { return rm.Clauses[i].Seq < rm.Clauses[j].Seq })
+	p.curClause = clause
+}
+
+func (p *parser) parseRouteMapLine(f []string) {
+	c := p.curClause
+	switch f[0] {
+	case "match":
+		switch {
+		case len(f) == 5 && f[1] == "ip" && f[2] == "address" && f[3] == "prefix-list":
+			c.Matches = append(c.Matches, Match{Kind: MatchPrefixList, Name: f[4]})
+		case len(f) == 3 && f[1] == "community":
+			c.Matches = append(c.Matches, Match{Kind: MatchCommunityList, Name: f[2]})
+		case len(f) == 3 && f[1] == "as-path":
+			c.Matches = append(c.Matches, Match{Kind: MatchASPathList, Name: f[2]})
+		default:
+			p.errorf("unsupported match %q", strings.Join(f[1:], " "))
+		}
+	case "set":
+		p.parseSet(f)
+	default:
+		p.errorf("unsupported route-map command %q", f[0])
+	}
+}
+
+func (p *parser) parseSet(f []string) {
+	c := p.curClause
+	if len(f) < 3 {
+		p.errorf("incomplete set command")
+		return
+	}
+	switch f[1] {
+	case "local-preference":
+		v, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			p.errorf("invalid local-preference %q", f[2])
+			return
+		}
+		c.Sets = append(c.Sets, Set{Kind: SetLocalPref, Value: uint32(v)})
+	case "metric":
+		v, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			p.errorf("invalid metric %q", f[2])
+			return
+		}
+		c.Sets = append(c.Sets, Set{Kind: SetMED, Value: uint32(v)})
+	case "community":
+		args := f[2:]
+		additive := false
+		if args[len(args)-1] == "additive" {
+			additive = true
+			args = args[:len(args)-1]
+		}
+		var comms []route.Community
+		for _, s := range args {
+			cm, err := route.ParseCommunity(s)
+			if err != nil {
+				p.errorf("%v", err)
+				return
+			}
+			comms = append(comms, cm)
+		}
+		if len(comms) == 0 {
+			p.errorf("set community needs at least one community")
+			return
+		}
+		c.Sets = append(c.Sets, Set{Kind: SetCommunity, Communities: comms, Additive: additive})
+	case "comm-list":
+		if len(f) != 4 || f[3] != "delete" {
+			p.errorf("set comm-list syntax: set comm-list NAME delete")
+			return
+		}
+		c.Sets = append(c.Sets, Set{Kind: SetCommunityDelete, Name: f[2]})
+	case "as-path":
+		switch {
+		case f[2] == "prepend" && len(f) > 3:
+			var asns []uint32
+			for _, s := range f[3:] {
+				v, err := strconv.ParseUint(s, 10, 32)
+				if err != nil {
+					p.errorf("invalid prepend ASN %q", s)
+					return
+				}
+				asns = append(asns, uint32(v))
+			}
+			c.Sets = append(c.Sets, Set{Kind: SetASPathPrepend, Prepend: asns})
+		case f[2] == "overwrite" && len(f) == 4:
+			v, err := strconv.ParseUint(f[3], 10, 32)
+			if err != nil {
+				p.errorf("invalid overwrite ASN %q", f[3])
+				return
+			}
+			c.Sets = append(c.Sets, Set{Kind: SetASPathOverwrite, Value: uint32(v)})
+		default:
+			p.errorf("set as-path syntax: prepend ASN... | overwrite ASN")
+		}
+	case "origin":
+		var o route.Origin
+		switch f[2] {
+		case "igp":
+			o = route.OriginIGP
+		case "egp":
+			o = route.OriginEGP
+		case "incomplete":
+			o = route.OriginIncomplete
+		default:
+			p.errorf("invalid origin %q", f[2])
+			return
+		}
+		c.Sets = append(c.Sets, Set{Kind: SetOrigin, Origin: o})
+	default:
+		p.errorf("unsupported set %q", f[1])
+	}
+}
+
+func (p *parser) parseACLLine(f []string) {
+	// permit|deny PROTO SRC [eq N | range A B] DST [eq N | range A B]
+	action, ok := parseAction(f[0])
+	if !ok {
+		p.errorf("acl entry must start with permit|deny")
+		return
+	}
+	if len(f) < 4 {
+		p.errorf("acl entry needs protocol, source, and destination")
+		return
+	}
+	e := ACLEntry{Action: action, SrcPortHi: 65535, DstPortHi: 65535}
+	switch f[1] {
+	case "ip":
+		e.Proto = 0
+	case "tcp":
+		e.Proto = 6
+	case "udp":
+		e.Proto = 17
+	case "icmp":
+		e.Proto = 1
+	default:
+		v, err := strconv.ParseUint(f[1], 10, 8)
+		if err != nil || v == 0 {
+			p.errorf("invalid protocol %q", f[1])
+			return
+		}
+		e.Proto = uint8(v)
+	}
+	rest := f[2:]
+	var err error
+	e.Src, rest, err = parseACLAddr(rest)
+	if err != nil {
+		p.errorf("%v", err)
+		return
+	}
+	e.SrcPortLo, e.SrcPortHi, rest, err = parseACLPorts(rest)
+	if err != nil {
+		p.errorf("%v", err)
+		return
+	}
+	if len(rest) == 0 {
+		p.errorf("acl entry missing destination")
+		return
+	}
+	e.Dst, rest, err = parseACLAddr(rest)
+	if err != nil {
+		p.errorf("%v", err)
+		return
+	}
+	e.DstPortLo, e.DstPortHi, rest, err = parseACLPorts(rest)
+	if err != nil {
+		p.errorf("%v", err)
+		return
+	}
+	if len(rest) != 0 {
+		p.errorf("trailing tokens in acl entry: %v", rest)
+		return
+	}
+	p.curACL.Entries = append(p.curACL.Entries, e)
+}
+
+func parseACLAddr(f []string) (route.Prefix, []string, error) {
+	if len(f) == 0 {
+		return route.Prefix{}, nil, fmt.Errorf("missing address")
+	}
+	if f[0] == "any" {
+		return route.Prefix{}, f[1:], nil
+	}
+	if strings.Contains(f[0], "/") {
+		p, err := route.ParsePrefix(f[0])
+		return p, f[1:], err
+	}
+	a, err := route.ParseAddr(f[0])
+	if err != nil {
+		return route.Prefix{}, nil, err
+	}
+	return route.MakePrefix(a, 32), f[1:], nil
+}
+
+func parseACLPorts(f []string) (lo, hi uint16, rest []string, err error) {
+	lo, hi = 0, 65535
+	if len(f) == 0 {
+		return lo, hi, f, nil
+	}
+	switch f[0] {
+	case "eq":
+		if len(f) < 2 {
+			return 0, 0, nil, fmt.Errorf("eq needs a port")
+		}
+		v, perr := strconv.ParseUint(f[1], 10, 16)
+		if perr != nil {
+			return 0, 0, nil, fmt.Errorf("invalid port %q", f[1])
+		}
+		return uint16(v), uint16(v), f[2:], nil
+	case "range":
+		if len(f) < 3 {
+			return 0, 0, nil, fmt.Errorf("range needs two ports")
+		}
+		a, aerr := strconv.ParseUint(f[1], 10, 16)
+		b, berr := strconv.ParseUint(f[2], 10, 16)
+		if aerr != nil || berr != nil || a > b {
+			return 0, 0, nil, fmt.Errorf("invalid port range %q %q", f[1], f[2])
+		}
+		return uint16(a), uint16(b), f[3:], nil
+	}
+	return lo, hi, f, nil
+}
+
+func parseAction(s string) (Action, bool) {
+	switch s {
+	case "permit":
+		return Permit, true
+	case "deny":
+		return Deny, true
+	}
+	return Deny, false
+}

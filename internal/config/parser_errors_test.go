@@ -1,0 +1,145 @@
+package config
+
+import (
+	"testing"
+
+	"s2/internal/route"
+)
+
+// TestParserRejectsMalformedLines sweeps the parser's error branches: every
+// case is a single bad line (with whatever scaffolding it needs) that must
+// produce a ParseError rather than silently misconfiguring the device.
+func TestParserRejectsMalformedLines(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  string
+	}{
+		{"hostname-arity", "hostname a b\n"},
+		{"interface-arity", "interface\n"},
+		{"vendor-unknown", "! vendor: juniper\n"},
+		{"ip-address-arity", "interface e0\n ip address\n"},
+		{"ip-address-no-slash", "interface e0\n ip address 10.0.0.1\n"},
+		{"ip-address-bad-ip", "interface e0\n ip address x.y.z.w/24\n"},
+		{"ip-address-bad-len", "interface e0\n ip address 10.0.0.1/99\n"},
+		{"ospf-cost-bad", "interface e0\n ip ospf cost ten\n"},
+		{"ospf-cmd-bad", "interface e0\n ip ospf hello 5\n"},
+		{"access-group-dir", "interface e0\n ip access-group A sideways\n"},
+		{"iface-unknown-cmd", "interface e0\n mtu 9000\n"},
+		{"iface-no-bad", "interface e0\n no mtu\n"},
+		{"router-arity", "router bgp\n"},
+		{"router-bad-asn", "router bgp many\n"},
+		{"router-bad-proto", "router rip 1\n"},
+		{"bgp-routerid-bad", "router bgp 1\n router-id nope\n"},
+		{"bgp-maxpaths-bad", "router bgp 1\n maximum-paths zero\n"},
+		{"bgp-maxpaths-neg", "router bgp 1\n maximum-paths 0\n"},
+		{"bgp-network-bad", "router bgp 1\n network 10.0.0.0\n"},
+		{"bgp-agg-bad-prefix", "router bgp 1\n aggregate-address nope\n"},
+		{"bgp-agg-bad-opt", "router bgp 1\n aggregate-address 10.0.0.0/8 always\n"},
+		{"bgp-agg-map-arity", "router bgp 1\n aggregate-address 10.0.0.0/8 attribute-map\n"},
+		{"bgp-redist-bad-src", "router bgp 1\n redistribute rip\n"},
+		{"bgp-redist-syntax", "router bgp 1\n redistribute connected with map\n"},
+		{"bgp-unknown", "router bgp 1\n synchronization\n"},
+		{"neighbor-arity", "router bgp 1\n neighbor 10.0.0.1\n"},
+		{"neighbor-bad-ip", "router bgp 1\n neighbor ten remote-as 1\n"},
+		{"neighbor-bad-as", "router bgp 1\n neighbor 10.0.0.1 remote-as x\n"},
+		{"neighbor-rm-dir", "router bgp 1\n neighbor 10.0.0.1 route-map RM sideways\n"},
+		{"neighbor-unknown", "router bgp 1\n neighbor 10.0.0.1 weight 5\n"},
+		{"neighbor-advmap-arity", "router bgp 1\n neighbor 10.0.0.1 advertise-map M\n"},
+		{"ospf-routerid-bad", "router ospf 1\n router-id nah\n"},
+		{"ospf-maxpaths-bad", "router ospf 1\n maximum-paths none\n"},
+		{"ospf-network-area", "router ospf 1\n network 10.0.0.0/8 area 5\n"},
+		{"ospf-passive-arity", "router ospf 1\n passive-interface\n"},
+		{"ospf-unknown", "router ospf 1\n default-information originate\n"},
+		{"ip-incomplete", "ip\n"},
+		{"ip-unknown", "ip nat inside\n"},
+		{"route-arity", "ip route 10.0.0.0/8\n"},
+		{"route-bad-prefix", "ip route ten 10.0.0.1\n"},
+		{"route-bad-nh", "ip route 10.0.0.0/8 nexthop\n"},
+		{"pl-no-seq", "ip prefix-list P permit 10.0.0.0/8\n"},
+		{"pl-bad-seq", "ip prefix-list P seq x permit 10.0.0.0/8\n"},
+		{"pl-bad-action", "ip prefix-list P seq 5 allow 10.0.0.0/8\n"},
+		{"pl-bad-prefix", "ip prefix-list P seq 5 permit ten\n"},
+		{"pl-bad-ge", "ip prefix-list P seq 5 permit 10.0.0.0/8 ge 40\n"},
+		{"pl-bad-opt", "ip prefix-list P seq 5 permit 10.0.0.0/8 eq 24\n"},
+		{"pl-trailing", "ip prefix-list P seq 5 permit 10.0.0.0/8 ge 16 24\n"},
+		{"cl-not-standard", "ip community-list expanded C permit 1:2\n"},
+		{"cl-bad-action", "ip community-list standard C allow 1:2\n"},
+		{"cl-bad-comm", "ip community-list standard C permit one:two\n"},
+		{"ap-not-accesslist", "ip as-path list A permit _1_\n"},
+		{"ap-bad-action", "ip as-path access-list A allow _1_\n"},
+		{"ap-bad-regex", "ip as-path access-list A permit [oops\n"},
+		{"rm-arity", "route-map RM permit\n"},
+		{"rm-bad-action", "route-map RM maybe 10\n"},
+		{"rm-bad-seq", "route-map RM permit x\n"},
+		{"rm-bad-match", "route-map RM permit 10\n match metric 5\n"},
+		{"rm-bad-cmd", "route-map RM permit 10\n describe me\n"},
+		{"set-incomplete", "route-map RM permit 10\n set metric\n"},
+		{"set-lp-bad", "route-map RM permit 10\n set local-preference high\n"},
+		{"set-metric-bad", "route-map RM permit 10\n set metric low\n"},
+		{"set-comm-bad", "route-map RM permit 10\n set community nope\n"},
+		{"set-comm-empty", "route-map RM permit 10\n set community additive\n"},
+		{"set-commlist-bad", "route-map RM permit 10\n set comm-list C keep\n"},
+		{"set-prepend-bad", "route-map RM permit 10\n set as-path prepend x\n"},
+		{"set-overwrite-bad", "route-map RM permit 10\n set as-path overwrite x\n"},
+		{"set-aspath-bad", "route-map RM permit 10\n set as-path reverse\n"},
+		{"set-origin-bad", "route-map RM permit 10\n set origin unknown\n"},
+		{"set-unknown", "route-map RM permit 10\n set weight 5\n"},
+		{"acl-name-arity", "ip access-list\n"},
+		{"acl-bad-action", "ip access-list A\n allow ip any any\n"},
+		{"acl-too-short", "ip access-list A\n permit ip any\n"},
+		{"acl-bad-proto", "ip access-list A\n permit 300 any any\n"},
+		{"acl-proto-zero", "ip access-list A\n permit 0 any any\n"},
+		{"acl-bad-src", "ip access-list A\n permit ip ten any\n"},
+		{"acl-eq-noport", "ip access-list A\n permit tcp any eq\n"},
+		{"acl-eq-badport", "ip access-list A\n permit tcp any eq http any\n"},
+		{"acl-range-short", "ip access-list A\n permit tcp any range 1 any\n"},
+		{"acl-range-inverted", "ip access-list A\n permit tcp any range 9 1 any\n"},
+		{"acl-trailing", "ip access-list A\n permit ip any any log\n"},
+		{"sub-without-mode", " shutdown\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("x.cfg", "hostname x\n"+c.cfg)
+			if err == nil {
+				t.Fatalf("config accepted:\n%s", c.cfg)
+			}
+			if _, ok := err.(ParseErrors); !ok {
+				t.Fatalf("unexpected error type %T: %v", err, err)
+			}
+		})
+	}
+}
+
+// TestParserAcceptsEdgeForms covers accepted-but-unusual inputs.
+func TestParserAcceptsEdgeForms(t *testing.T) {
+	cfg := `hostname edge
+interface e0
+ ip address 10.0.0.1/31
+ shutdown
+ no shutdown
+ip prefix-list P seq 5 permit 10.0.0.0/8 ge 16
+ip access-list A
+ permit udp 10.0.0.1 range 1000 2000 10.0.0.0/8 eq 53
+ deny 47 any any
+router ospf 1
+ network 10.0.0.0/31 area 0
+`
+	dev, err := Parse("edge.cfg", cfg)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if dev.Interfaces["e0"].Shutdown {
+		t.Error("no shutdown should re-enable")
+	}
+	// ge without le extends to /32.
+	if !dev.PrefixLists["P"].Permits(route.MustParsePrefix("10.1.1.1/32")) {
+		t.Error("ge-only entry should admit /32s")
+	}
+	e := dev.ACLs["A"].Entries[0]
+	if e.Proto != 17 || e.SrcPortLo != 1000 || e.SrcPortHi != 2000 || e.DstPortLo != 53 || e.Src.Len != 32 {
+		t.Errorf("udp entry = %+v", e)
+	}
+	if dev.ACLs["A"].Entries[1].Proto != 47 {
+		t.Error("numeric protocol")
+	}
+}

@@ -1,0 +1,389 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"s2/internal/route"
+)
+
+const sampleConfig = `! vendor: bravo
+hostname edge-0-0
+!
+interface eth0
+ description link to agg-0-0
+ ip address 10.0.0.1/31
+ ip ospf cost 10
+ ip access-group ACL_IN in
+!
+interface eth1
+ ip address 10.0.0.3/31
+ shutdown
+!
+interface lo0
+ ip address 192.168.0.1/32
+!
+ip route 0.0.0.0/0 10.0.0.0
+ip route 10.99.0.0/24 null0
+!
+router bgp 65001
+ router-id 1.0.0.1
+ maximum-paths 64
+ network 10.8.0.0/24
+ aggregate-address 10.8.0.0/21 summary-only attribute-map AGG_MAP
+ redistribute connected route-map RED_CONN
+ neighbor 10.0.0.0 remote-as 65100
+ neighbor 10.0.0.0 route-map IMPORT in
+ neighbor 10.0.0.0 route-map EXPORT out
+ neighbor 10.0.0.0 remove-private-as
+ neighbor 10.0.0.2 remote-as 65101
+ neighbor 10.0.0.2 allowas-in
+!
+router ospf 1
+ router-id 1.0.0.1
+ maximum-paths 8
+ network 10.0.0.0/31 area 0
+ passive-interface lo0
+!
+ip prefix-list PL_LOOP seq 10 permit 192.168.0.0/16 ge 32
+ip prefix-list PL_LOOP seq 20 deny 0.0.0.0/0 le 32
+!
+ip community-list standard CL_AGG permit 65000:100
+!
+ip as-path access-list AP_PRIV permit _65001_
+!
+route-map IMPORT permit 10
+ match ip address prefix-list PL_LOOP
+ set local-preference 200
+route-map IMPORT permit 20
+!
+route-map EXPORT permit 10
+ match community CL_AGG
+ match as-path AP_PRIV
+ set community 65000:100 65000:200 additive
+ set metric 50
+ set as-path prepend 65001 65001
+route-map EXPORT deny 99
+!
+route-map AGG_MAP permit 10
+ set community 65000:300
+ set origin igp
+!
+route-map RED_CONN permit 10
+ set as-path overwrite 65001
+ set comm-list CL_AGG delete
+!
+ip access-list ACL_IN
+ permit tcp 10.0.0.0/8 any eq 80
+ permit ip any 10.8.0.0/24
+ deny ip any any
+`
+
+func parseSample(t *testing.T) *Device {
+	t.Helper()
+	dev, err := Parse("edge-0-0.cfg", sampleConfig)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return dev
+}
+
+func TestParseBasics(t *testing.T) {
+	dev := parseSample(t)
+	if dev.Hostname != "edge-0-0" {
+		t.Errorf("hostname = %q", dev.Hostname)
+	}
+	if dev.Vendor != VendorBravo {
+		t.Errorf("vendor = %q", dev.Vendor)
+	}
+	if len(dev.Interfaces) != 3 {
+		t.Fatalf("interfaces = %d, want 3", len(dev.Interfaces))
+	}
+	eth0 := dev.Interfaces["eth0"]
+	if eth0.IP != route.MustParseAddr("10.0.0.1") {
+		t.Error("eth0 IP")
+	}
+	if eth0.Subnet != route.MustParsePrefix("10.0.0.0/31") {
+		t.Errorf("eth0 subnet = %v", eth0.Subnet)
+	}
+	if eth0.OSPFCost != 10 || eth0.InACL != "ACL_IN" || eth0.Description != "link to agg-0-0" {
+		t.Error("eth0 attributes")
+	}
+	if !dev.Interfaces["eth1"].Shutdown {
+		t.Error("eth1 should be shutdown")
+	}
+	if len(dev.StaticRoutes) != 2 || !dev.StaticRoutes[1].Drop {
+		t.Errorf("static routes = %+v", dev.StaticRoutes)
+	}
+}
+
+func TestParseBGP(t *testing.T) {
+	b := parseSample(t).BGP
+	if b == nil {
+		t.Fatal("no BGP config")
+	}
+	if b.ASN != 65001 || b.RouterID != route.MustParseAddr("1.0.0.1") || b.MaxPaths != 64 {
+		t.Error("BGP process attributes")
+	}
+	if len(b.Networks) != 1 || b.Networks[0] != route.MustParsePrefix("10.8.0.0/24") {
+		t.Error("networks")
+	}
+	if len(b.Aggregates) != 1 {
+		t.Fatal("aggregates")
+	}
+	agg := b.Aggregates[0]
+	if agg.Prefix != route.MustParsePrefix("10.8.0.0/21") || !agg.SummaryOnly || agg.AttributeMap != "AGG_MAP" {
+		t.Errorf("aggregate = %+v", agg)
+	}
+	if len(b.Redistribute) != 1 || b.Redistribute[0].Source != "connected" || b.Redistribute[0].RouteMap != "RED_CONN" {
+		t.Error("redistribute")
+	}
+	if len(b.Neighbors) != 2 {
+		t.Fatal("neighbors")
+	}
+	n := b.Neighbors[route.MustParseAddr("10.0.0.0")]
+	if n.RemoteAS != 65100 || n.ImportPolicy != "IMPORT" || n.ExportPolicy != "EXPORT" || !n.RemovePrivateAS {
+		t.Errorf("neighbor = %+v", n)
+	}
+	n2 := b.Neighbors[route.MustParseAddr("10.0.0.2")]
+	if !n2.AllowASIn || n2.RemoteAS != 65101 {
+		t.Errorf("neighbor2 = %+v", n2)
+	}
+	sorted := b.SortedNeighbors()
+	if len(sorted) != 2 || sorted[0].PeerIP > sorted[1].PeerIP {
+		t.Error("SortedNeighbors ordering")
+	}
+}
+
+func TestParseOSPF(t *testing.T) {
+	o := parseSample(t).OSPF
+	if o == nil {
+		t.Fatal("no OSPF config")
+	}
+	if o.ProcessID != 1 || o.MaxPaths != 8 || len(o.Networks) != 1 || !o.Passive["lo0"] {
+		t.Errorf("ospf = %+v", o)
+	}
+}
+
+func TestParsePolicyObjects(t *testing.T) {
+	dev := parseSample(t)
+	pl := dev.PrefixLists["PL_LOOP"]
+	if pl == nil || len(pl.Entries) != 2 {
+		t.Fatal("prefix list")
+	}
+	if !pl.Permits(route.MustParsePrefix("192.168.0.1/32")) {
+		t.Error("PL_LOOP should permit /32 loopback")
+	}
+	if pl.Permits(route.MustParsePrefix("192.168.0.0/24")) {
+		t.Error("PL_LOOP should deny /24 (ge 32)")
+	}
+	if pl.Permits(route.MustParsePrefix("10.0.0.0/8")) {
+		t.Error("fallthrough entry denies")
+	}
+
+	cl := dev.CommunityLists["CL_AGG"]
+	has := func(c route.Community) bool { return c == route.MakeCommunity(65000, 100) }
+	if !cl.Permits(has) {
+		t.Error("community list should permit")
+	}
+	if cl.Permits(func(route.Community) bool { return false }) {
+		t.Error("community list implicit deny")
+	}
+
+	ap := dev.ASPathLists["AP_PRIV"]
+	if !ap.Permits([]uint32{65100, 65001}) || ap.Permits([]uint32{65100}) {
+		t.Error("as-path list")
+	}
+
+	rm := dev.RouteMaps["EXPORT"]
+	if len(rm.Clauses) != 2 || rm.Clauses[0].Seq != 10 || rm.Clauses[1].Action != Deny {
+		t.Fatal("EXPORT clauses")
+	}
+	c0 := rm.Clauses[0]
+	if len(c0.Matches) != 2 || len(c0.Sets) != 3 {
+		t.Fatalf("EXPORT clause 10: %d matches %d sets", len(c0.Matches), len(c0.Sets))
+	}
+	if c0.Sets[0].Kind != SetCommunity || !c0.Sets[0].Additive || len(c0.Sets[0].Communities) != 2 {
+		t.Error("set community additive")
+	}
+	if c0.Sets[2].Kind != SetASPathPrepend || len(c0.Sets[2].Prepend) != 2 {
+		t.Error("set as-path prepend")
+	}
+	red := dev.RouteMaps["RED_CONN"].Clauses[0]
+	if red.Sets[0].Kind != SetASPathOverwrite || red.Sets[0].Value != 65001 {
+		t.Error("set as-path overwrite")
+	}
+	if red.Sets[1].Kind != SetCommunityDelete || red.Sets[1].Name != "CL_AGG" {
+		t.Error("set comm-list delete")
+	}
+}
+
+func TestParseACL(t *testing.T) {
+	acl := parseSample(t).ACLs["ACL_IN"]
+	if acl == nil || len(acl.Entries) != 3 {
+		t.Fatal("acl entries")
+	}
+	e0 := acl.Entries[0]
+	if e0.Proto != 6 || e0.Src != route.MustParsePrefix("10.0.0.0/8") ||
+		e0.DstPortLo != 80 || e0.DstPortHi != 80 || e0.Dst.Len != 0 {
+		t.Errorf("tcp entry = %+v", e0)
+	}
+	if !acl.Entries[2].MatchesAny() || acl.Entries[2].Action != Deny {
+		t.Error("final deny ip any any")
+	}
+	if acl.Entries[1].MatchesAny() {
+		t.Error("constrained entry must not MatchesAny")
+	}
+}
+
+func TestParseErrorsCollected(t *testing.T) {
+	bad := `hostname h
+bogus command here
+interface eth0
+ ip address notanip/24
+router bgp abc
+ip prefix-list X seq y permit 10.0.0.0/8
+`
+	dev, err := Parse("h.cfg", bad)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	es, ok := err.(ParseErrors)
+	if !ok || len(es) < 4 {
+		t.Fatalf("want >=4 collected errors, got %v", err)
+	}
+	if dev.Hostname != "h" {
+		t.Error("good lines should still parse")
+	}
+	if !strings.Contains(es.Error(), "more errors") {
+		t.Errorf("aggregate error message: %q", es.Error())
+	}
+	for _, e := range es {
+		if e.File != "h.cfg" || e.Line == 0 {
+			t.Errorf("error missing location: %+v", e)
+		}
+	}
+}
+
+func TestValidateUndefinedReferences(t *testing.T) {
+	cfg := `hostname h
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 65001
+ neighbor 10.0.0.1 route-map NOPE in
+route-map RM permit 10
+ match ip address prefix-list MISSING
+`
+	_, err := Parse("h.cfg", cfg)
+	if err == nil {
+		t.Fatal("expected validation errors")
+	}
+	msg := err.(ParseErrors).Error()
+	if !strings.Contains(msg, "NOPE") && !strings.Contains(msg, "MISSING") {
+		t.Errorf("validation errors should name the missing object: %v", err)
+	}
+}
+
+func TestParseTexts(t *testing.T) {
+	snap, err := ParseTexts(map[string]string{
+		"a.cfg": "hostname a\n",
+		"b.cfg": "hostname b\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.DeviceNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("DeviceNames = %v", got)
+	}
+	// Duplicate hostname across files is an error.
+	_, err = ParseTexts(map[string]string{"a.cfg": "hostname x\n", "b.cfg": "hostname x\n"})
+	if err == nil || !strings.Contains(err.Error(), "duplicate hostname") {
+		t.Errorf("duplicate hostnames should fail: %v", err)
+	}
+}
+
+func TestParseDirectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDirectory(dir, map[string]string{"r1": "hostname r1\n", "r2": "hostname r2\n"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseDirectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Devices) != 2 {
+		t.Fatalf("devices = %d", len(snap.Devices))
+	}
+	if _, err := ParseDirectory(t.TempDir()); err == nil {
+		t.Error("empty directory should error")
+	}
+}
+
+func TestInterfaceForAddr(t *testing.T) {
+	dev := parseSample(t)
+	ifc := dev.InterfaceForAddr(route.MustParseAddr("10.0.0.0"))
+	if ifc == nil || ifc.Name != "eth0" {
+		t.Fatalf("InterfaceForAddr = %v", ifc)
+	}
+	// Shutdown interface must not resolve.
+	if got := dev.InterfaceForAddr(route.MustParseAddr("10.0.0.2")); got != nil {
+		t.Errorf("shutdown interface resolved: %v", got)
+	}
+	if dev.InterfaceForAddr(route.MustParseAddr("99.99.99.99")) != nil {
+		t.Error("unconnected address resolved")
+	}
+}
+
+func TestConnectedPrefixes(t *testing.T) {
+	dev := parseSample(t)
+	got := dev.ConnectedPrefixes()
+	// eth1 is shutdown, so only eth0's /31 and lo0's /32.
+	if len(got) != 2 {
+		t.Fatalf("ConnectedPrefixes = %v", got)
+	}
+	if got[0] != route.MustParsePrefix("10.0.0.0/31") || got[1] != route.MustParsePrefix("192.168.0.1/32") {
+		t.Errorf("ConnectedPrefixes = %v", got)
+	}
+}
+
+func TestParseConditionalAdvertisement(t *testing.T) {
+	cfg := `hostname r2
+interface eth0
+ ip address 10.0.0.0/31
+ip prefix-list PL_B seq 10 permit 172.16.0.0/16
+ip prefix-list PL_P seq 10 permit 10.8.0.0/24
+route-map ADV permit 10
+ match ip address prefix-list PL_B
+router bgp 65002
+ neighbor 10.0.0.1 remote-as 65003
+ neighbor 10.0.0.1 advertise-map ADV non-exist-map PL_P
+`
+	dev, err := Parse("r2.cfg", cfg)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	n := dev.BGP.Neighbors[route.MustParseAddr("10.0.0.1")]
+	if n.AdvertiseMap != "ADV" || n.ConditionList != "PL_P" || !n.ConditionAbsence {
+		t.Fatalf("neighbor = %+v", n)
+	}
+
+	// exist-map variant.
+	cfg2 := strings.Replace(cfg, "non-exist-map", "exist-map", 1)
+	dev2, err := Parse("r2.cfg", cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev2.BGP.Neighbors[route.MustParseAddr("10.0.0.1")].ConditionAbsence {
+		t.Fatal("exist-map must not set ConditionAbsence")
+	}
+
+	// Undefined references are validation errors.
+	bad := strings.Replace(cfg, "PL_P\n", "MISSING\n", 1)
+	if _, err := Parse("r2.cfg", bad); err == nil {
+		t.Fatal("undefined condition prefix-list must fail validation")
+	}
+	// Bad syntax.
+	worse := strings.Replace(cfg, "non-exist-map", "sometimes-map", 1)
+	if _, err := Parse("r2.cfg", worse); err == nil {
+		t.Fatal("bad advertise-map syntax must fail")
+	}
+}

@@ -1,0 +1,89 @@
+package config
+
+import "fmt"
+
+// Vendor identifies a synthetic vendor dialect. The paper's DCN mixes
+// switches from 5+ vendors whose protocol implementations differ (§2.3);
+// we model five vendors whose shared syntax hides diverging semantics.
+type Vendor string
+
+const (
+	VendorAlpha   Vendor = "alpha"
+	VendorBravo   Vendor = "bravo"
+	VendorCharlie Vendor = "charlie"
+	VendorDelta   Vendor = "delta"
+	VendorEcho    Vendor = "echo"
+)
+
+// ParseVendor validates a vendor name.
+func ParseVendor(s string) (Vendor, error) {
+	switch Vendor(s) {
+	case VendorAlpha, VendorBravo, VendorCharlie, VendorDelta, VendorEcho:
+		return Vendor(s), nil
+	}
+	return "", fmt.Errorf("config: unknown vendor %q", s)
+}
+
+// VSB captures the vendor-specific behaviours that change routing semantics
+// without changing configuration syntax. The remove-private-as divergence is
+// the paper's own example (§2.1): "switches of some vendors will remove all
+// private AS numbers, while those of other vendors only remove those private
+// AS numbers preceding the first non-private one".
+type VSB struct {
+	// RemovePrivateASAll removes every private ASN from the AS path on
+	// export; when false only the leading run of private ASNs is removed.
+	RemovePrivateASAll bool
+	// MissingMEDWorst treats a missing (zero) MED as the worst value
+	// during best-path selection instead of the best.
+	MissingMEDWorst bool
+	// ECMPRequiresSameNeighborAS restricts BGP multipath to routes
+	// learned from the same neighbouring AS.
+	ECMPRequiresSameNeighborAS bool
+	// DefaultOriginIncomplete marks redistributed routes with origin
+	// INCOMPLETE instead of IGP.
+	DefaultOriginIncomplete bool
+}
+
+// vsbTable fixes each vendor's behaviours.
+var vsbTable = map[Vendor]VSB{
+	VendorAlpha:   {RemovePrivateASAll: true, MissingMEDWorst: false, ECMPRequiresSameNeighborAS: false, DefaultOriginIncomplete: true},
+	VendorBravo:   {RemovePrivateASAll: false, MissingMEDWorst: false, ECMPRequiresSameNeighborAS: false, DefaultOriginIncomplete: true},
+	VendorCharlie: {RemovePrivateASAll: true, MissingMEDWorst: true, ECMPRequiresSameNeighborAS: false, DefaultOriginIncomplete: false},
+	VendorDelta:   {RemovePrivateASAll: false, MissingMEDWorst: true, ECMPRequiresSameNeighborAS: true, DefaultOriginIncomplete: true},
+	VendorEcho:    {RemovePrivateASAll: true, MissingMEDWorst: false, ECMPRequiresSameNeighborAS: true, DefaultOriginIncomplete: false},
+}
+
+// Behaviours returns the vendor's VSB set; unknown vendors get alpha
+// semantics.
+func (v Vendor) Behaviours() VSB {
+	if b, ok := vsbTable[v]; ok {
+		return b
+	}
+	return vsbTable[VendorAlpha]
+}
+
+// IsPrivateASN reports whether asn is in a private range (16-bit
+// 64512-65534 or 32-bit 4200000000-4294967294).
+func IsPrivateASN(asn uint32) bool {
+	return (asn >= 64512 && asn <= 65534) || (asn >= 4200000000 && asn <= 4294967294)
+}
+
+// StripPrivateASNs applies the vendor's remove-private-as semantics to an AS
+// path, returning a new slice (the input is never modified).
+func StripPrivateASNs(path []uint32, all bool) []uint32 {
+	out := make([]uint32, 0, len(path))
+	if all {
+		for _, a := range path {
+			if !IsPrivateASN(a) {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	// Leading-only: drop private ASNs preceding the first non-private one.
+	i := 0
+	for i < len(path) && IsPrivateASN(path[i]) {
+		i++
+	}
+	return append(out, path[i:]...)
+}

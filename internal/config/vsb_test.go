@@ -1,0 +1,72 @@
+package config
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseVendor(t *testing.T) {
+	for _, v := range []string{"alpha", "bravo", "charlie", "delta", "echo"} {
+		got, err := ParseVendor(v)
+		if err != nil || string(got) != v {
+			t.Errorf("ParseVendor(%q) = %v, %v", v, got, err)
+		}
+	}
+	if _, err := ParseVendor("cisco"); err == nil {
+		t.Error("unknown vendor should error")
+	}
+}
+
+func TestVendorBehavioursDiffer(t *testing.T) {
+	// The whole point of VSBs: at least two vendors must disagree on
+	// remove-private-as semantics (the paper's example).
+	if VendorAlpha.Behaviours().RemovePrivateASAll == VendorBravo.Behaviours().RemovePrivateASAll {
+		t.Error("alpha and bravo should differ on remove-private-as")
+	}
+	if Vendor("unknown").Behaviours() != VendorAlpha.Behaviours() {
+		t.Error("unknown vendor defaults to alpha semantics")
+	}
+}
+
+func TestIsPrivateASN(t *testing.T) {
+	cases := map[uint32]bool{
+		64511:      false,
+		64512:      true,
+		65534:      true,
+		65535:      false,
+		65001:      true,
+		100:        false,
+		4199999999: false,
+		4200000000: true,
+		4294967294: true,
+		4294967295: false,
+	}
+	for asn, want := range cases {
+		if IsPrivateASN(asn) != want {
+			t.Errorf("IsPrivateASN(%d) = %v, want %v", asn, !want, want)
+		}
+	}
+}
+
+func TestStripPrivateASNs(t *testing.T) {
+	path := []uint32{65001, 65002, 100, 65003, 200}
+	gotAll := StripPrivateASNs(path, true)
+	if !reflect.DeepEqual(gotAll, []uint32{100, 200}) {
+		t.Errorf("all: %v", gotAll)
+	}
+	gotLeading := StripPrivateASNs(path, false)
+	if !reflect.DeepEqual(gotLeading, []uint32{100, 65003, 200}) {
+		t.Errorf("leading: %v", gotLeading)
+	}
+	// Input must be unmodified.
+	if path[0] != 65001 {
+		t.Error("input mutated")
+	}
+	// All-private path.
+	if got := StripPrivateASNs([]uint32{65001, 65002}, false); len(got) != 0 {
+		t.Errorf("all-private leading: %v", got)
+	}
+	if got := StripPrivateASNs(nil, true); len(got) != 0 {
+		t.Errorf("nil path: %v", got)
+	}
+}

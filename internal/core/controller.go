@@ -1,0 +1,749 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"s2/internal/bdd"
+	"s2/internal/config"
+	"s2/internal/dataplane"
+	"s2/internal/metrics"
+	"s2/internal/partition"
+	"s2/internal/route"
+	"s2/internal/shard"
+	"s2/internal/sidecar"
+	"s2/internal/topology"
+)
+
+// Options configures a verification run.
+type Options struct {
+	// Workers is the worker count for the in-process transport (ignored
+	// when WorkerAddrs is set).
+	Workers int
+	// WorkerAddrs, when non-empty, are the sidecar RPC addresses of
+	// pre-started worker processes (cmd/s2worker).
+	WorkerAddrs []string
+	// Scheme selects the partitioner (default metis).
+	Scheme partition.Scheme
+	// Shards is the prefix-shard count (≤1 disables sharding).
+	Shards int
+	// Seed makes partitioning and shard shuffling reproducible.
+	Seed int64
+	// MetaBits sizes the packet metadata field (waypoint bits).
+	MetaBits int
+	// MemoryBudget is the modelled per-worker memory budget in bytes
+	// (0 = unlimited); exceeding it aborts the run with an OOM error,
+	// reproducing the paper's -Xmx worker limit.
+	MemoryBudget int64
+	// MaxBDDNodes bounds each worker's BDD node table (0 = unlimited).
+	MaxBDDNodes int
+	// SpillDir enables writing shard results to disk between rounds.
+	SpillDir string
+	// KeepRIBs retains full RIBs for CollectRIBs (equivalence testing).
+	KeepRIBs bool
+	// MaxRounds guards against non-converging control planes (§7
+	// limitation). Default 128.
+	MaxRounds int
+	// LoadOf estimates per-node simulation load for the partitioner
+	// (§4.1); nil means uniform.
+	LoadOf func(device string) int64
+	// IgnoreConditionalDeps builds the prefix dependency graph WITHOUT
+	// conditional-advertisement edges, deliberately creating the §7
+	// "unforeseen dependency" scenario so the runtime detector's shard
+	// merge-and-recompute path is exercised. Results are still correct —
+	// only the number of shard rounds changes.
+	IgnoreConditionalDeps bool
+	// Sequential executes each orchestration round's worker calls one at
+	// a time instead of concurrently. Results are identical (rounds are
+	// barrier-synchronized either way); experiments use it so per-worker
+	// durations — and thus the critical-path metric — are not inflated
+	// by CPU contention on hosts with fewer cores than workers.
+	Sequential bool
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return 128
+	}
+	return o.MaxRounds
+}
+
+// Controller is S2's controller (§3.2): parser, partitioner, and the two
+// orchestrators (CPO and DPO).
+type Controller struct {
+	snap       *config.Snapshot
+	net        *topology.Network
+	opts       Options
+	texts      map[string]string
+	assignment *partition.Assignment
+	shards     []*shard.Shard
+	workers    []sidecar.WorkerAPI
+	engine     *bdd.Engine
+	layout     dataplane.Layout
+	timer      *metrics.PhaseTimer
+
+	cpRounds   int
+	dpRounds   int
+	shardMerge []string
+
+	// critical accumulates, per phase, the sum over orchestration rounds
+	// of the slowest worker's duration — the elapsed time an ideally
+	// parallel deployment would observe. On a single-CPU host the wall
+	// clock serializes workers, so experiments report this instead.
+	critical map[string]time.Duration
+}
+
+// NewController parses nothing itself — it receives the parsed snapshot
+// plus the raw texts (workers re-parse their own segment, keeping the
+// setup payload simple and the parser exercised end to end).
+func NewController(snap *config.Snapshot, texts map[string]string, opts Options) (*Controller, error) {
+	if opts.Workers < 1 && len(opts.WorkerAddrs) == 0 {
+		return nil, fmt.Errorf("core: need at least one worker")
+	}
+	net, err := topology.Build(snap)
+	if err != nil {
+		return nil, err
+	}
+	layout := dataplane.Layout{MetaBits: opts.MetaBits}
+	return &Controller{
+		snap:   snap,
+		net:    net,
+		opts:   opts,
+		texts:  texts,
+		engine: layout.NewEngine(0),
+		layout: layout,
+		timer:  metrics.NewPhaseTimer(),
+	}, nil
+}
+
+// Network exposes the derived topology (warnings included).
+func (c *Controller) Network() *topology.Network { return c.net }
+
+// Assignment exposes the partition (valid after Setup).
+func (c *Controller) Assignment() *partition.Assignment { return c.assignment }
+
+// Shards exposes the prefix shards (valid after RunControlPlane).
+func (c *Controller) Shards() []*shard.Shard { return c.shards }
+
+// Timer exposes recorded phase durations.
+func (c *Controller) Timer() *metrics.PhaseTimer { return c.timer }
+
+// CPRounds and DPRounds expose orchestration round counts.
+func (c *Controller) CPRounds() int { return c.cpRounds }
+
+// DPRounds returns the total data-plane rounds across queries.
+func (c *Controller) DPRounds() int { return c.dpRounds }
+
+// Setup partitions the network and initializes the workers.
+func (c *Controller) Setup() error {
+	return c.timer.Time("partition+setup", func() error {
+		graph := c.net.Graph(c.opts.LoadOf)
+		parts := c.opts.Workers
+		if len(c.opts.WorkerAddrs) > 0 {
+			parts = len(c.opts.WorkerAddrs)
+		}
+		asg, err := partition.Partition(graph, parts, c.opts.Scheme, c.opts.Seed)
+		if err != nil {
+			return err
+		}
+		c.assignment = asg
+
+		if len(c.opts.WorkerAddrs) > 0 {
+			c.workers = make([]sidecar.WorkerAPI, len(c.opts.WorkerAddrs))
+			for i, addr := range c.opts.WorkerAddrs {
+				client, err := sidecar.Dial(addr)
+				if err != nil {
+					return err
+				}
+				c.workers[i] = client
+			}
+		} else {
+			locals := make([]*Worker, asg.Parts)
+			c.workers = make([]sidecar.WorkerAPI, asg.Parts)
+			for i := range locals {
+				locals[i] = NewWorker()
+				c.workers[i] = locals[i]
+			}
+			for _, w := range locals {
+				w.SetPeers(c.workers)
+			}
+		}
+
+		return c.each(func(id int, w sidecar.WorkerAPI) error {
+			req := sidecar.SetupRequest{
+				WorkerID:     id,
+				Assignment:   c.assignment.Of,
+				Configs:      map[string]string{},
+				Adjacencies:  map[string][]topology.Adjacency{},
+				Sessions:     map[string][]topology.BGPSession{},
+				MetaBits:     c.opts.MetaBits,
+				MaxBDDNodes:  c.opts.MaxBDDNodes,
+				MemoryBudget: c.opts.MemoryBudget,
+				PeerAddrs:    c.opts.WorkerAddrs,
+				SpillDir:     c.opts.SpillDir,
+				KeepRIBs:     c.opts.KeepRIBs,
+			}
+			for _, name := range c.assignment.Segment(id) {
+				req.Configs[name+".cfg"] = c.texts[name]
+				req.Adjacencies[name] = c.net.Adjacencies[name]
+				req.Sessions[name] = c.net.Sessions[name]
+			}
+			return w.Setup(req)
+		})
+	})
+}
+
+// each runs fn on every worker concurrently, charges the slowest worker's
+// duration to the phase's critical path, and returns the first error.
+func (c *Controller) each(fn func(id int, w sidecar.WorkerAPI) error) error {
+	_, err := c.eachPhase("", func(id int, w sidecar.WorkerAPI) (bool, error) {
+		return false, fn(id, w)
+	})
+	return err
+}
+
+// eachChanged is each() for phase-2 calls that report change.
+func (c *Controller) eachChanged(fn func(w sidecar.WorkerAPI) (bool, error)) (bool, error) {
+	return c.eachPhase("", func(_ int, w sidecar.WorkerAPI) (bool, error) { return fn(w) })
+}
+
+// eachPhase runs fn on every worker concurrently; when phase is non-empty
+// the slowest worker's duration is charged to that phase's critical path.
+func (c *Controller) eachPhase(phase string, fn func(id int, w sidecar.WorkerAPI) (bool, error)) (bool, error) {
+	changed := make([]bool, len(c.workers))
+	errs := make([]error, len(c.workers))
+	durs := make([]time.Duration, len(c.workers))
+	if c.opts.Sequential {
+		for i, w := range c.workers {
+			start := time.Now()
+			changed[i], errs[i] = fn(i, w)
+			durs[i] = time.Since(start)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, w := range c.workers {
+			wg.Add(1)
+			go func(i int, w sidecar.WorkerAPI) {
+				defer wg.Done()
+				start := time.Now()
+				changed[i], errs[i] = fn(i, w)
+				durs[i] = time.Since(start)
+			}(i, w)
+		}
+		wg.Wait()
+	}
+	if phase != "" {
+		var max time.Duration
+		for _, d := range durs {
+			if d > max {
+				max = d
+			}
+		}
+		if c.critical == nil {
+			c.critical = map[string]time.Duration{}
+		}
+		c.critical[phase] += max
+	}
+	any := false
+	for i := range c.workers {
+		if errs[i] != nil {
+			return false, errs[i]
+		}
+		any = any || changed[i]
+	}
+	return any, nil
+}
+
+// CriticalPath returns the per-phase simulated parallel elapsed time: the
+// sum over rounds of the slowest worker's round duration. Keys: "cp"
+// (control plane rounds), "dp-compute", "dp-forward".
+func (c *Controller) CriticalPath() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for k, v := range c.critical {
+		out[k] = v
+	}
+	return out
+}
+
+// CriticalTotal sums all critical-path phases.
+func (c *Controller) CriticalTotal() time.Duration {
+	var t time.Duration
+	for _, v := range c.critical {
+		t += v
+	}
+	return t
+}
+
+// RunControlPlane executes the CPO workflow: OSPF flooding to convergence,
+// then the round-based BGP fixed point once per prefix shard (§4.2, §4.5).
+func (c *Controller) RunControlPlane() error {
+	if c.assignment == nil {
+		if err := c.Setup(); err != nil {
+			return err
+		}
+	}
+	// IGP before EGP (§4.2).
+	hasOSPF, hasBGP := false, false
+	for _, dev := range c.snap.Devices {
+		if dev.OSPF != nil {
+			hasOSPF = true
+		}
+		if dev.BGP != nil {
+			hasBGP = true
+		}
+	}
+	if hasOSPF {
+		err := c.timer.Time("cp-ospf", func() error {
+			for round := 0; ; round++ {
+				if round > c.opts.maxRounds() {
+					return fmt.Errorf("core: OSPF did not converge in %d rounds", c.opts.maxRounds())
+				}
+				if _, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) { return false, w.GatherOSPF() }); err != nil {
+					return err
+				}
+				changed, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) { return w.ApplyOSPF() })
+				if err != nil {
+					return err
+				}
+				c.cpRounds++
+				if !changed {
+					return nil
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if !hasBGP {
+		return nil
+	}
+
+	// Prefix sharding (§4.5).
+	var shards []*shard.Shard
+	if c.opts.Shards > 1 {
+		var err error
+		shards, err = shard.MakeShards(
+			shard.BuildDPDGOpts(c.snap, shard.DPDGOptions{IgnoreConditional: c.opts.IgnoreConditionalDeps}),
+			c.opts.Shards, c.opts.Seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		shards = []*shard.Shard{nil} // single unfiltered round
+	}
+	c.shards = shards
+
+	return c.timer.Time("cp-bgp", func() error {
+		var globalPrefixes []route.Prefix
+		if len(shards) > 1 {
+			globalPrefixes = shard.CollectBGPPrefixes(c.snap)
+		}
+		skipped := make([]bool, len(shards))
+		for i := 0; i < len(shards); i++ {
+			if skipped[i] {
+				continue
+			}
+			reports, err := c.runShard(i, shards[i])
+			if err != nil {
+				return err
+			}
+			if len(shards) <= 1 || shards[i] == nil {
+				continue
+			}
+			// Runtime dependency detection (§7): a condition consulted
+			// during this round may reference prefixes living in other
+			// shards — merge those shards into this one and recompute.
+			missing := c.unforeseenDeps(reports, shards[i], globalPrefixes)
+			if len(missing) == 0 {
+				continue
+			}
+			merged := shards[i]
+			mergedAny := false
+			for j := range shards {
+				if j == i || skipped[j] || shards[j] == nil {
+					continue
+				}
+				if containsAny(shards[j], missing) {
+					merged = shard.Merge(merged, shards[j])
+					skipped[j] = true
+					mergedAny = true
+					c.shardMerge = append(c.shardMerge,
+						fmt.Sprintf("shard %d merged into shard %d (unforeseen conditional dependency)", j, i))
+				}
+			}
+			if mergedAny {
+				shards[i] = merged
+				i-- // recompute the merged shard in place
+			}
+		}
+		return nil
+	})
+}
+
+// runShard executes one full shard round (reset, fixed point, harvest) and
+// returns the workers' condition reports.
+func (c *Controller) runShard(i int, sh *shard.Shard) ([]sidecar.ConditionReport, error) {
+	req := sidecar.BeginShardRequest{Index: i}
+	if sh != nil {
+		req.Prefixes = sh.Prefixes
+	}
+	if err := c.each(func(_ int, w sidecar.WorkerAPI) error { return w.BeginShard(req) }); err != nil {
+		return nil, err
+	}
+	for round := 0; ; round++ {
+		if round > c.opts.maxRounds() {
+			return nil, fmt.Errorf("core: BGP shard %d did not converge in %d rounds (the network may oscillate, §7)", i, c.opts.maxRounds())
+		}
+		if _, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) { return false, w.GatherBGP() }); err != nil {
+			return nil, err
+		}
+		changed, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) { return w.ApplyBGP() })
+		if err != nil {
+			return nil, err
+		}
+		c.cpRounds++
+		if !changed {
+			break
+		}
+	}
+	var mu sync.Mutex
+	var reports []sidecar.ConditionReport
+	if _, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) {
+		reply, err := w.EndShard()
+		if err != nil {
+			return false, err
+		}
+		mu.Lock()
+		reports = append(reports, reply.Conditions...)
+		mu.Unlock()
+		return false, nil
+	}); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// unforeseenDeps returns prefixes referenced by this round's conditional
+// advertisements that live outside the current shard.
+func (c *Controller) unforeseenDeps(reports []sidecar.ConditionReport, cur *shard.Shard, global []route.Prefix) []route.Prefix {
+	seen := map[route.Prefix]bool{}
+	var out []route.Prefix
+	for _, rep := range reports {
+		dev := c.snap.Devices[rep.Device]
+		if dev == nil {
+			continue
+		}
+		pl := dev.PrefixLists[rep.PrefixList]
+		if pl == nil {
+			continue
+		}
+		for _, p := range global {
+			if !seen[p] && pl.Permits(p) && !cur.Contains(p) {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func containsAny(sh *shard.Shard, prefixes []route.Prefix) bool {
+	for _, p := range prefixes {
+		if sh.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardMergeLog describes runtime shard merges performed during the last
+// control plane run (§7's recovery path for unforeseen dependencies).
+func (c *Controller) ShardMergeLog() []string {
+	return append([]string(nil), c.shardMerge...)
+}
+
+// ComputeDataPlane has every worker build FIBs and port predicates (the
+// first DPO stage, §3.3). FIB resolution problems are returned as warnings.
+func (c *Controller) ComputeDataPlane() ([]string, error) {
+	var mu sync.Mutex
+	var warnings []string
+	err := c.timer.Time("dp-compute", func() error {
+		_, err := c.eachPhase("dp-compute", func(_ int, w sidecar.WorkerAPI) (bool, error) {
+			reply, err := w.ComputeDP()
+			if err != nil {
+				return false, err
+			}
+			mu.Lock()
+			warnings = append(warnings, reply.Errors...)
+			mu.Unlock()
+			return false, nil
+		})
+		return err
+	})
+	sort.Strings(warnings)
+	return warnings, err
+}
+
+// OwnedPrefixes returns the prefixes a node originates (its BGP network
+// statements) — the paper's notion of the node "holding" a destination
+// prefix.
+func (c *Controller) OwnedPrefixes(node string) []route.Prefix {
+	dev := c.snap.Devices[node]
+	if dev == nil || dev.BGP == nil {
+		return nil
+	}
+	return dev.BGP.Networks
+}
+
+// PrefixOwners lists nodes that originate at least one prefix, sorted.
+func (c *Controller) PrefixOwners() []string {
+	var out []string
+	for _, name := range c.snap.DeviceNames() {
+		if len(c.OwnedPrefixes(name)) > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// RunQuery executes one property query (§4.4): inject the header space at
+// every source, orchestrate wavefront rounds across workers until all
+// packets reach final states or the TTL expires, then aggregate outcomes
+// into a Collector on the controller's engine.
+//
+// When constrainSrc is true, each source's injected packet is additionally
+// constrained to carry a source address from that node's owned prefixes,
+// which lets a single traversal serve per-source attribution (all-pair
+// checks); sources without owned prefixes are injected unconstrained.
+func (c *Controller) RunQuery(q *dataplane.Query, constrainSrc bool) (*dataplane.Collector, error) {
+	if err := q.Validate(c.layout); err != nil {
+		return nil, err
+	}
+	sources := q.Sources
+	if len(sources) == 0 {
+		sources = c.PrefixOwners()
+	}
+	col := dataplane.NewCollector(c.engine, q)
+	err := c.timer.Time("dp-forward", func() error {
+		if err := c.each(func(_ int, w sidecar.WorkerAPI) error {
+			return w.BeginQuery(sidecar.QueryRequest{Query: *q})
+		}); err != nil {
+			return err
+		}
+
+		base, err := q.Header.Compile(c.engine)
+		if err != nil {
+			return err
+		}
+		for _, src := range sources {
+			pkt := base
+			if constrainSrc {
+				srcSet, err := c.prefixSetMatch(dataplane.OffSrcIP, c.OwnedPrefixes(src))
+				if err != nil {
+					return err
+				}
+				if srcSet != bdd.False {
+					pkt, err = c.engine.And(base, srcSet)
+					if err != nil {
+						return err
+					}
+				}
+			}
+			if pkt == bdd.False {
+				continue
+			}
+			owner, ok := c.assignment.Of[src]
+			if !ok {
+				return fmt.Errorf("core: unknown source node %q", src)
+			}
+			if err := c.workers[owner].Inject(sidecar.InjectRequest{
+				Source: src,
+				Packet: c.engine.Serialize(pkt),
+			}); err != nil {
+				return err
+			}
+		}
+
+		for hop := 0; hop <= q.EffectiveMaxHops(); hop++ {
+			if _, err := c.eachPhase("dp-forward", func(_ int, w sidecar.WorkerAPI) (bool, error) { return false, w.DPRound() }); err != nil {
+				return err
+			}
+			c.dpRounds++
+			busy, err := c.eachChanged(func(w sidecar.WorkerAPI) (bool, error) { return w.HasWork() })
+			if err != nil {
+				return err
+			}
+			if !busy {
+				break
+			}
+		}
+
+		var mu sync.Mutex
+		var all []dataplane.RawOutcome
+		if err := c.each(func(_ int, w sidecar.WorkerAPI) error {
+			outs, err := w.FinishQuery()
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			all = append(all, outs...)
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			return err
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Node != all[j].Node {
+				return all[i].Node < all[j].Node
+			}
+			return all[i].Source < all[j].Source
+		})
+		for _, o := range all {
+			if err := col.AddRaw(o); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// prefixSetMatch ORs prefix cubes at the given field offset.
+func (c *Controller) prefixSetMatch(offset int, prefixes []route.Prefix) (bdd.Ref, error) {
+	acc := bdd.False
+	for _, p := range prefixes {
+		m, err := dataplane.PrefixMatch(c.engine, offset, p)
+		if err != nil {
+			return bdd.False, err
+		}
+		acc, err = c.engine.Or(acc, m)
+		if err != nil {
+			return bdd.False, err
+		}
+	}
+	return acc, nil
+}
+
+// AllPairsResult reports the all-pair reachability check (the paper's
+// default property, §5.2).
+type AllPairsResult struct {
+	Collector *dataplane.Collector
+	// Unreached lists destinations with missing (source, destination
+	// address) coverage.
+	Unreached []string
+	// Violations are the generic §4.4 checks (loops, blackholes,
+	// multipath consistency).
+	Violations []dataplane.Violation
+	Sources    int
+	Dests      int
+}
+
+// CheckAllPairs runs all-pair reachability in one symbolic traversal:
+// every prefix owner injects packets destined to the union of all owned
+// prefixes, with source addresses constrained per owner; a destination is
+// fully reached when its arrive-set covers every (source, destination
+// address) combination.
+func (c *Controller) CheckAllPairs() (*AllPairsResult, error) {
+	owners := c.PrefixOwners()
+	if len(owners) == 0 {
+		return nil, fmt.Errorf("core: no prefix owners to check")
+	}
+	// Traffic is scoped to owned destinations: packets to unowned space
+	// are out of the all-pair property (they would trivially blackhole).
+	var allOwned []route.Prefix
+	for _, o := range owners {
+		allOwned = append(allOwned, c.OwnedPrefixes(o)...)
+	}
+	q := &dataplane.Query{
+		Header:  &dataplane.HeaderSpace{DstIn: allOwned},
+		Sources: owners,
+		Dests:   owners,
+	}
+	col, err := c.RunQuery(q, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &AllPairsResult{Collector: col, Sources: len(owners), Dests: len(owners)}
+	srcUnion, err := c.prefixSetMatch(dataplane.OffSrcIP, allOwned)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range owners {
+		dstSet, err := c.prefixSetMatch(dataplane.OffDstIP, c.OwnedPrefixes(d))
+		if err != nil {
+			return nil, err
+		}
+		expected, err := c.engine.And(dstSet, srcUnion)
+		if err != nil {
+			return nil, err
+		}
+		covered, err := c.engine.Implies(expected, col.Arrived(d))
+		if err != nil {
+			return nil, err
+		}
+		if !covered {
+			res.Unreached = append(res.Unreached, d)
+		}
+	}
+	res.Violations, err = col.Report()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CollectRIBs merges the per-worker RIBs (requires Options.KeepRIBs).
+func (c *Controller) CollectRIBs() (map[string]*route.RIB, error) {
+	var mu sync.Mutex
+	out := map[string]*route.RIB{}
+	err := c.each(func(_ int, w sidecar.WorkerAPI) error {
+		routes, err := w.CollectRIBs()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for node, rs := range routes {
+			rib := route.NewRIB()
+			byPrefix := map[route.Prefix][]*route.Route{}
+			for _, r := range rs {
+				byPrefix[r.Prefix] = append(byPrefix[r.Prefix], r)
+			}
+			for p, set := range byPrefix {
+				rib.SetRoutes(p, set)
+			}
+			out[node] = rib
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Stats gathers every worker's resource accounting.
+func (c *Controller) Stats() ([]sidecar.WorkerStats, error) {
+	stats := make([]sidecar.WorkerStats, len(c.workers))
+	err := c.each(func(i int, w sidecar.WorkerAPI) error {
+		st, err := w.Stats()
+		stats[i] = st
+		return err
+	})
+	return stats, err
+}
+
+// MaxPeakBytes returns the highest per-worker modelled peak (the paper's
+// "per-worker peak memory usage", §5.2).
+func MaxPeakBytes(stats []sidecar.WorkerStats) int64 {
+	var max int64
+	for _, s := range stats {
+		if s.PeakBytes > max {
+			max = s.PeakBytes
+		}
+	}
+	return max
+}

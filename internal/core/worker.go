@@ -1,0 +1,886 @@
+// Package core is S2 itself: the distributed configuration verifier. A
+// Controller partitions the parsed network into segments, hands each to a
+// Worker, and orchestrates distributed control plane simulation (per prefix
+// shard) followed by distributed data plane verification (§3).
+//
+// Workers implement sidecar.WorkerAPI, so the same controller drives
+// in-process workers (goroutines with isolated state — the default) and
+// remote workers (separate OS processes serving the sidecar RPC protocol,
+// started with cmd/s2worker).
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"s2/internal/bdd"
+	"s2/internal/bgp"
+	"s2/internal/config"
+	"s2/internal/dataplane"
+	"s2/internal/metrics"
+	"s2/internal/ospf"
+	"s2/internal/route"
+	"s2/internal/sidecar"
+	"s2/internal/sim"
+	"s2/internal/topology"
+)
+
+// Worker hosts one segment of the network: real nodes for its own switches
+// and shadow relays for everyone else's. All heavy state — RIBs, the BDD
+// engine, compiled data planes — is private to the worker.
+type Worker struct {
+	id         int
+	assignment map[string]int
+	peers      []sidecar.WorkerAPI
+	tracker    *metrics.Tracker
+	layout     dataplane.Layout
+	maxBDD     int
+	spillDir   string
+	keepRIBs   bool
+
+	devices     map[string]*config.Device
+	adjacencies map[string][]topology.Adjacency
+	sessions    map[string][]topology.BGPSession
+	localNames  []string // sorted local device names
+
+	// Control plane.
+	bgpProcs    map[string]*bgp.Process
+	ospfProcs   map[string]*ospf.Process
+	bgpPulls    sim.PullTracker
+	ospfPulls   sim.PullTracker
+	pendingBGP  map[string]map[string][]bgp.Advertisement
+	pendingLSAs map[string][]*ospf.LSA
+	needsRun    map[string]bool
+	shardIndex  int
+	// shardPrefixes is the current shard's prefix set (nil = unfiltered);
+	// EndShard clears these from accumulated results before harvesting so
+	// a merged-shard recompute (§7) replaces stale entries.
+	shardPrefixes []route.Prefix
+
+	// Results accumulated across shards.
+	fibRIBs   map[string]*route.RIB // attribute-stripped routes for FIB building
+	finalRIBs map[string]*route.RIB // full routes (only when keepRIBs)
+	spills    []string
+
+	// Data plane.
+	engine   *bdd.Engine
+	nodesDP  map[string]*dataplane.NodeDP
+	adjIndex dataplane.AdjacencyIndex
+	query    *dataplane.Query
+	destSet  map[string]bool
+
+	// qmu guards the cross-RPC mutable state below: peers deliver packets
+	// concurrently with the controller's round barrier.
+	qmu      sync.Mutex
+	inbox    []sidecar.PacketDelivery
+	queue    map[packetSlot]bdd.Ref
+	queueLen int
+	outcomes []dataplane.Outcome
+
+	statsPulls   int64
+	statsPackets int64
+	lastGCNodes  int
+}
+
+// spillPayload is one shard round's on-disk result: the shard's prefix
+// set plus the attribute-stripped routes per node.
+type spillPayload struct {
+	Prefixes []route.Prefix
+	Routes   map[string][]*route.Route
+}
+
+type packetSlot struct {
+	source string
+	node   string
+	inPort string
+}
+
+// NewWorker creates an unconfigured worker; Setup must be called before
+// any phase method.
+func NewWorker() *Worker { return &Worker{} }
+
+// SetPeers wires the in-process peer directory (the controller calls this
+// for local transports; remote workers dial PeerAddrs during Setup).
+func (w *Worker) SetPeers(peers []sidecar.WorkerAPI) { w.peers = peers }
+
+// Setup implements sidecar.WorkerAPI.
+func (w *Worker) Setup(req sidecar.SetupRequest) error {
+	w.id = req.WorkerID
+	w.assignment = req.Assignment
+	w.layout = dataplane.Layout{MetaBits: req.MetaBits}
+	w.maxBDD = req.MaxBDDNodes
+	w.spillDir = req.SpillDir
+	w.keepRIBs = req.KeepRIBs
+	w.tracker = metrics.NewTracker(fmt.Sprintf("worker%d", req.WorkerID), req.MemoryBudget)
+	w.adjacencies = req.Adjacencies
+	w.sessions = req.Sessions
+
+	snap, err := config.ParseTexts(req.Configs)
+	if err != nil {
+		return fmt.Errorf("core: worker %d parsing configs: %w", w.id, err)
+	}
+	w.devices = snap.Devices
+	w.localNames = snap.DeviceNames()
+
+	// Dial peers when running as a separate process.
+	if len(req.PeerAddrs) > 0 && w.peers == nil {
+		w.peers = make([]sidecar.WorkerAPI, len(req.PeerAddrs))
+		for i, addr := range req.PeerAddrs {
+			if i == w.id || addr == "" {
+				continue
+			}
+			client, err := sidecar.Dial(addr)
+			if err != nil {
+				return fmt.Errorf("core: worker %d dialing peer %d: %w", w.id, i, err)
+			}
+			w.peers[i] = client
+		}
+	}
+
+	w.bgpProcs = map[string]*bgp.Process{}
+	w.ospfProcs = map[string]*ospf.Process{}
+	for name, dev := range w.devices {
+		if dev.BGP != nil {
+			w.bgpProcs[name] = bgp.NewProcess(dev, w.sessions[name], w.tracker)
+		}
+		if dev.OSPF != nil {
+			w.ospfProcs[name] = ospf.NewProcess(dev, w.adjacencies[name], w.tracker)
+		}
+	}
+	w.bgpPulls = sim.NewPullTracker()
+	w.ospfPulls = sim.NewPullTracker()
+	w.fibRIBs = map[string]*route.RIB{}
+	w.finalRIBs = map[string]*route.RIB{}
+	for name := range w.devices {
+		w.fibRIBs[name] = route.NewRIB()
+		if w.keepRIBs {
+			w.finalRIBs[name] = route.NewRIB()
+		}
+	}
+	w.adjIndex = dataplane.AdjacencyIndex{}
+	for dev, adjs := range w.adjacencies {
+		m := map[string]dataplane.PortDest{}
+		for _, a := range adjs {
+			m[a.LocalIfc] = dataplane.PortDest{Node: a.Neighbor, Port: a.RemoteIfc}
+		}
+		w.adjIndex[dev] = m
+	}
+	return nil
+}
+
+// bgpExporter resolves a neighbor name to its exporter: the real local
+// process or a shadow relay to the owning worker.
+func (w *Worker) bgpExporter(neighbor string) sim.BGPExporter {
+	if w.assignment[neighbor] == w.id {
+		if p, ok := w.bgpProcs[neighbor]; ok {
+			return sim.RealBGPNode{P: p}
+		}
+		return nil
+	}
+	peer := w.peers[w.assignment[neighbor]]
+	if peer == nil {
+		return nil
+	}
+	return sim.ShadowBGPNode{Peer: peerAdapter{peer}, Name: neighbor}
+}
+
+func (w *Worker) ospfExporter(neighbor string) sim.LSAExporter {
+	if w.assignment[neighbor] == w.id {
+		if p, ok := w.ospfProcs[neighbor]; ok {
+			return sim.RealOSPFNode{P: p}
+		}
+		return nil
+	}
+	peer := w.peers[w.assignment[neighbor]]
+	if peer == nil {
+		return nil
+	}
+	return sim.ShadowOSPFNode{Peer: peerAdapter{peer}, Name: neighbor}
+}
+
+// peerAdapter narrows a sidecar.WorkerAPI to the sim.PullPeer interface.
+type peerAdapter struct{ w sidecar.WorkerAPI }
+
+func (p peerAdapter) PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
+	return p.w.PullBGP(exporter, puller, since, seen)
+}
+
+func (p peerAdapter) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
+	return p.w.PullLSAs(exporter, puller, since, seen)
+}
+
+// PullBGP implements sidecar.WorkerAPI: it serves shadow-node pulls from
+// other workers (Algorithm 1, line 15 arriving at the real node).
+func (w *Worker) PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
+	proc, ok := w.bgpProcs[exporter]
+	if !ok {
+		return nil, 0, false, fmt.Errorf("core: worker %d does not host %q", w.id, exporter)
+	}
+	w.qmu.Lock()
+	w.statsPulls++
+	w.qmu.Unlock()
+	advs, ver, fresh := proc.ExportsTo(puller, since, seen)
+	return advs, ver, fresh, nil
+}
+
+// PullLSAs implements sidecar.WorkerAPI.
+func (w *Worker) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
+	proc, ok := w.ospfProcs[exporter]
+	if !ok {
+		return nil, 0, false, fmt.Errorf("core: worker %d does not host %q", w.id, exporter)
+	}
+	w.qmu.Lock()
+	w.statsPulls++
+	w.qmu.Unlock()
+	lsas, ver, fresh := proc.LSAsTo(puller, since, seen)
+	return lsas, ver, fresh, nil
+}
+
+// BeginShard implements sidecar.WorkerAPI: reset BGP state for the shard's
+// prefix filter and wire OSPF redistribution.
+func (w *Worker) BeginShard(req sidecar.BeginShardRequest) error {
+	w.shardIndex = req.Index
+	w.shardPrefixes = req.Prefixes
+	var filter bgp.PrefixFilter
+	if len(req.Prefixes) > 0 {
+		set := make(map[route.Prefix]bool, len(req.Prefixes))
+		for _, p := range req.Prefixes {
+			set[p] = true
+		}
+		filter = func(p route.Prefix) bool { return set[p] }
+	}
+	w.bgpPulls.Reset()
+	w.pendingBGP = nil
+	w.needsRun = map[string]bool{}
+	for name, proc := range w.bgpProcs {
+		proc.ResetForShard(filter)
+		if op, ok := w.ospfProcs[name]; ok {
+			proc.SetExternalRoutes("ospf", op.Routes().All())
+		}
+		w.needsRun[name] = true
+	}
+	return nil
+}
+
+// GatherBGP implements sidecar.WorkerAPI: phase 1 of one round — every
+// local node pulls route deltas from all neighbors (real or shadow), with
+// no writes to any node state, so all workers gather concurrently against
+// the quiesced previous round.
+func (w *Worker) GatherBGP() error {
+	pending := map[string]map[string][]bgp.Advertisement{}
+	for _, name := range w.localNames {
+		proc, ok := w.bgpProcs[name]
+		if !ok {
+			continue
+		}
+		for _, nb := range proc.NeighborNames() {
+			exp := w.bgpExporter(nb)
+			if exp == nil {
+				continue
+			}
+			st := w.bgpPulls.Get(name, nb)
+			advs, ver, fresh, err := exp.ExportsTo(name, st.Version, st.Seen)
+			if err != nil {
+				return fmt.Errorf("core: worker %d pulling %s→%s: %w", w.id, nb, name, err)
+			}
+			if !fresh {
+				continue
+			}
+			st.Version, st.Seen = ver, true
+			if pending[name] == nil {
+				pending[name] = map[string][]bgp.Advertisement{}
+			}
+			pending[name][nb] = advs
+		}
+	}
+	w.pendingBGP = pending
+	return nil
+}
+
+// ApplyBGP implements sidecar.WorkerAPI: phase 2 — apply the gathered
+// imports and rerun decisions. Returns whether any local node changed.
+func (w *Worker) ApplyBGP() (bool, error) {
+	changed := false
+	for _, name := range w.localNames {
+		proc, ok := w.bgpProcs[name]
+		if !ok {
+			continue
+		}
+		for nb, advs := range w.pendingBGP[name] {
+			if proc.ImportFrom(nb, advs) {
+				w.needsRun[name] = true
+			}
+		}
+		if w.needsRun[name] {
+			w.needsRun[name] = false
+			if proc.RunDecision() {
+				changed = true
+			}
+		}
+	}
+	w.pendingBGP = nil
+	if err := w.tracker.CheckBudget(); err != nil {
+		return changed, err
+	}
+	return changed, nil
+}
+
+// GatherOSPF implements sidecar.WorkerAPI (phase 1 for LSA flooding).
+func (w *Worker) GatherOSPF() error {
+	pending := map[string][]*ospf.LSA{}
+	for _, name := range w.localNames {
+		proc, ok := w.ospfProcs[name]
+		if !ok {
+			continue
+		}
+		for _, nb := range proc.NeighborNames() {
+			exp := w.ospfExporter(nb)
+			if exp == nil {
+				continue
+			}
+			st := w.ospfPulls.Get(name, nb)
+			lsas, ver, fresh, err := exp.LSAsTo(name, st.Version, st.Seen)
+			if err != nil {
+				return fmt.Errorf("core: worker %d pulling LSAs %s→%s: %w", w.id, nb, name, err)
+			}
+			if !fresh {
+				continue
+			}
+			st.Version, st.Seen = ver, true
+			pending[name] = append(pending[name], lsas...)
+		}
+	}
+	w.pendingLSAs = pending
+	return nil
+}
+
+// ApplyOSPF implements sidecar.WorkerAPI (phase 2 for LSA merge + SPF).
+func (w *Worker) ApplyOSPF() (bool, error) {
+	changed := false
+	for _, name := range w.localNames {
+		proc, ok := w.ospfProcs[name]
+		if !ok {
+			continue
+		}
+		merged := proc.MergeLSAs(w.pendingLSAs[name])
+		if merged || proc.Routes().Len() == 0 {
+			if proc.RunSPF() {
+				changed = true
+			}
+		}
+		if merged {
+			changed = true
+		}
+	}
+	w.pendingLSAs = nil
+	if err := w.tracker.CheckBudget(); err != nil {
+		return changed, err
+	}
+	return changed, nil
+}
+
+// liteRoute strips heavyweight path attributes, keeping only what FIB
+// construction needs. This is what lets prefix sharding lower the live
+// footprint: the full attribute set is freed with the shard.
+func liteRoute(r *route.Route) *route.Route {
+	return &route.Route{
+		Prefix:      r.Prefix,
+		Protocol:    r.Protocol,
+		NextHop:     r.NextHop,
+		NextHopNode: r.NextHopNode,
+	}
+}
+
+// EndShard implements sidecar.WorkerAPI: harvest the shard's routes into
+// the FIB-building state (or spill them to disk) and free the shard's
+// full-attribute RIBs.
+func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
+	reply := sidecar.EndShardReply{}
+	// Drop any previously harvested results for this shard's prefixes: a
+	// merged-shard recompute must replace them wholesale, including
+	// prefixes the recompute decided NOT to install.
+	for _, name := range w.localNames {
+		for _, p := range w.shardPrefixes {
+			w.fibRIBs[name].Remove(p)
+			if w.keepRIBs {
+				w.finalRIBs[name].Remove(p)
+			}
+		}
+		if w.shardPrefixes == nil {
+			w.fibRIBs[name].Clear()
+			if w.keepRIBs {
+				w.finalRIBs[name].Clear()
+			}
+		}
+	}
+	shardLite := map[string][]*route.Route{}
+	for _, name := range w.localNames {
+		proc, ok := w.bgpProcs[name]
+		if !ok {
+			continue
+		}
+		for _, list := range proc.UsedConditions() {
+			reply.Conditions = append(reply.Conditions, sidecar.ConditionReport{Device: name, PrefixList: list})
+		}
+		rib := proc.LocRIB()
+		reply.Routes += rib.RouteCount()
+		rib.Walk(func(p route.Prefix, rs []*route.Route) {
+			lites := make([]*route.Route, len(rs))
+			for i, r := range rs {
+				lites[i] = liteRoute(r)
+			}
+			if w.spillDir != "" {
+				shardLite[name] = append(shardLite[name], lites...)
+			} else {
+				w.fibRIBs[name].SetRoutes(p, lites)
+			}
+			if w.keepRIBs {
+				w.finalRIBs[name].SetRoutes(p, rs)
+			}
+		})
+		// Free the shard's full-attribute state now; the next BeginShard
+		// would do it anyway, but the paper's point is that the peak
+		// drops when the shard's routes leave memory.
+		proc.ResetForShard(nil)
+	}
+	if w.spillDir != "" {
+		path := filepath.Join(w.spillDir, fmt.Sprintf("w%d-shard%d-run%d.gob", w.id, w.shardIndex, len(w.spills)))
+		f, err := os.Create(path)
+		if err != nil {
+			return reply, fmt.Errorf("core: worker %d spilling shard %d: %w", w.id, w.shardIndex, err)
+		}
+		payload := spillPayload{Prefixes: w.shardPrefixes, Routes: shardLite}
+		if err := gob.NewEncoder(f).Encode(payload); err != nil {
+			f.Close()
+			return reply, err
+		}
+		if err := f.Close(); err != nil {
+			return reply, err
+		}
+		w.spills = append(w.spills, path)
+	} else {
+		var bytes int64
+		for _, rib := range w.fibRIBs {
+			bytes += int64(rib.RouteCount()) * route.LiteModelBytes
+		}
+		w.tracker.Set("fib.accum", bytes)
+	}
+	reply.ModelBytes = w.tracker.Current()
+	return reply, w.tracker.CheckBudget()
+}
+
+// ComputeDP implements sidecar.WorkerAPI: build FIBs and per-port
+// predicates for every local node on this worker's private BDD engine.
+func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
+	reply := sidecar.ComputeDPReply{}
+	// Reload spilled shard results in write order: each file first clears
+	// its shard's prefixes so a merged-shard recompute supersedes earlier
+	// stale spills.
+	for _, path := range w.spills {
+		f, err := os.Open(path)
+		if err != nil {
+			return reply, fmt.Errorf("core: worker %d loading spill: %w", w.id, err)
+		}
+		var payload spillPayload
+		err = gob.NewDecoder(f).Decode(&payload)
+		f.Close()
+		if err != nil {
+			return reply, fmt.Errorf("core: worker %d decoding spill: %w", w.id, err)
+		}
+		for _, name := range w.localNames {
+			for _, p := range payload.Prefixes {
+				w.fibRIBs[name].Remove(p)
+			}
+			if payload.Prefixes == nil {
+				w.fibRIBs[name].Clear()
+			}
+		}
+		for name, routes := range payload.Routes {
+			byPrefix := map[route.Prefix][]*route.Route{}
+			for _, r := range routes {
+				byPrefix[r.Prefix] = append(byPrefix[r.Prefix], r)
+			}
+			for p, rs := range byPrefix {
+				w.fibRIBs[name].SetRoutes(p, rs)
+			}
+		}
+	}
+	if w.spillDir != "" {
+		var bytes int64
+		for _, rib := range w.fibRIBs {
+			bytes += int64(rib.RouteCount()) * route.LiteModelBytes
+		}
+		w.tracker.Set("fib.accum", bytes)
+	}
+
+	w.engine = w.layout.NewEngine(w.maxBDD)
+	w.engine.SetGrowObserver(func(delta int) {
+		w.tracker.Add("bdd", int64(delta)*bdd.NodeModelBytes)
+	})
+	w.nodesDP = map[string]*dataplane.NodeDP{}
+	var fibBytes int64
+	for _, name := range w.localNames {
+		dev := w.devices[name]
+		var ribs []*route.RIB
+		ribs = append(ribs, w.fibRIBs[name])
+		if op, ok := w.ospfProcs[name]; ok {
+			ribs = append(ribs, op.Routes())
+		}
+		fib, errs := dataplane.BuildFIB(dev, ribs...)
+		for _, e := range errs {
+			reply.Errors = append(reply.Errors, e.Error())
+		}
+		reply.FIBEntries += len(fib.Entries)
+		fibBytes += fib.ModelBytes()
+		n, err := dataplane.CompileNode(w.engine, dev, fib)
+		if err != nil {
+			return reply, err
+		}
+		w.nodesDP[name] = n
+	}
+	w.tracker.Set("fib.compiled", fibBytes)
+	reply.BDDNodes = w.engine.NodeCount()
+	return reply, w.tracker.CheckBudget()
+}
+
+// BeginQuery implements sidecar.WorkerAPI: arm a query, wiring waypoint
+// write rules and the destination set for Arrive/Exit classification.
+func (w *Worker) BeginQuery(req sidecar.QueryRequest) error {
+	if w.nodesDP == nil {
+		return fmt.Errorf("core: worker %d: ComputeDP must run before queries", w.id)
+	}
+	q := req.Query
+	if err := q.Validate(w.layout); err != nil {
+		return err
+	}
+	w.query = &q
+	w.destSet = nil
+	if len(q.Dests) > 0 {
+		w.destSet = map[string]bool{}
+		for _, d := range q.Dests {
+			w.destSet[d] = true
+		}
+	}
+	for name, n := range w.nodesDP {
+		n.MetaBit = q.MetaBitFor(name)
+	}
+	w.qmu.Lock()
+	w.inbox = nil
+	w.queue = map[packetSlot]bdd.Ref{}
+	w.queueLen = 0
+	w.outcomes = nil
+	w.qmu.Unlock()
+	// Collect the previous query's garbage before this one starts.
+	w.gcEngine()
+	return nil
+}
+
+// Inject implements sidecar.WorkerAPI: queue a symbolic packet at a local
+// source node.
+func (w *Worker) Inject(req sidecar.InjectRequest) error {
+	if w.assignment[req.Source] != w.id {
+		return fmt.Errorf("core: worker %d does not host source %q", w.id, req.Source)
+	}
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	w.inbox = append(w.inbox, sidecar.PacketDelivery{Source: req.Source, Node: req.Source, Packet: req.Packet})
+	return nil
+}
+
+// DeliverPackets implements sidecar.WorkerAPI: accept packets crossing the
+// worker boundary. Only the inbox is touched; deserialization waits for the
+// worker's own round (the BDD engine is single-threaded).
+func (w *Worker) DeliverPackets(items []sidecar.PacketDelivery) error {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	w.inbox = append(w.inbox, items...)
+	w.statsPackets += int64(len(items))
+	return nil
+}
+
+// DPRound implements sidecar.WorkerAPI: process one wavefront hop for all
+// queued packets on local nodes (Figure 3's per-worker forwarding), sending
+// boundary-crossing packets to peer sidecars.
+func (w *Worker) DPRound() error {
+	if w.query == nil {
+		return fmt.Errorf("core: worker %d: no active query", w.id)
+	}
+	// Drain the inbox into the queue (deserializing on our goroutine).
+	w.qmu.Lock()
+	inbox := w.inbox
+	w.inbox = nil
+	cur := w.queue
+	w.queue = map[packetSlot]bdd.Ref{}
+	w.queueLen = 0
+	w.qmu.Unlock()
+
+	for _, d := range inbox {
+		pkt, err := w.engine.Deserialize(d.Packet)
+		if err != nil {
+			return fmt.Errorf("core: worker %d deserializing packet for %s: %w", w.id, d.Node, err)
+		}
+		slot := packetSlot{source: d.Source, node: d.Node, inPort: d.InPort}
+		if prev, ok := cur[slot]; ok {
+			merged, err := w.engine.Or(prev, pkt)
+			if err != nil {
+				return err
+			}
+			cur[slot] = merged
+		} else {
+			cur[slot] = pkt
+		}
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+
+	// Deterministic processing order.
+	slots := make([]packetSlot, 0, len(cur))
+	for s := range cur {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		a, b := slots[i], slots[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.inPort != b.inPort {
+			return a.inPort < b.inPort
+		}
+		return a.source < b.source
+	})
+
+	nextLocal := map[packetSlot]bdd.Ref{}
+	remote := map[int][]sidecar.PacketDelivery{}
+	for si, s := range slots {
+		// Mid-round adaptive GC: heavy rounds create garbage faster than
+		// the between-round collection can bound. Pending slots and the
+		// partial next wavefront are extra roots. (Packets already bound
+		// for other workers are serialized bytes and need no remap.)
+		if w.engine.NodeCount() > 2*w.lastGCNodes+16384 {
+			remap := w.gcWithExtraRoots(func(add func(bdd.Ref)) {
+				for _, rest := range slots[si:] {
+					add(cur[rest])
+				}
+				for _, r := range nextLocal {
+					add(r)
+				}
+			})
+			for _, rest := range slots[si:] {
+				cur[rest] = remap(cur[rest])
+			}
+			for k, r := range nextLocal {
+				nextLocal[k] = remap(r)
+			}
+		}
+		n, ok := w.nodesDP[s.node]
+		if !ok {
+			return fmt.Errorf("core: worker %d received packet for non-local node %q", w.id, s.node)
+		}
+		res, err := n.Forward(w.engine, cur[s], s.inPort)
+		if err != nil {
+			return err
+		}
+		w.classify(s.source, s.node, dataplane.Arrive, res.Local)
+		w.classify(s.source, s.node, dataplane.Blackhole, res.Dropped)
+		for port, out := range res.Out {
+			dest, ok := w.adjIndex[s.node][port]
+			if !ok {
+				// Edge port: leaves the network here.
+				state := dataplane.Exit
+				if w.isDest(s.node) {
+					state = dataplane.Arrive
+				}
+				w.classify(s.source, s.node, state, out)
+				continue
+			}
+			owner := w.assignment[dest.Node]
+			if owner == w.id {
+				slot := packetSlot{source: s.source, node: dest.Node, inPort: dest.Port}
+				if prev, ok := nextLocal[slot]; ok {
+					merged, err := w.engine.Or(prev, out)
+					if err != nil {
+						return err
+					}
+					nextLocal[slot] = merged
+				} else {
+					nextLocal[slot] = out
+				}
+			} else {
+				remote[owner] = append(remote[owner], sidecar.PacketDelivery{
+					Source: s.source,
+					Node:   dest.Node,
+					InPort: dest.Port,
+					Packet: w.engine.Serialize(out),
+				})
+			}
+		}
+	}
+
+	// Ship boundary crossings (③→④→⑤ in Figure 3).
+	owners := make([]int, 0, len(remote))
+	for o := range remote {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	for _, o := range owners {
+		peer := w.peers[o]
+		if peer == nil {
+			return fmt.Errorf("core: worker %d has no peer %d", w.id, o)
+		}
+		if err := peer.DeliverPackets(remote[o]); err != nil {
+			return fmt.Errorf("core: worker %d delivering to %d: %w", w.id, o, err)
+		}
+	}
+
+	w.qmu.Lock()
+	w.queue = nextLocal
+	w.queueLen = len(nextLocal)
+	w.qmu.Unlock()
+
+	// Adaptive BDD garbage collection: intermediate packet sets from
+	// this round are dead; only predicates, queued packets, and recorded
+	// outcomes stay live. Per-worker engines keep these collections small
+	// and un-contended (§4.3). The grow observer has already charged the
+	// intra-round high water to the tracker, so the peak is preserved.
+	// Collect when the table has grown 25% past the last collection.
+	if w.engine.NodeCount() > w.lastGCNodes+w.lastGCNodes/4+2048 {
+		w.gcEngine()
+	}
+	return w.tracker.CheckBudget()
+}
+
+// gcEngine collects the worker's BDD engine, remapping every live ref.
+func (w *Worker) gcEngine() {
+	w.gcWithExtraRoots(nil)
+}
+
+// gcWithExtraRoots collects with the standard roots plus caller-provided
+// extras; the caller must remap any extra refs itself using the returned
+// function.
+func (w *Worker) gcWithExtraRoots(extra func(add func(bdd.Ref))) func(bdd.Ref) bdd.Ref {
+	if w.engine == nil {
+		return func(r bdd.Ref) bdd.Ref { return r }
+	}
+	var roots []bdd.Ref
+	if extra != nil {
+		extra(func(r bdd.Ref) { roots = append(roots, r) })
+	}
+	for _, n := range w.nodesDP {
+		roots = append(roots, n.RootRefs()...)
+	}
+	w.qmu.Lock()
+	for _, r := range w.queue {
+		roots = append(roots, r)
+	}
+	w.qmu.Unlock()
+	for _, o := range w.outcomes {
+		roots = append(roots, o.Packet)
+	}
+	remap := w.engine.GC(roots)
+	for _, n := range w.nodesDP {
+		n.Remap(remap)
+	}
+	w.qmu.Lock()
+	for k, r := range w.queue {
+		w.queue[k] = remap(r)
+	}
+	w.qmu.Unlock()
+	for i := range w.outcomes {
+		w.outcomes[i].Packet = remap(w.outcomes[i].Packet)
+	}
+	w.lastGCNodes = w.engine.NodeCount()
+	return remap
+}
+
+func (w *Worker) isDest(node string) bool {
+	return w.destSet == nil || w.destSet[node]
+}
+
+func (w *Worker) classify(source, node string, state dataplane.FinalState, pkt bdd.Ref) {
+	if pkt == bdd.False {
+		return
+	}
+	if state == dataplane.Arrive && !w.isDest(node) {
+		state = dataplane.Exit
+	}
+	w.outcomes = append(w.outcomes, dataplane.Outcome{Source: source, Node: node, State: state, Packet: pkt})
+}
+
+// HasWork implements sidecar.WorkerAPI.
+func (w *Worker) HasWork() (bool, error) {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	return len(w.inbox) > 0 || w.queueLen > 0, nil
+}
+
+// FinishQuery implements sidecar.WorkerAPI: whatever still circulates has
+// exceeded the TTL (Loop); serialize and return all outcomes.
+func (w *Worker) FinishQuery() ([]dataplane.RawOutcome, error) {
+	w.qmu.Lock()
+	leftoverQueue := w.queue
+	inbox := w.inbox
+	w.queue = map[packetSlot]bdd.Ref{}
+	w.queueLen = 0
+	w.inbox = nil
+	w.qmu.Unlock()
+
+	for s, pkt := range leftoverQueue {
+		w.outcomes = append(w.outcomes, dataplane.Outcome{Source: s.source, Node: s.node, State: dataplane.Loop, Packet: pkt})
+	}
+	for _, d := range inbox {
+		pkt, err := w.engine.Deserialize(d.Packet)
+		if err != nil {
+			return nil, err
+		}
+		w.outcomes = append(w.outcomes, dataplane.Outcome{Source: d.Source, Node: d.Node, State: dataplane.Loop, Packet: pkt})
+	}
+
+	out := make([]dataplane.RawOutcome, 0, len(w.outcomes))
+	for _, o := range w.outcomes {
+		out = append(out, dataplane.RawOutcome{
+			Source: o.Source,
+			Node:   o.Node,
+			State:  o.State,
+			Packet: w.engine.Serialize(o.Packet),
+		})
+	}
+	w.outcomes = nil
+	return out, nil
+}
+
+// CollectRIBs implements sidecar.WorkerAPI: the merged full RIBs of local
+// nodes (requires KeepRIBs).
+func (w *Worker) CollectRIBs() (map[string][]*route.Route, error) {
+	if !w.keepRIBs {
+		return nil, fmt.Errorf("core: worker %d was set up with KeepRIBs=false", w.id)
+	}
+	out := map[string][]*route.Route{}
+	for name, rib := range w.finalRIBs {
+		out[name] = rib.All()
+	}
+	return out, nil
+}
+
+// Stats implements sidecar.WorkerAPI.
+func (w *Worker) Stats() (sidecar.WorkerStats, error) {
+	w.qmu.Lock()
+	pulls, packets := w.statsPulls, w.statsPackets
+	w.qmu.Unlock()
+	st := sidecar.WorkerStats{
+		WorkerID:   w.id,
+		Nodes:      len(w.devices),
+		PeakBytes:  w.tracker.Peak(),
+		NowBytes:   w.tracker.Current(),
+		RoutePulls: pulls,
+		PacketsIn:  packets,
+	}
+	if w.engine != nil {
+		st.BDDNodes = w.engine.NodeCount()
+	}
+	return st, nil
+}

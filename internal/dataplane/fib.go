@@ -1,0 +1,163 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+// FIBEntry is one forwarding table entry after RIB resolution.
+type FIBEntry struct {
+	Prefix route.Prefix
+	// OutPorts are the egress interface names (multiple under ECMP).
+	OutPorts []string
+	// Local marks connected prefixes: matching packets are delivered at
+	// this node.
+	Local bool
+	// Drop marks discard routes (static null0).
+	Drop bool
+}
+
+// FIB is one node's forwarding table.
+type FIB struct {
+	Node    string
+	Entries []FIBEntry
+}
+
+// ModelBytes is the modelled memory footprint of the FIB.
+func (f *FIB) ModelBytes() int64 {
+	var b int64
+	for _, e := range f.Entries {
+		b += 48
+		for _, p := range e.OutPorts {
+			b += int64(len(p)) + 16
+		}
+	}
+	return b
+}
+
+// BuildFIB resolves a node's RIBs into a FIB. ribs are the protocol RIBs in
+// any order (e.g. the BGP Loc-RIB and the OSPF RIB); connected and static
+// routes come from the device config. For each prefix the
+// lowest-administrative-distance protocol wins; ties within the winning
+// protocol keep the full ECMP set. Next hops resolve to egress interfaces
+// through the device's connected subnets; unresolvable next hops drop the
+// route (and are reported).
+func BuildFIB(dev *config.Device, ribs ...*route.RIB) (*FIB, []error) {
+	var errs []error
+	type cand struct {
+		ad    uint8
+		entry FIBEntry
+	}
+	best := map[route.Prefix]*cand{}
+
+	consider := func(p route.Prefix, ad uint8, e FIBEntry) {
+		cur, ok := best[p]
+		if !ok || ad < cur.ad {
+			e.Prefix = p
+			best[p] = &cand{ad: ad, entry: e}
+			return
+		}
+		if ad == cur.ad && len(e.OutPorts) > 0 {
+			// Same protocol tier: merge ECMP ports.
+			cur.entry.OutPorts = append(cur.entry.OutPorts, e.OutPorts...)
+		}
+	}
+
+	// Connected: local delivery happens THROUGH the owning interface, so
+	// the entry records it and the compiler applies its egress ACL.
+	connected := map[route.Prefix][]string{}
+	for _, ifc := range dev.Interfaces {
+		if ifc.Shutdown || ifc.IP == 0 {
+			continue
+		}
+		connected[ifc.Subnet] = append(connected[ifc.Subnet], ifc.Name)
+	}
+	for pfx, ports := range connected {
+		consider(pfx, route.Connected.AdminDistance(), FIBEntry{Local: true, OutPorts: dedupeSorted(ports)})
+	}
+	// Static.
+	for _, sr := range dev.StaticRoutes {
+		if sr.Drop {
+			consider(sr.Prefix, route.Static.AdminDistance(), FIBEntry{Drop: true})
+			continue
+		}
+		ifc := dev.InterfaceForAddr(sr.NextHop)
+		if ifc == nil {
+			errs = append(errs, fmt.Errorf("%s: static route %v next hop %s unresolvable",
+				dev.Hostname, sr.Prefix, route.FormatAddr(sr.NextHop)))
+			continue
+		}
+		consider(sr.Prefix, route.Static.AdminDistance(), FIBEntry{OutPorts: []string{ifc.Name}})
+	}
+	// Protocol RIBs.
+	for _, rib := range ribs {
+		if rib == nil {
+			continue
+		}
+		rib.Walk(func(pfx route.Prefix, rs []*route.Route) {
+			var ports []string
+			ad := uint8(255)
+			for _, r := range rs {
+				if r.Protocol.AdminDistance() < ad {
+					ad = r.Protocol.AdminDistance()
+				}
+				if r.NextHopNode == "" {
+					// Locally originated (network statement or
+					// aggregate): delivery is governed by the
+					// connected route; aggregates without a
+					// specific match are blackholes by design.
+					continue
+				}
+				ifc := dev.InterfaceForAddr(r.NextHop)
+				if ifc == nil {
+					errs = append(errs, fmt.Errorf("%s: route %v next hop %s unresolvable",
+						dev.Hostname, pfx, route.FormatAddr(r.NextHop)))
+					continue
+				}
+				ports = append(ports, ifc.Name)
+			}
+			if len(ports) == 0 {
+				// Only locally originated candidates: an active
+				// aggregate installs a discard route for unmatched
+				// traffic (standard aggregate behaviour).
+				for _, r := range rs {
+					if r.Protocol == route.Aggregate {
+						consider(pfx, route.Aggregate.AdminDistance(), FIBEntry{Drop: true})
+					}
+				}
+				return
+			}
+			consider(pfx, ad, FIBEntry{OutPorts: dedupeSorted(ports)})
+		})
+	}
+
+	fib := &FIB{Node: dev.Hostname}
+	prefixes := make([]route.Prefix, 0, len(best))
+	for p := range best {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
+	for _, p := range prefixes {
+		e := best[p].entry
+		e.OutPorts = dedupeSorted(e.OutPorts)
+		fib.Entries = append(fib.Entries, e)
+	}
+	return fib, errs
+}
+
+func dedupeSorted(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Strings(in)
+	out := in[:1]
+	for _, s := range in[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

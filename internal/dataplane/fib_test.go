@@ -1,0 +1,145 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+func deviceFrom(t *testing.T, cfg string) *config.Device {
+	t.Helper()
+	dev, err := config.Parse("d.cfg", cfg)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return dev
+}
+
+const fibDeviceCfg = `hostname d
+interface eth0
+ ip address 10.0.0.0/31
+interface eth1
+ ip address 10.0.0.2/31
+interface vlan10
+ ip address 10.8.0.1/24
+ip route 172.16.0.0/16 10.0.0.1
+ip route 10.99.0.0/24 null0
+`
+
+func bgpRoute(pfx, nh, nhNode string) *route.Route {
+	return &route.Route{
+		Prefix:      route.MustParsePrefix(pfx),
+		Protocol:    route.BGP,
+		NextHop:     route.MustParseAddr(nh),
+		NextHopNode: nhNode,
+	}
+}
+
+func entryFor(f *FIB, pfx string) *FIBEntry {
+	p := route.MustParsePrefix(pfx)
+	for i := range f.Entries {
+		if f.Entries[i].Prefix == p {
+			return &f.Entries[i]
+		}
+	}
+	return nil
+}
+
+func TestBuildFIBBasics(t *testing.T) {
+	dev := deviceFrom(t, fibDeviceCfg)
+	rib := route.NewRIB()
+	rib.SetRoutes(route.MustParsePrefix("10.20.0.0/16"), []*route.Route{
+		bgpRoute("10.20.0.0/16", "10.0.0.1", "peerA"),
+		bgpRoute("10.20.0.0/16", "10.0.0.3", "peerB"),
+	})
+	fib, errs := BuildFIB(dev, rib)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	// Connected prefixes are local.
+	if e := entryFor(fib, "10.8.0.0/24"); e == nil || !e.Local {
+		t.Fatalf("connected entry: %+v", e)
+	}
+	// Static with next hop resolves to eth0.
+	if e := entryFor(fib, "172.16.0.0/16"); e == nil || len(e.OutPorts) != 1 || e.OutPorts[0] != "eth0" {
+		t.Fatalf("static entry: %+v", e)
+	}
+	// Null route is a drop.
+	if e := entryFor(fib, "10.99.0.0/24"); e == nil || !e.Drop {
+		t.Fatalf("null entry: %+v", e)
+	}
+	// BGP ECMP resolves both ports.
+	if e := entryFor(fib, "10.20.0.0/16"); e == nil || len(e.OutPorts) != 2 {
+		t.Fatalf("ecmp entry: %+v", e)
+	} else if e.OutPorts[0] != "eth0" || e.OutPorts[1] != "eth1" {
+		t.Fatalf("ecmp ports: %v", e.OutPorts)
+	}
+	if fib.ModelBytes() <= 0 {
+		t.Error("ModelBytes")
+	}
+}
+
+func TestBuildFIBAdminDistance(t *testing.T) {
+	dev := deviceFrom(t, fibDeviceCfg)
+	// BGP and OSPF both offer the connected prefix 10.8.0.0/24 — the
+	// connected route must win; and both offer 10.30/16 — BGP (AD 20)
+	// beats OSPF (AD 110).
+	bgpRIB := route.NewRIB()
+	bgpRIB.SetRoutes(route.MustParsePrefix("10.8.0.0/24"), []*route.Route{
+		bgpRoute("10.8.0.0/24", "10.0.0.1", "peerA"),
+	})
+	bgpRIB.SetRoutes(route.MustParsePrefix("10.30.0.0/16"), []*route.Route{
+		bgpRoute("10.30.0.0/16", "10.0.0.1", "peerA"),
+	})
+	ospfRIB := route.NewRIB()
+	ospfRIB.SetRoutes(route.MustParsePrefix("10.30.0.0/16"), []*route.Route{{
+		Prefix:      route.MustParsePrefix("10.30.0.0/16"),
+		Protocol:    route.OSPF,
+		NextHop:     route.MustParseAddr("10.0.0.3"),
+		NextHopNode: "peerB",
+	}})
+	fib, errs := BuildFIB(dev, bgpRIB, ospfRIB)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if e := entryFor(fib, "10.8.0.0/24"); !e.Local {
+		t.Fatal("connected must beat BGP")
+	}
+	e := entryFor(fib, "10.30.0.0/16")
+	if len(e.OutPorts) != 1 || e.OutPorts[0] != "eth0" {
+		t.Fatalf("BGP must beat OSPF: %+v", e)
+	}
+}
+
+func TestBuildFIBUnresolvableNextHop(t *testing.T) {
+	dev := deviceFrom(t, fibDeviceCfg)
+	rib := route.NewRIB()
+	rib.SetRoutes(route.MustParsePrefix("10.40.0.0/16"), []*route.Route{
+		bgpRoute("10.40.0.0/16", "99.99.99.99", "ghost"),
+	})
+	fib, errs := BuildFIB(dev, rib)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "unresolvable") {
+		t.Fatalf("errors = %v", errs)
+	}
+	if entryFor(fib, "10.40.0.0/16") != nil {
+		t.Fatal("unresolvable route must not enter the FIB")
+	}
+}
+
+func TestBuildFIBAggregateDiscard(t *testing.T) {
+	dev := deviceFrom(t, fibDeviceCfg)
+	rib := route.NewRIB()
+	rib.SetRoutes(route.MustParsePrefix("10.8.0.0/21"), []*route.Route{{
+		Prefix:   route.MustParsePrefix("10.8.0.0/21"),
+		Protocol: route.Aggregate,
+	}})
+	fib, errs := BuildFIB(dev, rib)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if e := entryFor(fib, "10.8.0.0/21"); e == nil || !e.Drop {
+		t.Fatalf("aggregate should install a discard entry: %+v", e)
+	}
+}

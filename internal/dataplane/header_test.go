@@ -1,0 +1,191 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+
+	"s2/internal/bdd"
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+func TestLayout(t *testing.T) {
+	l := Layout{MetaBits: 4}
+	if l.NumVars() != 108 {
+		t.Fatalf("NumVars = %d", l.NumVars())
+	}
+	e := l.NewEngine(0)
+	if e.NumVars() != 108 {
+		t.Fatal("engine sizing")
+	}
+}
+
+func TestPrefixMatchSatCount(t *testing.T) {
+	e := Layout{}.NewEngine(0)
+	p, err := PrefixMatch(e, OffDstIP, route.MustParsePrefix("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 free dst bits + 72 other header bits.
+	want := pow2f(24 + 72)
+	if got := e.SatCount(p); got != want {
+		t.Fatalf("satcount = %g, want %g", got, want)
+	}
+	// Default route matches everything.
+	all, _ := PrefixMatch(e, OffDstIP, route.Prefix{})
+	if all != bdd.True {
+		t.Fatal("0/0 must be ⊤")
+	}
+}
+
+func pow2f(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 2
+	}
+	return v
+}
+
+func TestAddrMatch(t *testing.T) {
+	e := Layout{}.NewEngine(0)
+	r, err := AddrMatch(e, OffSrcIP, route.MustParseAddr("1.2.3.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SatCount(r); got != pow2f(72) {
+		t.Fatalf("satcount = %g", got)
+	}
+}
+
+func TestRangeMatchAgainstBruteForce(t *testing.T) {
+	// Use a tiny 6-bit field standalone to brute-force.
+	e := bdd.New(6, 0)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		lo := uint32(rng.Intn(64))
+		hi := uint32(rng.Intn(64))
+		r, err := RangeMatch(e, 0, 6, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		if lo <= hi {
+			want = float64(hi - lo + 1)
+		}
+		if got := e.SatCount(r); got != want {
+			t.Fatalf("[%d,%d]: satcount %g want %g", lo, hi, got, want)
+		}
+		// Point checks.
+		for v := uint32(0); v < 64; v++ {
+			asg := make([]bool, 6)
+			for i := 0; i < 6; i++ {
+				asg[i] = v>>(5-i)&1 == 1
+			}
+			inRange := lo <= v && v <= hi
+			if e.Eval(r, asg) != inRange {
+				t.Fatalf("[%d,%d] value %d misclassified", lo, hi, v)
+			}
+		}
+	}
+	// Full range is ⊤.
+	full, _ := RangeMatch(e, 0, 6, 0, 63)
+	if full != bdd.True {
+		t.Fatal("full range must be ⊤")
+	}
+	// Clamping beyond width.
+	clamped, _ := RangeMatch(e, 0, 6, 0, 9999)
+	if clamped != bdd.True {
+		t.Fatal("over-wide range clamps to ⊤")
+	}
+}
+
+func TestProtoMatch(t *testing.T) {
+	e := Layout{}.NewEngine(0)
+	tcp, err := ProtoMatch(e, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SatCount(tcp); got != pow2f(96) {
+		t.Fatalf("satcount = %g", got)
+	}
+	any, _ := ProtoMatch(e, 0)
+	if any != bdd.True {
+		t.Fatal("proto 0 = any")
+	}
+}
+
+func TestHeaderSpaceCompile(t *testing.T) {
+	e := Layout{}.NewEngine(0)
+	dst := route.MustParsePrefix("10.8.0.0/24")
+	h := &HeaderSpace{DstPrefix: &dst, Proto: 6, DstPortLo: 80, DstPortHi: 80}
+	r, err := h.Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free bits: 32 src + 8 dst host + 16 sport = 56.
+	if got := e.SatCount(r); got != pow2f(56) {
+		t.Fatalf("satcount = %g want 2^56", got)
+	}
+	// Nil header space is everything.
+	var nilH *HeaderSpace
+	all, err := nilH.Compile(e)
+	if err != nil || all != bdd.True {
+		t.Fatal("nil header space must be ⊤")
+	}
+}
+
+func TestACLMatchFirstMatchSemantics(t *testing.T) {
+	e := Layout{}.NewEngine(0)
+	acl := &config.ACL{Name: "T", Entries: []config.ACLEntry{
+		// deny tcp any 10.0.0.0/8 eq 22
+		{Action: config.Deny, Proto: 6, Dst: route.MustParsePrefix("10.0.0.0/8"),
+			SrcPortHi: 65535, DstPortLo: 22, DstPortHi: 22},
+		// permit ip any 10.0.0.0/8
+		{Action: config.Permit, Dst: route.MustParsePrefix("10.0.0.0/8"),
+			SrcPortHi: 65535, DstPortHi: 65535},
+		// implicit deny everything else
+	}}
+	perm, err := ACLMatch(e, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tcp/22 into 10/8 is denied even though entry 2 would permit.
+	dst10 := route.MustParsePrefix("10.1.2.0/24")
+	ssh := &HeaderSpace{DstPrefix: &dst10, Proto: 6, DstPortLo: 22, DstPortHi: 22}
+	sshPkt, _ := ssh.Compile(e)
+	if overlap, _ := e.And(perm, sshPkt); overlap != bdd.False {
+		t.Fatal("first-match deny must win")
+	}
+	// tcp/80 into 10/8 is permitted.
+	web := &HeaderSpace{DstPrefix: &dst10, Proto: 6, DstPortLo: 80, DstPortHi: 80}
+	webPkt, _ := web.Compile(e)
+	if ok, _ := e.Implies(webPkt, perm); !ok {
+		t.Fatal("permitted traffic must imply the ACL predicate")
+	}
+	// Traffic to 192.168/16 hits the implicit deny.
+	other := route.MustParsePrefix("192.168.0.0/16")
+	otherPkt, _ := (&HeaderSpace{DstPrefix: &other}).Compile(e)
+	if overlap, _ := e.And(perm, otherPkt); overlap != bdd.False {
+		t.Fatal("implicit deny")
+	}
+}
+
+func TestACLPermitAnyShortCircuits(t *testing.T) {
+	e := Layout{}.NewEngine(0)
+	acl := &config.ACL{Name: "ANY", Entries: []config.ACLEntry{
+		{Action: config.Permit, SrcPortHi: 65535, DstPortHi: 65535},
+		{Action: config.Deny, SrcPortHi: 65535, DstPortHi: 65535},
+	}}
+	perm, err := ACLMatch(e, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm != bdd.True {
+		t.Fatal("permit ip any any first → ⊤")
+	}
+	// Empty ACL denies everything.
+	empty, _ := ACLMatch(e, &config.ACL{Name: "E"})
+	if empty != bdd.False {
+		t.Fatal("empty ACL → ⊥")
+	}
+}

@@ -1,0 +1,306 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"s2/internal/bdd"
+	"s2/internal/config"
+)
+
+// PortPred holds the three per-port predicates of §4.3: the forwarding
+// predicate p^fwd and the two ACL predicates p^in / p^out.
+type PortPred struct {
+	Fwd bdd.Ref
+	In  bdd.Ref
+	Out bdd.Ref
+}
+
+// NodeDP is one node's compiled data plane: everything needed to execute
+// the symbolic forwarding step of equation (1). All refs live in the
+// compiling engine.
+type NodeDP struct {
+	Name  string
+	Ports map[string]*PortPred
+	// Local is the set of packets delivered at this node (destination in
+	// a connected prefix).
+	Local bdd.Ref
+	// Drop is the set of packets matching an explicit discard route.
+	Drop bdd.Ref
+	// MetaBit, when >= 0, is the waypoint metadata bit this node sets on
+	// every packet it processes (§4.4's "write rule").
+	MetaBit int
+}
+
+// CompileNode builds the node's predicates from its FIB and ACLs. The
+// engine must be sized by the run's shared Layout.
+func CompileNode(e *bdd.Engine, dev *config.Device, fib *FIB) (*NodeDP, error) {
+	n := &NodeDP{
+		Name:    dev.Hostname,
+		Ports:   map[string]*PortPred{},
+		Local:   bdd.False,
+		Drop:    bdd.False,
+		MetaBit: -1,
+	}
+	port := func(name string) *PortPred {
+		p, ok := n.Ports[name]
+		if !ok {
+			p = &PortPred{Fwd: bdd.False, In: bdd.True, Out: bdd.True}
+			n.Ports[name] = p
+		}
+		return p
+	}
+
+	// ACL predicates from interface configuration.
+	names := make([]string, 0, len(dev.Interfaces))
+	for name := range dev.Interfaces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ifc := dev.Interfaces[name]
+		if ifc.Shutdown {
+			continue
+		}
+		p := port(name)
+		if ifc.InACL != "" {
+			acl, ok := dev.ACLs[ifc.InACL]
+			if !ok {
+				return nil, fmt.Errorf("dataplane: %s: undefined ACL %q", dev.Hostname, ifc.InACL)
+			}
+			r, err := ACLMatch(e, acl)
+			if err != nil {
+				return nil, err
+			}
+			p.In = r
+		}
+		if ifc.OutACL != "" {
+			acl, ok := dev.ACLs[ifc.OutACL]
+			if !ok {
+				return nil, fmt.Errorf("dataplane: %s: undefined ACL %q", dev.Hostname, ifc.OutACL)
+			}
+			r, err := ACLMatch(e, acl)
+			if err != nil {
+				return nil, err
+			}
+			p.Out = r
+		}
+	}
+
+	// Forwarding predicates with longest-prefix-match semantics: walk
+	// entries from most to least specific, masking already-covered
+	// destinations.
+	entries := append([]FIBEntry(nil), fib.Entries...)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Prefix.Len != entries[j].Prefix.Len {
+			return entries[i].Prefix.Len > entries[j].Prefix.Len
+		}
+		return entries[i].Prefix.Compare(entries[j].Prefix) < 0
+	})
+	seen := bdd.False
+	for _, entry := range entries {
+		match, err := PrefixMatch(e, OffDstIP, entry.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		eff, err := e.Diff(match, seen)
+		if err != nil {
+			return nil, err
+		}
+		if eff != bdd.False {
+			switch {
+			case entry.Local:
+				// Delivery leaves through the connected interface: its
+				// egress ACL gates local delivery; denied packets drop.
+				delivered := eff
+				if len(entry.OutPorts) > 0 {
+					outPerm := bdd.False
+					for _, out := range entry.OutPorts {
+						outPerm, err = e.Or(outPerm, port(out).Out)
+						if err != nil {
+							return nil, err
+						}
+					}
+					delivered, err = e.And(eff, outPerm)
+					if err != nil {
+						return nil, err
+					}
+					var denied bdd.Ref
+					denied, err = e.Diff(eff, outPerm)
+					if err != nil {
+						return nil, err
+					}
+					n.Drop, err = e.Or(n.Drop, denied)
+					if err != nil {
+						return nil, err
+					}
+				}
+				n.Local, err = e.Or(n.Local, delivered)
+			case entry.Drop:
+				n.Drop, err = e.Or(n.Drop, eff)
+			default:
+				for _, out := range entry.OutPorts {
+					p := port(out)
+					p.Fwd, err = e.Or(p.Fwd, eff)
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		seen, err = e.Or(seen, match)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// StepResult is the outcome of one symbolic forwarding step at a node.
+type StepResult struct {
+	// Local packets were delivered at this node.
+	Local bdd.Ref
+	// Dropped packets hit an explicit discard, an ACL deny, or had no
+	// matching route (all Blackhole final states).
+	Dropped bdd.Ref
+	// Out maps egress port → the transformed packet of equation (1):
+	// pkt ∧ p1^in ∧ p2^fwd ∧ p2^out.
+	Out map[string]bdd.Ref
+}
+
+// Forward executes one step of symbolic forwarding: the packet pkt arrives
+// at port inPort ("" when injected at this node as a source). The engine
+// must be the one the node was compiled into.
+func (n *NodeDP) Forward(e *bdd.Engine, pkt bdd.Ref, inPort string) (*StepResult, error) {
+	res := &StepResult{Local: bdd.False, Dropped: bdd.False, Out: map[string]bdd.Ref{}}
+
+	// Input ACL.
+	in := pkt
+	if inPort != "" {
+		if p, ok := n.Ports[inPort]; ok && p.In != bdd.True {
+			var err error
+			in, err = e.And(pkt, p.In)
+			if err != nil {
+				return nil, err
+			}
+			denied, err := e.Diff(pkt, p.In)
+			if err != nil {
+				return nil, err
+			}
+			res.Dropped, err = e.Or(res.Dropped, denied)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if in == bdd.False {
+		return res, nil
+	}
+
+	// Waypoint write rule.
+	if n.MetaBit >= 0 {
+		var err error
+		in, err = e.SetVar(in, OffMeta+n.MetaBit, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var err error
+	// Local delivery.
+	res.Local, err = e.And(in, n.Local)
+	if err != nil {
+		return nil, err
+	}
+	// Explicit discards.
+	discard, err := e.And(in, n.Drop)
+	if err != nil {
+		return nil, err
+	}
+	res.Dropped, err = e.Or(res.Dropped, discard)
+	if err != nil {
+		return nil, err
+	}
+
+	// Forwarding per port: pkt ∧ p^fwd ∧ p^out; the p^fwd∧¬p^out
+	// remainder is an ACL blackhole.
+	routed := bdd.False
+	ports := make([]string, 0, len(n.Ports))
+	for name := range n.Ports {
+		ports = append(ports, name)
+	}
+	sort.Strings(ports)
+	for _, name := range ports {
+		p := n.Ports[name]
+		if p.Fwd == bdd.False {
+			continue
+		}
+		fwd, err := e.And(in, p.Fwd)
+		if err != nil {
+			return nil, err
+		}
+		if fwd == bdd.False {
+			continue
+		}
+		routed, err = e.Or(routed, fwd)
+		if err != nil {
+			return nil, err
+		}
+		out, err := e.And(fwd, p.Out)
+		if err != nil {
+			return nil, err
+		}
+		if out != bdd.False {
+			res.Out[name] = out
+		}
+		aclDrop, err := e.Diff(fwd, p.Out)
+		if err != nil {
+			return nil, err
+		}
+		res.Dropped, err = e.Or(res.Dropped, aclDrop)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// No matching route at all: blackhole.
+	matched, err := e.OrAll(res.Local, n.Drop, routed)
+	if err != nil {
+		return nil, err
+	}
+	unrouted, err := e.Diff(in, matched)
+	if err != nil {
+		return nil, err
+	}
+	res.Dropped, err = e.Or(res.Dropped, unrouted)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ModelBytes charges the node's predicate count; per-engine node growth is
+// charged separately via the engine's grow observer.
+func (n *NodeDP) ModelBytes() int64 {
+	return int64(len(n.Ports))*48 + 64
+}
+
+// RootRefs returns every BDD ref the node holds, for use as GC roots.
+func (n *NodeDP) RootRefs() []bdd.Ref {
+	out := []bdd.Ref{n.Local, n.Drop}
+	for _, p := range n.Ports {
+		out = append(out, p.Fwd, p.In, p.Out)
+	}
+	return out
+}
+
+// Remap rewrites the node's refs after an engine GC.
+func (n *NodeDP) Remap(f func(bdd.Ref) bdd.Ref) {
+	n.Local, n.Drop = f(n.Local), f(n.Drop)
+	for _, p := range n.Ports {
+		p.Fwd, p.In, p.Out = f(p.Fwd), f(p.In), f(p.Out)
+	}
+}

@@ -1,0 +1,334 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"s2/internal/bdd"
+	"s2/internal/route"
+)
+
+// FinalState classifies where a symbolic packet's journey ended (§4.3).
+type FinalState uint8
+
+const (
+	// Arrive: delivered at a destination node or the node holding the
+	// destination prefix.
+	Arrive FinalState = iota
+	// Exit: left the network through an edge port that is not a
+	// destination.
+	Exit
+	// Blackhole: dropped by a discard route, an ACL, or a missing route.
+	Blackhole
+	// Loop: still circulating after MaxHops (TTL exceeded).
+	Loop
+)
+
+// String names the final state.
+func (s FinalState) String() string {
+	switch s {
+	case Arrive:
+		return "arrive"
+	case Exit:
+		return "exit"
+	case Blackhole:
+		return "blackhole"
+	case Loop:
+		return "loop"
+	}
+	return "unknown"
+}
+
+// Query is the paper's 4-tuple (H, Vs, Vd, Vt) plus a TTL (§4.4). Empty
+// Sources means "all nodes that originate traffic" (driver-defined); empty
+// Dests means any local delivery counts as Arrive.
+type Query struct {
+	Header   *HeaderSpace
+	Sources  []string
+	Dests    []string
+	Transits []string
+	// MaxHops is the TTL for loop detection (default 32).
+	MaxHops int
+}
+
+// EffectiveMaxHops applies the default TTL.
+func (q *Query) EffectiveMaxHops() int {
+	if q.MaxHops <= 0 {
+		return 32
+	}
+	return q.MaxHops
+}
+
+// MetaBitFor returns the metadata bit index assigned to transit node name,
+// or -1. Bits are assigned in Transits order.
+func (q *Query) MetaBitFor(name string) int {
+	for i, t := range q.Transits {
+		if t == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the query against a layout.
+func (q *Query) Validate(l Layout) error {
+	if len(q.Transits) > l.MetaBits {
+		return fmt.Errorf("dataplane: query needs %d metadata bits, layout has %d",
+			len(q.Transits), l.MetaBits)
+	}
+	return nil
+}
+
+// Outcome is one finalized symbolic packet, local to some engine.
+type Outcome struct {
+	Source string
+	Node   string // node where the final state was reached
+	State  FinalState
+	Packet bdd.Ref
+}
+
+// RawOutcome is the engine-independent wire form of an Outcome: the packet
+// is a serialized BDD. Workers ship RawOutcomes to the controller.
+type RawOutcome struct {
+	Source string
+	Node   string
+	State  FinalState
+	Packet []byte
+}
+
+// Violation describes one property violation found by a check.
+type Violation struct {
+	// Kind is "loop", "blackhole", "multipath-consistency", "waypoint",
+	// or "unreachable".
+	Kind   string
+	Source string
+	Node   string
+	Detail string
+	// ExampleDst is a concrete destination IP drawn from the violating
+	// packet set, for operator-actionable reports.
+	ExampleDst uint32
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: source=%s node=%s dst=%s %s",
+		v.Kind, v.Source, v.Node, route.FormatAddr(v.ExampleDst), v.Detail)
+}
+
+// Collector aggregates outcomes on one engine (the controller's, in the
+// distributed case) and evaluates the five §4.4 property types.
+type Collector struct {
+	e     *bdd.Engine
+	query *Query
+	// arrived[dest] is P_{v_d}: packets that reached dest with Arrive.
+	arrived map[string]bdd.Ref
+	// perSourceState[source][state] accumulates per-source final sets for
+	// multipath-consistency checking.
+	perSourceState map[string]map[FinalState]bdd.Ref
+	// perState aggregates across sources.
+	perState map[FinalState]bdd.Ref
+	count    int
+}
+
+// NewCollector builds a collector for query on engine e.
+func NewCollector(e *bdd.Engine, query *Query) *Collector {
+	return &Collector{
+		e:              e,
+		query:          query,
+		arrived:        map[string]bdd.Ref{},
+		perSourceState: map[string]map[FinalState]bdd.Ref{},
+		perState: map[FinalState]bdd.Ref{
+			Arrive: bdd.False, Exit: bdd.False, Blackhole: bdd.False, Loop: bdd.False,
+		},
+	}
+}
+
+// Count returns the number of outcomes absorbed.
+func (c *Collector) Count() int { return c.count }
+
+// Add absorbs one engine-local outcome.
+func (c *Collector) Add(o Outcome) error {
+	if o.Packet == bdd.False {
+		return nil
+	}
+	c.count++
+	var err error
+	c.perState[o.State], err = c.e.Or(c.perState[o.State], o.Packet)
+	if err != nil {
+		return err
+	}
+	ss := c.perSourceState[o.Source]
+	if ss == nil {
+		ss = map[FinalState]bdd.Ref{Arrive: bdd.False, Exit: bdd.False, Blackhole: bdd.False, Loop: bdd.False}
+		c.perSourceState[o.Source] = ss
+	}
+	ss[o.State], err = c.e.Or(ss[o.State], o.Packet)
+	if err != nil {
+		return err
+	}
+	if o.State == Arrive {
+		prev, ok := c.arrived[o.Node]
+		if !ok {
+			prev = bdd.False
+		}
+		c.arrived[o.Node], err = c.e.Or(prev, o.Packet)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddRaw deserializes and absorbs a worker-reported outcome.
+func (c *Collector) AddRaw(o RawOutcome) error {
+	pkt, err := c.e.Deserialize(o.Packet)
+	if err != nil {
+		return fmt.Errorf("dataplane: outcome from %s@%s: %w", o.Source, o.Node, err)
+	}
+	return c.Add(Outcome{Source: o.Source, Node: o.Node, State: o.State, Packet: pkt})
+}
+
+// Arrived returns P_{v_d} for a destination node (bdd.False when nothing
+// arrived).
+func (c *Collector) Arrived(dest string) bdd.Ref {
+	if r, ok := c.arrived[dest]; ok {
+		return r
+	}
+	return bdd.False
+}
+
+// StateSet returns the aggregate packet set for a final state.
+func (c *Collector) StateSet(s FinalState) bdd.Ref { return c.perState[s] }
+
+// Report runs all property checks and returns the violations.
+// The checks follow §4.4:
+//
+//   - loop-free / blackhole-free: any non-empty Loop/Blackhole set;
+//   - reachability: every node in Dests must receive a non-empty Arrive
+//     set (skipped when Dests is empty);
+//   - waypoint: every packet arriving at a Dest must carry every transit
+//     node's metadata bit;
+//   - multipath consistency: per source, overlapping packets with
+//     different final states.
+func (c *Collector) Report() ([]Violation, error) {
+	var out []Violation
+
+	example := func(r bdd.Ref) uint32 {
+		asg, ok := c.e.AnySat(r)
+		if !ok {
+			return 0
+		}
+		return dstIPOf(asg)
+	}
+
+	if r := c.perState[Loop]; r != bdd.False {
+		out = append(out, Violation{Kind: "loop", Detail: "packets exceed TTL", ExampleDst: example(r)})
+	}
+	if r := c.perState[Blackhole]; r != bdd.False {
+		out = append(out, Violation{Kind: "blackhole", Detail: "packets dropped", ExampleDst: example(r)})
+	}
+
+	// Reachability.
+	for _, d := range c.query.Dests {
+		if c.Arrived(d) == bdd.False {
+			out = append(out, Violation{Kind: "unreachable", Node: d,
+				Detail: "no packet from any source arrives"})
+		}
+	}
+
+	// Waypoints.
+	for _, transit := range c.query.Transits {
+		bit := OffMeta + c.query.MetaBitFor(transit)
+		want, err := c.e.Var(bit)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range c.destsOrArrivedNodes() {
+			arrived := c.Arrived(d)
+			if arrived == bdd.False {
+				continue
+			}
+			missed, err := c.e.Diff(arrived, want)
+			if err != nil {
+				return nil, err
+			}
+			if missed != bdd.False {
+				out = append(out, Violation{Kind: "waypoint", Node: d,
+					Detail:     fmt.Sprintf("packets bypass transit %s", transit),
+					ExampleDst: example(missed)})
+			}
+		}
+	}
+
+	// Multipath consistency (§4.4): per source, packets that overlap but
+	// reached different final states.
+	sources := make([]string, 0, len(c.perSourceState))
+	for s := range c.perSourceState {
+		sources = append(sources, s)
+	}
+	sort.Strings(sources)
+	states := []FinalState{Arrive, Exit, Blackhole, Loop}
+	for _, src := range sources {
+		ss := c.perSourceState[src]
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				overlap, err := c.e.And(ss[states[i]], ss[states[j]])
+				if err != nil {
+					return nil, err
+				}
+				if overlap != bdd.False {
+					out = append(out, Violation{
+						Kind: "multipath-consistency", Source: src,
+						Detail: fmt.Sprintf("same packets end in %s and %s",
+							states[i], states[j]),
+						ExampleDst: example(overlap),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// RootRefs returns every BDD ref the collector holds, for use as GC roots.
+func (c *Collector) RootRefs() []bdd.Ref {
+	var out []bdd.Ref
+	for _, r := range c.arrived {
+		out = append(out, r)
+	}
+	for _, r := range c.perState {
+		out = append(out, r)
+	}
+	for _, ss := range c.perSourceState {
+		for _, r := range ss {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Remap rewrites the collector's refs after an engine GC.
+func (c *Collector) Remap(f func(bdd.Ref) bdd.Ref) {
+	for k, r := range c.arrived {
+		c.arrived[k] = f(r)
+	}
+	for k, r := range c.perState {
+		c.perState[k] = f(r)
+	}
+	for _, ss := range c.perSourceState {
+		for k, r := range ss {
+			ss[k] = f(r)
+		}
+	}
+}
+
+func (c *Collector) destsOrArrivedNodes() []string {
+	if len(c.query.Dests) > 0 {
+		return c.query.Dests
+	}
+	var out []string
+	for d := range c.arrived {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,138 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"s2/internal/bdd"
+	"s2/internal/topology"
+)
+
+// PortDest resolves where a node's egress port leads.
+type PortDest struct {
+	Node string
+	Port string
+}
+
+// AdjacencyIndex maps (node, port) → peer for traversal.
+type AdjacencyIndex map[string]map[string]PortDest
+
+// BuildAdjacencyIndex derives the traversal adjacency from the topology.
+func BuildAdjacencyIndex(net *topology.Network) AdjacencyIndex {
+	idx := AdjacencyIndex{}
+	for dev, adjs := range net.Adjacencies {
+		m := map[string]PortDest{}
+		for _, a := range adjs {
+			m[a.LocalIfc] = PortDest{Node: a.Neighbor, Port: a.RemoteIfc}
+		}
+		idx[dev] = m
+	}
+	return idx
+}
+
+// Traverse runs single-engine wavefront forwarding for one source: the
+// packet set is injected at source and flooded until every part reaches a
+// final state or the TTL expires. Items are merged per (node, inPort) per
+// round, so the work per round is bounded by the port count — the same
+// wavefront structure the distributed DPO orchestrates across workers.
+//
+// isDest tells whether local delivery at a node counts as Arrive (true) or
+// Exit (false); nil means every delivery is an Arrive (empty V_d, §4.4).
+func Traverse(
+	e *bdd.Engine,
+	nodes map[string]*NodeDP,
+	adj AdjacencyIndex,
+	source string,
+	pkt bdd.Ref,
+	maxHops int,
+	isDest func(string) bool,
+	emit func(Outcome) error,
+) error {
+	src, ok := nodes[source]
+	if !ok {
+		return fmt.Errorf("dataplane: unknown source node %q", source)
+	}
+	if pkt == bdd.False {
+		return nil
+	}
+	type slot struct {
+		node   string
+		inPort string
+	}
+	wave := map[slot]bdd.Ref{{node: src.Name}: pkt}
+
+	classify := func(node string, state FinalState, r bdd.Ref) error {
+		if r == bdd.False {
+			return nil
+		}
+		if state == Arrive && isDest != nil && !isDest(node) {
+			state = Exit
+		}
+		return emit(Outcome{Source: source, Node: node, State: state, Packet: r})
+	}
+
+	for hop := 0; hop <= maxHops && len(wave) > 0; hop++ {
+		// Deterministic iteration.
+		slots := make([]slot, 0, len(wave))
+		for s := range wave {
+			slots = append(slots, s)
+		}
+		sort.Slice(slots, func(i, j int) bool {
+			if slots[i].node != slots[j].node {
+				return slots[i].node < slots[j].node
+			}
+			return slots[i].inPort < slots[j].inPort
+		})
+
+		next := map[slot]bdd.Ref{}
+		for _, s := range slots {
+			n := nodes[s.node]
+			if n == nil {
+				return fmt.Errorf("dataplane: packet reached unknown node %q", s.node)
+			}
+			res, err := n.Forward(e, wave[s], s.inPort)
+			if err != nil {
+				return err
+			}
+			if err := classify(s.node, Arrive, res.Local); err != nil {
+				return err
+			}
+			if err := classify(s.node, Blackhole, res.Dropped); err != nil {
+				return err
+			}
+			for port, out := range res.Out {
+				dest, ok := adj[s.node][port]
+				if !ok {
+					// Edge port: the packet leaves the network.
+					state := Exit
+					if isDest != nil && isDest(s.node) {
+						state = Arrive
+					}
+					if err := classify(s.node, state, out); err != nil {
+						return err
+					}
+					continue
+				}
+				key := slot{node: dest.Node, inPort: dest.Port}
+				if prev, ok := next[key]; ok {
+					merged, err := e.Or(prev, out)
+					if err != nil {
+						return err
+					}
+					next[key] = merged
+				} else {
+					next[key] = out
+				}
+			}
+		}
+		wave = next
+	}
+
+	// TTL exceeded: whatever still circulates is looping.
+	for s, r := range wave {
+		if err := emit(Outcome{Source: source, Node: s.node, State: Loop, Packet: r}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

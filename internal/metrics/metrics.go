@@ -1,0 +1,196 @@
+// Package metrics provides the modelled resource accounting S2 uses to
+// reproduce the paper's memory behaviour deterministically: each worker owns
+// a Tracker with named byte gauges (RIB routes, Adj-RIB-In, BDD nodes, FIBs)
+// and an optional budget. Exceeding the budget is the reproduction's "out of
+// memory" condition — the same role the -Xmx100G JVM limit plays in the
+// paper's testbed (§5.2).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrOutOfMemory reports that a tracker's modelled usage exceeded its budget.
+var ErrOutOfMemory = errors.New("metrics: modelled memory budget exceeded")
+
+// Tracker accounts modelled memory for one worker. It is safe for concurrent
+// use: node goroutines on a worker update gauges in parallel.
+type Tracker struct {
+	mu      sync.Mutex
+	name    string
+	gauges  map[string]int64
+	current int64
+	peak    int64
+	budget  int64 // 0 = unlimited
+}
+
+// NewTracker returns a tracker with the given per-worker budget in bytes
+// (0 = unlimited).
+func NewTracker(name string, budget int64) *Tracker {
+	return &Tracker{name: name, gauges: make(map[string]int64), budget: budget}
+}
+
+// Name returns the tracker's owner name.
+func (t *Tracker) Name() string { return t.name }
+
+// Budget returns the configured budget (0 = unlimited).
+func (t *Tracker) Budget() int64 { return t.budget }
+
+// Set assigns gauge g to v bytes, updating current and peak usage.
+func (t *Tracker) Set(g string, v int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.current += v - t.gauges[g]
+	t.gauges[g] = v
+	if t.current > t.peak {
+		t.peak = t.current
+	}
+}
+
+// Add adjusts gauge g by delta bytes.
+func (t *Tracker) Add(g string, delta int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gauges[g] += delta
+	t.current += delta
+	if t.current > t.peak {
+		t.peak = t.current
+	}
+}
+
+// Current returns the present modelled usage in bytes.
+func (t *Tracker) Current() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current
+}
+
+// Peak returns the highest modelled usage observed.
+func (t *Tracker) Peak() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peak
+}
+
+// Gauge returns the present value of one gauge.
+func (t *Tracker) Gauge(g string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.gauges[g]
+}
+
+// CheckBudget returns ErrOutOfMemory (wrapped with the worker name and
+// usage) when current usage exceeds the budget.
+func (t *Tracker) CheckBudget() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.budget > 0 && t.current > t.budget {
+		return fmt.Errorf("%w: %s using %s of %s", ErrOutOfMemory,
+			t.name, FormatBytes(t.current), FormatBytes(t.budget))
+	}
+	return nil
+}
+
+// Reset zeroes all gauges and current usage but preserves the peak, matching
+// how freeing a shard's routes lowers live usage without erasing the
+// observed maximum.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gauges = make(map[string]int64)
+	t.current = 0
+}
+
+// Snapshot returns a sorted, human-readable view of all gauges.
+func (t *Tracker) Snapshot() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, len(t.gauges))
+	for k := range t.gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: current=%s peak=%s", t.name, FormatBytes(t.current), FormatBytes(t.peak))
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, FormatBytes(t.gauges[k]))
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// PhaseTimer records named wall-clock phases (parse, partition, control
+// plane, data plane) for the experiment harness.
+type PhaseTimer struct {
+	mu     sync.Mutex
+	phases []Phase
+}
+
+// Phase is one timed span.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// NewPhaseTimer returns an empty timer.
+func NewPhaseTimer() *PhaseTimer { return &PhaseTimer{} }
+
+// Time runs fn and records its duration under name. The error from fn is
+// returned unchanged.
+func (pt *PhaseTimer) Time(name string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	pt.mu.Lock()
+	pt.phases = append(pt.phases, Phase{Name: name, Duration: time.Since(start)})
+	pt.mu.Unlock()
+	return err
+}
+
+// Phases returns recorded phases in execution order.
+func (pt *PhaseTimer) Phases() []Phase {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return append([]Phase(nil), pt.phases...)
+}
+
+// Get returns the total duration recorded under name.
+func (pt *PhaseTimer) Get(name string) time.Duration {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	var d time.Duration
+	for _, p := range pt.phases {
+		if p.Name == name {
+			d += p.Duration
+		}
+	}
+	return d
+}
+
+// Total returns the sum of all phase durations.
+func (pt *PhaseTimer) Total() time.Duration {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	var d time.Duration
+	for _, p := range pt.phases {
+		d += p.Duration
+	}
+	return d
+}

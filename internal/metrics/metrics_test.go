@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTrackerGaugesAndPeak(t *testing.T) {
+	tr := NewTracker("w0", 0)
+	tr.Set("rib", 100)
+	tr.Set("bdd", 50)
+	if tr.Current() != 150 || tr.Peak() != 150 {
+		t.Fatalf("current=%d peak=%d", tr.Current(), tr.Peak())
+	}
+	tr.Set("rib", 20)
+	if tr.Current() != 70 {
+		t.Fatalf("current=%d after lowering gauge", tr.Current())
+	}
+	if tr.Peak() != 150 {
+		t.Fatal("peak must persist")
+	}
+	tr.Add("bdd", 30)
+	if tr.Gauge("bdd") != 80 || tr.Current() != 100 {
+		t.Fatal("Add")
+	}
+	if tr.Name() != "w0" {
+		t.Fatal("Name")
+	}
+}
+
+func TestTrackerBudget(t *testing.T) {
+	tr := NewTracker("w1", 100)
+	tr.Set("rib", 100)
+	if err := tr.CheckBudget(); err != nil {
+		t.Fatalf("at budget should pass: %v", err)
+	}
+	tr.Add("rib", 1)
+	err := tr.CheckBudget()
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("over budget: %v", err)
+	}
+	if !strings.Contains(err.Error(), "w1") {
+		t.Errorf("error should name the worker: %v", err)
+	}
+	unlimited := NewTracker("w2", 0)
+	unlimited.Set("x", 1<<40)
+	if err := unlimited.CheckBudget(); err != nil {
+		t.Fatal("unlimited tracker must never OOM")
+	}
+}
+
+func TestTrackerResetPreservesPeak(t *testing.T) {
+	tr := NewTracker("w", 0)
+	tr.Set("rib", 500)
+	tr.Reset()
+	if tr.Current() != 0 {
+		t.Fatal("Reset should zero current")
+	}
+	if tr.Peak() != 500 {
+		t.Fatal("Reset must preserve peak")
+	}
+	tr.Set("rib", 10)
+	if tr.Current() != 10 {
+		t.Fatal("gauges usable after Reset")
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker("w", 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.Add("g", 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.Current() != 8000 {
+		t.Fatalf("concurrent adds lost updates: %d", tr.Current())
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	tr := NewTracker("w9", 0)
+	tr.Set("rib", 2048)
+	s := tr.Snapshot()
+	for _, want := range []string{"w9", "rib=2.0KiB", "peak="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Snapshot %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0B",
+		512:     "512B",
+		1024:    "1.0KiB",
+		1536:    "1.5KiB",
+		1 << 20: "1.0MiB",
+		3 << 30: "3.0GiB",
+		5 << 40: "5.0TiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPhaseTimer(t *testing.T) {
+	pt := NewPhaseTimer()
+	err := pt.Time("cp", func() error { time.Sleep(time.Millisecond); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("boom")
+	if err := pt.Time("dp", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatal("Time must propagate errors")
+	}
+	if pt.Get("cp") <= 0 {
+		t.Fatal("cp phase not recorded")
+	}
+	if len(pt.Phases()) != 2 {
+		t.Fatal("phase count")
+	}
+	if pt.Total() < pt.Get("cp") {
+		t.Fatal("total must include all phases")
+	}
+	// Repeated names accumulate.
+	pt.Time("cp", func() error { time.Sleep(time.Millisecond); return nil })
+	if pt.Get("cp") < 2*time.Millisecond {
+		t.Fatal("repeated phases should accumulate")
+	}
+}

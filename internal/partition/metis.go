@@ -1,0 +1,264 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"s2/internal/topology"
+)
+
+// metisParts is the multilevel partitioner: coarsen by heavy-edge matching,
+// partition the coarse graph greedily by weight, then project back and
+// refine with boundary Kernighan–Lin moves under a balance constraint.
+func metisParts(g *topology.Graph, parts int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	cg := newCoarseGraph(g)
+
+	// Coarsening: halve until small enough or no progress.
+	var levels []*coarseGraph
+	target := parts * 8
+	if target < 32 {
+		target = 32
+	}
+	for len(cg.weights) > target {
+		next := cg.coarsen(rng)
+		if next == nil || len(next.weights) >= len(cg.weights) {
+			break
+		}
+		levels = append(levels, cg)
+		cg = next
+	}
+
+	// Initial partition of the coarsest graph: heaviest-first greedy onto
+	// the lightest part.
+	of := greedyInitial(cg, parts)
+	refine(cg, of, parts, 8)
+
+	// Uncoarsen: project the assignment down each level, refining.
+	for i := len(levels) - 1; i >= 0; i-- {
+		fine := levels[i]
+		fineOf := make([]int, len(fine.weights))
+		for v := range fineOf {
+			fineOf[v] = of[fine.match[v]]
+		}
+		of = fineOf
+		refine(fine, of, parts, 4)
+	}
+	return of
+}
+
+// coarseGraph is a weighted graph at one coarsening level. match maps this
+// level's vertices to the next (coarser) level's vertices.
+type coarseGraph struct {
+	weights []int64
+	adj     []map[int]int64 // vertex → neighbor → edge weight
+	match   []int           // projection to the coarser level
+}
+
+func newCoarseGraph(g *topology.Graph) *coarseGraph {
+	cg := &coarseGraph{
+		weights: append([]int64(nil), g.NodeWeights...),
+		adj:     make([]map[int]int64, len(g.Nodes)),
+	}
+	for i := range cg.adj {
+		cg.adj[i] = map[int]int64{}
+	}
+	for key, w := range g.EdgeWeights {
+		cg.adj[key[0]][key[1]] += w
+		cg.adj[key[1]][key[0]] += w
+	}
+	return cg
+}
+
+// coarsen performs one level of heavy-edge matching.
+func (cg *coarseGraph) coarsen(rng *rand.Rand) *coarseGraph {
+	n := len(cg.weights)
+	matched := make([]int, n)
+	for i := range matched {
+		matched[i] = -1
+	}
+	order := rng.Perm(n)
+	pairs := 0
+	for _, v := range order {
+		if matched[v] >= 0 {
+			continue
+		}
+		// Heaviest unmatched neighbor.
+		best, bestW := -1, int64(-1)
+		for u, w := range cg.adj[v] {
+			if matched[u] < 0 && u != v && (w > bestW || (w == bestW && u < best)) {
+				best, bestW = u, w
+			}
+		}
+		if best >= 0 {
+			matched[v], matched[best] = best, v
+			pairs++
+		} else {
+			matched[v] = v
+		}
+	}
+	if pairs == 0 {
+		return nil
+	}
+
+	// Build the coarser graph.
+	cg.match = make([]int, n)
+	coarseID := make([]int, n)
+	for i := range coarseID {
+		coarseID[i] = -1
+	}
+	next := &coarseGraph{}
+	for v := 0; v < n; v++ {
+		if coarseID[v] >= 0 {
+			continue
+		}
+		id := len(next.weights)
+		coarseID[v] = id
+		w := cg.weights[v]
+		if m := matched[v]; m != v && coarseID[m] < 0 {
+			coarseID[m] = id
+			w += cg.weights[m]
+		}
+		next.weights = append(next.weights, w)
+	}
+	for v := 0; v < n; v++ {
+		cg.match[v] = coarseID[v]
+	}
+	next.adj = make([]map[int]int64, len(next.weights))
+	for i := range next.adj {
+		next.adj[i] = map[int]int64{}
+	}
+	for v := 0; v < n; v++ {
+		cv := coarseID[v]
+		for u, w := range cg.adj[v] {
+			cu := coarseID[u]
+			if cu != cv {
+				next.adj[cv][cu] += w
+			}
+		}
+	}
+	// Edges were added from both endpoints; halve.
+	for v := range next.adj {
+		for u := range next.adj[v] {
+			if v < u {
+				half := next.adj[v][u] / 2
+				if half < 1 {
+					half = 1
+				}
+				next.adj[v][u] = half
+				next.adj[u][v] = half
+			}
+		}
+	}
+	return next
+}
+
+// greedyInitial assigns vertices (heaviest first) to the lightest part.
+func greedyInitial(cg *coarseGraph, parts int) []int {
+	n := len(cg.weights)
+	of := make([]int, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if cg.weights[order[a]] != cg.weights[order[b]] {
+			return cg.weights[order[a]] > cg.weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	partWeight := make([]int64, parts)
+	for _, v := range order {
+		// Prefer the lightest part; among near-equal parts, the one with
+		// the strongest connection to already-placed neighbors.
+		best, bestWeight := 0, partWeight[0]
+		for p := 1; p < parts; p++ {
+			if partWeight[p] < bestWeight {
+				best, bestWeight = p, partWeight[p]
+			}
+		}
+		of[v] = best
+		partWeight[best] += cg.weights[v]
+	}
+	return of
+}
+
+// refine runs boundary KL passes: move vertices to reduce edge cut while
+// keeping every part within the balance tolerance.
+func refine(cg *coarseGraph, of []int, parts, passes int) {
+	var total int64
+	for _, w := range cg.weights {
+		total += w
+	}
+	ideal := total / int64(parts)
+	// Tight tolerance: balance is the primary objective (§4.1).
+	maxPart := ideal + ideal/20 + 1
+
+	partWeight := make([]int64, parts)
+	for v, p := range of {
+		partWeight[p] += cg.weights[v]
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		moved := false
+		for v := range cg.weights {
+			from := of[v]
+			// Gain of moving v to part p: external edges to p minus
+			// internal edges within from.
+			gain := make([]int64, parts)
+			for u, w := range cg.adj[v] {
+				gain[of[u]] += w
+			}
+			bestP, bestGain := -1, int64(0)
+			for p := 0; p < parts; p++ {
+				if p == from {
+					continue
+				}
+				d := gain[p] - gain[from]
+				// Balance-first: allow a zero-gain move only when it
+				// improves balance materially.
+				balanceGain := partWeight[from] - (partWeight[p] + cg.weights[v])
+				if partWeight[p]+cg.weights[v] > maxPart {
+					continue
+				}
+				if d > bestGain || (d == bestGain && d > 0 && balanceGain > 0) {
+					bestP, bestGain = p, d
+				}
+				// Pure balance move: overloaded source part.
+				if partWeight[from] > maxPart && balanceGain > 0 && bestP < 0 {
+					bestP = p
+				}
+			}
+			if bestP >= 0 && bestP != from {
+				of[v] = bestP
+				partWeight[from] -= cg.weights[v]
+				partWeight[bestP] += cg.weights[v]
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// EstimateFatTreeLoad returns the paper's per-role route estimates for a
+// k-pod FatTree: core and aggregation routers process ≈ k³/2 routes and
+// edge routers ≈ k³/4 (§4.1). Returns 0 (uniform) for non-FatTree names.
+func EstimateFatTreeLoad(k int) func(device string) int64 {
+	coreLoad := int64(k) * int64(k) * int64(k) / 2
+	edgeLoad := coreLoad / 2
+	return func(device string) int64 {
+		m := fatTreeName.FindStringSubmatch(device)
+		if m == nil {
+			return 1
+		}
+		switch m[1] {
+		case "core", "agg":
+			return coreLoad
+		case "edge":
+			return edgeLoad
+		}
+		return 1
+	}
+}

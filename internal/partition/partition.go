@@ -1,0 +1,264 @@
+// Package partition splits the network model into per-worker segments
+// (§4.1). The primary goal is balancing estimated workload across workers;
+// minimizing inter-worker communication is secondary, matching the paper's
+// observation that S2's performance depends mostly on load balance (§5.6).
+//
+// The "metis" scheme is a from-scratch multilevel graph partitioner in the
+// style of METIS: heavy-edge-matching coarsening, greedy balanced initial
+// partitioning, and boundary Kernighan–Lin refinement. The other schemes
+// ("random", "expert", and the two adversarial extremes "imbalanced" and
+// "commheavy") reproduce the comparisons of Figure 7.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"s2/internal/topology"
+)
+
+// Scheme selects a partitioning strategy.
+type Scheme string
+
+const (
+	// Metis is the multilevel balanced min-cut partitioner (default).
+	Metis Scheme = "metis"
+	// Random shuffles switches evenly into segments.
+	Random Scheme = "random"
+	// Expert uses topology-aware heuristics: pod locality for FatTrees,
+	// name-sorted contiguous chunks otherwise (§5.6).
+	Expert Scheme = "expert"
+	// Imbalanced puts 3/4 of all switches in segment 0 — the paper's
+	// load-imbalance extreme.
+	Imbalanced Scheme = "imbalanced"
+	// CommHeavy maximizes inter-worker communication by separating
+	// adjacent switches — the paper's communication extreme.
+	CommHeavy Scheme = "commheavy"
+)
+
+// ParseScheme validates a scheme name.
+func ParseScheme(s string) (Scheme, error) {
+	switch Scheme(s) {
+	case Metis, Random, Expert, Imbalanced, CommHeavy:
+		return Scheme(s), nil
+	}
+	return "", fmt.Errorf("partition: unknown scheme %q", s)
+}
+
+// Assignment maps every device to a worker segment in [0, Parts).
+type Assignment struct {
+	Parts int
+	Of    map[string]int
+}
+
+// Segment returns the device names assigned to part, sorted.
+func (a *Assignment) Segment(part int) []string {
+	var out []string
+	for dev, p := range a.Of {
+		if p == part {
+			out = append(out, dev)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts returns the number of devices per part.
+func (a *Assignment) Counts() []int {
+	counts := make([]int, a.Parts)
+	for _, p := range a.Of {
+		counts[p]++
+	}
+	return counts
+}
+
+// EdgeCut returns the total weight of edges crossing parts.
+func (a *Assignment) EdgeCut(g *topology.Graph) int64 {
+	var cut int64
+	for key, w := range g.EdgeWeights {
+		if a.Of[g.Nodes[key[0]]] != a.Of[g.Nodes[key[1]]] {
+			cut += w
+		}
+	}
+	return cut
+}
+
+// Balance returns maxPartWeight / idealPartWeight (1.0 = perfect).
+func (a *Assignment) Balance(g *topology.Graph) float64 {
+	weights := make([]int64, a.Parts)
+	for i, name := range g.Nodes {
+		weights[a.Of[name]] += g.NodeWeights[i]
+	}
+	var max int64
+	for _, w := range weights {
+		if w > max {
+			max = w
+		}
+	}
+	ideal := float64(g.TotalNodeWeight()) / float64(a.Parts)
+	if ideal == 0 {
+		return 1
+	}
+	return float64(max) / ideal
+}
+
+// Partition assigns the graph's nodes to parts using the given scheme. The
+// seed makes randomized schemes reproducible.
+func Partition(g *topology.Graph, parts int, scheme Scheme, seed int64) (*Assignment, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("partition: parts must be >= 1, got %d", parts)
+	}
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("partition: empty graph")
+	}
+	if parts > len(g.Nodes) {
+		parts = len(g.Nodes)
+	}
+	var of []int
+	switch scheme {
+	case Random:
+		of = randomParts(g, parts, seed)
+	case Expert:
+		of = expertParts(g, parts)
+	case Imbalanced:
+		of = imbalancedParts(g, parts, seed)
+	case CommHeavy:
+		of = commHeavyParts(g, parts)
+	case Metis, "":
+		of = metisParts(g, parts, seed)
+	default:
+		return nil, fmt.Errorf("partition: unknown scheme %q", scheme)
+	}
+	a := &Assignment{Parts: parts, Of: make(map[string]int, len(g.Nodes))}
+	for i, name := range g.Nodes {
+		a.Of[name] = of[i]
+	}
+	return a, nil
+}
+
+func randomParts(g *topology.Graph, parts int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(g.Nodes))
+	of := make([]int, len(g.Nodes))
+	for i, idx := range order {
+		of[idx] = i % parts
+	}
+	return of
+}
+
+func imbalancedParts(g *topology.Graph, parts int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(g.Nodes))
+	of := make([]int, len(g.Nodes))
+	heavy := len(g.Nodes) * 3 / 4
+	for i, idx := range order {
+		if i < heavy || parts == 1 {
+			of[idx] = 0
+		} else {
+			of[idx] = 1 + (i-heavy)%(parts-1)
+		}
+	}
+	return of
+}
+
+// fatTreeName matches the synthesized FatTree naming convention
+// (core-N, agg-P-N, edge-P-N).
+var fatTreeName = regexp.MustCompile(`^(core|agg|edge)-(\d+)(?:-(\d+))?$`)
+
+func expertParts(g *topology.Graph, parts int) []int {
+	of := make([]int, len(g.Nodes))
+	// FatTree-aware: keep each pod's aggregation and edge switches
+	// together; spread cores evenly.
+	isFatTree := true
+	for _, name := range g.Nodes {
+		if !fatTreeName.MatchString(name) {
+			isFatTree = false
+			break
+		}
+	}
+	if isFatTree {
+		coreIdx := 0
+		for i, name := range g.Nodes {
+			m := fatTreeName.FindStringSubmatch(name)
+			if m[1] == "core" {
+				of[i] = coreIdx % parts
+				coreIdx++
+				continue
+			}
+			pod, _ := strconv.Atoi(m[2])
+			of[i] = pod % parts
+		}
+		return of
+	}
+	// Generic expert: name-sorted contiguous chunks (the DCN heuristic —
+	// similarly named switches tend to be topologically close, §5.6).
+	sorted := append([]string(nil), g.Nodes...)
+	sort.Strings(sorted)
+	chunk := (len(sorted) + parts - 1) / parts
+	pos := map[string]int{}
+	for i, name := range sorted {
+		pos[name] = i / chunk
+	}
+	for i, name := range g.Nodes {
+		of[i] = pos[name]
+	}
+	return of
+}
+
+func commHeavyParts(g *topology.Graph, parts int) []int {
+	// Assign each node (in BFS order) to the part where it has the
+	// FEWEST... actually the MOST neighbors assigned elsewhere: pick the
+	// part minimizing co-located neighbors, maximizing the cut.
+	of := make([]int, len(g.Nodes))
+	for i := range of {
+		of[i] = -1
+	}
+	counts := make([]int, parts)
+	order := bfsOrder(g)
+	for _, i := range order {
+		neighborIn := make([]int, parts)
+		for _, j := range g.Adj[i] {
+			if of[j] >= 0 {
+				neighborIn[of[j]]++
+			}
+		}
+		best, bestScore := 0, 1<<62
+		for p := 0; p < parts; p++ {
+			// Minimize co-located neighbors, then balance by count.
+			score := neighborIn[p]*len(g.Nodes) + counts[p]
+			if score < bestScore {
+				best, bestScore = p, score
+			}
+		}
+		of[i] = best
+		counts[best]++
+	}
+	return of
+}
+
+func bfsOrder(g *topology.Graph) []int {
+	visited := make([]bool, len(g.Nodes))
+	var order []int
+	for start := range g.Nodes {
+		if visited[start] {
+			continue
+		}
+		queue := []int{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			order = append(order, cur)
+			for _, nb := range g.Adj[cur] {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,315 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"s2/internal/topology"
+)
+
+// makeGraph builds a Graph directly from an edge list with uniform weights.
+func makeGraph(n int, edges [][2]int, weights []int64) *topology.Graph {
+	g := &topology.Graph{
+		Index:       map[string]int{},
+		EdgeWeights: map[[2]int]int64{},
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%03d", i)
+		g.Nodes = append(g.Nodes, name)
+		g.Index[name] = i
+	}
+	g.Adj = make([][]int, n)
+	g.NodeWeights = make([]int64, n)
+	for i := range g.NodeWeights {
+		if weights != nil {
+			g.NodeWeights[i] = weights[i]
+		} else {
+			g.NodeWeights[i] = 1
+		}
+	}
+	for _, e := range edges {
+		i, j := e[0], e[1]
+		g.Adj[i] = append(g.Adj[i], j)
+		g.Adj[j] = append(g.Adj[j], i)
+		if i > j {
+			i, j = j, i
+		}
+		g.EdgeWeights[[2]int{i, j}] = 1
+	}
+	return g
+}
+
+// ring builds a cycle of n nodes.
+func ring(n int) *topology.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return makeGraph(n, edges, nil)
+}
+
+// twoClusters builds two dense cliques joined by a single bridge edge — the
+// canonical case where min-cut partitioning must find the bridge.
+func twoClusters(size int) *topology.Graph {
+	var edges [][2]int
+	for c := 0; c < 2; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, [2]int{base + i, base + j})
+			}
+		}
+	}
+	edges = append(edges, [2]int{0, size})
+	return makeGraph(2*size, edges, nil)
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, s := range []string{"metis", "random", "expert", "imbalanced", "commheavy"} {
+		if _, err := ParseScheme(s); err != nil {
+			t.Errorf("ParseScheme(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	g := ring(8)
+	if _, err := Partition(g, 0, Metis, 1); err == nil {
+		t.Error("parts=0 should fail")
+	}
+	if _, err := Partition(&topology.Graph{}, 2, Metis, 1); err == nil {
+		t.Error("empty graph should fail")
+	}
+	// More parts than nodes clamps.
+	a, err := Partition(ring(3), 8, Random, 1)
+	if err != nil || a.Parts != 3 {
+		t.Errorf("clamping: %v %v", a, err)
+	}
+	if _, err := Partition(g, 2, Scheme("bogus"), 1); err == nil {
+		t.Error("bogus scheme should fail")
+	}
+}
+
+func TestAllSchemesCoverAllNodes(t *testing.T) {
+	g := twoClusters(8)
+	for _, scheme := range []Scheme{Metis, Random, Expert, Imbalanced, CommHeavy} {
+		a, err := Partition(g, 4, scheme, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if len(a.Of) != 16 {
+			t.Errorf("%s: assigned %d of 16 nodes", scheme, len(a.Of))
+		}
+		for dev, p := range a.Of {
+			if p < 0 || p >= a.Parts {
+				t.Errorf("%s: %s assigned out-of-range part %d", scheme, dev, p)
+			}
+		}
+		total := 0
+		for p := 0; p < a.Parts; p++ {
+			total += len(a.Segment(p))
+		}
+		if total != 16 {
+			t.Errorf("%s: segments cover %d nodes", scheme, total)
+		}
+	}
+}
+
+func TestMetisFindsBridgeCut(t *testing.T) {
+	g := twoClusters(10)
+	a, err := Partition(g, 2, Metis, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := a.EdgeCut(g); cut != 1 {
+		t.Errorf("metis cut = %d, want the single bridge edge", cut)
+	}
+	if b := a.Balance(g); b > 1.05 {
+		t.Errorf("metis balance = %v", b)
+	}
+}
+
+func TestMetisBalancesWeightedNodes(t *testing.T) {
+	// One node is 10× heavier; balance should still hold within
+	// tolerance on a path graph.
+	weights := make([]int64, 20)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[0] = 10
+	var edges [][2]int
+	for i := 0; i < 19; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	g := makeGraph(20, edges, weights)
+	a, err := Partition(g, 2, Metis, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := a.Balance(g); b > 1.35 {
+		t.Errorf("weighted balance = %v", b)
+	}
+}
+
+func TestRandomIsBalancedByCount(t *testing.T) {
+	a, err := Partition(ring(100), 4, Random, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, c := range a.Counts() {
+		if c != 25 {
+			t.Errorf("part %d has %d nodes, want 25", p, c)
+		}
+	}
+	// Deterministic under the same seed.
+	b, _ := Partition(ring(100), 4, Random, 11)
+	for dev := range a.Of {
+		if a.Of[dev] != b.Of[dev] {
+			t.Fatal("same seed must reproduce the same assignment")
+		}
+	}
+}
+
+func TestImbalancedIsImbalanced(t *testing.T) {
+	g := ring(100)
+	a, err := Partition(g, 4, Imbalanced, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := a.Counts()[0]; c != 75 {
+		t.Errorf("heavy part = %d, want 75", c)
+	}
+	if b := a.Balance(g); b < 2.5 {
+		t.Errorf("imbalanced balance = %v, should be far from 1", b)
+	}
+}
+
+func TestCommHeavyMaximizesCut(t *testing.T) {
+	g := ring(32)
+	heavy, _ := Partition(g, 2, CommHeavy, 1)
+	met, _ := Partition(g, 2, Metis, 1)
+	if heavy.EdgeCut(g) <= met.EdgeCut(g) {
+		t.Errorf("commheavy cut %d should exceed metis cut %d",
+			heavy.EdgeCut(g), met.EdgeCut(g))
+	}
+}
+
+func TestExpertFatTreePodLocality(t *testing.T) {
+	// Build FatTree-named nodes: 4 pods × (2 agg + 2 edge) + 4 cores.
+	g := &topology.Graph{Index: map[string]int{}, EdgeWeights: map[[2]int]int64{}}
+	for c := 0; c < 4; c++ {
+		g.Nodes = append(g.Nodes, fmt.Sprintf("core-%d", c))
+	}
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 2; i++ {
+			g.Nodes = append(g.Nodes, fmt.Sprintf("agg-%d-%d", p, i))
+			g.Nodes = append(g.Nodes, fmt.Sprintf("edge-%d-%d", p, i))
+		}
+	}
+	for i, n := range g.Nodes {
+		g.Index[n] = i
+	}
+	g.Adj = make([][]int, len(g.Nodes))
+	g.NodeWeights = make([]int64, len(g.Nodes))
+	for i := range g.NodeWeights {
+		g.NodeWeights[i] = 1
+	}
+	a, err := Partition(g, 2, Expert, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-pod agg/edge nodes must share a part.
+	for p := 0; p < 4; p++ {
+		want := a.Of[fmt.Sprintf("agg-%d-0", p)]
+		for _, name := range []string{
+			fmt.Sprintf("agg-%d-1", p),
+			fmt.Sprintf("edge-%d-0", p),
+			fmt.Sprintf("edge-%d-1", p),
+		} {
+			if a.Of[name] != want {
+				t.Errorf("pod %d split: %s in %d, want %d", p, name, a.Of[name], want)
+			}
+		}
+	}
+	// Cores spread across parts.
+	coreParts := map[int]bool{}
+	for c := 0; c < 4; c++ {
+		coreParts[a.Of[fmt.Sprintf("core-%d", c)]] = true
+	}
+	if len(coreParts) != 2 {
+		t.Errorf("cores should spread over both parts: %v", coreParts)
+	}
+}
+
+func TestExpertGenericChunks(t *testing.T) {
+	a, err := Partition(ring(10), 2, Expert, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Name-sorted contiguous: n000..n004 → 0, n005..n009 → 1.
+	if a.Of["n000"] != 0 || a.Of["n009"] != 1 {
+		t.Errorf("chunking: %v", a.Of)
+	}
+}
+
+func TestEstimateFatTreeLoad(t *testing.T) {
+	load := EstimateFatTreeLoad(4)
+	if load("core-0") != 32 || load("agg-1-0") != 32 {
+		t.Errorf("core/agg load = %d/%d, want 32 (k³/2)", load("core-0"), load("agg-1-0"))
+	}
+	if load("edge-0-1") != 16 {
+		t.Errorf("edge load = %d, want 16 (k³/4)", load("edge-0-1"))
+	}
+	if load("spine-rack-7") != 1 {
+		t.Error("non-FatTree names get uniform load")
+	}
+}
+
+func TestSinglePart(t *testing.T) {
+	g := twoClusters(5)
+	for _, scheme := range []Scheme{Metis, Random, Expert, Imbalanced, CommHeavy} {
+		a, err := Partition(g, 1, scheme, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if a.EdgeCut(g) != 0 {
+			t.Errorf("%s: single part must have zero cut", scheme)
+		}
+	}
+}
+
+func TestMetisLargerGraph(t *testing.T) {
+	// A 4-cluster graph: metis with 4 parts should cut few edges and
+	// balance well.
+	var edges [][2]int
+	const cs = 12
+	for c := 0; c < 4; c++ {
+		base := c * cs
+		for i := 0; i < cs; i++ {
+			for j := i + 1; j < cs; j++ {
+				if (i+j)%3 == 0 { // sparse-ish clusters
+					edges = append(edges, [2]int{base + i, base + j})
+				}
+			}
+		}
+	}
+	// Ring of bridges between clusters.
+	for c := 0; c < 4; c++ {
+		edges = append(edges, [2]int{c * cs, ((c + 1) % 4) * cs})
+	}
+	g := makeGraph(4*cs, edges, nil)
+	a, err := Partition(g, 4, Metis, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := a.Balance(g); b > 1.2 {
+		t.Errorf("balance = %v", b)
+	}
+	rnd, _ := Partition(g, 4, Random, 9)
+	if a.EdgeCut(g) >= rnd.EdgeCut(g) {
+		t.Errorf("metis cut %d should beat random cut %d", a.EdgeCut(g), rnd.EdgeCut(g))
+	}
+}

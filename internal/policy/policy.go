@@ -1,0 +1,147 @@
+// Package policy evaluates routing policy — route-maps with their referenced
+// prefix-lists, community-lists, and as-path lists — against candidate
+// routes. It is the semantic core that Batfish implements per vendor; here
+// a single evaluator consumes the vendor-independent model, with
+// vendor-specific behaviours applied by the BGP process (see internal/bgp).
+package policy
+
+import (
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+// Result is the disposition of applying a policy to a route.
+type Result uint8
+
+const (
+	// DenyRoute: the route is filtered.
+	DenyRoute Result = iota
+	// PermitRoute: the route passes, possibly transformed.
+	PermitRoute
+)
+
+// Evaluator applies a device's route-maps. It is stateless and safe for
+// concurrent use as long as the underlying device model is not mutated.
+type Evaluator struct {
+	dev *config.Device
+}
+
+// NewEvaluator returns an evaluator bound to a device's policy objects.
+func NewEvaluator(dev *config.Device) *Evaluator {
+	return &Evaluator{dev: dev}
+}
+
+// Apply evaluates the named route-map against r. The input route is never
+// modified; when the route-map transforms the route, the returned route is
+// a fresh copy. An empty name permits the route unchanged (no policy
+// configured). A reference to an undefined route-map denies, matching the
+// conservative behaviour verifiers adopt for broken references.
+func (e *Evaluator) Apply(name string, r *route.Route) (*route.Route, Result) {
+	if name == "" {
+		return r, PermitRoute
+	}
+	rm, ok := e.dev.RouteMaps[name]
+	if !ok {
+		return nil, DenyRoute
+	}
+	for _, clause := range rm.Clauses {
+		if !e.clauseMatches(clause, r) {
+			continue
+		}
+		if clause.Action == config.Deny {
+			return nil, DenyRoute
+		}
+		if len(clause.Sets) == 0 {
+			return r, PermitRoute
+		}
+		out := r.Clone()
+		for _, s := range clause.Sets {
+			e.applySet(s, out)
+		}
+		return out, PermitRoute
+	}
+	// No clause matched: implicit deny.
+	return nil, DenyRoute
+}
+
+// clauseMatches reports whether every match condition in the clause holds
+// (AND semantics across match statements, as in IOS).
+func (e *Evaluator) clauseMatches(c *config.RouteMapClause, r *route.Route) bool {
+	for _, m := range c.Matches {
+		switch m.Kind {
+		case config.MatchPrefixList:
+			pl, ok := e.dev.PrefixLists[m.Name]
+			if !ok || !pl.Permits(r.Prefix) {
+				return false
+			}
+		case config.MatchCommunityList:
+			cl, ok := e.dev.CommunityLists[m.Name]
+			if !ok || !cl.Permits(r.HasCommunity) {
+				return false
+			}
+		case config.MatchASPathList:
+			al, ok := e.dev.ASPathLists[m.Name]
+			if !ok || !al.Permits(r.ASPath) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// applySet mutates out (a private copy) according to one set action.
+func (e *Evaluator) applySet(s config.Set, out *route.Route) {
+	switch s.Kind {
+	case config.SetLocalPref:
+		out.LocalPref = s.Value
+	case config.SetMED:
+		out.Metric = s.Value
+	case config.SetCommunity:
+		if s.Additive {
+			for _, c := range s.Communities {
+				if !out.HasCommunity(c) {
+					out.Communities = append(out.Communities, c)
+				}
+			}
+		} else {
+			out.Communities = append([]route.Community(nil), s.Communities...)
+		}
+	case config.SetCommunityDelete:
+		cl, ok := e.dev.CommunityLists[s.Name]
+		if !ok {
+			return
+		}
+		kept := out.Communities[:0:0]
+		for _, c := range out.Communities {
+			if !communityListMatchesOne(cl, c) {
+				kept = append(kept, c)
+			}
+		}
+		out.Communities = kept
+	case config.SetASPathPrepend:
+		out.ASPath = append(append([]uint32(nil), s.Prepend...), out.ASPath...)
+	case config.SetASPathOverwrite:
+		// The nonstandard AS_PATH overwrite from the paper's DCN (§2.3):
+		// replace the whole path with the local ASN so repeated layer
+		// ASNs do not cause route drops.
+		out.ASPath = []uint32{s.Value}
+	case config.SetOrigin:
+		out.Origin = s.Origin
+	}
+}
+
+// communityListMatchesOne reports whether a single community is permitted by
+// the list when considered in isolation — the matching rule for
+// "set comm-list NAME delete".
+func communityListMatchesOne(cl *config.CommunityList, c route.Community) bool {
+	has := func(x route.Community) bool { return x == c }
+	for _, e := range cl.Entries {
+		// Only single-community entries can match a single community.
+		if len(e.Communities) == 1 && e.Matches(has) {
+			return e.Action == config.Permit
+		}
+	}
+	return false
+}

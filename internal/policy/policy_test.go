@@ -1,0 +1,230 @@
+package policy
+
+import (
+	"testing"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+// buildDevice parses a policy-only config for evaluator tests.
+func buildDevice(t *testing.T, cfg string) *config.Device {
+	t.Helper()
+	dev, err := config.Parse("test.cfg", cfg)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return dev
+}
+
+func candidate() *route.Route {
+	return &route.Route{
+		Prefix:      route.MustParsePrefix("10.8.0.0/24"),
+		Protocol:    route.BGP,
+		ASPath:      []uint32{65100, 65001},
+		LocalPref:   100,
+		Communities: []route.Community{route.MakeCommunity(65000, 100)},
+	}
+}
+
+func TestApplyEmptyNamePermitsUnchanged(t *testing.T) {
+	e := NewEvaluator(buildDevice(t, "hostname h\n"))
+	r := candidate()
+	out, res := e.Apply("", r)
+	if res != PermitRoute || out != r {
+		t.Fatal("empty policy must permit the identical route")
+	}
+}
+
+func TestApplyUndefinedDenies(t *testing.T) {
+	e := NewEvaluator(buildDevice(t, "hostname h\n"))
+	if _, res := e.Apply("GHOST", candidate()); res != DenyRoute {
+		t.Fatal("undefined route-map must deny")
+	}
+}
+
+func TestFirstMatchWinsAndImplicitDeny(t *testing.T) {
+	dev := buildDevice(t, `hostname h
+ip prefix-list PL10 seq 10 permit 10.0.0.0/8 le 32
+route-map RM permit 10
+ match ip address prefix-list PL10
+ set local-preference 300
+route-map RM permit 20
+ set local-preference 999
+`)
+	e := NewEvaluator(dev)
+	out, res := e.Apply("RM", candidate())
+	if res != PermitRoute || out.LocalPref != 300 {
+		t.Fatalf("first clause should win: %v %v", out, res)
+	}
+	// A route outside 10/8 falls to clause 20 (no matches = match all).
+	other := candidate()
+	other.Prefix = route.MustParsePrefix("192.168.0.0/24")
+	out, res = e.Apply("RM", other)
+	if res != PermitRoute || out.LocalPref != 999 {
+		t.Fatal("match-less clause should match everything")
+	}
+
+	devDeny := buildDevice(t, `hostname h
+ip prefix-list PL10 seq 10 permit 10.0.0.0/8 le 32
+route-map RM permit 10
+ match ip address prefix-list PL10
+`)
+	e2 := NewEvaluator(devDeny)
+	if _, res := e2.Apply("RM", other); res != DenyRoute {
+		t.Fatal("route matching no clause must be denied")
+	}
+}
+
+func TestDenyClause(t *testing.T) {
+	dev := buildDevice(t, `hostname h
+ip prefix-list PL10 seq 10 permit 10.0.0.0/8 le 32
+route-map RM deny 10
+ match ip address prefix-list PL10
+route-map RM permit 20
+`)
+	e := NewEvaluator(dev)
+	if _, res := e.Apply("RM", candidate()); res != DenyRoute {
+		t.Fatal("deny clause")
+	}
+	other := candidate()
+	other.Prefix = route.MustParsePrefix("192.168.0.0/24")
+	if _, res := e.Apply("RM", other); res != PermitRoute {
+		t.Fatal("non-matching route falls through deny clause")
+	}
+}
+
+func TestMatchANDSemantics(t *testing.T) {
+	dev := buildDevice(t, `hostname h
+ip prefix-list PL10 seq 10 permit 10.0.0.0/8 le 32
+ip community-list standard CL permit 65000:100
+route-map RM permit 10
+ match ip address prefix-list PL10
+ match community CL
+ set metric 7
+`)
+	e := NewEvaluator(dev)
+	out, res := e.Apply("RM", candidate())
+	if res != PermitRoute || out.Metric != 7 {
+		t.Fatal("both matches hold → permit")
+	}
+	noComm := candidate()
+	noComm.Communities = nil
+	if _, res := e.Apply("RM", noComm); res != DenyRoute {
+		t.Fatal("one failing match must deny (AND semantics)")
+	}
+}
+
+func TestMatchASPath(t *testing.T) {
+	dev := buildDevice(t, `hostname h
+ip as-path access-list AP permit _65100_
+route-map RM permit 10
+ match as-path AP
+`)
+	e := NewEvaluator(dev)
+	if _, res := e.Apply("RM", candidate()); res != PermitRoute {
+		t.Fatal("as-path match")
+	}
+	r := candidate()
+	r.ASPath = []uint32{1, 2}
+	if _, res := e.Apply("RM", r); res != DenyRoute {
+		t.Fatal("as-path non-match")
+	}
+}
+
+func TestSetActionsDoNotMutateInput(t *testing.T) {
+	dev := buildDevice(t, `hostname h
+route-map RM permit 10
+ set local-preference 500
+ set metric 42
+ set community 65000:500 additive
+ set as-path prepend 65001 65001
+ set origin egp
+`)
+	e := NewEvaluator(dev)
+	in := candidate()
+	out, res := e.Apply("RM", in)
+	if res != PermitRoute {
+		t.Fatal("permit expected")
+	}
+	if out == in {
+		t.Fatal("transforming policy must copy the route")
+	}
+	if out.LocalPref != 500 || out.Metric != 42 || out.Origin != route.OriginEGP {
+		t.Errorf("sets not applied: %+v", out)
+	}
+	if len(out.ASPath) != 4 || out.ASPath[0] != 65001 || out.ASPath[2] != 65100 {
+		t.Errorf("prepend: %v", out.ASPath)
+	}
+	if len(out.Communities) != 2 || !out.HasCommunity(route.MakeCommunity(65000, 500)) {
+		t.Errorf("additive community: %v", out.Communities)
+	}
+	// Input untouched.
+	if in.LocalPref != 100 || len(in.ASPath) != 2 || len(in.Communities) != 1 {
+		t.Fatal("input route was mutated")
+	}
+}
+
+func TestSetCommunityReplace(t *testing.T) {
+	dev := buildDevice(t, `hostname h
+route-map RM permit 10
+ set community 65000:1 65000:2
+`)
+	out, _ := NewEvaluator(dev).Apply("RM", candidate())
+	if len(out.Communities) != 2 || out.HasCommunity(route.MakeCommunity(65000, 100)) {
+		t.Fatalf("replace semantics: %v", out.Communities)
+	}
+}
+
+func TestSetCommunityAdditiveNoDuplicate(t *testing.T) {
+	dev := buildDevice(t, `hostname h
+route-map RM permit 10
+ set community 65000:100 additive
+`)
+	out, _ := NewEvaluator(dev).Apply("RM", candidate())
+	if len(out.Communities) != 1 {
+		t.Fatalf("additive must not duplicate: %v", out.Communities)
+	}
+}
+
+func TestSetCommListDelete(t *testing.T) {
+	dev := buildDevice(t, `hostname h
+ip community-list standard CL permit 65000:100
+route-map RM permit 10
+ set comm-list CL delete
+`)
+	in := candidate()
+	in.Communities = append(in.Communities, route.MakeCommunity(65000, 999))
+	out, _ := NewEvaluator(dev).Apply("RM", in)
+	if out.HasCommunity(route.MakeCommunity(65000, 100)) {
+		t.Error("matched community should be deleted")
+	}
+	if !out.HasCommunity(route.MakeCommunity(65000, 999)) {
+		t.Error("unmatched community should be kept")
+	}
+}
+
+func TestSetASPathOverwrite(t *testing.T) {
+	dev := buildDevice(t, `hostname h
+route-map RM permit 10
+ set as-path overwrite 65999
+`)
+	out, _ := NewEvaluator(dev).Apply("RM", candidate())
+	if len(out.ASPath) != 1 || out.ASPath[0] != 65999 {
+		t.Fatalf("overwrite: %v", out.ASPath)
+	}
+}
+
+func TestClauseOrderBySeq(t *testing.T) {
+	// Clauses declared out of order must evaluate by sequence number.
+	dev := buildDevice(t, `hostname h
+route-map RM permit 20
+ set local-preference 222
+route-map RM permit 10
+ set local-preference 111
+`)
+	out, _ := NewEvaluator(dev).Apply("RM", candidate())
+	if out.LocalPref != 111 {
+		t.Fatalf("clause 10 should evaluate first, got lp=%d", out.LocalPref)
+	}
+}

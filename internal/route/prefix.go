@@ -1,0 +1,153 @@
+// Package route provides the IPv4 routing substrate shared by the control
+// plane simulation and the data plane verification: prefixes, route types
+// with protocol-specific attributes, multipath RIBs, and a longest-prefix
+// match trie used for FIB construction.
+//
+// The paper's prototype reuses Batfish's route model; this package is the
+// from-scratch Go equivalent. It is IPv4-only, matching the paper's current
+// scope (§7, "S2 now only supports IPv4").
+package route
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IPv4 prefix in canonical form: all bits beyond Len are zero.
+// The zero value is 0.0.0.0/0, the default route.
+type Prefix struct {
+	Addr uint32 // network address, host byte order
+	Len  uint8  // prefix length, 0..32
+}
+
+// Mask returns the netmask for a prefix length as a 32-bit word.
+func Mask(length uint8) uint32 {
+	if length == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - length)
+}
+
+// MakePrefix canonicalizes addr under the given length.
+func MakePrefix(addr uint32, length uint8) Prefix {
+	if length > 32 {
+		length = 32
+	}
+	return Prefix{Addr: addr & Mask(length), Len: length}
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (uint32, error) {
+	var parts [4]uint64
+	rest := s
+	for i := 0; i < 4; i++ {
+		var tok string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("route: invalid IPv4 address %q", s)
+			}
+			tok, rest = rest[:dot], rest[dot+1:]
+		} else {
+			tok = rest
+		}
+		v, err := strconv.ParseUint(tok, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("route: invalid IPv4 address %q: %v", s, err)
+		}
+		parts[i] = v
+	}
+	return uint32(parts[0])<<24 | uint32(parts[1])<<16 | uint32(parts[2])<<8 | uint32(parts[3]), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for tests and synthesis.
+func MustParseAddr(s string) uint32 {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// FormatAddr renders a 32-bit address as a dotted quad.
+func FormatAddr(a uint32) string {
+	var b strings.Builder
+	b.Grow(15)
+	for i := 3; i >= 0; i-- {
+		b.WriteString(strconv.FormatUint(uint64(a>>(8*i))&0xff, 10))
+		if i > 0 {
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
+
+// ParsePrefix parses "a.b.c.d/len". The address is canonicalized (host bits
+// cleared), as routers do when installing routes.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("route: prefix %q missing /length", s)
+	}
+	addr, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	l, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil || l > 32 {
+		return Prefix{}, fmt.Errorf("route: invalid prefix length in %q", s)
+	}
+	return MakePrefix(addr, uint8(l)), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the prefix as "a.b.c.d/len".
+func (p Prefix) String() string {
+	return FormatAddr(p.Addr) + "/" + strconv.FormatUint(uint64(p.Len), 10)
+}
+
+// Contains reports whether p covers the address a.
+func (p Prefix) Contains(a uint32) bool {
+	return a&Mask(p.Len) == p.Addr
+}
+
+// Covers reports whether p covers the entire prefix q (p is equal to or less
+// specific than q).
+func (p Prefix) Covers(q Prefix) bool {
+	return p.Len <= q.Len && q.Addr&Mask(p.Len) == p.Addr
+}
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Covers(q) || q.Covers(p)
+}
+
+// FirstAddr returns the lowest address in p.
+func (p Prefix) FirstAddr() uint32 { return p.Addr }
+
+// LastAddr returns the highest address in p.
+func (p Prefix) LastAddr() uint32 { return p.Addr | ^Mask(p.Len) }
+
+// Compare orders prefixes by address then by length, suitable for sorting.
+func (p Prefix) Compare(q Prefix) int {
+	switch {
+	case p.Addr < q.Addr:
+		return -1
+	case p.Addr > q.Addr:
+		return 1
+	case p.Len < q.Len:
+		return -1
+	case p.Len > q.Len:
+		return 1
+	}
+	return 0
+}

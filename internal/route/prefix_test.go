@@ -1,0 +1,158 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"10.0.0.1", 0x0a000001, true},
+		{"192.168.1.2", 0xc0a80102, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %08x, want %08x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatAddrRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		got, err := ParseAddr(FormatAddr(a))
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.1.2.3/24")
+	if p.Addr != 0x0a010200 || p.Len != 24 {
+		t.Fatalf("got %v, want 10.1.2.0/24 canonicalized", p)
+	}
+	if p.String() != "10.1.2.0/24" {
+		t.Fatalf("String() = %q", p.String())
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/x", "nope/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := map[uint8]uint32{
+		0:  0,
+		1:  0x80000000,
+		8:  0xff000000,
+		24: 0xffffff00,
+		31: 0xfffffffe,
+		32: 0xffffffff,
+	}
+	for l, want := range cases {
+		if got := Mask(l); got != want {
+			t.Errorf("Mask(%d) = %08x, want %08x", l, got, want)
+		}
+	}
+}
+
+func TestContainsCovers(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if !p.Contains(MustParseAddr("10.1.255.254")) {
+		t.Error("10.1.0.0/16 should contain 10.1.255.254")
+	}
+	if p.Contains(MustParseAddr("10.2.0.0")) {
+		t.Error("10.1.0.0/16 should not contain 10.2.0.0")
+	}
+	if !p.Covers(MustParsePrefix("10.1.2.0/24")) {
+		t.Error("/16 should cover /24 inside it")
+	}
+	if p.Covers(MustParsePrefix("10.2.2.0/24")) {
+		t.Error("/16 should not cover /24 outside it")
+	}
+	if MustParsePrefix("10.1.2.0/24").Covers(p) {
+		t.Error("more specific should not cover less specific")
+	}
+	if !p.Covers(p) {
+		t.Error("prefix should cover itself")
+	}
+	def := Prefix{}
+	if !def.Covers(p) || !def.Contains(0xffffffff) {
+		t.Error("default route should cover everything")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.1.0.0/16")
+	b := MustParsePrefix("10.1.2.0/24")
+	c := MustParsePrefix("10.2.0.0/16")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint prefixes do not overlap")
+	}
+}
+
+func TestFirstLastAddr(t *testing.T) {
+	p := MustParsePrefix("10.1.2.0/24")
+	if p.FirstAddr() != MustParseAddr("10.1.2.0") {
+		t.Error("FirstAddr")
+	}
+	if p.LastAddr() != MustParseAddr("10.1.2.255") {
+		t.Error("LastAddr")
+	}
+	host := MustParsePrefix("10.1.2.3/32")
+	if host.FirstAddr() != host.LastAddr() {
+		t.Error("host route should have a single address")
+	}
+}
+
+func TestPrefixCompare(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 {
+		t.Error("shorter length sorts first at equal address")
+	}
+	if a.Compare(c) >= 0 || c.Compare(a) <= 0 {
+		t.Error("lower address sorts first")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("equal prefixes compare 0")
+	}
+}
+
+func TestCoversQuick(t *testing.T) {
+	// Property: p covers q iff every generated address of q is contained
+	// in p, sampled randomly.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p := MakePrefix(rng.Uint32(), uint8(rng.Intn(33)))
+		q := MakePrefix(rng.Uint32(), uint8(rng.Intn(33)))
+		addr := q.Addr | (rng.Uint32() &^ Mask(q.Len))
+		if p.Covers(q) && !p.Contains(addr) {
+			t.Fatalf("p=%v covers q=%v but does not contain %s", p, q, FormatAddr(addr))
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Protocol identifies the origin protocol of a route. Administrative
+// distances follow common vendor defaults.
+type Protocol uint8
+
+const (
+	Connected Protocol = iota
+	Static
+	OSPF
+	BGP       // learned over eBGP
+	IBGP      // learned over iBGP
+	Aggregate // locally generated BGP aggregate
+)
+
+// String returns the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case Connected:
+		return "connected"
+	case Static:
+		return "static"
+	case OSPF:
+		return "ospf"
+	case BGP:
+		return "bgp"
+	case IBGP:
+		return "ibgp"
+	case Aggregate:
+		return "aggregate"
+	}
+	return "unknown(" + strconv.Itoa(int(p)) + ")"
+}
+
+// AdminDistance returns the administrative distance used when routes of
+// different protocols compete for the same prefix in the main RIB.
+func (p Protocol) AdminDistance() uint8 {
+	switch p {
+	case Connected:
+		return 0
+	case Static:
+		return 1
+	case BGP:
+		return 20
+	case OSPF:
+		return 110
+	case IBGP:
+		return 200
+	case Aggregate:
+		return 200
+	}
+	return 255
+}
+
+// Origin is the BGP ORIGIN attribute. Lower is preferred.
+type Origin uint8
+
+const (
+	OriginIGP Origin = iota
+	OriginEGP
+	OriginIncomplete
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "igp"
+	case OriginEGP:
+		return "egp"
+	}
+	return "incomplete"
+}
+
+// Community is a standard BGP community encoded as asn<<16|value.
+type Community uint32
+
+// MakeCommunity builds a community from its two 16-bit halves.
+func MakeCommunity(asn, value uint16) Community {
+	return Community(uint32(asn)<<16 | uint32(value))
+}
+
+// ParseCommunity parses "asn:value".
+func ParseCommunity(s string) (Community, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return 0, fmt.Errorf("route: community %q missing colon", s)
+	}
+	hi, err := strconv.ParseUint(s[:colon], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("route: invalid community %q: %v", s, err)
+	}
+	lo, err := strconv.ParseUint(s[colon+1:], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("route: invalid community %q: %v", s, err)
+	}
+	return MakeCommunity(uint16(hi), uint16(lo)), nil
+}
+
+// String renders the community as "asn:value".
+func (c Community) String() string {
+	return strconv.FormatUint(uint64(c>>16), 10) + ":" + strconv.FormatUint(uint64(c&0xffff), 10)
+}
+
+// Route is a single RIB entry. It is treated as immutable once installed:
+// policy application always copies before modifying, so routes can be shared
+// across Adj-RIBs, serialized, and hashed without synchronization.
+type Route struct {
+	Prefix   Prefix
+	Protocol Protocol
+
+	// NextHop is the IP of the next-hop interface; 0 for locally
+	// originated routes (connected, network statements, aggregates).
+	NextHop uint32
+	// NextHopNode names the neighbouring device this route was learned
+	// from; empty for local routes. It is carried so FIB construction can
+	// resolve egress ports without re-deriving adjacency from NextHop.
+	NextHopNode string
+
+	// Metric is the IGP cost for OSPF routes and the MED for BGP routes.
+	Metric uint32
+
+	// BGP path attributes; zero-valued for non-BGP routes.
+	ASPath      []uint32
+	LocalPref   uint32
+	Origin      Origin
+	Communities []Community
+	// OriginatorID is the BGP router ID of the route's originator and the
+	// final tiebreaker in the decision process.
+	OriginatorID uint32
+	// PeerAS is the AS of the neighbour the route was learned from (used
+	// for MED comparability).
+	PeerAS uint32
+}
+
+// Clone returns a deep copy whose attribute slices are safe to modify.
+func (r *Route) Clone() *Route {
+	c := *r
+	if len(r.ASPath) > 0 {
+		c.ASPath = append([]uint32(nil), r.ASPath...)
+	}
+	if len(r.Communities) > 0 {
+		c.Communities = append([]Community(nil), r.Communities...)
+	}
+	return &c
+}
+
+// HasCommunity reports whether the route carries community c.
+func (r *Route) HasCommunity(c Community) bool {
+	for _, x := range r.Communities {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// ASPathContains reports whether asn appears anywhere in the AS path. BGP
+// speakers use this for loop detection on receipt.
+func (r *Route) ASPathContains(asn uint32) bool {
+	for _, a := range r.ASPath {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// ModelBytes is the modelled in-memory footprint of the route, charged to
+// the owning worker's memory budget by the metrics package. The base cost
+// approximates the paper prototype's immutable Java route objects (object
+// headers, boxed attributes, per-entry map overhead — several hundred
+// bytes each), plus per-element costs for variable-length attributes.
+func (r *Route) ModelBytes() int64 {
+	return 256 + int64(len(r.ASPath))*8 + int64(len(r.Communities))*8 + int64(len(r.NextHopNode))
+}
+
+// LiteModelBytes is the modelled footprint of an attribute-stripped route
+// retained only for FIB construction (prefix + next hop), far cheaper than
+// a full route — the saving prefix sharding banks between rounds.
+const LiteModelBytes = 48
+
+// String renders the route in a show-ip-route-like single line form.
+func (r *Route) String() string {
+	var b strings.Builder
+	b.WriteString(r.Prefix.String())
+	b.WriteString(" [")
+	b.WriteString(r.Protocol.String())
+	b.WriteString("] via ")
+	if r.NextHopNode != "" {
+		b.WriteString(r.NextHopNode)
+		b.WriteByte('(')
+		b.WriteString(FormatAddr(r.NextHop))
+		b.WriteByte(')')
+	} else {
+		b.WriteString("local")
+	}
+	if r.Protocol == BGP || r.Protocol == IBGP || r.Protocol == Aggregate {
+		b.WriteString(" as-path=")
+		for i, a := range r.ASPath {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.FormatUint(uint64(a), 10))
+		}
+		b.WriteString(" lp=")
+		b.WriteString(strconv.FormatUint(uint64(r.LocalPref), 10))
+		b.WriteString(" med=")
+		b.WriteString(strconv.FormatUint(uint64(r.Metric), 10))
+		if len(r.Communities) > 0 {
+			b.WriteString(" comm=")
+			for i, c := range r.Communities {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(c.String())
+			}
+		}
+	}
+	return b.String()
+}
+
+// Key is a canonical identity for a route used for change detection and for
+// deduplication in Adj-RIBs: two routes with equal keys are interchangeable
+// for the simulation.
+func (r *Route) Key() string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(r.Prefix.String())
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(r.Protocol)))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(uint64(r.NextHop), 16))
+	b.WriteByte('|')
+	b.WriteString(r.NextHopNode)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(uint64(r.Metric), 10))
+	b.WriteByte('|')
+	for _, a := range r.ASPath {
+		b.WriteString(strconv.FormatUint(uint64(a), 36))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(uint64(r.LocalPref), 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(r.Origin)))
+	b.WriteByte('|')
+	for _, c := range r.Communities {
+		b.WriteString(strconv.FormatUint(uint64(c), 36))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(uint64(r.OriginatorID), 16))
+	return b.String()
+}
+
+// Equal reports attribute-level equality.
+func (r *Route) Equal(o *Route) bool {
+	if r.Prefix != o.Prefix || r.Protocol != o.Protocol || r.NextHop != o.NextHop ||
+		r.NextHopNode != o.NextHopNode || r.Metric != o.Metric ||
+		r.LocalPref != o.LocalPref || r.Origin != o.Origin ||
+		r.OriginatorID != o.OriginatorID || r.PeerAS != o.PeerAS ||
+		len(r.ASPath) != len(o.ASPath) || len(r.Communities) != len(o.Communities) {
+		return false
+	}
+	for i := range r.ASPath {
+		if r.ASPath[i] != o.ASPath[i] {
+			return false
+		}
+	}
+	for i := range r.Communities {
+		if r.Communities[i] != o.Communities[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortRoutes orders routes deterministically (prefix, then key). Used to
+// canonicalize RIB dumps for comparison between S2 and the baselines.
+func SortRoutes(rs []*Route) {
+	sort.Slice(rs, func(i, j int) bool {
+		if c := rs[i].Prefix.Compare(rs[j].Prefix); c != 0 {
+			return c < 0
+		}
+		return rs[i].Key() < rs[j].Key()
+	})
+}

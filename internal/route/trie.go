@@ -1,0 +1,171 @@
+package route
+
+// Trie is a binary (uncompressed path, per-bit) trie over IPv4 prefixes used
+// for longest-prefix-match during FIB construction and for finding
+// more-specific routes during aggregate activation. Values are arbitrary;
+// the data plane stores per-prefix forwarding entries, the BGP model stores
+// contributing routes.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// NewTrie returns an empty trie.
+func NewTrie[V any]() *Trie[V] {
+	return &Trie[V]{root: &trieNode[V]{}}
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+func bitAt(addr uint32, i uint8) int {
+	return int(addr>>(31-i)) & 1
+}
+
+// Insert stores v under p, replacing any existing value.
+func (t *Trie[V]) Insert(p Prefix, v V) {
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		b := bitAt(p.Addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// Get returns the value stored exactly at p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		b := bitAt(p.Addr, i)
+		if n.child[b] == nil {
+			var zero V
+			return zero, false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the value stored exactly at p, reporting whether it existed.
+// Emptied nodes are left in place; tries in S2 are rebuilt per shard round so
+// structural pruning is unnecessary.
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		b := bitAt(p.Addr, i)
+		if n.child[b] == nil {
+			return false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Lookup performs longest-prefix match for addr, returning the value and the
+// matching prefix.
+func (t *Trie[V]) Lookup(addr uint32) (V, Prefix, bool) {
+	var (
+		best    V
+		bestPfx Prefix
+		found   bool
+	)
+	n := t.root
+	if n.set {
+		best, bestPfx, found = n.val, Prefix{}, true
+	}
+	for i := uint8(0); i < 32; i++ {
+		b := bitAt(addr, i)
+		if n.child[b] == nil {
+			break
+		}
+		n = n.child[b]
+		if n.set {
+			best, bestPfx, found = n.val, MakePrefix(addr, i+1), true
+		}
+	}
+	return best, bestPfx, found
+}
+
+// CoveredBy returns, for every stored prefix strictly more specific than or
+// equal to p, its (prefix, value) pair. Used to find an aggregate's
+// contributing routes.
+func (t *Trie[V]) CoveredBy(p Prefix) []TrieEntry[V] {
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		b := bitAt(p.Addr, i)
+		if n.child[b] == nil {
+			return nil
+		}
+		n = n.child[b]
+	}
+	var out []TrieEntry[V]
+	collect(n, p, &out)
+	return out
+}
+
+// TrieEntry pairs a stored prefix with its value.
+type TrieEntry[V any] struct {
+	Prefix Prefix
+	Value  V
+}
+
+func collect[V any](n *trieNode[V], p Prefix, out *[]TrieEntry[V]) {
+	if n.set {
+		*out = append(*out, TrieEntry[V]{p, n.val})
+	}
+	for b, c := range n.child {
+		if c == nil {
+			continue
+		}
+		cp := p
+		cp.Len++
+		if b == 1 {
+			cp.Addr |= 1 << (31 - p.Len)
+		}
+		collect(c, cp, out)
+	}
+}
+
+// Walk visits every stored (prefix, value) pair in trie (address) order.
+func (t *Trie[V]) Walk(fn func(Prefix, V)) {
+	var rec func(n *trieNode[V], p Prefix)
+	rec = func(n *trieNode[V], p Prefix) {
+		if n.set {
+			fn(p, n.val)
+		}
+		for b, c := range n.child {
+			if c == nil {
+				continue
+			}
+			cp := p
+			cp.Len++
+			if b == 1 {
+				cp.Addr |= 1 << (31 - p.Len)
+			}
+			rec(c, cp)
+		}
+	}
+	rec(t.root, Prefix{})
+}

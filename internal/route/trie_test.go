@@ -1,0 +1,130 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrieInsertGetDelete(t *testing.T) {
+	tr := NewTrie[string]()
+	p := MustParsePrefix("10.0.0.0/8")
+	if _, ok := tr.Get(p); ok {
+		t.Fatal("empty trie should not contain anything")
+	}
+	tr.Insert(p, "a")
+	if v, ok := tr.Get(p); !ok || v != "a" {
+		t.Fatal("Get after Insert")
+	}
+	tr.Insert(p, "b")
+	if v, _ := tr.Get(p); v != "b" || tr.Len() != 1 {
+		t.Fatal("Insert should replace, not duplicate")
+	}
+	if !tr.Delete(p) || tr.Len() != 0 {
+		t.Fatal("Delete")
+	}
+	if tr.Delete(p) {
+		t.Fatal("double Delete should return false")
+	}
+}
+
+func TestTrieLookupLPM(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "eight")
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), "sixteen")
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), "twentyfour")
+
+	cases := []struct {
+		addr string
+		want string
+		pfx  string
+	}{
+		{"10.1.2.3", "twentyfour", "10.1.2.0/24"},
+		{"10.1.3.1", "sixteen", "10.1.0.0/16"},
+		{"10.9.9.9", "eight", "10.0.0.0/8"},
+		{"192.168.0.1", "default", "0.0.0.0/0"},
+	}
+	for _, c := range cases {
+		v, pfx, ok := tr.Lookup(MustParseAddr(c.addr))
+		if !ok || v != c.want || pfx.String() != c.pfx {
+			t.Errorf("Lookup(%s) = %q %v %v, want %q %s", c.addr, v, pfx, ok, c.want, c.pfx)
+		}
+	}
+
+	empty := NewTrie[string]()
+	if _, _, ok := empty.Lookup(MustParseAddr("1.2.3.4")); ok {
+		t.Error("lookup in empty trie must miss")
+	}
+}
+
+func TestTrieCoveredBy(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), 1)
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), 2)
+	tr.Insert(MustParsePrefix("10.1.3.0/24"), 3)
+	tr.Insert(MustParsePrefix("10.2.0.0/16"), 4)
+
+	got := tr.CoveredBy(MustParsePrefix("10.1.0.0/16"))
+	if len(got) != 3 {
+		t.Fatalf("CoveredBy(/16) = %v, want 3 entries", got)
+	}
+	for _, e := range got {
+		if !MustParsePrefix("10.1.0.0/16").Covers(e.Prefix) {
+			t.Errorf("entry %v not covered", e.Prefix)
+		}
+	}
+	if got := tr.CoveredBy(MustParsePrefix("11.0.0.0/8")); len(got) != 0 {
+		t.Fatalf("CoveredBy miss = %v", got)
+	}
+}
+
+func TestTrieWalkVisitsAll(t *testing.T) {
+	tr := NewTrie[int]()
+	prefixes := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.2.0/24", "192.168.0.0/16", "255.255.255.255/32"}
+	for i, s := range prefixes {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	seen := map[Prefix]int{}
+	tr.Walk(func(p Prefix, v int) { seen[p] = v })
+	if len(seen) != len(prefixes) {
+		t.Fatalf("Walk visited %d, want %d", len(seen), len(prefixes))
+	}
+	for i, s := range prefixes {
+		if seen[MustParsePrefix(s)] != i {
+			t.Errorf("Walk value mismatch for %s", s)
+		}
+	}
+}
+
+// TestTrieAgainstLinearScan cross-checks trie LPM against a brute-force scan
+// on random prefix sets — the property the FIB depends on.
+func TestTrieAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		tr := NewTrie[Prefix]()
+		var all []Prefix
+		for i := 0; i < 60; i++ {
+			p := MakePrefix(rng.Uint32(), uint8(rng.Intn(33)))
+			tr.Insert(p, p)
+			all = append(all, p)
+		}
+		for i := 0; i < 200; i++ {
+			addr := rng.Uint32()
+			// Brute force longest match.
+			var best Prefix
+			found := false
+			for _, p := range all {
+				if p.Contains(addr) && (!found || p.Len > best.Len) {
+					best, found = p, true
+				}
+			}
+			v, pfx, ok := tr.Lookup(addr)
+			if ok != found {
+				t.Fatalf("lookup(%s): ok=%v want %v", FormatAddr(addr), ok, found)
+			}
+			if found && (pfx != best || v != best) {
+				t.Fatalf("lookup(%s) = %v, want %v", FormatAddr(addr), pfx, best)
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package shard implements prefix sharding (§4.5): collecting the prefixes
+// each protocol will compute, building the directed prefix dependency graph
+// (DPDG), extracting weakly connected components, and distributing them
+// into balanced shards so route computation can run in multiple
+// lower-memory rounds.
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+// CollectBGPPrefixes gathers every prefix the BGP protocol can originate
+// across the snapshot: network statements, redistribution sources
+// (connected, static, and — via the redistribution closure — OSPF-enabled
+// interface prefixes), and aggregate addresses. This is the §4.5 collection
+// step: "first collect the self-originated prefixes for each protocol, then
+// add the prefixes of protocol A to those of protocol B, if A is configured
+// to redistribute its routes to B".
+func CollectBGPPrefixes(snap *config.Snapshot) []route.Prefix {
+	seen := map[route.Prefix]bool{}
+	add := func(p route.Prefix) { seen[p] = true }
+
+	for _, name := range snap.DeviceNames() {
+		dev := snap.Devices[name]
+		if dev.BGP == nil {
+			continue
+		}
+		for _, p := range dev.BGP.Networks {
+			add(p)
+		}
+		for _, a := range dev.BGP.Aggregates {
+			add(a.Prefix)
+		}
+		for _, rd := range dev.BGP.Redistribute {
+			switch rd.Source {
+			case "connected":
+				for _, p := range dev.ConnectedPrefixes() {
+					add(p)
+				}
+			case "static":
+				for _, sr := range dev.StaticRoutes {
+					add(sr.Prefix)
+				}
+			case "ospf":
+				// Redistribution closure: OSPF's prefixes become BGP's.
+				for _, p := range CollectOSPFPrefixes(snap) {
+					add(p)
+				}
+			}
+		}
+	}
+	return sortedPrefixes(seen)
+}
+
+// CollectOSPFPrefixes gathers every prefix OSPF can originate: the
+// OSPF-enabled interface subnets of every OSPF-speaking device.
+func CollectOSPFPrefixes(snap *config.Snapshot) []route.Prefix {
+	seen := map[route.Prefix]bool{}
+	for _, name := range snap.DeviceNames() {
+		dev := snap.Devices[name]
+		if dev.OSPF == nil {
+			continue
+		}
+		enabled := func(subnet route.Prefix) bool {
+			if len(dev.OSPF.Networks) == 0 {
+				return true
+			}
+			for _, n := range dev.OSPF.Networks {
+				if n.Covers(subnet) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, ifc := range dev.Interfaces {
+			if ifc.Shutdown || ifc.IP == 0 || !enabled(ifc.Subnet) {
+				continue
+			}
+			seen[ifc.Subnet] = true
+		}
+	}
+	return sortedPrefixes(seen)
+}
+
+func sortedPrefixes(set map[route.Prefix]bool) []route.Prefix {
+	out := make([]route.Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// DPDG is the directed prefix dependency graph: an edge p → q means
+// computing routes for p depends on q (p is an aggregate covering q, or
+// p's advertisement is conditioned on q).
+type DPDG struct {
+	Prefixes []route.Prefix
+	// Deps maps each prefix to the prefixes it depends on, sorted.
+	Deps map[route.Prefix][]route.Prefix
+}
+
+// DPDGOptions tunes dependency derivation.
+type DPDGOptions struct {
+	// IgnoreConditional skips conditional-advertisement dependencies,
+	// deliberately producing the "unforeseen dependency" scenario of §7
+	// that runtime detection and shard merging must recover from.
+	IgnoreConditional bool
+}
+
+// BuildDPDG constructs the dependency graph for the snapshot's BGP
+// prefixes with all known dependency sources.
+func BuildDPDG(snap *config.Snapshot) *DPDG {
+	return BuildDPDGOpts(snap, DPDGOptions{})
+}
+
+// BuildDPDGOpts constructs the dependency graph. Two dependency sources
+// exist in our configuration language (§4.5): an aggregate-address depends
+// on every collected prefix it strictly covers, and a conditionally
+// advertised prefix depends on every prefix its exist-/non-exist-map can
+// match.
+func BuildDPDGOpts(snap *config.Snapshot, opts DPDGOptions) *DPDG {
+	prefixes := CollectBGPPrefixes(snap)
+	d := &DPDG{Prefixes: prefixes, Deps: make(map[route.Prefix][]route.Prefix)}
+
+	// Index prefixes in a trie for covered-by queries.
+	trie := route.NewTrie[route.Prefix]()
+	for _, p := range prefixes {
+		trie.Insert(p, p)
+	}
+	aggSeen := map[route.Prefix]bool{}
+	for _, name := range snap.DeviceNames() {
+		dev := snap.Devices[name]
+		if dev.BGP == nil {
+			continue
+		}
+		for _, agg := range dev.BGP.Aggregates {
+			if aggSeen[agg.Prefix] {
+				continue
+			}
+			aggSeen[agg.Prefix] = true
+			var deps []route.Prefix
+			for _, e := range trie.CoveredBy(agg.Prefix) {
+				if e.Prefix != agg.Prefix {
+					deps = append(deps, e.Prefix)
+				}
+			}
+			sort.Slice(deps, func(i, j int) bool { return deps[i].Compare(deps[j]) < 0 })
+			if len(deps) > 0 {
+				d.Deps[agg.Prefix] = deps
+			}
+		}
+	}
+
+	if !opts.IgnoreConditional {
+		for _, name := range snap.DeviceNames() {
+			dev := snap.Devices[name]
+			if dev.BGP == nil {
+				continue
+			}
+			for _, nb := range dev.BGP.SortedNeighbors() {
+				if nb.AdvertiseMap == "" || nb.ConditionList == "" {
+					continue
+				}
+				pl := dev.PrefixLists[nb.ConditionList]
+				if pl == nil {
+					continue
+				}
+				var condPrefixes []route.Prefix
+				for _, p := range prefixes {
+					if pl.Permits(p) {
+						condPrefixes = append(condPrefixes, p)
+					}
+				}
+				if len(condPrefixes) == 0 {
+					continue
+				}
+				for _, p := range prefixes {
+					if !routeMapMayMatch(dev, nb.AdvertiseMap, p) {
+						continue
+					}
+					d.Deps[p] = mergePrefixDeps(d.Deps[p], condPrefixes, p)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// routeMapMayMatch conservatively reports whether a route for pfx could
+// match the named route-map with a permit disposition. Prefix-list matches
+// are decided exactly; community/as-path matches are unknowable statically
+// and treated as "maybe" (true), keeping the dependency graph a superset —
+// the safe direction for sharding.
+func routeMapMayMatch(dev *config.Device, name string, pfx route.Prefix) bool {
+	rm, ok := dev.RouteMaps[name]
+	if !ok {
+		return false
+	}
+	for _, clause := range rm.Clauses {
+		definite := true // all matches decided by prefix alone
+		possible := true
+		for _, m := range clause.Matches {
+			if m.Kind != config.MatchPrefixList {
+				definite = false
+				continue
+			}
+			pl := dev.PrefixLists[m.Name]
+			if pl == nil || !pl.Permits(pfx) {
+				possible = false
+				break
+			}
+		}
+		if !possible {
+			continue
+		}
+		if clause.Action == config.Permit {
+			return true
+		}
+		// A deny clause that certainly matches stops evaluation.
+		if definite {
+			return false
+		}
+	}
+	return false
+}
+
+// mergePrefixDeps unions deps into the slice, excluding self-dependencies,
+// keeping it sorted and deduplicated.
+func mergePrefixDeps(existing, add []route.Prefix, self route.Prefix) []route.Prefix {
+	seen := map[route.Prefix]bool{self: true}
+	var out []route.Prefix
+	for _, p := range existing {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, p := range add {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// components returns the weakly connected components of the DPDG, each as a
+// sorted prefix slice, ordered deterministically (by first prefix).
+func (d *DPDG) components() [][]route.Prefix {
+	idx := make(map[route.Prefix]int, len(d.Prefixes))
+	for i, p := range d.Prefixes {
+		idx[p] = i
+	}
+	parent := make([]int, len(d.Prefixes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for p, deps := range d.Deps {
+		for _, q := range deps {
+			union(idx[p], idx[q])
+		}
+	}
+	groups := map[int][]route.Prefix{}
+	for i, p := range d.Prefixes {
+		r := find(i)
+		groups[r] = append(groups[r], p)
+	}
+	out := make([][]route.Prefix, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].Compare(g[j]) < 0 })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Compare(out[j][0]) < 0 })
+	return out
+}
+
+// Shard is one prefix shard usable as a simulation prefix filter.
+type Shard struct {
+	Prefixes []route.Prefix
+	set      map[route.Prefix]bool
+}
+
+func newShard() *Shard { return &Shard{set: map[route.Prefix]bool{}} }
+
+func (s *Shard) add(ps []route.Prefix) {
+	for _, p := range ps {
+		if !s.set[p] {
+			s.set[p] = true
+			s.Prefixes = append(s.Prefixes, p)
+		}
+	}
+}
+
+// Contains reports shard membership; it has the signature the simulation's
+// prefix filters expect.
+func (s *Shard) Contains(p route.Prefix) bool { return s.set[p] }
+
+// Len returns the number of prefixes in the shard.
+func (s *Shard) Len() int { return len(s.Prefixes) }
+
+// MakeShards distributes the DPDG's weakly connected components into at
+// most m shards with the paper's greedy algorithm: components in descending
+// size order — shuffling equal-sized components with the seeded RNG to
+// avoid worker-correlated skew (§4.5) — each assigned to the currently
+// smallest shard. Empty shards are dropped.
+func MakeShards(d *DPDG, m int, seed int64) ([]*Shard, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("shard: shard count must be >= 1, got %d", m)
+	}
+	ccs := d.components()
+	if len(ccs) == 0 {
+		return nil, fmt.Errorf("shard: no prefixes to shard")
+	}
+
+	// Sort by descending size; shuffle ties.
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(ccs), func(i, j int) { ccs[i], ccs[j] = ccs[j], ccs[i] })
+	sort.SliceStable(ccs, func(i, j int) bool { return len(ccs[i]) > len(ccs[j]) })
+
+	shards := make([]*Shard, m)
+	for i := range shards {
+		shards[i] = newShard()
+	}
+	for _, cc := range ccs {
+		smallest := 0
+		for i := 1; i < m; i++ {
+			if shards[i].Len() < shards[smallest].Len() {
+				smallest = i
+			}
+		}
+		shards[smallest].add(cc)
+	}
+	out := shards[:0]
+	for _, s := range shards {
+		if s.Len() > 0 {
+			sort.Slice(s.Prefixes, func(i, j int) bool { return s.Prefixes[i].Compare(s.Prefixes[j]) < 0 })
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Merge combines shards into one — the §7 recovery path for dependencies
+// discovered only at simulation time: merge the affected shards and
+// recompute.
+func Merge(shards ...*Shard) *Shard {
+	out := newShard()
+	for _, s := range shards {
+		out.add(s.Prefixes)
+	}
+	sort.Slice(out.Prefixes, func(i, j int) bool { return out.Prefixes[i].Compare(out.Prefixes[j]) < 0 })
+	return out
+}

@@ -1,0 +1,348 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+func snapFrom(t *testing.T, texts map[string]string) *config.Snapshot {
+	t.Helper()
+	snap, err := config.ParseTexts(texts)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return snap
+}
+
+func TestCollectBGPPrefixes(t *testing.T) {
+	snap := snapFrom(t, map[string]string{
+		"r1.cfg": `hostname r1
+interface vlan10
+ ip address 10.8.0.1/24
+interface lo0
+ ip address 192.168.0.1/32
+ip route 172.16.0.0/16 null0
+router bgp 65001
+ network 10.8.0.0/24
+ aggregate-address 10.8.0.0/21 summary-only
+ redistribute static
+`,
+		"r2.cfg": `hostname r2
+interface lo0
+ ip address 192.168.0.2/32
+router bgp 65002
+ redistribute connected
+`,
+	})
+	got := CollectBGPPrefixes(snap)
+	want := map[string]bool{
+		"10.8.0.0/24":    true, // network
+		"10.8.0.0/21":    true, // aggregate
+		"172.16.0.0/16":  true, // redistribute static
+		"192.168.0.2/32": true, // redistribute connected on r2
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want keys %v", got, want)
+	}
+	for _, p := range got {
+		if !want[p.String()] {
+			t.Errorf("unexpected prefix %v", p)
+		}
+	}
+	// Sorted.
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Compare(got[i]) >= 0 {
+			t.Fatal("prefixes must be sorted")
+		}
+	}
+}
+
+func TestCollectOSPFAndRedistributionClosure(t *testing.T) {
+	snap := snapFrom(t, map[string]string{
+		"r1.cfg": `hostname r1
+interface eth0
+ ip address 10.0.0.0/31
+interface lo0
+ ip address 192.168.0.1/32
+router ospf 1
+router bgp 65001
+ redistribute ospf
+`,
+	})
+	ospf := CollectOSPFPrefixes(snap)
+	if len(ospf) != 2 {
+		t.Fatalf("ospf prefixes = %v", ospf)
+	}
+	bgp := CollectBGPPrefixes(snap)
+	// The closure pulls OSPF's prefixes into BGP's set.
+	if len(bgp) != 2 {
+		t.Fatalf("bgp closure = %v", bgp)
+	}
+}
+
+func TestDPDGAggregateDependencies(t *testing.T) {
+	snap := snapFrom(t, map[string]string{
+		"r1.cfg": `hostname r1
+interface vlan10
+ ip address 10.8.0.1/24
+interface vlan11
+ ip address 10.8.1.1/24
+interface vlan20
+ ip address 10.16.0.1/24
+router bgp 65001
+ network 10.8.0.0/24
+ network 10.8.1.0/24
+ network 10.16.0.0/24
+ aggregate-address 10.8.0.0/21 summary-only
+`,
+	})
+	d := BuildDPDG(snap)
+	agg := route.MustParsePrefix("10.8.0.0/21")
+	deps := d.Deps[agg]
+	if len(deps) != 2 {
+		t.Fatalf("aggregate deps = %v", deps)
+	}
+	for _, dep := range deps {
+		if !agg.Covers(dep) {
+			t.Errorf("dep %v not covered by aggregate", dep)
+		}
+	}
+	if len(d.Deps[route.MustParsePrefix("10.16.0.0/24")]) != 0 {
+		t.Error("independent prefix must have no deps")
+	}
+}
+
+func TestMakeShardsKeepsDependenciesTogether(t *testing.T) {
+	snap := snapFrom(t, map[string]string{
+		"r1.cfg": `hostname r1
+interface vlan10
+ ip address 10.8.0.1/24
+interface vlan11
+ ip address 10.8.1.1/24
+interface vlan20
+ ip address 10.16.0.1/24
+interface vlan21
+ ip address 10.17.0.1/24
+router bgp 65001
+ network 10.8.0.0/24
+ network 10.8.1.0/24
+ network 10.16.0.0/24
+ network 10.17.0.0/24
+ aggregate-address 10.8.0.0/21 summary-only
+`,
+	})
+	d := BuildDPDG(snap)
+	shards, err := MakeShards(d, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aggregate and both contributors must share one shard.
+	group := []route.Prefix{
+		route.MustParsePrefix("10.8.0.0/21"),
+		route.MustParsePrefix("10.8.0.0/24"),
+		route.MustParsePrefix("10.8.1.0/24"),
+	}
+	home := -1
+	for i, s := range shards {
+		if s.Contains(group[0]) {
+			home = i
+		}
+	}
+	if home < 0 {
+		t.Fatal("aggregate not in any shard")
+	}
+	for _, p := range group {
+		if !shards[home].Contains(p) {
+			t.Errorf("dependent prefix %v not in aggregate's shard", p)
+		}
+	}
+	// All prefixes covered exactly once.
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	if total != 5 {
+		t.Fatalf("total sharded prefixes = %d, want 5", total)
+	}
+}
+
+func TestMakeShardsBalance(t *testing.T) {
+	// 100 independent prefixes → 10 shards of 10.
+	cfg := "hostname r1\n"
+	for i := 0; i < 100; i++ {
+		cfg += fmt.Sprintf("interface vlan%d\n ip address 10.%d.%d.1/24\n", i, i/256, i%256)
+	}
+	cfg += "router bgp 65001\n"
+	for i := 0; i < 100; i++ {
+		cfg += fmt.Sprintf(" network 10.%d.%d.0/24\n", i/256, i%256)
+	}
+	snap := snapFrom(t, map[string]string{"r1.cfg": cfg})
+	d := BuildDPDG(snap)
+	shards, err := MakeShards(d, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 10 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	for i, s := range shards {
+		if s.Len() != 10 {
+			t.Errorf("shard %d has %d prefixes, want 10", i, s.Len())
+		}
+	}
+}
+
+func TestMakeShardsShuffleDiffersBySeed(t *testing.T) {
+	cfg := "hostname r1\n"
+	for i := 0; i < 20; i++ {
+		cfg += fmt.Sprintf("interface vlan%d\n ip address 10.0.%d.1/24\n", i, i)
+	}
+	cfg += "router bgp 65001\n"
+	for i := 0; i < 20; i++ {
+		cfg += fmt.Sprintf(" network 10.0.%d.0/24\n", i)
+	}
+	snap := snapFrom(t, map[string]string{"r1.cfg": cfg})
+	d := BuildDPDG(snap)
+	a, _ := MakeShards(d, 4, 1)
+	b, _ := MakeShards(d, 4, 2)
+	differs := false
+	for i := range a {
+		if len(a[i].Prefixes) != len(b[i].Prefixes) {
+			differs = true
+			break
+		}
+		for j := range a[i].Prefixes {
+			if a[i].Prefixes[j] != b[i].Prefixes[j] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("different seeds should shuffle equal-size components differently")
+	}
+	// Same seed → identical.
+	c, _ := MakeShards(d, 4, 1)
+	for i := range a {
+		for j := range a[i].Prefixes {
+			if a[i].Prefixes[j] != c[i].Prefixes[j] {
+				t.Fatal("same seed must be deterministic")
+			}
+		}
+	}
+}
+
+func TestMakeShardsEdgeCases(t *testing.T) {
+	snap := snapFrom(t, map[string]string{"r1.cfg": `hostname r1
+interface vlan10
+ ip address 10.8.0.1/24
+router bgp 65001
+ network 10.8.0.0/24
+`})
+	d := BuildDPDG(snap)
+	if _, err := MakeShards(d, 0, 1); err == nil {
+		t.Error("zero shards should error")
+	}
+	// More shards than components: empties dropped.
+	shards, err := MakeShards(d, 5, 1)
+	if err != nil || len(shards) != 1 {
+		t.Errorf("shards = %v, err = %v", shards, err)
+	}
+	// No prefixes at all.
+	empty := snapFrom(t, map[string]string{"r1.cfg": "hostname r1\n"})
+	if _, err := MakeShards(BuildDPDG(empty), 2, 1); err == nil {
+		t.Error("no prefixes should error")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := newShard()
+	a.add([]route.Prefix{route.MustParsePrefix("10.0.0.0/24")})
+	b := newShard()
+	b.add([]route.Prefix{route.MustParsePrefix("10.0.1.0/24"), route.MustParsePrefix("10.0.0.0/24")})
+	m := Merge(a, b)
+	if m.Len() != 2 {
+		t.Fatalf("merged len = %d", m.Len())
+	}
+	if !m.Contains(route.MustParsePrefix("10.0.0.0/24")) || !m.Contains(route.MustParsePrefix("10.0.1.0/24")) {
+		t.Fatal("merge must contain both shards' prefixes")
+	}
+}
+
+func TestRouteMapMayMatch(t *testing.T) {
+	snap := snapFrom(t, map[string]string{"r.cfg": `hostname r
+ip prefix-list PL_A seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list PL_B seq 10 permit 172.16.0.0/12 le 32
+ip community-list standard CL permit 65000:1
+route-map RM_PLAIN permit 10
+ match ip address prefix-list PL_A
+route-map RM_DENYFIRST deny 10
+ match ip address prefix-list PL_A
+route-map RM_DENYFIRST permit 20
+route-map RM_COMM permit 10
+ match community CL
+route-map RM_MIXED permit 10
+ match ip address prefix-list PL_B
+ match community CL
+`})
+	dev := snap.Devices["r"]
+	in10 := route.MustParsePrefix("10.1.0.0/16")
+	in172 := route.MustParsePrefix("172.16.5.0/24")
+	out := route.MustParsePrefix("192.168.0.0/16")
+
+	if !routeMapMayMatch(dev, "RM_PLAIN", in10) {
+		t.Error("plain prefix match should match")
+	}
+	if routeMapMayMatch(dev, "RM_PLAIN", out) {
+		t.Error("non-matching prefix must not match (implicit deny)")
+	}
+	// A definite deny clause stops evaluation for matching prefixes...
+	if routeMapMayMatch(dev, "RM_DENYFIRST", in10) {
+		t.Error("definite deny must exclude")
+	}
+	// ...but other prefixes fall through to the catch-all permit.
+	if !routeMapMayMatch(dev, "RM_DENYFIRST", out) {
+		t.Error("fallthrough permit should match")
+	}
+	// Community matches are statically unknowable → conservative true.
+	if !routeMapMayMatch(dev, "RM_COMM", out) {
+		t.Error("community-only clause is a conservative maybe")
+	}
+	// Mixed clause: prefix-list decides the prefix dimension.
+	if !routeMapMayMatch(dev, "RM_MIXED", in172) {
+		t.Error("mixed clause with matching prefix is a maybe")
+	}
+	if routeMapMayMatch(dev, "RM_MIXED", out) {
+		t.Error("mixed clause with non-matching prefix cannot match")
+	}
+	if routeMapMayMatch(dev, "GHOST", in10) {
+		t.Error("undefined route-map matches nothing")
+	}
+}
+
+func TestMergePrefixDeps(t *testing.T) {
+	a := route.MustParsePrefix("10.0.0.0/24")
+	b := route.MustParsePrefix("10.0.1.0/24")
+	self := route.MustParsePrefix("10.0.2.0/24")
+	got := mergePrefixDeps([]route.Prefix{a}, []route.Prefix{b, a, self}, self)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("merge = %v", got)
+	}
+}
+
+func TestCollectOSPFNetworkScoped(t *testing.T) {
+	snap := snapFrom(t, map[string]string{"r.cfg": `hostname r
+interface e0
+ ip address 10.0.0.0/31
+interface lo0
+ ip address 192.168.0.1/32
+router ospf 1
+ network 10.0.0.0/16 area 0
+`})
+	got := CollectOSPFPrefixes(snap)
+	if len(got) != 1 || got[0] != route.MustParsePrefix("10.0.0.0/31") {
+		t.Fatalf("scoped OSPF prefixes = %v", got)
+	}
+}

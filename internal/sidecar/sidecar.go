@@ -1,0 +1,452 @@
+// Package sidecar is the communication layer of S2 (§3.2, "Sidecars"):
+// every worker exposes one RPC endpoint used by the controller (to
+// orchestrate phases) and by peer workers (to pull routes for shadow nodes
+// and to deliver symbolic packets). The controller and each worker hold a
+// directory of clients, mirroring the paper's per-server sidecar processes
+// that route requests by a node→worker map.
+//
+// The wire protocol is Go's net/rpc with gob encoding — the stdlib
+// equivalent of the paper's gRPC + Java serialization choice (§5.1). The
+// same WorkerAPI interface is implemented by the in-process worker (direct
+// calls, one goroutine pool per worker) and by the RemoteWorker RPC client
+// (workers in separate OS processes via cmd/s2worker), so the controller
+// code is transport-agnostic.
+package sidecar
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+
+	"s2/internal/bgp"
+	"s2/internal/dataplane"
+	"s2/internal/ospf"
+	"s2/internal/route"
+	"s2/internal/topology"
+)
+
+// SetupRequest initializes a worker with its segment of the network.
+type SetupRequest struct {
+	// WorkerID is this worker's index; Assignment maps every node in the
+	// network to its worker (shadow-node routing table).
+	WorkerID   int
+	Assignment map[string]int
+	// Configs holds the raw configuration text of each LOCAL device; the
+	// worker parses them into switch models.
+	Configs map[string]string
+	// Adjacencies and Sessions cover local devices (they reference remote
+	// neighbors by name).
+	Adjacencies map[string][]topology.Adjacency
+	Sessions    map[string][]topology.BGPSession
+	// MetaBits sizes the BDD layout; MaxBDDNodes bounds the node table
+	// (0 = unlimited).
+	MetaBits    int
+	MaxBDDNodes int
+	// MemoryBudget is the modelled per-worker memory budget in bytes
+	// (0 = unlimited).
+	MemoryBudget int64
+	// PeerAddrs lists the RPC address of every worker (by worker index)
+	// for worker-to-worker calls; empty strings mean "local" (in-process
+	// mode wires peers directly instead).
+	PeerAddrs []string
+	// SpillDir, when non-empty, enables writing per-shard results to
+	// disk between shard rounds (§3.1, "write it to persistent storage").
+	SpillDir string
+	// KeepRIBs retains full per-node RIBs in memory for CollectRIBs
+	// (equivalence testing); disable for large runs.
+	KeepRIBs bool
+}
+
+// BeginShardRequest starts a prefix-shard round. An empty prefix list means
+// "no filter" (single-shard operation).
+type BeginShardRequest struct {
+	Index    int
+	Prefixes []route.Prefix
+}
+
+// ConditionReport names a prefix-list consulted by conditional
+// advertisement on a device during a shard round — the runtime dependency
+// signal of §7.
+type ConditionReport struct {
+	Device     string
+	PrefixList string
+}
+
+// EndShardReply summarizes a completed shard round.
+type EndShardReply struct {
+	Routes     int   // routes computed in this shard across local nodes
+	ModelBytes int64 // current modelled memory after the shard was spilled
+	// Conditions lists the conditional-advertisement prefix-lists local
+	// nodes consulted, for runtime dependency detection.
+	Conditions []ConditionReport
+}
+
+// ApplyReply reports whether any local node changed state this round.
+type ApplyReply struct {
+	Changed bool
+}
+
+// PullBGPRequest relays a shadow node's route pull to the real node.
+type PullBGPRequest struct {
+	Exporter string
+	Puller   string
+	Since    uint64
+	Seen     bool
+}
+
+// PullBGPReply carries the exported advertisements.
+type PullBGPReply struct {
+	Advs    []bgp.Advertisement
+	Version uint64
+	Fresh   bool
+}
+
+// PullLSAsRequest relays a shadow node's LSA pull.
+type PullLSAsRequest struct {
+	Exporter string
+	Puller   string
+	Since    uint64
+	Seen     bool
+}
+
+// PullLSAsReply carries the flooded LSAs.
+type PullLSAsReply struct {
+	LSAs    []*ospf.LSA
+	Version uint64
+	Fresh   bool
+}
+
+// ComputeDPReply summarizes FIB and predicate compilation.
+type ComputeDPReply struct {
+	FIBEntries int
+	BDDNodes   int
+	Errors     []string
+}
+
+// QueryRequest configures one property query on the workers.
+type QueryRequest struct {
+	Query dataplane.Query
+}
+
+// InjectRequest injects a symbolic packet at a source node (owned by the
+// receiving worker). The packet is a serialized BDD.
+type InjectRequest struct {
+	Source string
+	Packet []byte
+}
+
+// PacketDelivery is one symbolic packet crossing a worker boundary: it
+// arrives at Node on port InPort (③→④→⑤ in the paper's Figure 3).
+type PacketDelivery struct {
+	Source string
+	Node   string
+	InPort string
+	Packet []byte
+}
+
+// HasWorkReply reports whether a worker still has queued packets.
+type HasWorkReply struct {
+	Busy bool
+}
+
+// OutcomesReply returns a worker's finalized packets for the current query.
+type OutcomesReply struct {
+	Outcomes []dataplane.RawOutcome
+}
+
+// RIBsReply returns the merged per-node RIB contents.
+type RIBsReply struct {
+	Routes map[string][]*route.Route
+}
+
+// WorkerStats reports a worker's resource accounting.
+type WorkerStats struct {
+	WorkerID   int
+	Nodes      int
+	PeakBytes  int64
+	NowBytes   int64
+	BDDNodes   int
+	RoutePulls int64 // cross-worker pulls served (communication metric)
+	PacketsIn  int64 // cross-worker packet deliveries received
+}
+
+// WorkerAPI is the Go-level surface of a worker. The in-process
+// core.Worker implements it directly; RemoteWorker implements it over RPC.
+type WorkerAPI interface {
+	Setup(req SetupRequest) error
+	BeginShard(req BeginShardRequest) error
+	GatherBGP() error
+	ApplyBGP() (bool, error)
+	GatherOSPF() error
+	ApplyOSPF() (bool, error)
+	EndShard() (EndShardReply, error)
+
+	PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error)
+	PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error)
+
+	ComputeDP() (ComputeDPReply, error)
+	BeginQuery(req QueryRequest) error
+	Inject(req InjectRequest) error
+	DPRound() error
+	HasWork() (bool, error)
+	DeliverPackets(items []PacketDelivery) error
+	FinishQuery() ([]dataplane.RawOutcome, error)
+
+	CollectRIBs() (map[string][]*route.Route, error)
+	Stats() (WorkerStats, error)
+}
+
+// Empty is the placeholder for void RPC arguments/replies.
+type Empty struct{}
+
+// Service adapts a WorkerAPI to net/rpc method conventions. It is
+// registered under the name "Sidecar".
+type Service struct{ api WorkerAPI }
+
+// NewService wraps a worker.
+func NewService(api WorkerAPI) *Service { return &Service{api: api} }
+
+// Setup RPC.
+func (s *Service) Setup(req SetupRequest, _ *Empty) error { return s.api.Setup(req) }
+
+// BeginShard RPC.
+func (s *Service) BeginShard(req BeginShardRequest, _ *Empty) error { return s.api.BeginShard(req) }
+
+// GatherBGP RPC.
+func (s *Service) GatherBGP(_ Empty, _ *Empty) error { return s.api.GatherBGP() }
+
+// ApplyBGP RPC.
+func (s *Service) ApplyBGP(_ Empty, reply *ApplyReply) error {
+	changed, err := s.api.ApplyBGP()
+	reply.Changed = changed
+	return err
+}
+
+// GatherOSPF RPC.
+func (s *Service) GatherOSPF(_ Empty, _ *Empty) error { return s.api.GatherOSPF() }
+
+// ApplyOSPF RPC.
+func (s *Service) ApplyOSPF(_ Empty, reply *ApplyReply) error {
+	changed, err := s.api.ApplyOSPF()
+	reply.Changed = changed
+	return err
+}
+
+// EndShard RPC.
+func (s *Service) EndShard(_ Empty, reply *EndShardReply) error {
+	r, err := s.api.EndShard()
+	*reply = r
+	return err
+}
+
+// PullBGP RPC.
+func (s *Service) PullBGP(req PullBGPRequest, reply *PullBGPReply) error {
+	advs, ver, fresh, err := s.api.PullBGP(req.Exporter, req.Puller, req.Since, req.Seen)
+	reply.Advs, reply.Version, reply.Fresh = advs, ver, fresh
+	return err
+}
+
+// PullLSAs RPC.
+func (s *Service) PullLSAs(req PullLSAsRequest, reply *PullLSAsReply) error {
+	lsas, ver, fresh, err := s.api.PullLSAs(req.Exporter, req.Puller, req.Since, req.Seen)
+	reply.LSAs, reply.Version, reply.Fresh = lsas, ver, fresh
+	return err
+}
+
+// ComputeDP RPC.
+func (s *Service) ComputeDP(_ Empty, reply *ComputeDPReply) error {
+	r, err := s.api.ComputeDP()
+	*reply = r
+	return err
+}
+
+// BeginQuery RPC.
+func (s *Service) BeginQuery(req QueryRequest, _ *Empty) error { return s.api.BeginQuery(req) }
+
+// Inject RPC.
+func (s *Service) Inject(req InjectRequest, _ *Empty) error { return s.api.Inject(req) }
+
+// DPRound RPC.
+func (s *Service) DPRound(_ Empty, _ *Empty) error { return s.api.DPRound() }
+
+// HasWork RPC.
+func (s *Service) HasWork(_ Empty, reply *HasWorkReply) error {
+	busy, err := s.api.HasWork()
+	reply.Busy = busy
+	return err
+}
+
+// DeliverPackets RPC.
+func (s *Service) DeliverPackets(items []PacketDelivery, _ *Empty) error {
+	return s.api.DeliverPackets(items)
+}
+
+// FinishQuery RPC.
+func (s *Service) FinishQuery(_ Empty, reply *OutcomesReply) error {
+	out, err := s.api.FinishQuery()
+	reply.Outcomes = out
+	return err
+}
+
+// CollectRIBs RPC.
+func (s *Service) CollectRIBs(_ Empty, reply *RIBsReply) error {
+	routes, err := s.api.CollectRIBs()
+	reply.Routes = routes
+	return err
+}
+
+// Stats RPC.
+func (s *Service) Stats(_ Empty, reply *WorkerStats) error {
+	st, err := s.api.Stats()
+	*reply = st
+	return err
+}
+
+// Serve registers the service on a fresh RPC server and accepts
+// connections until the listener closes. It is the body of a sidecar
+// process.
+func Serve(api WorkerAPI, lis net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Sidecar", NewService(api)); err != nil {
+		return err
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// RemoteWorker is the client side: a WorkerAPI (and sim.PullPeer) that
+// relays every call over RPC.
+type RemoteWorker struct {
+	addr string
+	c    *rpc.Client
+}
+
+// Dial connects to a worker's sidecar.
+func Dial(addr string) (*RemoteWorker, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sidecar: dialing %s: %w", addr, err)
+	}
+	return &RemoteWorker{addr: addr, c: c}, nil
+}
+
+// Addr returns the remote address.
+func (r *RemoteWorker) Addr() string { return r.addr }
+
+// Close tears down the connection.
+func (r *RemoteWorker) Close() error { return r.c.Close() }
+
+// Setup implements WorkerAPI.
+func (r *RemoteWorker) Setup(req SetupRequest) error {
+	return r.c.Call("Sidecar.Setup", req, &Empty{})
+}
+
+// BeginShard implements WorkerAPI.
+func (r *RemoteWorker) BeginShard(req BeginShardRequest) error {
+	return r.c.Call("Sidecar.BeginShard", req, &Empty{})
+}
+
+// GatherBGP implements WorkerAPI.
+func (r *RemoteWorker) GatherBGP() error {
+	return r.c.Call("Sidecar.GatherBGP", Empty{}, &Empty{})
+}
+
+// ApplyBGP implements WorkerAPI.
+func (r *RemoteWorker) ApplyBGP() (bool, error) {
+	var reply ApplyReply
+	err := r.c.Call("Sidecar.ApplyBGP", Empty{}, &reply)
+	return reply.Changed, err
+}
+
+// GatherOSPF implements WorkerAPI.
+func (r *RemoteWorker) GatherOSPF() error {
+	return r.c.Call("Sidecar.GatherOSPF", Empty{}, &Empty{})
+}
+
+// ApplyOSPF implements WorkerAPI.
+func (r *RemoteWorker) ApplyOSPF() (bool, error) {
+	var reply ApplyReply
+	err := r.c.Call("Sidecar.ApplyOSPF", Empty{}, &reply)
+	return reply.Changed, err
+}
+
+// EndShard implements WorkerAPI.
+func (r *RemoteWorker) EndShard() (EndShardReply, error) {
+	var reply EndShardReply
+	err := r.c.Call("Sidecar.EndShard", Empty{}, &reply)
+	return reply, err
+}
+
+// PullBGP implements WorkerAPI and sim.PullPeer.
+func (r *RemoteWorker) PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
+	var reply PullBGPReply
+	err := r.c.Call("Sidecar.PullBGP", PullBGPRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen}, &reply)
+	return reply.Advs, reply.Version, reply.Fresh, err
+}
+
+// PullLSAs implements WorkerAPI and sim.PullPeer.
+func (r *RemoteWorker) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
+	var reply PullLSAsReply
+	err := r.c.Call("Sidecar.PullLSAs", PullLSAsRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen}, &reply)
+	return reply.LSAs, reply.Version, reply.Fresh, err
+}
+
+// ComputeDP implements WorkerAPI.
+func (r *RemoteWorker) ComputeDP() (ComputeDPReply, error) {
+	var reply ComputeDPReply
+	err := r.c.Call("Sidecar.ComputeDP", Empty{}, &reply)
+	return reply, err
+}
+
+// BeginQuery implements WorkerAPI.
+func (r *RemoteWorker) BeginQuery(req QueryRequest) error {
+	return r.c.Call("Sidecar.BeginQuery", req, &Empty{})
+}
+
+// Inject implements WorkerAPI.
+func (r *RemoteWorker) Inject(req InjectRequest) error {
+	return r.c.Call("Sidecar.Inject", req, &Empty{})
+}
+
+// DPRound implements WorkerAPI.
+func (r *RemoteWorker) DPRound() error {
+	return r.c.Call("Sidecar.DPRound", Empty{}, &Empty{})
+}
+
+// HasWork implements WorkerAPI.
+func (r *RemoteWorker) HasWork() (bool, error) {
+	var reply HasWorkReply
+	err := r.c.Call("Sidecar.HasWork", Empty{}, &reply)
+	return reply.Busy, err
+}
+
+// DeliverPackets implements WorkerAPI.
+func (r *RemoteWorker) DeliverPackets(items []PacketDelivery) error {
+	return r.c.Call("Sidecar.DeliverPackets", items, &Empty{})
+}
+
+// FinishQuery implements WorkerAPI.
+func (r *RemoteWorker) FinishQuery() ([]dataplane.RawOutcome, error) {
+	var reply OutcomesReply
+	err := r.c.Call("Sidecar.FinishQuery", Empty{}, &reply)
+	return reply.Outcomes, err
+}
+
+// CollectRIBs implements WorkerAPI.
+func (r *RemoteWorker) CollectRIBs() (map[string][]*route.Route, error) {
+	var reply RIBsReply
+	err := r.c.Call("Sidecar.CollectRIBs", Empty{}, &reply)
+	return reply.Routes, err
+}
+
+// Stats implements WorkerAPI.
+func (r *RemoteWorker) Stats() (WorkerStats, error) {
+	var reply WorkerStats
+	err := r.c.Call("Sidecar.Stats", Empty{}, &reply)
+	return reply, err
+}

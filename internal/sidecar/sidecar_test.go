@@ -1,0 +1,203 @@
+package sidecar
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+
+	"s2/internal/bgp"
+	"s2/internal/dataplane"
+	"s2/internal/ospf"
+	"s2/internal/route"
+)
+
+// stubWorker implements WorkerAPI with canned responses so the RPC plumbing
+// can be tested without internal/core (which would be an import cycle in
+// spirit: core depends on sidecar).
+type stubWorker struct {
+	setups    int
+	delivered []PacketDelivery
+	failPull  bool
+}
+
+func (s *stubWorker) Setup(req SetupRequest) error {
+	s.setups++
+	if req.WorkerID < 0 {
+		return errors.New("bad id")
+	}
+	return nil
+}
+func (s *stubWorker) BeginShard(BeginShardRequest) error { return nil }
+func (s *stubWorker) GatherBGP() error                   { return nil }
+func (s *stubWorker) ApplyBGP() (bool, error)            { return true, nil }
+func (s *stubWorker) GatherOSPF() error                  { return nil }
+func (s *stubWorker) ApplyOSPF() (bool, error)           { return false, nil }
+func (s *stubWorker) EndShard() (EndShardReply, error) {
+	return EndShardReply{Routes: 42, ModelBytes: 1000}, nil
+}
+
+func (s *stubWorker) PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
+	if s.failPull {
+		return nil, 0, false, fmt.Errorf("no node %s", exporter)
+	}
+	r := &route.Route{Prefix: route.MustParsePrefix("10.0.0.0/24"), Protocol: route.BGP,
+		ASPath: []uint32{65001}, LocalPref: 100}
+	return []bgp.Advertisement{{Route: r}}, 9, true, nil
+}
+
+func (s *stubWorker) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
+	return []*ospf.LSA{{Router: exporter, Stubs: []ospf.LSAStub{{Prefix: route.MustParsePrefix("10.0.0.0/31"), Cost: 1}}}}, 4, true, nil
+}
+
+func (s *stubWorker) ComputeDP() (ComputeDPReply, error) {
+	return ComputeDPReply{FIBEntries: 7, BDDNodes: 100}, nil
+}
+func (s *stubWorker) BeginQuery(QueryRequest) error { return nil }
+func (s *stubWorker) Inject(req InjectRequest) error {
+	s.delivered = append(s.delivered, PacketDelivery{Source: req.Source, Node: req.Source, Packet: req.Packet})
+	return nil
+}
+func (s *stubWorker) DPRound() error { return nil }
+func (s *stubWorker) HasWork() (bool, error) {
+	return len(s.delivered) > 0, nil
+}
+func (s *stubWorker) DeliverPackets(items []PacketDelivery) error {
+	s.delivered = append(s.delivered, items...)
+	return nil
+}
+func (s *stubWorker) FinishQuery() ([]dataplane.RawOutcome, error) {
+	return []dataplane.RawOutcome{{Source: "a", Node: "b", State: dataplane.Arrive, Packet: []byte{1}}}, nil
+}
+
+func (s *stubWorker) CollectRIBs() (map[string][]*route.Route, error) {
+	return map[string][]*route.Route{"r1": {{Prefix: route.MustParsePrefix("10.0.0.0/24")}}}, nil
+}
+func (s *stubWorker) Stats() (WorkerStats, error) {
+	return WorkerStats{WorkerID: 3, Nodes: 5, PeakBytes: 2048}, nil
+}
+
+func dialStub(t *testing.T) (*RemoteWorker, *stubWorker) {
+	t.Helper()
+	stub := &stubWorker{}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go Serve(stub, lis)
+	client, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, stub
+}
+
+func TestRPCRoundTripAllMethods(t *testing.T) {
+	client, stub := dialStub(t)
+	if client.Addr() == "" {
+		t.Error("Addr")
+	}
+
+	if err := client.Setup(SetupRequest{WorkerID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if stub.setups != 1 {
+		t.Fatal("setup not delivered")
+	}
+	// Errors cross the wire.
+	if err := client.Setup(SetupRequest{WorkerID: -1}); err == nil {
+		t.Fatal("remote error must propagate")
+	}
+
+	if err := client.BeginShard(BeginShardRequest{Index: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.GatherBGP(); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := client.ApplyBGP()
+	if err != nil || !changed {
+		t.Fatal("ApplyBGP reply")
+	}
+	if err := client.GatherOSPF(); err != nil {
+		t.Fatal(err)
+	}
+	changed, err = client.ApplyOSPF()
+	if err != nil || changed {
+		t.Fatal("ApplyOSPF reply")
+	}
+	end, err := client.EndShard()
+	if err != nil || end.Routes != 42 || end.ModelBytes != 1000 {
+		t.Fatalf("EndShard reply: %+v %v", end, err)
+	}
+
+	advs, ver, fresh, err := client.PullBGP("r9", "r1", 0, false)
+	if err != nil || !fresh || ver != 9 || len(advs) != 1 {
+		t.Fatalf("PullBGP: %v %d %v %v", advs, ver, fresh, err)
+	}
+	// Route attributes survive gob.
+	if advs[0].Route.ASPath[0] != 65001 || advs[0].Route.Prefix.String() != "10.0.0.0/24" {
+		t.Fatalf("route mangled: %+v", advs[0].Route)
+	}
+	stub.failPull = true
+	if _, _, _, err := client.PullBGP("ghost", "r1", 0, false); err == nil {
+		t.Fatal("pull error must propagate")
+	}
+	stub.failPull = false
+
+	lsas, ver, fresh, err := client.PullLSAs("r9", "r1", 0, false)
+	if err != nil || !fresh || ver != 4 || len(lsas) != 1 || len(lsas[0].Stubs) != 1 {
+		t.Fatalf("PullLSAs: %v %d %v %v", lsas, ver, fresh, err)
+	}
+
+	dp, err := client.ComputeDP()
+	if err != nil || dp.FIBEntries != 7 || dp.BDDNodes != 100 {
+		t.Fatalf("ComputeDP: %+v %v", dp, err)
+	}
+	if err := client.BeginQuery(QueryRequest{Query: dataplane.Query{MaxHops: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Inject(InjectRequest{Source: "r1", Packet: []byte{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.DPRound(); err != nil {
+		t.Fatal(err)
+	}
+	busy, err := client.HasWork()
+	if err != nil || !busy {
+		t.Fatal("HasWork after inject")
+	}
+	if err := client.DeliverPackets([]PacketDelivery{{Source: "a", Node: "b", InPort: "eth0", Packet: []byte{3}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(stub.delivered) != 2 {
+		t.Fatalf("deliveries = %d", len(stub.delivered))
+	}
+	outs, err := client.FinishQuery()
+	if err != nil || len(outs) != 1 || outs[0].State != dataplane.Arrive {
+		t.Fatalf("FinishQuery: %v %v", outs, err)
+	}
+
+	ribs, err := client.CollectRIBs()
+	if err != nil || len(ribs["r1"]) != 1 {
+		t.Fatalf("CollectRIBs: %v %v", ribs, err)
+	}
+	st, err := client.Stats()
+	if err != nil || st.WorkerID != 3 || st.PeakBytes != 2048 {
+		t.Fatalf("Stats: %+v %v", st, err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dialing a closed port must fail")
+	}
+}
+
+// Interface conformance: both implementations satisfy WorkerAPI.
+var (
+	_ WorkerAPI = (*stubWorker)(nil)
+	_ WorkerAPI = (*RemoteWorker)(nil)
+)

@@ -1,0 +1,103 @@
+// Package sim provides the node abstraction that decouples S2's
+// distributed framework from the switch models (§3.1, "Decouple the
+// distributed framework from the switch model"): the fixed-point engine
+// pulls route updates through uniform exporter interfaces, and whether the
+// exporter is a local ("real") process or a relay to another worker (a
+// "shadow" node speaking through the sidecar) is invisible to the caller —
+// the paper's Algorithm 1, lines 11–15.
+package sim
+
+import (
+	"s2/internal/bgp"
+	"s2/internal/ospf"
+)
+
+// BGPExporter is the pull surface of a BGP-speaking node: the same method
+// set as *bgp.Process.ExportsTo, with an error channel for remote relays.
+type BGPExporter interface {
+	ExportsTo(puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error)
+}
+
+// LSAExporter is the pull surface of an OSPF-speaking node.
+type LSAExporter interface {
+	LSAsTo(puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error)
+}
+
+// PullPeer reaches the real node on another worker; the sidecar's RPC
+// client implements it.
+type PullPeer interface {
+	PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error)
+	PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error)
+}
+
+// RealBGPNode wraps a local BGP process as an exporter.
+type RealBGPNode struct{ P *bgp.Process }
+
+// ExportsTo calls the wrapped model directly (Algorithm 1, line 13).
+func (n RealBGPNode) ExportsTo(puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
+	advs, ver, fresh := n.P.ExportsTo(puller, since, seen)
+	return advs, ver, fresh, nil
+}
+
+// ShadowBGPNode relays pulls to the real node on another worker
+// (Algorithm 1, line 15).
+type ShadowBGPNode struct {
+	Peer PullPeer
+	Name string // the real node's name
+}
+
+// ExportsTo relays the pull through the sidecar.
+func (n ShadowBGPNode) ExportsTo(puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
+	return n.Peer.PullBGP(n.Name, puller, since, seen)
+}
+
+// RealOSPFNode wraps a local OSPF process as an LSA exporter.
+type RealOSPFNode struct{ P *ospf.Process }
+
+// LSAsTo calls the wrapped model directly.
+func (n RealOSPFNode) LSAsTo(puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
+	lsas, ver, fresh := n.P.LSAsTo(puller, since, seen)
+	return lsas, ver, fresh, nil
+}
+
+// ShadowOSPFNode relays LSA pulls to the real node on another worker.
+type ShadowOSPFNode struct {
+	Peer PullPeer
+	Name string
+}
+
+// LSAsTo relays the pull through the sidecar.
+func (n ShadowOSPFNode) LSAsTo(puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
+	return n.Peer.PullLSAs(n.Name, puller, since, seen)
+}
+
+// PullState tracks the last version a puller has seen from one exporter,
+// enabling delta pulls.
+type PullState struct {
+	Version uint64
+	Seen    bool
+}
+
+// PullTracker holds pull states keyed by (puller, exporter).
+type PullTracker map[[2]string]*PullState
+
+// NewPullTracker returns an empty tracker.
+func NewPullTracker() PullTracker { return PullTracker{} }
+
+// Get returns the state for (puller, exporter), creating it on first use.
+func (t PullTracker) Get(puller, exporter string) *PullState {
+	key := [2]string{puller, exporter}
+	st, ok := t[key]
+	if !ok {
+		st = &PullState{}
+		t[key] = st
+	}
+	return st
+}
+
+// Reset forgets all pull history (between prefix shards).
+func (t PullTracker) Reset() {
+	for k := range t {
+		delete(t, k)
+	}
+}

@@ -1,0 +1,282 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+// DCNOptions describes the "real DCN"-like workload of §2.3. The generated
+// network is a set of Clos clusters of differing depth joined by a shared
+// core layer, with:
+//
+//   - per-layer shared ASNs (65001 + layer), forcing AS_PATH overwrite
+//     policies on downward exports so same-layer ASN repetition does not
+//     drop routes;
+//   - each TOR announcing one business VLAN /24 and one management
+//     loopback /32;
+//   - cluster-top switches aggregating their cluster's VLAN /16 and
+//     loopback /24 (summary-only) and tagging the aggregates with
+//     community 65000:100;
+//   - core switches preferring tagged aggregates via a community-matched
+//     import policy (local-preference 150);
+//   - heterogeneous ECMP maximum-paths per layer; and
+//   - the five vendor dialects assigned round-robin.
+type DCNOptions struct {
+	// Clusters is the number of Clos clusters (>= 1).
+	Clusters int
+	// TORsPerCluster is the layer-0 width of each cluster (>= 1).
+	TORsPerCluster int
+	// FabricWidth is the width of every intermediate layer (>= 1).
+	FabricWidth int
+	// CoreWidth is the width of the shared DCN core layer (>= 1).
+	CoreWidth int
+	// DeepClusters makes every second cluster 5 layers deep instead
+	// of 3, reproducing the coexistence of generations (§2.3).
+	DeepClusters bool
+	// WithAggregation enables cluster-top route aggregation (default in
+	// the real DCN; turning it off reproduces the FatTree-like route
+	// explosion the paper contrasts against in §5.4).
+	WithAggregation bool
+	// VLANsPerTOR is the number of business /24s each TOR announces
+	// (default 1). The real DCN carries ~12K routes per switch (§2.3);
+	// raising this restores a route-dominated memory profile at small
+	// switch counts.
+	VLANsPerTOR int
+}
+
+// vendorCycle assigns the five dialects round-robin.
+var vendorCycle = []config.Vendor{
+	config.VendorAlpha, config.VendorBravo, config.VendorCharlie,
+	config.VendorDelta, config.VendorEcho,
+}
+
+// maxPathsByLayer reproduces the heterogeneous ECMP configuration: TORs
+// use wide multipath, upper layers progressively narrower (§2.3, "even for
+// switches at the same layer, they may be configured with different
+// maximum numbers of equal-cost paths" — we vary by layer and parity).
+func maxPathsByLayer(layer, index int) int {
+	base := []int{64, 32, 16, 16, 8}
+	mp := 8
+	if layer < len(base) {
+		mp = base[layer]
+	}
+	if index%2 == 1 && mp > 4 {
+		mp /= 2
+	}
+	return mp
+}
+
+// DCN synthesizes the DCN-like workload. Returns hostname → config text.
+func DCN(opts DCNOptions) (map[string]string, error) {
+	if opts.Clusters < 1 || opts.TORsPerCluster < 1 || opts.FabricWidth < 1 || opts.CoreWidth < 1 {
+		return nil, fmt.Errorf("synth: DCN options must all be >= 1: %+v", opts)
+	}
+	if opts.Clusters > 120 {
+		return nil, fmt.Errorf("synth: at most 120 clusters (addressing limit), got %d", opts.Clusters)
+	}
+	if opts.VLANsPerTOR == 0 {
+		opts.VLANsPerTOR = 1
+	}
+	if opts.TORsPerCluster*opts.VLANsPerTOR > 256 {
+		return nil, fmt.Errorf("synth: TORsPerCluster×VLANsPerTOR must be <= 256, got %d",
+			opts.TORsPerCluster*opts.VLANsPerTOR)
+	}
+
+	b := newConfigBuilder()
+
+	// Build the switch inventory: names[cluster][layer][i]; core layer is
+	// cluster -1 in spirit, stored separately.
+	type devInfo struct {
+		name     string
+		layer    int
+		cluster  int
+		index    int
+		vendor   config.Vendor
+		announce []route.Prefix // network statements (TORs)
+		loopback route.Prefix
+	}
+	var devices []*devInfo
+	byName := map[string]*devInfo{}
+	devCount := 0
+	newDev := func(name string, cluster, layer, index int) *devInfo {
+		d := &devInfo{
+			name: name, layer: layer, cluster: cluster, index: index,
+			vendor:   vendorCycle[devCount%len(vendorCycle)],
+			loopback: route.MakePrefix(route.MustParseAddr("192.168.0.0")+uint32(devCount)+1, 32),
+		}
+		devCount++
+		devices = append(devices, d)
+		byName[name] = d
+		return d
+	}
+
+	clusters := make([][][]*devInfo, opts.Clusters)
+	for c := 0; c < opts.Clusters; c++ {
+		layers := 3
+		if opts.DeepClusters && c%2 == 1 {
+			layers = 5
+		}
+		clusters[c] = make([][]*devInfo, layers)
+		for l := 0; l < layers; l++ {
+			width := opts.FabricWidth
+			if l == 0 {
+				width = opts.TORsPerCluster
+			}
+			for i := 0; i < width; i++ {
+				name := fmt.Sprintf("c%d-l%d-s%d", c, l, i)
+				clusters[c][l] = append(clusters[c][l], newDev(name, c, l, i))
+			}
+		}
+		// TOR announcements.
+		for i, tor := range clusters[c][0] {
+			for v := 0; v < opts.VLANsPerTOR; v++ {
+				vlan := route.MakePrefix(route.MustParseAddr("10.128.0.0")+
+					uint32(c)<<16+uint32(i*opts.VLANsPerTOR+v)<<8, 24)
+				tor.announce = append(tor.announce, vlan)
+			}
+		}
+		// Intra-cluster links: full bipartite between adjacent layers.
+		for l := 0; l+1 < layers; l++ {
+			for _, lo := range clusters[c][l] {
+				for _, hi := range clusters[c][l+1] {
+					b.link(lo.name, hi.name)
+				}
+			}
+		}
+	}
+	// Core layer: the DCN-wide top; the core "layer number" is one above
+	// the deepest cluster so layer ASNs stay unique.
+	coreLayer := 3
+	if opts.DeepClusters {
+		coreLayer = 5
+	}
+	var coreDevs []*devInfo
+	for i := 0; i < opts.CoreWidth; i++ {
+		coreDevs = append(coreDevs, newDev(fmt.Sprintf("dcncore-s%d", i), -1, coreLayer, i))
+	}
+	for c := 0; c < opts.Clusters; c++ {
+		top := clusters[c][len(clusters[c])-1]
+		for _, t := range top {
+			for _, core := range coreDevs {
+				b.link(t.name, core.name)
+			}
+		}
+	}
+
+	asnOf := func(d *devInfo) uint32 { return 65001 + uint32(d.layer) }
+
+	texts := make(map[string]string, len(devices))
+	for _, d := range devices {
+		var cfg strings.Builder
+		fmt.Fprintf(&cfg, "! vendor: %s\nhostname %s\n!\n", d.vendor, d.name)
+		for _, l := range b.linksOf(d.name) {
+			fmt.Fprintf(&cfg, "interface %s\n ip address %s/31\n description link to %s\n",
+				l.ifc, route.FormatAddr(l.ip), l.peer)
+		}
+		fmt.Fprintf(&cfg, "interface lo0\n ip address %s/32\n", route.FormatAddr(d.loopback.Addr))
+		for v, pfx := range d.announce {
+			fmt.Fprintf(&cfg, "interface vlan%d\n ip address %s/24\n", 10+v, route.FormatAddr(pfx.Addr+1))
+		}
+
+		isClusterTop := d.cluster >= 0 && d.layer == len(clusters[d.cluster])-1
+		isCore := d.cluster < 0
+
+		// Policy objects. The design follows production Clos practice:
+		//
+		//   - Down-exports carry the FROM_UP community (65000:999);
+		//     non-core layers also AS_PATH-overwrite them (§2.3) so
+		//     repeated per-layer ASNs do not drop routes.
+		//   - Up-exports filter FROM_UP routes (valley-free enforcement:
+		//     a route learned from above never goes back up).
+		//   - Imports from below get local-preference 200 (prefer-down),
+		//     so reflected routes can never tie with cluster-internal
+		//     paths — without this the overwrite erases path length and
+		//     the control plane oscillates.
+		hasUp, hasDown := false, false
+		for _, l := range b.linksOf(d.name) {
+			if byName[l.peer].layer > d.layer {
+				hasUp = true
+			}
+			if byName[l.peer].layer < d.layer {
+				hasDown = true
+			}
+		}
+		fmt.Fprintf(&cfg, "!\nip community-list standard CL_FROM_UP permit 65000:999\n")
+		if hasDown {
+			fmt.Fprintf(&cfg, "route-map DOWN_EXPORT permit 10\n")
+			if !isCore {
+				fmt.Fprintf(&cfg, " set as-path overwrite %d\n", asnOf(d))
+			}
+			fmt.Fprintf(&cfg, " set community 65000:999 additive\n")
+			fmt.Fprintf(&cfg, "route-map PREFER_DOWN permit 10\n set local-preference 200\n")
+		}
+		if hasUp {
+			fmt.Fprintf(&cfg, "route-map UP_EXPORT deny 10\n match community CL_FROM_UP\n")
+			fmt.Fprintf(&cfg, "route-map UP_EXPORT permit 20\n")
+		}
+		if isClusterTop && opts.WithAggregation {
+			fmt.Fprintf(&cfg, "route-map AGG_TAG permit 10\n set community 65000:100\n")
+		}
+		if isCore {
+			fmt.Fprintf(&cfg, "ip community-list standard CL_AGG permit 65000:100\n")
+			fmt.Fprintf(&cfg, "route-map PREFER_AGG permit 10\n match community CL_AGG\n set local-preference 250\n")
+			fmt.Fprintf(&cfg, "route-map PREFER_AGG permit 20\n set local-preference 200\n")
+		}
+
+		fmt.Fprintf(&cfg, "!\nrouter bgp %d\n router-id %s\n maximum-paths %d\n",
+			asnOf(d), route.FormatAddr(uint32(0x02000000)+d.loopback.Addr-route.MustParseAddr("192.168.0.0")), maxPathsByLayer(d.layer, d.index))
+		if !isCore {
+			// Core loopbacks stay out of the fabric: cores are not
+			// interconnected, so a core-to-core loopback route cannot
+			// exist under valley-free export filtering (cores are
+			// managed out of band).
+			fmt.Fprintf(&cfg, " network %s\n", d.loopback)
+		}
+		for _, pfx := range d.announce {
+			fmt.Fprintf(&cfg, " network %s\n", pfx)
+		}
+		if isClusterTop && opts.WithAggregation {
+			vlanAgg := route.MakePrefix(route.MustParseAddr("10.128.0.0")+uint32(d.cluster)<<16, 16)
+			fmt.Fprintf(&cfg, " aggregate-address %s summary-only attribute-map AGG_TAG\n", vlanAgg)
+		}
+		for _, l := range b.linksOf(d.name) {
+			peer := byName[l.peer]
+			fmt.Fprintf(&cfg, " neighbor %s remote-as %d\n", route.FormatAddr(l.peerIP), asnOf(peer))
+			if peer.layer < d.layer {
+				// Downward session: tag (and, below the core,
+				// AS_PATH-overwrite) exports; prefer what comes up.
+				fmt.Fprintf(&cfg, " neighbor %s route-map DOWN_EXPORT out\n", route.FormatAddr(l.peerIP))
+				if isCore {
+					fmt.Fprintf(&cfg, " neighbor %s route-map PREFER_AGG in\n", route.FormatAddr(l.peerIP))
+				} else {
+					fmt.Fprintf(&cfg, " neighbor %s route-map PREFER_DOWN in\n", route.FormatAddr(l.peerIP))
+				}
+			}
+			if peer.layer > d.layer {
+				// Upward session: valley-free export filter, and
+				// tolerate own-ASN paths (same-layer ASNs repeat
+				// across clusters, §2.3).
+				fmt.Fprintf(&cfg, " neighbor %s route-map UP_EXPORT out\n", route.FormatAddr(l.peerIP))
+				fmt.Fprintf(&cfg, " neighbor %s allowas-in\n", route.FormatAddr(l.peerIP))
+			}
+		}
+		texts[d.name] = cfg.String()
+	}
+	return texts, nil
+}
+
+// DCNSize returns the number of switches the options generate.
+func DCNSize(opts DCNOptions) int {
+	total := opts.CoreWidth
+	for c := 0; c < opts.Clusters; c++ {
+		layers := 3
+		if opts.DeepClusters && c%2 == 1 {
+			layers = 5
+		}
+		total += opts.TORsPerCluster + (layers-1)*opts.FabricWidth
+	}
+	return total
+}

@@ -1,0 +1,189 @@
+// Package synth generates the paper's two workloads as configuration text
+// consumed by our own parser, so every experiment exercises the full
+// pipeline from vendor syntax to verification:
+//
+//   - FatTree(k): the synthesized ACORN-style FatTrees of §5.2 — eBGP
+//     everywhere, one ASN per switch, ECMP up to 64 paths, one /24
+//     announced per edge switch.
+//   - DCN(spec): a "real DCN"-like network per §2.3 — multi-layer Clos
+//     clusters of differing depth, per-layer shared ASNs, AS_PATH overwrite
+//     on downward exports, route aggregation with community tagging at the
+//     cluster tops, heterogeneous ECMP limits, and five vendor dialects.
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"s2/internal/route"
+)
+
+// FatTreeOptions tunes the generator.
+type FatTreeOptions struct {
+	// K is the pod count (even, >= 2). Switch count is 5k²/4.
+	K int
+	// MaxPaths is the ECMP limit on every switch (paper: 64).
+	MaxPaths int
+	// PrefixesPerEdge is how many /24s each edge switch announces
+	// (default 1).
+	PrefixesPerEdge int
+	// WithACL adds a deny ACL on one edge switch's host port, creating a
+	// deliberate blackhole for property-checking demos.
+	WithACL bool
+}
+
+// FatTree synthesizes configuration texts (hostname → config) for a k-pod
+// FatTree. Naming follows core-<i>, agg-<pod>-<i>, edge-<pod>-<i>, which
+// the expert partition scheme and the load estimator recognize.
+func FatTree(opts FatTreeOptions) (map[string]string, error) {
+	k := opts.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("synth: FatTree k must be even and >= 2, got %d", k)
+	}
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = 64
+	}
+	if opts.PrefixesPerEdge == 0 {
+		opts.PrefixesPerEdge = 1
+	}
+	half := k / 2
+
+	// Switch inventory and ASN/router-id assignment.
+	type sw struct {
+		name string
+		asn  uint32
+		id   int
+	}
+	var cores, all []*sw
+	aggs := make([][]*sw, k)
+	edges := make([][]*sw, k)
+	next := 0
+	newSw := func(name string) *sw {
+		s := &sw{name: name, asn: 1000000 + uint32(next), id: next}
+		next++
+		all = append(all, s)
+		return s
+	}
+	for i := 0; i < half*half; i++ {
+		cores = append(cores, newSw(fmt.Sprintf("core-%d", i)))
+	}
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			aggs[p] = append(aggs[p], newSw(fmt.Sprintf("agg-%d-%d", p, i)))
+		}
+		for i := 0; i < half; i++ {
+			edges[p] = append(edges[p], newSw(fmt.Sprintf("edge-%d-%d", p, i)))
+		}
+	}
+
+	b := newConfigBuilder()
+	// Pod-internal links: every edge to every agg in the pod.
+	for p := 0; p < k; p++ {
+		for _, e := range edges[p] {
+			for _, a := range aggs[p] {
+				b.link(e.name, a.name)
+			}
+		}
+	}
+	// Agg-to-core: agg i in each pod connects to cores [i*half, (i+1)*half).
+	for p := 0; p < k; p++ {
+		for i, a := range aggs[p] {
+			for j := 0; j < half; j++ {
+				b.link(a.name, cores[i*half+j].name)
+			}
+		}
+	}
+
+	asnOf := map[string]uint32{}
+	for _, s := range all {
+		asnOf[s.name] = s.asn
+	}
+
+	texts := make(map[string]string, len(all))
+	edgeIdx := 0
+	for _, s := range all {
+		var cfg strings.Builder
+		fmt.Fprintf(&cfg, "hostname %s\n!\n", s.name)
+		for _, l := range b.linksOf(s.name) {
+			fmt.Fprintf(&cfg, "interface %s\n ip address %s/31\n description link to %s\n",
+				l.ifc, route.FormatAddr(l.ip), l.peer)
+		}
+		isEdge := strings.HasPrefix(s.name, "edge-")
+		var announced []route.Prefix
+		if isEdge {
+			for v := 0; v < opts.PrefixesPerEdge; v++ {
+				pfx := edgePrefix(edgeIdx, v)
+				announced = append(announced, pfx)
+				fmt.Fprintf(&cfg, "interface vlan%d\n ip address %s/24\n",
+					10+v, route.FormatAddr(pfx.Addr+1))
+			}
+			if opts.WithACL && edgeIdx == 0 {
+				// A deliberate misconfiguration: the first edge switch
+				// drops traffic to its own prefix on the host port.
+				fmt.Fprintf(&cfg, "ip access-list BLOCK_HOSTS\n deny ip any %s\n permit ip any any\n", announced[0])
+				fmt.Fprintf(&cfg, "interface vlan10\n ip access-group BLOCK_HOSTS out\n")
+			}
+			edgeIdx++
+		}
+		fmt.Fprintf(&cfg, "!\nrouter bgp %d\n router-id %s\n maximum-paths %d\n",
+			s.asn, route.FormatAddr(uint32(0x01000000+s.id)), opts.MaxPaths)
+		for _, pfx := range announced {
+			fmt.Fprintf(&cfg, " network %s\n", pfx)
+		}
+		for _, l := range b.linksOf(s.name) {
+			fmt.Fprintf(&cfg, " neighbor %s remote-as %d\n", route.FormatAddr(l.peerIP), asnOf[l.peer])
+		}
+		texts[s.name] = cfg.String()
+	}
+	return texts, nil
+}
+
+// FatTreeSize returns the switch count of a k-pod FatTree (5k²/4).
+func FatTreeSize(k int) int { return 5 * k * k / 4 }
+
+// FatTreeRouteEstimate approximates the total route count of a k-pod
+// FatTree with ECMP: each of the k²/2·prefixesPerEdge prefixes appears on
+// nearly every one of the 5k²/4 switches.
+func FatTreeRouteEstimate(k, prefixesPerEdge int) int64 {
+	prefixes := int64(k) * int64(k) / 2 * int64(prefixesPerEdge)
+	return prefixes * int64(FatTreeSize(k))
+}
+
+// edgePrefix allocates the v-th /24 announced by the globally e-th edge
+// switch out of 10.128.0.0/9.
+func edgePrefix(e, v int) route.Prefix {
+	base := route.MustParseAddr("10.128.0.0")
+	return route.MakePrefix(base+uint32(e*64+v)*256, 24)
+}
+
+// configBuilder allocates /31 link subnets and interface names.
+type configBuilder struct {
+	nextLink uint32
+	links    map[string][]linkEnd
+	ifCount  map[string]int
+}
+
+type linkEnd struct {
+	ifc    string
+	ip     uint32
+	peer   string
+	peerIP uint32
+}
+
+func newConfigBuilder() *configBuilder {
+	return &configBuilder{links: map[string][]linkEnd{}, ifCount: map[string]int{}}
+}
+
+// link allocates a /31 between a and b out of 10.0.0.0/9.
+func (b *configBuilder) link(a, c string) {
+	base := route.MustParseAddr("10.0.0.0") + b.nextLink*2
+	b.nextLink++
+	ifa := fmt.Sprintf("eth%d", b.ifCount[a])
+	ifc := fmt.Sprintf("eth%d", b.ifCount[c])
+	b.ifCount[a]++
+	b.ifCount[c]++
+	b.links[a] = append(b.links[a], linkEnd{ifc: ifa, ip: base, peer: c, peerIP: base + 1})
+	b.links[c] = append(b.links[c], linkEnd{ifc: ifc, ip: base + 1, peer: a, peerIP: base})
+}
+
+func (b *configBuilder) linksOf(name string) []linkEnd { return b.links[name] }

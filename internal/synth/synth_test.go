@@ -1,0 +1,276 @@
+package synth
+
+import (
+	"testing"
+
+	"s2/internal/config"
+	"s2/internal/topology"
+)
+
+func TestFatTreeValidation(t *testing.T) {
+	for _, k := range []int{0, 1, 3, -2} {
+		if _, err := FatTree(FatTreeOptions{K: k}); err == nil {
+			t.Errorf("k=%d should fail", k)
+		}
+	}
+}
+
+func TestFatTreeParsesAndConnects(t *testing.T) {
+	texts, err := FatTree(FatTreeOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != FatTreeSize(4) {
+		t.Fatalf("generated %d configs, want %d", len(texts), FatTreeSize(4))
+	}
+	snap, err := config.ParseTexts(texts)
+	if err != nil {
+		t.Fatalf("generated configs must parse cleanly: %v", err)
+	}
+	net, err := topology.Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Warnings) != 0 {
+		t.Fatalf("topology warnings: %v", net.Warnings)
+	}
+	// k=4: 4 cores, 8 aggs, 8 edges; 32 pod links + 16 core links.
+	if net.EdgeCount() != 32 {
+		t.Fatalf("edges = %d, want 32", net.EdgeCount())
+	}
+	// Degree checks: each edge switch has k/2=2 uplinks; aggs have 4.
+	if got := len(net.Neighbors("edge-0-0")); got != 2 {
+		t.Errorf("edge-0-0 degree = %d", got)
+	}
+	if got := len(net.Neighbors("agg-0-0")); got != 4 {
+		t.Errorf("agg-0-0 degree = %d", got)
+	}
+	if got := len(net.Neighbors("core-0")); got != 4 {
+		t.Errorf("core-0 degree = %d", got)
+	}
+	// Every edge announces exactly one network.
+	dev := snap.Devices["edge-1-1"]
+	if dev.BGP == nil || len(dev.BGP.Networks) != 1 || dev.BGP.MaxPaths != 64 {
+		t.Fatalf("edge BGP config: %+v", dev.BGP)
+	}
+	// Unique ASNs.
+	asns := map[uint32]bool{}
+	for _, d := range snap.Devices {
+		if asns[d.BGP.ASN] {
+			t.Fatalf("duplicate ASN %d", d.BGP.ASN)
+		}
+		asns[d.BGP.ASN] = true
+	}
+}
+
+func TestFatTreePrefixesPerEdge(t *testing.T) {
+	texts, err := FatTree(FatTreeOptions{K: 4, PrefixesPerEdge: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := config.ParseTexts(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(snap.Devices["edge-0-0"].BGP.Networks); got != 3 {
+		t.Fatalf("networks per edge = %d", got)
+	}
+	// Distinct prefixes across all edges.
+	seen := map[string]bool{}
+	for _, d := range snap.Devices {
+		for _, p := range d.BGP.Networks {
+			if seen[p.String()] {
+				t.Fatalf("duplicate announced prefix %v", p)
+			}
+			seen[p.String()] = true
+		}
+	}
+}
+
+func TestFatTreeWithACL(t *testing.T) {
+	texts, err := FatTree(FatTreeOptions{K: 4, WithACL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := config.ParseTexts(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, d := range snap.Devices {
+		if len(d.ACLs) > 0 {
+			found = true
+			if d.Interfaces["vlan10"].OutACL == "" {
+				t.Error("ACL must be applied to the host port")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("WithACL should add an ACL somewhere")
+	}
+}
+
+func TestFatTreeSizeAndEstimate(t *testing.T) {
+	if FatTreeSize(4) != 20 || FatTreeSize(40) != 2000 || FatTreeSize(90) != 10125 {
+		t.Error("FatTreeSize formula (paper sizes: FatTree40=2000, FatTree90=10125)")
+	}
+	if FatTreeRouteEstimate(4, 1) != 8*20 {
+		t.Errorf("route estimate = %d", FatTreeRouteEstimate(4, 1))
+	}
+}
+
+func TestDCNValidation(t *testing.T) {
+	if _, err := DCN(DCNOptions{}); err == nil {
+		t.Error("zero options should fail")
+	}
+	if _, err := DCN(DCNOptions{Clusters: 121, TORsPerCluster: 1, FabricWidth: 1, CoreWidth: 1}); err == nil {
+		t.Error("too many clusters should fail")
+	}
+}
+
+func defaultDCN() DCNOptions {
+	return DCNOptions{
+		Clusters:        2,
+		TORsPerCluster:  4,
+		FabricWidth:     2,
+		CoreWidth:       2,
+		DeepClusters:    true,
+		WithAggregation: true,
+	}
+}
+
+func TestDCNParsesAndConnects(t *testing.T) {
+	opts := defaultDCN()
+	texts, err := DCN(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != DCNSize(opts) {
+		t.Fatalf("generated %d configs, want %d", len(texts), DCNSize(opts))
+	}
+	snap, err := config.ParseTexts(texts)
+	if err != nil {
+		t.Fatalf("generated configs must parse cleanly: %v", err)
+	}
+	net, err := topology.Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Warnings) != 0 {
+		t.Fatalf("topology warnings: %v", net.Warnings)
+	}
+
+	// Cluster 0 is 3 layers; cluster 1 is 5 layers (DeepClusters).
+	if _, ok := snap.Devices["c0-l2-s0"]; !ok {
+		t.Fatal("cluster 0 should have layer 2")
+	}
+	if _, ok := snap.Devices["c0-l3-s0"]; ok {
+		t.Fatal("cluster 0 should stop at layer 2")
+	}
+	if _, ok := snap.Devices["c1-l4-s0"]; !ok {
+		t.Fatal("cluster 1 should have layer 4")
+	}
+
+	// Layer-shared ASNs.
+	if snap.Devices["c0-l0-s0"].BGP.ASN != snap.Devices["c1-l0-s1"].BGP.ASN {
+		t.Error("same-layer switches must share an ASN")
+	}
+	if snap.Devices["c0-l0-s0"].BGP.ASN == snap.Devices["c0-l1-s0"].BGP.ASN {
+		t.Error("different layers must differ in ASN")
+	}
+
+	// Five vendors present.
+	vendors := map[config.Vendor]bool{}
+	for _, d := range snap.Devices {
+		vendors[d.Vendor] = true
+	}
+	if len(vendors) != 5 {
+		t.Errorf("vendors used = %v, want all 5", vendors)
+	}
+
+	// AS_PATH overwrite on non-TOR layers.
+	mid := snap.Devices["c0-l1-s0"]
+	if _, ok := mid.RouteMaps["DOWN_EXPORT"]; !ok {
+		t.Error("fabric switches need the overwrite route-map")
+	}
+	// Aggregation at cluster tops only.
+	top := snap.Devices["c0-l2-s0"]
+	if len(top.BGP.Aggregates) == 0 || !top.BGP.Aggregates[0].SummaryOnly {
+		t.Errorf("cluster top should aggregate: %+v", top.BGP.Aggregates)
+	}
+	if len(snap.Devices["c0-l0-s0"].BGP.Aggregates) != 0 {
+		t.Error("TORs must not aggregate")
+	}
+	// Core community policy.
+	core := snap.Devices["dcncore-s0"]
+	if _, ok := core.RouteMaps["PREFER_AGG"]; !ok {
+		t.Error("core needs the community import policy")
+	}
+	// Heterogeneous ECMP.
+	if snap.Devices["c0-l0-s0"].BGP.MaxPaths == snap.Devices["c0-l1-s0"].BGP.MaxPaths {
+		t.Error("ECMP limits should differ across layers")
+	}
+}
+
+func TestDCNWithoutAggregation(t *testing.T) {
+	opts := defaultDCN()
+	opts.WithAggregation = false
+	texts, err := DCN(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := config.ParseTexts(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range snap.Devices {
+		if len(d.BGP.Aggregates) != 0 {
+			t.Fatalf("%s has aggregates with aggregation disabled", name)
+		}
+	}
+}
+
+func TestDCNUniquePrefixes(t *testing.T) {
+	texts, err := DCN(defaultDCN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := config.ParseTexts(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for name, d := range snap.Devices {
+		for _, p := range d.BGP.Networks {
+			if prev, dup := seen[p.String()]; dup {
+				t.Fatalf("prefix %v announced by both %s and %s", p, prev, name)
+			}
+			seen[p.String()] = name
+		}
+	}
+}
+
+func TestDCNLinkSubnetsUnique(t *testing.T) {
+	texts, err := DCN(defaultDCN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := config.ParseTexts(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each /31 appears on exactly two interfaces.
+	count := map[string]int{}
+	for _, d := range snap.Devices {
+		for _, ifc := range d.Interfaces {
+			if ifc.Subnet.Len == 31 {
+				count[ifc.Subnet.String()]++
+			}
+		}
+	}
+	for subnet, c := range count {
+		if c != 2 {
+			t.Fatalf("subnet %s appears %d times, want 2", subnet, c)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package topology derives the network graph from parsed device
+// configurations: layer-3 adjacencies from shared interface subnets, and
+// resolved BGP peering sessions from neighbor statements. The partitioner
+// and both simulation engines consume this graph.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+// Adjacency is one directed view of a layer-3 link: the local device can
+// reach Neighbor through LocalIfc.
+type Adjacency struct {
+	Neighbor  string
+	LocalIfc  string
+	RemoteIfc string
+	LocalIP   uint32
+	RemoteIP  uint32
+	Subnet    route.Prefix
+}
+
+// BGPSession is one resolved eBGP/iBGP peering between two devices.
+type BGPSession struct {
+	Local, Remote       string
+	LocalIP, RemoteIP   uint32
+	LocalIfc, RemoteIfc string
+	// LocalAS/RemoteAS are the configured AS numbers; EBGP reports
+	// whether they differ.
+	LocalAS, RemoteAS uint32
+}
+
+// EBGP reports whether the session crosses AS boundaries.
+func (s BGPSession) EBGP() bool { return s.LocalAS != s.RemoteAS }
+
+// Network is the derived topology over a configuration snapshot.
+type Network struct {
+	Devices map[string]*config.Device
+	// Adjacencies maps device → sorted layer-3 neighbors.
+	Adjacencies map[string][]Adjacency
+	// Sessions maps device → sorted resolved BGP sessions.
+	Sessions map[string][]BGPSession
+	// Warnings records non-fatal inconsistencies found while resolving
+	// the topology (unresolvable neighbors, AS mismatches), the kind of
+	// misconfiguration a verifier surfaces rather than hides.
+	Warnings []string
+}
+
+// ifaceAddr locates interfaces by address for neighbor resolution.
+type ifaceAddr struct {
+	device string
+	ifc    *config.Interface
+}
+
+// Build derives the topology from a snapshot.
+func Build(snap *config.Snapshot) (*Network, error) {
+	if len(snap.Devices) == 0 {
+		return nil, fmt.Errorf("topology: empty snapshot")
+	}
+	n := &Network{
+		Devices:     snap.Devices,
+		Adjacencies: make(map[string][]Adjacency, len(snap.Devices)),
+		Sessions:    make(map[string][]BGPSession, len(snap.Devices)),
+	}
+
+	// Group addressed, enabled interfaces by subnet.
+	bySubnet := map[route.Prefix][]ifaceAddr{}
+	byIP := map[uint32][]ifaceAddr{}
+	for _, name := range snap.DeviceNames() {
+		dev := snap.Devices[name]
+		for _, ifcName := range dev.InterfaceNames() {
+			ifc := dev.Interfaces[ifcName]
+			if ifc.Shutdown || ifc.IP == 0 {
+				continue
+			}
+			ia := ifaceAddr{device: name, ifc: ifc}
+			bySubnet[ifc.Subnet] = append(bySubnet[ifc.Subnet], ia)
+			byIP[ifc.IP] = append(byIP[ifc.IP], ia)
+		}
+	}
+
+	// Pairwise adjacency inside each subnet (point-to-point /31s in DCNs,
+	// but multi-access subnets work too).
+	for subnet, members := range bySubnet {
+		if subnet.Len == 32 {
+			continue // loopbacks
+		}
+		for i := 0; i < len(members); i++ {
+			for j := 0; j < len(members); j++ {
+				if i == j || members[i].device == members[j].device {
+					continue
+				}
+				a, b := members[i], members[j]
+				n.Adjacencies[a.device] = append(n.Adjacencies[a.device], Adjacency{
+					Neighbor:  b.device,
+					LocalIfc:  a.ifc.Name,
+					RemoteIfc: b.ifc.Name,
+					LocalIP:   a.ifc.IP,
+					RemoteIP:  b.ifc.IP,
+					Subnet:    subnet,
+				})
+			}
+		}
+	}
+	for dev := range n.Adjacencies {
+		adj := n.Adjacencies[dev]
+		sort.Slice(adj, func(i, j int) bool {
+			if adj[i].Neighbor != adj[j].Neighbor {
+				return adj[i].Neighbor < adj[j].Neighbor
+			}
+			return adj[i].LocalIfc < adj[j].LocalIfc
+		})
+	}
+
+	// Resolve BGP sessions from neighbor statements.
+	for _, name := range snap.DeviceNames() {
+		dev := snap.Devices[name]
+		if dev.BGP == nil {
+			continue
+		}
+		for _, nb := range dev.BGP.SortedNeighbors() {
+			peers := byIP[nb.PeerIP]
+			var peer *ifaceAddr
+			for i := range peers {
+				if peers[i].device != name {
+					peer = &peers[i]
+					break
+				}
+			}
+			if peer == nil {
+				n.Warnings = append(n.Warnings, fmt.Sprintf(
+					"%s: bgp neighbor %s does not resolve to any device interface",
+					name, route.FormatAddr(nb.PeerIP)))
+				continue
+			}
+			peerDev := snap.Devices[peer.device]
+			if peerDev.BGP == nil {
+				n.Warnings = append(n.Warnings, fmt.Sprintf(
+					"%s: bgp neighbor %s resolves to %s which runs no BGP",
+					name, route.FormatAddr(nb.PeerIP), peer.device))
+				continue
+			}
+			if peerDev.BGP.ASN != nb.RemoteAS {
+				n.Warnings = append(n.Warnings, fmt.Sprintf(
+					"%s: bgp neighbor %s remote-as %d but %s is AS %d",
+					name, route.FormatAddr(nb.PeerIP), nb.RemoteAS, peer.device, peerDev.BGP.ASN))
+				continue
+			}
+			// Find the local interface facing the peer.
+			local := snap.Devices[name].InterfaceForAddr(nb.PeerIP)
+			if local == nil {
+				n.Warnings = append(n.Warnings, fmt.Sprintf(
+					"%s: no local interface on the subnet of bgp neighbor %s",
+					name, route.FormatAddr(nb.PeerIP)))
+				continue
+			}
+			n.Sessions[name] = append(n.Sessions[name], BGPSession{
+				Local:     name,
+				Remote:    peer.device,
+				LocalIP:   local.IP,
+				RemoteIP:  nb.PeerIP,
+				LocalIfc:  local.Name,
+				RemoteIfc: peer.ifc.Name,
+				LocalAS:   dev.BGP.ASN,
+				RemoteAS:  nb.RemoteAS,
+			})
+		}
+	}
+	for dev := range n.Sessions {
+		ss := n.Sessions[dev]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].RemoteIP < ss[j].RemoteIP })
+	}
+	return n, nil
+}
+
+// DeviceNames returns device names in sorted order.
+func (n *Network) DeviceNames() []string {
+	names := make([]string, 0, len(n.Devices))
+	for name := range n.Devices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Neighbors returns the distinct adjacent device names of dev, sorted.
+func (n *Network) Neighbors(dev string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range n.Adjacencies[dev] {
+		if !seen[a.Neighbor] {
+			seen[a.Neighbor] = true
+			out = append(out, a.Neighbor)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeCount returns the number of undirected device-level links.
+func (n *Network) EdgeCount() int {
+	total := 0
+	for dev := range n.Adjacencies {
+		total += len(n.Neighbors(dev))
+	}
+	return total / 2
+}
+
+// Graph is the weighted undirected graph view used by the partitioner:
+// NodeWeights estimate per-node simulation load (route count), EdgeWeights
+// estimate inter-node communication volume.
+type Graph struct {
+	Nodes       []string
+	Index       map[string]int
+	Adj         [][]int // adjacency by node index, sorted
+	NodeWeights []int64
+	EdgeWeights map[[2]int]int64 // key: (min,max) node index pair
+}
+
+// Graph builds the partitioner's view. loadOf estimates the per-node load;
+// nil means uniform load.
+func (n *Network) Graph(loadOf func(device string) int64) *Graph {
+	g := &Graph{
+		Nodes:       n.DeviceNames(),
+		Index:       make(map[string]int),
+		EdgeWeights: make(map[[2]int]int64),
+	}
+	for i, name := range g.Nodes {
+		g.Index[name] = i
+	}
+	g.Adj = make([][]int, len(g.Nodes))
+	g.NodeWeights = make([]int64, len(g.Nodes))
+	for i, name := range g.Nodes {
+		if loadOf != nil {
+			g.NodeWeights[i] = loadOf(name)
+		} else {
+			g.NodeWeights[i] = 1
+		}
+		if g.NodeWeights[i] < 1 {
+			g.NodeWeights[i] = 1
+		}
+		for _, nb := range n.Neighbors(name) {
+			j := g.Index[nb]
+			g.Adj[i] = append(g.Adj[i], j)
+			key := edgeKey(i, j)
+			// Parallel links between a device pair add weight once per
+			// adjacency entry; count from the lower-index side only to
+			// avoid double charging.
+			if i < j {
+				g.EdgeWeights[key] += int64(countAdj(n, name, nb))
+			}
+		}
+	}
+	return g
+}
+
+func countAdj(n *Network, a, b string) int {
+	c := 0
+	for _, adj := range n.Adjacencies[a] {
+		if adj.Neighbor == b {
+			c++
+		}
+	}
+	return c
+}
+
+func edgeKey(i, j int) [2]int {
+	if i < j {
+		return [2]int{i, j}
+	}
+	return [2]int{j, i}
+}
+
+// EdgeWeight returns the weight of the undirected edge (i, j).
+func (g *Graph) EdgeWeight(i, j int) int64 { return g.EdgeWeights[edgeKey(i, j)] }
+
+// TotalNodeWeight sums all node weights.
+func (g *Graph) TotalNodeWeight() int64 {
+	var t int64
+	for _, w := range g.NodeWeights {
+		t += w
+	}
+	return t
+}

@@ -1,0 +1,207 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"s2/internal/config"
+	"s2/internal/route"
+)
+
+// triangle builds three routers connected pairwise with /31 links and eBGP.
+func triangleTexts() map[string]string {
+	return map[string]string{
+		"r1.cfg": `hostname r1
+interface eth0
+ ip address 10.0.0.0/31
+interface eth1
+ ip address 10.0.1.0/31
+router bgp 65001
+ router-id 1.1.1.1
+ neighbor 10.0.0.1 remote-as 65002
+ neighbor 10.0.1.1 remote-as 65003
+`,
+		"r2.cfg": `hostname r2
+interface eth0
+ ip address 10.0.0.1/31
+interface eth1
+ ip address 10.0.2.0/31
+router bgp 65002
+ router-id 2.2.2.2
+ neighbor 10.0.0.0 remote-as 65001
+ neighbor 10.0.2.1 remote-as 65003
+`,
+		"r3.cfg": `hostname r3
+interface eth0
+ ip address 10.0.1.1/31
+interface eth1
+ ip address 10.0.2.1/31
+router bgp 65003
+ router-id 3.3.3.3
+ neighbor 10.0.1.0 remote-as 65001
+ neighbor 10.0.2.0 remote-as 65002
+`,
+	}
+}
+
+func buildTriangle(t *testing.T) *Network {
+	t.Helper()
+	snap, err := config.ParseTexts(triangleTexts())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := Build(snap)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return net
+}
+
+func TestBuildAdjacency(t *testing.T) {
+	net := buildTriangle(t)
+	if len(net.Warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", net.Warnings)
+	}
+	if got := net.Neighbors("r1"); len(got) != 2 || got[0] != "r2" || got[1] != "r3" {
+		t.Fatalf("r1 neighbors = %v", got)
+	}
+	if net.EdgeCount() != 3 {
+		t.Fatalf("edges = %d, want 3", net.EdgeCount())
+	}
+	adj := net.Adjacencies["r1"][0]
+	if adj.Neighbor != "r2" || adj.LocalIfc != "eth0" || adj.RemoteIfc != "eth0" {
+		t.Errorf("adjacency = %+v", adj)
+	}
+	if adj.LocalIP != route.MustParseAddr("10.0.0.0") || adj.RemoteIP != route.MustParseAddr("10.0.0.1") {
+		t.Errorf("adjacency IPs = %+v", adj)
+	}
+}
+
+func TestBuildSessions(t *testing.T) {
+	net := buildTriangle(t)
+	ss := net.Sessions["r1"]
+	if len(ss) != 2 {
+		t.Fatalf("r1 sessions = %+v", ss)
+	}
+	s := ss[0]
+	if s.Remote != "r2" || s.LocalAS != 65001 || s.RemoteAS != 65002 || !s.EBGP() {
+		t.Errorf("session = %+v", s)
+	}
+}
+
+func TestBuildWarnings(t *testing.T) {
+	texts := triangleTexts()
+	// Break r1's neighbor: wrong remote-as.
+	texts["r1.cfg"] = strings.Replace(texts["r1.cfg"],
+		"neighbor 10.0.0.1 remote-as 65002", "neighbor 10.0.0.1 remote-as 64999", 1)
+	snap, err := config.ParseTexts(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range net.Warnings {
+		if strings.Contains(w, "remote-as 64999") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected AS mismatch warning, got %v", net.Warnings)
+	}
+	// The broken session must not be created on r1's side...
+	if len(net.Sessions["r1"]) != 1 {
+		t.Errorf("r1 sessions = %+v", net.Sessions["r1"])
+	}
+	// ...and r2 still points at r1 with a now one-sided config; r2's
+	// statement still resolves (r2 names r1's correct AS).
+	if len(net.Sessions["r2"]) != 2 {
+		t.Errorf("r2 sessions = %+v", net.Sessions["r2"])
+	}
+}
+
+func TestBuildUnresolvableNeighbor(t *testing.T) {
+	snap, err := config.ParseTexts(map[string]string{"r1.cfg": `hostname r1
+interface eth0
+ ip address 10.0.0.0/31
+router bgp 65001
+ neighbor 10.9.9.9 remote-as 65002
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Warnings) != 1 || !strings.Contains(net.Warnings[0], "does not resolve") {
+		t.Fatalf("warnings = %v", net.Warnings)
+	}
+}
+
+func TestBuildEmptySnapshot(t *testing.T) {
+	if _, err := Build(&config.Snapshot{}); err == nil {
+		t.Fatal("empty snapshot should error")
+	}
+}
+
+func TestShutdownInterfaceExcluded(t *testing.T) {
+	texts := triangleTexts()
+	texts["r2.cfg"] = strings.Replace(texts["r2.cfg"],
+		"interface eth0\n ip address 10.0.0.1/31",
+		"interface eth0\n ip address 10.0.0.1/31\n shutdown", 1)
+	snap, _ := config.ParseTexts(texts)
+	net, err := Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range net.Neighbors("r1") {
+		if nb == "r2" {
+			t.Fatal("shutdown link must not create adjacency")
+		}
+	}
+}
+
+func TestGraph(t *testing.T) {
+	net := buildTriangle(t)
+	g := net.Graph(nil)
+	if len(g.Nodes) != 3 || g.TotalNodeWeight() != 3 {
+		t.Fatalf("graph nodes = %v", g.Nodes)
+	}
+	if len(g.EdgeWeights) != 3 {
+		t.Fatalf("edge weights = %v", g.EdgeWeights)
+	}
+	i, j := g.Index["r1"], g.Index["r2"]
+	if g.EdgeWeight(i, j) != 1 || g.EdgeWeight(j, i) != 1 {
+		t.Error("edge weight symmetric lookup")
+	}
+	// Custom loads.
+	g2 := net.Graph(func(d string) int64 {
+		if d == "r1" {
+			return 10
+		}
+		return 0 // clamped to 1
+	})
+	if g2.NodeWeights[g2.Index["r1"]] != 10 || g2.NodeWeights[g2.Index["r2"]] != 1 {
+		t.Errorf("node weights = %v", g2.NodeWeights)
+	}
+}
+
+func TestLoopbacksDoNotCreateAdjacency(t *testing.T) {
+	snap, err := config.ParseTexts(map[string]string{
+		"a.cfg": "hostname a\ninterface lo0\n ip address 192.168.0.1/32\n",
+		"b.cfg": "hostname b\ninterface lo0\n ip address 192.168.0.1/32\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.EdgeCount() != 0 {
+		t.Fatal("duplicate /32 loopbacks must not become links")
+	}
+}

@@ -1,0 +1,102 @@
+package s2
+
+import (
+	"fmt"
+
+	"s2/internal/dataplane"
+	"s2/internal/route"
+)
+
+// Query is the paper's 4-tuple (H, Vs, Vd, Vt) at the public surface
+// (§4.4): a header space, source nodes, destination nodes, and transit
+// (waypoint) nodes.
+type Query struct {
+	// DstPrefix restricts the destination addresses ("a.b.c.d/len");
+	// empty means any destination.
+	DstPrefix string
+	// SrcPrefix restricts source addresses; empty means any.
+	SrcPrefix string
+	// Protocol restricts the IP protocol (0 = any; 6 = TCP, 17 = UDP).
+	Protocol uint8
+	// DstPort restricts the destination port (0 = any).
+	DstPort uint16
+
+	// Sources inject the packet; empty means every prefix-owning node.
+	Sources []string
+	// Dests are the nodes where arrival counts (empty: any delivery).
+	Dests []string
+	// Transits are waypoint nodes every delivered packet must traverse.
+	// Requires Options.WaypointBits >= len(Transits).
+	Transits []string
+	// MaxHops is the loop-detection TTL (default 32).
+	MaxHops int
+}
+
+func (q *Query) compile() (*dataplane.Query, error) {
+	h := &dataplane.HeaderSpace{Proto: q.Protocol}
+	if q.DstPrefix != "" {
+		p, err := route.ParsePrefix(q.DstPrefix)
+		if err != nil {
+			return nil, fmt.Errorf("s2: bad DstPrefix: %w", err)
+		}
+		h.DstPrefix = &p
+	}
+	if q.SrcPrefix != "" {
+		p, err := route.ParsePrefix(q.SrcPrefix)
+		if err != nil {
+			return nil, fmt.Errorf("s2: bad SrcPrefix: %w", err)
+		}
+		h.SrcPrefix = &p
+	}
+	if q.DstPort != 0 {
+		h.DstPortLo, h.DstPortHi = q.DstPort, q.DstPort
+	}
+	return &dataplane.Query{
+		Header:   h,
+		Sources:  q.Sources,
+		Dests:    q.Dests,
+		Transits: q.Transits,
+		MaxHops:  q.MaxHops,
+	}, nil
+}
+
+// Report is the outcome of one Check call.
+type Report struct {
+	// ReachedDests lists destination nodes that received packets.
+	ReachedDests []string
+	// Violations found by the §4.4 checks: reachability, waypoint,
+	// multipath consistency, loop- and blackhole-freedom.
+	Violations []Violation
+}
+
+// OK reports whether the query found no violations.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Check runs a property query across the workers and evaluates all five
+// §4.4 property types against the outcome.
+func (v *Verifier) Check(q Query) (*Report, error) {
+	if !v.dpDone {
+		if _, err := v.ComputeDataPlane(); err != nil {
+			return nil, err
+		}
+	}
+	dq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	col, err := v.ctrl.RunQuery(dq, false)
+	if err != nil {
+		return nil, err
+	}
+	vios, err := col.Report()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Violations: fromDP(vios)}
+	for _, d := range v.net.Devices() {
+		if col.Arrived(d) != 0 {
+			rep.ReachedDests = append(rep.ReachedDests, d)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,367 @@
+package s2
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"s2/internal/config"
+	"s2/internal/core"
+	"s2/internal/dataplane"
+	"s2/internal/partition"
+	"s2/internal/route"
+)
+
+// Network is a parsed configuration snapshot ready for verification.
+type Network struct {
+	snap  *config.Snapshot
+	texts map[string]string
+}
+
+// LoadDirectory parses every *.cfg file in dir.
+func LoadDirectory(dir string) (*Network, error) {
+	snap, err := config.ParseDirectory(dir)
+	if err != nil {
+		return nil, err
+	}
+	texts := make(map[string]string, len(snap.Devices))
+	// Re-read through the snapshot is not possible (texts are not
+	// retained), so load the files again keyed by hostname.
+	raw, err := readDirTexts(dir)
+	if err != nil {
+		return nil, err
+	}
+	for name := range snap.Devices {
+		text, ok := raw[name]
+		if !ok {
+			return nil, fmt.Errorf("s2: no config text for device %q", name)
+		}
+		texts[name] = text
+	}
+	return &Network{snap: snap, texts: texts}, nil
+}
+
+// LoadConfigs parses configuration texts keyed by hostname.
+func LoadConfigs(texts map[string]string) (*Network, error) {
+	keyed := make(map[string]string, len(texts))
+	for name, text := range texts {
+		keyed[name+".cfg"] = text
+	}
+	snap, err := config.ParseTexts(keyed)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{snap: snap, texts: texts}, nil
+}
+
+// Devices returns device hostnames in sorted order.
+func (n *Network) Devices() []string { return n.snap.DeviceNames() }
+
+// Size returns the number of devices.
+func (n *Network) Size() int { return len(n.snap.Devices) }
+
+// Options configures a Verifier.
+type Options struct {
+	// Workers is the number of in-process workers (default 1).
+	Workers int
+	// WorkerAddrs, when set, are sidecar RPC addresses of pre-started
+	// worker processes (cmd/s2worker); Workers is then ignored.
+	WorkerAddrs []string
+	// PartitionScheme is one of "metis" (default), "random", "expert",
+	// "imbalanced", "commheavy".
+	PartitionScheme string
+	// Shards enables prefix sharding when > 1.
+	Shards int
+	// Seed fixes partitioning and shard shuffling (default 1).
+	Seed int64
+	// WaypointBits is the number of metadata bits available for waypoint
+	// queries (default 0).
+	WaypointBits int
+	// MemoryBudgetBytes is the modelled per-worker memory budget
+	// (0 = unlimited).
+	MemoryBudgetBytes int64
+	// SpillDir writes per-shard results to disk between rounds.
+	SpillDir string
+	// KeepRIBs retains full RIBs for the RIBs accessor.
+	KeepRIBs bool
+	// LoadEstimator biases the partitioner with per-device load
+	// estimates (see FatTreeLoadEstimator).
+	LoadEstimator func(device string) int64
+}
+
+// FatTreeLoadEstimator returns the paper's per-role load estimates for a
+// k-pod FatTree (§4.1), for use as Options.LoadEstimator.
+func FatTreeLoadEstimator(k int) func(string) int64 {
+	return partition.EstimateFatTreeLoad(k)
+}
+
+// Verifier runs the distributed verification pipeline.
+type Verifier struct {
+	net  *Network
+	ctrl *core.Controller
+
+	cpDone bool
+	dpDone bool
+}
+
+// NewVerifier builds a verifier over the network.
+func NewVerifier(n *Network, opts Options) (*Verifier, error) {
+	scheme := partition.Metis
+	if opts.PartitionScheme != "" {
+		var err error
+		scheme, err = partition.ParseScheme(opts.PartitionScheme)
+		if err != nil {
+			return nil, err
+		}
+	}
+	workers := opts.Workers
+	if workers < 1 && len(opts.WorkerAddrs) == 0 {
+		workers = 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ctrl, err := core.NewController(n.snap, n.texts, core.Options{
+		Workers:      workers,
+		WorkerAddrs:  opts.WorkerAddrs,
+		Scheme:       scheme,
+		Shards:       opts.Shards,
+		Seed:         seed,
+		MetaBits:     opts.WaypointBits,
+		MemoryBudget: opts.MemoryBudgetBytes,
+		SpillDir:     opts.SpillDir,
+		KeepRIBs:     opts.KeepRIBs,
+		LoadOf:       opts.LoadEstimator,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Verifier{net: n, ctrl: ctrl}, nil
+}
+
+// TopologyWarnings lists non-fatal inconsistencies found while deriving
+// the topology (unresolvable BGP neighbors, remote-as mismatches) — often
+// the first misconfigurations a verifier surfaces.
+func (v *Verifier) TopologyWarnings() []string {
+	return append([]string(nil), v.ctrl.Network().Warnings...)
+}
+
+// SimulateControlPlane runs the distributed fixed-point route computation
+// (per prefix shard when sharding is enabled).
+func (v *Verifier) SimulateControlPlane() error {
+	if err := v.ctrl.RunControlPlane(); err != nil {
+		return err
+	}
+	v.cpDone = true
+	return nil
+}
+
+// ComputeDataPlane builds FIBs and per-port predicates on every worker.
+// The returned warnings report unresolvable next hops.
+func (v *Verifier) ComputeDataPlane() ([]string, error) {
+	if !v.cpDone {
+		if err := v.SimulateControlPlane(); err != nil {
+			return nil, err
+		}
+	}
+	warnings, err := v.ctrl.ComputeDataPlane()
+	if err != nil {
+		return nil, err
+	}
+	v.dpDone = true
+	return warnings, nil
+}
+
+// Violation is one property violation.
+type Violation struct {
+	// Kind is "loop", "blackhole", "multipath-consistency", "waypoint",
+	// or "unreachable".
+	Kind string
+	// Source and Node locate the violation when known.
+	Source, Node string
+	// Detail is a human-readable explanation; ExampleDst a concrete
+	// destination IP drawn from the violating packets.
+	Detail     string
+	ExampleDst string
+}
+
+func fromDP(vs []dataplane.Violation) []Violation {
+	out := make([]Violation, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, Violation{
+			Kind:       v.Kind,
+			Source:     v.Source,
+			Node:       v.Node,
+			Detail:     v.Detail,
+			ExampleDst: route.FormatAddr(v.ExampleDst),
+		})
+	}
+	return out
+}
+
+// ReachabilityReport is the result of an all-pair reachability check.
+type ReachabilityReport struct {
+	// Sources and Dests count the prefix-owning nodes checked.
+	Sources, Dests int
+	// Unreached lists destination nodes with incomplete coverage.
+	Unreached []string
+	// Violations are the generic property findings.
+	Violations []Violation
+}
+
+// OK reports whether the network passed cleanly.
+func (r *ReachabilityReport) OK() bool {
+	return len(r.Unreached) == 0 && len(r.Violations) == 0
+}
+
+// String summarizes the report.
+func (r *ReachabilityReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "all-pair reachability: %d sources × %d dests", r.Sources, r.Dests)
+	if r.OK() {
+		b.WriteString(": OK")
+		return b.String()
+	}
+	if len(r.Unreached) > 0 {
+		fmt.Fprintf(&b, "; %d unreached (%s)", len(r.Unreached), strings.Join(r.Unreached, ", "))
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  %s: %s (src=%s node=%s dst=%s)", v.Kind, v.Detail, v.Source, v.Node, v.ExampleDst)
+	}
+	return b.String()
+}
+
+// CheckAllPairs verifies all-pair reachability (the paper's default
+// property, §5.2) in one distributed symbolic traversal.
+func (v *Verifier) CheckAllPairs() (*ReachabilityReport, error) {
+	if !v.dpDone {
+		if _, err := v.ComputeDataPlane(); err != nil {
+			return nil, err
+		}
+	}
+	res, err := v.ctrl.CheckAllPairs()
+	if err != nil {
+		return nil, err
+	}
+	return &ReachabilityReport{
+		Sources:    res.Sources,
+		Dests:      res.Dests,
+		Unreached:  res.Unreached,
+		Violations: fromDP(res.Violations),
+	}, nil
+}
+
+// RIBs returns each device's computed routes as formatted strings (the
+// show-ip-route view); requires Options.KeepRIBs.
+func (v *Verifier) RIBs() (map[string][]string, error) {
+	ribs, err := v.ctrl.CollectRIBs()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string, len(ribs))
+	for node, rib := range ribs {
+		for _, r := range rib.All() {
+			out[node] = append(out[node], r.String())
+		}
+	}
+	return out, nil
+}
+
+// RouteCount returns the total number of computed routes across all
+// devices; requires Options.KeepRIBs.
+func (v *Verifier) RouteCount() (int, error) {
+	ribs, err := v.ctrl.CollectRIBs()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, rib := range ribs {
+		total += rib.RouteCount()
+	}
+	return total, nil
+}
+
+// WorkerStat is one worker's resource accounting.
+type WorkerStat struct {
+	Worker     int
+	Nodes      int
+	PeakBytes  int64
+	RoutePulls int64
+	PacketsIn  int64
+}
+
+// Stats reports per-worker accounting.
+func (v *Verifier) Stats() ([]WorkerStat, error) {
+	raw, err := v.ctrl.Stats()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorkerStat, len(raw))
+	for i, s := range raw {
+		out[i] = WorkerStat{
+			Worker:     s.WorkerID,
+			Nodes:      s.Nodes,
+			PeakBytes:  s.PeakBytes,
+			RoutePulls: s.RoutePulls,
+			PacketsIn:  s.PacketsIn,
+		}
+	}
+	return out, nil
+}
+
+// PeakMemoryBytes returns the highest per-worker modelled peak.
+func (v *Verifier) PeakMemoryBytes() (int64, error) {
+	raw, err := v.ctrl.Stats()
+	if err != nil {
+		return 0, err
+	}
+	return core.MaxPeakBytes(raw), nil
+}
+
+// PhaseDurations reports wall-clock per pipeline phase.
+func (v *Verifier) PhaseDurations() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, p := range v.ctrl.Timer().Phases() {
+		out[p.Name] += p.Duration
+	}
+	return out
+}
+
+// readDirTexts loads *.cfg files keyed by hostname (filename stem).
+func readDirTexts(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".cfg") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[strings.TrimSuffix(e.Name(), ".cfg")] = string(data)
+	}
+	return out, nil
+}
+
+// SimulatedParallelDurations reports per-phase critical-path durations:
+// the sum over orchestration rounds of the slowest worker's round time —
+// what an actually-parallel deployment would observe as elapsed time.
+// Keys: "cp", "dp-compute", "dp-forward".
+func (v *Verifier) SimulatedParallelDurations() map[string]time.Duration {
+	return v.ctrl.CriticalPath()
+}
+
+// ShardMerges reports runtime shard merges performed during control plane
+// simulation: when a conditional-advertisement dependency not captured in
+// the static prefix dependency graph is detected at simulation time, the
+// affected shards are merged and recomputed (§7).
+func (v *Verifier) ShardMerges() []string {
+	return v.ctrl.ShardMergeLog()
+}

@@ -1,0 +1,79 @@
+package s2
+
+import "s2/internal/synth"
+
+// FatTreeSpec configures the synthesized FatTree workload (§5.2): eBGP
+// everywhere, one ASN per switch, ECMP, one announced /24 per edge switch.
+type FatTreeSpec struct {
+	// K is the pod count (even, >= 2); switch count is 5k²/4.
+	K int
+	// MaxPaths is the ECMP limit (default 64, the paper's setting).
+	MaxPaths int
+	// PrefixesPerEdge announces multiple /24s per edge switch.
+	PrefixesPerEdge int
+	// WithACL plants a deliberate ACL blackhole for property demos.
+	WithACL bool
+}
+
+// SynthesizeFatTree generates a FatTree's configurations and parses them
+// into a Network.
+func SynthesizeFatTree(spec FatTreeSpec) (*Network, error) {
+	texts, err := synth.FatTree(synth.FatTreeOptions{
+		K:               spec.K,
+		MaxPaths:        spec.MaxPaths,
+		PrefixesPerEdge: spec.PrefixesPerEdge,
+		WithACL:         spec.WithACL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return LoadConfigs(texts)
+}
+
+// FatTreeSize returns the switch count of a k-pod FatTree.
+func FatTreeSize(k int) int { return synth.FatTreeSize(k) }
+
+// DCNSpec configures the "real DCN"-like workload (§2.3): multi-layer
+// Clos clusters of differing depth, per-layer shared ASNs with AS_PATH
+// overwrite, route aggregation with community tagging, heterogeneous ECMP,
+// and five vendor dialects.
+type DCNSpec struct {
+	Clusters       int
+	TORsPerCluster int
+	FabricWidth    int
+	CoreWidth      int
+	// DeepClusters makes every second cluster 5 layers deep.
+	DeepClusters bool
+	// WithAggregation enables cluster-top route aggregation (the real
+	// DCN's route-count reducer, §5.4).
+	WithAggregation bool
+	// VLANsPerTOR announces multiple business /24s per TOR (default 1).
+	VLANsPerTOR int
+}
+
+// SynthesizeDCN generates the DCN workload and parses it into a Network.
+func SynthesizeDCN(spec DCNSpec) (*Network, error) {
+	texts, err := synth.DCN(synth.DCNOptions{
+		Clusters:        spec.Clusters,
+		TORsPerCluster:  spec.TORsPerCluster,
+		FabricWidth:     spec.FabricWidth,
+		CoreWidth:       spec.CoreWidth,
+		DeepClusters:    spec.DeepClusters,
+		WithAggregation: spec.WithAggregation,
+		VLANsPerTOR:     spec.VLANsPerTOR,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return LoadConfigs(texts)
+}
+
+// ConfigTexts returns the raw configuration text of every device, keyed by
+// hostname — useful for writing a synthesized network to disk.
+func (n *Network) ConfigTexts() map[string]string {
+	out := make(map[string]string, len(n.texts))
+	for k, v := range n.texts {
+		out[k] = v
+	}
+	return out
+}
