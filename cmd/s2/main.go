@@ -35,6 +35,10 @@ func main() {
 		checkFrom  = flag.String("check-from", "", "single-pair query: source node (with -check-dst)")
 		checkTo    = flag.String("check-to", "", "single-pair query: destination node (with -check-dst)")
 		checkVia   = flag.String("check-via", "", "single-pair query: required waypoint node (optional)")
+		rpcTimeout = flag.Duration("rpc-timeout", 0, "deadline per worker RPC attempt (0 = none); also applied to worker peer calls")
+		retries    = flag.Int("retries", 0, "extra attempts for idempotent worker RPCs that fail transiently")
+		heartbeat  = flag.Duration("heartbeat-interval", 0, "ping workers at this interval; 3 consecutive misses declare a worker dead (0 = off)")
+		recoverOn  = flag.Bool("recover", false, "on worker death, re-partition its segment onto survivors and re-execute")
 		verbose    = flag.Bool("v", false, "print phase timings and per-worker stats")
 	)
 	flag.Parse()
@@ -60,12 +64,17 @@ func main() {
 		MemoryBudgetBytes: *budget,
 		SpillDir:          *spill,
 		KeepRIBs:          *showRIBs,
+		RPCTimeout:        *rpcTimeout,
+		RPCRetries:        *retries,
+		HeartbeatInterval: *heartbeat,
+		Recover:           *recoverOn,
 	}
 	if *workerAddr != "" {
 		opts.WorkerAddrs = strings.Split(*workerAddr, ",")
 	}
 	v, err := s2.NewVerifier(net, opts)
 	fatal(err)
+	defer v.Close()
 
 	for _, w := range v.TopologyWarnings() {
 		fmt.Printf("warning: %s\n", w)
@@ -132,6 +141,16 @@ func main() {
 		for _, st := range stats {
 			fmt.Printf("worker %d: %d nodes, peak %d bytes, %d route pulls, %d packets in\n",
 				st.Worker, st.Nodes, st.PeakBytes, st.RoutePulls, st.PacketsIn)
+		}
+		if fs := v.FaultStats(); len(fs) > 0 {
+			names := make([]string, 0, len(fs))
+			for n := range fs {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf("fault %-18s %d\n", n, fs[n])
+			}
 		}
 	}
 

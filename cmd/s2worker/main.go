@@ -9,6 +9,11 @@
 // The controller sends each worker its segment of the network during
 // Setup; workers dial each other directly for shadow-node route pulls and
 // symbolic packet deliveries.
+//
+// On SIGINT/SIGTERM the worker drains: it stops accepting new RPCs,
+// finishes the in-flight ones (up to -grace), and exits 0. The controller
+// sees subsequent calls fail transiently and, with recovery enabled,
+// re-partitions this worker's segment onto the survivors.
 package main
 
 import (
@@ -16,13 +21,20 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"s2/internal/core"
+	"s2/internal/fault"
 	"s2/internal/sidecar"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP address for the worker's sidecar")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "deadline for this worker's peer-to-peer RPC attempts (0 = none; the controller's Setup overrides it)")
+	retries := flag.Int("retries", 0, "extra attempts for idempotent peer RPCs that fail transiently")
+	grace := flag.Duration("grace", 10*time.Second, "max time to finish in-flight RPCs on SIGINT/SIGTERM")
 	flag.Parse()
 
 	lis, err := net.Listen("tcp", *listen)
@@ -30,9 +42,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "s2worker:", err)
 		os.Exit(1)
 	}
+	w := core.NewWorker()
+	w.SetDefaultPolicy(fault.Policy{Timeout: *rpcTimeout, Retries: *retries})
+	srv := sidecar.NewServer(w)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("s2worker: %v, draining (grace %v)\n", sig, *grace)
+		srv.Shutdown(*grace)
+	}()
+
 	fmt.Printf("s2worker listening on %s\n", lis.Addr())
-	if err := sidecar.Serve(core.NewWorker(), lis); err != nil {
+	if err := srv.Serve(lis); err != nil {
 		fmt.Fprintln(os.Stderr, "s2worker:", err)
 		os.Exit(1)
 	}
+	// Serve returns nil when the listener was closed by Shutdown: a clean,
+	// drained exit.
 }

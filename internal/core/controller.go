@@ -9,6 +9,7 @@ import (
 	"s2/internal/bdd"
 	"s2/internal/config"
 	"s2/internal/dataplane"
+	"s2/internal/fault"
 	"s2/internal/metrics"
 	"s2/internal/partition"
 	"s2/internal/route"
@@ -61,6 +62,29 @@ type Options struct {
 	// durations — and thus the critical-path metric — are not inflated
 	// by CPU contention on hosts with fewer cores than workers.
 	Sequential bool
+
+	// RPCTimeout bounds every controller→worker call attempt (0 = no
+	// deadline, the pre-fault-tolerance behavior). It also bounds worker
+	// peer-to-peer calls (propagated via SetupRequest) and the TCP dial.
+	RPCTimeout time.Duration
+	// RPCRetries is the number of extra attempts for idempotent RPCs that
+	// fail transiently; non-idempotent phase calls are never retried.
+	RPCRetries int
+	// HeartbeatInterval enables the failure detector: workers are pinged
+	// at this interval and declared dead after HeartbeatMisses consecutive
+	// failures (0 disables heartbeats).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the consecutive-miss death threshold (default 3).
+	HeartbeatMisses int
+	// Recover re-partitions a dead worker's segment onto the survivors and
+	// re-executes the in-flight phase. Without it, a worker failure
+	// surfaces as a typed transient error.
+	Recover bool
+	// MaxRecoveries bounds repair attempts per controller (default 8).
+	MaxRecoveries int
+	// WrapWorker, when set, wraps each worker transport as it is created —
+	// the hook fault-injection tests use to interpose fault.Injector.
+	WrapWorker func(id int, w sidecar.WorkerAPI) sidecar.WorkerAPI
 }
 
 func (o Options) maxRounds() int {
@@ -68,6 +92,27 @@ func (o Options) maxRounds() int {
 		return 128
 	}
 	return o.MaxRounds
+}
+
+func (o Options) maxRecoveries() int {
+	if o.MaxRecoveries <= 0 {
+		return 8
+	}
+	return o.MaxRecoveries
+}
+
+// probeTimeout bounds each liveness probe. With no RPC deadline configured
+// probes still need one, otherwise a hung worker would also hang the
+// failure detector meant to catch it.
+func (o Options) probeTimeout() time.Duration {
+	if o.RPCTimeout > 0 {
+		return o.RPCTimeout
+	}
+	return 2 * time.Second
+}
+
+func (o Options) faultPolicy() fault.Policy {
+	return fault.Policy{Timeout: o.RPCTimeout, Retries: o.RPCRetries, Seed: o.Seed}
 }
 
 // Controller is S2's controller (§3.2): parser, partitioner, and the two
@@ -79,10 +124,33 @@ type Controller struct {
 	texts      map[string]string
 	assignment *partition.Assignment
 	shards     []*shard.Shard
-	workers    []sidecar.WorkerAPI
 	engine     *bdd.Engine
 	layout     dataplane.Layout
 	timer      *metrics.PhaseTimer
+
+	// wmu guards the live worker directory below: repair swaps it while
+	// the failure detector reads it from its own goroutine.
+	wmu     sync.RWMutex
+	workers []sidecar.WorkerAPI
+	locals  []*Worker               // in-process workers (nil entries in remote mode)
+	clients []*sidecar.RemoteWorker // raw RPC clients (nil entries in local mode)
+	addrs   []string                // live worker addresses (remote mode)
+
+	faults   *metrics.FaultCounters
+	detector *fault.Detector
+
+	// Stage flags drive recovery: repair re-Setups the survivors and
+	// clears cpDone/dpDone, so each internal runner re-establishes exactly
+	// the stages the caller had already requested (the *Wanted flags) —
+	// never more, preserving "query before ComputeDP fails" semantics.
+	provisioned bool
+	setupDone   bool
+	cpWanted    bool
+	cpDone      bool
+	dpWanted    bool
+	dpDone      bool
+	recoveries  int
+	closed      bool
 
 	cpRounds   int
 	dpRounds   int
@@ -115,7 +183,30 @@ func NewController(snap *config.Snapshot, texts map[string]string, opts Options)
 		engine: layout.NewEngine(0),
 		layout: layout,
 		timer:  metrics.NewPhaseTimer(),
+		faults: metrics.NewFaultCounters(),
 	}, nil
+}
+
+// FaultCounters exposes retry/failure/recovery accounting.
+func (c *Controller) FaultCounters() *metrics.FaultCounters { return c.faults }
+
+// Close stops the failure detector and tears down remote connections. The
+// controller is unusable afterwards.
+func (c *Controller) Close() error {
+	c.closed = true
+	c.stopDetector()
+	c.wmu.Lock()
+	clients := c.clients
+	c.clients = nil
+	c.workers = nil
+	c.locals = nil
+	c.wmu.Unlock()
+	for _, cl := range clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+	return nil
 }
 
 // Network exposes the derived topology (warnings included).
@@ -138,40 +229,98 @@ func (c *Controller) DPRounds() int { return c.dpRounds }
 
 // Setup partitions the network and initializes the workers.
 func (c *Controller) Setup() error {
-	return c.timer.Time("partition+setup", func() error {
-		graph := c.net.Graph(c.opts.LoadOf)
-		parts := c.opts.Workers
-		if len(c.opts.WorkerAddrs) > 0 {
-			parts = len(c.opts.WorkerAddrs)
+	return c.recoverable(c.setup)
+}
+
+// setup establishes the transport directory once, then (re)configures it.
+func (c *Controller) setup() error {
+	if !c.provisioned {
+		if err := c.provision(); err != nil {
+			return err
 		}
-		asg, err := partition.Partition(graph, parts, c.opts.Scheme, c.opts.Seed)
+		c.provisioned = true
+	}
+	if err := c.configure(); err != nil {
+		return err
+	}
+	c.startDetector()
+	return nil
+}
+
+// newWorkerTransport assembles one worker's call stack: the base transport,
+// the test injection hook, then the fault policy (deadlines + retries).
+func (c *Controller) newWorkerTransport(id int, base sidecar.WorkerAPI) sidecar.WorkerAPI {
+	w := base
+	if c.opts.WrapWorker != nil {
+		w = c.opts.WrapWorker(id, w)
+	}
+	if p := c.opts.faultPolicy(); p.Timeout > 0 || p.Retries > 0 {
+		w = fault.Wrap(w, fault.NewCaller(p, c.faults))
+	}
+	return w
+}
+
+// provision creates the worker transports: RPC clients for WorkerAddrs, or
+// in-process Workers otherwise.
+func (c *Controller) provision() error {
+	if len(c.opts.WorkerAddrs) > 0 {
+		n := len(c.opts.WorkerAddrs)
+		workers := make([]sidecar.WorkerAPI, n)
+		clients := make([]*sidecar.RemoteWorker, n)
+		for i, addr := range c.opts.WorkerAddrs {
+			client, err := sidecar.DialWrapped(addr, c.opts.RPCTimeout, nil)
+			if err != nil {
+				return err
+			}
+			clients[i] = client
+			workers[i] = c.newWorkerTransport(i, client)
+		}
+		c.wmu.Lock()
+		c.workers, c.clients = workers, clients
+		c.locals = make([]*Worker, n)
+		c.addrs = append([]string(nil), c.opts.WorkerAddrs...)
+		c.wmu.Unlock()
+		return nil
+	}
+	n := c.opts.Workers
+	workers := make([]sidecar.WorkerAPI, n)
+	locals := make([]*Worker, n)
+	for i := range workers {
+		locals[i] = NewWorker()
+		workers[i] = c.newWorkerTransport(i, locals[i])
+	}
+	c.wmu.Lock()
+	c.workers, c.locals = workers, locals
+	c.clients = make([]*sidecar.RemoteWorker, n)
+	c.wmu.Unlock()
+	return nil
+}
+
+// configure partitions the network across the CURRENT worker directory and
+// re-Setups every worker from scratch; recovery calls it again after an
+// eviction, with fewer workers. All downstream stage flags reset: the
+// control and data planes must re-run against the new partition.
+func (c *Controller) configure() error {
+	return c.timer.Time("partition+setup", func() error {
+		c.wmu.RLock()
+		workers := append([]sidecar.WorkerAPI(nil), c.workers...)
+		locals := append([]*Worker(nil), c.locals...)
+		addrs := append([]string(nil), c.addrs...)
+		c.wmu.RUnlock()
+
+		graph := c.net.Graph(c.opts.LoadOf)
+		asg, err := partition.Partition(graph, len(workers), c.opts.Scheme, c.opts.Seed)
 		if err != nil {
 			return err
 		}
 		c.assignment = asg
-
-		if len(c.opts.WorkerAddrs) > 0 {
-			c.workers = make([]sidecar.WorkerAPI, len(c.opts.WorkerAddrs))
-			for i, addr := range c.opts.WorkerAddrs {
-				client, err := sidecar.Dial(addr)
-				if err != nil {
-					return err
-				}
-				c.workers[i] = client
-			}
-		} else {
-			locals := make([]*Worker, asg.Parts)
-			c.workers = make([]sidecar.WorkerAPI, asg.Parts)
-			for i := range locals {
-				locals[i] = NewWorker()
-				c.workers[i] = locals[i]
-			}
-			for _, w := range locals {
-				w.SetPeers(c.workers)
+		for _, lw := range locals {
+			if lw != nil {
+				lw.SetPeers(workers)
 			}
 		}
 
-		return c.each(func(id int, w sidecar.WorkerAPI) error {
+		err = c.each(func(id int, w sidecar.WorkerAPI) error {
 			req := sidecar.SetupRequest{
 				WorkerID:     id,
 				Assignment:   c.assignment.Of,
@@ -181,9 +330,11 @@ func (c *Controller) Setup() error {
 				MetaBits:     c.opts.MetaBits,
 				MaxBDDNodes:  c.opts.MaxBDDNodes,
 				MemoryBudget: c.opts.MemoryBudget,
-				PeerAddrs:    c.opts.WorkerAddrs,
+				PeerAddrs:    addrs,
 				SpillDir:     c.opts.SpillDir,
 				KeepRIBs:     c.opts.KeepRIBs,
+				RPCTimeout:   c.opts.RPCTimeout,
+				RPCRetries:   c.opts.RPCRetries,
 			}
 			for _, name := range c.assignment.Segment(id) {
 				req.Configs[name+".cfg"] = c.texts[name]
@@ -192,7 +343,171 @@ func (c *Controller) Setup() error {
 			}
 			return w.Setup(req)
 		})
+		if err != nil {
+			return err
+		}
+		c.setupDone = true
+		c.cpDone, c.dpDone = false, false
+		return nil
 	})
+}
+
+// startDetector launches the heartbeat failure detector over the current
+// worker directory (no-op when HeartbeatInterval is 0). On death the
+// worker's RPC client is closed so calls hung on it return immediately.
+func (c *Controller) startDetector() {
+	if c.opts.HeartbeatInterval <= 0 {
+		return
+	}
+	c.stopDetector()
+	probe := fault.NewCaller(fault.Policy{Timeout: c.opts.probeTimeout()}, nil)
+	c.wmu.RLock()
+	n := len(c.workers)
+	c.wmu.RUnlock()
+	d := fault.NewDetector(n, c.opts.HeartbeatInterval, c.opts.HeartbeatMisses, func(id int) error {
+		c.wmu.RLock()
+		var w sidecar.WorkerAPI
+		if id < len(c.workers) {
+			w = c.workers[id]
+		}
+		c.wmu.RUnlock()
+		if w == nil {
+			return fault.ErrWorkerDown
+		}
+		return probe.Do("Ping", false, w.Ping)
+	}, c.faults)
+	d.OnDead(func(id int) {
+		c.wmu.RLock()
+		var client *sidecar.RemoteWorker
+		if id < len(c.clients) {
+			client = c.clients[id]
+		}
+		c.wmu.RUnlock()
+		if client != nil {
+			client.Close()
+		}
+	})
+	c.detector = d
+	d.Start()
+}
+
+func (c *Controller) stopDetector() {
+	if c.detector != nil {
+		c.detector.Stop()
+		c.detector = nil
+	}
+}
+
+// recoverable runs body; on a transient failure with recovery enabled it
+// repairs the worker pool (probe → evict the dead → re-partition →
+// re-Setup) and re-runs body, which re-establishes any stages the repair
+// invalidated. Fatal errors and recovery-disabled runs return immediately.
+func (c *Controller) recoverable(body func() error) error {
+	for {
+		err := body()
+		if err == nil || c.closed || !c.opts.Recover || !fault.IsTransient(err) {
+			return err
+		}
+		if rerr := c.repair(); rerr != nil {
+			return fmt.Errorf("core: run failed (%v) and recovery failed: %w", err, rerr)
+		}
+	}
+}
+
+// repair recovers from a worker failure: stop heartbeats, probe everyone,
+// evict the dead, re-partition the network over the survivors and re-Setup
+// them, then restart heartbeats. Returns an error when no capacity remains
+// or the recovery budget is exhausted — the caller fails cleanly instead
+// of retrying forever.
+func (c *Controller) repair() error {
+	c.recoveries++
+	if c.recoveries > c.opts.maxRecoveries() {
+		return fmt.Errorf("core: recovery budget exhausted after %d attempts", c.opts.maxRecoveries())
+	}
+	c.stopDetector()
+	dead := c.probe()
+	if err := c.evict(dead); err != nil {
+		return err
+	}
+	if err := c.configure(); err != nil {
+		return err
+	}
+	c.startDetector()
+	c.faults.Inc("recoveries")
+	return nil
+}
+
+// probe pings every current worker once (bounded) and returns the ids that
+// failed. The error that triggered recovery cannot be trusted to name the
+// dead worker — a healthy worker surfaces its dead PEER's failure when a
+// route pull fails — so liveness is established directly.
+func (c *Controller) probe() []int {
+	c.wmu.RLock()
+	workers := append([]sidecar.WorkerAPI(nil), c.workers...)
+	c.wmu.RUnlock()
+	probe := fault.NewCaller(fault.Policy{Timeout: c.opts.probeTimeout()}, nil)
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w sidecar.WorkerAPI) {
+			defer wg.Done()
+			errs[i] = probe.Do("Ping", false, w.Ping)
+		}(i, w)
+	}
+	wg.Wait()
+	var dead []int
+	for i, err := range errs {
+		if err != nil {
+			dead = append(dead, i)
+		}
+	}
+	return dead
+}
+
+// evict removes the dead workers from the directory, closing their RPC
+// clients. Failing with no survivors is the clean-abort path.
+func (c *Controller) evict(dead []int) error {
+	if len(dead) == 0 {
+		return nil
+	}
+	isDead := map[int]bool{}
+	for _, id := range dead {
+		isDead[id] = true
+	}
+	c.wmu.Lock()
+	var workers []sidecar.WorkerAPI
+	var locals []*Worker
+	var clients []*sidecar.RemoteWorker
+	var addrs []string
+	var closing []*sidecar.RemoteWorker
+	for i := range c.workers {
+		if isDead[i] {
+			c.faults.Inc("worker.deaths")
+			if c.clients[i] != nil {
+				closing = append(closing, c.clients[i])
+			}
+			continue
+		}
+		workers = append(workers, c.workers[i])
+		locals = append(locals, c.locals[i])
+		clients = append(clients, c.clients[i])
+		if len(c.addrs) > 0 {
+			addrs = append(addrs, c.addrs[i])
+		}
+	}
+	survivors := len(workers)
+	if survivors > 0 {
+		c.workers, c.locals, c.clients, c.addrs = workers, locals, clients, addrs
+	}
+	c.wmu.Unlock()
+	for _, cl := range closing {
+		cl.Close()
+	}
+	if survivors == 0 {
+		return fmt.Errorf("core: all %d workers failed, no capacity to recover", len(dead))
+	}
+	return nil
 }
 
 // each runs fn on every worker concurrently, charges the slowest worker's
@@ -212,18 +527,21 @@ func (c *Controller) eachChanged(fn func(w sidecar.WorkerAPI) (bool, error)) (bo
 // eachPhase runs fn on every worker concurrently; when phase is non-empty
 // the slowest worker's duration is charged to that phase's critical path.
 func (c *Controller) eachPhase(phase string, fn func(id int, w sidecar.WorkerAPI) (bool, error)) (bool, error) {
-	changed := make([]bool, len(c.workers))
-	errs := make([]error, len(c.workers))
-	durs := make([]time.Duration, len(c.workers))
+	c.wmu.RLock()
+	workers := append([]sidecar.WorkerAPI(nil), c.workers...)
+	c.wmu.RUnlock()
+	changed := make([]bool, len(workers))
+	errs := make([]error, len(workers))
+	durs := make([]time.Duration, len(workers))
 	if c.opts.Sequential {
-		for i, w := range c.workers {
+		for i, w := range workers {
 			start := time.Now()
 			changed[i], errs[i] = fn(i, w)
 			durs[i] = time.Since(start)
 		}
 	} else {
 		var wg sync.WaitGroup
-		for i, w := range c.workers {
+		for i, w := range workers {
 			wg.Add(1)
 			go func(i int, w sidecar.WorkerAPI) {
 				defer wg.Done()
@@ -246,12 +564,24 @@ func (c *Controller) eachPhase(phase string, fn func(id int, w sidecar.WorkerAPI
 		}
 		c.critical[phase] += max
 	}
+	// A dead worker makes several workers error at once (healthy ones
+	// report failed pulls from it). Prefer a transient error so the
+	// recovery layer sees the signal it can act on.
+	var firstErr error
 	any := false
-	for i := range c.workers {
+	for i := range workers {
 		if errs[i] != nil {
-			return false, errs[i]
+			if fault.IsTransient(errs[i]) {
+				return false, errs[i]
+			}
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
 		}
 		any = any || changed[i]
+	}
+	if firstErr != nil {
+		return false, firstErr
 	}
 	return any, nil
 }
@@ -279,8 +609,13 @@ func (c *Controller) CriticalTotal() time.Duration {
 // RunControlPlane executes the CPO workflow: OSPF flooding to convergence,
 // then the round-based BGP fixed point once per prefix shard (§4.2, §4.5).
 func (c *Controller) RunControlPlane() error {
-	if c.assignment == nil {
-		if err := c.Setup(); err != nil {
+	c.cpWanted = true
+	return c.recoverable(c.runControlPlane)
+}
+
+func (c *Controller) runControlPlane() error {
+	if !c.setupDone {
+		if err := c.setup(); err != nil {
 			return err
 		}
 	}
@@ -318,6 +653,7 @@ func (c *Controller) RunControlPlane() error {
 		}
 	}
 	if !hasBGP {
+		c.cpDone = true
 		return nil
 	}
 
@@ -336,7 +672,7 @@ func (c *Controller) RunControlPlane() error {
 	}
 	c.shards = shards
 
-	return c.timer.Time("cp-bgp", func() error {
+	err := c.timer.Time("cp-bgp", func() error {
 		var globalPrefixes []route.Prefix
 		if len(shards) > 1 {
 			globalPrefixes = shard.CollectBGPPrefixes(c.snap)
@@ -381,6 +717,11 @@ func (c *Controller) RunControlPlane() error {
 		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	c.cpDone = true
+	return nil
 }
 
 // runShard executes one full shard round (reset, fixed point, harvest) and
@@ -468,6 +809,22 @@ func (c *Controller) ShardMergeLog() []string {
 // ComputeDataPlane has every worker build FIBs and port predicates (the
 // first DPO stage, §3.3). FIB resolution problems are returned as warnings.
 func (c *Controller) ComputeDataPlane() ([]string, error) {
+	c.dpWanted = true
+	var warnings []string
+	err := c.recoverable(func() error {
+		var err error
+		warnings, err = c.computeDataPlane()
+		return err
+	})
+	return warnings, err
+}
+
+func (c *Controller) computeDataPlane() ([]string, error) {
+	if c.cpWanted && !c.cpDone {
+		if err := c.runControlPlane(); err != nil {
+			return nil, err
+		}
+	}
 	var mu sync.Mutex
 	var warnings []string
 	err := c.timer.Time("dp-compute", func() error {
@@ -483,8 +840,12 @@ func (c *Controller) ComputeDataPlane() ([]string, error) {
 		})
 		return err
 	})
+	if err != nil {
+		return nil, err
+	}
+	c.dpDone = true
 	sort.Strings(warnings)
-	return warnings, err
+	return warnings, nil
 }
 
 // OwnedPrefixes returns the prefixes a node originates (its BGP network
@@ -521,6 +882,26 @@ func (c *Controller) PrefixOwners() []string {
 func (c *Controller) RunQuery(q *dataplane.Query, constrainSrc bool) (*dataplane.Collector, error) {
 	if err := q.Validate(c.layout); err != nil {
 		return nil, err
+	}
+	var col *dataplane.Collector
+	err := c.recoverable(func() error {
+		var err error
+		col, err = c.runQuery(q, constrainSrc)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// runQuery is one attempt; recovery re-runs it whole so a fresh Collector
+// never mixes outcomes from a failed attempt.
+func (c *Controller) runQuery(q *dataplane.Query, constrainSrc bool) (*dataplane.Collector, error) {
+	if c.dpWanted && !c.dpDone {
+		if _, err := c.computeDataPlane(); err != nil {
+			return nil, err
+		}
 	}
 	sources := q.Sources
 	if len(sources) == 0 {
@@ -559,7 +940,10 @@ func (c *Controller) RunQuery(q *dataplane.Query, constrainSrc bool) (*dataplane
 			if !ok {
 				return fmt.Errorf("core: unknown source node %q", src)
 			}
-			if err := c.workers[owner].Inject(sidecar.InjectRequest{
+			c.wmu.RLock()
+			w := c.workers[owner]
+			c.wmu.RUnlock()
+			if err := w.Inject(sidecar.InjectRequest{
 				Source: src,
 				Packet: c.engine.Serialize(pkt),
 			}); err != nil {
@@ -700,6 +1084,21 @@ func (c *Controller) CheckAllPairs() (*AllPairsResult, error) {
 
 // CollectRIBs merges the per-worker RIBs (requires Options.KeepRIBs).
 func (c *Controller) CollectRIBs() (map[string]*route.RIB, error) {
+	var out map[string]*route.RIB
+	err := c.recoverable(func() error {
+		var err error
+		out, err = c.collectRIBs()
+		return err
+	})
+	return out, err
+}
+
+func (c *Controller) collectRIBs() (map[string]*route.RIB, error) {
+	if c.cpWanted && !c.cpDone {
+		if err := c.runControlPlane(); err != nil {
+			return nil, err
+		}
+	}
 	var mu sync.Mutex
 	out := map[string]*route.RIB{}
 	err := c.each(func(_ int, w sidecar.WorkerAPI) error {
@@ -727,7 +1126,10 @@ func (c *Controller) CollectRIBs() (map[string]*route.RIB, error) {
 
 // Stats gathers every worker's resource accounting.
 func (c *Controller) Stats() ([]sidecar.WorkerStats, error) {
-	stats := make([]sidecar.WorkerStats, len(c.workers))
+	c.wmu.RLock()
+	n := len(c.workers)
+	c.wmu.RUnlock()
+	stats := make([]sidecar.WorkerStats, n)
 	err := c.each(func(i int, w sidecar.WorkerAPI) error {
 		st, err := w.Stats()
 		stats[i] = st

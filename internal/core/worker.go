@@ -21,6 +21,7 @@ import (
 	"s2/internal/bgp"
 	"s2/internal/config"
 	"s2/internal/dataplane"
+	"s2/internal/fault"
 	"s2/internal/metrics"
 	"s2/internal/ospf"
 	"s2/internal/route"
@@ -41,6 +42,22 @@ type Worker struct {
 	maxBDD     int
 	spillDir   string
 	keepRIBs   bool
+
+	// dialedPeers are the RPC clients this worker opened itself (remote
+	// mode); a re-Setup closes them before redialing the new directory.
+	dialedPeers []*sidecar.RemoteWorker
+	// defPolicy is the fault policy for peer-to-peer calls when the
+	// SetupRequest doesn't carry one (s2worker flags).
+	defPolicy fault.Policy
+
+	// phaseMu serializes the controller-phase methods (Setup, shard and
+	// query rounds). The controller normally issues them one at a time, but
+	// a retried idempotent RPC can race its own timed-out first attempt, and
+	// recovery can re-Setup while a stale phase call is still draining.
+	// Peer-facing methods (Pull*, DeliverPackets) and probes (Ping, HasWork,
+	// Stats) do NOT take it: a phase holding phaseMu calls into peers, so
+	// gating those would deadlock two workers against each other.
+	phaseMu sync.Mutex
 
 	devices     map[string]*config.Device
 	adjacencies map[string][]topology.Adjacency
@@ -107,8 +124,43 @@ func NewWorker() *Worker { return &Worker{} }
 // for local transports; remote workers dial PeerAddrs during Setup).
 func (w *Worker) SetPeers(peers []sidecar.WorkerAPI) { w.peers = peers }
 
-// Setup implements sidecar.WorkerAPI.
+// SetDefaultPolicy sets the fault policy used for peer-to-peer calls when
+// Setup doesn't carry one (the s2worker -rpc-timeout/-retries flags).
+func (w *Worker) SetDefaultPolicy(p fault.Policy) { w.defPolicy = p }
+
+// Ping implements sidecar.WorkerAPI: the liveness probe. It deliberately
+// avoids phaseMu — a worker busy in a long phase is alive, not dead.
+func (w *Worker) Ping() error { return nil }
+
+// Setup implements sidecar.WorkerAPI. It fully resets the worker: recovery
+// re-partitions segments onto survivors and re-runs Setup on workers that
+// already hold state from the failed attempt.
 func (w *Worker) Setup(req sidecar.SetupRequest) error {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
+
+	// Drop every remnant of a previous Setup.
+	for _, c := range w.dialedPeers {
+		c.Close()
+	}
+	w.dialedPeers = nil
+	if len(req.PeerAddrs) > 0 {
+		w.peers = nil // force a redial against the new directory
+	}
+	w.pendingBGP, w.pendingLSAs = nil, nil
+	w.needsRun = nil
+	w.shardIndex, w.shardPrefixes = 0, nil
+	for _, p := range w.spills {
+		os.Remove(p)
+	}
+	w.spills = nil
+	w.engine, w.nodesDP, w.query, w.destSet = nil, nil, nil, nil
+	w.lastGCNodes = 0
+	w.qmu.Lock()
+	w.inbox, w.queue, w.queueLen, w.outcomes = nil, nil, 0, nil
+	w.statsPulls, w.statsPackets = 0, 0
+	w.qmu.Unlock()
+
 	w.id = req.WorkerID
 	w.assignment = req.Assignment
 	w.layout = dataplane.Layout{MetaBits: req.MetaBits}
@@ -126,18 +178,29 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 	w.devices = snap.Devices
 	w.localNames = snap.DeviceNames()
 
-	// Dial peers when running as a separate process.
-	if len(req.PeerAddrs) > 0 && w.peers == nil {
+	// Dial peers when running as a separate process, wrapping each client
+	// with the fault policy so peer pulls and packet deliveries get the
+	// same deadlines/retries as controller calls.
+	if len(req.PeerAddrs) > 0 {
+		policy := w.defPolicy
+		if req.RPCTimeout > 0 || req.RPCRetries > 0 {
+			policy = fault.Policy{Timeout: req.RPCTimeout, Retries: req.RPCRetries}
+		}
+		var wrap sidecar.CallWrapper
+		if policy.Timeout > 0 || policy.Retries > 0 {
+			wrap = fault.NewCaller(policy, nil).Wrap()
+		}
 		w.peers = make([]sidecar.WorkerAPI, len(req.PeerAddrs))
 		for i, addr := range req.PeerAddrs {
 			if i == w.id || addr == "" {
 				continue
 			}
-			client, err := sidecar.Dial(addr)
+			client, err := sidecar.DialWrapped(addr, policy.Timeout, wrap)
 			if err != nil {
 				return fmt.Errorf("core: worker %d dialing peer %d: %w", w.id, i, err)
 			}
 			w.peers[i] = client
+			w.dialedPeers = append(w.dialedPeers, client)
 		}
 	}
 
@@ -243,6 +306,8 @@ func (w *Worker) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*
 // BeginShard implements sidecar.WorkerAPI: reset BGP state for the shard's
 // prefix filter and wire OSPF redistribution.
 func (w *Worker) BeginShard(req sidecar.BeginShardRequest) error {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	w.shardIndex = req.Index
 	w.shardPrefixes = req.Prefixes
 	var filter bgp.PrefixFilter
@@ -271,6 +336,8 @@ func (w *Worker) BeginShard(req sidecar.BeginShardRequest) error {
 // no writes to any node state, so all workers gather concurrently against
 // the quiesced previous round.
 func (w *Worker) GatherBGP() error {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	pending := map[string]map[string][]bgp.Advertisement{}
 	for _, name := range w.localNames {
 		proc, ok := w.bgpProcs[name]
@@ -304,6 +371,8 @@ func (w *Worker) GatherBGP() error {
 // ApplyBGP implements sidecar.WorkerAPI: phase 2 — apply the gathered
 // imports and rerun decisions. Returns whether any local node changed.
 func (w *Worker) ApplyBGP() (bool, error) {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	changed := false
 	for _, name := range w.localNames {
 		proc, ok := w.bgpProcs[name]
@@ -331,6 +400,8 @@ func (w *Worker) ApplyBGP() (bool, error) {
 
 // GatherOSPF implements sidecar.WorkerAPI (phase 1 for LSA flooding).
 func (w *Worker) GatherOSPF() error {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	pending := map[string][]*ospf.LSA{}
 	for _, name := range w.localNames {
 		proc, ok := w.ospfProcs[name]
@@ -360,6 +431,8 @@ func (w *Worker) GatherOSPF() error {
 
 // ApplyOSPF implements sidecar.WorkerAPI (phase 2 for LSA merge + SPF).
 func (w *Worker) ApplyOSPF() (bool, error) {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	changed := false
 	for _, name := range w.localNames {
 		proc, ok := w.ospfProcs[name]
@@ -399,6 +472,8 @@ func liteRoute(r *route.Route) *route.Route {
 // the FIB-building state (or spill them to disk) and free the shard's
 // full-attribute RIBs.
 func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	reply := sidecar.EndShardReply{}
 	// Drop any previously harvested results for this shard's prefixes: a
 	// merged-shard recompute must replace them wholesale, including
@@ -454,12 +529,16 @@ func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
 			return reply, fmt.Errorf("core: worker %d spilling shard %d: %w", w.id, w.shardIndex, err)
 		}
 		payload := spillPayload{Prefixes: w.shardPrefixes, Routes: shardLite}
+		// On any failure, close AND remove the partial file: a truncated
+		// .gob left behind would fail to decode at ComputeDP reload time.
 		if err := gob.NewEncoder(f).Encode(payload); err != nil {
 			f.Close()
-			return reply, err
+			os.Remove(path)
+			return reply, fmt.Errorf("core: worker %d spilling shard %d: %w", w.id, w.shardIndex, err)
 		}
 		if err := f.Close(); err != nil {
-			return reply, err
+			os.Remove(path)
+			return reply, fmt.Errorf("core: worker %d spilling shard %d: %w", w.id, w.shardIndex, err)
 		}
 		w.spills = append(w.spills, path)
 	} else {
@@ -476,6 +555,8 @@ func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
 // ComputeDP implements sidecar.WorkerAPI: build FIBs and per-port
 // predicates for every local node on this worker's private BDD engine.
 func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	reply := sidecar.ComputeDPReply{}
 	// Reload spilled shard results in write order: each file first clears
 	// its shard's prefixes so a merged-shard recompute supersedes earlier
@@ -550,6 +631,8 @@ func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
 // BeginQuery implements sidecar.WorkerAPI: arm a query, wiring waypoint
 // write rules and the destination set for Arrive/Exit classification.
 func (w *Worker) BeginQuery(req sidecar.QueryRequest) error {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	if w.nodesDP == nil {
 		return fmt.Errorf("core: worker %d: ComputeDP must run before queries", w.id)
 	}
@@ -582,6 +665,8 @@ func (w *Worker) BeginQuery(req sidecar.QueryRequest) error {
 // Inject implements sidecar.WorkerAPI: queue a symbolic packet at a local
 // source node.
 func (w *Worker) Inject(req sidecar.InjectRequest) error {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	if w.assignment[req.Source] != w.id {
 		return fmt.Errorf("core: worker %d does not host source %q", w.id, req.Source)
 	}
@@ -606,6 +691,8 @@ func (w *Worker) DeliverPackets(items []sidecar.PacketDelivery) error {
 // queued packets on local nodes (Figure 3's per-worker forwarding), sending
 // boundary-crossing packets to peer sidecars.
 func (w *Worker) DPRound() error {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	if w.query == nil {
 		return fmt.Errorf("core: worker %d: no active query", w.id)
 	}
@@ -821,6 +908,8 @@ func (w *Worker) HasWork() (bool, error) {
 // FinishQuery implements sidecar.WorkerAPI: whatever still circulates has
 // exceeded the TTL (Loop); serialize and return all outcomes.
 func (w *Worker) FinishQuery() ([]dataplane.RawOutcome, error) {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	w.qmu.Lock()
 	leftoverQueue := w.queue
 	inbox := w.inbox
@@ -856,6 +945,8 @@ func (w *Worker) FinishQuery() ([]dataplane.RawOutcome, error) {
 // CollectRIBs implements sidecar.WorkerAPI: the merged full RIBs of local
 // nodes (requires KeepRIBs).
 func (w *Worker) CollectRIBs() (map[string][]*route.Route, error) {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
 	if !w.keepRIBs {
 		return nil, fmt.Errorf("core: worker %d was set up with KeepRIBs=false", w.id)
 	}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"s2/internal/metrics"
+)
+
+// State is a worker's liveness as seen by the Detector.
+type State int
+
+const (
+	// Alive: the last heartbeat succeeded.
+	Alive State = iota
+	// Suspect: at least one heartbeat missed, not yet enough to declare
+	// death.
+	Suspect
+	// Dead: the miss threshold was reached (or MarkDead was called). Death
+	// is sticky — a worker that answers again after being declared dead is
+	// NOT resurrected, because the controller has already re-partitioned
+	// its segment away.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Detector is the controller's heartbeat failure detector: a background
+// goroutine pings every worker each interval; a worker missing `misses`
+// consecutive heartbeats is declared dead and the OnDead callback fires
+// (once per worker). The ping function must itself be bounded (wrap it in a
+// Caller with a timeout) — the detector does not time out pings itself, it
+// only counts their failures.
+type Detector struct {
+	interval time.Duration
+	misses   int
+	ping     func(id int) error
+	counters *metrics.FaultCounters
+	onDead   func(id int)
+
+	mu    sync.Mutex
+	miss  []int
+	state []State
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewDetector builds a detector for n workers. misses <= 0 defaults to 3.
+// counters may be nil.
+func NewDetector(n int, interval time.Duration, misses int, ping func(id int) error, counters *metrics.FaultCounters) *Detector {
+	if misses <= 0 {
+		misses = 3
+	}
+	return &Detector{
+		interval: interval,
+		misses:   misses,
+		ping:     ping,
+		counters: counters,
+		miss:     make([]int, n),
+		state:    make([]State, n),
+	}
+}
+
+// OnDead registers the death callback; set it before Start. It runs on the
+// detector goroutine (or the MarkDead caller) exactly once per worker.
+func (d *Detector) OnDead(fn func(id int)) { d.onDead = fn }
+
+// Start launches the heartbeat loop. No-op if already started.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stop != nil {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go d.run(d.stop, d.done)
+}
+
+// Stop halts the heartbeat loop and waits for the in-flight sweep to
+// finish. Safe to call multiple times and before Start.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (d *Detector) run(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			d.Sweep()
+		}
+	}
+}
+
+// Sweep performs one heartbeat round: all non-dead workers are pinged
+// concurrently and their miss counts updated. Exported so tests (and a
+// probe) can drive the detector synchronously.
+func (d *Detector) Sweep() {
+	d.mu.Lock()
+	var ids []int
+	for i, s := range d.state {
+		if s != Dead {
+			ids = append(ids, i)
+		}
+	}
+	d.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			d.record(id, d.ping(id))
+		}(id)
+	}
+	wg.Wait()
+}
+
+func (d *Detector) record(id int, err error) {
+	var dead bool
+	d.mu.Lock()
+	if d.state[id] == Dead {
+		d.mu.Unlock()
+		return
+	}
+	if err == nil {
+		d.miss[id] = 0
+		d.state[id] = Alive
+	} else {
+		d.counters.Inc("heartbeat.misses")
+		d.miss[id]++
+		if d.miss[id] >= d.misses {
+			d.state[id] = Dead
+			dead = true
+		} else {
+			d.state[id] = Suspect
+		}
+	}
+	d.mu.Unlock()
+	if dead {
+		d.counters.Inc("heartbeat.deaths")
+		if d.onDead != nil {
+			d.onDead(id)
+		}
+	}
+}
+
+// State returns worker id's current liveness.
+func (d *Detector) State(id int) State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || id >= len(d.state) {
+		return Dead
+	}
+	return d.state[id]
+}
+
+// MarkDead declares a worker dead out-of-band (e.g. the controller observed
+// a failed probe); fires OnDead if the worker was not already dead.
+func (d *Detector) MarkDead(id int) {
+	d.mu.Lock()
+	if id < 0 || id >= len(d.state) || d.state[id] == Dead {
+		d.mu.Unlock()
+		return
+	}
+	d.state[id] = Dead
+	d.mu.Unlock()
+	if d.onDead != nil {
+		d.onDead(id)
+	}
+}
+
+// Alive lists the ids not declared dead.
+func (d *Detector) Alive() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []int
+	for i, s := range d.state {
+		if s != Dead {
+			out = append(out, i)
+		}
+	}
+	return out
+}

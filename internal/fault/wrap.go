@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"s2/internal/bgp"
+	"s2/internal/dataplane"
+	"s2/internal/ospf"
+	"s2/internal/route"
+	"s2/internal/sidecar"
+)
+
+// Wrap returns a WorkerAPI that routes every call through the Caller, so
+// the controller gets uniform deadlines and retries whether the underlying
+// transport is a RemoteWorker, an in-process core.Worker, or an Injector.
+// The idempotency table mirrors sidecar.RemoteWorker: only calls that are
+// reads or that fully reset the state they establish are retried.
+func Wrap(api sidecar.WorkerAPI, c *Caller) sidecar.WorkerAPI {
+	return &wrapped{api: api, c: c}
+}
+
+type wrapped struct {
+	api sidecar.WorkerAPI
+	c   *Caller
+}
+
+func (w *wrapped) Ping() error {
+	return w.c.Do("Ping", true, w.api.Ping)
+}
+
+func (w *wrapped) Setup(req sidecar.SetupRequest) error {
+	return w.c.Do("Setup", true, func() error { return w.api.Setup(req) })
+}
+
+func (w *wrapped) BeginShard(req sidecar.BeginShardRequest) error {
+	return w.c.Do("BeginShard", true, func() error { return w.api.BeginShard(req) })
+}
+
+func (w *wrapped) GatherBGP() error {
+	return w.c.Do("GatherBGP", false, w.api.GatherBGP)
+}
+
+func (w *wrapped) ApplyBGP() (bool, error) {
+	var changed bool
+	err := w.c.Do("ApplyBGP", false, func() error {
+		var err error
+		changed, err = w.api.ApplyBGP()
+		return err
+	})
+	return changed, err
+}
+
+func (w *wrapped) GatherOSPF() error {
+	return w.c.Do("GatherOSPF", false, w.api.GatherOSPF)
+}
+
+func (w *wrapped) ApplyOSPF() (bool, error) {
+	var changed bool
+	err := w.c.Do("ApplyOSPF", false, func() error {
+		var err error
+		changed, err = w.api.ApplyOSPF()
+		return err
+	})
+	return changed, err
+}
+
+func (w *wrapped) EndShard() (sidecar.EndShardReply, error) {
+	var reply sidecar.EndShardReply
+	err := w.c.Do("EndShard", false, func() error {
+		var err error
+		reply, err = w.api.EndShard()
+		return err
+	})
+	return reply, err
+}
+
+func (w *wrapped) PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
+	var advs []bgp.Advertisement
+	var ver uint64
+	var fresh bool
+	err := w.c.Do("PullBGP", true, func() error {
+		var err error
+		advs, ver, fresh, err = w.api.PullBGP(exporter, puller, since, seen)
+		return err
+	})
+	return advs, ver, fresh, err
+}
+
+func (w *wrapped) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
+	var lsas []*ospf.LSA
+	var ver uint64
+	var fresh bool
+	err := w.c.Do("PullLSAs", true, func() error {
+		var err error
+		lsas, ver, fresh, err = w.api.PullLSAs(exporter, puller, since, seen)
+		return err
+	})
+	return lsas, ver, fresh, err
+}
+
+func (w *wrapped) ComputeDP() (sidecar.ComputeDPReply, error) {
+	var reply sidecar.ComputeDPReply
+	err := w.c.Do("ComputeDP", true, func() error {
+		var err error
+		reply, err = w.api.ComputeDP()
+		return err
+	})
+	return reply, err
+}
+
+func (w *wrapped) BeginQuery(req sidecar.QueryRequest) error {
+	return w.c.Do("BeginQuery", true, func() error { return w.api.BeginQuery(req) })
+}
+
+func (w *wrapped) Inject(req sidecar.InjectRequest) error {
+	return w.c.Do("Inject", false, func() error { return w.api.Inject(req) })
+}
+
+func (w *wrapped) DPRound() error {
+	return w.c.Do("DPRound", false, w.api.DPRound)
+}
+
+func (w *wrapped) HasWork() (bool, error) {
+	var busy bool
+	err := w.c.Do("HasWork", true, func() error {
+		var err error
+		busy, err = w.api.HasWork()
+		return err
+	})
+	return busy, err
+}
+
+func (w *wrapped) DeliverPackets(items []sidecar.PacketDelivery) error {
+	return w.c.Do("DeliverPackets", false, func() error { return w.api.DeliverPackets(items) })
+}
+
+func (w *wrapped) FinishQuery() ([]dataplane.RawOutcome, error) {
+	var out []dataplane.RawOutcome
+	err := w.c.Do("FinishQuery", false, func() error {
+		var err error
+		out, err = w.api.FinishQuery()
+		return err
+	})
+	return out, err
+}
+
+func (w *wrapped) CollectRIBs() (map[string][]*route.Route, error) {
+	var routes map[string][]*route.Route
+	err := w.c.Do("CollectRIBs", true, func() error {
+		var err error
+		routes, err = w.api.CollectRIBs()
+		return err
+	})
+	return routes, err
+}
+
+func (w *wrapped) Stats() (sidecar.WorkerStats, error) {
+	var st sidecar.WorkerStats
+	err := w.c.Do("Stats", true, func() error {
+		var err error
+		st, err = w.api.Stats()
+		return err
+	})
+	return st, err
+}
+
+var _ sidecar.WorkerAPI = (*wrapped)(nil)

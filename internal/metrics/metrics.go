@@ -137,6 +137,79 @@ func FormatBytes(n int64) string {
 	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
 }
 
+// FaultCounters accounts fault-tolerance events (RPC retries, timeouts,
+// failures, heartbeat misses, worker deaths, recoveries) so the controller
+// can export them alongside memory stats. All methods are nil-safe: a nil
+// *FaultCounters is a no-op sink, which lets call sites skip wiring when
+// fault accounting is off.
+type FaultCounters struct {
+	mu sync.Mutex
+	c  map[string]int64
+}
+
+// NewFaultCounters returns an empty counter set.
+func NewFaultCounters() *FaultCounters {
+	return &FaultCounters{c: make(map[string]int64)}
+}
+
+// Inc adds 1 to counter name.
+func (f *FaultCounters) Inc(name string) { f.Add(name, 1) }
+
+// Add adds delta to counter name.
+func (f *FaultCounters) Add(name string, delta int64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.c[name] += delta
+	f.mu.Unlock()
+}
+
+// Get returns the current value of counter name.
+func (f *FaultCounters) Get(name string) int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.c[name]
+}
+
+// Snapshot returns a copy of all non-zero counters.
+func (f *FaultCounters) Snapshot() map[string]int64 {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.c))
+	for k, v := range f.c {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// String renders the counters sorted by name, e.g.
+// "rpc.retries=2 worker.deaths=1".
+func (f *FaultCounters) String() string {
+	snap := f.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}
+
 // PhaseTimer records named wall-clock phases (parse, partition, control
 // plane, data plane) for the experiment harness.
 type PhaseTimer struct {

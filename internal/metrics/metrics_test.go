@@ -114,6 +114,69 @@ func TestFormatBytes(t *testing.T) {
 	}
 }
 
+func TestFaultCounters(t *testing.T) {
+	fc := NewFaultCounters()
+	fc.Inc("rpc.retries")
+	fc.Inc("rpc.retries")
+	fc.Add("worker.deaths", 3)
+	if fc.Get("rpc.retries") != 2 || fc.Get("worker.deaths") != 3 {
+		t.Fatalf("counters: %v", fc.Snapshot())
+	}
+	if fc.Get("unknown") != 0 {
+		t.Fatal("missing counter must read 0")
+	}
+	snap := fc.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot should hold only non-zero counters: %v", snap)
+	}
+	snap["rpc.retries"] = 99
+	if fc.Get("rpc.retries") != 2 {
+		t.Fatal("Snapshot must be a copy")
+	}
+	s := fc.String()
+	for _, want := range []string{"rpc.retries=2", "worker.deaths=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if strings.Index(s, "rpc.retries") > strings.Index(s, "worker.deaths") {
+		t.Errorf("String must sort keys: %q", s)
+	}
+}
+
+func TestFaultCountersNilSafe(t *testing.T) {
+	var fc *FaultCounters
+	fc.Inc("x")
+	fc.Add("x", 5)
+	if fc.Get("x") != 0 {
+		t.Fatal("nil counters must read 0")
+	}
+	if fc.Snapshot() != nil {
+		t.Fatal("nil Snapshot")
+	}
+	if fc.String() != "" {
+		t.Fatal("nil String")
+	}
+}
+
+func TestFaultCountersConcurrent(t *testing.T) {
+	fc := NewFaultCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				fc.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if fc.Get("n") != 8000 {
+		t.Fatalf("lost increments: %d", fc.Get("n"))
+	}
+}
+
 func TestPhaseTimer(t *testing.T) {
 	pt := NewPhaseTimer()
 	err := pt.Time("cp", func() error { time.Sleep(time.Millisecond); return nil })

@@ -14,9 +14,12 @@
 package sidecar
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
+	"sync"
+	"time"
 
 	"s2/internal/bgp"
 	"s2/internal/dataplane"
@@ -24,6 +27,11 @@ import (
 	"s2/internal/route"
 	"s2/internal/topology"
 )
+
+// ErrDraining is returned to RPCs that arrive while the server is shutting
+// down gracefully. Callers should treat the worker as gone (the fault layer
+// classifies it as transient).
+var ErrDraining = errors.New("sidecar: server draining")
 
 // SetupRequest initializes a worker with its segment of the network.
 type SetupRequest struct {
@@ -55,6 +63,11 @@ type SetupRequest struct {
 	// KeepRIBs retains full per-node RIBs in memory for CollectRIBs
 	// (equivalence testing); disable for large runs.
 	KeepRIBs bool
+	// RPCTimeout and RPCRetries configure the fault policy the worker
+	// applies to its own peer-to-peer calls (route pulls, packet
+	// deliveries). Zero values mean no deadline / no retries.
+	RPCTimeout time.Duration
+	RPCRetries int
 }
 
 // BeginShardRequest starts a prefix-shard round. An empty prefix list means
@@ -173,6 +186,10 @@ type WorkerStats struct {
 // WorkerAPI is the Go-level surface of a worker. The in-process
 // core.Worker implements it directly; RemoteWorker implements it over RPC.
 type WorkerAPI interface {
+	// Ping is the liveness probe used by the controller's failure
+	// detector. It must be cheap and must not block on worker state.
+	Ping() error
+
 	Setup(req SetupRequest) error
 	BeginShard(req BeginShardRequest) error
 	GatherBGP() error
@@ -200,253 +217,475 @@ type WorkerAPI interface {
 type Empty struct{}
 
 // Service adapts a WorkerAPI to net/rpc method conventions. It is
-// registered under the name "Sidecar".
-type Service struct{ api WorkerAPI }
+// registered under the name "Sidecar". When attached to a Server, every
+// RPC passes through the server's drain gate so graceful shutdown can wait
+// for in-flight calls.
+type Service struct {
+	api  WorkerAPI
+	gate *Server // optional
+}
 
-// NewService wraps a worker.
+// NewService wraps a worker (no drain gate).
 func NewService(api WorkerAPI) *Service { return &Service{api: api} }
 
+// do runs one RPC body under the drain gate (if any).
+func (s *Service) do(fn func() error) error {
+	if s.gate != nil {
+		if err := s.gate.enter(); err != nil {
+			return err
+		}
+		defer s.gate.exit()
+	}
+	return fn()
+}
+
+// Ping RPC (liveness probe).
+func (s *Service) Ping(_ Empty, _ *Empty) error {
+	return s.do(func() error { return s.api.Ping() })
+}
+
 // Setup RPC.
-func (s *Service) Setup(req SetupRequest, _ *Empty) error { return s.api.Setup(req) }
+func (s *Service) Setup(req SetupRequest, _ *Empty) error {
+	return s.do(func() error { return s.api.Setup(req) })
+}
 
 // BeginShard RPC.
-func (s *Service) BeginShard(req BeginShardRequest, _ *Empty) error { return s.api.BeginShard(req) }
+func (s *Service) BeginShard(req BeginShardRequest, _ *Empty) error {
+	return s.do(func() error { return s.api.BeginShard(req) })
+}
 
 // GatherBGP RPC.
-func (s *Service) GatherBGP(_ Empty, _ *Empty) error { return s.api.GatherBGP() }
+func (s *Service) GatherBGP(_ Empty, _ *Empty) error {
+	return s.do(s.api.GatherBGP)
+}
 
 // ApplyBGP RPC.
 func (s *Service) ApplyBGP(_ Empty, reply *ApplyReply) error {
-	changed, err := s.api.ApplyBGP()
-	reply.Changed = changed
-	return err
+	return s.do(func() error {
+		changed, err := s.api.ApplyBGP()
+		reply.Changed = changed
+		return err
+	})
 }
 
 // GatherOSPF RPC.
-func (s *Service) GatherOSPF(_ Empty, _ *Empty) error { return s.api.GatherOSPF() }
+func (s *Service) GatherOSPF(_ Empty, _ *Empty) error {
+	return s.do(s.api.GatherOSPF)
+}
 
 // ApplyOSPF RPC.
 func (s *Service) ApplyOSPF(_ Empty, reply *ApplyReply) error {
-	changed, err := s.api.ApplyOSPF()
-	reply.Changed = changed
-	return err
+	return s.do(func() error {
+		changed, err := s.api.ApplyOSPF()
+		reply.Changed = changed
+		return err
+	})
 }
 
 // EndShard RPC.
 func (s *Service) EndShard(_ Empty, reply *EndShardReply) error {
-	r, err := s.api.EndShard()
-	*reply = r
-	return err
+	return s.do(func() error {
+		r, err := s.api.EndShard()
+		*reply = r
+		return err
+	})
 }
 
 // PullBGP RPC.
 func (s *Service) PullBGP(req PullBGPRequest, reply *PullBGPReply) error {
-	advs, ver, fresh, err := s.api.PullBGP(req.Exporter, req.Puller, req.Since, req.Seen)
-	reply.Advs, reply.Version, reply.Fresh = advs, ver, fresh
-	return err
+	return s.do(func() error {
+		advs, ver, fresh, err := s.api.PullBGP(req.Exporter, req.Puller, req.Since, req.Seen)
+		reply.Advs, reply.Version, reply.Fresh = advs, ver, fresh
+		return err
+	})
 }
 
 // PullLSAs RPC.
 func (s *Service) PullLSAs(req PullLSAsRequest, reply *PullLSAsReply) error {
-	lsas, ver, fresh, err := s.api.PullLSAs(req.Exporter, req.Puller, req.Since, req.Seen)
-	reply.LSAs, reply.Version, reply.Fresh = lsas, ver, fresh
-	return err
+	return s.do(func() error {
+		lsas, ver, fresh, err := s.api.PullLSAs(req.Exporter, req.Puller, req.Since, req.Seen)
+		reply.LSAs, reply.Version, reply.Fresh = lsas, ver, fresh
+		return err
+	})
 }
 
 // ComputeDP RPC.
 func (s *Service) ComputeDP(_ Empty, reply *ComputeDPReply) error {
-	r, err := s.api.ComputeDP()
-	*reply = r
-	return err
+	return s.do(func() error {
+		r, err := s.api.ComputeDP()
+		*reply = r
+		return err
+	})
 }
 
 // BeginQuery RPC.
-func (s *Service) BeginQuery(req QueryRequest, _ *Empty) error { return s.api.BeginQuery(req) }
+func (s *Service) BeginQuery(req QueryRequest, _ *Empty) error {
+	return s.do(func() error { return s.api.BeginQuery(req) })
+}
 
 // Inject RPC.
-func (s *Service) Inject(req InjectRequest, _ *Empty) error { return s.api.Inject(req) }
+func (s *Service) Inject(req InjectRequest, _ *Empty) error {
+	return s.do(func() error { return s.api.Inject(req) })
+}
 
 // DPRound RPC.
-func (s *Service) DPRound(_ Empty, _ *Empty) error { return s.api.DPRound() }
+func (s *Service) DPRound(_ Empty, _ *Empty) error {
+	return s.do(s.api.DPRound)
+}
 
 // HasWork RPC.
 func (s *Service) HasWork(_ Empty, reply *HasWorkReply) error {
-	busy, err := s.api.HasWork()
-	reply.Busy = busy
-	return err
+	return s.do(func() error {
+		busy, err := s.api.HasWork()
+		reply.Busy = busy
+		return err
+	})
 }
 
 // DeliverPackets RPC.
 func (s *Service) DeliverPackets(items []PacketDelivery, _ *Empty) error {
-	return s.api.DeliverPackets(items)
+	return s.do(func() error { return s.api.DeliverPackets(items) })
 }
 
 // FinishQuery RPC.
 func (s *Service) FinishQuery(_ Empty, reply *OutcomesReply) error {
-	out, err := s.api.FinishQuery()
-	reply.Outcomes = out
-	return err
+	return s.do(func() error {
+		out, err := s.api.FinishQuery()
+		reply.Outcomes = out
+		return err
+	})
 }
 
 // CollectRIBs RPC.
 func (s *Service) CollectRIBs(_ Empty, reply *RIBsReply) error {
-	routes, err := s.api.CollectRIBs()
-	reply.Routes = routes
-	return err
+	return s.do(func() error {
+		routes, err := s.api.CollectRIBs()
+		reply.Routes = routes
+		return err
+	})
 }
 
 // Stats RPC.
 func (s *Service) Stats(_ Empty, reply *WorkerStats) error {
-	st, err := s.api.Stats()
-	*reply = st
-	return err
+	return s.do(func() error {
+		st, err := s.api.Stats()
+		*reply = st
+		return err
+	})
 }
 
-// Serve registers the service on a fresh RPC server and accepts
-// connections until the listener closes. It is the body of a sidecar
-// process.
-func Serve(api WorkerAPI, lis net.Listener) error {
+// Server accepts sidecar connections for one worker and supports graceful
+// shutdown: Shutdown(grace) stops accepting, waits up to grace for
+// in-flight RPCs to drain, then closes every connection. Shutdown(0) is an
+// abrupt close — tests use it to simulate a crash.
+type Server struct {
+	api WorkerAPI
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	inflight int
+	draining bool
+	idle     chan struct{}
+}
+
+// NewServer builds a server for one worker.
+func NewServer(api WorkerAPI) *Server {
+	return &Server{api: api, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on lis until the listener closes. Returns nil
+// when the close came from Shutdown, the accept error otherwise.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lis.Close()
+		return nil
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Sidecar", NewService(api)); err != nil {
+	if err := srv.RegisterName("Sidecar", &Service{api: s.api, gate: s}); err != nil {
 		return err
 	}
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
 			return err
 		}
-		go srv.ServeConn(conn)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			srv.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
 	}
 }
 
+// enter admits one RPC, or rejects it if the server is draining.
+func (s *Server) enter() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	s.inflight++
+	return nil
+}
+
+func (s *Server) exit() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown stops accepting connections and rejects new RPCs. With grace > 0
+// it waits up to grace for in-flight RPCs to complete (plus a short settle
+// so their replies flush) before closing connections; with grace 0 it
+// severs everything immediately, like a crash. Idempotent.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	lis := s.lis
+	var idle chan struct{}
+	if !already && grace > 0 && s.inflight > 0 {
+		idle = make(chan struct{})
+		s.idle = idle
+	}
+	s.mu.Unlock()
+
+	if lis != nil {
+		lis.Close()
+	}
+	if idle != nil {
+		select {
+		case <-idle:
+			// In-flight handlers returned; their replies are written by the
+			// rpc server just after, so give them a moment to flush.
+			time.Sleep(20 * time.Millisecond)
+		case <-time.After(grace):
+		}
+	}
+
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Serve registers the service on a fresh RPC server and accepts
+// connections until the listener closes. It is the body of a sidecar
+// process; equivalent to NewServer(api).Serve(lis) when graceful shutdown
+// is not needed.
+func Serve(api WorkerAPI, lis net.Listener) error {
+	return NewServer(api).Serve(lis)
+}
+
+// CallWrapper decorates every RPC a RemoteWorker issues: it receives the
+// method name, whether the call is idempotent (safe to retry), and the call
+// itself. fault.Caller.Wrap produces one that adds deadlines and retries;
+// this indirection keeps sidecar free of a dependency on the fault package.
+type CallWrapper func(method string, idempotent bool, call func() error) error
+
 // RemoteWorker is the client side: a WorkerAPI (and sim.PullPeer) that
-// relays every call over RPC.
+// relays every call over RPC, optionally through a CallWrapper.
 type RemoteWorker struct {
 	addr string
 	c    *rpc.Client
+	wrap CallWrapper
 }
 
-// Dial connects to a worker's sidecar.
+// Dial connects to a worker's sidecar with no deadline or retries.
 func Dial(addr string) (*RemoteWorker, error) {
-	c, err := rpc.Dial("tcp", addr)
+	return DialWrapped(addr, 0, nil)
+}
+
+// DialWrapped connects with a bound on the TCP dial (0 = none) and routes
+// every subsequent call through wrap (nil = direct).
+func DialWrapped(addr string, dialTimeout time.Duration, wrap CallWrapper) (*RemoteWorker, error) {
+	var conn net.Conn
+	var err error
+	if dialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, dialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sidecar: dialing %s: %w", addr, err)
 	}
-	return &RemoteWorker{addr: addr, c: c}, nil
+	return &RemoteWorker{addr: addr, c: rpc.NewClient(conn), wrap: wrap}, nil
 }
 
 // Addr returns the remote address.
 func (r *RemoteWorker) Addr() string { return r.addr }
 
-// Close tears down the connection.
+// Close tears down the connection. In-flight calls return rpc.ErrShutdown,
+// which is how the controller's failure detector unblocks calls hung on a
+// dead worker.
 func (r *RemoteWorker) Close() error { return r.c.Close() }
+
+// rcall issues one RPC through the wrapper. A fresh reply is allocated per
+// attempt: gob decodes into whatever the reply already holds, so reusing a
+// partially-filled reply across retries could merge stale state.
+func rcall[R any](r *RemoteWorker, method string, idempotent bool, args any) (R, error) {
+	var reply R
+	call := func() error {
+		var fresh R
+		if err := r.c.Call("Sidecar."+method, args, &fresh); err != nil {
+			return err
+		}
+		reply = fresh
+		return nil
+	}
+	if r.wrap == nil {
+		return reply, call()
+	}
+	return reply, r.wrap(method, idempotent, call)
+}
+
+// Idempotency of each RPC, which gates retries. Phase mutations (Gather*/
+// Apply*/EndShard/Inject/DPRound/DeliverPackets/FinishQuery) are NOT safe
+// to retry — a timed-out attempt may still have executed remotely, and
+// running one twice breaks the round barrier; recovery for those is
+// re-execution from a clean re-Setup. Setup/BeginShard/BeginQuery fully
+// reset the state they establish, and the rest are reads.
+
+// Ping implements WorkerAPI.
+func (r *RemoteWorker) Ping() error {
+	_, err := rcall[Empty](r, "Ping", true, Empty{})
+	return err
+}
 
 // Setup implements WorkerAPI.
 func (r *RemoteWorker) Setup(req SetupRequest) error {
-	return r.c.Call("Sidecar.Setup", req, &Empty{})
+	_, err := rcall[Empty](r, "Setup", true, req)
+	return err
 }
 
 // BeginShard implements WorkerAPI.
 func (r *RemoteWorker) BeginShard(req BeginShardRequest) error {
-	return r.c.Call("Sidecar.BeginShard", req, &Empty{})
+	_, err := rcall[Empty](r, "BeginShard", true, req)
+	return err
 }
 
 // GatherBGP implements WorkerAPI.
 func (r *RemoteWorker) GatherBGP() error {
-	return r.c.Call("Sidecar.GatherBGP", Empty{}, &Empty{})
+	_, err := rcall[Empty](r, "GatherBGP", false, Empty{})
+	return err
 }
 
 // ApplyBGP implements WorkerAPI.
 func (r *RemoteWorker) ApplyBGP() (bool, error) {
-	var reply ApplyReply
-	err := r.c.Call("Sidecar.ApplyBGP", Empty{}, &reply)
+	reply, err := rcall[ApplyReply](r, "ApplyBGP", false, Empty{})
 	return reply.Changed, err
 }
 
 // GatherOSPF implements WorkerAPI.
 func (r *RemoteWorker) GatherOSPF() error {
-	return r.c.Call("Sidecar.GatherOSPF", Empty{}, &Empty{})
+	_, err := rcall[Empty](r, "GatherOSPF", false, Empty{})
+	return err
 }
 
 // ApplyOSPF implements WorkerAPI.
 func (r *RemoteWorker) ApplyOSPF() (bool, error) {
-	var reply ApplyReply
-	err := r.c.Call("Sidecar.ApplyOSPF", Empty{}, &reply)
+	reply, err := rcall[ApplyReply](r, "ApplyOSPF", false, Empty{})
 	return reply.Changed, err
 }
 
 // EndShard implements WorkerAPI.
 func (r *RemoteWorker) EndShard() (EndShardReply, error) {
-	var reply EndShardReply
-	err := r.c.Call("Sidecar.EndShard", Empty{}, &reply)
-	return reply, err
+	return rcall[EndShardReply](r, "EndShard", false, Empty{})
 }
 
 // PullBGP implements WorkerAPI and sim.PullPeer.
 func (r *RemoteWorker) PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
-	var reply PullBGPReply
-	err := r.c.Call("Sidecar.PullBGP", PullBGPRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen}, &reply)
+	reply, err := rcall[PullBGPReply](r, "PullBGP", true,
+		PullBGPRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen})
 	return reply.Advs, reply.Version, reply.Fresh, err
 }
 
 // PullLSAs implements WorkerAPI and sim.PullPeer.
 func (r *RemoteWorker) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
-	var reply PullLSAsReply
-	err := r.c.Call("Sidecar.PullLSAs", PullLSAsRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen}, &reply)
+	reply, err := rcall[PullLSAsReply](r, "PullLSAs", true,
+		PullLSAsRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen})
 	return reply.LSAs, reply.Version, reply.Fresh, err
 }
 
 // ComputeDP implements WorkerAPI.
 func (r *RemoteWorker) ComputeDP() (ComputeDPReply, error) {
-	var reply ComputeDPReply
-	err := r.c.Call("Sidecar.ComputeDP", Empty{}, &reply)
-	return reply, err
+	return rcall[ComputeDPReply](r, "ComputeDP", true, Empty{})
 }
 
 // BeginQuery implements WorkerAPI.
 func (r *RemoteWorker) BeginQuery(req QueryRequest) error {
-	return r.c.Call("Sidecar.BeginQuery", req, &Empty{})
+	_, err := rcall[Empty](r, "BeginQuery", true, req)
+	return err
 }
 
 // Inject implements WorkerAPI.
 func (r *RemoteWorker) Inject(req InjectRequest) error {
-	return r.c.Call("Sidecar.Inject", req, &Empty{})
+	_, err := rcall[Empty](r, "Inject", false, req)
+	return err
 }
 
 // DPRound implements WorkerAPI.
 func (r *RemoteWorker) DPRound() error {
-	return r.c.Call("Sidecar.DPRound", Empty{}, &Empty{})
+	_, err := rcall[Empty](r, "DPRound", false, Empty{})
+	return err
 }
 
 // HasWork implements WorkerAPI.
 func (r *RemoteWorker) HasWork() (bool, error) {
-	var reply HasWorkReply
-	err := r.c.Call("Sidecar.HasWork", Empty{}, &reply)
+	reply, err := rcall[HasWorkReply](r, "HasWork", true, Empty{})
 	return reply.Busy, err
 }
 
 // DeliverPackets implements WorkerAPI.
 func (r *RemoteWorker) DeliverPackets(items []PacketDelivery) error {
-	return r.c.Call("Sidecar.DeliverPackets", items, &Empty{})
+	_, err := rcall[Empty](r, "DeliverPackets", false, items)
+	return err
 }
 
 // FinishQuery implements WorkerAPI.
 func (r *RemoteWorker) FinishQuery() ([]dataplane.RawOutcome, error) {
-	var reply OutcomesReply
-	err := r.c.Call("Sidecar.FinishQuery", Empty{}, &reply)
+	reply, err := rcall[OutcomesReply](r, "FinishQuery", false, Empty{})
 	return reply.Outcomes, err
 }
 
 // CollectRIBs implements WorkerAPI.
 func (r *RemoteWorker) CollectRIBs() (map[string][]*route.Route, error) {
-	var reply RIBsReply
-	err := r.c.Call("Sidecar.CollectRIBs", Empty{}, &reply)
+	reply, err := rcall[RIBsReply](r, "CollectRIBs", true, Empty{})
 	return reply.Routes, err
 }
 
 // Stats implements WorkerAPI.
 func (r *RemoteWorker) Stats() (WorkerStats, error) {
-	var reply WorkerStats
-	err := r.c.Call("Sidecar.Stats", Empty{}, &reply)
-	return reply, err
+	return rcall[WorkerStats](r, "Stats", true, Empty{})
 }

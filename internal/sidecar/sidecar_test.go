@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"s2/internal/bgp"
 	"s2/internal/dataplane"
@@ -17,8 +20,15 @@ import (
 // spirit: core depends on sidecar).
 type stubWorker struct {
 	setups    int
+	pings     int
 	delivered []PacketDelivery
 	failPull  bool
+	slow      chan struct{} // when set, phase methods block until closed
+}
+
+func (s *stubWorker) Ping() error {
+	s.pings++
+	return nil
 }
 
 func (s *stubWorker) Setup(req SetupRequest) error {
@@ -29,7 +39,12 @@ func (s *stubWorker) Setup(req SetupRequest) error {
 	return nil
 }
 func (s *stubWorker) BeginShard(BeginShardRequest) error { return nil }
-func (s *stubWorker) GatherBGP() error                   { return nil }
+func (s *stubWorker) GatherBGP() error {
+	if s.slow != nil {
+		<-s.slow
+	}
+	return nil
+}
 func (s *stubWorker) ApplyBGP() (bool, error)            { return true, nil }
 func (s *stubWorker) GatherOSPF() error                  { return nil }
 func (s *stubWorker) ApplyOSPF() (bool, error)           { return false, nil }
@@ -100,6 +115,9 @@ func TestRPCRoundTripAllMethods(t *testing.T) {
 		t.Error("Addr")
 	}
 
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
 	if err := client.Setup(SetupRequest{WorkerID: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -193,6 +211,173 @@ func TestRPCRoundTripAllMethods(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Fatal("dialing a closed port must fail")
+	}
+}
+
+// timeoutWrap is a minimal CallWrapper bounding each call, standing in for
+// fault.Caller (which sidecar cannot import without a cycle).
+func timeoutWrap(d time.Duration) CallWrapper {
+	return func(method string, idempotent bool, call func() error) error {
+		done := make(chan error, 1)
+		go func() { done <- call() }()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(d):
+			return fmt.Errorf("%s deadline exceeded", method)
+		}
+	}
+}
+
+// TestDeadlineOnHungServer: a server that accepts but never answers must
+// not hang a wrapped client.
+func TestDeadlineOnHungServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold the connection open, answer nothing
+		}
+	}()
+	client, err := DialWrapped(lis.Addr().String(), time.Second, timeoutWrap(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	start := time.Now()
+	if err := client.Ping(); err == nil {
+		t.Fatal("Ping against a hung server must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the call: took %v", elapsed)
+	}
+}
+
+// TestServerGracefulDrain: Shutdown with a grace period rejects new RPCs
+// but lets the in-flight one finish successfully.
+func TestServerGracefulDrain(t *testing.T) {
+	stub := &stubWorker{slow: make(chan struct{})}
+	srv := NewServer(stub)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+	client, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	inflight := make(chan error, 1)
+	go func() { inflight <- client.GatherBGP() }() // blocks on stub.slow
+	time.Sleep(50 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Shutdown(5 * time.Second)
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	// New work is rejected while draining.
+	if err := client.Ping(); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("Ping during drain: want draining error, got %v", err)
+	}
+	// The in-flight call completes cleanly.
+	close(stub.slow)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight RPC failed during graceful drain: %v", err)
+	}
+	wg.Wait()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown", err)
+	}
+}
+
+// TestServerAbruptShutdown: Shutdown(0) severs in-flight calls — the crash
+// simulation used by the fault tests.
+func TestServerAbruptShutdown(t *testing.T) {
+	stub := &stubWorker{slow: make(chan struct{})}
+	defer close(stub.slow)
+	srv := NewServer(stub)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	client, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	inflight := make(chan error, 1)
+	go func() { inflight <- client.GatherBGP() }()
+	time.Sleep(50 * time.Millisecond)
+	srv.Shutdown(0)
+	if err := <-inflight; err == nil {
+		t.Fatal("in-flight RPC must fail on abrupt shutdown")
+	}
+}
+
+// TestWrapperIdempotencyFlags verifies the retry-safety table the client
+// hands to the fault layer: phase mutations must never be marked safe.
+func TestWrapperIdempotencyFlags(t *testing.T) {
+	flags := map[string]bool{}
+	var mu sync.Mutex
+	stub := &stubWorker{}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go Serve(stub, lis)
+	client, err := DialWrapped(lis.Addr().String(), 0, func(method string, idempotent bool, call func() error) error {
+		mu.Lock()
+		flags[method] = idempotent
+		mu.Unlock()
+		return call()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	client.Ping()
+	client.Setup(SetupRequest{WorkerID: 1})
+	client.GatherBGP()
+	client.ApplyBGP()
+	client.EndShard()
+	client.PullBGP("r9", "r1", 0, false)
+	client.Inject(InjectRequest{Source: "r1"})
+	client.DPRound()
+	client.DeliverPackets(nil)
+	client.FinishQuery()
+	client.Stats()
+
+	want := map[string]bool{
+		"Ping": true, "Setup": true, "PullBGP": true, "Stats": true,
+		"GatherBGP": false, "ApplyBGP": false, "EndShard": false,
+		"Inject": false, "DPRound": false, "DeliverPackets": false,
+		"FinishQuery": false,
+	}
+	for m, idem := range want {
+		got, ok := flags[m]
+		if !ok {
+			t.Errorf("%s never went through the wrapper", m)
+		} else if got != idem {
+			t.Errorf("%s idempotent = %v, want %v", m, got, idem)
+		}
 	}
 }
 

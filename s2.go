@@ -89,6 +89,19 @@ type Options struct {
 	// LoadEstimator biases the partitioner with per-device load
 	// estimates (see FatTreeLoadEstimator).
 	LoadEstimator func(device string) int64
+	// RPCTimeout bounds every controller→worker (and worker→worker) RPC
+	// attempt (0 = no deadline).
+	RPCTimeout time.Duration
+	// RPCRetries is the number of extra attempts for idempotent RPCs that
+	// fail transiently.
+	RPCRetries int
+	// HeartbeatInterval enables the failure detector: workers are pinged
+	// at this interval and declared dead after three consecutive misses
+	// (0 disables heartbeats).
+	HeartbeatInterval time.Duration
+	// Recover re-partitions a dead worker's segment onto the survivors
+	// and re-executes the in-flight phase instead of failing the run.
+	Recover bool
 }
 
 // FatTreeLoadEstimator returns the paper's per-role load estimates for a
@@ -135,6 +148,11 @@ func NewVerifier(n *Network, opts Options) (*Verifier, error) {
 		SpillDir:     opts.SpillDir,
 		KeepRIBs:     opts.KeepRIBs,
 		LoadOf:       opts.LoadEstimator,
+
+		RPCTimeout:        opts.RPCTimeout,
+		RPCRetries:        opts.RPCRetries,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		Recover:           opts.Recover,
 	})
 	if err != nil {
 		return nil, err
@@ -320,6 +338,17 @@ func (v *Verifier) PeakMemoryBytes() (int64, error) {
 	}
 	return core.MaxPeakBytes(raw), nil
 }
+
+// FaultStats reports fault-tolerance accounting as named counters:
+// rpc.retries, rpc.timeouts, rpc.failures, heartbeat.misses,
+// heartbeat.deaths, worker.deaths, recoveries. Zero counters are omitted.
+func (v *Verifier) FaultStats() map[string]int64 {
+	return v.ctrl.FaultCounters().Snapshot()
+}
+
+// Close stops the failure detector and tears down worker connections. The
+// verifier is unusable afterwards.
+func (v *Verifier) Close() error { return v.ctrl.Close() }
 
 // PhaseDurations reports wall-clock per pipeline phase.
 func (v *Verifier) PhaseDurations() map[string]time.Duration {
