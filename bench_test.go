@@ -13,6 +13,7 @@ import (
 
 	"s2/internal/config"
 	"s2/internal/experiments"
+	"s2/internal/obs"
 	"s2/internal/partition"
 	"s2/internal/synth"
 	"s2/internal/topology"
@@ -235,6 +236,41 @@ func BenchmarkControlPlaneFatTree(b *testing.B) {
 		if err := v.SimulateControlPlane(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkControlPlaneObsOff / BenchmarkControlPlaneObsOn compare a full
+// control plane simulation without and with observability (tracer plus
+// metrics registry) to show the disabled path's nil-safe hooks cost
+// nothing measurable.
+func BenchmarkControlPlaneObsOff(b *testing.B) {
+	benchControlPlaneObs(b, false)
+}
+
+func BenchmarkControlPlaneObsOn(b *testing.B) {
+	benchControlPlaneObs(b, true)
+}
+
+func benchControlPlaneObs(b *testing.B, enabled bool) {
+	net, err := SynthesizeFatTree(FatTreeSpec{K: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := Options{Workers: 3, Shards: 2}
+		if enabled {
+			opts.Tracer = obs.NewTracer()
+			opts.Metrics = obs.NewRegistry()
+		}
+		v, err := NewVerifier(net, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := v.SimulateControlPlane(); err != nil {
+			b.Fatal(err)
+		}
+		v.Close()
 	}
 }
 

@@ -7,6 +7,7 @@
 //	s2 -configs DIR [-workers N] [-shards M] [-scheme metis|random|expert]
 //	   [-workers-at host:port,host:port]  # remote workers via cmd/s2worker
 //	   [-ribs] [-budget BYTES] [-spill DIR] [-v]
+//	   [-trace out.json] [-obs-addr 127.0.0.1:9090]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"s2"
+	"s2/internal/obs"
 )
 
 func main() {
@@ -39,6 +41,8 @@ func main() {
 		retries    = flag.Int("retries", 0, "extra attempts for idempotent worker RPCs that fail transiently")
 		heartbeat  = flag.Duration("heartbeat-interval", 0, "ping workers at this interval; 3 consecutive misses declare a worker dead (0 = off)")
 		recoverOn  = flag.Bool("recover", false, "on worker death, re-partition its segment onto survivors and re-execute")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (open in chrome://tracing or ui.perfetto.dev)")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, and /debug/pprof on this address")
 		verbose    = flag.Bool("v", false, "print phase timings and per-worker stats")
 	)
 	flag.Parse()
@@ -72,9 +76,32 @@ func main() {
 	if *workerAddr != "" {
 		opts.WorkerAddrs = strings.Split(*workerAddr, ",")
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		opts.Tracer = tracer
+	}
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
 	v, err := s2.NewVerifier(net, opts)
 	fatal(err)
 	defer v.Close()
+
+	if *obsAddr != "" {
+		isrv, err := obs.ServeIntrospection(*obsAddr, obs.ServerOptions{
+			Registry: reg,
+			Health: func() any {
+				return map[string]any{"role": "controller", "faults": v.FaultStats()}
+			},
+			Progress: func() any { return v.Progress() },
+		})
+		fatal(err)
+		defer isrv.Close()
+		fmt.Printf("introspection on http://%s/metrics\n", isrv.Addr())
+	}
 
 	for _, w := range v.TopologyWarnings() {
 		fmt.Printf("warning: %s\n", w)
@@ -152,6 +179,14 @@ func main() {
 				fmt.Printf("fault %-18s %d\n", n, fs[n])
 			}
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		fatal(tracer.WriteChromeTrace(f))
+		fatal(f.Close())
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 
 	if !report.OK() {

@@ -7,12 +7,14 @@
 //	s2bench -fig 5          # one figure
 //	s2bench -quick          # small sizes (seconds instead of minutes)
 //	s2bench -ks 4,6,8,10    # custom FatTree sweep
+//	s2bench -json out.json  # machine-readable rows + telemetry snapshots
 //
 // Times are critical-path durations (the slowest worker per round); see
 // EXPERIMENTS.md for how the laptop-scale substitution maps to the paper.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,12 +40,13 @@ var figures = map[int]struct {
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "figure number (4-10); 0 = all")
-		quick = flag.Bool("quick", false, "small sizes for a fast smoke run")
-		ks    = flag.String("ks", "", "comma-separated FatTree pod counts for sweeps (e.g. 4,6,8,10)")
-		fixed = flag.Int("k", 0, "FatTree size for single-size figures")
-		shard = flag.Int("shards", 0, "default prefix shard count")
-		maxW  = flag.Int("maxworkers", 0, "largest S2 worker count")
+		fig     = flag.Int("fig", 0, "figure number (4-10); 0 = all")
+		quick   = flag.Bool("quick", false, "small sizes for a fast smoke run")
+		ks      = flag.String("ks", "", "comma-separated FatTree pod counts for sweeps (e.g. 4,6,8,10)")
+		fixed   = flag.Int("k", 0, "FatTree size for single-size figures")
+		shard   = flag.Int("shards", 0, "default prefix shard count")
+		maxW    = flag.Int("maxworkers", 0, "largest S2 worker count")
+		jsonOut = flag.String("json", "", "also write rows (with per-run phase and RPC telemetry) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -84,6 +87,18 @@ func main() {
 		nums = []int{4, 5, 6, 7, 8, 9, 10}
 	}
 
+	// figureResult is the -json schema: one entry per figure, each row
+	// carrying its headline numbers plus the Telemetry snapshot (RPC
+	// counts/latencies, convergence iterations, modelled memory) the
+	// experiments runner records per S2 run.
+	type figureResult struct {
+		Figure     int
+		Desc       string
+		DurationMS int64
+		Rows       []experiments.Row
+	}
+	var results []figureResult
+
 	for _, n := range nums {
 		f := figures[n]
 		fmt.Printf("=== Figure %d: %s ===\n", n, f.desc)
@@ -94,6 +109,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(experiments.Format(rows))
-		fmt.Printf("(figure %d measured in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("(figure %d measured in %v)\n\n", n, elapsed.Round(time.Millisecond))
+		results = append(results, figureResult{
+			Figure: n, Desc: f.desc, DurationMS: elapsed.Milliseconds(), Rows: rows,
+		})
+	}
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(results, "", " ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s2bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "s2bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"s2/internal/core"
 	"s2/internal/fault"
+	"s2/internal/obs"
 	"s2/internal/sidecar"
 )
 
@@ -35,6 +36,7 @@ func main() {
 	rpcTimeout := flag.Duration("rpc-timeout", 0, "deadline for this worker's peer-to-peer RPC attempts (0 = none; the controller's Setup overrides it)")
 	retries := flag.Int("retries", 0, "extra attempts for idempotent peer RPCs that fail transiently")
 	grace := flag.Duration("grace", 10*time.Second, "max time to finish in-flight RPCs on SIGINT/SIGTERM")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, and /debug/pprof for this worker on this address")
 	flag.Parse()
 
 	lis, err := net.Listen("tcp", *listen)
@@ -45,6 +47,34 @@ func main() {
 	w := core.NewWorker()
 	w.SetDefaultPolicy(fault.Policy{Timeout: *rpcTimeout, Retries: *retries})
 	srv := sidecar.NewServer(w)
+
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		w.SetObservability(nil, reg)
+		srv.SetRPCHook(sidecar.RPCHook(obs.RPCInstrument(reg, "server", nil)))
+		bytesTotal := reg.Counter(obs.MetricRPCBytes,
+			"Bytes moved over sidecar RPC connections.", "role", "dir")
+		bytesTotal.SetFunc(func() float64 { return float64(srv.BytesRead()) }, "server", "in")
+		bytesTotal.SetFunc(func() float64 { return float64(srv.BytesWritten()) }, "server", "out")
+		isrv, err := obs.ServeIntrospection(*obsAddr, obs.ServerOptions{
+			Registry: reg,
+			Health: func() any {
+				return map[string]any{"role": "worker", "listen": lis.Addr().String()}
+			},
+			Progress: func() any {
+				return map[string]any{
+					"rpc_bytes_in":  srv.BytesRead(),
+					"rpc_bytes_out": srv.BytesWritten(),
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s2worker:", err)
+			os.Exit(1)
+		}
+		defer isrv.Close()
+		fmt.Printf("s2worker introspection on http://%s/metrics\n", isrv.Addr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

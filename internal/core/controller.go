@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s2/internal/bdd"
@@ -11,6 +12,7 @@ import (
 	"s2/internal/dataplane"
 	"s2/internal/fault"
 	"s2/internal/metrics"
+	"s2/internal/obs"
 	"s2/internal/partition"
 	"s2/internal/route"
 	"s2/internal/shard"
@@ -85,6 +87,16 @@ type Options struct {
 	// WrapWorker, when set, wraps each worker transport as it is created —
 	// the hook fault-injection tests use to interpose fault.Injector.
 	WrapWorker func(id int, w sidecar.WorkerAPI) sidecar.WorkerAPI
+
+	// Tracer, when set, records the whole run as hierarchical spans:
+	// controller stages, prefix shards, convergence rounds, and every RPC.
+	// In-process workers share it, so one exported Chrome trace holds the
+	// controller and all worker timelines (the -trace flag of cmd/s2).
+	Tracer *obs.Tracer
+	// Metrics, when set, receives the run's counters/gauges/histograms
+	// (RPC latency, routes exchanged, BDD and modelled-memory stats); serve
+	// it with obs.ServeIntrospection (the -obs-addr flag).
+	Metrics *obs.Registry
 }
 
 func (o Options) maxRounds() int {
@@ -139,6 +151,15 @@ type Controller struct {
 	faults   *metrics.FaultCounters
 	detector *fault.Detector
 
+	// Observability (see observability.go). curSpan holds the innermost
+	// open stage/shard/round *obs.Span; RPC hooks sample it concurrently.
+	tracer     *obs.Tracer
+	reg        *obs.Registry
+	curSpan    atomic.Value
+	clientHook sidecar.RPCHook
+	pmu        sync.Mutex
+	prog       Progress
+
 	// Stage flags drive recovery: repair re-Setups the survivors and
 	// clears cpDone/dpDone, so each internal runner re-establishes exactly
 	// the stages the caller had already requested (the *Wanted flags) —
@@ -175,7 +196,7 @@ func NewController(snap *config.Snapshot, texts map[string]string, opts Options)
 		return nil, err
 	}
 	layout := dataplane.Layout{MetaBits: opts.MetaBits}
-	return &Controller{
+	c := &Controller{
 		snap:   snap,
 		net:    net,
 		opts:   opts,
@@ -184,7 +205,9 @@ func NewController(snap *config.Snapshot, texts map[string]string, opts Options)
 		layout: layout,
 		timer:  metrics.NewPhaseTimer(),
 		faults: metrics.NewFaultCounters(),
-	}, nil
+	}
+	c.initObs()
+	return c, nil
 }
 
 // FaultCounters exposes retry/failure/recovery accounting.
@@ -248,12 +271,15 @@ func (c *Controller) setup() error {
 }
 
 // newWorkerTransport assembles one worker's call stack: the base transport,
-// the test injection hook, then the fault policy (deadlines + retries).
+// the test injection hook, the RPC telemetry layer, then the fault policy
+// (deadlines + retries). Telemetry sits inside the fault layer so each
+// retry attempt is recorded as its own RPC.
 func (c *Controller) newWorkerTransport(id int, base sidecar.WorkerAPI) sidecar.WorkerAPI {
 	w := base
 	if c.opts.WrapWorker != nil {
 		w = c.opts.WrapWorker(id, w)
 	}
+	w = sidecar.Observe(w, c.clientHook)
 	if p := c.opts.faultPolicy(); p.Timeout > 0 || p.Retries > 0 {
 		w = fault.Wrap(w, fault.NewCaller(p, c.faults))
 	}
@@ -287,6 +313,7 @@ func (c *Controller) provision() error {
 	locals := make([]*Worker, n)
 	for i := range workers {
 		locals[i] = NewWorker()
+		locals[i].SetObservability(c.tracer, c.reg)
 		workers[i] = c.newWorkerTransport(i, locals[i])
 	}
 	c.wmu.Lock()
@@ -302,6 +329,12 @@ func (c *Controller) provision() error {
 // control and data planes must re-run against the new partition.
 func (c *Controller) configure() error {
 	return c.timer.Time("partition+setup", func() error {
+		return c.stage("partition+setup", c.configureBody)
+	})
+}
+
+func (c *Controller) configureBody() error {
+	{
 		c.wmu.RLock()
 		workers := append([]sidecar.WorkerAPI(nil), c.workers...)
 		locals := append([]*Worker(nil), c.locals...)
@@ -349,7 +382,7 @@ func (c *Controller) configure() error {
 		c.setupDone = true
 		c.cpDone, c.dpDone = false, false
 		return nil
-	})
+	}
 }
 
 // startDetector launches the heartbeat failure detector over the current
@@ -631,22 +664,28 @@ func (c *Controller) runControlPlane() error {
 	}
 	if hasOSPF {
 		err := c.timer.Time("cp-ospf", func() error {
-			for round := 0; ; round++ {
-				if round > c.opts.maxRounds() {
-					return fmt.Errorf("core: OSPF did not converge in %d rounds", c.opts.maxRounds())
+			return c.stage("cp-ospf", func() error {
+				for round := 0; ; round++ {
+					if round > c.opts.maxRounds() {
+						return fmt.Errorf("core: OSPF did not converge in %d rounds", c.opts.maxRounds())
+					}
+					endRound := c.startSpan("round", obs.Int("round", round))
+					if _, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) { return false, w.GatherOSPF() }); err != nil {
+						endRound()
+						return err
+					}
+					changed, err := c.applyRound("ospf", 0, round,
+						func(w sidecar.WorkerAPI) (sidecar.ApplyReply, error) { return w.ApplyOSPF() })
+					endRound()
+					if err != nil {
+						return err
+					}
+					c.cpRounds++
+					if !changed {
+						return nil
+					}
 				}
-				if _, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) { return false, w.GatherOSPF() }); err != nil {
-					return err
-				}
-				changed, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) { return w.ApplyOSPF() })
-				if err != nil {
-					return err
-				}
-				c.cpRounds++
-				if !changed {
-					return nil
-				}
-			}
+			})
 		})
 		if err != nil {
 			return err
@@ -673,6 +712,20 @@ func (c *Controller) runControlPlane() error {
 	c.shards = shards
 
 	err := c.timer.Time("cp-bgp", func() error {
+		return c.stage("cp-bgp", c.runBGPShards)
+	})
+	if err != nil {
+		return err
+	}
+	c.cpDone = true
+	return nil
+}
+
+// runBGPShards is the body of the cp-bgp stage: the shard loop with
+// runtime dependency merges (§7).
+func (c *Controller) runBGPShards() error {
+	shards := c.shards
+	{
 		var globalPrefixes []route.Prefix
 		if len(shards) > 1 {
 			globalPrefixes = shard.CollectBGPPrefixes(c.snap)
@@ -716,21 +769,18 @@ func (c *Controller) runControlPlane() error {
 			}
 		}
 		return nil
-	})
-	if err != nil {
-		return err
 	}
-	c.cpDone = true
-	return nil
 }
 
 // runShard executes one full shard round (reset, fixed point, harvest) and
 // returns the workers' condition reports.
-func (c *Controller) runShard(i int, sh *shard.Shard) ([]sidecar.ConditionReport, error) {
+func (c *Controller) runShard(i int, sh *shard.Shard) (reports []sidecar.ConditionReport, err error) {
 	req := sidecar.BeginShardRequest{Index: i}
 	if sh != nil {
 		req.Prefixes = sh.Prefixes
 	}
+	endShard := c.startSpan("shard", obs.Int("shard", i), obs.Int("prefixes", len(req.Prefixes)))
+	defer endShard()
 	if err := c.each(func(_ int, w sidecar.WorkerAPI) error { return w.BeginShard(req) }); err != nil {
 		return nil, err
 	}
@@ -738,10 +788,14 @@ func (c *Controller) runShard(i int, sh *shard.Shard) ([]sidecar.ConditionReport
 		if round > c.opts.maxRounds() {
 			return nil, fmt.Errorf("core: BGP shard %d did not converge in %d rounds (the network may oscillate, §7)", i, c.opts.maxRounds())
 		}
+		endRound := c.startSpan("round", obs.Int("round", round))
 		if _, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) { return false, w.GatherBGP() }); err != nil {
+			endRound()
 			return nil, err
 		}
-		changed, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) { return w.ApplyBGP() })
+		changed, err := c.applyRound("bgp", i, round,
+			func(w sidecar.WorkerAPI) (sidecar.ApplyReply, error) { return w.ApplyBGP() })
+		endRound()
 		if err != nil {
 			return nil, err
 		}
@@ -751,7 +805,6 @@ func (c *Controller) runShard(i int, sh *shard.Shard) ([]sidecar.ConditionReport
 		}
 	}
 	var mu sync.Mutex
-	var reports []sidecar.ConditionReport
 	if _, err := c.eachPhase("cp", func(_ int, w sidecar.WorkerAPI) (bool, error) {
 		reply, err := w.EndShard()
 		if err != nil {
@@ -828,17 +881,19 @@ func (c *Controller) computeDataPlane() ([]string, error) {
 	var mu sync.Mutex
 	var warnings []string
 	err := c.timer.Time("dp-compute", func() error {
-		_, err := c.eachPhase("dp-compute", func(_ int, w sidecar.WorkerAPI) (bool, error) {
-			reply, err := w.ComputeDP()
-			if err != nil {
-				return false, err
-			}
-			mu.Lock()
-			warnings = append(warnings, reply.Errors...)
-			mu.Unlock()
-			return false, nil
+		return c.stage("dp-compute", func() error {
+			_, err := c.eachPhase("dp-compute", func(_ int, w sidecar.WorkerAPI) (bool, error) {
+				reply, err := w.ComputeDP()
+				if err != nil {
+					return false, err
+				}
+				mu.Lock()
+				warnings = append(warnings, reply.Errors...)
+				mu.Unlock()
+				return false, nil
+			})
+			return err
 		})
-		return err
 	})
 	if err != nil {
 		return nil, err
@@ -909,6 +964,18 @@ func (c *Controller) runQuery(q *dataplane.Query, constrainSrc bool) (*dataplane
 	}
 	col := dataplane.NewCollector(c.engine, q)
 	err := c.timer.Time("dp-forward", func() error {
+		return c.stage("dp-forward", func() error { return c.forwardQuery(q, sources, constrainSrc, col) })
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// forwardQuery is the body of the dp-forward stage: inject at every source,
+// run wavefront rounds to quiescence, then aggregate outcomes.
+func (c *Controller) forwardQuery(q *dataplane.Query, sources []string, constrainSrc bool, col *dataplane.Collector) error {
+	{
 		if err := c.each(func(_ int, w sidecar.WorkerAPI) error {
 			return w.BeginQuery(sidecar.QueryRequest{Query: *q})
 		}); err != nil {
@@ -952,11 +1019,17 @@ func (c *Controller) runQuery(q *dataplane.Query, constrainSrc bool) (*dataplane
 		}
 
 		for hop := 0; hop <= q.EffectiveMaxHops(); hop++ {
+			endHop := c.startSpan("hop", obs.Int("hop", hop))
 			if _, err := c.eachPhase("dp-forward", func(_ int, w sidecar.WorkerAPI) (bool, error) { return false, w.DPRound() }); err != nil {
+				endHop()
 				return err
 			}
 			c.dpRounds++
+			c.pmu.Lock()
+			c.prog.Round = hop
+			c.pmu.Unlock()
 			busy, err := c.eachChanged(func(w sidecar.WorkerAPI) (bool, error) { return w.HasWork() })
+			endHop()
 			if err != nil {
 				return err
 			}
@@ -991,11 +1064,7 @@ func (c *Controller) runQuery(q *dataplane.Query, constrainSrc bool) (*dataplane
 			}
 		}
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return col, nil
 }
 
 // prefixSetMatch ORs prefix cubes at the given field offset.

@@ -158,7 +158,7 @@ type killSwitch struct {
 	kill    func()
 }
 
-func (k *killSwitch) ApplyBGP() (bool, error) {
+func (k *killSwitch) ApplyBGP() (sidecar.ApplyReply, error) {
 	k.mu.Lock()
 	k.applies++
 	fire := k.applies == k.nth
@@ -383,7 +383,7 @@ func (h *hungWorker) Ping() error {
 	return h.WorkerAPI.Ping()
 }
 
-func (h *hungWorker) ApplyBGP() (bool, error) {
+func (h *hungWorker) ApplyBGP() (sidecar.ApplyReply, error) {
 	h.mu.Lock()
 	h.applies++
 	if h.applies == 2 {

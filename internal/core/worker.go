@@ -101,6 +101,10 @@ type Worker struct {
 	statsPulls   int64
 	statsPackets int64
 	lastGCNodes  int
+
+	// obs is the worker's observability handle (see observability.go).
+	// Infrastructure, not run state: Setup's full reset leaves it alone.
+	obs *workerObs
 }
 
 // spillPayload is one shard round's on-disk result: the shard's prefix
@@ -232,6 +236,7 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 		}
 		w.adjIndex[dev] = m
 	}
+	w.obsSetupDone()
 	return nil
 }
 
@@ -308,6 +313,7 @@ func (w *Worker) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*
 func (w *Worker) BeginShard(req sidecar.BeginShardRequest) error {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
+	w.obsBeginShard(req.Index, len(req.Prefixes))
 	w.shardIndex = req.Index
 	w.shardPrefixes = req.Prefixes
 	var filter bgp.PrefixFilter
@@ -338,6 +344,9 @@ func (w *Worker) BeginShard(req sidecar.BeginShardRequest) error {
 func (w *Worker) GatherBGP() error {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
+	span := w.obsWorkerSpan("gather-bgp")
+	defer span.End()
+	exchanged := 0
 	pending := map[string]map[string][]bgp.Advertisement{}
 	for _, name := range w.localNames {
 		proc, ok := w.bgpProcs[name]
@@ -362,18 +371,23 @@ func (w *Worker) GatherBGP() error {
 				pending[name] = map[string][]bgp.Advertisement{}
 			}
 			pending[name][nb] = advs
+			exchanged += len(advs)
 		}
 	}
 	w.pendingBGP = pending
+	w.obsRoutesExchanged("bgp", exchanged)
 	return nil
 }
 
 // ApplyBGP implements sidecar.WorkerAPI: phase 2 — apply the gathered
-// imports and rerun decisions. Returns whether any local node changed.
-func (w *Worker) ApplyBGP() (bool, error) {
+// imports and rerun decisions. The reply carries per-iteration progress:
+// how many local nodes changed and how many Loc-RIB routes are settled.
+func (w *Worker) ApplyBGP() (sidecar.ApplyReply, error) {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
-	changed := false
+	span := w.obsWorkerSpan("apply-bgp")
+	defer span.End()
+	var reply sidecar.ApplyReply
 	for _, name := range w.localNames {
 		proc, ok := w.bgpProcs[name]
 		if !ok {
@@ -387,21 +401,26 @@ func (w *Worker) ApplyBGP() (bool, error) {
 		if w.needsRun[name] {
 			w.needsRun[name] = false
 			if proc.RunDecision() {
-				changed = true
+				reply.Changed = true
+				reply.ChangedNodes++
 			}
 		}
+		reply.Routes += proc.LocRIB().RouteCount()
 	}
 	w.pendingBGP = nil
 	if err := w.tracker.CheckBudget(); err != nil {
-		return changed, err
+		return reply, err
 	}
-	return changed, nil
+	return reply, nil
 }
 
 // GatherOSPF implements sidecar.WorkerAPI (phase 1 for LSA flooding).
 func (w *Worker) GatherOSPF() error {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
+	span := w.obsWorkerSpan("gather-ospf")
+	defer span.End()
+	exchanged := 0
 	pending := map[string][]*ospf.LSA{}
 	for _, name := range w.localNames {
 		proc, ok := w.ospfProcs[name]
@@ -423,37 +442,47 @@ func (w *Worker) GatherOSPF() error {
 			}
 			st.Version, st.Seen = ver, true
 			pending[name] = append(pending[name], lsas...)
+			exchanged += len(lsas)
 		}
 	}
 	w.pendingLSAs = pending
+	w.obsRoutesExchanged("ospf", exchanged)
 	return nil
 }
 
 // ApplyOSPF implements sidecar.WorkerAPI (phase 2 for LSA merge + SPF).
-func (w *Worker) ApplyOSPF() (bool, error) {
+func (w *Worker) ApplyOSPF() (sidecar.ApplyReply, error) {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
-	changed := false
+	span := w.obsWorkerSpan("apply-ospf")
+	defer span.End()
+	var reply sidecar.ApplyReply
 	for _, name := range w.localNames {
 		proc, ok := w.ospfProcs[name]
 		if !ok {
 			continue
 		}
+		nodeChanged := false
 		merged := proc.MergeLSAs(w.pendingLSAs[name])
 		if merged || proc.Routes().Len() == 0 {
 			if proc.RunSPF() {
-				changed = true
+				nodeChanged = true
 			}
 		}
 		if merged {
-			changed = true
+			nodeChanged = true
 		}
+		if nodeChanged {
+			reply.Changed = true
+			reply.ChangedNodes++
+		}
+		reply.Routes += proc.Routes().RouteCount()
 	}
 	w.pendingLSAs = nil
 	if err := w.tracker.CheckBudget(); err != nil {
-		return changed, err
+		return reply, err
 	}
-	return changed, nil
+	return reply, nil
 }
 
 // liteRoute strips heavyweight path attributes, keeping only what FIB
@@ -474,6 +503,11 @@ func liteRoute(r *route.Route) *route.Route {
 func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
+	span := w.obsWorkerSpan("end-shard")
+	defer func() {
+		span.End()
+		w.obsEndShard()
+	}()
 	reply := sidecar.EndShardReply{}
 	// Drop any previously harvested results for this shard's prefixes: a
 	// merged-shard recompute must replace them wholesale, including
@@ -540,6 +574,9 @@ func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
 			os.Remove(path)
 			return reply, fmt.Errorf("core: worker %d spilling shard %d: %w", w.id, w.shardIndex, err)
 		}
+		if st, err := os.Stat(path); err == nil {
+			w.obsSpill(st.Size())
+		}
 		w.spills = append(w.spills, path)
 	} else {
 		var bytes int64
@@ -557,6 +594,8 @@ func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
 func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
+	span := w.obsWorkerSpan("compute-dp")
+	defer span.End()
 	reply := sidecar.ComputeDPReply{}
 	// Reload spilled shard results in write order: each file first clears
 	// its shard's prefixes so a merged-shard recompute supersedes earlier
@@ -625,6 +664,7 @@ func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
 	}
 	w.tracker.Set("fib.compiled", fibBytes)
 	reply.BDDNodes = w.engine.NodeCount()
+	w.obsBDD(reply.BDDNodes, false)
 	return reply, w.tracker.CheckBudget()
 }
 
@@ -881,6 +921,7 @@ func (w *Worker) gcWithExtraRoots(extra func(add func(bdd.Ref))) func(bdd.Ref) b
 		w.outcomes[i].Packet = remap(w.outcomes[i].Packet)
 	}
 	w.lastGCNodes = w.engine.NodeCount()
+	w.obsBDD(w.lastGCNodes, true)
 	return remap
 }
 

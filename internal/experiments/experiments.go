@@ -24,6 +24,7 @@ import (
 	"s2/internal/config"
 	"s2/internal/core"
 	"s2/internal/metrics"
+	"s2/internal/obs"
 	"s2/internal/partition"
 	"s2/internal/synth"
 )
@@ -125,6 +126,11 @@ type Row struct {
 
 	// PeakBytes is the highest per-worker modelled peak.
 	PeakBytes int64
+
+	// Telemetry is the run's metrics snapshot (RPC counts and latencies,
+	// convergence iterations, routes exchanged, modelled memory) keyed by
+	// Prometheus series name. S2 rows only; surfaced by s2bench -json.
+	Telemetry map[string]float64 `json:",omitempty"`
 }
 
 // Status renders the row's outcome.
@@ -199,14 +205,15 @@ type s2Params struct {
 	seed    int64
 }
 
-func runS2(texts map[string]string, p s2Params) Row {
-	row := Row{System: fmt.Sprintf("s2-%dw", p.workers)}
+func runS2(texts map[string]string, p s2Params) (row Row) {
+	row = Row{System: fmt.Sprintf("s2-%dw", p.workers)}
 	snap, err := parse(texts)
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
 	row.Switches = len(snap.Devices)
+	reg := obs.NewRegistry()
 	ctrl, err := core.NewController(snap, texts, core.Options{
 		Workers:      p.workers,
 		Scheme:       p.scheme,
@@ -215,11 +222,13 @@ func runS2(texts map[string]string, p s2Params) Row {
 		MemoryBudget: p.budget,
 		LoadOf:       p.loadOf,
 		Sequential:   true,
+		Metrics:      reg,
 	})
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
+	defer func() { row.Telemetry = reg.Snapshot() }()
 	if err := ctrl.RunControlPlane(); err != nil {
 		return finishErr(row, err)
 	}
@@ -247,14 +256,15 @@ func runS2(texts map[string]string, p s2Params) Row {
 }
 
 // runS2CP runs only the control plane (for CP-focused figures).
-func runS2CP(texts map[string]string, p s2Params) Row {
-	row := Row{System: fmt.Sprintf("s2-%dw", p.workers)}
+func runS2CP(texts map[string]string, p s2Params) (row Row) {
+	row = Row{System: fmt.Sprintf("s2-%dw", p.workers)}
 	snap, err := parse(texts)
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
 	row.Switches = len(snap.Devices)
+	reg := obs.NewRegistry()
 	ctrl, err := core.NewController(snap, texts, core.Options{
 		Workers:      p.workers,
 		Scheme:       p.scheme,
@@ -264,11 +274,13 @@ func runS2CP(texts map[string]string, p s2Params) Row {
 		LoadOf:       p.loadOf,
 		KeepRIBs:     true,
 		Sequential:   true,
+		Metrics:      reg,
 	})
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
+	defer func() { row.Telemetry = reg.Snapshot() }()
 	if err := ctrl.RunControlPlane(); err != nil {
 		return finishErr(row, err)
 	}

@@ -304,14 +304,14 @@ func TestDetectorStartStop(t *testing.T) {
 // nullWorker is a minimal WorkerAPI for Injector tests.
 type nullWorker struct{ pings, gathers int }
 
-func (n *nullWorker) Ping() error                            { n.pings++; return nil }
-func (n *nullWorker) Setup(sidecar.SetupRequest) error       { return nil }
+func (n *nullWorker) Ping() error                                { n.pings++; return nil }
+func (n *nullWorker) Setup(sidecar.SetupRequest) error           { return nil }
 func (n *nullWorker) BeginShard(sidecar.BeginShardRequest) error { return nil }
-func (n *nullWorker) GatherBGP() error                       { n.gathers++; return nil }
-func (n *nullWorker) ApplyBGP() (bool, error)                { return false, nil }
-func (n *nullWorker) GatherOSPF() error                      { return nil }
-func (n *nullWorker) ApplyOSPF() (bool, error)               { return false, nil }
-func (n *nullWorker) EndShard() (sidecar.EndShardReply, error) { return sidecar.EndShardReply{}, nil }
+func (n *nullWorker) GatherBGP() error                           { n.gathers++; return nil }
+func (n *nullWorker) ApplyBGP() (sidecar.ApplyReply, error)      { return sidecar.ApplyReply{}, nil }
+func (n *nullWorker) GatherOSPF() error                          { return nil }
+func (n *nullWorker) ApplyOSPF() (sidecar.ApplyReply, error)     { return sidecar.ApplyReply{}, nil }
+func (n *nullWorker) EndShard() (sidecar.EndShardReply, error)   { return sidecar.EndShardReply{}, nil }
 func (n *nullWorker) PullBGP(string, string, uint64, bool) ([]bgp.Advertisement, uint64, bool, error) {
 	return nil, 0, false, nil
 }
@@ -321,12 +321,12 @@ func (n *nullWorker) PullLSAs(string, string, uint64, bool) ([]*ospf.LSA, uint64
 func (n *nullWorker) ComputeDP() (sidecar.ComputeDPReply, error) {
 	return sidecar.ComputeDPReply{}, nil
 }
-func (n *nullWorker) BeginQuery(sidecar.QueryRequest) error { return nil }
-func (n *nullWorker) Inject(sidecar.InjectRequest) error    { return nil }
-func (n *nullWorker) DPRound() error                        { return nil }
-func (n *nullWorker) HasWork() (bool, error)                { return false, nil }
-func (n *nullWorker) DeliverPackets([]sidecar.PacketDelivery) error { return nil }
-func (n *nullWorker) FinishQuery() ([]dataplane.RawOutcome, error)  { return nil, nil }
+func (n *nullWorker) BeginQuery(sidecar.QueryRequest) error           { return nil }
+func (n *nullWorker) Inject(sidecar.InjectRequest) error              { return nil }
+func (n *nullWorker) DPRound() error                                  { return nil }
+func (n *nullWorker) HasWork() (bool, error)                          { return false, nil }
+func (n *nullWorker) DeliverPackets([]sidecar.PacketDelivery) error   { return nil }
+func (n *nullWorker) FinishQuery() ([]dataplane.RawOutcome, error)    { return nil, nil }
 func (n *nullWorker) CollectRIBs() (map[string][]*route.Route, error) { return nil, nil }
 func (n *nullWorker) Stats() (sidecar.WorkerStats, error) {
 	return sidecar.WorkerStats{}, nil

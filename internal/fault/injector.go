@@ -152,9 +152,9 @@ func (j *Injector) GatherBGP() error {
 	return j.inner.GatherBGP()
 }
 
-func (j *Injector) ApplyBGP() (bool, error) {
+func (j *Injector) ApplyBGP() (sidecar.ApplyReply, error) {
 	if err := j.before("ApplyBGP"); err != nil {
-		return false, err
+		return sidecar.ApplyReply{}, err
 	}
 	return j.inner.ApplyBGP()
 }
@@ -166,9 +166,9 @@ func (j *Injector) GatherOSPF() error {
 	return j.inner.GatherOSPF()
 }
 
-func (j *Injector) ApplyOSPF() (bool, error) {
+func (j *Injector) ApplyOSPF() (sidecar.ApplyReply, error) {
 	if err := j.before("ApplyOSPF"); err != nil {
-		return false, err
+		return sidecar.ApplyReply{}, err
 	}
 	return j.inner.ApplyOSPF()
 }

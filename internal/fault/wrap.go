@@ -38,28 +38,28 @@ func (w *wrapped) GatherBGP() error {
 	return w.c.Do("GatherBGP", false, w.api.GatherBGP)
 }
 
-func (w *wrapped) ApplyBGP() (bool, error) {
-	var changed bool
+func (w *wrapped) ApplyBGP() (sidecar.ApplyReply, error) {
+	var reply sidecar.ApplyReply
 	err := w.c.Do("ApplyBGP", false, func() error {
 		var err error
-		changed, err = w.api.ApplyBGP()
+		reply, err = w.api.ApplyBGP()
 		return err
 	})
-	return changed, err
+	return reply, err
 }
 
 func (w *wrapped) GatherOSPF() error {
 	return w.c.Do("GatherOSPF", false, w.api.GatherOSPF)
 }
 
-func (w *wrapped) ApplyOSPF() (bool, error) {
-	var changed bool
+func (w *wrapped) ApplyOSPF() (sidecar.ApplyReply, error) {
+	var reply sidecar.ApplyReply
 	err := w.c.Do("ApplyOSPF", false, func() error {
 		var err error
-		changed, err = w.api.ApplyOSPF()
+		reply, err = w.api.ApplyOSPF()
 		return err
 	})
-	return changed, err
+	return reply, err
 }
 
 func (w *wrapped) EndShard() (sidecar.EndShardReply, error) {

@@ -9,6 +9,7 @@ package metrics
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -96,9 +97,13 @@ func (t *Tracker) CheckBudget() error {
 	return nil
 }
 
-// Reset zeroes all gauges and current usage but preserves the peak, matching
-// how freeing a shard's routes lowers live usage without erasing the
-// observed maximum.
+// Reset zeroes all gauges and current usage but PRESERVES the peak: the
+// high-water mark is the run-level statistic the paper reports (§5.2), and
+// freeing a shard's routes between rounds lowers live usage without erasing
+// the observed maximum. The contract: after Reset, Current() == 0 and every
+// gauge reads 0, while Peak() keeps its pre-Reset value; subsequent Set/Add
+// raise the peak only when the new current usage exceeds that prior
+// high-water mark.
 func (t *Tracker) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -123,9 +128,18 @@ func (t *Tracker) Snapshot() string {
 	return b.String()
 }
 
-// FormatBytes renders a byte count with a binary unit suffix.
+// FormatBytes renders a byte count with a binary unit suffix. Negative
+// counts (deltas, e.g. memory freed between snapshots) format as the
+// negated positive rendering: FormatBytes(-2048) == "-2.0KiB".
 func FormatBytes(n int64) string {
 	const unit = 1024
+	if n < 0 {
+		if n == math.MinInt64 {
+			// -n overflows; one byte of slack is invisible at 8 EiB.
+			n++
+		}
+		return "-" + FormatBytes(-n)
+	}
 	if n < unit {
 		return fmt.Sprintf("%dB", n)
 	}
@@ -217,22 +231,26 @@ type PhaseTimer struct {
 	phases []Phase
 }
 
-// Phase is one timed span.
+// Phase is one timed span. Start is the wall-clock begin time, recorded so
+// trace exports can order phases and detect overlap between concurrently
+// timed phases; Phases() still reports completion order.
 type Phase struct {
 	Name     string
+	Start    time.Time
 	Duration time.Duration
 }
 
 // NewPhaseTimer returns an empty timer.
 func NewPhaseTimer() *PhaseTimer { return &PhaseTimer{} }
 
-// Time runs fn and records its duration under name. The error from fn is
-// returned unchanged.
+// Time runs fn and records its start timestamp and duration under name.
+// Safe for concurrent use: overlapping Time calls append independent
+// records (ordered by completion) without corrupting each other.
 func (pt *PhaseTimer) Time(name string, fn func() error) error {
 	start := time.Now()
 	err := fn()
 	pt.mu.Lock()
-	pt.phases = append(pt.phases, Phase{Name: name, Duration: time.Since(start)})
+	pt.phases = append(pt.phases, Phase{Name: name, Start: start, Duration: time.Since(start)})
 	pt.mu.Unlock()
 	return err
 }

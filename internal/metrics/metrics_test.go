@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -66,6 +68,16 @@ func TestTrackerResetPreservesPeak(t *testing.T) {
 	if tr.Current() != 10 {
 		t.Fatal("gauges usable after Reset")
 	}
+	// Post-Reset additions below the prior high-water mark must not lower
+	// the recorded peak — the peak is a run-level maximum, not a per-round
+	// one.
+	if tr.Peak() != 500 {
+		t.Fatalf("Reset-then-Add peak = %d, want prior peak 500", tr.Peak())
+	}
+	tr.Set("rib", 900)
+	if tr.Peak() != 900 {
+		t.Fatalf("peak must still rise past the prior maximum: %d", tr.Peak())
+	}
 }
 
 func TestTrackerConcurrent(t *testing.T) {
@@ -98,18 +110,37 @@ func TestSnapshotFormat(t *testing.T) {
 }
 
 func TestFormatBytes(t *testing.T) {
-	cases := map[int64]string{
-		0:       "0B",
-		512:     "512B",
-		1024:    "1.0KiB",
-		1536:    "1.5KiB",
-		1 << 20: "1.0MiB",
-		3 << 30: "3.0GiB",
-		5 << 40: "5.0TiB",
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{1, "1B"},
+		{512, "512B"},
+		{1023, "1023B"},
+		// Exact unit boundaries.
+		{1024, "1.0KiB"},
+		{1 << 20, "1.0MiB"},
+		{1 << 30, "1.0GiB"},
+		{1 << 40, "1.0TiB"},
+		{1 << 50, "1.0PiB"},
+		{1 << 60, "1.0EiB"},
+		{1536, "1.5KiB"},
+		{3 << 30, "3.0GiB"},
+		{5 << 40, "5.0TiB"},
+		// Negative deltas mirror the positive rendering.
+		{-1, "-1B"},
+		{-512, "-512B"},
+		{-1024, "-1.0KiB"},
+		{-2048, "-2.0KiB"},
+		{-(3 << 30), "-3.0GiB"},
+		{math.MinInt64 + 1, "-8.0EiB"},
+		{math.MinInt64, "-8.0EiB"},
+		{math.MaxInt64, "8.0EiB"},
 	}
-	for in, want := range cases {
-		if got := FormatBytes(in); got != want {
-			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+	for _, tc := range cases {
+		if got := FormatBytes(tc.in); got != tc.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tc.in, got, tc.want)
 		}
 	}
 }
@@ -200,5 +231,58 @@ func TestPhaseTimer(t *testing.T) {
 	pt.Time("cp", func() error { time.Sleep(time.Millisecond); return nil })
 	if pt.Get("cp") < 2*time.Millisecond {
 		t.Fatal("repeated phases should accumulate")
+	}
+}
+
+func TestPhaseTimerRecordsStart(t *testing.T) {
+	pt := NewPhaseTimer()
+	before := time.Now()
+	pt.Time("cp", func() error { time.Sleep(time.Millisecond); return nil })
+	pt.Time("dp", func() error { return nil })
+	after := time.Now()
+	phases := pt.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	for _, p := range phases {
+		if p.Start.Before(before) || p.Start.After(after) {
+			t.Errorf("phase %q start %v outside [%v, %v]", p.Name, p.Start, before, after)
+		}
+	}
+	// Start ordering reflects real execution order even though Phases()
+	// appends in completion order.
+	if phases[1].Start.Before(phases[0].Start) {
+		t.Errorf("dp started before cp: %v < %v", phases[1].Start, phases[0].Start)
+	}
+	if end := phases[0].Start.Add(phases[0].Duration); end.After(after.Add(time.Millisecond)) {
+		t.Errorf("cp end %v past test end %v", end, after)
+	}
+}
+
+func TestPhaseTimerConcurrent(t *testing.T) {
+	pt := NewPhaseTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			pt.Time(fmt.Sprintf("p%d", n%4), func() error {
+				time.Sleep(time.Duration(n%3) * time.Millisecond)
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	phases := pt.Phases()
+	if len(phases) != 16 {
+		t.Fatalf("concurrent Time lost records: %d", len(phases))
+	}
+	for _, p := range phases {
+		if p.Start.IsZero() || p.Duration < 0 {
+			t.Errorf("corrupt record: %+v", p)
+		}
+	}
+	if pt.Total() <= 0 {
+		t.Fatal("total")
 	}
 }

@@ -1,0 +1,392 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds typed metric families and renders them in Prometheus text
+// exposition format. A nil *Registry hands out nil metrics whose methods
+// are all no-ops, so instrumentation sites never branch on "is obs on".
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with a fixed label-name set and one child per
+// label-value combination.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+// child is one labeled series: either an accumulated value, a callback
+// sampled at scrape time, or histogram state.
+type child struct {
+	labelValues []string
+	value       float64
+	fn          func() float64
+	counts      []uint64 // per bucket (histograms)
+	sum         float64
+	count       uint64
+}
+
+func (f *family) child(labelValues []string) *child {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labelValues: append([]string(nil), labelValues...)}
+		if f.kind == kindHistogram {
+			c.counts = make([]uint64, len(f.buckets)+1)
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// register creates or fetches a family, enforcing consistent redefinition.
+func (r *Registry) register(name, help string, kind metricKind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s redefined with different type or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*child),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter is a monotonically increasing metric family.
+type Counter struct{ f *family }
+
+// Counter registers (or fetches) a counter family with the given label
+// names. On a nil registry it returns a nil no-op counter.
+func (r *Registry) Counter(name, help string, labelNames ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{f: r.register(name, help, kindCounter, nil, labelNames)}
+}
+
+// Inc adds 1 to the series identified by labelValues.
+func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Add adds delta (must be ≥ 0) to the series identified by labelValues.
+func (c *Counter) Add(delta float64, labelValues ...string) {
+	if c == nil || delta < 0 {
+		return
+	}
+	ch := c.f.child(labelValues)
+	c.f.mu.Lock()
+	ch.value += delta
+	c.f.mu.Unlock()
+}
+
+// SetFunc samples the series from fn at scrape time (for monotonic sources
+// accounted elsewhere, e.g. transport byte counters).
+func (c *Counter) SetFunc(fn func() float64, labelValues ...string) {
+	if c == nil {
+		return
+	}
+	ch := c.f.child(labelValues)
+	c.f.mu.Lock()
+	ch.fn = fn
+	c.f.mu.Unlock()
+}
+
+// Get returns the series' current value (sampling fn-backed series).
+func (c *Counter) Get(labelValues ...string) float64 {
+	if c == nil {
+		return 0
+	}
+	return c.f.read(c.f.child(labelValues))
+}
+
+// Gauge is a set-to-current-value metric family.
+type Gauge struct{ f *family }
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{f: r.register(name, help, kindGauge, nil, labelNames)}
+}
+
+// Set assigns the series' value.
+func (g *Gauge) Set(v float64, labelValues ...string) {
+	if g == nil {
+		return
+	}
+	ch := g.f.child(labelValues)
+	g.f.mu.Lock()
+	ch.value = v
+	g.f.mu.Unlock()
+}
+
+// Add adjusts the series' value.
+func (g *Gauge) Add(delta float64, labelValues ...string) {
+	if g == nil {
+		return
+	}
+	ch := g.f.child(labelValues)
+	g.f.mu.Lock()
+	ch.value += delta
+	g.f.mu.Unlock()
+}
+
+// SetFunc samples the series from fn at scrape time — the bridge that
+// exposes modelled memory from metrics.Tracker without copying.
+func (g *Gauge) SetFunc(fn func() float64, labelValues ...string) {
+	if g == nil {
+		return
+	}
+	ch := g.f.child(labelValues)
+	g.f.mu.Lock()
+	ch.fn = fn
+	g.f.mu.Unlock()
+}
+
+// Get returns the series' current value (sampling fn-backed series).
+func (g *Gauge) Get(labelValues ...string) float64 {
+	if g == nil {
+		return 0
+	}
+	return g.f.read(g.f.child(labelValues))
+}
+
+// DefLatencyBuckets are the default histogram buckets for RPC latency in
+// seconds: 100µs .. ~100s in ×4 steps.
+var DefLatencyBuckets = []float64{0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536, 26.2144}
+
+// Histogram is a cumulative-bucket distribution family.
+type Histogram struct{ f *family }
+
+// Histogram registers (or fetches) a histogram family. nil buckets use
+// DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	return &Histogram{f: r.register(name, help, kindHistogram, buckets, labelNames)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	if h == nil {
+		return
+	}
+	ch := h.f.child(labelValues)
+	h.f.mu.Lock()
+	for i, ub := range h.f.buckets {
+		if v <= ub {
+			ch.counts[i]++
+		}
+	}
+	ch.counts[len(h.f.buckets)]++ // +Inf
+	ch.sum += v
+	ch.count++
+	h.f.mu.Unlock()
+}
+
+// Count returns the series' sample count.
+func (h *Histogram) Count(labelValues ...string) uint64 {
+	if h == nil {
+		return 0
+	}
+	ch := h.f.child(labelValues)
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	return ch.count
+}
+
+// read samples one child under the family lock.
+func (f *family) read(c *child) float64 {
+	f.mu.Lock()
+	fn := c.fn
+	v := c.value
+	f.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return v
+}
+
+// labelString renders {a="x",b="y"} (with extras appended) or "".
+func labelString(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format, families and series sorted for deterministic scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var lines []string
+		for _, k := range keys {
+			c := f.children[k]
+			switch f.kind {
+			case kindHistogram:
+				// Observe already makes bucket counts cumulative.
+				for i, ub := range f.buckets {
+					lines = append(lines, fmt.Sprintf("%s_bucket%s %d", f.name,
+						labelString(f.labels, c.labelValues, "le", formatValue(ub)), c.counts[i]))
+				}
+				lines = append(lines, fmt.Sprintf("%s_bucket%s %d", f.name,
+					labelString(f.labels, c.labelValues, "le", "+Inf"), c.counts[len(f.buckets)]))
+				lines = append(lines, fmt.Sprintf("%s_sum%s %s", f.name,
+					labelString(f.labels, c.labelValues), formatValue(c.sum)))
+				lines = append(lines, fmt.Sprintf("%s_count%s %d", f.name,
+					labelString(f.labels, c.labelValues), c.count))
+			default:
+				v := c.value
+				if c.fn != nil {
+					v = c.fn()
+				}
+				lines = append(lines, fmt.Sprintf("%s%s %s", f.name,
+					labelString(f.labels, c.labelValues), formatValue(v)))
+			}
+		}
+		f.mu.Unlock()
+		for _, l := range lines {
+			if _, err := fmt.Fprintln(w, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every counter and gauge series as name{labels} → value
+// (histograms contribute _count and _sum entries). The benchmark harness
+// embeds this in its JSON output.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	out := map[string]float64{}
+	for _, f := range fams {
+		f.mu.Lock()
+		for _, c := range f.children {
+			ls := labelString(f.labels, c.labelValues)
+			switch f.kind {
+			case kindHistogram:
+				out[f.name+"_count"+ls] = float64(c.count)
+				out[f.name+"_sum"+ls] = c.sum
+			default:
+				v := c.value
+				if c.fn != nil {
+					v = c.fn()
+				}
+				out[f.name+ls] = v
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}

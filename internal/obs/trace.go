@@ -1,0 +1,191 @@
+// Package obs is S2's observability layer: a span-based tracer exportable
+// as Chrome trace_event JSON, a registry of typed Prometheus-text-format
+// metrics, and an HTTP introspection server (/metrics, /healthz, /progress,
+// pprof). Everything is nil-safe in the style of metrics.FaultCounters — a
+// nil *Tracer or *Registry turns every instrumentation site into a cheap
+// no-op, so the hot paths pay nothing when observability is off.
+//
+// The paper's evaluation (§5) attributes cost per phase, per worker, and
+// per RPC; this package defines the stable telemetry schema the benchmark
+// harness regresses against. See README "Observability" for metric names.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key=value span attribute (worker id, shard index, phase…).
+type Attr struct {
+	Key, Value string
+}
+
+// String builds an Attr from any stringable value.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer-valued Attr.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: fmt.Sprint(value)} }
+
+// Tracer records hierarchical spans. It is safe for concurrent use: the
+// controller and every in-process worker append spans to one shared tracer
+// so a whole distributed run lands in a single trace. A nil *Tracer is a
+// no-op sink.
+type Tracer struct {
+	mu    sync.Mutex
+	done  []*Span
+	start time.Time
+	next  atomic.Uint64
+}
+
+// NewTracer returns an empty tracer; its epoch is the creation time.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// Span is one timed operation. Spans form trees: children created with
+// Child nest under their parent in the exported trace. A nil *Span is a
+// no-op (returned by a nil Tracer and safe to End or re-parent from).
+type Span struct {
+	tracer  *Tracer
+	id      uint64
+	parent  uint64 // 0 = root
+	tid     uint64 // trace-viewer lane: the root span's id
+	pid     int    // trace-viewer process: worker id + 1, 0 = controller
+	name    string
+	start   time.Time
+	endTime time.Time // set under the tracer lock at End
+	attrs   []Attr
+	ended   atomic.Bool
+}
+
+// Start opens a root span. Use SetWorker to place the span on a worker's
+// timeline in the exported trace.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		tracer: t,
+		id:     t.next.Add(1),
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+	s.tid = s.id
+	return s
+}
+
+// Child opens a span nested under s. A nil receiver returns nil, so call
+// sites can chain through disabled tracing without checks.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tracer.Start(name, attrs...)
+	c.parent = s.id
+	c.tid = s.tid
+	c.pid = s.pid
+	return c
+}
+
+// SetWorker places the span (and its future children) on worker id's
+// process track in the exported trace.
+func (s *Span) SetWorker(id int) *Span {
+	if s != nil {
+		s.pid = id + 1
+	}
+	return s
+}
+
+// SetAttr appends an attribute after creation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and commits it to the tracer. Idempotent; ending a
+// nil span is a no-op.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	end := time.Now()
+	s.tracer.mu.Lock()
+	s.endTime = end
+	s.tracer.done = append(s.tracer.done, s)
+	s.tracer.mu.Unlock()
+}
+
+// TraceEvent is one Chrome trace_event entry ("X" complete event). The
+// format is the catapult trace-viewer JSON array; load the exported file at
+// chrome://tracing or https://ui.perfetto.dev.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`  // µs since trace epoch
+	Dur  int64             `json:"dur"` // µs
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the outer trace_event JSON object.
+type traceFile struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+	Meta        string       `json:"otherData,omitempty"`
+}
+
+// Events returns the completed spans as Chrome trace events, ordered by
+// start time. Span ids and parent ids ride in args ("span", "parent") so
+// consumers can rebuild the tree exactly instead of inferring nesting from
+// timestamps.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.done...)
+	epoch := t.start
+	t.mu.Unlock()
+	events := make([]TraceEvent, 0, len(spans))
+	for _, s := range spans {
+		args := map[string]string{"span": fmt.Sprint(s.id)}
+		if s.parent != 0 {
+			args["parent"] = fmt.Sprint(s.parent)
+		}
+		for _, a := range s.attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, TraceEvent{
+			Name: s.name,
+			Ph:   "X",
+			TS:   s.start.Sub(epoch).Microseconds(),
+			Dur:  s.endTime.Sub(s.start).Microseconds(),
+			PID:  s.pid,
+			TID:  s.tid,
+			Args: args,
+		})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].Args["span"] < events[j].Args["span"]
+	})
+	return events
+}
+
+// WriteChromeTrace serializes every completed span as Chrome trace_event
+// JSON. Writing a nil tracer emits an empty (still valid) trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: t.Events(), Meta: "s2 trace"})
+}

@@ -19,6 +19,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s2/internal/bgp"
@@ -94,9 +95,17 @@ type EndShardReply struct {
 	Conditions []ConditionReport
 }
 
-// ApplyReply reports whether any local node changed state this round.
+// ApplyReply reports whether any local node changed state this round, plus
+// the per-iteration progress the controller streams to its live run view:
+// how many local nodes changed and how many routes are settled in local
+// RIBs after the round (§5's convergence attribution).
 type ApplyReply struct {
 	Changed bool
+	// ChangedNodes counts local nodes whose state changed this round.
+	ChangedNodes int
+	// Routes counts routes currently installed across local per-protocol
+	// RIBs (BGP Loc-RIBs for ApplyBGP, OSPF route tables for ApplyOSPF).
+	Routes int
 }
 
 // PullBGPRequest relays a shadow node's route pull to the real node.
@@ -193,9 +202,9 @@ type WorkerAPI interface {
 	Setup(req SetupRequest) error
 	BeginShard(req BeginShardRequest) error
 	GatherBGP() error
-	ApplyBGP() (bool, error)
+	ApplyBGP() (ApplyReply, error)
 	GatherOSPF() error
-	ApplyOSPF() (bool, error)
+	ApplyOSPF() (ApplyReply, error)
 	EndShard() (EndShardReply, error)
 
 	PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error)
@@ -216,75 +225,89 @@ type WorkerAPI interface {
 // Empty is the placeholder for void RPC arguments/replies.
 type Empty struct{}
 
+// RPCHook observes one RPC: it is called with the method name when the
+// call begins and returns the completion func that commits the outcome.
+// obs.RPCInstrument builds one; the plain-func indirection keeps sidecar
+// free of a dependency on the obs package.
+type RPCHook func(method string) (done func(error))
+
 // Service adapts a WorkerAPI to net/rpc method conventions. It is
 // registered under the name "Sidecar". When attached to a Server, every
 // RPC passes through the server's drain gate so graceful shutdown can wait
-// for in-flight calls.
+// for in-flight calls, and through the server's RPC hook so the worker's
+// telemetry sees every served call.
 type Service struct {
 	api  WorkerAPI
 	gate *Server // optional
 }
 
-// NewService wraps a worker (no drain gate).
+// NewService wraps a worker (no drain gate, no hook).
 func NewService(api WorkerAPI) *Service { return &Service{api: api} }
 
-// do runs one RPC body under the drain gate (if any).
-func (s *Service) do(fn func() error) error {
-	if s.gate != nil {
-		if err := s.gate.enter(); err != nil {
-			return err
-		}
-		defer s.gate.exit()
+// do runs one RPC body under the drain gate and RPC hook (if any).
+func (s *Service) do(method string, fn func() error) error {
+	if s.gate == nil {
+		return fn()
+	}
+	if err := s.gate.enter(); err != nil {
+		return err
+	}
+	defer s.gate.exit()
+	if hook := s.gate.rpcHook(); hook != nil {
+		done := hook(method)
+		err := fn()
+		done(err)
+		return err
 	}
 	return fn()
 }
 
 // Ping RPC (liveness probe).
 func (s *Service) Ping(_ Empty, _ *Empty) error {
-	return s.do(func() error { return s.api.Ping() })
+	return s.do("Ping", func() error { return s.api.Ping() })
 }
 
 // Setup RPC.
 func (s *Service) Setup(req SetupRequest, _ *Empty) error {
-	return s.do(func() error { return s.api.Setup(req) })
+	return s.do("Setup", func() error { return s.api.Setup(req) })
 }
 
 // BeginShard RPC.
 func (s *Service) BeginShard(req BeginShardRequest, _ *Empty) error {
-	return s.do(func() error { return s.api.BeginShard(req) })
+	return s.do("BeginShard", func() error { return s.api.BeginShard(req) })
 }
 
 // GatherBGP RPC.
 func (s *Service) GatherBGP(_ Empty, _ *Empty) error {
-	return s.do(s.api.GatherBGP)
+	return s.do("GatherBGP", s.api.GatherBGP)
 }
 
 // ApplyBGP RPC.
 func (s *Service) ApplyBGP(_ Empty, reply *ApplyReply) error {
-	return s.do(func() error {
-		changed, err := s.api.ApplyBGP()
-		reply.Changed = changed
+	return s.do("ApplyBGP", func() error {
+		r, err := s.api.ApplyBGP()
+		*reply = r
 		return err
 	})
 }
 
 // GatherOSPF RPC.
 func (s *Service) GatherOSPF(_ Empty, _ *Empty) error {
-	return s.do(s.api.GatherOSPF)
+	return s.do("GatherOSPF", s.api.GatherOSPF)
 }
 
 // ApplyOSPF RPC.
 func (s *Service) ApplyOSPF(_ Empty, reply *ApplyReply) error {
-	return s.do(func() error {
-		changed, err := s.api.ApplyOSPF()
-		reply.Changed = changed
+	return s.do("ApplyOSPF", func() error {
+		r, err := s.api.ApplyOSPF()
+		*reply = r
 		return err
 	})
 }
 
 // EndShard RPC.
 func (s *Service) EndShard(_ Empty, reply *EndShardReply) error {
-	return s.do(func() error {
+	return s.do("EndShard", func() error {
 		r, err := s.api.EndShard()
 		*reply = r
 		return err
@@ -293,7 +316,7 @@ func (s *Service) EndShard(_ Empty, reply *EndShardReply) error {
 
 // PullBGP RPC.
 func (s *Service) PullBGP(req PullBGPRequest, reply *PullBGPReply) error {
-	return s.do(func() error {
+	return s.do("PullBGP", func() error {
 		advs, ver, fresh, err := s.api.PullBGP(req.Exporter, req.Puller, req.Since, req.Seen)
 		reply.Advs, reply.Version, reply.Fresh = advs, ver, fresh
 		return err
@@ -302,7 +325,7 @@ func (s *Service) PullBGP(req PullBGPRequest, reply *PullBGPReply) error {
 
 // PullLSAs RPC.
 func (s *Service) PullLSAs(req PullLSAsRequest, reply *PullLSAsReply) error {
-	return s.do(func() error {
+	return s.do("PullLSAs", func() error {
 		lsas, ver, fresh, err := s.api.PullLSAs(req.Exporter, req.Puller, req.Since, req.Seen)
 		reply.LSAs, reply.Version, reply.Fresh = lsas, ver, fresh
 		return err
@@ -311,7 +334,7 @@ func (s *Service) PullLSAs(req PullLSAsRequest, reply *PullLSAsReply) error {
 
 // ComputeDP RPC.
 func (s *Service) ComputeDP(_ Empty, reply *ComputeDPReply) error {
-	return s.do(func() error {
+	return s.do("ComputeDP", func() error {
 		r, err := s.api.ComputeDP()
 		*reply = r
 		return err
@@ -320,22 +343,22 @@ func (s *Service) ComputeDP(_ Empty, reply *ComputeDPReply) error {
 
 // BeginQuery RPC.
 func (s *Service) BeginQuery(req QueryRequest, _ *Empty) error {
-	return s.do(func() error { return s.api.BeginQuery(req) })
+	return s.do("BeginQuery", func() error { return s.api.BeginQuery(req) })
 }
 
 // Inject RPC.
 func (s *Service) Inject(req InjectRequest, _ *Empty) error {
-	return s.do(func() error { return s.api.Inject(req) })
+	return s.do("Inject", func() error { return s.api.Inject(req) })
 }
 
 // DPRound RPC.
 func (s *Service) DPRound(_ Empty, _ *Empty) error {
-	return s.do(s.api.DPRound)
+	return s.do("DPRound", s.api.DPRound)
 }
 
 // HasWork RPC.
 func (s *Service) HasWork(_ Empty, reply *HasWorkReply) error {
-	return s.do(func() error {
+	return s.do("HasWork", func() error {
 		busy, err := s.api.HasWork()
 		reply.Busy = busy
 		return err
@@ -344,12 +367,12 @@ func (s *Service) HasWork(_ Empty, reply *HasWorkReply) error {
 
 // DeliverPackets RPC.
 func (s *Service) DeliverPackets(items []PacketDelivery, _ *Empty) error {
-	return s.do(func() error { return s.api.DeliverPackets(items) })
+	return s.do("DeliverPackets", func() error { return s.api.DeliverPackets(items) })
 }
 
 // FinishQuery RPC.
 func (s *Service) FinishQuery(_ Empty, reply *OutcomesReply) error {
-	return s.do(func() error {
+	return s.do("FinishQuery", func() error {
 		out, err := s.api.FinishQuery()
 		reply.Outcomes = out
 		return err
@@ -358,7 +381,7 @@ func (s *Service) FinishQuery(_ Empty, reply *OutcomesReply) error {
 
 // CollectRIBs RPC.
 func (s *Service) CollectRIBs(_ Empty, reply *RIBsReply) error {
-	return s.do(func() error {
+	return s.do("CollectRIBs", func() error {
 		routes, err := s.api.CollectRIBs()
 		reply.Routes = routes
 		return err
@@ -367,7 +390,7 @@ func (s *Service) CollectRIBs(_ Empty, reply *RIBsReply) error {
 
 // Stats RPC.
 func (s *Service) Stats(_ Empty, reply *WorkerStats) error {
-	return s.do(func() error {
+	return s.do("Stats", func() error {
 		st, err := s.api.Stats()
 		*reply = st
 		return err
@@ -381,6 +404,9 @@ func (s *Service) Stats(_ Empty, reply *WorkerStats) error {
 type Server struct {
 	api WorkerAPI
 
+	hook    atomic.Value // RPCHook, set via SetRPCHook
+	in, out atomic.Int64 // transport bytes across all connections
+
 	mu       sync.Mutex
 	lis      net.Listener
 	conns    map[net.Conn]struct{}
@@ -392,6 +418,41 @@ type Server struct {
 // NewServer builds a server for one worker.
 func NewServer(api WorkerAPI) *Server {
 	return &Server{api: api, conns: make(map[net.Conn]struct{})}
+}
+
+// SetRPCHook installs the observer every served RPC passes through. Safe to
+// call while serving; nil clears it.
+func (s *Server) SetRPCHook(h RPCHook) { s.hook.Store(h) }
+
+func (s *Server) rpcHook() RPCHook {
+	h, _ := s.hook.Load().(RPCHook)
+	return h
+}
+
+// BytesRead reports transport bytes received across all connections.
+func (s *Server) BytesRead() int64 { return s.in.Load() }
+
+// BytesWritten reports transport bytes sent across all connections.
+func (s *Server) BytesWritten() int64 { return s.out.Load() }
+
+// countingConn tallies transport bytes into shared counters. It backs the
+// s2_rpc_bytes_total metric — net/rpc+gob gives no per-message sizes, so
+// byte accounting happens at the connection layer.
+type countingConn struct {
+	net.Conn
+	in, out *atomic.Int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }
 
 // Serve accepts connections on lis until the listener closes. Returns nil
@@ -430,7 +491,7 @@ func (s *Server) Serve(lis net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go func() {
-			srv.ServeConn(conn)
+			srv.ServeConn(countingConn{Conn: conn, in: &s.in, out: &s.out})
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -517,10 +578,17 @@ type CallWrapper func(method string, idempotent bool, call func() error) error
 // RemoteWorker is the client side: a WorkerAPI (and sim.PullPeer) that
 // relays every call over RPC, optionally through a CallWrapper.
 type RemoteWorker struct {
-	addr string
-	c    *rpc.Client
-	wrap CallWrapper
+	addr    string
+	c       *rpc.Client
+	wrap    CallWrapper
+	in, out atomic.Int64
 }
+
+// BytesRead reports transport bytes received on this client connection.
+func (r *RemoteWorker) BytesRead() int64 { return r.in.Load() }
+
+// BytesWritten reports transport bytes sent on this client connection.
+func (r *RemoteWorker) BytesWritten() int64 { return r.out.Load() }
 
 // Dial connects to a worker's sidecar with no deadline or retries.
 func Dial(addr string) (*RemoteWorker, error) {
@@ -540,7 +608,9 @@ func DialWrapped(addr string, dialTimeout time.Duration, wrap CallWrapper) (*Rem
 	if err != nil {
 		return nil, fmt.Errorf("sidecar: dialing %s: %w", addr, err)
 	}
-	return &RemoteWorker{addr: addr, c: rpc.NewClient(conn), wrap: wrap}, nil
+	r := &RemoteWorker{addr: addr, wrap: wrap}
+	r.c = rpc.NewClient(countingConn{Conn: conn, in: &r.in, out: &r.out})
+	return r, nil
 }
 
 // Addr returns the remote address.
@@ -602,9 +672,8 @@ func (r *RemoteWorker) GatherBGP() error {
 }
 
 // ApplyBGP implements WorkerAPI.
-func (r *RemoteWorker) ApplyBGP() (bool, error) {
-	reply, err := rcall[ApplyReply](r, "ApplyBGP", false, Empty{})
-	return reply.Changed, err
+func (r *RemoteWorker) ApplyBGP() (ApplyReply, error) {
+	return rcall[ApplyReply](r, "ApplyBGP", false, Empty{})
 }
 
 // GatherOSPF implements WorkerAPI.
@@ -614,9 +683,8 @@ func (r *RemoteWorker) GatherOSPF() error {
 }
 
 // ApplyOSPF implements WorkerAPI.
-func (r *RemoteWorker) ApplyOSPF() (bool, error) {
-	reply, err := rcall[ApplyReply](r, "ApplyOSPF", false, Empty{})
-	return reply.Changed, err
+func (r *RemoteWorker) ApplyOSPF() (ApplyReply, error) {
+	return rcall[ApplyReply](r, "ApplyOSPF", false, Empty{})
 }
 
 // EndShard implements WorkerAPI.
@@ -688,4 +756,167 @@ func (r *RemoteWorker) CollectRIBs() (map[string][]*route.Route, error) {
 // Stats implements WorkerAPI.
 func (r *RemoteWorker) Stats() (WorkerStats, error) {
 	return rcall[WorkerStats](r, "Stats", true, Empty{})
+}
+
+// Observe wraps api so every call flows through hook (mirrors fault.Wrap).
+// The controller uses it to attach RPC telemetry to in-process workers and
+// remote clients alike; a nil hook returns api unchanged.
+func Observe(api WorkerAPI, hook RPCHook) WorkerAPI {
+	if hook == nil {
+		return api
+	}
+	return &observed{api: api, hook: hook}
+}
+
+type observed struct {
+	api  WorkerAPI
+	hook RPCHook
+}
+
+// obs runs one call through the hook.
+func (o *observed) obs(method string, call func() error) error {
+	done := o.hook(method)
+	err := call()
+	done(err)
+	return err
+}
+
+func (o *observed) Ping() error {
+	return o.obs("Ping", o.api.Ping)
+}
+
+func (o *observed) Setup(req SetupRequest) error {
+	return o.obs("Setup", func() error { return o.api.Setup(req) })
+}
+
+func (o *observed) BeginShard(req BeginShardRequest) error {
+	return o.obs("BeginShard", func() error { return o.api.BeginShard(req) })
+}
+
+func (o *observed) GatherBGP() error {
+	return o.obs("GatherBGP", o.api.GatherBGP)
+}
+
+func (o *observed) ApplyBGP() (ApplyReply, error) {
+	var reply ApplyReply
+	err := o.obs("ApplyBGP", func() error {
+		var err error
+		reply, err = o.api.ApplyBGP()
+		return err
+	})
+	return reply, err
+}
+
+func (o *observed) GatherOSPF() error {
+	return o.obs("GatherOSPF", o.api.GatherOSPF)
+}
+
+func (o *observed) ApplyOSPF() (ApplyReply, error) {
+	var reply ApplyReply
+	err := o.obs("ApplyOSPF", func() error {
+		var err error
+		reply, err = o.api.ApplyOSPF()
+		return err
+	})
+	return reply, err
+}
+
+func (o *observed) EndShard() (EndShardReply, error) {
+	var reply EndShardReply
+	err := o.obs("EndShard", func() error {
+		var err error
+		reply, err = o.api.EndShard()
+		return err
+	})
+	return reply, err
+}
+
+func (o *observed) PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
+	var advs []bgp.Advertisement
+	var ver uint64
+	var fresh bool
+	err := o.obs("PullBGP", func() error {
+		var err error
+		advs, ver, fresh, err = o.api.PullBGP(exporter, puller, since, seen)
+		return err
+	})
+	return advs, ver, fresh, err
+}
+
+func (o *observed) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
+	var lsas []*ospf.LSA
+	var ver uint64
+	var fresh bool
+	err := o.obs("PullLSAs", func() error {
+		var err error
+		lsas, ver, fresh, err = o.api.PullLSAs(exporter, puller, since, seen)
+		return err
+	})
+	return lsas, ver, fresh, err
+}
+
+func (o *observed) ComputeDP() (ComputeDPReply, error) {
+	var reply ComputeDPReply
+	err := o.obs("ComputeDP", func() error {
+		var err error
+		reply, err = o.api.ComputeDP()
+		return err
+	})
+	return reply, err
+}
+
+func (o *observed) BeginQuery(req QueryRequest) error {
+	return o.obs("BeginQuery", func() error { return o.api.BeginQuery(req) })
+}
+
+func (o *observed) Inject(req InjectRequest) error {
+	return o.obs("Inject", func() error { return o.api.Inject(req) })
+}
+
+func (o *observed) DPRound() error {
+	return o.obs("DPRound", o.api.DPRound)
+}
+
+func (o *observed) HasWork() (bool, error) {
+	var busy bool
+	err := o.obs("HasWork", func() error {
+		var err error
+		busy, err = o.api.HasWork()
+		return err
+	})
+	return busy, err
+}
+
+func (o *observed) DeliverPackets(items []PacketDelivery) error {
+	return o.obs("DeliverPackets", func() error { return o.api.DeliverPackets(items) })
+}
+
+func (o *observed) FinishQuery() ([]dataplane.RawOutcome, error) {
+	var out []dataplane.RawOutcome
+	err := o.obs("FinishQuery", func() error {
+		var err error
+		out, err = o.api.FinishQuery()
+		return err
+	})
+	return out, err
+}
+
+func (o *observed) CollectRIBs() (map[string][]*route.Route, error) {
+	var routes map[string][]*route.Route
+	err := o.obs("CollectRIBs", func() error {
+		var err error
+		routes, err = o.api.CollectRIBs()
+		return err
+	})
+	return routes, err
+}
+
+func (o *observed) Stats() (WorkerStats, error) {
+	var st WorkerStats
+	err := o.obs("Stats", func() error {
+		var err error
+		st, err = o.api.Stats()
+		return err
+	})
+	return st, err
 }

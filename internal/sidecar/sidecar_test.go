@@ -45,9 +45,11 @@ func (s *stubWorker) GatherBGP() error {
 	}
 	return nil
 }
-func (s *stubWorker) ApplyBGP() (bool, error)            { return true, nil }
-func (s *stubWorker) GatherOSPF() error                  { return nil }
-func (s *stubWorker) ApplyOSPF() (bool, error)           { return false, nil }
+func (s *stubWorker) ApplyBGP() (ApplyReply, error) {
+	return ApplyReply{Changed: true, ChangedNodes: 2, Routes: 17}, nil
+}
+func (s *stubWorker) GatherOSPF() error              { return nil }
+func (s *stubWorker) ApplyOSPF() (ApplyReply, error) { return ApplyReply{}, nil }
 func (s *stubWorker) EndShard() (EndShardReply, error) {
 	return EndShardReply{Routes: 42, ModelBytes: 1000}, nil
 }
@@ -135,16 +137,16 @@ func TestRPCRoundTripAllMethods(t *testing.T) {
 	if err := client.GatherBGP(); err != nil {
 		t.Fatal(err)
 	}
-	changed, err := client.ApplyBGP()
-	if err != nil || !changed {
-		t.Fatal("ApplyBGP reply")
+	bgpReply, err := client.ApplyBGP()
+	if err != nil || !bgpReply.Changed || bgpReply.ChangedNodes != 2 || bgpReply.Routes != 17 {
+		t.Fatalf("ApplyBGP reply: %+v %v", bgpReply, err)
 	}
 	if err := client.GatherOSPF(); err != nil {
 		t.Fatal(err)
 	}
-	changed, err = client.ApplyOSPF()
-	if err != nil || changed {
-		t.Fatal("ApplyOSPF reply")
+	ospfReply, err := client.ApplyOSPF()
+	if err != nil || ospfReply.Changed {
+		t.Fatalf("ApplyOSPF reply: %+v %v", ospfReply, err)
 	}
 	end, err := client.EndShard()
 	if err != nil || end.Routes != 42 || end.ModelBytes != 1000 {

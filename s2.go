@@ -10,6 +10,7 @@ import (
 	"s2/internal/config"
 	"s2/internal/core"
 	"s2/internal/dataplane"
+	"s2/internal/obs"
 	"s2/internal/partition"
 	"s2/internal/route"
 )
@@ -102,6 +103,14 @@ type Options struct {
 	// Recover re-partitions a dead worker's segment onto the survivors
 	// and re-executes the in-flight phase instead of failing the run.
 	Recover bool
+	// Tracer, when set, records the run as hierarchical spans (controller
+	// stages, shards, convergence rounds, RPCs) exportable as Chrome
+	// trace_event JSON via its WriteChromeTrace method (cmd/s2 -trace).
+	Tracer *obs.Tracer
+	// Metrics, when set, receives Prometheus-style counters, gauges, and
+	// histograms for the run; serve it with obs.ServeIntrospection
+	// (cmd/s2 -obs-addr).
+	Metrics *obs.Registry
 }
 
 // FatTreeLoadEstimator returns the paper's per-role load estimates for a
@@ -153,6 +162,9 @@ func NewVerifier(n *Network, opts Options) (*Verifier, error) {
 		RPCRetries:        opts.RPCRetries,
 		HeartbeatInterval: opts.HeartbeatInterval,
 		Recover:           opts.Recover,
+
+		Tracer:  opts.Tracer,
+		Metrics: opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -345,6 +357,12 @@ func (v *Verifier) PeakMemoryBytes() (int64, error) {
 func (v *Verifier) FaultStats() map[string]int64 {
 	return v.ctrl.FaultCounters().Snapshot()
 }
+
+// Progress returns the live run view (current stage, shard, convergence
+// iteration, routes settled) streamed from the workers' per-iteration
+// replies. Safe to call concurrently with a run — it backs the /progress
+// endpoint of cmd/s2 -obs-addr.
+func (v *Verifier) Progress() core.Progress { return v.ctrl.Progress() }
 
 // Close stops the failure detector and tears down worker connections. The
 // verifier is unusable afterwards.
