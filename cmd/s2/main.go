@@ -43,6 +43,8 @@ func main() {
 		recoverOn  = flag.Bool("recover", false, "on worker death, re-partition its segment onto survivors and re-execute")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (open in chrome://tracing or ui.perfetto.dev)")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, and /debug/pprof on this address")
+		procs      = flag.Int("procs", 0, "per-worker goroutine pool for the simulation phases (0 = all CPUs, 1 = sequential)")
+		noBatch    = flag.Bool("no-batch-pulls", false, "disable batching of cross-worker route pulls (one RPC per node-neighbor pair)")
 		verbose    = flag.Bool("v", false, "print phase timings and per-worker stats")
 	)
 	flag.Parse()
@@ -72,6 +74,8 @@ func main() {
 		RPCRetries:        *retries,
 		HeartbeatInterval: *heartbeat,
 		Recover:           *recoverOn,
+		Parallelism:       *procs,
+		DisableBatchPulls: *noBatch,
 	}
 	if *workerAddr != "" {
 		opts.WorkerAddrs = strings.Split(*workerAddr, ",")

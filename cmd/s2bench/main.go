@@ -1,5 +1,6 @@
 // Command s2bench regenerates the paper's evaluation figures (§5,
-// Figures 4–10) and prints the measured series as tables.
+// Figures 4–10) plus Figure 11, this implementation's multi-core/batching
+// sweep, and prints the measured series as tables.
 //
 // Usage:
 //
@@ -7,7 +8,9 @@
 //	s2bench -fig 5          # one figure
 //	s2bench -quick          # small sizes (seconds instead of minutes)
 //	s2bench -ks 4,6,8,10    # custom FatTree sweep
+//	s2bench -procs 4        # per-worker goroutine pool for every S2 run
 //	s2bench -json out.json  # machine-readable rows + telemetry snapshots
+//	s2bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Times are critical-path durations (the slowest worker per round); see
 // EXPERIMENTS.md for how the laptop-scale substitution maps to the paper.
@@ -18,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -36,19 +41,39 @@ var figures = map[int]struct {
 	8:  {"prefix sharding on/off across FatTree sizes", experiments.Figure8},
 	9:  {"shard-count sweep on one FatTree", experiments.Figure9},
 	10: {"DPV: all-pair vs single-pair, Batfish vs S2", experiments.Figure10},
+	11: {"multi-core: pool-size sweep × batched pulls on/off", experiments.Figure11},
 }
 
 func main() {
 	var (
-		fig     = flag.Int("fig", 0, "figure number (4-10); 0 = all")
+		fig     = flag.Int("fig", 0, "figure number (4-11); 0 = all paper figures (4-10)")
 		quick   = flag.Bool("quick", false, "small sizes for a fast smoke run")
 		ks      = flag.String("ks", "", "comma-separated FatTree pod counts for sweeps (e.g. 4,6,8,10)")
 		fixed   = flag.Int("k", 0, "FatTree size for single-size figures")
 		shard   = flag.Int("shards", 0, "default prefix shard count")
 		maxW    = flag.Int("maxworkers", 0, "largest S2 worker count")
 		jsonOut = flag.String("json", "", "also write rows (with per-run phase and RPC telemetry) as JSON to this file")
+		procs   = flag.Int("procs", 0, "per-worker goroutine pool for S2 runs (0 = all CPUs, 1 = sequential)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (after all figures) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s2bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "s2bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	cfg := experiments.Config{}
 	if *quick {
@@ -74,12 +99,15 @@ func main() {
 	if *maxW > 0 {
 		cfg.MaxWorkers = *maxW
 	}
+	if *procs > 0 {
+		cfg.Procs = *procs
+	}
 	cfg = cfg.Defaults()
 
 	var nums []int
 	if *fig != 0 {
 		if _, ok := figures[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "s2bench: unknown figure %d (have 4-10)\n", *fig)
+			fmt.Fprintf(os.Stderr, "s2bench: unknown figure %d (have 4-11)\n", *fig)
 			os.Exit(2)
 		}
 		nums = []int{*fig}
@@ -127,5 +155,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s2bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "s2bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *memProf)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -36,6 +37,7 @@ func main() {
 	rpcTimeout := flag.Duration("rpc-timeout", 0, "deadline for this worker's peer-to-peer RPC attempts (0 = none; the controller's Setup overrides it)")
 	retries := flag.Int("retries", 0, "extra attempts for idempotent peer RPCs that fail transiently")
 	grace := flag.Duration("grace", 10*time.Second, "max time to finish in-flight RPCs on SIGINT/SIGTERM")
+	procs := flag.Int("procs", 0, "default goroutine pool for the simulation phases when Setup doesn't set one (0 = all CPUs, 1 = sequential)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, and /debug/pprof for this worker on this address")
 	flag.Parse()
 
@@ -46,6 +48,11 @@ func main() {
 	}
 	w := core.NewWorker()
 	w.SetDefaultPolicy(fault.Policy{Timeout: *rpcTimeout, Retries: *retries})
+	defProcs := *procs
+	if defProcs <= 0 {
+		defProcs = runtime.NumCPU()
+	}
+	w.SetDefaultParallelism(defProcs)
 	srv := sidecar.NewServer(w)
 
 	if *obsAddr != "" {

@@ -12,14 +12,31 @@
 //     charge modelled memory, and bounded (MaxNodes) so the paper's "BDD
 //     node table overflow" failure mode is reproducible.
 //
-// An Engine is not safe for concurrent use; the centralized baseline wraps
-// one in a SharedEngine whose single mutex reproduces the paper's
-// parallelism bottleneck.
+// # Concurrency contract
+//
+// Engine operations (Apply-family, Not, Exists, Var, Cube, Serialize,
+// Deserialize, Eval, AnySat, SatCount, ClearCache) are safe to call from
+// many goroutines against one engine: the unique table is lock-striped, the
+// operation cache is a lock-free direct-mapped table, and node allocation
+// is atomic over pointer-stable chunks. This is what lets a worker build FIB predicates
+// and propagate symbolic packets for many nodes in parallel (one engine,
+// NumCPU goroutines).
+//
+// GC is the exception: it is stop-the-world and must be called with no
+// operation in flight (the callers' existing roots discipline — workers GC
+// only between phases/rounds, never inside a parallel section). Refs
+// returned before a GC are invalid afterwards unless remapped.
+//
+// The centralized baseline still wraps an engine in a SharedEngine whose
+// single mutex reproduces the paper's coarse-lock parallelism bottleneck by
+// serializing whole operations, not table accesses.
 package bdd
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Ref is a node reference. The constants False and True are the terminal
@@ -61,15 +78,66 @@ const (
 	opExists
 )
 
-// Engine is one BDD node table with its operation caches.
+// Node storage is a directory of fixed-size chunks. Chunks are never moved
+// or copied once published — growth copies only the directory slice — so a
+// concurrent reader holding a valid ref can load the directory once and
+// index into a stable array while another goroutine allocates.
+const (
+	chunkBits = 13
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+type chunk [chunkSize]node
+
+// The stripe count trades memory for contention; 64 keeps 8–16 worker
+// goroutines mostly collision-free while the per-engine overhead stays
+// a few KiB.
+const numStripes = 64
+
+type uniqueStripe struct {
+	mu sync.Mutex
+	m  map[uniqueKey]Ref
+}
+
+// The operation cache is a direct-mapped, lock-free computed table: each
+// slot holds an atomic pointer to an immutable entry. Lookups are one
+// load plus a key compare, stores are one pointer swap — no mutex, no
+// map probing, no goroutine parking on the hottest path in the engine.
+// Collisions simply evict (classic BDD computed-table discipline:
+// correctness never depends on a hit, only on never returning a wrong
+// hit, which the full-key compare rules out).
+const (
+	cacheBits  = 17
+	cacheSlots = 1 << cacheBits
+)
+
+type cacheEntry struct {
+	key opKey
+	r   Ref
+}
+
+// Engine is one BDD node table with its operation caches. See the package
+// comment for the concurrency contract.
 type Engine struct {
 	numVars  int
 	maxNodes int
-	nodes    []node
-	unique   map[uniqueKey]Ref
-	cache    map[opKey]Ref
+
+	// count is the number of allocated nodes (including terminals);
+	// allocation CASes it forward so a failed maxNodes check can never be
+	// caused by a transient overshoot.
+	count atomic.Int64
+	// dir is the chunk directory. Growing replaces the slice (copy-on-write
+	// under growMu); existing chunk pointers are stable forever.
+	dir    atomic.Pointer[[]*chunk]
+	growMu sync.Mutex
+
+	unique [numStripes]uniqueStripe
+	cache  []atomic.Pointer[cacheEntry]
 
 	// onGrow, when set, observes node-table growth for memory modelling.
+	// It may be invoked from many goroutines; observers must be
+	// thread-safe. Set it before issuing concurrent operations.
 	onGrow func(delta int)
 }
 
@@ -79,14 +147,18 @@ func New(numVars, maxNodes int) *Engine {
 	e := &Engine{
 		numVars:  numVars,
 		maxNodes: maxNodes,
-		unique:   make(map[uniqueKey]Ref),
-		cache:    make(map[opKey]Ref),
 	}
-	// Terminals at the bottom of the order.
-	e.nodes = append(e.nodes,
-		node{level: int32(numVars)}, // False
-		node{level: int32(numVars)}, // True
-	)
+	for i := range e.unique {
+		e.unique[i].m = make(map[uniqueKey]Ref)
+	}
+	e.cache = make([]atomic.Pointer[cacheEntry], cacheSlots)
+	// Terminals at the bottom of the order, in the first chunk.
+	c := new(chunk)
+	c[False] = node{level: int32(numVars)}
+	c[True] = node{level: int32(numVars)}
+	dir := []*chunk{c}
+	e.dir.Store(&dir)
+	e.count.Store(2)
 	return e
 }
 
@@ -94,7 +166,7 @@ func New(numVars, maxNodes int) *Engine {
 func (e *Engine) NumVars() int { return e.numVars }
 
 // NodeCount returns the number of live nodes including terminals.
-func (e *Engine) NodeCount() int { return len(e.nodes) }
+func (e *Engine) NodeCount() int { return int(e.count.Load()) }
 
 // NodeModelBytes is the modelled memory charged per BDD node, matching
 // packed int-array node tables (level, low, high, hash link) as in JDD.
@@ -106,29 +178,107 @@ func (e *Engine) ModelBytes() int64 {
 }
 
 // SetGrowObserver registers a callback invoked with the node-count delta
-// whenever the table grows. Used by workers to feed memory trackers.
+// whenever the table grows. Used by workers to feed memory trackers. The
+// callback must be safe for concurrent invocation.
 func (e *Engine) SetGrowObserver(fn func(delta int)) { e.onGrow = fn }
 
+// node loads node r. Safe concurrently with allocation: refs are only
+// obtained through operations whose synchronization (stripe/shard mutexes)
+// orders the node write before the ref's publication, and chunks are
+// pointer-stable.
+func (e *Engine) node(r Ref) node {
+	d := *e.dir.Load()
+	return d[r>>chunkBits][r&chunkMask]
+}
+
+func (e *Engine) level(r Ref) int32 { return e.node(r).level }
+
+func stripeOf(k uniqueKey) uint32 {
+	h := uint32(k.level)*0x9e3779b1 ^ uint32(k.low)*0x85ebca77 ^ uint32(k.high)*0xc2b2ae3d
+	h ^= h >> 15
+	return h % numStripes
+}
+
+func cacheSlotOf(k opKey) uint32 {
+	h := uint32(k.op)*0x9e3779b1 ^ uint32(k.a)*0x85ebca77 ^ uint32(k.b)*0xc2b2ae3d
+	h ^= h >> 15
+	return h & (cacheSlots - 1)
+}
+
+// alloc claims the next table slot and writes n into it, growing the chunk
+// directory as needed. Callers publish the returned ref only after alloc
+// returns (mk does so under the unique-table stripe lock), which orders the
+// node write before any cross-goroutine read.
+func (e *Engine) alloc(n node) (Ref, error) {
+	var idx int64
+	for {
+		c := e.count.Load()
+		if e.maxNodes > 0 && c >= int64(e.maxNodes) {
+			return False, fmt.Errorf("%w: %d nodes", ErrNodeTableFull, c)
+		}
+		if e.count.CompareAndSwap(c, c+1) {
+			idx = c
+			break
+		}
+	}
+	ci := int(idx >> chunkBits)
+	d := *e.dir.Load()
+	if ci >= len(d) {
+		e.growMu.Lock()
+		d = *e.dir.Load()
+		for ci >= len(d) {
+			nd := make([]*chunk, len(d), len(d)+1)
+			copy(nd, d)
+			nd = append(nd, new(chunk))
+			e.dir.Store(&nd)
+			d = nd
+		}
+		e.growMu.Unlock()
+	}
+	d[ci][idx&chunkMask] = n
+	return Ref(idx), nil
+}
+
 // mk returns the canonical node (level, low, high), applying the two ROBDD
-// reduction rules.
+// reduction rules. The stripe lock is held across allocation so a ref is
+// never visible in the unique table before its node is written.
 func (e *Engine) mk(level int32, low, high Ref) (Ref, error) {
 	if low == high {
 		return low, nil
 	}
 	key := uniqueKey{level, low, high}
-	if r, ok := e.unique[key]; ok {
+	s := &e.unique[stripeOf(key)]
+	s.mu.Lock()
+	if r, ok := s.m[key]; ok {
+		s.mu.Unlock()
 		return r, nil
 	}
-	if e.maxNodes > 0 && len(e.nodes) >= e.maxNodes {
-		return False, fmt.Errorf("%w: %d nodes", ErrNodeTableFull, len(e.nodes))
+	r, err := e.alloc(node{level: level, low: low, high: high})
+	if err != nil {
+		s.mu.Unlock()
+		return False, err
 	}
-	r := Ref(len(e.nodes))
-	e.nodes = append(e.nodes, node{level: level, low: low, high: high})
-	e.unique[key] = r
+	s.m[key] = r
+	s.mu.Unlock()
 	if e.onGrow != nil {
 		e.onGrow(1)
 	}
 	return r, nil
+}
+
+// cacheGet is safe concurrently with cachePut: entries are immutable once
+// published, and the atomic pointer load orders the entry's construction
+// (and the cached ref's node write, published before the put) before the
+// read.
+func (e *Engine) cacheGet(key opKey) (Ref, bool) {
+	if ent := e.cache[cacheSlotOf(key)].Load(); ent != nil && ent.key == key {
+		return ent.r, true
+	}
+	return False, false
+}
+
+func (e *Engine) cachePut(key opKey, r Ref) {
+	e.cache[cacheSlotOf(key)].Store(&cacheEntry{key: key, r: r})
 }
 
 // Var returns the BDD for "variable i is 1".
@@ -146,8 +296,6 @@ func (e *Engine) NVar(i int) (Ref, error) {
 	}
 	return e.mk(int32(i), True, False)
 }
-
-func (e *Engine) level(r Ref) int32 { return e.nodes[r].level }
 
 // apply evaluates a binary Boolean operation with memoization.
 func (e *Engine) apply(op uint8, a, b Ref) (Ref, error) {
@@ -201,21 +349,21 @@ func (e *Engine) apply(op uint8, a, b Ref) (Ref, error) {
 		a, b = b, a
 	}
 	key := opKey{op, a, b}
-	if r, ok := e.cache[key]; ok {
+	if r, ok := e.cacheGet(key); ok {
 		return r, nil
 	}
-	la, lb := e.level(a), e.level(b)
-	top := la
-	if lb < top {
-		top = lb
+	na, nb := e.node(a), e.node(b)
+	top := na.level
+	if nb.level < top {
+		top = nb.level
 	}
 	a0, a1 := a, a
-	if la == top {
-		a0, a1 = e.nodes[a].low, e.nodes[a].high
+	if na.level == top {
+		a0, a1 = na.low, na.high
 	}
 	b0, b1 := b, b
-	if lb == top {
-		b0, b1 = e.nodes[b].low, e.nodes[b].high
+	if nb.level == top {
+		b0, b1 = nb.low, nb.high
 	}
 	low, err := e.apply(op, a0, b0)
 	if err != nil {
@@ -229,7 +377,7 @@ func (e *Engine) apply(op uint8, a, b Ref) (Ref, error) {
 	if err != nil {
 		return False, err
 	}
-	e.cache[key] = r
+	e.cachePut(key, r)
 	return r, nil
 }
 
@@ -254,22 +402,23 @@ func (e *Engine) Not(a Ref) (Ref, error) {
 		return False, nil
 	}
 	key := opKey{opNot, a, 0}
-	if r, ok := e.cache[key]; ok {
+	if r, ok := e.cacheGet(key); ok {
 		return r, nil
 	}
-	low, err := e.Not(e.nodes[a].low)
+	n := e.node(a)
+	low, err := e.Not(n.low)
 	if err != nil {
 		return False, err
 	}
-	high, err := e.Not(e.nodes[a].high)
+	high, err := e.Not(n.high)
 	if err != nil {
 		return False, err
 	}
-	r, err := e.mk(e.nodes[a].level, low, high)
+	r, err := e.mk(n.level, low, high)
 	if err != nil {
 		return False, err
 	}
-	e.cache[key] = r
+	e.cachePut(key, r)
 	return r, nil
 }
 
@@ -283,13 +432,13 @@ func (e *Engine) Exists(a Ref, v int) (Ref, error) {
 	if a == False || a == True {
 		return a, nil
 	}
-	n := e.nodes[a]
+	n := e.node(a)
 	if int(n.level) > v {
 		// Levels increase downward, so v cannot appear in this sub-DAG.
 		return a, nil
 	}
 	key := opKey{opExists, a, Ref(v)}
-	if r, ok := e.cache[key]; ok {
+	if r, ok := e.cacheGet(key); ok {
 		return r, nil
 	}
 	var r Ref
@@ -311,7 +460,7 @@ func (e *Engine) Exists(a Ref, v int) (Ref, error) {
 	if err != nil {
 		return False, err
 	}
-	e.cache[key] = r
+	e.cachePut(key, r)
 	return r, nil
 }
 
@@ -387,7 +536,7 @@ func (e *Engine) SatCount(r Ref) float64 {
 		if v, ok := memo[r]; ok {
 			return v
 		}
-		n := e.nodes[r]
+		n := e.node(r)
 		low := count(n.low) * pow2(int(e.level(n.low)-n.level-1))
 		high := count(n.high) * pow2(int(e.level(n.high)-n.level-1))
 		v := low + high
@@ -414,7 +563,7 @@ func (e *Engine) AnySat(r Ref) (map[int]bool, bool) {
 	}
 	out := map[int]bool{}
 	for r != True {
-		n := e.nodes[r]
+		n := e.node(r)
 		if n.high != False {
 			out[int(n.level)] = true
 			r = n.high
@@ -429,7 +578,7 @@ func (e *Engine) AnySat(r Ref) (map[int]bool, bool) {
 // Eval evaluates the BDD under a complete assignment (indexed by variable).
 func (e *Engine) Eval(r Ref, assignment []bool) bool {
 	for r != True && r != False {
-		n := e.nodes[r]
+		n := e.node(r)
 		if assignment[n.level] {
 			r = n.high
 		} else {
@@ -471,7 +620,11 @@ func (e *Engine) Cube(literals map[int]bool) (Ref, error) {
 }
 
 // ClearCache drops the operation cache (the unique table is kept). Workers
-// call this between phases to bound cache growth.
+// call this between phases; the table is fixed-size, so this only frees
+// the entries, not the slots. Safe concurrently with operations: slots
+// are cleared with atomic stores.
 func (e *Engine) ClearCache() {
-	e.cache = make(map[opKey]Ref)
+	for i := range e.cache {
+		e.cache[i].Store(nil)
+	}
 }

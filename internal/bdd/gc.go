@@ -6,11 +6,19 @@ package bdd
 // reachable nodes to their new values; passing an unreachable (collected)
 // ref to the remap is a programming error and returns False.
 //
+// GC is stop-the-world: the caller must guarantee no concurrent operation
+// is in flight (workers GC only between phases/rounds). This is the one
+// exclusion the engine's concurrency contract demands.
+//
 // Real BDD libraries collect dead nodes the same way; the paper leans on
 // this twice: BDD node-table garbage collections are a major cost of the
 // centralized design (§2.2), and per-worker tables reduce them (§4.3).
 func (e *Engine) GC(roots []Ref) func(Ref) Ref {
-	reachable := make([]bool, len(e.nodes))
+	old := *e.dir.Load()
+	oldCount := int(e.count.Load())
+	at := func(r Ref) node { return old[r>>chunkBits][r&chunkMask] }
+
+	reachable := make([]bool, oldCount)
 	reachable[False], reachable[True] = true, true
 	var mark func(Ref)
 	mark = func(r Ref) {
@@ -18,7 +26,7 @@ func (e *Engine) GC(roots []Ref) func(Ref) Ref {
 			return
 		}
 		reachable[r] = true
-		n := e.nodes[r]
+		n := at(r)
 		mark(n.low)
 		mark(n.high)
 	}
@@ -26,31 +34,54 @@ func (e *Engine) GC(roots []Ref) func(Ref) Ref {
 		mark(r)
 	}
 
-	remap := make([]Ref, len(e.nodes))
+	remap := make([]Ref, oldCount)
 	for i := range remap {
 		remap[i] = -1
 	}
 	remap[False], remap[True] = False, True
 
-	newNodes := e.nodes[:2:2]
-	newUnique := make(map[uniqueKey]Ref)
-	for i := 2; i < len(e.nodes); i++ {
+	// Rebuild chunks and the unique table from scratch. Children precede
+	// parents in the table (allocation order: a node's children exist
+	// before it is made), so their remaps exist already.
+	first := new(chunk)
+	first[False] = at(False)
+	first[True] = at(True)
+	newDir := []*chunk{first}
+	newCount := 2
+	put := func(n node) Ref {
+		ci := newCount >> chunkBits
+		if ci >= len(newDir) {
+			newDir = append(newDir, new(chunk))
+		}
+		newDir[ci][newCount&chunkMask] = n
+		newCount++
+		return Ref(newCount - 1)
+	}
+	newUnique := make([]map[uniqueKey]Ref, numStripes)
+	for i := range newUnique {
+		newUnique[i] = make(map[uniqueKey]Ref)
+	}
+	for i := 2; i < oldCount; i++ {
 		if !reachable[i] {
 			continue
 		}
-		n := e.nodes[i]
-		// Children precede parents in the table (mk appends), so their
-		// remaps exist already.
+		n := at(Ref(i))
 		nn := node{level: n.level, low: remap[n.low], high: remap[n.high]}
-		id := Ref(len(newNodes))
-		newNodes = append(newNodes, nn)
-		newUnique[uniqueKey{nn.level, nn.low, nn.high}] = id
+		id := put(nn)
+		key := uniqueKey{nn.level, nn.low, nn.high}
+		newUnique[stripeOf(key)][key] = id
 		remap[i] = id
 	}
-	freed := len(e.nodes) - len(newNodes)
-	e.nodes = newNodes
-	e.unique = newUnique
-	e.cache = make(map[opKey]Ref)
+	freed := oldCount - newCount
+
+	e.dir.Store(&newDir)
+	e.count.Store(int64(newCount))
+	for i := range e.unique {
+		e.unique[i].m = newUnique[i]
+	}
+	for i := range e.cache {
+		e.cache[i].Store(nil)
+	}
 	if e.onGrow != nil && freed > 0 {
 		e.onGrow(-freed)
 	}

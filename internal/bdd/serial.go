@@ -26,7 +26,7 @@ func (e *Engine) Serialize(r Ref) []byte {
 		if _, ok := index[x]; ok {
 			return
 		}
-		n := e.nodes[x]
+		n := e.node(x)
 		visit(n.low)
 		visit(n.high)
 		index[x] = uint32(len(order) + 2)
@@ -39,7 +39,7 @@ func (e *Engine) Serialize(r Ref) []byte {
 	buf = binary.AppendUvarint(buf, uint64(e.numVars))
 	buf = binary.AppendUvarint(buf, uint64(len(order)))
 	for _, x := range order {
-		n := e.nodes[x]
+		n := e.node(x)
 		buf = binary.AppendUvarint(buf, uint64(n.level))
 		buf = binary.AppendUvarint(buf, uint64(index[n.low]))
 		buf = binary.AppendUvarint(buf, uint64(index[n.high]))

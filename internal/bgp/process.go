@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"sort"
+	"sync"
 
 	"s2/internal/config"
 	"s2/internal/metrics"
@@ -22,12 +23,14 @@ type PrefixFilter func(route.Prefix) bool
 // the paper's Algorithm 1: neighbors call ExportsTo to obtain advertisements
 // and feed what they learn into their own ImportFrom/RunDecision cycle.
 //
-// A Process is confined to its worker: only the goroutine executing the
-// owning node's round mutates it, while ExportsTo is read-only under a
-// version check, so concurrent pulls from co-located neighbors are safe
-// once the round barrier orders them (the sim engine guarantees pulls see a
-// quiesced previous-round state).
+// A Process is confined to its worker, but within a worker many node
+// goroutines may touch it at once: parallel gather tasks pull from the same
+// exporter concurrently (and ExportsTo records used conditions, a write),
+// while apply tasks mutate only their own process. The per-process mutex
+// serializes those entry points; no method calls another locked method and
+// no task holds two process locks, so the locking is cycle-free.
 type Process struct {
+	mu       sync.Mutex
 	dev      *config.Device
 	cfg      *config.BGPConfig
 	vsb      config.VSB
@@ -100,7 +103,11 @@ func (p *Process) NeighborNames() []string {
 }
 
 // Version returns the current export version.
-func (p *Process) Version() uint64 { return p.version }
+func (p *Process) Version() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.version
+}
 
 // LocRIB exposes the computed BGP RIB.
 func (p *Process) LocRIB() *route.RIB { return p.locRIB }
@@ -109,6 +116,8 @@ func (p *Process) LocRIB() *route.RIB { return p.locRIB }
 // redistribution ("connected" and "static" are derived internally; use this
 // for "ospf").
 func (p *Process) SetExternalRoutes(source string, routes []*route.Route) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.external[source] = routes
 }
 
@@ -117,6 +126,8 @@ func (p *Process) SetExternalRoutes(source string, routes []*route.Route) {
 // survive, mirroring how freeing a shard lowers live usage but not the
 // observed peak.
 func (p *Process) ResetForShard(filter PrefixFilter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.filter = filter
 	p.adjIn = make(map[string]map[route.Prefix]*route.Route)
 	p.locRIB = route.NewRIB()
@@ -129,6 +140,8 @@ func (p *Process) ResetForShard(filter PrefixFilter) {
 // UsedConditions returns the prefix-list names consulted by conditional
 // advertisement since the last shard reset, sorted.
 func (p *Process) UsedConditions() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]string, 0, len(p.usedConditions))
 	for name := range p.usedConditions {
 		out = append(out, name)
@@ -242,6 +255,8 @@ type Advertisement struct {
 // exportable state changed since sinceVersion. When unchanged it returns
 // (nil, version, false), letting remote pulls skip serialization.
 func (p *Process) ExportsTo(neighbor string, sinceVersion uint64, haveSeen bool) ([]Advertisement, uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if haveSeen && sinceVersion == p.version {
 		return nil, p.version, false
 	}
@@ -326,6 +341,8 @@ func (p *Process) ExportsTo(neighbor string, sinceVersion uint64, haveSeen bool)
 // replacing the Adj-RIB-In for that neighbor. It reports whether the
 // Adj-RIB-In changed (requiring a decision run).
 func (p *Process) ImportFrom(neighbor string, advs []Advertisement) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s, ok := p.sessions[neighbor]
 	if !ok {
 		return false
@@ -393,6 +410,8 @@ func adjInEqual(a, b map[route.Prefix]*route.Route) bool {
 // and aggregate activation. It reports whether the exportable state changed
 // and bumps the export version accordingly.
 func (p *Process) RunDecision() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	cands := map[route.Prefix][]*route.Route{}
 	add := func(r *route.Route) { cands[r.Prefix] = append(cands[r.Prefix], r) }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,15 @@ type Options struct {
 	// durations — and thus the critical-path metric — are not inflated
 	// by CPU contention on hosts with fewer cores than workers.
 	Sequential bool
+	// Parallelism is the per-worker goroutine pool for the per-node loops
+	// of the simulation phases (gather/apply, FIB compile, symbolic
+	// forwarding). 0 means runtime.NumCPU(); 1 is strictly sequential and
+	// reproduces the single-threaded results byte-for-byte. Propagated to
+	// every worker via SetupRequest.
+	Parallelism int
+	// DisableBatchPulls turns off cross-worker pull coalescing: shadow-node
+	// pulls go back to one RPC per (node, neighbor) pair as before.
+	DisableBatchPulls bool
 
 	// RPCTimeout bounds every controller→worker call attempt (0 = no
 	// deadline, the pre-fault-tolerance behavior). It also bounds worker
@@ -353,21 +363,27 @@ func (c *Controller) configureBody() error {
 			}
 		}
 
+		procs := c.opts.Parallelism
+		if procs <= 0 {
+			procs = runtime.NumCPU()
+		}
 		err = c.each(func(id int, w sidecar.WorkerAPI) error {
 			req := sidecar.SetupRequest{
-				WorkerID:     id,
-				Assignment:   c.assignment.Of,
-				Configs:      map[string]string{},
-				Adjacencies:  map[string][]topology.Adjacency{},
-				Sessions:     map[string][]topology.BGPSession{},
-				MetaBits:     c.opts.MetaBits,
-				MaxBDDNodes:  c.opts.MaxBDDNodes,
-				MemoryBudget: c.opts.MemoryBudget,
-				PeerAddrs:    addrs,
-				SpillDir:     c.opts.SpillDir,
-				KeepRIBs:     c.opts.KeepRIBs,
-				RPCTimeout:   c.opts.RPCTimeout,
-				RPCRetries:   c.opts.RPCRetries,
+				WorkerID:          id,
+				Assignment:        c.assignment.Of,
+				Configs:           map[string]string{},
+				Adjacencies:       map[string][]topology.Adjacency{},
+				Sessions:          map[string][]topology.BGPSession{},
+				MetaBits:          c.opts.MetaBits,
+				MaxBDDNodes:       c.opts.MaxBDDNodes,
+				MemoryBudget:      c.opts.MemoryBudget,
+				PeerAddrs:         addrs,
+				SpillDir:          c.opts.SpillDir,
+				KeepRIBs:          c.opts.KeepRIBs,
+				RPCTimeout:        c.opts.RPCTimeout,
+				RPCRetries:        c.opts.RPCRetries,
+				Parallelism:       procs,
+				DisableBatchPulls: c.opts.DisableBatchPulls,
 			}
 			for _, name := range c.assignment.Segment(id) {
 				req.Configs[name+".cfg"] = c.texts[name]

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runIndexed runs fn(0) … fn(n-1) on up to procs goroutines. procs<=1 (or
+// n<=1) degenerates to a plain in-order loop with fail-fast semantics — the
+// sequential reference behavior. In the parallel case every index still
+// runs at most once; on error the pool stops handing out new indexes and
+// the error with the lowest index among those observed is returned, so the
+// reported failure is stable across schedules whenever errors are not
+// racing each other.
+func runIndexed(procs, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if procs <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if procs > n {
+		procs = n
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

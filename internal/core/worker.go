@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"s2/internal/bdd"
@@ -59,6 +60,21 @@ type Worker struct {
 	// gating those would deadlock two workers against each other.
 	phaseMu sync.Mutex
 
+	// procs bounds intra-phase parallelism: the per-node loops of the
+	// gather/apply/compute/forward phases run on up to procs goroutines.
+	// procs<=1 is strictly sequential and reproduces the single-threaded
+	// behavior exactly. defProcs is the worker-process default (s2worker
+	// -procs) used when SetupRequest.Parallelism is unset.
+	procs    int
+	defProcs int
+	// batchPull coalesces all shadow-node pulls bound for the same remote
+	// worker in one gather phase into a single batch RPC. noBatch remembers
+	// peers that don't serve the batch methods (older binaries); pulls to
+	// them fall back to one RPC each.
+	batchPull bool
+	noBatchMu sync.Mutex
+	noBatch   map[int]bool
+
 	devices     map[string]*config.Device
 	adjacencies map[string][]topology.Adjacency
 	sessions    map[string][]topology.BGPSession
@@ -67,8 +83,8 @@ type Worker struct {
 	// Control plane.
 	bgpProcs    map[string]*bgp.Process
 	ospfProcs   map[string]*ospf.Process
-	bgpPulls    sim.PullTracker
-	ospfPulls   sim.PullTracker
+	bgpPulls    *sim.PullTracker
+	ospfPulls   *sim.PullTracker
 	pendingBGP  map[string]map[string][]bgp.Advertisement
 	pendingLSAs map[string][]*ospf.LSA
 	needsRun    map[string]bool
@@ -82,6 +98,11 @@ type Worker struct {
 	fibRIBs   map[string]*route.RIB // attribute-stripped routes for FIB building
 	finalRIBs map[string]*route.RIB // full routes (only when keepRIBs)
 	spills    []string
+	// liteScratch backs the attribute-stripped route copies of spill-mode
+	// EndShard harvests. The copies are dead once the shard is encoded to
+	// disk, so the buffer is reused across shards (it converges to the
+	// largest shard's size after the first few harvests).
+	liteScratch []route.Route
 
 	// Data plane.
 	engine   *bdd.Engine
@@ -132,6 +153,10 @@ func (w *Worker) SetPeers(peers []sidecar.WorkerAPI) { w.peers = peers }
 // Setup doesn't carry one (the s2worker -rpc-timeout/-retries flags).
 func (w *Worker) SetDefaultPolicy(p fault.Policy) { w.defPolicy = p }
 
+// SetDefaultParallelism sets the pool size used when Setup doesn't carry
+// one (the s2worker -procs flag). Values <= 0 mean sequential.
+func (w *Worker) SetDefaultParallelism(n int) { w.defProcs = n }
+
 // Ping implements sidecar.WorkerAPI: the liveness probe. It deliberately
 // avoids phaseMu — a worker busy in a long phase is alive, not dead.
 func (w *Worker) Ping() error { return nil }
@@ -174,6 +199,17 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 	w.tracker = metrics.NewTracker(fmt.Sprintf("worker%d", req.WorkerID), req.MemoryBudget)
 	w.adjacencies = req.Adjacencies
 	w.sessions = req.Sessions
+	w.procs = req.Parallelism
+	if w.procs <= 0 {
+		w.procs = w.defProcs
+	}
+	if w.procs <= 0 {
+		w.procs = 1
+	}
+	w.batchPull = !req.DisableBatchPulls
+	w.noBatchMu.Lock()
+	w.noBatch = map[int]bool{}
+	w.noBatchMu.Unlock()
 
 	snap, err := config.ParseTexts(req.Configs)
 	if err != nil {
@@ -308,6 +344,62 @@ func (w *Worker) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*
 	return lsas, ver, fresh, nil
 }
 
+// PullBGPBatch implements sidecar.WorkerAPI: it serves a whole iteration's
+// worth of shadow-node pulls from one peer in a single round trip. Each
+// entry is served exactly like an individual PullBGP (statsPulls counts
+// logical pulls, so batching shows up as fewer RPCs, not fewer pulls).
+func (w *Worker) PullBGPBatch(reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
+	replies := make([]sidecar.PullBGPReply, len(reqs))
+	for i, q := range reqs {
+		advs, ver, fresh, err := w.PullBGP(q.Exporter, q.Puller, q.Since, q.Seen)
+		if err != nil {
+			return nil, err
+		}
+		replies[i] = sidecar.PullBGPReply{Advs: advs, Version: ver, Fresh: fresh}
+	}
+	return replies, nil
+}
+
+// PullLSABatch implements sidecar.WorkerAPI (the OSPF analogue of
+// PullBGPBatch).
+func (w *Worker) PullLSABatch(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSAsReply, error) {
+	replies := make([]sidecar.PullLSAsReply, len(reqs))
+	for i, q := range reqs {
+		lsas, ver, fresh, err := w.PullLSAs(q.Exporter, q.Puller, q.Since, q.Seen)
+		if err != nil {
+			return nil, err
+		}
+		replies[i] = sidecar.PullLSAsReply{LSAs: lsas, Version: ver, Fresh: fresh}
+	}
+	return replies, nil
+}
+
+// peerLacksBatch reports whether peer owner is known to predate the batch
+// pull RPCs.
+func (w *Worker) peerLacksBatch(owner int) bool {
+	w.noBatchMu.Lock()
+	defer w.noBatchMu.Unlock()
+	return w.noBatch[owner]
+}
+
+// markNoBatch records that peer owner rejected a batch pull RPC, so later
+// gathers skip straight to per-pull calls.
+func (w *Worker) markNoBatch(owner int) {
+	w.noBatchMu.Lock()
+	w.noBatch[owner] = true
+	w.noBatchMu.Unlock()
+}
+
+// isNoBatchErr matches net/rpc's rejection of an unregistered method —
+// what an older worker binary answers to PullBGPBatch/PullLSABatch.
+func isNoBatchErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "can't find method") || strings.Contains(msg, "can't find service")
+}
+
 // BeginShard implements sidecar.WorkerAPI: reset BGP state for the shard's
 // prefix filter and wire OSPF redistribution.
 func (w *Worker) BeginShard(req sidecar.BeginShardRequest) error {
@@ -337,15 +429,163 @@ func (w *Worker) BeginShard(req sidecar.BeginShardRequest) error {
 	return nil
 }
 
+// pullSlot is one (node, neighbor) pull's result, filled either directly
+// (local exporters, per-pull RPCs) or by a batched round trip. A nil st
+// means the pull was skipped (no exporter).
+type pullSlot struct {
+	st    *sim.PullState
+	ver   uint64
+	fresh bool
+	advs  []bgp.Advertisement // BGP gathers
+	lsas  []*ospf.LSA         // OSPF gathers
+}
+
+// batchRef addresses a pullSlot awaiting a batched reply.
+type batchRef struct{ i, j int }
+
 // GatherBGP implements sidecar.WorkerAPI: phase 1 of one round — every
 // local node pulls route deltas from all neighbors (real or shadow), with
 // no writes to any node state, so all workers gather concurrently against
-// the quiesced previous round.
+// the quiesced previous round. Within the worker the per-node pulls run on
+// up to procs goroutines, and pulls bound for the same remote worker are
+// coalesced into one batch RPC; at procs=1 with batching disabled the
+// original sequential path runs unchanged.
 func (w *Worker) GatherBGP() error {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
 	span := w.obsWorkerSpan("gather-bgp")
 	defer span.End()
+	if w.procs <= 1 && !w.batchPull {
+		return w.gatherBGPSeq()
+	}
+	names := w.localNames
+	nbLists := make([][]string, len(names))
+	slots := make([][]pullSlot, len(names))
+	var batchMu sync.Mutex
+	batch := map[int][]batchRef{}
+
+	// Phase A: per-node pulls. Local exporters and per-pull peers resolve
+	// inline; batch-capable remote pulls only record their cursor.
+	err := runIndexed(w.procs, len(names), func(i int) error {
+		name := names[i]
+		proc, ok := w.bgpProcs[name]
+		if !ok {
+			return nil
+		}
+		nbs := proc.NeighborNames()
+		nbLists[i] = nbs
+		ss := make([]pullSlot, len(nbs))
+		slots[i] = ss
+		for j, nb := range nbs {
+			owner := w.assignment[nb]
+			if owner == w.id {
+				p, ok := w.bgpProcs[nb]
+				if !ok {
+					continue
+				}
+				st := w.bgpPulls.Get(name, nb)
+				advs, ver, fresh := p.ExportsTo(name, st.Version, st.Seen)
+				ss[j] = pullSlot{st: st, ver: ver, fresh: fresh, advs: advs}
+				continue
+			}
+			peer := w.peers[owner]
+			if peer == nil {
+				continue
+			}
+			st := w.bgpPulls.Get(name, nb)
+			if w.batchPull && !w.peerLacksBatch(owner) {
+				ss[j].st = st
+				batchMu.Lock()
+				batch[owner] = append(batch[owner], batchRef{i, j})
+				batchMu.Unlock()
+				continue
+			}
+			advs, ver, fresh, err := peer.PullBGP(nb, name, st.Version, st.Seen)
+			if err != nil {
+				return fmt.Errorf("core: worker %d pulling %s→%s: %w", w.id, nb, name, err)
+			}
+			ss[j] = pullSlot{st: st, ver: ver, fresh: fresh, advs: advs}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase B: one round trip per remote owner, concurrently across owners.
+	owners := make([]int, 0, len(batch))
+	for o := range batch {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	err = runIndexed(w.procs, len(owners), func(oi int) error {
+		owner := owners[oi]
+		refs := batch[owner]
+		peer := w.peers[owner]
+		reqs := make([]sidecar.PullBGPRequest, len(refs))
+		for k, ref := range refs {
+			st := slots[ref.i][ref.j].st
+			reqs[k] = sidecar.PullBGPRequest{
+				Exporter: nbLists[ref.i][ref.j], Puller: names[ref.i],
+				Since: st.Version, Seen: st.Seen,
+			}
+		}
+		replies, err := peer.PullBGPBatch(reqs)
+		if err != nil && isNoBatchErr(err) {
+			// Old peer binary: remember and fall back to per-pull calls.
+			w.markNoBatch(owner)
+			for k, ref := range refs {
+				s := &slots[ref.i][ref.j]
+				advs, ver, fresh, err := peer.PullBGP(reqs[k].Exporter, reqs[k].Puller, reqs[k].Since, reqs[k].Seen)
+				if err != nil {
+					return fmt.Errorf("core: worker %d pulling %s→%s: %w", w.id, reqs[k].Exporter, reqs[k].Puller, err)
+				}
+				s.ver, s.fresh, s.advs = ver, fresh, advs
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: worker %d batch-pulling %d exports from worker %d: %w", w.id, len(reqs), owner, err)
+		}
+		if len(replies) != len(reqs) {
+			return fmt.Errorf("core: worker %d: batch pull from worker %d returned %d replies for %d requests", w.id, owner, len(replies), len(reqs))
+		}
+		for k, ref := range refs {
+			s := &slots[ref.i][ref.j]
+			s.ver, s.fresh, s.advs = replies[k].Version, replies[k].Fresh, replies[k].Advs
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase C: deterministic assembly in (node, neighbor) order — identical
+	// to the sequential walk.
+	exchanged := 0
+	pending := map[string]map[string][]bgp.Advertisement{}
+	for i, name := range names {
+		for j := range slots[i] {
+			s := &slots[i][j]
+			if s.st == nil || !s.fresh {
+				continue
+			}
+			s.st.Version, s.st.Seen = s.ver, true
+			if pending[name] == nil {
+				pending[name] = map[string][]bgp.Advertisement{}
+			}
+			pending[name][nbLists[i][j]] = s.advs
+			exchanged += len(s.advs)
+		}
+	}
+	w.pendingBGP = pending
+	w.obsRoutesExchanged("bgp", exchanged)
+	return nil
+}
+
+// gatherBGPSeq is the original single-threaded gather, kept verbatim as
+// the -procs=1 -no-batch-pulls reference path.
+func (w *Worker) gatherBGPSeq() error {
 	exchanged := 0
 	pending := map[string]map[string][]bgp.Advertisement{}
 	for _, name := range w.localNames {
@@ -382,30 +622,53 @@ func (w *Worker) GatherBGP() error {
 // ApplyBGP implements sidecar.WorkerAPI: phase 2 — apply the gathered
 // imports and rerun decisions. The reply carries per-iteration progress:
 // how many local nodes changed and how many Loc-RIB routes are settled.
+// Each node mutates only its own process, so the per-node work runs on the
+// pool; the needsRun map is read-only during the tasks (every node ends the
+// phase with needsRun=false, applied in the sequential merge).
 func (w *Worker) ApplyBGP() (sidecar.ApplyReply, error) {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
 	span := w.obsWorkerSpan("apply-bgp")
 	defer span.End()
 	var reply sidecar.ApplyReply
-	for _, name := range w.localNames {
-		proc, ok := w.bgpProcs[name]
+	names := w.localNames
+	type applyRes struct {
+		isProc, ran, changed bool
+		routes               int
+	}
+	res := make([]applyRes, len(names))
+	err := runIndexed(w.procs, len(names), func(i int) error {
+		proc, ok := w.bgpProcs[names[i]]
 		if !ok {
+			return nil
+		}
+		res[i].isProc = true
+		imported := false
+		for nb, advs := range w.pendingBGP[names[i]] {
+			if proc.ImportFrom(nb, advs) {
+				imported = true
+			}
+		}
+		if w.needsRun[names[i]] || imported {
+			res[i].ran = true
+			res[i].changed = proc.RunDecision()
+		}
+		res[i].routes = proc.LocRIB().RouteCount()
+		return nil
+	})
+	if err != nil {
+		return reply, err
+	}
+	for i, name := range names {
+		if !res[i].isProc {
 			continue
 		}
-		for nb, advs := range w.pendingBGP[name] {
-			if proc.ImportFrom(nb, advs) {
-				w.needsRun[name] = true
-			}
+		w.needsRun[name] = false
+		if res[i].ran && res[i].changed {
+			reply.Changed = true
+			reply.ChangedNodes++
 		}
-		if w.needsRun[name] {
-			w.needsRun[name] = false
-			if proc.RunDecision() {
-				reply.Changed = true
-				reply.ChangedNodes++
-			}
-		}
-		reply.Routes += proc.LocRIB().RouteCount()
+		reply.Routes += res[i].routes
 	}
 	w.pendingBGP = nil
 	if err := w.tracker.CheckBudget(); err != nil {
@@ -415,11 +678,136 @@ func (w *Worker) ApplyBGP() (sidecar.ApplyReply, error) {
 }
 
 // GatherOSPF implements sidecar.WorkerAPI (phase 1 for LSA flooding).
+// Parallel/batched exactly like GatherBGP; the flat per-node LSA list is
+// reassembled in neighbor order, which MergeLSAs depends on (a later LSA
+// from the same router supersedes an earlier one).
 func (w *Worker) GatherOSPF() error {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
 	span := w.obsWorkerSpan("gather-ospf")
 	defer span.End()
+	if w.procs <= 1 && !w.batchPull {
+		return w.gatherOSPFSeq()
+	}
+	names := w.localNames
+	nbLists := make([][]string, len(names))
+	slots := make([][]pullSlot, len(names))
+	var batchMu sync.Mutex
+	batch := map[int][]batchRef{}
+
+	err := runIndexed(w.procs, len(names), func(i int) error {
+		name := names[i]
+		proc, ok := w.ospfProcs[name]
+		if !ok {
+			return nil
+		}
+		nbs := proc.NeighborNames()
+		nbLists[i] = nbs
+		ss := make([]pullSlot, len(nbs))
+		slots[i] = ss
+		for j, nb := range nbs {
+			owner := w.assignment[nb]
+			if owner == w.id {
+				p, ok := w.ospfProcs[nb]
+				if !ok {
+					continue
+				}
+				st := w.ospfPulls.Get(name, nb)
+				lsas, ver, fresh := p.LSAsTo(name, st.Version, st.Seen)
+				ss[j] = pullSlot{st: st, ver: ver, fresh: fresh, lsas: lsas}
+				continue
+			}
+			peer := w.peers[owner]
+			if peer == nil {
+				continue
+			}
+			st := w.ospfPulls.Get(name, nb)
+			if w.batchPull && !w.peerLacksBatch(owner) {
+				ss[j].st = st
+				batchMu.Lock()
+				batch[owner] = append(batch[owner], batchRef{i, j})
+				batchMu.Unlock()
+				continue
+			}
+			lsas, ver, fresh, err := peer.PullLSAs(nb, name, st.Version, st.Seen)
+			if err != nil {
+				return fmt.Errorf("core: worker %d pulling LSAs %s→%s: %w", w.id, nb, name, err)
+			}
+			ss[j] = pullSlot{st: st, ver: ver, fresh: fresh, lsas: lsas}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	owners := make([]int, 0, len(batch))
+	for o := range batch {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	err = runIndexed(w.procs, len(owners), func(oi int) error {
+		owner := owners[oi]
+		refs := batch[owner]
+		peer := w.peers[owner]
+		reqs := make([]sidecar.PullLSAsRequest, len(refs))
+		for k, ref := range refs {
+			st := slots[ref.i][ref.j].st
+			reqs[k] = sidecar.PullLSAsRequest{
+				Exporter: nbLists[ref.i][ref.j], Puller: names[ref.i],
+				Since: st.Version, Seen: st.Seen,
+			}
+		}
+		replies, err := peer.PullLSABatch(reqs)
+		if err != nil && isNoBatchErr(err) {
+			w.markNoBatch(owner)
+			for k, ref := range refs {
+				s := &slots[ref.i][ref.j]
+				lsas, ver, fresh, err := peer.PullLSAs(reqs[k].Exporter, reqs[k].Puller, reqs[k].Since, reqs[k].Seen)
+				if err != nil {
+					return fmt.Errorf("core: worker %d pulling LSAs %s→%s: %w", w.id, reqs[k].Exporter, reqs[k].Puller, err)
+				}
+				s.ver, s.fresh, s.lsas = ver, fresh, lsas
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: worker %d batch-pulling %d LSA exports from worker %d: %w", w.id, len(reqs), owner, err)
+		}
+		if len(replies) != len(reqs) {
+			return fmt.Errorf("core: worker %d: batch pull from worker %d returned %d replies for %d requests", w.id, owner, len(replies), len(reqs))
+		}
+		for k, ref := range refs {
+			s := &slots[ref.i][ref.j]
+			s.ver, s.fresh, s.lsas = replies[k].Version, replies[k].Fresh, replies[k].LSAs
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	exchanged := 0
+	pending := map[string][]*ospf.LSA{}
+	for i, name := range names {
+		for j := range slots[i] {
+			s := &slots[i][j]
+			if s.st == nil || !s.fresh {
+				continue
+			}
+			s.st.Version, s.st.Seen = s.ver, true
+			pending[name] = append(pending[name], s.lsas...)
+			exchanged += len(s.lsas)
+		}
+	}
+	w.pendingLSAs = pending
+	w.obsRoutesExchanged("ospf", exchanged)
+	return nil
+}
+
+// gatherOSPFSeq is the original single-threaded gather, kept verbatim as
+// the -procs=1 -no-batch-pulls reference path.
+func (w *Worker) gatherOSPFSeq() error {
 	exchanged := 0
 	pending := map[string][]*ospf.LSA{}
 	for _, name := range w.localNames {
@@ -451,32 +839,50 @@ func (w *Worker) GatherOSPF() error {
 }
 
 // ApplyOSPF implements sidecar.WorkerAPI (phase 2 for LSA merge + SPF).
+// Per-node LSDB merges and SPF runs are independent, so they run on the
+// pool with a deterministic sequential merge of the reply counters.
 func (w *Worker) ApplyOSPF() (sidecar.ApplyReply, error) {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
 	span := w.obsWorkerSpan("apply-ospf")
 	defer span.End()
 	var reply sidecar.ApplyReply
-	for _, name := range w.localNames {
-		proc, ok := w.ospfProcs[name]
+	names := w.localNames
+	type applyRes struct {
+		isProc, changed bool
+		routes          int
+	}
+	res := make([]applyRes, len(names))
+	err := runIndexed(w.procs, len(names), func(i int) error {
+		proc, ok := w.ospfProcs[names[i]]
 		if !ok {
-			continue
+			return nil
 		}
-		nodeChanged := false
-		merged := proc.MergeLSAs(w.pendingLSAs[name])
+		res[i].isProc = true
+		merged := proc.MergeLSAs(w.pendingLSAs[names[i]])
 		if merged || proc.Routes().Len() == 0 {
 			if proc.RunSPF() {
-				nodeChanged = true
+				res[i].changed = true
 			}
 		}
 		if merged {
-			nodeChanged = true
+			res[i].changed = true
 		}
-		if nodeChanged {
+		res[i].routes = proc.Routes().RouteCount()
+		return nil
+	})
+	if err != nil {
+		return reply, err
+	}
+	for i := range names {
+		if !res[i].isProc {
+			continue
+		}
+		if res[i].changed {
 			reply.Changed = true
 			reply.ChangedNodes++
 		}
-		reply.Routes += proc.Routes().RouteCount()
+		reply.Routes += res[i].routes
 	}
 	w.pendingLSAs = nil
 	if err := w.tracker.CheckBudget(); err != nil {
@@ -526,7 +932,26 @@ func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
 			}
 		}
 	}
+	// Harvest with one backing array of stripped copies per node (plus one
+	// pointer array) instead of a fresh slice per prefix and a fresh Route
+	// per entry — the dominant allocation churn of the shard loop (see
+	// BenchmarkEndShardHarvest). Spill mode reuses w.liteScratch across
+	// shards: the copies are dead once the shard hits disk.
 	shardLite := map[string][]*route.Route{}
+	scratchOff := 0
+	scratch := func(n int) []route.Route {
+		if scratchOff+n > len(w.liteScratch) {
+			// A fresh, larger block. Pointers already handed out keep
+			// referencing the old block, which stays correct; the new block
+			// is what future shards reuse.
+			size := 2 * (scratchOff + n)
+			w.liteScratch = make([]route.Route, size)
+			scratchOff = 0
+		}
+		s := w.liteScratch[scratchOff : scratchOff+n : scratchOff+n]
+		scratchOff += n
+		return s
+	}
 	for _, name := range w.localNames {
 		proc, ok := w.bgpProcs[name]
 		if !ok {
@@ -536,21 +961,38 @@ func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
 			reply.Conditions = append(reply.Conditions, sidecar.ConditionReport{Device: name, PrefixList: list})
 		}
 		rib := proc.LocRIB()
-		reply.Routes += rib.RouteCount()
-		rib.Walk(func(p route.Prefix, rs []*route.Route) {
-			lites := make([]*route.Route, len(rs))
-			for i, r := range rs {
-				lites[i] = liteRoute(r)
-			}
-			if w.spillDir != "" {
-				shardLite[name] = append(shardLite[name], lites...)
-			} else {
+		total := rib.RouteCount()
+		reply.Routes += total
+		if w.spillDir != "" {
+			lites := make([]*route.Route, 0, total)
+			rib.Walk(func(p route.Prefix, rs []*route.Route) {
+				backing := scratch(len(rs))
+				for i, r := range rs {
+					backing[i] = route.Route{Prefix: r.Prefix, Protocol: r.Protocol, NextHop: r.NextHop, NextHopNode: r.NextHopNode}
+					lites = append(lites, &backing[i])
+				}
+				if w.keepRIBs {
+					w.finalRIBs[name].SetRoutes(p, rs)
+				}
+			})
+			shardLite[name] = lites
+		} else {
+			backing := make([]route.Route, total)
+			ptrs := make([]*route.Route, total)
+			off := 0
+			rib.Walk(func(p route.Prefix, rs []*route.Route) {
+				lites := ptrs[off : off+len(rs) : off+len(rs)]
+				for i, r := range rs {
+					backing[off+i] = route.Route{Prefix: r.Prefix, Protocol: r.Protocol, NextHop: r.NextHop, NextHopNode: r.NextHopNode}
+					lites[i] = &backing[off+i]
+				}
+				off += len(rs)
 				w.fibRIBs[name].SetRoutes(p, lites)
-			}
-			if w.keepRIBs {
-				w.finalRIBs[name].SetRoutes(p, rs)
-			}
-		})
+				if w.keepRIBs {
+					w.finalRIBs[name].SetRoutes(p, rs)
+				}
+			})
+		}
 		// Free the shard's full-attribute state now; the next BeginShard
 		// would do it anyway, but the paper's point is that the peak
 		// drops when the shard's routes leave memory.
@@ -641,9 +1083,21 @@ func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
 	w.engine.SetGrowObserver(func(delta int) {
 		w.tracker.Add("bdd", int64(delta)*bdd.NodeModelBytes)
 	})
+	// Per-node FIB builds and BDD compiles are independent given the
+	// concurrent engine, so they run on the pool; the reply counters and
+	// error list merge sequentially in name order.
 	w.nodesDP = map[string]*dataplane.NodeDP{}
 	var fibBytes int64
-	for _, name := range w.localNames {
+	type dpRes struct {
+		errs    []string
+		entries int
+		bytes   int64
+		node    *dataplane.NodeDP
+	}
+	names := w.localNames
+	res := make([]dpRes, len(names))
+	err := runIndexed(w.procs, len(names), func(i int) error {
+		name := names[i]
 		dev := w.devices[name]
 		var ribs []*route.RIB
 		ribs = append(ribs, w.fibRIBs[name])
@@ -652,15 +1106,25 @@ func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
 		}
 		fib, errs := dataplane.BuildFIB(dev, ribs...)
 		for _, e := range errs {
-			reply.Errors = append(reply.Errors, e.Error())
+			res[i].errs = append(res[i].errs, e.Error())
 		}
-		reply.FIBEntries += len(fib.Entries)
-		fibBytes += fib.ModelBytes()
+		res[i].entries = len(fib.Entries)
+		res[i].bytes = fib.ModelBytes()
 		n, err := dataplane.CompileNode(w.engine, dev, fib)
 		if err != nil {
-			return reply, err
+			return err
 		}
-		w.nodesDP[name] = n
+		res[i].node = n
+		return nil
+	})
+	if err != nil {
+		return reply, err
+	}
+	for i, name := range names {
+		reply.Errors = append(reply.Errors, res[i].errs...)
+		reply.FIBEntries += res[i].entries
+		fibBytes += res[i].bytes
+		w.nodesDP[name] = res[i].node
 	}
 	w.tracker.Set("fib.compiled", fibBytes)
 	reply.BDDNodes = w.engine.NodeCount()
@@ -729,12 +1193,18 @@ func (w *Worker) DeliverPackets(items []sidecar.PacketDelivery) error {
 
 // DPRound implements sidecar.WorkerAPI: process one wavefront hop for all
 // queued packets on local nodes (Figure 3's per-worker forwarding), sending
-// boundary-crossing packets to peer sidecars.
+// boundary-crossing packets to peer sidecars. At procs>1 the per-slot
+// Forward calls run concurrently against the shared engine (see
+// dpRoundParallel); procs<=1 keeps the original sequential body, including
+// its mid-round adaptive GC.
 func (w *Worker) DPRound() error {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
 	if w.query == nil {
 		return fmt.Errorf("core: worker %d: no active query", w.id)
+	}
+	if w.procs > 1 {
+		return w.dpRoundParallel()
 	}
 	// Drain the inbox into the queue (deserializing on our goroutine).
 	w.qmu.Lock()
@@ -875,6 +1345,201 @@ func (w *Worker) DPRound() error {
 	// and un-contended (§4.3). The grow observer has already charged the
 	// intra-round high water to the tracker, so the peak is preserved.
 	// Collect when the table has grown 25% past the last collection.
+	if w.engine.NodeCount() > w.lastGCNodes+w.lastGCNodes/4+2048 {
+		w.gcEngine()
+	}
+	return w.tracker.CheckBudget()
+}
+
+// dpRoundParallel is DPRound's multi-core body: the slots' Forward calls
+// (and the serialization of boundary-crossing packets) run on the pool
+// against the concurrent engine, then classification, next-wavefront
+// merging, and peer delivery happen sequentially in slot order so outcomes
+// and deliveries stay deterministic. The mid-round adaptive GC runs at
+// chunk boundaries (see below) — the engine's collector is stop-the-world
+// and must not run under the pool.
+func (w *Worker) dpRoundParallel() error {
+	w.qmu.Lock()
+	inbox := w.inbox
+	w.inbox = nil
+	cur := w.queue
+	w.queue = map[packetSlot]bdd.Ref{}
+	w.queueLen = 0
+	w.qmu.Unlock()
+
+	for _, d := range inbox {
+		pkt, err := w.engine.Deserialize(d.Packet)
+		if err != nil {
+			return fmt.Errorf("core: worker %d deserializing packet for %s: %w", w.id, d.Node, err)
+		}
+		slot := packetSlot{source: d.Source, node: d.Node, inPort: d.InPort}
+		if prev, ok := cur[slot]; ok {
+			merged, err := w.engine.Or(prev, pkt)
+			if err != nil {
+				return err
+			}
+			cur[slot] = merged
+		} else {
+			cur[slot] = pkt
+		}
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+
+	// Deterministic processing order.
+	slots := make([]packetSlot, 0, len(cur))
+	for s := range cur {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		a, b := slots[i], slots[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.inPort != b.inPort {
+			return a.inPort < b.inPort
+		}
+		return a.source < b.source
+	})
+
+	type portOut struct {
+		out    bdd.Ref
+		edge   bool
+		dest   dataplane.PortDest
+		owner  int
+		packet []byte // pre-serialized when bound for another worker
+	}
+	type fwdRes struct {
+		local, dropped bdd.Ref
+		ports          []portOut
+	}
+	nextLocal := map[packetSlot]bdd.Ref{}
+	remote := map[int][]sidecar.PacketDelivery{}
+	res := make([]fwdRes, len(slots))
+	// Slots are processed in chunks: each chunk's Forward calls (and remote
+	// serialization) run on the pool, then classification and next-wavefront
+	// merging happen sequentially in slot order. Chunk boundaries are the
+	// safe points for the mid-round adaptive GC the sequential path does per
+	// slot — the collector is stop-the-world, so it cannot run under the
+	// pool, but heavy rounds still need garbage bounded mid-round.
+	chunk := 64 * w.procs
+	for lo := 0; lo < len(slots); lo += chunk {
+		hi := lo + chunk
+		if hi > len(slots) {
+			hi = len(slots)
+		}
+		if w.engine.NodeCount() > 2*w.lastGCNodes+16384 {
+			remap := w.gcWithExtraRoots(func(add func(bdd.Ref)) {
+				for _, rest := range slots[lo:] {
+					add(cur[rest])
+				}
+				for _, r := range nextLocal {
+					add(r)
+				}
+			})
+			for _, rest := range slots[lo:] {
+				cur[rest] = remap(cur[rest])
+			}
+			for k, r := range nextLocal {
+				nextLocal[k] = remap(r)
+			}
+		}
+		err := runIndexed(w.procs, hi-lo, func(i int) error {
+			si := lo + i
+			s := slots[si]
+			n, ok := w.nodesDP[s.node]
+			if !ok {
+				return fmt.Errorf("core: worker %d received packet for non-local node %q", w.id, s.node)
+			}
+			r, err := n.Forward(w.engine, cur[s], s.inPort)
+			if err != nil {
+				return err
+			}
+			res[si].local, res[si].dropped = r.Local, r.Dropped
+			ports := make([]string, 0, len(r.Out))
+			for port := range r.Out {
+				ports = append(ports, port)
+			}
+			sort.Strings(ports)
+			for _, port := range ports {
+				po := portOut{out: r.Out[port]}
+				dest, ok := w.adjIndex[s.node][port]
+				if !ok {
+					po.edge = true
+				} else {
+					po.dest = dest
+					po.owner = w.assignment[dest.Node]
+					if po.owner != w.id {
+						po.packet = w.engine.Serialize(po.out)
+					}
+				}
+				res[si].ports = append(res[si].ports, po)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		for si := lo; si < hi; si++ {
+			s := slots[si]
+			w.classify(s.source, s.node, dataplane.Arrive, res[si].local)
+			w.classify(s.source, s.node, dataplane.Blackhole, res[si].dropped)
+			for _, po := range res[si].ports {
+				if po.edge {
+					// Edge port: leaves the network here.
+					state := dataplane.Exit
+					if w.isDest(s.node) {
+						state = dataplane.Arrive
+					}
+					w.classify(s.source, s.node, state, po.out)
+					continue
+				}
+				if po.owner == w.id {
+					slot := packetSlot{source: s.source, node: po.dest.Node, inPort: po.dest.Port}
+					if prev, ok := nextLocal[slot]; ok {
+						merged, err := w.engine.Or(prev, po.out)
+						if err != nil {
+							return err
+						}
+						nextLocal[slot] = merged
+					} else {
+						nextLocal[slot] = po.out
+					}
+				} else {
+					remote[po.owner] = append(remote[po.owner], sidecar.PacketDelivery{
+						Source: s.source,
+						Node:   po.dest.Node,
+						InPort: po.dest.Port,
+						Packet: po.packet,
+					})
+				}
+			}
+		}
+	}
+
+	// Ship boundary crossings (③→④→⑤ in Figure 3).
+	owners := make([]int, 0, len(remote))
+	for o := range remote {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	for _, o := range owners {
+		peer := w.peers[o]
+		if peer == nil {
+			return fmt.Errorf("core: worker %d has no peer %d", w.id, o)
+		}
+		if err := peer.DeliverPackets(remote[o]); err != nil {
+			return fmt.Errorf("core: worker %d delivering to %d: %w", w.id, o, err)
+		}
+	}
+
+	w.qmu.Lock()
+	w.queue = nextLocal
+	w.queueLen = len(nextLocal)
+	w.qmu.Unlock()
+
 	if w.engine.NodeCount() > w.lastGCNodes+w.lastGCNodes/4+2048 {
 		w.gcEngine()
 	}

@@ -16,6 +16,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -51,6 +52,11 @@ type Config struct {
 	DCN synth.DCNOptions
 	// Seed fixes all randomized choices.
 	Seed int64
+	// Procs is the per-worker goroutine pool for every S2 run (0 = all
+	// CPUs, 1 = sequential; the s2bench -procs flag).
+	Procs int
+	// ProcsSweep is Figure 11's pool-size ladder (default {1, 2, 4, 8}).
+	ProcsSweep []int
 }
 
 // Defaults fills unset fields.
@@ -72,6 +78,9 @@ func (c Config) Defaults() Config {
 	}
 	if len(c.ShardSweep) == 0 {
 		c.ShardSweep = []int{1, 5, 10, 15, 20, 25, 30, 40}
+	}
+	if len(c.ProcsSweep) == 0 {
+		c.ProcsSweep = []int{1, 2, 4, 8}
 	}
 	if c.DCN.Clusters == 0 {
 		c.DCN = synth.DCNOptions{
@@ -99,7 +108,8 @@ func Quick() Config {
 			Clusters: 2, TORsPerCluster: 4, FabricWidth: 4, CoreWidth: 3,
 			DeepClusters: true, WithAggregation: true, VLANsPerTOR: 8,
 		},
-		Seed: 1,
+		Seed:       1,
+		ProcsSweep: []int{1, 2},
 	}.Defaults()
 }
 
@@ -123,6 +133,10 @@ type Row struct {
 	DPCompute time.Duration
 	DPForward time.Duration
 	Total     time.Duration
+	// WallTime is the real elapsed time of the whole run — the number the
+	// multi-core speedup figures compare, since critical-path durations
+	// already simulate cluster parallelism.
+	WallTime time.Duration `json:",omitempty"`
 
 	// PeakBytes is the highest per-worker modelled peak.
 	PeakBytes int64
@@ -203,6 +217,28 @@ type s2Params struct {
 	budget  int64
 	loadOf  func(string) int64
 	seed    int64
+	procs   int  // per-worker pool size (0 = all CPUs)
+	noBatch bool // disable cross-worker pull batching
+}
+
+// resolvedProcs mirrors the controller's Parallelism default so telemetry
+// records the pool size actually used.
+func (p s2Params) resolvedProcs() int {
+	if p.procs > 0 {
+		return p.procs
+	}
+	return runtime.NumCPU()
+}
+
+// recordPoolTelemetry stamps the run's pool and batching knobs into the
+// telemetry map next to the metrics snapshot (s2bench -json rows).
+func recordPoolTelemetry(t map[string]float64, p s2Params) {
+	t["s2_pool_procs"] = float64(p.resolvedProcs())
+	if p.noBatch {
+		t["s2_batch_pulls_enabled"] = 0
+	} else {
+		t["s2_batch_pulls_enabled"] = 1
+	}
 }
 
 func runS2(texts map[string]string, p s2Params) (row Row) {
@@ -223,12 +259,20 @@ func runS2(texts map[string]string, p s2Params) (row Row) {
 		LoadOf:       p.loadOf,
 		Sequential:   true,
 		Metrics:      reg,
+
+		Parallelism:       p.procs,
+		DisableBatchPulls: p.noBatch,
 	})
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
-	defer func() { row.Telemetry = reg.Snapshot() }()
+	start := time.Now()
+	defer func() {
+		row.WallTime = time.Since(start)
+		row.Telemetry = reg.Snapshot()
+		recordPoolTelemetry(row.Telemetry, p)
+	}()
 	if err := ctrl.RunControlPlane(); err != nil {
 		return finishErr(row, err)
 	}
@@ -275,12 +319,20 @@ func runS2CP(texts map[string]string, p s2Params) (row Row) {
 		KeepRIBs:     true,
 		Sequential:   true,
 		Metrics:      reg,
+
+		Parallelism:       p.procs,
+		DisableBatchPulls: p.noBatch,
 	})
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
-	defer func() { row.Telemetry = reg.Snapshot() }()
+	start := time.Now()
+	defer func() {
+		row.WallTime = time.Since(start)
+		row.Telemetry = reg.Snapshot()
+		recordPoolTelemetry(row.Telemetry, p)
+	}()
 	if err := ctrl.RunControlPlane(); err != nil {
 		return finishErr(row, err)
 	}

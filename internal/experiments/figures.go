@@ -36,8 +36,8 @@ func Figure4(cfg Config) ([]Row, error) {
 	mk(runBatfish(snap2, 1, budget, cfg.Seed), "no-shard")
 	snap3, _, _ := dcnSnap(cfg.DCN)
 	mk(runBatfish(snap3, cfg.Shards, budget, cfg.Seed), fmt.Sprintf("%d-shards", cfg.Shards))
-	mk(runS2(texts, s2Params{workers: cfg.MaxWorkers, shards: 1, budget: budget, seed: cfg.Seed}), "no-shard")
-	mk(runS2(texts, s2Params{workers: cfg.MaxWorkers, shards: cfg.Shards, budget: budget, seed: cfg.Seed}), fmt.Sprintf("%d-shards", cfg.Shards))
+	mk(runS2(texts, s2Params{workers: cfg.MaxWorkers, shards: 1, budget: budget, seed: cfg.Seed, procs: cfg.Procs}), "no-shard")
+	mk(runS2(texts, s2Params{workers: cfg.MaxWorkers, shards: cfg.Shards, budget: budget, seed: cfg.Seed, procs: cfg.Procs}), fmt.Sprintf("%d-shards", cfg.Shards))
 	return rows, nil
 }
 
@@ -87,7 +87,7 @@ func Figure5(cfg Config) ([]Row, error) {
 			}
 			sr := runS2(texts, s2Params{
 				workers: w, shards: cfg.Shards, budget: budget,
-				loadOf: partition.EstimateFatTreeLoad(k), seed: cfg.Seed,
+				loadOf: partition.EstimateFatTreeLoad(k), seed: cfg.Seed, procs: cfg.Procs,
 			})
 			sr.Figure, sr.Network = "fig5", network
 			rows = append(rows, sr)
@@ -134,7 +134,7 @@ func Figure6(cfg Config) ([]Row, error) {
 	for _, w := range cfg.Workers {
 		r := runS2(texts, s2Params{
 			workers: w, shards: cfg.Shards,
-			loadOf: partition.EstimateFatTreeLoad(cfg.FixedK), seed: cfg.Seed,
+			loadOf: partition.EstimateFatTreeLoad(cfg.FixedK), seed: cfg.Seed, procs: cfg.Procs,
 		})
 		r.Figure, r.Network, r.Variant = "fig6", network, fmt.Sprintf("%dw", w)
 		rows = append(rows, r)
@@ -171,7 +171,7 @@ func Figure7(cfg Config) ([]Row, error) {
 		for _, scheme := range schemes {
 			r := runS2(tc.texts, s2Params{
 				workers: cfg.MaxWorkers / 2, shards: cfg.Shards,
-				scheme: scheme, loadOf: tc.loadOf, seed: cfg.Seed,
+				scheme: scheme, loadOf: tc.loadOf, seed: cfg.Seed, procs: cfg.Procs,
 			})
 			r.Figure, r.Network, r.Variant = "fig7", tc.network, string(scheme)
 			rows = append(rows, r)
@@ -193,7 +193,7 @@ func Figure8(cfg Config) ([]Row, error) {
 		return nil, err
 	}
 	ref := runS2CP(texts, s2Params{workers: cfg.MaxWorkers / 2, shards: 1,
-		loadOf: partition.EstimateFatTreeLoad(mid), seed: cfg.Seed})
+		loadOf: partition.EstimateFatTreeLoad(mid), seed: cfg.Seed, procs: cfg.Procs})
 	if ref.Err != "" {
 		return nil, fmt.Errorf("figure8 calibration: %s", ref.Err)
 	}
@@ -213,7 +213,7 @@ func Figure8(cfg Config) ([]Row, error) {
 			}
 			r := runS2CP(texts, s2Params{
 				workers: cfg.MaxWorkers / 2, shards: shards, budget: budget,
-				loadOf: partition.EstimateFatTreeLoad(k), seed: cfg.Seed,
+				loadOf: partition.EstimateFatTreeLoad(k), seed: cfg.Seed, procs: cfg.Procs,
 			})
 			r.Figure, r.Network, r.Variant = "fig8", network, variant
 			rows = append(rows, r)
@@ -237,7 +237,7 @@ func Figure9(cfg Config) ([]Row, error) {
 	for _, shards := range cfg.ShardSweep {
 		r := runS2CP(texts, s2Params{
 			workers: cfg.MaxWorkers / 2, shards: shards,
-			loadOf: partition.EstimateFatTreeLoad(cfg.FixedK), seed: cfg.Seed,
+			loadOf: partition.EstimateFatTreeLoad(cfg.FixedK), seed: cfg.Seed, procs: cfg.Procs,
 		})
 		r.Figure, r.Network, r.Variant = "fig9", network, fmt.Sprintf("%d-shards", shards)
 		rows = append(rows, r)
@@ -273,7 +273,7 @@ func Figure10(cfg Config) ([]Row, error) {
 
 		// S2 all-pair.
 		s2ap := runS2(texts, s2Params{workers: cfg.MaxWorkers, shards: cfg.Shards,
-			loadOf: partition.EstimateFatTreeLoad(k), seed: cfg.Seed})
+			loadOf: partition.EstimateFatTreeLoad(k), seed: cfg.Seed, procs: cfg.Procs})
 		s2ap.Figure, s2ap.Network, s2ap.Variant = "fig10", network, "all-pair"
 		rows = append(rows, s2ap)
 		// S2 single-pair.
@@ -283,6 +283,42 @@ func Figure10(cfg Config) ([]Row, error) {
 		}
 		s2sp.Figure, s2sp.Network, s2sp.Variant = "fig10", network, "single-pair"
 		rows = append(rows, s2sp)
+	}
+	return rows, nil
+}
+
+// Figure11 measures this implementation's multi-core hot path (not a paper
+// figure): one FatTree, a fixed worker count, sweeping the per-worker pool
+// size with cross-worker pull batching on and off. Wall clock should fall
+// as the pool grows (bounded by the host's core count — see the README's
+// note on reading these numbers) and the batched runs should show fewer
+// client RPCs (s2_rpc_calls_total in the row telemetry) at equal results.
+func Figure11(cfg Config) ([]Row, error) {
+	cfg = cfg.Defaults()
+	_, texts, err := fatTreeSnap(cfg.FixedK)
+	if err != nil {
+		return nil, err
+	}
+	network := fmt.Sprintf("FatTree%d", cfg.FixedK)
+	workers := cfg.MaxWorkers / 2
+	if workers < 2 {
+		workers = 2
+	}
+	var rows []Row
+	for _, noBatch := range []bool{false, true} {
+		for _, procs := range cfg.ProcsSweep {
+			r := runS2(texts, s2Params{
+				workers: workers, shards: cfg.Shards,
+				loadOf: partition.EstimateFatTreeLoad(cfg.FixedK), seed: cfg.Seed,
+				procs: procs, noBatch: noBatch,
+			})
+			variant := fmt.Sprintf("p%d+batch", procs)
+			if noBatch {
+				variant = fmt.Sprintf("p%d", procs)
+			}
+			r.Figure, r.Network, r.Variant = "fig11", network, variant
+			rows = append(rows, r)
+		}
 	}
 	return rows, nil
 }

@@ -58,11 +58,12 @@ func runS2SinglePair(texts map[string]string, k int, cfg Config) (Row, error) {
 	}
 	row.Switches = len(snap.Devices)
 	ctrl, err := core.NewController(snap, texts, core.Options{
-		Workers:    cfg.MaxWorkers,
-		Shards:     cfg.Shards,
-		Seed:       cfg.Seed,
-		LoadOf:     partition.EstimateFatTreeLoad(k),
-		Sequential: true,
+		Workers:     cfg.MaxWorkers,
+		Shards:      cfg.Shards,
+		Seed:        cfg.Seed,
+		LoadOf:      partition.EstimateFatTreeLoad(k),
+		Sequential:  true,
+		Parallelism: cfg.Procs,
 	})
 	if err != nil {
 		return row, err

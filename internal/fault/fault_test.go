@@ -318,6 +318,12 @@ func (n *nullWorker) PullBGP(string, string, uint64, bool) ([]bgp.Advertisement,
 func (n *nullWorker) PullLSAs(string, string, uint64, bool) ([]*ospf.LSA, uint64, bool, error) {
 	return nil, 0, false, nil
 }
+func (n *nullWorker) PullBGPBatch(reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
+	return make([]sidecar.PullBGPReply, len(reqs)), nil
+}
+func (n *nullWorker) PullLSABatch(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSAsReply, error) {
+	return make([]sidecar.PullLSAsReply, len(reqs)), nil
+}
 func (n *nullWorker) ComputeDP() (sidecar.ComputeDPReply, error) {
 	return sidecar.ComputeDPReply{}, nil
 }

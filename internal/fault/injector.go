@@ -194,6 +194,20 @@ func (j *Injector) PullLSAs(exporter, puller string, since uint64, seen bool) ([
 	return j.inner.PullLSAs(exporter, puller, since, seen)
 }
 
+func (j *Injector) PullBGPBatch(reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
+	if err := j.before("PullBGPBatch"); err != nil {
+		return nil, err
+	}
+	return j.inner.PullBGPBatch(reqs)
+}
+
+func (j *Injector) PullLSABatch(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSAsReply, error) {
+	if err := j.before("PullLSABatch"); err != nil {
+		return nil, err
+	}
+	return j.inner.PullLSABatch(reqs)
+}
+
 func (j *Injector) ComputeDP() (sidecar.ComputeDPReply, error) {
 	if err := j.before("ComputeDP"); err != nil {
 		return sidecar.ComputeDPReply{}, err

@@ -96,6 +96,26 @@ func (w *wrapped) PullLSAs(exporter, puller string, since uint64, seen bool) ([]
 	return lsas, ver, fresh, err
 }
 
+func (w *wrapped) PullBGPBatch(reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
+	var replies []sidecar.PullBGPReply
+	err := w.c.Do("PullBGPBatch", true, func() error {
+		var err error
+		replies, err = w.api.PullBGPBatch(reqs)
+		return err
+	})
+	return replies, err
+}
+
+func (w *wrapped) PullLSABatch(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSAsReply, error) {
+	var replies []sidecar.PullLSAsReply
+	err := w.c.Do("PullLSABatch", true, func() error {
+		var err error
+		replies, err = w.api.PullLSABatch(reqs)
+		return err
+	})
+	return replies, err
+}
+
 func (w *wrapped) ComputeDP() (sidecar.ComputeDPReply, error) {
 	var reply sidecar.ComputeDPReply
 	err := w.c.Do("ComputeDP", true, func() error {

@@ -163,11 +163,16 @@ func (t *Tracer) Events() []TraceEvent {
 		for _, a := range s.attrs {
 			args[a.Key] = a.Value
 		}
+		// Derive Dur from the two truncated epoch offsets rather than
+		// truncating the duration independently: that keeps ts+dur
+		// monotone with real end times, so a child that ended before its
+		// parent in real time can never overshoot it by a rounding tick.
+		ts := s.start.Sub(epoch).Microseconds()
 		events = append(events, TraceEvent{
 			Name: s.name,
 			Ph:   "X",
-			TS:   s.start.Sub(epoch).Microseconds(),
-			Dur:  s.endTime.Sub(s.start).Microseconds(),
+			TS:   ts,
+			Dur:  s.endTime.Sub(epoch).Microseconds() - ts,
 			PID:  s.pid,
 			TID:  s.tid,
 			Args: args,

@@ -8,6 +8,7 @@ package ospf
 
 import (
 	"sort"
+	"sync"
 
 	"s2/internal/config"
 	"s2/internal/metrics"
@@ -59,8 +60,13 @@ func (l *LSA) equal(o *LSA) bool {
 	return true
 }
 
-// Process is the OSPF speaker for one device.
+// Process is the OSPF speaker for one device. Like bgp.Process, a mutex
+// serializes the entry points parallel node tasks share: gather tasks for
+// many pullers call LSAsTo on the same exporter while only the owner's
+// apply task calls MergeLSAs/RunSPF — but those phases themselves run
+// concurrently across nodes, so every state-touching method locks.
 type Process struct {
+	mu   sync.Mutex
 	dev  *config.Device
 	cfg  *config.OSPFConfig
 	adjs []topology.Adjacency
@@ -143,10 +149,18 @@ func (p *Process) buildSelfLSA() *LSA {
 }
 
 // Version returns the LSDB version.
-func (p *Process) Version() uint64 { return p.version }
+func (p *Process) Version() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.version
+}
 
 // Routes returns the computed OSPF RIB.
-func (p *Process) Routes() *route.RIB { return p.routes }
+func (p *Process) Routes() *route.RIB {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.routes
+}
 
 // NeighborNames returns adjacent OSPF-capable device names, sorted and
 // deduplicated.
@@ -164,12 +178,18 @@ func (p *Process) NeighborNames() []string {
 }
 
 // SetPrefixFilter restricts which prefixes SPF installs (shard support).
-func (p *Process) SetPrefixFilter(f func(route.Prefix) bool) { p.filter = f }
+func (p *Process) SetPrefixFilter(f func(route.Prefix) bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.filter = f
+}
 
 // LSAsTo returns the full LSDB if it changed since sinceVersion. OSPF floods
 // the database rather than per-neighbor exports, so the neighbor argument
 // only exists for interface symmetry with BGP.
 func (p *Process) LSAsTo(_ string, sinceVersion uint64, haveSeen bool) ([]*LSA, uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if haveSeen && sinceVersion == p.version {
 		return nil, p.version, false
 	}
@@ -191,6 +211,8 @@ func (p *Process) sortedLSDB() []string {
 
 // MergeLSAs integrates flooded LSAs, reporting whether the LSDB changed.
 func (p *Process) MergeLSAs(lsas []*LSA) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	changed := false
 	for _, lsa := range lsas {
 		if lsa.Router == p.self.Router {
@@ -212,6 +234,8 @@ func (p *Process) MergeLSAs(lsas []*LSA) bool {
 // RunSPF recomputes routes from the LSDB (Dijkstra with ECMP), reporting
 // whether the route table changed.
 func (p *Process) RunSPF() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	const inf = ^uint64(0)
 
 	dist := map[string]uint64{p.self.Router: 0}

@@ -228,35 +228,39 @@ func (r *Route) String() string {
 
 // Key is a canonical identity for a route used for change detection and for
 // deduplication in Adj-RIBs: two routes with equal keys are interchangeable
-// for the simulation.
+// for the simulation. The encoding is binary, not human-readable: fixed-width
+// big-endian scalars, length-prefixed attribute lists, and the next-hop node
+// name as the tail, built in a single allocation. Keys sort prefix-major
+// because the leading five bytes are Prefix.Addr and Prefix.Len in big-endian
+// order, matching Prefix.Compare.
 func (r *Route) Key() string {
 	var b strings.Builder
-	b.Grow(64)
-	b.WriteString(r.Prefix.String())
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(int(r.Protocol)))
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatUint(uint64(r.NextHop), 16))
-	b.WriteByte('|')
-	b.WriteString(r.NextHopNode)
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatUint(uint64(r.Metric), 10))
-	b.WriteByte('|')
+	b.Grow(25 + 4*len(r.ASPath) + 2 + 4*len(r.Communities) + len(r.NextHopNode))
+	put32 := func(v uint32) {
+		b.WriteByte(byte(v >> 24))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v))
+	}
+	put32(r.Prefix.Addr)
+	b.WriteByte(r.Prefix.Len)
+	b.WriteByte(byte(r.Protocol))
+	put32(r.NextHop)
+	put32(r.Metric)
+	put32(r.LocalPref)
+	b.WriteByte(byte(r.Origin))
+	put32(r.OriginatorID)
+	b.WriteByte(byte(len(r.ASPath) >> 8))
+	b.WriteByte(byte(len(r.ASPath)))
 	for _, a := range r.ASPath {
-		b.WriteString(strconv.FormatUint(uint64(a), 36))
-		b.WriteByte(',')
+		put32(a)
 	}
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatUint(uint64(r.LocalPref), 10))
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(int(r.Origin)))
-	b.WriteByte('|')
+	b.WriteByte(byte(len(r.Communities) >> 8))
+	b.WriteByte(byte(len(r.Communities)))
 	for _, c := range r.Communities {
-		b.WriteString(strconv.FormatUint(uint64(c), 36))
-		b.WriteByte(',')
+		put32(uint32(c))
 	}
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatUint(uint64(r.OriginatorID), 16))
+	b.WriteString(r.NextHopNode)
 	return b.String()
 }
 
@@ -283,12 +287,30 @@ func (r *Route) Equal(o *Route) bool {
 }
 
 // SortRoutes orders routes deterministically (prefix, then key). Used to
-// canonicalize RIB dumps for comparison between S2 and the baselines.
+// canonicalize RIB dumps for comparison between S2 and the baselines, and by
+// the BGP decision process to fix its iteration order — which makes this a
+// hot path, so keys are computed once per route up front instead of inside
+// the comparator. Key order alone is prefix-major (see Key), so a plain key
+// sort yields the documented (prefix, then key) order.
 func SortRoutes(rs []*Route) {
-	sort.Slice(rs, func(i, j int) bool {
-		if c := rs[i].Prefix.Compare(rs[j].Prefix); c != 0 {
-			return c < 0
-		}
-		return rs[i].Key() < rs[j].Key()
-	})
+	if len(rs) < 2 {
+		return
+	}
+	keys := make([]string, len(rs))
+	for i, r := range rs {
+		keys[i] = r.Key()
+	}
+	sort.Sort(&routeSorter{rs: rs, keys: keys})
+}
+
+type routeSorter struct {
+	rs   []*Route
+	keys []string
+}
+
+func (s *routeSorter) Len() int           { return len(s.rs) }
+func (s *routeSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *routeSorter) Swap(i, j int) {
+	s.rs[i], s.rs[j] = s.rs[j], s.rs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }

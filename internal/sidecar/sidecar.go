@@ -69,6 +69,15 @@ type SetupRequest struct {
 	// deliveries). Zero values mean no deadline / no retries.
 	RPCTimeout time.Duration
 	RPCRetries int
+	// Parallelism bounds the worker's per-node goroutine pool for the
+	// simulation phases (Gather*/Apply*/ComputeDP/DPRound). <= 0 falls back
+	// to the worker's own default (the s2worker -procs flag, else 1), so
+	// controllers predating this field leave old workers sequential.
+	Parallelism int
+	// DisableBatchPulls turns off coalescing of shadow-node pulls into
+	// per-owner PullBGPBatch/PullLSABatch round trips (the zero value keeps
+	// batching ON).
+	DisableBatchPulls bool
 }
 
 // BeginShardRequest starts a prefix-shard round. An empty prefix list means
@@ -136,6 +145,18 @@ type PullLSAsReply struct {
 	LSAs    []*ospf.LSA
 	Version uint64
 	Fresh   bool
+}
+
+// PullBGPBatchReply carries one reply per request of a coalesced pull, in
+// request order. Batching turns the per-shadow-node round trips of one CP
+// iteration into a single RPC per remote owner.
+type PullBGPBatchReply struct {
+	Replies []PullBGPReply
+}
+
+// PullLSABatchReply is the LSA analogue of PullBGPBatchReply.
+type PullLSABatchReply struct {
+	Replies []PullLSAsReply
 }
 
 // ComputeDPReply summarizes FIB and predicate compilation.
@@ -209,6 +230,11 @@ type WorkerAPI interface {
 
 	PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error)
 	PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error)
+	// PullBGPBatch and PullLSABatch serve many pulls in one round trip;
+	// replies align with reqs by index. Workers fall back to per-pull RPCs
+	// against peers that predate these methods.
+	PullBGPBatch(reqs []PullBGPRequest) ([]PullBGPReply, error)
+	PullLSABatch(reqs []PullLSAsRequest) ([]PullLSAsReply, error)
 
 	ComputeDP() (ComputeDPReply, error)
 	BeginQuery(req QueryRequest) error
@@ -328,6 +354,24 @@ func (s *Service) PullLSAs(req PullLSAsRequest, reply *PullLSAsReply) error {
 	return s.do("PullLSAs", func() error {
 		lsas, ver, fresh, err := s.api.PullLSAs(req.Exporter, req.Puller, req.Since, req.Seen)
 		reply.LSAs, reply.Version, reply.Fresh = lsas, ver, fresh
+		return err
+	})
+}
+
+// PullBGPBatch RPC.
+func (s *Service) PullBGPBatch(reqs []PullBGPRequest, reply *PullBGPBatchReply) error {
+	return s.do("PullBGPBatch", func() error {
+		replies, err := s.api.PullBGPBatch(reqs)
+		reply.Replies = replies
+		return err
+	})
+}
+
+// PullLSABatch RPC.
+func (s *Service) PullLSABatch(reqs []PullLSAsRequest, reply *PullLSABatchReply) error {
+	return s.do("PullLSABatch", func() error {
+		replies, err := s.api.PullLSABatch(reqs)
+		reply.Replies = replies
 		return err
 	})
 }
@@ -645,7 +689,9 @@ func rcall[R any](r *RemoteWorker, method string, idempotent bool, args any) (R,
 // to retry — a timed-out attempt may still have executed remotely, and
 // running one twice breaks the round barrier; recovery for those is
 // re-execution from a clean re-Setup. Setup/BeginShard/BeginQuery fully
-// reset the state they establish, and the rest are reads.
+// reset the state they establish, and the rest are reads — including the
+// Pull* family (plain and batch): serving a pull never mutates exporter
+// state, so a duplicate delivery of a timed-out pull is harmless.
 
 // Ping implements WorkerAPI.
 func (r *RemoteWorker) Ping() error {
@@ -704,6 +750,18 @@ func (r *RemoteWorker) PullLSAs(exporter, puller string, since uint64, seen bool
 	reply, err := rcall[PullLSAsReply](r, "PullLSAs", true,
 		PullLSAsRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen})
 	return reply.LSAs, reply.Version, reply.Fresh, err
+}
+
+// PullBGPBatch implements WorkerAPI.
+func (r *RemoteWorker) PullBGPBatch(reqs []PullBGPRequest) ([]PullBGPReply, error) {
+	reply, err := rcall[PullBGPBatchReply](r, "PullBGPBatch", true, reqs)
+	return reply.Replies, err
+}
+
+// PullLSABatch implements WorkerAPI.
+func (r *RemoteWorker) PullLSABatch(reqs []PullLSAsRequest) ([]PullLSAsReply, error) {
+	reply, err := rcall[PullLSABatchReply](r, "PullLSABatch", true, reqs)
+	return reply.Replies, err
 }
 
 // ComputeDP implements WorkerAPI.
@@ -853,6 +911,26 @@ func (o *observed) PullLSAs(exporter, puller string, since uint64, seen bool) ([
 		return err
 	})
 	return lsas, ver, fresh, err
+}
+
+func (o *observed) PullBGPBatch(reqs []PullBGPRequest) ([]PullBGPReply, error) {
+	var replies []PullBGPReply
+	err := o.obs("PullBGPBatch", func() error {
+		var err error
+		replies, err = o.api.PullBGPBatch(reqs)
+		return err
+	})
+	return replies, err
+}
+
+func (o *observed) PullLSABatch(reqs []PullLSAsRequest) ([]PullLSAsReply, error) {
+	var replies []PullLSAsReply
+	err := o.obs("PullLSABatch", func() error {
+		var err error
+		replies, err = o.api.PullLSABatch(reqs)
+		return err
+	})
+	return replies, err
 }
 
 func (o *observed) ComputeDP() (ComputeDPReply, error) {

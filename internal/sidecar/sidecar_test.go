@@ -67,6 +67,30 @@ func (s *stubWorker) PullLSAs(exporter, puller string, since uint64, seen bool) 
 	return []*ospf.LSA{{Router: exporter, Stubs: []ospf.LSAStub{{Prefix: route.MustParsePrefix("10.0.0.0/31"), Cost: 1}}}}, 4, true, nil
 }
 
+func (s *stubWorker) PullBGPBatch(reqs []PullBGPRequest) ([]PullBGPReply, error) {
+	replies := make([]PullBGPReply, len(reqs))
+	for i, q := range reqs {
+		advs, ver, fresh, err := s.PullBGP(q.Exporter, q.Puller, q.Since, q.Seen)
+		if err != nil {
+			return nil, err
+		}
+		replies[i] = PullBGPReply{Advs: advs, Version: ver, Fresh: fresh}
+	}
+	return replies, nil
+}
+
+func (s *stubWorker) PullLSABatch(reqs []PullLSAsRequest) ([]PullLSAsReply, error) {
+	replies := make([]PullLSAsReply, len(reqs))
+	for i, q := range reqs {
+		lsas, ver, fresh, err := s.PullLSAs(q.Exporter, q.Puller, q.Since, q.Seen)
+		if err != nil {
+			return nil, err
+		}
+		replies[i] = PullLSAsReply{LSAs: lsas, Version: ver, Fresh: fresh}
+	}
+	return replies, nil
+}
+
 func (s *stubWorker) ComputeDP() (ComputeDPReply, error) {
 	return ComputeDPReply{FIBEntries: 7, BDDNodes: 100}, nil
 }
@@ -170,6 +194,18 @@ func TestRPCRoundTripAllMethods(t *testing.T) {
 	lsas, ver, fresh, err := client.PullLSAs("r9", "r1", 0, false)
 	if err != nil || !fresh || ver != 4 || len(lsas) != 1 || len(lsas[0].Stubs) != 1 {
 		t.Fatalf("PullLSAs: %v %d %v %v", lsas, ver, fresh, err)
+	}
+
+	// Batched pulls: one round trip, replies aligned with the requests.
+	bgpBatch, err := client.PullBGPBatch([]PullBGPRequest{
+		{Exporter: "r9", Puller: "r1"}, {Exporter: "r8", Puller: "r2", Since: 3, Seen: true},
+	})
+	if err != nil || len(bgpBatch) != 2 || bgpBatch[0].Version != 9 || !bgpBatch[1].Fresh {
+		t.Fatalf("PullBGPBatch: %+v %v", bgpBatch, err)
+	}
+	lsaBatch, err := client.PullLSABatch([]PullLSAsRequest{{Exporter: "r7", Puller: "r1"}})
+	if err != nil || len(lsaBatch) != 1 || lsaBatch[0].Version != 4 || lsaBatch[0].LSAs[0].Router != "r7" {
+		t.Fatalf("PullLSABatch: %+v %v", lsaBatch, err)
 	}
 
 	dp, err := client.ComputeDP()
@@ -361,6 +397,8 @@ func TestWrapperIdempotencyFlags(t *testing.T) {
 	client.ApplyBGP()
 	client.EndShard()
 	client.PullBGP("r9", "r1", 0, false)
+	client.PullBGPBatch([]PullBGPRequest{{Exporter: "r9", Puller: "r1"}})
+	client.PullLSABatch([]PullLSAsRequest{{Exporter: "r9", Puller: "r1"}})
 	client.Inject(InjectRequest{Source: "r1"})
 	client.DPRound()
 	client.DeliverPackets(nil)
@@ -369,6 +407,7 @@ func TestWrapperIdempotencyFlags(t *testing.T) {
 
 	want := map[string]bool{
 		"Ping": true, "Setup": true, "PullBGP": true, "Stats": true,
+		"PullBGPBatch": true, "PullLSABatch": true,
 		"GatherBGP": false, "ApplyBGP": false, "EndShard": false,
 		"Inject": false, "DPRound": false, "DeliverPackets": false,
 		"FinishQuery": false,

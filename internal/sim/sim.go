@@ -8,6 +8,8 @@
 package sim
 
 import (
+	"sync"
+
 	"s2/internal/bgp"
 	"s2/internal/ospf"
 )
@@ -78,26 +80,37 @@ type PullState struct {
 	Seen    bool
 }
 
-// PullTracker holds pull states keyed by (puller, exporter).
-type PullTracker map[[2]string]*PullState
+// PullTracker holds pull states keyed by (puller, exporter). It is safe
+// for concurrent use: workers gather pulls for many local nodes in
+// parallel, and Get's create-on-miss would otherwise race. Each PullState
+// itself is only touched by the one (puller, exporter) pair's gather task,
+// so the returned pointer needs no further locking.
+type PullTracker struct {
+	mu sync.Mutex
+	m  map[[2]string]*PullState
+}
 
 // NewPullTracker returns an empty tracker.
-func NewPullTracker() PullTracker { return PullTracker{} }
+func NewPullTracker() *PullTracker {
+	return &PullTracker{m: make(map[[2]string]*PullState)}
+}
 
 // Get returns the state for (puller, exporter), creating it on first use.
-func (t PullTracker) Get(puller, exporter string) *PullState {
+func (t *PullTracker) Get(puller, exporter string) *PullState {
 	key := [2]string{puller, exporter}
-	st, ok := t[key]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.m[key]
 	if !ok {
 		st = &PullState{}
-		t[key] = st
+		t.m[key] = st
 	}
 	return st
 }
 
 // Reset forgets all pull history (between prefix shards).
-func (t PullTracker) Reset() {
-	for k := range t {
-		delete(t, k)
-	}
+func (t *PullTracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m = make(map[[2]string]*PullState)
 }

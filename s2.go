@@ -90,6 +90,12 @@ type Options struct {
 	// LoadEstimator biases the partitioner with per-device load
 	// estimates (see FatTreeLoadEstimator).
 	LoadEstimator func(device string) int64
+	// Parallelism bounds each worker's goroutine pool for the per-node
+	// simulation loops (0 = all CPUs, 1 = sequential; cmd/s2 -procs).
+	Parallelism int
+	// DisableBatchPulls reverts cross-worker route pulls to one RPC per
+	// (node, neighbor) pair instead of one batched RPC per peer worker.
+	DisableBatchPulls bool
 	// RPCTimeout bounds every controller→worker (and worker→worker) RPC
 	// attempt (0 = no deadline).
 	RPCTimeout time.Duration
@@ -157,6 +163,9 @@ func NewVerifier(n *Network, opts Options) (*Verifier, error) {
 		SpillDir:     opts.SpillDir,
 		KeepRIBs:     opts.KeepRIBs,
 		LoadOf:       opts.LoadEstimator,
+
+		Parallelism:       opts.Parallelism,
+		DisableBatchPulls: opts.DisableBatchPulls,
 
 		RPCTimeout:        opts.RPCTimeout,
 		RPCRetries:        opts.RPCRetries,
