@@ -45,6 +45,7 @@ func main() {
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, and /debug/pprof on this address")
 		procs      = flag.Int("procs", 0, "per-worker goroutine pool for the simulation phases (0 = all CPUs, 1 = sequential)")
 		noBatch    = flag.Bool("no-batch-pulls", false, "disable batching of cross-worker route pulls (one RPC per node-neighbor pair)")
+		noWire     = flag.Bool("no-wire-dedup", false, "disable the shared-substrate wire codec for cross-worker packets (one serialized BDD per packet)")
 		verbose    = flag.Bool("v", false, "print phase timings and per-worker stats")
 	)
 	flag.Parse()
@@ -76,6 +77,7 @@ func main() {
 		Recover:           *recoverOn,
 		Parallelism:       *procs,
 		DisableBatchPulls: *noBatch,
+		DisableWireDedup:  *noWire,
 	}
 	if *workerAddr != "" {
 		opts.WorkerAddrs = strings.Split(*workerAddr, ",")

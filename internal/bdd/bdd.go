@@ -266,6 +266,59 @@ func (e *Engine) mk(level int32, low, high Ref) (Ref, error) {
 	return r, nil
 }
 
+// bulkInserter amortizes unique-table locking across a whole batch of mk
+// calls: begin acquires every stripe lock in ascending stripe order (the
+// same total order everywhere, so it cannot deadlock against concurrent
+// mk, which takes exactly one stripe then growMu), the batch runs lookup
+// and allocation with zero per-node lock traffic, and end releases the
+// stripes and reports growth once. Wire-substrate deserialization uses
+// this to materialize an entire message in one pass.
+type bulkInserter struct {
+	e    *Engine
+	grew int
+}
+
+func (e *Engine) beginBulk() *bulkInserter {
+	for i := range e.unique {
+		e.unique[i].mu.Lock()
+	}
+	return &bulkInserter{e: e}
+}
+
+// mk is the bulk-path twin of Engine.mk; the caller must hold the batch
+// open (between beginBulk and end).
+func (b *bulkInserter) mk(level int32, low, high Ref) (Ref, error) {
+	if low == high {
+		return low, nil
+	}
+	e := b.e
+	key := uniqueKey{level, low, high}
+	s := &e.unique[stripeOf(key)]
+	if r, ok := s.m[key]; ok {
+		return r, nil
+	}
+	r, err := e.alloc(node{level: level, low: low, high: high})
+	if err != nil {
+		return False, err
+	}
+	s.m[key] = r
+	b.grew++
+	return r, nil
+}
+
+// end releases the stripe locks and fires the grow observer. Safe to call
+// exactly once, including on error paths (use defer).
+func (b *bulkInserter) end() {
+	e := b.e
+	for i := range e.unique {
+		e.unique[i].mu.Unlock()
+	}
+	if e.onGrow != nil && b.grew > 0 {
+		e.onGrow(b.grew)
+		b.grew = 0
+	}
+}
+
 // cacheGet is safe concurrently with cachePut: entries are immutable once
 // published, and the atomic pointer load orders the entry's construction
 // (and the cached ref's node write, published before the put) before the

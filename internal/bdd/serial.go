@@ -14,6 +14,45 @@ import (
 // serialMagic guards against decoding garbage.
 const serialMagic = 0x53324244 // "S2BD"
 
+// topoVisit walks the sub-DAG under r with an explicit stack (children
+// before parents) and assigns sequential ids, via *next, to every node not
+// already present in ids, appending them to *order in assignment order.
+// The traversal is iterative so pathologically deep BDDs (e.g. a cube over
+// hundreds of thousands of variables) cannot blow the goroutine stack.
+// When dedup is non-nil it counts every arrival at an already-identified
+// non-terminal node — the sharing a per-node encoding would re-transmit.
+func (e *Engine) topoVisit(r Ref, ids map[Ref]uint32, order *[]Ref, next *uint32, dedup *int) {
+	type frame struct {
+		ref      Ref
+		expanded bool
+	}
+	stack := []frame{{ref: r}}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.expanded {
+			if _, ok := ids[top.ref]; !ok {
+				ids[top.ref] = *next
+				*next++
+				*order = append(*order, top.ref)
+			}
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if _, ok := ids[top.ref]; ok {
+			if dedup != nil && top.ref != False && top.ref != True {
+				*dedup++
+			}
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		top.expanded = true
+		n := e.node(top.ref)
+		// Push high first so low is discovered first, matching the
+		// historical recursive visit order (low, high, self).
+		stack = append(stack, frame{ref: n.high}, frame{ref: n.low})
+	}
+}
+
 // Serialize encodes the function rooted at r as a byte string independent
 // of this engine's node numbering.
 func (e *Engine) Serialize(r Ref) []byte {
@@ -21,18 +60,8 @@ func (e *Engine) Serialize(r Ref) []byte {
 	// 1 = True by convention, further indices follow discovery order.
 	index := map[Ref]uint32{False: 0, True: 1}
 	var order []Ref
-	var visit func(Ref)
-	visit = func(x Ref) {
-		if _, ok := index[x]; ok {
-			return
-		}
-		n := e.node(x)
-		visit(n.low)
-		visit(n.high)
-		index[x] = uint32(len(order) + 2)
-		order = append(order, x)
-	}
-	visit(r)
+	next := uint32(2)
+	e.topoVisit(r, index, &order, &next, nil)
 
 	buf := make([]byte, 0, 16+len(order)*12)
 	buf = binary.AppendUvarint(buf, serialMagic)

@@ -90,6 +90,53 @@ func TestDeserializeGarbage(t *testing.T) {
 	}
 }
 
+func TestSerializeDeepChain(t *testing.T) {
+	// A conjunction of every variable is one chain of nvars nodes — the
+	// deepest possible BDD. The traversal in Serialize/topoVisit is
+	// iterative, so this must round-trip without exhausting the stack no
+	// matter how deep the chain gets.
+	const nvars = 200_000
+	a := New(nvars, 0)
+	acc := True
+	for i := nvars - 1; i >= 0; i-- { // bottom-up keeps construction linear
+		v, err := a.Var(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err = a.And(v, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	b := New(nvars, 0)
+	got, err := b.Deserialize(a.Serialize(acc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := make([]bool, nvars)
+	for i := range asg {
+		asg[i] = true
+	}
+	if !b.Eval(got, asg) {
+		t.Fatal("all-true assignment must satisfy the cube")
+	}
+	asg[nvars/2] = false
+	if b.Eval(got, asg) {
+		t.Fatal("assignment with a false variable must not satisfy the cube")
+	}
+
+	// The set codec shares the same traversal; make sure it survives the
+	// chain too and agrees with the per-ref codec.
+	roots, err := b.DeserializeSet(a.SerializeSet([]Ref{acc, acc}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 2 || roots[0] != got || roots[1] != got {
+		t.Fatalf("set round trip diverged: %v vs %d", roots, got)
+	}
+}
+
 func TestSharedEngineSerializesAccess(t *testing.T) {
 	s := NewShared(New(32, 0))
 	var wg sync.WaitGroup

@@ -1,0 +1,297 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomFns builds n random functions over nvars variables on e.
+func buildRandomFns(t *testing.T, e *Engine, nvars, n int, seed int64) []Ref {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Ref, 0, n)
+	for k := 0; k < n; k++ {
+		f := True
+		for i := 0; i < 8; i++ {
+			v, err := e.Var(rng.Intn(nvars))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(2) == 0 {
+				v, err = e.Not(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rng.Intn(2) == 0 {
+				f, err = e.And(f, v)
+			} else {
+				f, err = e.Or(f, v)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// sameFn checks a-side f and b-side g agree on sampled assignments.
+func sameFn(t *testing.T, a *Engine, f Ref, b *Engine, g Ref, nvars int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	asg := make([]bool, nvars)
+	for trial := 0; trial < 500; trial++ {
+		for i := range asg {
+			asg[i] = rng.Intn(2) == 0
+		}
+		if a.Eval(f, asg) != b.Eval(g, asg) {
+			t.Fatalf("functions differ at %v", asg)
+		}
+	}
+}
+
+func TestSerializeSetRoundTrip(t *testing.T) {
+	const nvars = 16
+	a := New(nvars, 0)
+	b := New(nvars, 0)
+	fns := buildRandomFns(t, a, nvars, 6, 11)
+	// Include terminals and a duplicate: both must survive the set codec.
+	refs := append([]Ref{False, True, fns[0]}, fns...)
+
+	roots, err := b.DeserializeSet(a.SerializeSet(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != len(refs) {
+		t.Fatalf("got %d roots for %d refs", len(roots), len(refs))
+	}
+	if roots[0] != False || roots[1] != True {
+		t.Fatalf("terminals did not survive: %v", roots[:2])
+	}
+	if roots[2] != roots[3] {
+		t.Fatal("duplicate refs must decode to the same local ref")
+	}
+	for i, r := range refs {
+		sameFn(t, a, r, b, roots[i], nvars, int64(100+i))
+	}
+}
+
+func TestSerializeSetSharesSubstrate(t *testing.T) {
+	// Functions built from the same clauses share most of their nodes: one
+	// set-encoded message must be substantially smaller than per-ref
+	// serializations, which re-encode the shared sub-DAG every time.
+	const nvars = 24
+	e := New(nvars, 0)
+	base := True
+	for i := 0; i < nvars-1; i++ {
+		v, _ := e.Var(i)
+		var err error
+		base, err = e.And(base, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	last, _ := e.Var(nvars - 1)
+	nlast, _ := e.Not(last)
+	f1, _ := e.And(base, last)
+	f2, _ := e.And(base, nlast)
+	f3, _ := e.Or(f1, f2)
+	refs := []Ref{f1, f2, f3, f1, f2, f3}
+
+	perRef := 0
+	for _, r := range refs {
+		perRef += len(e.Serialize(r))
+	}
+	set := len(e.SerializeSet(refs))
+	if set*2 >= perRef {
+		t.Fatalf("set encoding %dB not < half of per-ref %dB", set, perRef)
+	}
+}
+
+func TestSerializeSetEmpty(t *testing.T) {
+	a := New(8, 0)
+	b := New(8, 0)
+	roots, err := b.DeserializeSet(a.SerializeSet(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 0 {
+		t.Fatalf("empty set decoded %d roots", len(roots))
+	}
+}
+
+func TestDeserializeSetRejectsGarbage(t *testing.T) {
+	e := New(8, 0)
+	x, _ := e.Var(2)
+	y, _ := e.Var(5)
+	f, _ := e.And(x, y)
+	good := e.SerializeSet([]Ref{f})
+	cases := [][]byte{nil, {1}, []byte("not a wire message"), good[:len(good)-1]}
+	// A Serialize payload must not decode as a set message (distinct magic).
+	cases = append(cases, e.Serialize(f))
+	for _, data := range cases {
+		if _, err := e.DeserializeSet(data); err == nil {
+			t.Fatalf("garbage %v should fail", data)
+		}
+	}
+	if _, err := New(16, 0).DeserializeSet(good); err == nil {
+		t.Fatal("variable count mismatch must error")
+	}
+}
+
+// deliver runs one sender→receiver message exchange: Accept then
+// Materialize, returning the receiver-local refs for the roots.
+func deliver(t *testing.T, recv *Engine, table *WireTable, wire []byte, roots []uint32) []Ref {
+	t.Helper()
+	ok, err := table.Accept(wire, recv.NumVars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("delivery unexpectedly refused")
+	}
+	if err := table.Materialize(recv, wire); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Ref, len(roots))
+	for i, id := range roots {
+		r, err := table.Resolve(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestWireSessionDelta(t *testing.T) {
+	const nvars = 16
+	a := New(nvars, 0)
+	b := New(nvars, 0)
+	fns := buildRandomFns(t, a, nvars, 4, 23)
+
+	sess := NewWireSession()
+	table := NewWireTable()
+
+	// First message carries everything.
+	wire1, roots1, new1, _ := a.EncodeDelta(sess, fns[:2])
+	if new1 == 0 {
+		t.Fatal("first message must carry nodes")
+	}
+	got := deliver(t, b, table, wire1, roots1)
+	sameFn(t, a, fns[0], b, got[0], nvars, 1)
+	sameFn(t, a, fns[1], b, got[1], nvars, 2)
+
+	// Re-sending the same refs is pure dedup: zero new nodes, nonzero
+	// dedup counter, same resolved functions.
+	wire2, roots2, new2, dedup2 := a.EncodeDelta(sess, fns[:2])
+	if new2 != 0 {
+		t.Fatalf("re-send encoded %d new nodes", new2)
+	}
+	if dedup2 == 0 {
+		t.Fatal("re-send must count deduped arrivals")
+	}
+	if len(wire2) >= len(wire1) {
+		t.Fatalf("delta message %dB not smaller than first %dB", len(wire2), len(wire1))
+	}
+	got2 := deliver(t, b, table, wire2, roots2)
+	if got2[0] != got[0] || got2[1] != got[1] {
+		t.Fatal("dedup delivery resolved different refs")
+	}
+
+	// New functions extend the session incrementally.
+	wire3, roots3, _, _ := a.EncodeDelta(sess, fns[2:])
+	got3 := deliver(t, b, table, wire3, roots3)
+	sameFn(t, a, fns[2], b, got3[0], nvars, 3)
+	sameFn(t, a, fns[3], b, got3[1], nvars, 4)
+}
+
+func TestWireSessionEpochReset(t *testing.T) {
+	const nvars = 12
+	a := New(nvars, 0)
+	b := New(nvars, 0)
+	fns := buildRandomFns(t, a, nvars, 2, 31)
+
+	sess := NewWireSession()
+	table := NewWireTable()
+	wire1, roots1, _, _ := a.EncodeDelta(sess, fns[:1])
+	deliver(t, b, table, wire1, roots1)
+
+	// The sender loses confidence (GC remap, delivery error): Reset bumps
+	// the epoch and the next message is self-contained (base == 2), which
+	// the receiver must accept unconditionally and rebuild from.
+	epoch := sess.Epoch()
+	sess.Reset()
+	if sess.Epoch() <= epoch || sess.Known() != 0 {
+		t.Fatalf("reset did not clear session: epoch %d→%d known %d", epoch, sess.Epoch(), sess.Known())
+	}
+	wire2, roots2, new2, _ := a.EncodeDelta(sess, fns)
+	if new2 == 0 {
+		t.Fatal("post-reset message must re-encode everything")
+	}
+	got := deliver(t, b, table, wire2, roots2)
+	sameFn(t, a, fns[0], b, got[0], nvars, 5)
+	sameFn(t, a, fns[1], b, got[1], nvars, 6)
+}
+
+func TestWireTableRefusesDivergedContinuation(t *testing.T) {
+	const nvars = 12
+	a := New(nvars, 0)
+	b := New(nvars, 0)
+	fns := buildRandomFns(t, a, nvars, 2, 47)
+
+	sess := NewWireSession()
+	wire1, _, _, _ := a.EncodeDelta(sess, fns[:1])
+	wire2, roots2, _, _ := a.EncodeDelta(sess, fns[1:])
+
+	// A fresh receiver (restart, recovery) sees the continuation without
+	// its prefix: Accept must refuse rather than materialize bad splices.
+	fresh := NewWireTable()
+	ok, err := fresh.Accept(wire2, nvars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("continuation onto an empty table must be refused")
+	}
+	// The handshake: sender resets and re-sends self-contained.
+	sess.Reset()
+	wire3, roots3, _, _ := a.EncodeDelta(sess, fns[1:])
+	got := deliver(t, b, fresh, wire3, roots3)
+	sameFn(t, a, fns[1], b, got[0], nvars, 7)
+
+	// Materialize out of order (without Accept's rebase) errors loudly.
+	if err := NewWireTable().Materialize(b, wire2); err == nil {
+		t.Fatal("out-of-order materialize must error")
+	}
+	_ = roots2
+	_ = wire1
+}
+
+func TestWireSessionSurvivesManyRounds(t *testing.T) {
+	// Soak the protocol across rounds with overlapping working sets and
+	// occasional resets, checking every resolved function.
+	const nvars = 14
+	a := New(nvars, 0)
+	b := New(nvars, 0)
+	fns := buildRandomFns(t, a, nvars, 12, 77)
+	sess := NewWireSession()
+	table := NewWireTable()
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 20; round++ {
+		if round%7 == 6 {
+			sess.Reset()
+		}
+		batch := make([]Ref, 0, 4)
+		for i := 0; i < 4; i++ {
+			batch = append(batch, fns[rng.Intn(len(fns))])
+		}
+		wire, roots, _, _ := a.EncodeDelta(sess, batch)
+		got := deliver(t, b, table, wire, roots)
+		for i, f := range batch {
+			sameFn(t, a, f, b, got[i], nvars, int64(round*10+i))
+		}
+	}
+}

@@ -74,6 +74,10 @@ type Options struct {
 	// DisableBatchPulls turns off cross-worker pull coalescing: shadow-node
 	// pulls go back to one RPC per (node, neighbor) pair as before.
 	DisableBatchPulls bool
+	// DisableWireDedup turns off the shared-substrate wire codec for
+	// boundary-crossing packets and outcome harvests: every packet goes
+	// back to an independently serialized BDD as before.
+	DisableWireDedup bool
 
 	// RPCTimeout bounds every controller→worker call attempt (0 = no
 	// deadline, the pre-fault-tolerance behavior). It also bounds worker
@@ -384,6 +388,7 @@ func (c *Controller) configureBody() error {
 				RPCRetries:        c.opts.RPCRetries,
 				Parallelism:       procs,
 				DisableBatchPulls: c.opts.DisableBatchPulls,
+				DisableWireDedup:  c.opts.DisableWireDedup,
 			}
 			for _, name := range c.assignment.Segment(id) {
 				req.Configs[name+".cfg"] = c.texts[name]
@@ -1055,27 +1060,53 @@ func (c *Controller) forwardQuery(q *dataplane.Query, sources []string, constrai
 		}
 
 		var mu sync.Mutex
-		var all []dataplane.RawOutcome
-		if err := c.each(func(_ int, w sidecar.WorkerAPI) error {
-			outs, err := w.FinishQuery()
+		batches := map[int]sidecar.OutcomeBatch{}
+		if err := c.each(func(id int, w sidecar.WorkerAPI) error {
+			batch, err := w.FinishQuery()
 			if err != nil {
 				return err
 			}
 			mu.Lock()
-			all = append(all, outs...)
+			batches[id] = batch
 			mu.Unlock()
 			return nil
 		}); err != nil {
 			return err
 		}
-		sort.Slice(all, func(i, j int) bool {
+		// Decode per worker (set-encoded harvests materialize their shared
+		// substrate once), then absorb in a global deterministic order.
+		ids := make([]int, 0, len(batches))
+		for id := range batches {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		var all []dataplane.Outcome
+		for _, id := range ids {
+			batch := batches[id]
+			if len(batch.Wire) > 0 {
+				outs, err := dataplane.DecodeOutcomes(c.engine, batch.Wire, batch.Outcomes)
+				if err != nil {
+					return fmt.Errorf("core: harvest from worker %d: %w", id, err)
+				}
+				all = append(all, outs...)
+				continue
+			}
+			for _, o := range batch.Outcomes {
+				pkt, err := c.engine.Deserialize(o.Packet)
+				if err != nil {
+					return fmt.Errorf("core: harvest from worker %d: outcome %s@%s: %w", id, o.Source, o.Node, err)
+				}
+				all = append(all, dataplane.Outcome{Source: o.Source, Node: o.Node, State: o.State, Packet: pkt})
+			}
+		}
+		sort.SliceStable(all, func(i, j int) bool {
 			if all[i].Node != all[j].Node {
 				return all[i].Node < all[j].Node
 			}
 			return all[i].Source < all[j].Source
 		})
 		for _, o := range all {
-			if err := col.AddRaw(o); err != nil {
+			if err := col.Add(o); err != nil {
 				return err
 			}
 		}

@@ -100,6 +100,45 @@ func TestCrashDuringQueryRecovers(t *testing.T) {
 	}
 }
 
+// TestCrashDuringQueryWithWireSessions extends the recovery matrix to the
+// shared-substrate wire protocol: the crash fires on the SECOND DPRound,
+// after round one has established per-peer wire sessions between the
+// workers, so recovery must discard mid-flight delta state (sender epochs,
+// receiver tables, parked wireInbox deliveries) and still produce results
+// byte-identical to a fault-free run.
+func TestCrashDuringQueryWithWireSessions(t *testing.T) {
+	run := func(hook func(int, sidecar.WorkerAPI) sidecar.WorkerAPI, recover bool) (string, string) {
+		snap, texts := fatTreeSnap(t, 4)
+		c := newS2(t, snap, texts, Options{
+			Workers: 3, Seed: 22, KeepRIBs: true,
+			Recover: recover, WrapWorker: hook,
+		})
+		defer c.Close()
+		res := runFull(t, c)
+		if len(res.Unreached) != 0 || len(res.Violations) != 0 {
+			t.Fatalf("run must verify clean: unreached=%v violations=%v", res.Unreached, res.Violations)
+		}
+		ribs, err := c.CollectRIBs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recover && c.FaultCounters().Get("worker.deaths") != 1 {
+			t.Fatalf("counters: %s", c.FaultCounters())
+		}
+		return ribsFingerprint(ribs), checkFingerprint(c, res)
+	}
+
+	cleanRIBs, cleanCheck := run(nil, false)
+	hook, _ := injectOn(1, fault.Plan{Method: "DPRound", Nth: 2, Mode: fault.Crash})
+	gotRIBs, gotCheck := run(hook, true)
+	if gotRIBs != cleanRIBs {
+		t.Error("RIBs differ between recovered and fault-free wire-dedup runs")
+	}
+	if gotCheck != cleanCheck {
+		t.Errorf("verification outcomes differ:\nclean:\n%s\nrecovered:\n%s", cleanCheck, gotCheck)
+	}
+}
+
 // TestCrashWithoutRecoveryFailsTyped: with Recover off a worker death must
 // surface promptly as a typed transient error — never a hang, never a
 // misclassified application error.

@@ -29,6 +29,8 @@ const (
 	MetricModelMemory     = "s2_model_memory_bytes"
 	MetricFaultEvents     = "s2_fault_events_total"
 	MetricWorkersAlive    = "s2_workers_alive"
+	MetricWireBytes       = "s2_wire_packet_bytes_total"
+	MetricWireDeduped     = "s2_wire_nodes_deduped_total"
 )
 
 // faultEventKeys are the metrics.FaultCounters keys bridged to
@@ -337,6 +339,32 @@ func (w *Worker) obsBDD(nodes int, gcRun bool) {
 			"BDD garbage collections run.", "worker").
 			Inc(lbl)
 	}
+}
+
+// obsWireBytes counts data-plane packet payload bytes shipped across
+// worker boundaries (forwarding fan-out and outcome harvest). mode is
+// "wire" for shared-substrate DeliverBatch messages and "packet" for
+// independently serialized per-packet payloads (legacy peers or
+// -no-wire-dedup), so the dedup ratio is observable per run.
+func (w *Worker) obsWireBytes(mode string, n int) {
+	if w.obs == nil || w.obs.reg == nil || n == 0 {
+		return
+	}
+	w.obs.reg.Counter(MetricWireBytes,
+		"Cross-worker data-plane payload bytes by encoding mode.",
+		"worker", "mode").
+		Add(float64(n), fmt.Sprint(w.id), mode)
+}
+
+// obsWireDeduped counts node references resolved from already-transmitted
+// wire-session state — the re-encodings a per-packet codec would have paid.
+func (w *Worker) obsWireDeduped(n int) {
+	if w.obs == nil || w.obs.reg == nil || n == 0 {
+		return
+	}
+	w.obs.reg.Counter(MetricWireDeduped,
+		"BDD nodes deduplicated by the shared-substrate wire codec.", "worker").
+		Add(float64(n), fmt.Sprint(w.id))
 }
 
 // obsSpill counts bytes written to the spill directory between shards.

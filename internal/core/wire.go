@@ -1,0 +1,238 @@
+// The worker half of the shared-substrate wire protocol (see
+// internal/bdd/wire.go for the codec): boundary-crossing packets are
+// coalesced per destination worker and shipped as one DeliverBatch
+// message — a single topologically-ordered node table plus per-packet
+// roots — with a per-peer bdd.WireSession so nodes the peer already
+// materialized this phase are referenced by remote id instead of being
+// re-encoded. Peers that predate the RPC, and runs with -no-wire-dedup,
+// fall back to one independently serialized BDD per packet (the PR 3
+// pull-batch fallback pattern).
+
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"s2/internal/bdd"
+	"s2/internal/sidecar"
+)
+
+// wireItem is one boundary-crossing packet awaiting shipment: delivery
+// coordinates plus the live engine ref (serialization is deferred to ship
+// time so a whole chunk can share one substrate).
+type wireItem struct {
+	source, node, inPort string
+	out                  bdd.Ref
+}
+
+// wireDelivery is one accepted DeliverBatch message parked until the next
+// inbox drain: the engine must not be touched from peer RPC goroutines
+// (the receiver's own round may be mid-GC), so materialization waits for
+// the worker's phase goroutine, in arrival order.
+type wireDelivery struct {
+	from  int
+	wire  []byte
+	items []sidecar.WirePacket
+}
+
+// peerLacksWire reports whether peer owner rejected DeliverBatch before.
+func (w *Worker) peerLacksWire(owner int) bool {
+	w.noBatchMu.Lock()
+	defer w.noBatchMu.Unlock()
+	return w.noWire[owner]
+}
+
+// markNoWire records that peer owner does not serve DeliverBatch, so later
+// rounds skip straight to per-packet deliveries.
+func (w *Worker) markNoWire(owner int) {
+	w.noBatchMu.Lock()
+	w.noWire[owner] = true
+	w.noBatchMu.Unlock()
+}
+
+// DeliverBatch implements sidecar.WorkerAPI: accept a shared-substrate
+// packet batch from a peer. Like DeliverPackets, only the inbox side is
+// touched — Accept is header-only bookkeeping — and the substrate is
+// materialized at the next drain. A Reset reply tells the sender this
+// worker no longer holds the session state the message splices onto.
+func (w *Worker) DeliverBatch(req sidecar.DeliverBatchRequest) (sidecar.DeliverBatchReply, error) {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	if w.engine == nil || w.recvTables == nil {
+		return sidecar.DeliverBatchReply{}, fmt.Errorf("core: worker %d: no active query for batch delivery", w.id)
+	}
+	t := w.recvTables[req.From]
+	if t == nil {
+		t = bdd.NewWireTable()
+		w.recvTables[req.From] = t
+	}
+	ok, err := t.Accept(req.Wire, w.engine.NumVars())
+	if err != nil {
+		return sidecar.DeliverBatchReply{}, fmt.Errorf("core: worker %d: batch from %d: %w", w.id, req.From, err)
+	}
+	if !ok {
+		return sidecar.DeliverBatchReply{Reset: true}, nil
+	}
+	w.wireInbox = append(w.wireInbox, wireDelivery{from: req.From, wire: req.Wire, items: req.Items})
+	w.statsPackets += int64(len(req.Items))
+	return sidecar.DeliverBatchReply{}, nil
+}
+
+// drainInbox moves every queued delivery into cur, Or-merging per slot:
+// legacy per-packet payloads deserialize individually; wire substrates
+// materialize in arrival order — each message bulk-inserts its node table
+// into the engine in one pass under a single stripe-ordered lock
+// acquisition — and resolve packet roots against the sender's table.
+func (w *Worker) drainInbox(cur map[packetSlot]bdd.Ref) error {
+	w.qmu.Lock()
+	inbox := w.inbox
+	w.inbox = nil
+	wireIn := w.wireInbox
+	w.wireInbox = nil
+	tables := w.recvTables
+	w.qmu.Unlock()
+
+	merge := func(slot packetSlot, pkt bdd.Ref) error {
+		if prev, ok := cur[slot]; ok {
+			merged, err := w.engine.Or(prev, pkt)
+			if err != nil {
+				return err
+			}
+			cur[slot] = merged
+			return nil
+		}
+		cur[slot] = pkt
+		return nil
+	}
+	for _, d := range inbox {
+		pkt, err := w.engine.Deserialize(d.Packet)
+		if err != nil {
+			return fmt.Errorf("core: worker %d deserializing packet for %s: %w", w.id, d.Node, err)
+		}
+		if err := merge(packetSlot{source: d.Source, node: d.Node, inPort: d.InPort}, pkt); err != nil {
+			return err
+		}
+	}
+	for _, wd := range wireIn {
+		t := tables[wd.from]
+		if t == nil {
+			return fmt.Errorf("core: worker %d: wire delivery from %d without a session", w.id, wd.from)
+		}
+		if err := t.Materialize(w.engine, wd.wire); err != nil {
+			return fmt.Errorf("core: worker %d materializing batch from %d: %w", w.id, wd.from, err)
+		}
+		for _, it := range wd.items {
+			pkt, err := t.Resolve(it.Root)
+			if err != nil {
+				return fmt.Errorf("core: worker %d resolving packet for %s: %w", w.id, it.Node, err)
+			}
+			if err := merge(packetSlot{source: it.Source, node: it.Node, inPort: it.InPort}, pkt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// wireBytesOf models the payload cost of one batch message: the substrate
+// plus each packet's varint root reference. Delivery coordinates are
+// excluded in both encoding modes, keeping the wire/packet byte
+// comparison honest.
+func wireBytesOf(wire []byte, roots []uint32) int {
+	n := len(wire)
+	var scratch [binary.MaxVarintLen64]byte
+	for _, r := range roots {
+		n += binary.PutUvarint(scratch[:], uint64(r))
+	}
+	return n
+}
+
+// deliverWire ships items to peer over the shared-substrate path. ok ==
+// false (with nil error) means the peer does not serve DeliverBatch and
+// the caller must fall back to per-packet delivery. A Reset reply runs
+// the handshake once: reset the session and re-send self-contained.
+func (w *Worker) deliverWire(peer sidecar.WorkerAPI, owner int, items []wireItem) (ok bool, err error) {
+	sess := w.sendSessions[owner]
+	if sess == nil {
+		sess = bdd.NewWireSession()
+		w.sendSessions[owner] = sess
+	}
+	refs := make([]bdd.Ref, len(items))
+	for i, it := range items {
+		refs[i] = it.out
+	}
+	req := sidecar.DeliverBatchRequest{From: w.id, Items: make([]sidecar.WirePacket, len(items))}
+	for attempt := 0; attempt < 2; attempt++ {
+		wire, roots, _, deduped := w.engine.EncodeDelta(sess, refs)
+		req.Wire = wire
+		for i, it := range items {
+			req.Items[i] = sidecar.WirePacket{Source: it.source, Node: it.node, InPort: it.inPort, Root: roots[i]}
+		}
+		reply, err := peer.DeliverBatch(req)
+		if err != nil {
+			// Either way the peer did not materialize this message, so the
+			// session's optimistic bookkeeping is wrong: start clean.
+			sess.Reset()
+			if isNoBatchErr(err) {
+				w.markNoWire(owner)
+				return false, nil
+			}
+			return false, fmt.Errorf("core: worker %d delivering batch to %d: %w", w.id, owner, err)
+		}
+		if !reply.Reset {
+			w.obsWireBytes("wire", wireBytesOf(wire, roots))
+			w.obsWireDeduped(deduped)
+			return true, nil
+		}
+		// The peer lost the session (restart, recovery, new phase): bump
+		// the epoch and re-send everything from scratch. A fresh message
+		// is always acceptable, so a second Reset means a broken peer.
+		sess.Reset()
+	}
+	return false, fmt.Errorf("core: worker %d: peer %d refused a fresh wire session", w.id, owner)
+}
+
+// shipRemote delivers the round's (or chunk's) boundary crossings in
+// deterministic owner order, one message per destination worker on the
+// wire path, falling back per packet for peers without DeliverBatch or
+// when wire dedup is disabled.
+func (w *Worker) shipRemote(remote map[int][]wireItem) error {
+	owners := make([]int, 0, len(remote))
+	for o := range remote {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	for _, o := range owners {
+		items := remote[o]
+		if len(items) == 0 {
+			continue
+		}
+		peer := w.peers[o]
+		if peer == nil {
+			return fmt.Errorf("core: worker %d has no peer %d", w.id, o)
+		}
+		if w.wireDedup && !w.peerLacksWire(o) {
+			ok, err := w.deliverWire(peer, o, items)
+			if err != nil {
+				return err
+			}
+			if ok {
+				continue
+			}
+		}
+		out := make([]sidecar.PacketDelivery, len(items))
+		bytes := 0
+		for i, it := range items {
+			pkt := w.engine.Serialize(it.out)
+			bytes += len(pkt)
+			out[i] = sidecar.PacketDelivery{Source: it.source, Node: it.node, InPort: it.inPort, Packet: pkt}
+		}
+		if err := peer.DeliverPackets(out); err != nil {
+			return fmt.Errorf("core: worker %d delivering to %d: %w", w.id, o, err)
+		}
+		w.obsWireBytes("packet", bytes)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"s2/internal/obs"
+	"s2/internal/sidecar"
+)
+
+// wireRun executes a full 3-worker fat-tree run and returns the two
+// determinism fingerprints plus the metrics snapshot.
+func wireRun(t *testing.T, procs int, noWire bool, hook func(int, sidecar.WorkerAPI) sidecar.WorkerAPI) (string, string, map[string]float64) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	snap, texts := fatTreeSnap(t, 4)
+	c := newS2(t, snap, texts, Options{
+		Workers: 3, Seed: 1, KeepRIBs: true,
+		Parallelism:      procs,
+		DisableWireDedup: noWire,
+		WrapWorker:       hook,
+		Metrics:          reg,
+	})
+	defer c.Close()
+	res := runFull(t, c)
+	ribs, err := c.CollectRIBs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ribsFingerprint(ribs), checkFingerprint(c, res), reg.Snapshot()
+}
+
+// wireByteSum totals s2_wire_packet_bytes_total across workers for one
+// encoding mode.
+func wireByteSum(snap map[string]float64, mode string) float64 {
+	total := 0.0
+	for k, v := range snap {
+		if strings.HasPrefix(k, MetricWireBytes) && strings.Contains(k, `mode="`+mode+`"`) {
+			total += v
+		}
+	}
+	return total
+}
+
+func wireDedupSum(snap map[string]float64) float64 {
+	total := 0.0
+	for k, v := range snap {
+		if strings.HasPrefix(k, MetricWireDeduped) {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestWireDedupRunIsByteIdentical is the determinism contract for the
+// shared-substrate wire codec: runs with and without dedup — sequential
+// and pooled — must produce byte-identical RIBs and verification
+// outcomes, while the dedup runs move strictly fewer payload bytes.
+func TestWireDedupRunIsByteIdentical(t *testing.T) {
+	baseRIBs, baseCheck, offSnap := wireRun(t, 1, true, nil)
+	if !strings.Contains(baseRIBs, "node edge-0-0") {
+		t.Fatalf("baseline fingerprint looks empty:\n%.200s", baseRIBs)
+	}
+	offBytes := wireByteSum(offSnap, "packet")
+	if offBytes == 0 {
+		t.Fatal("dedup-off run recorded no packet-mode bytes")
+	}
+	if got := wireByteSum(offSnap, "wire"); got != 0 {
+		t.Fatalf("dedup-off run recorded %v wire-mode bytes", got)
+	}
+
+	for _, procs := range []int{1, 8} {
+		ribs, check, snap := wireRun(t, procs, false, nil)
+		if ribs != baseRIBs {
+			t.Errorf("procs=%d: RIBs differ between dedup on and off", procs)
+		}
+		if check != baseCheck {
+			t.Errorf("procs=%d: verification outcomes differ:\noff:\n%s\non:\n%s", procs, baseCheck, check)
+		}
+		onBytes := wireByteSum(snap, "wire")
+		if onBytes == 0 {
+			t.Errorf("procs=%d: dedup-on run recorded no wire-mode bytes", procs)
+		}
+		if got := wireByteSum(snap, "packet"); got != 0 {
+			t.Errorf("procs=%d: dedup-on run fell back to packet mode for %v bytes", procs, got)
+		}
+		if onBytes >= offBytes {
+			t.Errorf("procs=%d: wire encoding moved %v bytes, not fewer than per-packet %v", procs, onBytes, offBytes)
+		}
+		if wireDedupSum(snap) == 0 {
+			t.Errorf("procs=%d: dedup counter never moved", procs)
+		}
+	}
+}
+
+// noWirePeer simulates an older worker binary: DeliverBatch answers with
+// net/rpc's unknown-method error, everything else passes through.
+type noWirePeer struct {
+	sidecar.WorkerAPI
+	mu    *sync.Mutex
+	calls *int
+}
+
+func (n *noWirePeer) DeliverBatch(sidecar.DeliverBatchRequest) (sidecar.DeliverBatchReply, error) {
+	n.mu.Lock()
+	*n.calls++
+	n.mu.Unlock()
+	return sidecar.DeliverBatchReply{}, errors.New("rpc: can't find method Sidecar.DeliverBatch")
+}
+
+// TestWireFallbackToLegacyPeer: when a peer predates DeliverBatch, the
+// sender must detect the rejection once, mark the peer, and fall back to
+// per-packet deliveries without changing any result.
+func TestWireFallbackToLegacyPeer(t *testing.T) {
+	baseRIBs, baseCheck, _ := wireRun(t, 1, true, nil)
+
+	var mu sync.Mutex
+	calls := 0
+	hook := func(_ int, w sidecar.WorkerAPI) sidecar.WorkerAPI {
+		return &noWirePeer{WorkerAPI: w, mu: &mu, calls: &calls}
+	}
+	ribs, check, snap := wireRun(t, 1, false, hook)
+	if ribs != baseRIBs {
+		t.Error("RIBs differ after legacy-peer fallback")
+	}
+	if check != baseCheck {
+		t.Errorf("verification outcomes differ after fallback:\nwant:\n%s\ngot:\n%s", baseCheck, check)
+	}
+	mu.Lock()
+	attempts := calls
+	mu.Unlock()
+	if attempts == 0 {
+		t.Fatal("DeliverBatch was never attempted")
+	}
+	// One rejection per (sender, peer) pair at most: the mark sticks.
+	if attempts > 3*2 {
+		t.Errorf("DeliverBatch attempted %d times; peers were not marked as legacy", attempts)
+	}
+	if got := wireByteSum(snap, "packet"); got == 0 {
+		t.Error("fallback run recorded no packet-mode bytes")
+	}
+}
+
+// resetOncePeer refuses the first DeliverBatch with a Reset reply — the
+// receiver claiming it lost the session — without delivering it. The
+// sender must bump its epoch and re-send self-contained; no packet may be
+// lost and no result may change.
+type resetOncePeer struct {
+	sidecar.WorkerAPI
+	mu    *sync.Mutex
+	fired *bool
+}
+
+func (p *resetOncePeer) DeliverBatch(req sidecar.DeliverBatchRequest) (sidecar.DeliverBatchReply, error) {
+	p.mu.Lock()
+	first := !*p.fired
+	*p.fired = true
+	p.mu.Unlock()
+	if first {
+		return sidecar.DeliverBatchReply{Reset: true}, nil
+	}
+	return p.WorkerAPI.DeliverBatch(req)
+}
+
+func TestWireSessionResetHandshakeEndToEnd(t *testing.T) {
+	baseRIBs, baseCheck, _ := wireRun(t, 1, true, nil)
+
+	var mu sync.Mutex
+	fired := false
+	hook := func(_ int, w sidecar.WorkerAPI) sidecar.WorkerAPI {
+		return &resetOncePeer{WorkerAPI: w, mu: &mu, fired: &fired}
+	}
+	ribs, check, _ := wireRun(t, 1, false, hook)
+	mu.Lock()
+	hit := fired
+	mu.Unlock()
+	if !hit {
+		t.Fatal("the resetting peer never saw a DeliverBatch")
+	}
+	if ribs != baseRIBs || check != baseCheck {
+		t.Error("results changed after a forced wire-session reset")
+	}
+}

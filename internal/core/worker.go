@@ -74,6 +74,19 @@ type Worker struct {
 	batchPull bool
 	noBatchMu sync.Mutex
 	noBatch   map[int]bool
+	// wireDedup enables the shared-substrate DeliverBatch path for
+	// boundary-crossing packets (see wire.go); noWire remembers peers that
+	// don't serve the RPC (older binaries), guarded by noBatchMu alongside
+	// noBatch. sendSessions is the sender half of the per-peer delta
+	// protocol, touched only by the phase goroutine; recvTables is the
+	// receiver half (map and accept cursors guarded by qmu, materialized
+	// refs touched only by the phase goroutine); wireInbox parks accepted
+	// batch deliveries until the next drain (guarded by qmu).
+	wireDedup    bool
+	noWire       map[int]bool
+	sendSessions map[int]*bdd.WireSession
+	recvTables   map[int]*bdd.WireTable
+	wireInbox    []wireDelivery
 
 	devices     map[string]*config.Device
 	adjacencies map[string][]topology.Adjacency
@@ -187,8 +200,10 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 	w.lastGCNodes = 0
 	w.qmu.Lock()
 	w.inbox, w.queue, w.queueLen, w.outcomes = nil, nil, 0, nil
+	w.wireInbox, w.recvTables = nil, map[int]*bdd.WireTable{}
 	w.statsPulls, w.statsPackets = 0, 0
 	w.qmu.Unlock()
+	w.sendSessions = map[int]*bdd.WireSession{}
 
 	w.id = req.WorkerID
 	w.assignment = req.Assignment
@@ -207,8 +222,10 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 		w.procs = 1
 	}
 	w.batchPull = !req.DisableBatchPulls
+	w.wireDedup = !req.DisableWireDedup
 	w.noBatchMu.Lock()
 	w.noBatch = map[int]bool{}
+	w.noWire = map[int]bool{}
 	w.noBatchMu.Unlock()
 
 	snap, err := config.ParseTexts(req.Configs)
@@ -1160,7 +1177,12 @@ func (w *Worker) BeginQuery(req sidecar.QueryRequest) error {
 	w.queue = map[packetSlot]bdd.Ref{}
 	w.queueLen = 0
 	w.outcomes = nil
+	// Wire sessions are per phase: drop receive state and start the send
+	// sessions over so every peer's first message is self-contained.
+	w.wireInbox = nil
+	w.recvTables = map[int]*bdd.WireTable{}
 	w.qmu.Unlock()
+	w.sendSessions = map[int]*bdd.WireSession{}
 	// Collect the previous query's garbage before this one starts.
 	w.gcEngine()
 	return nil
@@ -1208,28 +1230,12 @@ func (w *Worker) DPRound() error {
 	}
 	// Drain the inbox into the queue (deserializing on our goroutine).
 	w.qmu.Lock()
-	inbox := w.inbox
-	w.inbox = nil
 	cur := w.queue
 	w.queue = map[packetSlot]bdd.Ref{}
 	w.queueLen = 0
 	w.qmu.Unlock()
-
-	for _, d := range inbox {
-		pkt, err := w.engine.Deserialize(d.Packet)
-		if err != nil {
-			return fmt.Errorf("core: worker %d deserializing packet for %s: %w", w.id, d.Node, err)
-		}
-		slot := packetSlot{source: d.Source, node: d.Node, inPort: d.InPort}
-		if prev, ok := cur[slot]; ok {
-			merged, err := w.engine.Or(prev, pkt)
-			if err != nil {
-				return err
-			}
-			cur[slot] = merged
-		} else {
-			cur[slot] = pkt
-		}
+	if err := w.drainInbox(cur); err != nil {
+		return err
 	}
 	if len(cur) == 0 {
 		return nil
@@ -1252,12 +1258,13 @@ func (w *Worker) DPRound() error {
 	})
 
 	nextLocal := map[packetSlot]bdd.Ref{}
-	remote := map[int][]sidecar.PacketDelivery{}
+	remote := map[int][]wireItem{}
 	for si, s := range slots {
 		// Mid-round adaptive GC: heavy rounds create garbage faster than
-		// the between-round collection can bound. Pending slots and the
-		// partial next wavefront are extra roots. (Packets already bound
-		// for other workers are serialized bytes and need no remap.)
+		// the between-round collection can bound. Pending slots, the
+		// partial next wavefront, and packets awaiting shipment to other
+		// workers (live refs until ship time, when the whole round shares
+		// one substrate per peer) are extra roots.
 		if w.engine.NodeCount() > 2*w.lastGCNodes+16384 {
 			remap := w.gcWithExtraRoots(func(add func(bdd.Ref)) {
 				for _, rest := range slots[si:] {
@@ -1266,12 +1273,22 @@ func (w *Worker) DPRound() error {
 				for _, r := range nextLocal {
 					add(r)
 				}
+				for _, items := range remote {
+					for _, it := range items {
+						add(it.out)
+					}
+				}
 			})
 			for _, rest := range slots[si:] {
 				cur[rest] = remap(cur[rest])
 			}
 			for k, r := range nextLocal {
 				nextLocal[k] = remap(r)
+			}
+			for _, items := range remote {
+				for i := range items {
+					items[i].out = remap(items[i].out)
+				}
 			}
 		}
 		n, ok := w.nodesDP[s.node]
@@ -1308,30 +1325,20 @@ func (w *Worker) DPRound() error {
 					nextLocal[slot] = out
 				}
 			} else {
-				remote[owner] = append(remote[owner], sidecar.PacketDelivery{
-					Source: s.source,
-					Node:   dest.Node,
-					InPort: dest.Port,
-					Packet: w.engine.Serialize(out),
+				remote[owner] = append(remote[owner], wireItem{
+					source: s.source,
+					node:   dest.Node,
+					inPort: dest.Port,
+					out:    out,
 				})
 			}
 		}
 	}
 
-	// Ship boundary crossings (③→④→⑤ in Figure 3).
-	owners := make([]int, 0, len(remote))
-	for o := range remote {
-		owners = append(owners, o)
-	}
-	sort.Ints(owners)
-	for _, o := range owners {
-		peer := w.peers[o]
-		if peer == nil {
-			return fmt.Errorf("core: worker %d has no peer %d", w.id, o)
-		}
-		if err := peer.DeliverPackets(remote[o]); err != nil {
-			return fmt.Errorf("core: worker %d delivering to %d: %w", w.id, o, err)
-		}
+	// Ship boundary crossings (③→④→⑤ in Figure 3): one shared-substrate
+	// message per destination worker, per-packet for legacy peers.
+	if err := w.shipRemote(remote); err != nil {
+		return err
 	}
 
 	w.qmu.Lock()
@@ -1360,28 +1367,12 @@ func (w *Worker) DPRound() error {
 // and must not run under the pool.
 func (w *Worker) dpRoundParallel() error {
 	w.qmu.Lock()
-	inbox := w.inbox
-	w.inbox = nil
 	cur := w.queue
 	w.queue = map[packetSlot]bdd.Ref{}
 	w.queueLen = 0
 	w.qmu.Unlock()
-
-	for _, d := range inbox {
-		pkt, err := w.engine.Deserialize(d.Packet)
-		if err != nil {
-			return fmt.Errorf("core: worker %d deserializing packet for %s: %w", w.id, d.Node, err)
-		}
-		slot := packetSlot{source: d.Source, node: d.Node, inPort: d.InPort}
-		if prev, ok := cur[slot]; ok {
-			merged, err := w.engine.Or(prev, pkt)
-			if err != nil {
-				return err
-			}
-			cur[slot] = merged
-		} else {
-			cur[slot] = pkt
-		}
+	if err := w.drainInbox(cur); err != nil {
+		return err
 	}
 	if len(cur) == 0 {
 		return nil
@@ -1408,14 +1399,28 @@ func (w *Worker) dpRoundParallel() error {
 		edge   bool
 		dest   dataplane.PortDest
 		owner  int
-		packet []byte // pre-serialized when bound for another worker
+		packet []byte // pre-serialized when bound for a non-wire peer
 	}
 	type fwdRes struct {
 		local, dropped bdd.Ref
 		ports          []portOut
 	}
+	// useWire snapshots, per round, which peers take the shared-substrate
+	// path: their packets stay refs until the chunk flush; everything else
+	// pre-serializes on the pool exactly as before.
+	useWire := func(owner int) bool { return false }
+	if w.wireDedup {
+		w.noBatchMu.Lock()
+		lacks := make(map[int]bool, len(w.noWire))
+		for o := range w.noWire {
+			lacks[o] = true
+		}
+		w.noBatchMu.Unlock()
+		useWire = func(owner int) bool { return !lacks[owner] }
+	}
 	nextLocal := map[packetSlot]bdd.Ref{}
 	remote := map[int][]sidecar.PacketDelivery{}
+	legacyBytes := 0
 	res := make([]fwdRes, len(slots))
 	// Slots are processed in chunks: each chunk's Forward calls (and remote
 	// serialization) run on the pool, then classification and next-wavefront
@@ -1470,7 +1475,7 @@ func (w *Worker) dpRoundParallel() error {
 				} else {
 					po.dest = dest
 					po.owner = w.assignment[dest.Node]
-					if po.owner != w.id {
+					if po.owner != w.id && !useWire(po.owner) {
 						po.packet = w.engine.Serialize(po.out)
 					}
 				}
@@ -1482,6 +1487,10 @@ func (w *Worker) dpRoundParallel() error {
 			return err
 		}
 
+		// chunkWire coalesces every wire-path packet of this chunk per
+		// destination worker; it is flushed before the next chunk so the
+		// refs never have to survive a chunk-boundary GC.
+		chunkWire := map[int][]wireItem{}
 		for si := lo; si < hi; si++ {
 			s := slots[si]
 			w.classify(s.source, s.node, dataplane.Arrive, res[si].local)
@@ -1507,7 +1516,15 @@ func (w *Worker) dpRoundParallel() error {
 					} else {
 						nextLocal[slot] = po.out
 					}
+				} else if useWire(po.owner) {
+					chunkWire[po.owner] = append(chunkWire[po.owner], wireItem{
+						source: s.source,
+						node:   po.dest.Node,
+						inPort: po.dest.Port,
+						out:    po.out,
+					})
 				} else {
+					legacyBytes += len(po.packet)
 					remote[po.owner] = append(remote[po.owner], sidecar.PacketDelivery{
 						Source: s.source,
 						Node:   po.dest.Node,
@@ -1517,9 +1534,14 @@ func (w *Worker) dpRoundParallel() error {
 				}
 			}
 		}
+		// Ship this chunk's wire-path crossings: one substrate message per
+		// destination worker (③→④→⑤ in Figure 3, batched).
+		if err := w.shipRemote(chunkWire); err != nil {
+			return err
+		}
 	}
 
-	// Ship boundary crossings (③→④→⑤ in Figure 3).
+	// Ship the per-packet crossings for peers outside the wire path.
 	owners := make([]int, 0, len(remote))
 	for o := range remote {
 		owners = append(owners, o)
@@ -1534,6 +1556,7 @@ func (w *Worker) dpRoundParallel() error {
 			return fmt.Errorf("core: worker %d delivering to %d: %w", w.id, o, err)
 		}
 	}
+	w.obsWireBytes("packet", legacyBytes)
 
 	w.qmu.Lock()
 	w.queue = nextLocal
@@ -1569,6 +1592,12 @@ func (w *Worker) gcWithExtraRoots(extra func(add func(bdd.Ref))) func(bdd.Ref) b
 	for _, r := range w.queue {
 		roots = append(roots, r)
 	}
+	// Materialized wire tables stay live across a GC: parked deliveries in
+	// wireInbox may still splice onto them, so their refs are roots and are
+	// remapped in place below.
+	for _, t := range w.recvTables {
+		roots = append(roots, t.Refs()...)
+	}
 	w.qmu.Unlock()
 	for _, o := range w.outcomes {
 		roots = append(roots, o.Packet)
@@ -1581,9 +1610,17 @@ func (w *Worker) gcWithExtraRoots(extra func(add func(bdd.Ref))) func(bdd.Ref) b
 	for k, r := range w.queue {
 		w.queue[k] = remap(r)
 	}
+	for _, t := range w.recvTables {
+		t.Remap(remap)
+	}
 	w.qmu.Unlock()
 	for i := range w.outcomes {
 		w.outcomes[i].Packet = remap(w.outcomes[i].Packet)
+	}
+	// Send sessions key on local refs, which the collection just renumbered:
+	// every delta session starts over at the next ship.
+	for _, s := range w.sendSessions {
+		s.Reset()
 	}
 	w.lastGCNodes = w.engine.NodeCount()
 	w.obsBDD(w.lastGCNodes, true)
@@ -1608,44 +1645,69 @@ func (w *Worker) classify(source, node string, state dataplane.FinalState, pkt b
 func (w *Worker) HasWork() (bool, error) {
 	w.qmu.Lock()
 	defer w.qmu.Unlock()
-	return len(w.inbox) > 0 || w.queueLen > 0, nil
+	return len(w.inbox) > 0 || len(w.wireInbox) > 0 || w.queueLen > 0, nil
 }
 
 // FinishQuery implements sidecar.WorkerAPI: whatever still circulates has
-// exceeded the TTL (Loop); serialize and return all outcomes.
-func (w *Worker) FinishQuery() ([]dataplane.RawOutcome, error) {
+// exceeded the TTL (Loop); serialize and return all outcomes. With wire
+// dedup on, all outcome packets share one set-encoded substrate (root i
+// pairs with Outcomes[i]); otherwise each outcome carries its own packet.
+func (w *Worker) FinishQuery() (sidecar.OutcomeBatch, error) {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
 	w.qmu.Lock()
-	leftoverQueue := w.queue
-	inbox := w.inbox
+	stragglers := w.queue
 	w.queue = map[packetSlot]bdd.Ref{}
 	w.queueLen = 0
-	w.inbox = nil
 	w.qmu.Unlock()
-
-	for s, pkt := range leftoverQueue {
-		w.outcomes = append(w.outcomes, dataplane.Outcome{Source: s.source, Node: s.node, State: dataplane.Loop, Packet: pkt})
+	// Deliveries that raced the controller's convergence check are loops
+	// too; drainInbox also materializes any parked wire batches.
+	if err := w.drainInbox(stragglers); err != nil {
+		return sidecar.OutcomeBatch{}, err
 	}
-	for _, d := range inbox {
-		pkt, err := w.engine.Deserialize(d.Packet)
-		if err != nil {
-			return nil, err
+	slots := make([]packetSlot, 0, len(stragglers))
+	for s := range stragglers {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		a, b := slots[i], slots[j]
+		if a.node != b.node {
+			return a.node < b.node
 		}
-		w.outcomes = append(w.outcomes, dataplane.Outcome{Source: d.Source, Node: d.Node, State: dataplane.Loop, Packet: pkt})
+		if a.inPort != b.inPort {
+			return a.inPort < b.inPort
+		}
+		return a.source < b.source
+	})
+	for _, s := range slots {
+		w.outcomes = append(w.outcomes, dataplane.Outcome{Source: s.source, Node: s.node, State: dataplane.Loop, Packet: stragglers[s]})
 	}
 
-	out := make([]dataplane.RawOutcome, 0, len(w.outcomes))
-	for _, o := range w.outcomes {
-		out = append(out, dataplane.RawOutcome{
-			Source: o.Source,
-			Node:   o.Node,
-			State:  o.State,
-			Packet: w.engine.Serialize(o.Packet),
-		})
+	batch := sidecar.OutcomeBatch{Outcomes: make([]dataplane.RawOutcome, 0, len(w.outcomes))}
+	if w.wireDedup {
+		refs := make([]bdd.Ref, len(w.outcomes))
+		for i, o := range w.outcomes {
+			refs[i] = o.Packet
+			batch.Outcomes = append(batch.Outcomes, dataplane.RawOutcome{Source: o.Source, Node: o.Node, State: o.State})
+		}
+		batch.Wire = w.engine.SerializeSet(refs)
+		w.obsWireBytes("wire", len(batch.Wire))
+	} else {
+		total := 0
+		for _, o := range w.outcomes {
+			pkt := w.engine.Serialize(o.Packet)
+			total += len(pkt)
+			batch.Outcomes = append(batch.Outcomes, dataplane.RawOutcome{
+				Source: o.Source,
+				Node:   o.Node,
+				State:  o.State,
+				Packet: pkt,
+			})
+		}
+		w.obsWireBytes("packet", total)
 	}
 	w.outcomes = nil
-	return out, nil
+	return batch, nil
 }
 
 // CollectRIBs implements sidecar.WorkerAPI: the merged full RIBs of local

@@ -187,6 +187,24 @@ func (c *Collector) AddRaw(o RawOutcome) error {
 	return c.Add(Outcome{Source: o.Source, Node: o.Node, State: o.State, Packet: pkt})
 }
 
+// DecodeOutcomes materializes a set-encoded outcome harvest into engine e:
+// wire is a bdd.SerializeSet substrate whose root i is the packet of
+// metas[i] (the metas carry no per-outcome payload in this mode).
+func DecodeOutcomes(e *bdd.Engine, wire []byte, metas []RawOutcome) ([]Outcome, error) {
+	roots, err := e.DeserializeSet(wire)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: outcome batch: %w", err)
+	}
+	if len(roots) != len(metas) {
+		return nil, fmt.Errorf("dataplane: outcome batch has %d roots for %d outcomes", len(roots), len(metas))
+	}
+	out := make([]Outcome, len(metas))
+	for i, m := range metas {
+		out[i] = Outcome{Source: m.Source, Node: m.Node, State: m.State, Packet: roots[i]}
+	}
+	return out, nil
+}
+
 // Arrived returns P_{v_d} for a destination node (bdd.False when nothing
 // arrived).
 func (c *Collector) Arrived(dest string) bdd.Ref {

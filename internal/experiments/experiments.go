@@ -219,6 +219,7 @@ type s2Params struct {
 	seed    int64
 	procs   int  // per-worker pool size (0 = all CPUs)
 	noBatch bool // disable cross-worker pull batching
+	noWire  bool // disable the shared-substrate wire codec
 }
 
 // resolvedProcs mirrors the controller's Parallelism default so telemetry
@@ -238,6 +239,11 @@ func recordPoolTelemetry(t map[string]float64, p s2Params) {
 		t["s2_batch_pulls_enabled"] = 0
 	} else {
 		t["s2_batch_pulls_enabled"] = 1
+	}
+	if p.noWire {
+		t["s2_wire_dedup_enabled"] = 0
+	} else {
+		t["s2_wire_dedup_enabled"] = 1
 	}
 }
 
@@ -262,6 +268,7 @@ func runS2(texts map[string]string, p s2Params) (row Row) {
 
 		Parallelism:       p.procs,
 		DisableBatchPulls: p.noBatch,
+		DisableWireDedup:  p.noWire,
 	})
 	if err != nil {
 		row.Err = err.Error()
@@ -322,6 +329,7 @@ func runS2CP(texts map[string]string, p s2Params) (row Row) {
 
 		Parallelism:       p.procs,
 		DisableBatchPulls: p.noBatch,
+		DisableWireDedup:  p.noWire,
 	})
 	if err != nil {
 		row.Err = err.Error()

@@ -289,10 +289,14 @@ func Figure10(cfg Config) ([]Row, error) {
 
 // Figure11 measures this implementation's multi-core hot path (not a paper
 // figure): one FatTree, a fixed worker count, sweeping the per-worker pool
-// size with cross-worker pull batching on and off. Wall clock should fall
-// as the pool grows (bounded by the host's core count — see the README's
-// note on reading these numbers) and the batched runs should show fewer
-// client RPCs (s2_rpc_calls_total in the row telemetry) at equal results.
+// size across three configurations — everything off ("pN"), pull batching
+// on with per-packet wire encoding ("pN+batch-nowire"), and the full fast
+// path with the shared-substrate wire codec ("pN+batch"). Wall clock
+// should fall as the pool grows (bounded by the host's core count — see
+// the README's note on reading these numbers), the batched runs should
+// show fewer client RPCs (s2_rpc_calls_total in the row telemetry), and
+// the wire-dedup runs should move several times fewer cross-worker
+// data-plane bytes (s2_wire_packet_bytes_total) at equal results.
 func Figure11(cfg Config) ([]Row, error) {
 	cfg = cfg.Defaults()
 	_, texts, err := fatTreeSnap(cfg.FixedK)
@@ -304,19 +308,24 @@ func Figure11(cfg Config) ([]Row, error) {
 	if workers < 2 {
 		workers = 2
 	}
+	configs := []struct {
+		suffix  string
+		noBatch bool
+		noWire  bool
+	}{
+		{suffix: "", noBatch: true, noWire: true},
+		{suffix: "+batch-nowire", noBatch: false, noWire: true},
+		{suffix: "+batch", noBatch: false, noWire: false},
+	}
 	var rows []Row
-	for _, noBatch := range []bool{false, true} {
+	for _, cc := range configs {
 		for _, procs := range cfg.ProcsSweep {
 			r := runS2(texts, s2Params{
 				workers: workers, shards: cfg.Shards,
 				loadOf: partition.EstimateFatTreeLoad(cfg.FixedK), seed: cfg.Seed,
-				procs: procs, noBatch: noBatch,
+				procs: procs, noBatch: cc.noBatch, noWire: cc.noWire,
 			})
-			variant := fmt.Sprintf("p%d+batch", procs)
-			if noBatch {
-				variant = fmt.Sprintf("p%d", procs)
-			}
-			r.Figure, r.Network, r.Variant = "fig11", network, variant
+			r.Figure, r.Network, r.Variant = "fig11", network, fmt.Sprintf("p%d%s", procs, cc.suffix)
 			rows = append(rows, r)
 		}
 	}

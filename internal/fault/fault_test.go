@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"s2/internal/bgp"
-	"s2/internal/dataplane"
 	"s2/internal/metrics"
 	"s2/internal/ospf"
 	"s2/internal/route"
@@ -331,8 +330,11 @@ func (n *nullWorker) BeginQuery(sidecar.QueryRequest) error           { return n
 func (n *nullWorker) Inject(sidecar.InjectRequest) error              { return nil }
 func (n *nullWorker) DPRound() error                                  { return nil }
 func (n *nullWorker) HasWork() (bool, error)                          { return false, nil }
-func (n *nullWorker) DeliverPackets([]sidecar.PacketDelivery) error   { return nil }
-func (n *nullWorker) FinishQuery() ([]dataplane.RawOutcome, error)    { return nil, nil }
+func (n *nullWorker) DeliverPackets([]sidecar.PacketDelivery) error { return nil }
+func (n *nullWorker) DeliverBatch(sidecar.DeliverBatchRequest) (sidecar.DeliverBatchReply, error) {
+	return sidecar.DeliverBatchReply{}, nil
+}
+func (n *nullWorker) FinishQuery() (sidecar.OutcomeBatch, error)      { return sidecar.OutcomeBatch{}, nil }
 func (n *nullWorker) CollectRIBs() (map[string][]*route.Route, error) { return nil, nil }
 func (n *nullWorker) Stats() (sidecar.WorkerStats, error) {
 	return sidecar.WorkerStats{}, nil

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"s2/internal/bgp"
-	"s2/internal/dataplane"
 	"s2/internal/ospf"
 	"s2/internal/route"
 	"s2/internal/sidecar"
@@ -250,9 +249,16 @@ func (j *Injector) DeliverPackets(items []sidecar.PacketDelivery) error {
 	return j.inner.DeliverPackets(items)
 }
 
-func (j *Injector) FinishQuery() ([]dataplane.RawOutcome, error) {
+func (j *Injector) DeliverBatch(req sidecar.DeliverBatchRequest) (sidecar.DeliverBatchReply, error) {
+	if err := j.before("DeliverBatch"); err != nil {
+		return sidecar.DeliverBatchReply{}, err
+	}
+	return j.inner.DeliverBatch(req)
+}
+
+func (j *Injector) FinishQuery() (sidecar.OutcomeBatch, error) {
 	if err := j.before("FinishQuery"); err != nil {
-		return nil, err
+		return sidecar.OutcomeBatch{}, err
 	}
 	return j.inner.FinishQuery()
 }

@@ -2,7 +2,6 @@ package fault
 
 import (
 	"s2/internal/bgp"
-	"s2/internal/dataplane"
 	"s2/internal/ospf"
 	"s2/internal/route"
 	"s2/internal/sidecar"
@@ -152,8 +151,18 @@ func (w *wrapped) DeliverPackets(items []sidecar.PacketDelivery) error {
 	return w.c.Do("DeliverPackets", false, func() error { return w.api.DeliverPackets(items) })
 }
 
-func (w *wrapped) FinishQuery() ([]dataplane.RawOutcome, error) {
-	var out []dataplane.RawOutcome
+func (w *wrapped) DeliverBatch(req sidecar.DeliverBatchRequest) (sidecar.DeliverBatchReply, error) {
+	var reply sidecar.DeliverBatchReply
+	err := w.c.Do("DeliverBatch", false, func() error {
+		var err error
+		reply, err = w.api.DeliverBatch(req)
+		return err
+	})
+	return reply, err
+}
+
+func (w *wrapped) FinishQuery() (sidecar.OutcomeBatch, error) {
+	var out sidecar.OutcomeBatch
 	err := w.c.Do("FinishQuery", false, func() error {
 		var err error
 		out, err = w.api.FinishQuery()

@@ -78,6 +78,11 @@ type SetupRequest struct {
 	// per-owner PullBGPBatch/PullLSABatch round trips (the zero value keeps
 	// batching ON).
 	DisableBatchPulls bool
+	// DisableWireDedup turns off the shared-substrate wire codec for
+	// cross-worker packet delivery (DeliverBatch with per-peer incremental
+	// node dedup), reverting to one independently-serialized BDD per
+	// packet (the zero value keeps dedup ON).
+	DisableWireDedup bool
 }
 
 // BeginShardRequest starts a prefix-shard round. An empty prefix list means
@@ -187,13 +192,55 @@ type PacketDelivery struct {
 	Packet []byte
 }
 
+// WirePacket is one symbolic packet inside a DeliverBatch message: the
+// usual delivery coordinates plus the root's id in the batch's shared
+// substrate (bdd wire codec) instead of an independently serialized BDD.
+type WirePacket struct {
+	Source string
+	Node   string
+	InPort string
+	Root   uint32
+}
+
+// DeliverBatchRequest carries every packet a sender has for one
+// destination worker in a round chunk: one shared-substrate BDD message
+// (bdd.EncodeDelta against the sender's per-peer WireSession) plus the
+// per-packet roots referencing it. From names the sending worker so the
+// receiver can keep one wire session per peer.
+type DeliverBatchRequest struct {
+	From  int
+	Wire  []byte
+	Items []WirePacket
+}
+
+// DeliverBatchReply closes the epoch/reset handshake: Reset asks the
+// sender to bdd.WireSession.Reset and re-send from scratch because the
+// receiver no longer holds the session state the message splices onto
+// (it was restarted, recovered, or began a new query phase). Nothing was
+// consumed when Reset is true.
+type DeliverBatchReply struct {
+	Reset bool
+}
+
 // HasWorkReply reports whether a worker still has queued packets.
 type HasWorkReply struct {
 	Busy bool
 }
 
+// OutcomeBatch is a worker's finalized packets for the current query.
+// When Wire is non-empty it is a shared-substrate set encoding
+// (bdd.SerializeSet) of every outcome's packet, root i belonging to
+// Outcomes[i], whose Packet field is then empty. When Wire is empty each
+// outcome carries its own independently serialized packet (older workers
+// and the -no-wire-dedup escape hatch).
+type OutcomeBatch struct {
+	Wire     []byte
+	Outcomes []dataplane.RawOutcome
+}
+
 // OutcomesReply returns a worker's finalized packets for the current query.
 type OutcomesReply struct {
+	Wire     []byte
 	Outcomes []dataplane.RawOutcome
 }
 
@@ -242,7 +289,11 @@ type WorkerAPI interface {
 	DPRound() error
 	HasWork() (bool, error)
 	DeliverPackets(items []PacketDelivery) error
-	FinishQuery() ([]dataplane.RawOutcome, error)
+	// DeliverBatch delivers many packets against one shared BDD substrate
+	// with per-peer incremental node dedup. Workers fall back to
+	// per-packet DeliverPackets against peers that predate this method.
+	DeliverBatch(req DeliverBatchRequest) (DeliverBatchReply, error)
+	FinishQuery() (OutcomeBatch, error)
 
 	CollectRIBs() (map[string][]*route.Route, error)
 	Stats() (WorkerStats, error)
@@ -414,11 +465,21 @@ func (s *Service) DeliverPackets(items []PacketDelivery, _ *Empty) error {
 	return s.do("DeliverPackets", func() error { return s.api.DeliverPackets(items) })
 }
 
+// DeliverBatch RPC.
+func (s *Service) DeliverBatch(req DeliverBatchRequest, reply *DeliverBatchReply) error {
+	return s.do("DeliverBatch", func() error {
+		r, err := s.api.DeliverBatch(req)
+		*reply = r
+		return err
+	})
+}
+
 // FinishQuery RPC.
 func (s *Service) FinishQuery(_ Empty, reply *OutcomesReply) error {
 	return s.do("FinishQuery", func() error {
-		out, err := s.api.FinishQuery()
-		reply.Outcomes = out
+		batch, err := s.api.FinishQuery()
+		reply.Wire = batch.Wire
+		reply.Outcomes = batch.Outcomes
 		return err
 	})
 }
@@ -799,10 +860,16 @@ func (r *RemoteWorker) DeliverPackets(items []PacketDelivery) error {
 	return err
 }
 
+// DeliverBatch implements WorkerAPI. Not idempotent: a retried delivery
+// would double-apply the substrate splice and the packet merges.
+func (r *RemoteWorker) DeliverBatch(req DeliverBatchRequest) (DeliverBatchReply, error) {
+	return rcall[DeliverBatchReply](r, "DeliverBatch", false, req)
+}
+
 // FinishQuery implements WorkerAPI.
-func (r *RemoteWorker) FinishQuery() ([]dataplane.RawOutcome, error) {
+func (r *RemoteWorker) FinishQuery() (OutcomeBatch, error) {
 	reply, err := rcall[OutcomesReply](r, "FinishQuery", false, Empty{})
-	return reply.Outcomes, err
+	return OutcomeBatch{Wire: reply.Wire, Outcomes: reply.Outcomes}, err
 }
 
 // CollectRIBs implements WorkerAPI.
@@ -969,8 +1036,18 @@ func (o *observed) DeliverPackets(items []PacketDelivery) error {
 	return o.obs("DeliverPackets", func() error { return o.api.DeliverPackets(items) })
 }
 
-func (o *observed) FinishQuery() ([]dataplane.RawOutcome, error) {
-	var out []dataplane.RawOutcome
+func (o *observed) DeliverBatch(req DeliverBatchRequest) (DeliverBatchReply, error) {
+	var reply DeliverBatchReply
+	err := o.obs("DeliverBatch", func() error {
+		var err error
+		reply, err = o.api.DeliverBatch(req)
+		return err
+	})
+	return reply, err
+}
+
+func (o *observed) FinishQuery() (OutcomeBatch, error) {
+	var out OutcomeBatch
 	err := o.obs("FinishQuery", func() error {
 		var err error
 		out, err = o.api.FinishQuery()

@@ -22,6 +22,7 @@ type stubWorker struct {
 	setups    int
 	pings     int
 	delivered []PacketDelivery
+	batch     DeliverBatchRequest
 	failPull  bool
 	slow      chan struct{} // when set, phase methods block until closed
 }
@@ -107,8 +108,12 @@ func (s *stubWorker) DeliverPackets(items []PacketDelivery) error {
 	s.delivered = append(s.delivered, items...)
 	return nil
 }
-func (s *stubWorker) FinishQuery() ([]dataplane.RawOutcome, error) {
-	return []dataplane.RawOutcome{{Source: "a", Node: "b", State: dataplane.Arrive, Packet: []byte{1}}}, nil
+func (s *stubWorker) DeliverBatch(req DeliverBatchRequest) (DeliverBatchReply, error) {
+	s.batch = req
+	return DeliverBatchReply{Reset: true}, nil
+}
+func (s *stubWorker) FinishQuery() (OutcomeBatch, error) {
+	return OutcomeBatch{Outcomes: []dataplane.RawOutcome{{Source: "a", Node: "b", State: dataplane.Arrive, Packet: []byte{1}}}}, nil
 }
 
 func (s *stubWorker) CollectRIBs() (map[string][]*route.Route, error) {
@@ -231,9 +236,16 @@ func TestRPCRoundTripAllMethods(t *testing.T) {
 	if len(stub.delivered) != 2 {
 		t.Fatalf("deliveries = %d", len(stub.delivered))
 	}
-	outs, err := client.FinishQuery()
-	if err != nil || len(outs) != 1 || outs[0].State != dataplane.Arrive {
-		t.Fatalf("FinishQuery: %v %v", outs, err)
+	breply, err := client.DeliverBatch(DeliverBatchRequest{From: 1, Wire: []byte{9}, Items: []WirePacket{{Source: "a", Node: "b", Root: 2}}})
+	if err != nil || !breply.Reset {
+		t.Fatalf("DeliverBatch: %+v %v", breply, err)
+	}
+	if stub.batch.From != 1 || len(stub.batch.Items) != 1 || stub.batch.Items[0].Root != 2 {
+		t.Fatalf("DeliverBatch payload: %+v", stub.batch)
+	}
+	batch, err := client.FinishQuery()
+	if err != nil || len(batch.Outcomes) != 1 || batch.Outcomes[0].State != dataplane.Arrive {
+		t.Fatalf("FinishQuery: %v %v", batch, err)
 	}
 
 	ribs, err := client.CollectRIBs()
@@ -402,6 +414,7 @@ func TestWrapperIdempotencyFlags(t *testing.T) {
 	client.Inject(InjectRequest{Source: "r1"})
 	client.DPRound()
 	client.DeliverPackets(nil)
+	client.DeliverBatch(DeliverBatchRequest{From: 1})
 	client.FinishQuery()
 	client.Stats()
 
@@ -410,7 +423,7 @@ func TestWrapperIdempotencyFlags(t *testing.T) {
 		"PullBGPBatch": true, "PullLSABatch": true,
 		"GatherBGP": false, "ApplyBGP": false, "EndShard": false,
 		"Inject": false, "DPRound": false, "DeliverPackets": false,
-		"FinishQuery": false,
+		"DeliverBatch": false, "FinishQuery": false,
 	}
 	for m, idem := range want {
 		got, ok := flags[m]

@@ -96,6 +96,11 @@ type Options struct {
 	// DisableBatchPulls reverts cross-worker route pulls to one RPC per
 	// (node, neighbor) pair instead of one batched RPC per peer worker.
 	DisableBatchPulls bool
+	// DisableWireDedup reverts boundary-crossing packets and outcome
+	// harvests to one independently serialized BDD per packet instead of
+	// the shared-substrate wire codec with per-peer node dedup
+	// (cmd/s2 -no-wire-dedup).
+	DisableWireDedup bool
 	// RPCTimeout bounds every controller→worker (and worker→worker) RPC
 	// attempt (0 = no deadline).
 	RPCTimeout time.Duration
@@ -166,6 +171,7 @@ func NewVerifier(n *Network, opts Options) (*Verifier, error) {
 
 		Parallelism:       opts.Parallelism,
 		DisableBatchPulls: opts.DisableBatchPulls,
+		DisableWireDedup:  opts.DisableWireDedup,
 
 		RPCTimeout:        opts.RPCTimeout,
 		RPCRetries:        opts.RPCRetries,
