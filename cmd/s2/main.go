@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"s2"
@@ -46,6 +48,9 @@ func main() {
 		procs      = flag.Int("procs", 0, "per-worker goroutine pool for the simulation phases (0 = all CPUs, 1 = sequential)")
 		noBatch    = flag.Bool("no-batch-pulls", false, "disable batching of cross-worker route pulls (one RPC per node-neighbor pair)")
 		noWire     = flag.Bool("no-wire-dedup", false, "disable the shared-substrate wire codec for cross-worker packets (one serialized BDD per packet)")
+		showReport = flag.Bool("report", false, "print the per-worker × per-stage attribution table after the run")
+		reportJSON = flag.String("report-json", "", "write the attribution report as JSON to this file (- for stdout)")
+		flightLog  = flag.String("flight-log", "", "write the controller's flight-recorder events to this file at exit")
 		verbose    = flag.Bool("v", false, "print phase timings and per-worker stats")
 	)
 	flag.Parse()
@@ -96,6 +101,29 @@ func main() {
 	fatal(err)
 	defer v.Close()
 
+	// SIGQUIT dumps the flight recorder to stderr and keeps running — the
+	// in-flight verification is not disturbed.
+	flight := v.FlightRecorder()
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "s2: SIGQUIT — flight recorder dump:")
+			flight.WriteTo(os.Stderr)
+		}
+	}()
+	if *flightLog != "" {
+		defer func() {
+			f, err := os.Create(*flightLog)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "s2: flight-log:", err)
+				return
+			}
+			flight.WriteTo(f)
+			f.Close()
+		}()
+	}
+
 	if *obsAddr != "" {
 		isrv, err := obs.ServeIntrospection(*obsAddr, obs.ServerOptions{
 			Registry: reg,
@@ -103,6 +131,7 @@ func main() {
 				return map[string]any{"role": "controller", "faults": v.FaultStats()}
 			},
 			Progress: func() any { return v.Progress() },
+			Flight:   flight,
 		})
 		fatal(err)
 		defer isrv.Close()
@@ -187,7 +216,25 @@ func main() {
 		}
 	}
 
+	if *showReport || *reportJSON != "" {
+		rep := v.AttributionReport()
+		if *showReport {
+			fmt.Printf("\nattribution report (%d spans):\n%s", rep.SpanCount, rep.String())
+		}
+		if *reportJSON != "" {
+			data, err := rep.JSON()
+			fatal(err)
+			if *reportJSON == "-" {
+				fmt.Println(string(data))
+			} else {
+				fatal(os.WriteFile(*reportJSON, append(data, '\n'), 0o644))
+				fmt.Printf("attribution report written to %s\n", *reportJSON)
+			}
+		}
+	}
+
 	if *traceOut != "" {
+		v.HarvestSpans()
 		f, err := os.Create(*traceOut)
 		fatal(err)
 		fatal(tracer.WriteChromeTrace(f))

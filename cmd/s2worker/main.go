@@ -38,7 +38,9 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for idempotent peer RPCs that fail transiently")
 	grace := flag.Duration("grace", 10*time.Second, "max time to finish in-flight RPCs on SIGINT/SIGTERM")
 	procs := flag.Int("procs", 0, "default goroutine pool for the simulation phases when Setup doesn't set one (0 = all CPUs, 1 = sequential)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, and /debug/pprof for this worker on this address")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, /debug/flightrecorder, and /debug/pprof for this worker on this address")
+	spanRing := flag.Int("span-ring", 16384, "capacity of the span export ring drained by the controller's PullSpans")
+	flightLog := flag.String("flight-log", "", "also write flight-recorder dumps (SIGQUIT) to this file")
 	flag.Parse()
 
 	lis, err := net.Listen("tcp", *listen)
@@ -55,9 +57,18 @@ func main() {
 	w.SetDefaultParallelism(defProcs)
 	srv := sidecar.NewServer(w)
 
+	// Tracing is always on: spans land in a bounded export ring that costs
+	// nothing unless a controller harvests it over PullSpans, and the flight
+	// recorder keeps the last page of structured events for post-mortems.
+	tracer := obs.NewTracer()
+	tracer.SetExportLimit(*spanRing)
+	var reg *obs.Registry
 	if *obsAddr != "" {
-		reg := obs.NewRegistry()
-		w.SetObservability(nil, reg)
+		reg = obs.NewRegistry()
+	}
+	w.SetObservability(tracer, reg)
+
+	if *obsAddr != "" {
 		srv.SetRPCHook(sidecar.RPCHook(obs.RPCInstrument(reg, "server", nil)))
 		bytesTotal := reg.Counter(obs.MetricRPCBytes,
 			"Bytes moved over sidecar RPC connections.", "role", "dir")
@@ -74,6 +85,7 @@ func main() {
 					"rpc_bytes_out": srv.BytesWritten(),
 				}
 			},
+			Flight: w.FlightRecorder(),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "s2worker:", err)
@@ -89,6 +101,23 @@ func main() {
 		sig := <-sigs
 		fmt.Printf("s2worker: %v, draining (grace %v)\n", sig, *grace)
 		srv.Shutdown(*grace)
+	}()
+
+	// SIGQUIT is the post-mortem path: dump the flight recorder and exit
+	// immediately without draining — the controller salvages what it can.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		<-quit
+		fmt.Fprintln(os.Stderr, "s2worker: SIGQUIT — flight recorder dump:")
+		w.FlightRecorder().WriteTo(os.Stderr)
+		if *flightLog != "" {
+			if f, err := os.Create(*flightLog); err == nil {
+				w.FlightRecorder().WriteTo(f)
+				f.Close()
+			}
+		}
+		os.Exit(2)
 	}()
 
 	fmt.Printf("s2worker listening on %s\n", lis.Addr())

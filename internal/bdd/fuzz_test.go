@@ -54,10 +54,10 @@ func FuzzSerializeRoundTrip(f *testing.F) {
 		if len(ops) > 256 {
 			ops = ops[:256]
 		}
-		a := New(8, 1 << 16)
+		a := New(8, 1<<16)
 		refs := fuzzBuild(t, a, ops)
 
-		b := New(8, 1 << 16)
+		b := New(8, 1<<16)
 		roots, err := b.DeserializeSet(a.SerializeSet(refs))
 		if err != nil {
 			t.Fatalf("set round trip failed: %v", err)
@@ -91,7 +91,7 @@ func FuzzDeserializeSet(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xd3, 0xea, 0xc9, 0x9a, 0x05})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		e := New(8, 1 << 16)
+		e := New(8, 1<<16)
 		v, err := e.Var(3)
 		if err != nil {
 			t.Fatal(err)

@@ -167,12 +167,24 @@ type Controller struct {
 
 	// Observability (see observability.go). curSpan holds the innermost
 	// open stage/shard/round *obs.Span; RPC hooks sample it concurrently.
+	// clientHook builds the per-worker traced RPC hook (nil with obs off).
 	tracer     *obs.Tracer
 	reg        *obs.Registry
 	curSpan    atomic.Value
-	clientHook sidecar.RPCHook
+	clientHook func(workerID int) sidecar.TraceHook
 	pmu        sync.Mutex
 	prog       Progress
+
+	// flight is the controller's always-on flight recorder (see harvest.go
+	// for the distributed-trace plumbing it accompanies). skewMu guards the
+	// per-client clock-offset estimators and the legacy-peer memo below;
+	// harvestStop/harvestWG manage the background span harvester.
+	flight      *obs.FlightRecorder
+	skewMu      sync.Mutex
+	skews       map[*sidecar.RemoteWorker]*obs.SkewEstimator
+	noPullSpans map[*sidecar.RemoteWorker]bool
+	harvestStop chan struct{}
+	harvestWG   sync.WaitGroup
 
 	// Stage flags drive recovery: repair re-Setups the survivors and
 	// clears cpDone/dpDone, so each internal runner re-establishes exactly
@@ -211,18 +223,25 @@ func NewController(snap *config.Snapshot, texts map[string]string, opts Options)
 	}
 	layout := dataplane.Layout{MetaBits: opts.MetaBits}
 	c := &Controller{
-		snap:   snap,
-		net:    net,
-		opts:   opts,
-		texts:  texts,
-		engine: layout.NewEngine(0),
-		layout: layout,
-		timer:  metrics.NewPhaseTimer(),
-		faults: metrics.NewFaultCounters(),
+		snap:        snap,
+		net:         net,
+		opts:        opts,
+		texts:       texts,
+		engine:      layout.NewEngine(0),
+		layout:      layout,
+		timer:       metrics.NewPhaseTimer(),
+		faults:      metrics.NewFaultCounters(),
+		flight:      obs.NewFlightRecorder(0),
+		skews:       map[*sidecar.RemoteWorker]*obs.SkewEstimator{},
+		noPullSpans: map[*sidecar.RemoteWorker]bool{},
 	}
 	c.initObs()
 	return c, nil
 }
+
+// FlightRecorder exposes the controller's always-on flight recorder for
+// SIGQUIT/panic dumps and the /debug/flightrecorder endpoint.
+func (c *Controller) FlightRecorder() *obs.FlightRecorder { return c.flight }
 
 // FaultCounters exposes retry/failure/recovery accounting.
 func (c *Controller) FaultCounters() *metrics.FaultCounters { return c.faults }
@@ -230,7 +249,14 @@ func (c *Controller) FaultCounters() *metrics.FaultCounters { return c.faults }
 // Close stops the failure detector and tears down remote connections. The
 // controller is unusable afterwards.
 func (c *Controller) Close() error {
+	alreadyClosed := c.closed
 	c.closed = true
+	c.stopHarvester()
+	// Final span drain: whatever the workers' export rings still hold must
+	// land in the merged trace before the connections go away.
+	if !alreadyClosed {
+		c.harvestAll()
+	}
 	c.stopDetector()
 	c.wmu.Lock()
 	clients := c.clients
@@ -281,21 +307,30 @@ func (c *Controller) setup() error {
 		return err
 	}
 	c.startDetector()
+	c.startHarvester()
 	return nil
 }
 
 // newWorkerTransport assembles one worker's call stack: the base transport,
 // the test injection hook, the RPC telemetry layer, then the fault policy
 // (deadlines + retries). Telemetry sits inside the fault layer so each
-// retry attempt is recorded as its own RPC.
+// retry attempt is recorded as its own RPC span, re-armed with a fresh
+// TraceContext — the server-side span parents under the attempt that
+// actually reached it.
 func (c *Controller) newWorkerTransport(id int, base sidecar.WorkerAPI) sidecar.WorkerAPI {
 	w := base
 	if c.opts.WrapWorker != nil {
 		w = c.opts.WrapWorker(id, w)
 	}
-	w = sidecar.Observe(w, c.clientHook)
+	if c.clientHook != nil {
+		w = sidecar.ObserveTraced(w, c.clientHook(id))
+	}
 	if p := c.opts.faultPolicy(); p.Timeout > 0 || p.Retries > 0 {
-		w = fault.Wrap(w, fault.NewCaller(p, c.faults))
+		caller := fault.NewCaller(p, c.faults)
+		caller.SetNotify(func(event, method string, err error) {
+			c.flight.Record("rpc", "worker %d %s %s: %v", id, event, method, err)
+		})
+		w = fault.Wrap(w, caller)
 	}
 	return w
 }
@@ -431,6 +466,7 @@ func (c *Controller) startDetector() {
 		return probe.Do("Ping", false, w.Ping)
 	}, c.faults)
 	d.OnDead(func(id int) {
+		c.flight.Record("detector", "worker %d declared dead after missed heartbeats", id)
 		c.wmu.RLock()
 		var client *sidecar.RemoteWorker
 		if id < len(c.clients) {
@@ -475,6 +511,7 @@ func (c *Controller) recoverable(body func() error) error {
 // of retrying forever.
 func (c *Controller) repair() error {
 	c.recoveries++
+	c.flight.Record("recovery", "attempt %d/%d", c.recoveries, c.opts.maxRecoveries())
 	if c.recoveries > c.opts.maxRecoveries() {
 		return fmt.Errorf("core: recovery budget exhausted after %d attempts", c.opts.maxRecoveries())
 	}
@@ -520,11 +557,16 @@ func (c *Controller) probe() []int {
 }
 
 // evict removes the dead workers from the directory, closing their RPC
-// clients. Failing with no survivors is the clean-abort path.
+// clients. Failing with no survivors is the clean-abort path. Before a dead
+// worker's client closes, a bounded best-effort PullSpans salvages whatever
+// spans its export ring still holds plus its last flight-recorder page —
+// the pre-crash evidence the merged trace would otherwise lose.
 func (c *Controller) evict(dead []int) error {
 	if len(dead) == 0 {
 		return nil
 	}
+	c.flight.Record("evict", "evicting workers %v", dead)
+	c.evictCapture(dead)
 	isDead := map[int]bool{}
 	for _, id := range dead {
 		isDead[id] = true
@@ -838,6 +880,9 @@ func (c *Controller) runShard(i int, sh *shard.Shard) (reports []sidecar.Conditi
 	}); err != nil {
 		return nil, err
 	}
+	// Piggyback a span harvest on the shard boundary: the workers just
+	// finished EndShard, so their export rings hold the whole shard round.
+	c.harvestAll()
 	return reports, nil
 }
 
@@ -920,6 +965,7 @@ func (c *Controller) computeDataPlane() ([]string, error) {
 		return nil, err
 	}
 	c.dpDone = true
+	c.harvestAll()
 	sort.Strings(warnings)
 	return warnings, nil
 }
@@ -990,6 +1036,7 @@ func (c *Controller) runQuery(q *dataplane.Query, constrainSrc bool) (*dataplane
 	if err != nil {
 		return nil, err
 	}
+	c.harvestAll()
 	return col, nil
 }
 

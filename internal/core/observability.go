@@ -82,8 +82,8 @@ func (c *Controller) Progress() Progress {
 }
 
 // initObs wires the controller's observability surface from Options: the
-// shared tracer/registry, the client RPC hook, and the scrape-time bridges
-// (fault events, workers alive, client transport bytes).
+// shared tracer/registry, the per-worker client RPC hooks, and the
+// scrape-time bridges (fault events, workers alive, client transport bytes).
 func (c *Controller) initObs() {
 	c.tracer = c.opts.Tracer
 	c.reg = c.opts.Metrics
@@ -91,7 +91,12 @@ func (c *Controller) initObs() {
 	if c.tracer != nil {
 		parent = c.curStageSpan
 	}
-	c.clientHook = sidecar.RPCHook(obs.RPCInstrument(c.reg, "client", parent))
+	if c.reg != nil || parent != nil {
+		reg := c.reg
+		c.clientHook = func(id int) sidecar.TraceHook {
+			return sidecar.TraceHook(obs.RPCInstrumentTraced(reg, "client", parent, obs.Int("worker", id)))
+		}
+	}
 	if c.reg == nil {
 		return
 	}
@@ -167,11 +172,17 @@ func (c *Controller) startSpan(name string, attrs ...obs.Attr) func() {
 // progress view, runs fn, and closes the span.
 func (c *Controller) stage(name string, fn func() error) error {
 	end := c.startSpan("stage:" + name)
+	c.flight.Record("stage", "enter %s", name)
 	c.pmu.Lock()
 	c.prog.Stage = name
 	c.pmu.Unlock()
 	err := fn()
 	end()
+	if err != nil {
+		c.flight.Record("stage", "leave %s: %v", name, err)
+	} else {
+		c.flight.Record("stage", "leave %s", name)
+	}
 	return err
 }
 
@@ -229,6 +240,45 @@ type workerObs struct {
 	tracker atomic.Pointer[metrics.Tracker]
 	// shardSpan covers BeginShard..EndShard; phase spans nest under it.
 	shardSpan *obs.Span
+	// pendingTC is the one-shot trace parent propagated by the controller's
+	// last phase-class RPC (sidecar.Service → AcceptTraceParent); the next
+	// phase span consumes it and parents under the controller's client rpc
+	// span instead of the local shard span. Atomic because the RPC layer
+	// stores it from the serving goroutine.
+	pendingTC atomic.Pointer[obs.TraceContext]
+	// cur is the TraceContext of the most recently opened phase/shard span,
+	// sampled by peer-bound requests (RemoteWorker.SetTraceSource) so peer
+	// pulls carry the phase they were issued from.
+	cur atomic.Value // obs.TraceContext
+}
+
+// takeTC consumes the pending cross-process trace parent (zero when the
+// current phase call arrived without one — the in-process transport).
+func (o *workerObs) takeTC() obs.TraceContext {
+	if p := o.pendingTC.Swap(nil); p != nil {
+		return *p
+	}
+	return obs.TraceContext{}
+}
+
+func (o *workerObs) setCur(tc obs.TraceContext) { o.cur.Store(tc) }
+
+func (o *workerObs) curTC() obs.TraceContext {
+	tc, _ := o.cur.Load().(obs.TraceContext)
+	return tc
+}
+
+// AcceptTraceParent implements sidecar.TraceParentAcceptor: the RPC service
+// hands over the TraceContext stamped on an incoming request before invoking
+// the method. Only controller-issued phase-class calls may re-parent worker
+// spans — peer pulls and probes carry contexts too, but consuming those
+// would steal the parent armed for the phase in flight.
+func (w *Worker) AcceptTraceParent(method string, tc sidecar.TraceContext) {
+	if w.obs == nil || w.obs.tracer == nil || !tc.Valid() || !sidecar.PhaseClass(method) {
+		return
+	}
+	t := tc
+	w.obs.pendingTC.Store(&t)
 }
 
 // SetObservability attaches a tracer and metrics registry to the worker.
@@ -254,6 +304,12 @@ func (w *Worker) obsSetupDone() {
 		s.End() // recovery re-Setup can interrupt an open shard
 		w.obs.shardSpan = nil
 	}
+	// Export mode (remote workers): claim a disjoint span-id range so ids
+	// minted here never collide with the controller's or other workers' when
+	// the harvested spans merge into one trace.
+	if w.obs.tracer.Exporting() {
+		w.obs.tracer.EnsureIDBase(uint64(w.id+1) << 40)
+	}
 	w.obs.tracker.Store(w.tracker)
 	if w.obs.reg == nil {
 		return
@@ -278,21 +334,30 @@ func (w *Worker) obsSetupDone() {
 	mem.SetFunc(get(true), lbl, "peak")
 }
 
-// obsWorkerSpan opens a span on the worker's timeline: under the current
-// shard span when one is open, as a root otherwise. Returns nil (a no-op
-// span) when tracing is off.
+// obsWorkerSpan opens a span on the worker's timeline. Parent precedence:
+// the controller's propagated rpc span when the current phase call carried a
+// TraceContext (remote mode — the span lands under the exact client RPC that
+// triggered it after harvesting), else the open shard span, else a root.
+// Returns nil (a no-op span) when tracing is off.
 func (w *Worker) obsWorkerSpan(name string, attrs ...obs.Attr) *obs.Span {
 	if w.obs == nil || w.obs.tracer == nil {
 		return nil
 	}
-	if w.obs.shardSpan != nil {
-		return w.obs.shardSpan.Child(name, attrs...)
+	var span *obs.Span
+	if tc := w.obs.takeTC(); tc.Valid() {
+		span = w.obs.tracer.StartRemote(name, tc, attrs...).SetWorker(w.id)
+	} else if w.obs.shardSpan != nil {
+		span = w.obs.shardSpan.Child(name, attrs...)
+	} else {
+		span = w.obs.tracer.Start(name, attrs...).SetWorker(w.id)
 	}
-	return w.obs.tracer.Start(name, attrs...).SetWorker(w.id)
+	w.obs.setCur(span.TC())
+	return span
 }
 
 // obsBeginShard opens the shard span covering one BeginShard..EndShard
-// round; obsEndShard closes it.
+// round; obsEndShard closes it. With a propagated parent the shard span
+// nests under the controller's rpc:BeginShard client span.
 func (w *Worker) obsBeginShard(index, prefixes int) {
 	if w.obs == nil || w.obs.tracer == nil {
 		return
@@ -300,8 +365,13 @@ func (w *Worker) obsBeginShard(index, prefixes int) {
 	if s := w.obs.shardSpan; s != nil {
 		s.End()
 	}
-	w.obs.shardSpan = w.obs.tracer.Start("shard",
-		obs.Int("shard", index), obs.Int("prefixes", prefixes)).SetWorker(w.id)
+	attrs := []obs.Attr{obs.Int("shard", index), obs.Int("prefixes", prefixes)}
+	if tc := w.obs.takeTC(); tc.Valid() {
+		w.obs.shardSpan = w.obs.tracer.StartRemote("shard", tc, attrs...).SetWorker(w.id)
+	} else {
+		w.obs.shardSpan = w.obs.tracer.Start("shard", attrs...).SetWorker(w.id)
+	}
+	w.obs.setCur(w.obs.shardSpan.TC())
 }
 
 func (w *Worker) obsEndShard() {

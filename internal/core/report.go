@@ -1,0 +1,248 @@
+// Attribution report: a per-worker × per-stage accounting table rendered
+// from the merged trace (controller spans + harvested worker spans), the
+// telemetry registry, and per-connection transport counters. It answers
+// "where did the run's time go, and on which worker" without opening the
+// Chrome trace: wall time per stage, RPC count and time, transport bytes,
+// BDD engine size, and GC pauses.
+
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"s2/internal/sidecar"
+)
+
+// reportStages fixes the column order of the per-stage table.
+var reportStages = []string{"setup", "cp-bgp", "cp-ospf", "dp-compute", "dp-forward", "gc"}
+
+// stageOfSpan maps a span name from the merged trace to a report stage.
+// Container spans ("shard" wraps the per-phase spans and would double-count)
+// and bookkeeping spans map to "". Controller stage spans arrive as
+// "stage:<name>".
+func stageOfSpan(name string) string {
+	name = strings.TrimPrefix(name, "stage:")
+	switch name {
+	case "setup", "partition+setup":
+		return "setup"
+	case "gather-bgp", "apply-bgp", "end-shard", "cp-bgp":
+		return "cp-bgp"
+	case "gather-ospf", "apply-ospf", "cp-ospf":
+		return "cp-ospf"
+	case "compute-dp", "dp-compute":
+		return "dp-compute"
+	case "begin-query", "dp-round", "finish-query", "dp-forward":
+		return "dp-forward"
+	case "gc":
+		return "gc"
+	}
+	return ""
+}
+
+// StageTime accumulates wall time over the spans attributed to one stage.
+type StageTime struct {
+	Spans  int   `json:"spans"`
+	Micros int64 `json:"micros"`
+}
+
+// WorkerAttribution is one worker's row of the report.
+type WorkerAttribution struct {
+	Worker       int                  `json:"worker"`
+	Stages       map[string]StageTime `json:"stages"`
+	RPCCount     int64                `json:"rpc_count"`
+	RPCMicros    int64                `json:"rpc_micros"`
+	BytesRead    int64                `json:"bytes_read,omitempty"`
+	BytesWritten int64                `json:"bytes_written,omitempty"`
+	BDDNodes     int                  `json:"bdd_nodes"`
+	PeakBytes    int64                `json:"peak_bytes"`
+	GCPauses     int                  `json:"gc_pauses"`
+	GCMicros     int64                `json:"gc_micros"`
+}
+
+// AttributionReport is the whole table plus the controller's own stage
+// timeline. Stages lists the column order for renderers.
+type AttributionReport struct {
+	Stages     []string             `json:"stages"`
+	Controller map[string]StageTime `json:"controller"`
+	Workers    []WorkerAttribution  `json:"workers"`
+	// SpanCount is how many trace spans the report was distilled from; zero
+	// means tracing was off and only stats-derived columns are filled.
+	SpanCount int `json:"span_count"`
+}
+
+// AttributionReport harvests any outstanding remote spans and distills the
+// merged trace into the per-worker accounting table. Works in degraded form
+// without a tracer (stage columns empty, stats columns still filled).
+func (c *Controller) AttributionReport() *AttributionReport {
+	c.harvestAll()
+
+	rep := &AttributionReport{
+		Stages:     append([]string(nil), reportStages...),
+		Controller: map[string]StageTime{},
+	}
+
+	c.wmu.RLock()
+	n := len(c.workers)
+	clients := append([]*sidecar.RemoteWorker(nil), c.clients...)
+	c.wmu.RUnlock()
+
+	rows := make(map[int]*WorkerAttribution, n)
+	row := func(id int) *WorkerAttribution {
+		r := rows[id]
+		if r == nil {
+			r = &WorkerAttribution{Worker: id, Stages: map[string]StageTime{}}
+			rows[id] = r
+		}
+		return r
+	}
+	for i := 0; i < n; i++ {
+		row(i) // every live worker gets a row even with zero spans
+	}
+
+	if c.tracer != nil {
+		events := c.tracer.Events()
+		rep.SpanCount = len(events)
+		for _, ev := range events {
+			if ev.PID >= 1 {
+				// Worker-side span: pid is worker id + 1 (pid 0 is the
+				// controller's own process lane).
+				r := row(ev.PID - 1)
+				if ev.Name == "gc" {
+					r.GCPauses++
+					r.GCMicros += ev.Dur
+				}
+				if stage := stageOfSpan(ev.Name); stage != "" {
+					st := r.Stages[stage]
+					st.Spans++
+					st.Micros += ev.Dur
+					r.Stages[stage] = st
+				}
+				continue
+			}
+			// Controller-side spans: client RPC spans attribute to the
+			// target worker; stage spans fill the controller timeline.
+			if strings.HasPrefix(ev.Name, "rpc:") {
+				if ws, ok := ev.Args["worker"]; ok {
+					if id, err := strconv.Atoi(ws); err == nil {
+						r := row(id)
+						r.RPCCount++
+						r.RPCMicros += ev.Dur
+					}
+				}
+				continue
+			}
+			if stage := stageOfSpan(ev.Name); stage != "" {
+				st := rep.Controller[stage]
+				st.Spans++
+				st.Micros += ev.Dur
+				rep.Controller[stage] = st
+			}
+		}
+	}
+
+	// Resource columns from the workers' own accounting; best effort — a
+	// dead worker keeps whatever the trace attributed to it.
+	if stats, err := c.Stats(); err == nil {
+		for _, st := range stats {
+			r := row(st.WorkerID)
+			r.BDDNodes = st.BDDNodes
+			r.PeakBytes = st.PeakBytes
+		}
+	}
+	for i, cl := range clients {
+		if cl != nil && i < n {
+			r := row(i)
+			r.BytesRead = cl.BytesRead()
+			r.BytesWritten = cl.BytesWritten()
+		}
+	}
+
+	ids := make([]int, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rep.Workers = append(rep.Workers, *rows[id])
+	}
+	return rep
+}
+
+// JSON renders the report as indented JSON.
+func (r *AttributionReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func fmtMicros(us int64) string {
+	switch {
+	case us == 0:
+		return "-"
+	case us < 10_000:
+		return fmt.Sprintf("%.2fms", float64(us)/1000)
+	case us < 10_000_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1000)
+	default:
+		return fmt.Sprintf("%.1fs", float64(us)/1_000_000)
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b == 0:
+		return "-"
+	case b < 10*1024:
+		return fmt.Sprintf("%dB", b)
+	case b < 10*1024*1024:
+		return fmt.Sprintf("%.1fKiB", float64(b)/1024)
+	default:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1024*1024))
+	}
+}
+
+// String renders the per-worker × per-stage table as aligned text. Stage
+// columns show total wall time attributed to that worker in that stage.
+func (r *AttributionReport) String() string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+
+	header := []string{"worker"}
+	header = append(header, r.Stages...)
+	header = append(header, "rpcs", "rpc-time", "rx", "tx", "bdd-nodes", "gc-pauses")
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+
+	writeRow := func(name string, stages map[string]StageTime, w *WorkerAttribution) {
+		cols := []string{name}
+		for _, s := range r.Stages {
+			cols = append(cols, fmtMicros(stages[s].Micros))
+		}
+		if w != nil {
+			gc := "-"
+			if w.GCPauses > 0 {
+				gc = fmt.Sprintf("%d (%s)", w.GCPauses, fmtMicros(w.GCMicros))
+			}
+			cols = append(cols,
+				strconv.FormatInt(w.RPCCount, 10),
+				fmtMicros(w.RPCMicros),
+				fmtBytes(w.BytesRead),
+				fmtBytes(w.BytesWritten),
+				strconv.Itoa(w.BDDNodes),
+				gc)
+		} else {
+			cols = append(cols, "-", "-", "-", "-", "-", "-")
+		}
+		fmt.Fprintln(tw, strings.Join(cols, "\t"))
+	}
+
+	writeRow("ctrl", r.Controller, nil)
+	for i := range r.Workers {
+		w := &r.Workers[i]
+		writeRow(fmt.Sprintf("w%d", w.Worker), w.Stages, w)
+	}
+	tw.Flush()
+	return sb.String()
+}

@@ -175,6 +175,7 @@ func (w *Worker) deliverWire(peer sidecar.WorkerAPI, owner int, items []wireItem
 			// Either way the peer did not materialize this message, so the
 			// session's optimistic bookkeeping is wrong: start clean.
 			sess.Reset()
+			w.flight.Record("wire", "session to peer %d reset after delivery error: %v", owner, err)
 			if isNoBatchErr(err) {
 				w.markNoWire(owner)
 				return false, nil
@@ -190,6 +191,7 @@ func (w *Worker) deliverWire(peer sidecar.WorkerAPI, owner int, items []wireItem
 		// the epoch and re-send everything from scratch. A fresh message
 		// is always acceptable, so a second Reset means a broken peer.
 		sess.Reset()
+		w.flight.Record("wire", "peer %d requested a fresh session, resending", owner)
 	}
 	return false, fmt.Errorf("core: worker %d: peer %d refused a fresh wire session", w.id, owner)
 }

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"s2/internal/bdd"
 	"s2/internal/bgp"
@@ -24,6 +25,7 @@ import (
 	"s2/internal/dataplane"
 	"s2/internal/fault"
 	"s2/internal/metrics"
+	"s2/internal/obs"
 	"s2/internal/ospf"
 	"s2/internal/route"
 	"s2/internal/sidecar"
@@ -139,6 +141,10 @@ type Worker struct {
 	// obs is the worker's observability handle (see observability.go).
 	// Infrastructure, not run state: Setup's full reset leaves it alone.
 	obs *workerObs
+	// flight is the worker's always-on flight recorder: phase transitions,
+	// GC, wire-session resets, and peer RPC faults land here regardless of
+	// whether tracing/metrics are wired. Like obs, it survives Setup.
+	flight *obs.FlightRecorder
 }
 
 // spillPayload is one shard round's on-disk result: the shard's prefix
@@ -156,7 +162,13 @@ type packetSlot struct {
 
 // NewWorker creates an unconfigured worker; Setup must be called before
 // any phase method.
-func NewWorker() *Worker { return &Worker{} }
+func NewWorker() *Worker {
+	return &Worker{flight: obs.NewFlightRecorder(0)}
+}
+
+// FlightRecorder exposes the worker's always-on flight recorder (SIGQUIT
+// dumps, /debug/flightrecorder, and the controller's eviction capture).
+func (w *Worker) FlightRecorder() *obs.FlightRecorder { return w.flight }
 
 // SetPeers wires the in-process peer directory (the controller calls this
 // for local transports; remote workers dial PeerAddrs during Setup).
@@ -180,6 +192,18 @@ func (w *Worker) Ping() error { return nil }
 func (w *Worker) Setup(req sidecar.SetupRequest) error {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
+	// Claim this worker's disjoint span-id range before minting the setup
+	// span: w.id is not assigned until later in Setup, and ids minted from
+	// the counter's initial value would collide with the controller's when
+	// the harvested spans merge (obsSetupDone re-asserts the base, which is
+	// then a no-op). SetWorker pins the pid lane for the same reason.
+	if w.obs != nil && w.obs.tracer != nil && w.obs.tracer.Exporting() {
+		w.obs.tracer.EnsureIDBase(uint64(req.WorkerID+1) << 40)
+	}
+	span := w.obsWorkerSpan("setup").SetWorker(req.WorkerID)
+	defer span.End()
+	w.flight.Record("phase", "setup: worker %d, %d configs, %d peers",
+		req.WorkerID, len(req.Configs), len(req.PeerAddrs))
 
 	// Drop every remnant of a previous Setup.
 	for _, c := range w.dialedPeers {
@@ -245,7 +269,11 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 		}
 		var wrap sidecar.CallWrapper
 		if policy.Timeout > 0 || policy.Retries > 0 {
-			wrap = fault.NewCaller(policy, nil).Wrap()
+			caller := fault.NewCaller(policy, nil)
+			caller.SetNotify(func(event, method string, err error) {
+				w.flight.Record("rpc", "peer %s %s: %v", event, method, err)
+			})
+			wrap = caller.Wrap()
 		}
 		w.peers = make([]sidecar.WorkerAPI, len(req.PeerAddrs))
 		for i, addr := range req.PeerAddrs {
@@ -255,6 +283,11 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 			client, err := sidecar.DialWrapped(addr, policy.Timeout, wrap)
 			if err != nil {
 				return fmt.Errorf("core: worker %d dialing peer %d: %w", w.id, i, err)
+			}
+			// Peer-bound requests carry the phase span they were issued
+			// from, so harvested traces attribute peer traffic to phases.
+			if w.obs != nil && w.obs.tracer != nil {
+				client.SetTraceSource(w.obs.curTC)
 			}
 			w.peers[i] = client
 			w.dialedPeers = append(w.dialedPeers, client)
@@ -423,6 +456,7 @@ func (w *Worker) BeginShard(req sidecar.BeginShardRequest) error {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
 	w.obsBeginShard(req.Index, len(req.Prefixes))
+	w.flight.Record("phase", "begin-shard %d: %d prefixes", req.Index, len(req.Prefixes))
 	w.shardIndex = req.Index
 	w.shardPrefixes = req.Prefixes
 	var filter bgp.PrefixFilter
@@ -931,6 +965,7 @@ func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
 		span.End()
 		w.obsEndShard()
 	}()
+	w.flight.Record("phase", "end-shard %d", w.shardIndex)
 	reply := sidecar.EndShardReply{}
 	// Drop any previously harvested results for this shard's prefixes: a
 	// merged-shard recompute must replace them wholesale, including
@@ -1154,9 +1189,12 @@ func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
 func (w *Worker) BeginQuery(req sidecar.QueryRequest) error {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
+	span := w.obsWorkerSpan("begin-query")
+	defer span.End()
 	if w.nodesDP == nil {
 		return fmt.Errorf("core: worker %d: ComputeDP must run before queries", w.id)
 	}
+	w.flight.Record("phase", "begin-query: %d sources, %d dests", len(req.Query.Sources), len(req.Query.Dests))
 	q := req.Query
 	if err := q.Validate(w.layout); err != nil {
 		return err
@@ -1225,6 +1263,8 @@ func (w *Worker) DPRound() error {
 	if w.query == nil {
 		return fmt.Errorf("core: worker %d: no active query", w.id)
 	}
+	span := w.obsWorkerSpan("dp-round")
+	defer span.End()
 	if w.procs > 1 {
 		return w.dpRoundParallel()
 	}
@@ -1581,6 +1621,19 @@ func (w *Worker) gcWithExtraRoots(extra func(add func(bdd.Ref))) func(bdd.Ref) b
 	if w.engine == nil {
 		return func(r bdd.Ref) bdd.Ref { return r }
 	}
+	gcStart := time.Now()
+	nodesBefore := w.engine.NodeCount()
+	// GC spans are created directly rather than through obsWorkerSpan: the
+	// pending remote trace parent belongs to the phase span of the RPC in
+	// flight, and a collection is an implementation detail inside it.
+	var gcSpan *obs.Span
+	if w.obs != nil && w.obs.tracer != nil {
+		if w.obs.shardSpan != nil {
+			gcSpan = w.obs.shardSpan.Child("gc", obs.Int("nodes_before", nodesBefore))
+		} else {
+			gcSpan = w.obs.tracer.Start("gc", obs.Int("nodes_before", nodesBefore)).SetWorker(w.id)
+		}
+	}
 	var roots []bdd.Ref
 	if extra != nil {
 		extra(func(r bdd.Ref) { roots = append(roots, r) })
@@ -1622,8 +1675,15 @@ func (w *Worker) gcWithExtraRoots(extra func(add func(bdd.Ref))) func(bdd.Ref) b
 	for _, s := range w.sendSessions {
 		s.Reset()
 	}
+	if len(w.sendSessions) > 0 {
+		w.flight.Record("wire", "reset %d send sessions after gc", len(w.sendSessions))
+	}
 	w.lastGCNodes = w.engine.NodeCount()
 	w.obsBDD(w.lastGCNodes, true)
+	gcSpan.SetAttr("nodes_after", fmt.Sprint(w.lastGCNodes))
+	gcSpan.End()
+	w.flight.Record("gc", "%d -> %d nodes in %s",
+		nodesBefore, w.lastGCNodes, time.Since(gcStart).Round(time.Microsecond))
 	return remap
 }
 
@@ -1655,6 +1715,8 @@ func (w *Worker) HasWork() (bool, error) {
 func (w *Worker) FinishQuery() (sidecar.OutcomeBatch, error) {
 	w.phaseMu.Lock()
 	defer w.phaseMu.Unlock()
+	span := w.obsWorkerSpan("finish-query")
+	defer span.End()
 	w.qmu.Lock()
 	stragglers := w.queue
 	w.queue = map[packetSlot]bdd.Ref{}
@@ -1723,6 +1785,27 @@ func (w *Worker) CollectRIBs() (map[string][]*route.Route, error) {
 		out[name] = rib.All()
 	}
 	return out, nil
+}
+
+// PullSpans implements sidecar.WorkerAPI: drain a batch of completed spans
+// from the export ring, stamping the reply with the local wall clock so the
+// controller can estimate this worker's offset. Deliberately does NOT take
+// phaseMu — the controller's background harvester must be able to drain the
+// ring while a long phase (convergence, DP compute) holds the phase lock.
+func (w *Worker) PullSpans(req sidecar.PullSpansRequest) (sidecar.PullSpansReply, error) {
+	reply := sidecar.PullSpansReply{NowUnixMicro: time.Now().UnixMicro()}
+	if req.WithFlight {
+		reply.Flight = w.flight.Page(0)
+	}
+	if w.obs == nil || w.obs.tracer == nil {
+		return reply, nil
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 2048
+	}
+	reply.Spans, reply.Dropped, reply.More = w.obs.tracer.DrainExport(max)
+	return reply, nil
 }
 
 // Stats implements sidecar.WorkerAPI.

@@ -3,6 +3,7 @@ package fault
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s2/internal/metrics"
@@ -56,6 +57,26 @@ type Caller struct {
 
 	// sleep is swappable for tests.
 	sleep func(time.Duration)
+
+	// notify, when set, observes fault events ("timeout", "retry",
+	// "failure") as they happen — the flight-recorder feed. Stored
+	// atomically so SetNotify is safe while calls are in flight.
+	notify atomic.Value // func(event, method string, err error)
+}
+
+// SetNotify installs an observer for fault events. The callback must be
+// cheap and non-blocking (it runs on the RPC path); nil is not allowed —
+// pass a no-op func to clear.
+func (c *Caller) SetNotify(fn func(event, method string, err error)) {
+	if fn != nil {
+		c.notify.Store(fn)
+	}
+}
+
+func (c *Caller) emit(event, method string, err error) {
+	if fn, _ := c.notify.Load().(func(event, method string, err error)); fn != nil {
+		fn(event, method, err)
+	}
 }
 
 // NewCaller builds a Caller; counters may be nil.
@@ -86,6 +107,7 @@ func (c *Caller) Do(method string, idempotent bool, call func() error) error {
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			c.counters.Inc("rpc.retries")
+			c.emit("retry", method, last)
 			c.sleep(c.backoffFor(i))
 		}
 		err := c.attempt(method, call)
@@ -98,6 +120,7 @@ func (c *Caller) Do(method string, idempotent bool, call func() error) error {
 		last = err
 	}
 	c.counters.Inc("rpc.failures")
+	c.emit("failure", method, last)
 	if fe, ok := last.(*Error); ok {
 		fe.Attempts = attempts
 		return fe
@@ -126,6 +149,7 @@ func (c *Caller) attempt(method string, call func() error) error {
 		return err
 	case <-timer.C:
 		c.counters.Inc("rpc.timeouts")
+		c.emit("timeout", method, ErrTimeout)
 		return &Error{Method: method, Kind: Transient, Err: ErrTimeout}
 	}
 }

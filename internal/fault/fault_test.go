@@ -326,10 +326,10 @@ func (n *nullWorker) PullLSABatch(reqs []sidecar.PullLSAsRequest) ([]sidecar.Pul
 func (n *nullWorker) ComputeDP() (sidecar.ComputeDPReply, error) {
 	return sidecar.ComputeDPReply{}, nil
 }
-func (n *nullWorker) BeginQuery(sidecar.QueryRequest) error           { return nil }
-func (n *nullWorker) Inject(sidecar.InjectRequest) error              { return nil }
-func (n *nullWorker) DPRound() error                                  { return nil }
-func (n *nullWorker) HasWork() (bool, error)                          { return false, nil }
+func (n *nullWorker) BeginQuery(sidecar.QueryRequest) error         { return nil }
+func (n *nullWorker) Inject(sidecar.InjectRequest) error            { return nil }
+func (n *nullWorker) DPRound() error                                { return nil }
+func (n *nullWorker) HasWork() (bool, error)                        { return false, nil }
 func (n *nullWorker) DeliverPackets([]sidecar.PacketDelivery) error { return nil }
 func (n *nullWorker) DeliverBatch(sidecar.DeliverBatchRequest) (sidecar.DeliverBatchReply, error) {
 	return sidecar.DeliverBatchReply{}, nil
@@ -338,6 +338,9 @@ func (n *nullWorker) FinishQuery() (sidecar.OutcomeBatch, error)      { return s
 func (n *nullWorker) CollectRIBs() (map[string][]*route.Route, error) { return nil, nil }
 func (n *nullWorker) Stats() (sidecar.WorkerStats, error) {
 	return sidecar.WorkerStats{}, nil
+}
+func (n *nullWorker) PullSpans(sidecar.PullSpansRequest) (sidecar.PullSpansReply, error) {
+	return sidecar.PullSpansReply{}, nil
 }
 
 func TestInjectorNthCall(t *testing.T) {

@@ -277,5 +277,12 @@ func (j *Injector) Stats() (sidecar.WorkerStats, error) {
 	return j.inner.Stats()
 }
 
+func (j *Injector) PullSpans(req sidecar.PullSpansRequest) (sidecar.PullSpansReply, error) {
+	if err := j.before("PullSpans"); err != nil {
+		return sidecar.PullSpansReply{}, err
+	}
+	return j.inner.PullSpans(req)
+}
+
 // Interface conformance.
 var _ sidecar.WorkerAPI = (*Injector)(nil)

@@ -191,4 +191,14 @@ func (w *wrapped) Stats() (sidecar.WorkerStats, error) {
 	return st, err
 }
 
+func (w *wrapped) PullSpans(req sidecar.PullSpansRequest) (sidecar.PullSpansReply, error) {
+	var reply sidecar.PullSpansReply
+	err := w.c.Do("PullSpans", true, func() error {
+		var err error
+		reply, err = w.api.PullSpans(req)
+		return err
+	})
+	return reply, err
+}
+
 var _ sidecar.WorkerAPI = (*wrapped)(nil)

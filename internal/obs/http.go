@@ -20,6 +20,9 @@ type ServerOptions struct {
 	// Progress backs GET /progress: a JSON run-status snapshot (current
 	// stage, shard, iteration, routes settled).
 	Progress func() any
+	// Flight backs GET /debug/flightrecorder: the process's always-on
+	// event ring, newest last. Nil serves an empty list.
+	Flight *FlightRecorder
 }
 
 // HTTPServer is a live introspection listener.
@@ -65,6 +68,16 @@ func ServeIntrospection(addr string, opts ServerOptions) (*HTTPServer, error) {
 		}
 		writeJSON(w, opts.Progress())
 	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+		events := opts.Flight.Events()
+		if events == nil {
+			events = []FlightEvent{}
+		}
+		writeJSON(w, map[string]any{
+			"total":  opts.Flight.Total(),
+			"events": events,
+		})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -77,7 +90,7 @@ func ServeIntrospection(addr string, opts ServerOptions) (*HTTPServer, error) {
 }
 
 func writeJSON(w http.ResponseWriter, body any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	enc.Encode(body)

@@ -274,16 +274,44 @@ func labelString(names, values []string, extra ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", n, values[i])
+		b.WriteString(n)
+		b.WriteString(`="`)
+		writeEscapedLabelValue(&b, values[i])
+		b.WriteByte('"')
 	}
 	for i := 0; i+1 < len(extra); i += 2 {
 		if b.Len() > 1 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extra[i], extra[i+1])
+		b.WriteString(extra[i])
+		b.WriteString(`="`)
+		writeEscapedLabelValue(&b, extra[i+1])
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// writeEscapedLabelValue escapes a label value per the Prometheus text
+// exposition format: exactly backslash, double quote, and newline are
+// escaped (as \\, \", \n) and everything else — tabs, unicode — passes
+// through raw. Go's %q is not a substitute: it emits escapes the
+// exposition format does not define (\t for tabs, \xNN and \uNNNN for
+// non-printables), which scrapers reproduce literally as corrupted label
+// values.
+func writeEscapedLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
 }
 
 func formatValue(v float64) string {

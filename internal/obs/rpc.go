@@ -48,3 +48,40 @@ func RPCInstrument(reg *Registry, role string, parent func() *Span) func(method 
 		}
 	}
 }
+
+// RPCInstrumentTraced is RPCInstrument plus cross-process propagation: the
+// begin-hook also returns the rpc span's TraceContext so the transport can
+// stamp it onto the outgoing request, parenting the server-side span under
+// this exact call. extra attrs (e.g. the target worker id) are stamped on
+// every rpc span, which is what lets the attribution report pivot client
+// RPC cost per worker. Returns nil when there is nothing to record.
+func RPCInstrumentTraced(reg *Registry, role string, parent func() *Span, extra ...Attr) func(method string) (TraceContext, func(error)) {
+	if reg == nil && parent == nil {
+		return nil
+	}
+	calls := reg.Counter(MetricRPCCalls,
+		"RPCs issued or served, by role, method, and outcome.",
+		"role", "method", "code")
+	latency := reg.Histogram(MetricRPCLatency,
+		"RPC wall-clock latency in seconds, by role and method.",
+		nil, "role", "method")
+	return func(method string) (TraceContext, func(error)) {
+		start := time.Now()
+		var span *Span
+		if parent != nil {
+			attrs := append([]Attr{String("role", role)}, extra...)
+			span = parent().Child("rpc:"+method, attrs...)
+		}
+		return span.TC(), func(err error) {
+			d := time.Since(start)
+			code := "ok"
+			if err != nil {
+				code = "error"
+				span.SetAttr("error", err.Error())
+			}
+			calls.Inc(role, method, code)
+			latency.Observe(d.Seconds(), role, method)
+			span.End()
+		}
+	}
+}

@@ -1,13 +1,21 @@
 // Package obs is S2's observability layer: a span-based tracer exportable
 // as Chrome trace_event JSON, a registry of typed Prometheus-text-format
-// metrics, and an HTTP introspection server (/metrics, /healthz, /progress,
-// pprof). Everything is nil-safe in the style of metrics.FaultCounters — a
-// nil *Tracer or *Registry turns every instrumentation site into a cheap
-// no-op, so the hot paths pay nothing when observability is off.
+// metrics, an always-on flight recorder, and an HTTP introspection server
+// (/metrics, /healthz, /progress, /debug/flightrecorder, pprof). Everything
+// is nil-safe in the style of metrics.FaultCounters — a nil *Tracer or
+// *Registry turns every instrumentation site into a cheap no-op, so the hot
+// paths pay nothing when observability is off.
 //
 // The paper's evaluation (§5) attributes cost per phase, per worker, and
 // per RPC; this package defines the stable telemetry schema the benchmark
 // harness regresses against. See README "Observability" for metric names.
+//
+// In distributed mode the tracer also crosses processes: spans carry a
+// TraceContext over the sidecar wire so server-side spans parent under the
+// remote caller, worker tracers buffer completed spans in a bounded export
+// ring (SetExportLimit/DrainExport), and the controller merges them into
+// its own timeline with Ingest after estimating per-worker clock offset
+// (SkewEstimator).
 package obs
 
 import (
@@ -40,11 +48,121 @@ type Tracer struct {
 	done  []*Span
 	start time.Time
 	next  atomic.Uint64
+
+	// Export mode (remote workers): completed spans go into a bounded
+	// drop-oldest ring of SpanData instead of accumulating in done, and the
+	// controller drains them over RPC. Guarded by mu.
+	exportLimit   int
+	export        []SpanData
+	exportHead    int
+	exportLen     int
+	exportDropped uint64
 }
 
 // NewTracer returns an empty tracer; its epoch is the creation time.
 func NewTracer() *Tracer {
 	return &Tracer{start: time.Now()}
+}
+
+// EnsureIDBase raises the tracer's span-id counter to at least base, so
+// span ids minted by different processes (each worker claims a disjoint
+// high range) never collide when merged into one trace.
+func (t *Tracer) EnsureIDBase(base uint64) {
+	if t == nil {
+		return
+	}
+	for {
+		cur := t.next.Load()
+		if cur >= base || t.next.CompareAndSwap(cur, base) {
+			return
+		}
+	}
+}
+
+// SetExportLimit switches the tracer into export mode: completed spans are
+// queued as SpanData in a ring of at most limit entries (oldest dropped on
+// overflow, the drop count reported by DrainExport) instead of being held
+// for local Events/WriteChromeTrace. limit <= 0 disables export mode.
+func (t *Tracer) SetExportLimit(limit int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.exportLimit = limit
+	if limit > 0 {
+		t.export = make([]SpanData, limit)
+		t.exportHead, t.exportLen = 0, 0
+	} else {
+		t.export = nil
+	}
+}
+
+// Exporting reports whether the tracer is in export mode (a positive
+// SetExportLimit is in effect).
+func (t *Tracer) Exporting() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exportLimit > 0
+}
+
+// DrainExport pops up to max queued SpanData (oldest first). dropped is the
+// number of spans lost to ring overflow since the previous drain; more
+// reports whether the ring still holds spans after this drain.
+func (t *Tracer) DrainExport(max int) (spans []SpanData, dropped uint64, more bool) {
+	if t == nil || max <= 0 {
+		return nil, 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.exportLen
+	if n > max {
+		n = max
+	}
+	if n > 0 {
+		spans = make([]SpanData, 0, n)
+		for i := 0; i < n; i++ {
+			spans = append(spans, t.export[(t.exportHead+i)%t.exportLimit])
+		}
+		t.exportHead = (t.exportHead + n) % t.exportLimit
+		t.exportLen -= n
+	}
+	dropped = t.exportDropped
+	t.exportDropped = 0
+	return spans, dropped, t.exportLen > 0
+}
+
+// Ingest merges remotely harvested spans into this tracer's timeline,
+// shifting every timestamp by offset (the remote clock's estimated skew
+// relative to this process, from a SkewEstimator). Span ids are taken as-is
+// — remote tracers must have claimed a disjoint id range via EnsureIDBase.
+func (t *Tracer) Ingest(spans []SpanData, offset time.Duration) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, d := range spans {
+		s := &Span{
+			tracer:  t,
+			id:      d.ID,
+			parent:  d.Parent,
+			tid:     d.TID,
+			pid:     d.PID,
+			name:    d.Name,
+			start:   time.UnixMicro(d.Start).Add(offset),
+			endTime: time.UnixMicro(d.End).Add(offset),
+			attrs:   d.Attrs,
+		}
+		if s.endTime.Before(s.start) {
+			s.endTime = s.start
+		}
+		s.ended.Store(true)
+		t.done = append(t.done, s)
+	}
 }
 
 // Span is one timed operation. Spans form trees: children created with
@@ -59,7 +177,7 @@ type Span struct {
 	name    string
 	start   time.Time
 	endTime time.Time // set under the tracer lock at End
-	attrs   []Attr
+	attrs   []Attr    // guarded by tracer.mu after creation (SetAttr/export)
 	ended   atomic.Bool
 }
 
@@ -77,6 +195,22 @@ func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 		attrs:  attrs,
 	}
 	s.tid = s.id
+	return s
+}
+
+// StartRemote opens a span parented under a TraceContext propagated from
+// another process: the span records tc.SpanID as its parent and joins
+// tc.TraceID's lane, so after harvesting it nests under the remote caller's
+// span in the merged trace. A zero tc degrades to a plain root span.
+func (t *Tracer) StartRemote(name string, tc TraceContext, attrs ...Attr) *Span {
+	s := t.Start(name, attrs...)
+	if s == nil || tc.SpanID == 0 {
+		return s
+	}
+	s.parent = tc.SpanID
+	if tc.TraceID != 0 {
+		s.tid = tc.TraceID
+	}
 	return s
 }
 
@@ -102,12 +236,25 @@ func (s *Span) SetWorker(id int) *Span {
 	return s
 }
 
-// SetAttr appends an attribute after creation.
+// TC returns the span's TraceContext for propagation across a process
+// boundary. A nil span yields the zero context (no parent).
+func (s *Span) TC() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.tid, SpanID: s.id}
+}
+
+// SetAttr appends an attribute after creation. Attrs are committed under
+// the tracer lock so a SetAttr racing End/Events (the exporter snapshots
+// attrs under the same lock) is safe.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
 	}
+	s.tracer.mu.Lock()
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tracer.mu.Unlock()
 }
 
 // End closes the span and commits it to the tracer. Idempotent; ending a
@@ -117,10 +264,28 @@ func (s *Span) End() {
 		return
 	}
 	end := time.Now()
-	s.tracer.mu.Lock()
+	t := s.tracer
+	t.mu.Lock()
 	s.endTime = end
-	s.tracer.done = append(s.tracer.done, s)
-	s.tracer.mu.Unlock()
+	if t.exportLimit > 0 {
+		d := SpanData{
+			ID: s.id, Parent: s.parent, TID: s.tid, PID: s.pid,
+			Name:  s.name,
+			Start: s.start.UnixMicro(),
+			End:   s.endTime.UnixMicro(),
+			Attrs: append([]Attr(nil), s.attrs...),
+		}
+		if t.exportLen == t.exportLimit {
+			t.exportHead = (t.exportHead + 1) % t.exportLimit
+			t.exportLen--
+			t.exportDropped++
+		}
+		t.export[(t.exportHead+t.exportLen)%t.exportLimit] = d
+		t.exportLen++
+	} else {
+		t.done = append(t.done, s)
+	}
+	t.mu.Unlock()
 }
 
 // TraceEvent is one Chrome trace_event entry ("X" complete event). The
@@ -142,20 +307,86 @@ type traceFile struct {
 	Meta        string       `json:"otherData,omitempty"`
 }
 
+// exportedSpan is the locked snapshot Events works from.
+type exportedSpan struct {
+	id, parent, tid uint64
+	pid             int
+	name            string
+	ts, dur         int64
+	attrs           []Attr
+}
+
 // Events returns the completed spans as Chrome trace events, ordered by
 // start time. Span ids and parent ids ride in args ("span", "parent") so
 // consumers can rebuild the tree exactly instead of inferring nesting from
-// timestamps.
+// timestamps. Ingested remote spans are clamped into their parent's
+// interval: clock-offset estimation is only accurate to half the RPC round
+// trip, so without the clamp a child's ts+dur could overshoot its parent by
+// the residual skew.
 func (t *Tracer) Events() []TraceEvent {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
-	spans := append([]*Span(nil), t.done...)
-	epoch := t.start
+	spans := make([]exportedSpan, 0, len(t.done))
+	for _, s := range t.done {
+		ts := s.start.Sub(t.start).Microseconds()
+		// Derive Dur from the two truncated epoch offsets rather than
+		// truncating the duration independently: that keeps ts+dur
+		// monotone with real end times, so a child that ended before its
+		// parent in real time can never overshoot it by a rounding tick.
+		spans = append(spans, exportedSpan{
+			id: s.id, parent: s.parent, tid: s.tid, pid: s.pid,
+			name:  s.name,
+			ts:    ts,
+			dur:   s.endTime.Sub(t.start).Microseconds() - ts,
+			attrs: append([]Attr(nil), s.attrs...),
+		})
+	}
 	t.mu.Unlock()
+
+	// Clamp children into their parents, transitively (a parent may itself
+	// move when clamped into the grandparent). Memoized DFS over parent
+	// links; spans whose parent is absent from this trace are left alone.
+	byID := make(map[uint64]int, len(spans))
+	for i := range spans {
+		byID[spans[i].id] = i
+	}
+	clamped := make([]bool, len(spans))
+	var clamp func(i int, depth int)
+	clamp = func(i, depth int) {
+		if clamped[i] || depth > len(spans) {
+			return
+		}
+		clamped[i] = true
+		p, ok := byID[spans[i].parent]
+		if !ok || p == i {
+			return
+		}
+		clamp(p, depth+1)
+		ps, pe := spans[p].ts, spans[p].ts+spans[p].dur
+		s, e := spans[i].ts, spans[i].ts+spans[i].dur
+		if s < ps {
+			s = ps
+		}
+		if s > pe {
+			s = pe
+		}
+		if e > pe {
+			e = pe
+		}
+		if e < s {
+			e = s
+		}
+		spans[i].ts, spans[i].dur = s, e-s
+	}
+	for i := range spans {
+		clamp(i, 0)
+	}
+
 	events := make([]TraceEvent, 0, len(spans))
-	for _, s := range spans {
+	for i := range spans {
+		s := &spans[i]
 		args := map[string]string{"span": fmt.Sprint(s.id)}
 		if s.parent != 0 {
 			args["parent"] = fmt.Sprint(s.parent)
@@ -163,16 +394,11 @@ func (t *Tracer) Events() []TraceEvent {
 		for _, a := range s.attrs {
 			args[a.Key] = a.Value
 		}
-		// Derive Dur from the two truncated epoch offsets rather than
-		// truncating the duration independently: that keeps ts+dur
-		// monotone with real end times, so a child that ended before its
-		// parent in real time can never overshoot it by a rounding tick.
-		ts := s.start.Sub(epoch).Microseconds()
 		events = append(events, TraceEvent{
 			Name: s.name,
 			Ph:   "X",
-			TS:   ts,
-			Dur:  s.endTime.Sub(epoch).Microseconds() - ts,
+			TS:   s.ts,
+			Dur:  s.dur,
 			PID:  s.pid,
 			TID:  s.tid,
 			Args: args,

@@ -24,10 +24,26 @@ import (
 
 	"s2/internal/bgp"
 	"s2/internal/dataplane"
+	"s2/internal/obs"
 	"s2/internal/ospf"
 	"s2/internal/route"
 	"s2/internal/topology"
 )
+
+// TraceContext is the cross-process span identity carried on every sidecar
+// request (see obs.TraceContext): the caller's in-flight span, under which
+// the server side parents the spans it creates while serving the call.
+// The zero value — what legacy callers effectively send — means "no
+// parent". The alias keeps request structs self-describing while obs owns
+// the propagation semantics.
+type TraceContext = obs.TraceContext
+
+// CallMeta replaces Empty as the argument of void RPCs so they can carry a
+// TraceContext. gob tolerates the change in both directions: old callers'
+// Empty decodes as the zero CallMeta, and old servers ignore the TC field.
+type CallMeta struct {
+	TC TraceContext
+}
 
 // ErrDraining is returned to RPCs that arrive while the server is shutting
 // down gracefully. Callers should treat the worker as gone (the fault layer
@@ -83,6 +99,8 @@ type SetupRequest struct {
 	// node dedup), reverting to one independently-serialized BDD per
 	// packet (the zero value keeps dedup ON).
 	DisableWireDedup bool
+	// TC parents the worker's setup span under the caller's RPC span.
+	TC TraceContext
 }
 
 // BeginShardRequest starts a prefix-shard round. An empty prefix list means
@@ -90,6 +108,7 @@ type SetupRequest struct {
 type BeginShardRequest struct {
 	Index    int
 	Prefixes []route.Prefix
+	TC       TraceContext
 }
 
 // ConditionReport names a prefix-list consulted by conditional
@@ -128,6 +147,7 @@ type PullBGPRequest struct {
 	Puller   string
 	Since    uint64
 	Seen     bool
+	TC       TraceContext
 }
 
 // PullBGPReply carries the exported advertisements.
@@ -143,6 +163,7 @@ type PullLSAsRequest struct {
 	Puller   string
 	Since    uint64
 	Seen     bool
+	TC       TraceContext
 }
 
 // PullLSAsReply carries the flooded LSAs.
@@ -174,6 +195,7 @@ type ComputeDPReply struct {
 // QueryRequest configures one property query on the workers.
 type QueryRequest struct {
 	Query dataplane.Query
+	TC    TraceContext
 }
 
 // InjectRequest injects a symbolic packet at a source node (owned by the
@@ -181,6 +203,7 @@ type QueryRequest struct {
 type InjectRequest struct {
 	Source string
 	Packet []byte
+	TC     TraceContext
 }
 
 // PacketDelivery is one symbolic packet crossing a worker boundary: it
@@ -211,6 +234,7 @@ type DeliverBatchRequest struct {
 	From  int
 	Wire  []byte
 	Items []WirePacket
+	TC    TraceContext
 }
 
 // DeliverBatchReply closes the epoch/reset handshake: Reset asks the
@@ -260,6 +284,32 @@ type WorkerStats struct {
 	PacketsIn  int64 // cross-worker packet deliveries received
 }
 
+// PullSpansRequest asks a worker to drain its span export queue (bounded
+// ring fed by the worker's tracer) so the controller can merge remote
+// spans into the single run trace.
+type PullSpansRequest struct {
+	// Max bounds the spans returned per call (<= 0 lets the worker pick).
+	Max int
+	// WithFlight additionally snapshots the worker's flight-recorder page
+	// — the controller sets it on the best-effort drain during eviction.
+	WithFlight bool
+	TC         TraceContext
+}
+
+// PullSpansReply carries drained spans plus the worker's clock reading,
+// which the controller feeds to its per-worker SkewEstimator.
+type PullSpansReply struct {
+	Spans []obs.SpanData
+	// Dropped counts spans lost to export-ring overflow since the last
+	// drain; More reports the queue was not emptied by this call.
+	Dropped uint64
+	More    bool
+	// NowUnixMicro is the worker's clock while serving this call.
+	NowUnixMicro int64
+	// Flight is the worker's recent flight-recorder page when WithFlight.
+	Flight []obs.FlightEvent
+}
+
 // WorkerAPI is the Go-level surface of a worker. The in-process
 // core.Worker implements it directly; RemoteWorker implements it over RPC.
 type WorkerAPI interface {
@@ -297,6 +347,10 @@ type WorkerAPI interface {
 
 	CollectRIBs() (map[string][]*route.Route, error)
 	Stats() (WorkerStats, error)
+	// PullSpans drains the worker's span export queue. Probe-class like
+	// Ping/Stats: it must not block on phase state, and workers that
+	// predate it (or run without a tracer) return an empty reply.
+	PullSpans(req PullSpansRequest) (PullSpansReply, error)
 }
 
 // Empty is the placeholder for void RPC arguments/replies.
@@ -304,9 +358,25 @@ type Empty struct{}
 
 // RPCHook observes one RPC: it is called with the method name when the
 // call begins and returns the completion func that commits the outcome.
-// obs.RPCInstrument builds one; the plain-func indirection keeps sidecar
-// free of a dependency on the obs package.
+// obs.RPCInstrument builds one.
 type RPCHook func(method string) (done func(error))
+
+// TraceHook is an RPCHook that also yields the TraceContext of the span it
+// opened for the call, so the transport can stamp it onto the outgoing
+// request and the server side can parent under this exact attempt (each
+// retry through fault.Wrap re-enters the hook, so every attempt gets its
+// own span while sharing the stable stage-span parent).
+// obs.RPCInstrumentTraced builds one.
+type TraceHook func(method string) (TraceContext, func(error))
+
+// TraceParentAcceptor is implemented by workers that can parent the spans
+// they open while serving a call under the caller's propagated context.
+// Service offers every valid incoming TC to the API through it; the worker
+// decides per method whether to adopt it (controller phase calls) or
+// ignore it (concurrent peer traffic must not reparent phase spans).
+type TraceParentAcceptor interface {
+	AcceptTraceParent(method string, tc TraceContext)
+}
 
 // Service adapts a WorkerAPI to net/rpc method conventions. It is
 // registered under the name "Sidecar". When attached to a Server, every
@@ -321,8 +391,14 @@ type Service struct {
 // NewService wraps a worker (no drain gate, no hook).
 func NewService(api WorkerAPI) *Service { return &Service{api: api} }
 
-// do runs one RPC body under the drain gate and RPC hook (if any).
-func (s *Service) do(method string, fn func() error) error {
+// do runs one RPC body under the drain gate and RPC hook (if any), after
+// offering the caller's propagated TraceContext to the worker.
+func (s *Service) do(method string, tc TraceContext, fn func() error) error {
+	if tc.Valid() {
+		if acc, ok := s.api.(TraceParentAcceptor); ok {
+			acc.AcceptTraceParent(method, tc)
+		}
+	}
 	if s.gate == nil {
 		return fn()
 	}
@@ -339,29 +415,31 @@ func (s *Service) do(method string, fn func() error) error {
 	return fn()
 }
 
-// Ping RPC (liveness probe).
+// Ping RPC (liveness probe). Deliberately carries no TraceContext:
+// heartbeats run concurrently with phase calls and must not touch the
+// worker's span parenting.
 func (s *Service) Ping(_ Empty, _ *Empty) error {
-	return s.do("Ping", func() error { return s.api.Ping() })
+	return s.do("Ping", TraceContext{}, func() error { return s.api.Ping() })
 }
 
 // Setup RPC.
 func (s *Service) Setup(req SetupRequest, _ *Empty) error {
-	return s.do("Setup", func() error { return s.api.Setup(req) })
+	return s.do("Setup", req.TC, func() error { return s.api.Setup(req) })
 }
 
 // BeginShard RPC.
 func (s *Service) BeginShard(req BeginShardRequest, _ *Empty) error {
-	return s.do("BeginShard", func() error { return s.api.BeginShard(req) })
+	return s.do("BeginShard", req.TC, func() error { return s.api.BeginShard(req) })
 }
 
 // GatherBGP RPC.
-func (s *Service) GatherBGP(_ Empty, _ *Empty) error {
-	return s.do("GatherBGP", s.api.GatherBGP)
+func (s *Service) GatherBGP(args CallMeta, _ *Empty) error {
+	return s.do("GatherBGP", args.TC, s.api.GatherBGP)
 }
 
 // ApplyBGP RPC.
-func (s *Service) ApplyBGP(_ Empty, reply *ApplyReply) error {
-	return s.do("ApplyBGP", func() error {
+func (s *Service) ApplyBGP(args CallMeta, reply *ApplyReply) error {
+	return s.do("ApplyBGP", args.TC, func() error {
 		r, err := s.api.ApplyBGP()
 		*reply = r
 		return err
@@ -369,13 +447,13 @@ func (s *Service) ApplyBGP(_ Empty, reply *ApplyReply) error {
 }
 
 // GatherOSPF RPC.
-func (s *Service) GatherOSPF(_ Empty, _ *Empty) error {
-	return s.do("GatherOSPF", s.api.GatherOSPF)
+func (s *Service) GatherOSPF(args CallMeta, _ *Empty) error {
+	return s.do("GatherOSPF", args.TC, s.api.GatherOSPF)
 }
 
 // ApplyOSPF RPC.
-func (s *Service) ApplyOSPF(_ Empty, reply *ApplyReply) error {
-	return s.do("ApplyOSPF", func() error {
+func (s *Service) ApplyOSPF(args CallMeta, reply *ApplyReply) error {
+	return s.do("ApplyOSPF", args.TC, func() error {
 		r, err := s.api.ApplyOSPF()
 		*reply = r
 		return err
@@ -383,8 +461,8 @@ func (s *Service) ApplyOSPF(_ Empty, reply *ApplyReply) error {
 }
 
 // EndShard RPC.
-func (s *Service) EndShard(_ Empty, reply *EndShardReply) error {
-	return s.do("EndShard", func() error {
+func (s *Service) EndShard(args CallMeta, reply *EndShardReply) error {
+	return s.do("EndShard", args.TC, func() error {
 		r, err := s.api.EndShard()
 		*reply = r
 		return err
@@ -393,7 +471,7 @@ func (s *Service) EndShard(_ Empty, reply *EndShardReply) error {
 
 // PullBGP RPC.
 func (s *Service) PullBGP(req PullBGPRequest, reply *PullBGPReply) error {
-	return s.do("PullBGP", func() error {
+	return s.do("PullBGP", req.TC, func() error {
 		advs, ver, fresh, err := s.api.PullBGP(req.Exporter, req.Puller, req.Since, req.Seen)
 		reply.Advs, reply.Version, reply.Fresh = advs, ver, fresh
 		return err
@@ -402,7 +480,7 @@ func (s *Service) PullBGP(req PullBGPRequest, reply *PullBGPReply) error {
 
 // PullLSAs RPC.
 func (s *Service) PullLSAs(req PullLSAsRequest, reply *PullLSAsReply) error {
-	return s.do("PullLSAs", func() error {
+	return s.do("PullLSAs", req.TC, func() error {
 		lsas, ver, fresh, err := s.api.PullLSAs(req.Exporter, req.Puller, req.Since, req.Seen)
 		reply.LSAs, reply.Version, reply.Fresh = lsas, ver, fresh
 		return err
@@ -411,7 +489,11 @@ func (s *Service) PullLSAs(req PullLSAsRequest, reply *PullLSAsReply) error {
 
 // PullBGPBatch RPC.
 func (s *Service) PullBGPBatch(reqs []PullBGPRequest, reply *PullBGPBatchReply) error {
-	return s.do("PullBGPBatch", func() error {
+	var tc TraceContext
+	if len(reqs) > 0 {
+		tc = reqs[0].TC
+	}
+	return s.do("PullBGPBatch", tc, func() error {
 		replies, err := s.api.PullBGPBatch(reqs)
 		reply.Replies = replies
 		return err
@@ -420,7 +502,11 @@ func (s *Service) PullBGPBatch(reqs []PullBGPRequest, reply *PullBGPBatchReply) 
 
 // PullLSABatch RPC.
 func (s *Service) PullLSABatch(reqs []PullLSAsRequest, reply *PullLSABatchReply) error {
-	return s.do("PullLSABatch", func() error {
+	var tc TraceContext
+	if len(reqs) > 0 {
+		tc = reqs[0].TC
+	}
+	return s.do("PullLSABatch", tc, func() error {
 		replies, err := s.api.PullLSABatch(reqs)
 		reply.Replies = replies
 		return err
@@ -428,8 +514,8 @@ func (s *Service) PullLSABatch(reqs []PullLSAsRequest, reply *PullLSABatchReply)
 }
 
 // ComputeDP RPC.
-func (s *Service) ComputeDP(_ Empty, reply *ComputeDPReply) error {
-	return s.do("ComputeDP", func() error {
+func (s *Service) ComputeDP(args CallMeta, reply *ComputeDPReply) error {
+	return s.do("ComputeDP", args.TC, func() error {
 		r, err := s.api.ComputeDP()
 		*reply = r
 		return err
@@ -438,22 +524,22 @@ func (s *Service) ComputeDP(_ Empty, reply *ComputeDPReply) error {
 
 // BeginQuery RPC.
 func (s *Service) BeginQuery(req QueryRequest, _ *Empty) error {
-	return s.do("BeginQuery", func() error { return s.api.BeginQuery(req) })
+	return s.do("BeginQuery", req.TC, func() error { return s.api.BeginQuery(req) })
 }
 
 // Inject RPC.
 func (s *Service) Inject(req InjectRequest, _ *Empty) error {
-	return s.do("Inject", func() error { return s.api.Inject(req) })
+	return s.do("Inject", req.TC, func() error { return s.api.Inject(req) })
 }
 
 // DPRound RPC.
-func (s *Service) DPRound(_ Empty, _ *Empty) error {
-	return s.do("DPRound", s.api.DPRound)
+func (s *Service) DPRound(args CallMeta, _ *Empty) error {
+	return s.do("DPRound", args.TC, s.api.DPRound)
 }
 
 // HasWork RPC.
-func (s *Service) HasWork(_ Empty, reply *HasWorkReply) error {
-	return s.do("HasWork", func() error {
+func (s *Service) HasWork(args CallMeta, reply *HasWorkReply) error {
+	return s.do("HasWork", args.TC, func() error {
 		busy, err := s.api.HasWork()
 		reply.Busy = busy
 		return err
@@ -462,12 +548,12 @@ func (s *Service) HasWork(_ Empty, reply *HasWorkReply) error {
 
 // DeliverPackets RPC.
 func (s *Service) DeliverPackets(items []PacketDelivery, _ *Empty) error {
-	return s.do("DeliverPackets", func() error { return s.api.DeliverPackets(items) })
+	return s.do("DeliverPackets", TraceContext{}, func() error { return s.api.DeliverPackets(items) })
 }
 
 // DeliverBatch RPC.
 func (s *Service) DeliverBatch(req DeliverBatchRequest, reply *DeliverBatchReply) error {
-	return s.do("DeliverBatch", func() error {
+	return s.do("DeliverBatch", req.TC, func() error {
 		r, err := s.api.DeliverBatch(req)
 		*reply = r
 		return err
@@ -475,8 +561,8 @@ func (s *Service) DeliverBatch(req DeliverBatchRequest, reply *DeliverBatchReply
 }
 
 // FinishQuery RPC.
-func (s *Service) FinishQuery(_ Empty, reply *OutcomesReply) error {
-	return s.do("FinishQuery", func() error {
+func (s *Service) FinishQuery(args CallMeta, reply *OutcomesReply) error {
+	return s.do("FinishQuery", args.TC, func() error {
 		batch, err := s.api.FinishQuery()
 		reply.Wire = batch.Wire
 		reply.Outcomes = batch.Outcomes
@@ -485,8 +571,8 @@ func (s *Service) FinishQuery(_ Empty, reply *OutcomesReply) error {
 }
 
 // CollectRIBs RPC.
-func (s *Service) CollectRIBs(_ Empty, reply *RIBsReply) error {
-	return s.do("CollectRIBs", func() error {
+func (s *Service) CollectRIBs(args CallMeta, reply *RIBsReply) error {
+	return s.do("CollectRIBs", args.TC, func() error {
 		routes, err := s.api.CollectRIBs()
 		reply.Routes = routes
 		return err
@@ -494,10 +580,19 @@ func (s *Service) CollectRIBs(_ Empty, reply *RIBsReply) error {
 }
 
 // Stats RPC.
-func (s *Service) Stats(_ Empty, reply *WorkerStats) error {
-	return s.do("Stats", func() error {
+func (s *Service) Stats(args CallMeta, reply *WorkerStats) error {
+	return s.do("Stats", args.TC, func() error {
 		st, err := s.api.Stats()
 		*reply = st
+		return err
+	})
+}
+
+// PullSpans RPC.
+func (s *Service) PullSpans(req PullSpansRequest, reply *PullSpansReply) error {
+	return s.do("PullSpans", req.TC, func() error {
+		r, err := s.api.PullSpans(req)
+		*reply = r
 		return err
 	})
 }
@@ -687,6 +782,38 @@ type RemoteWorker struct {
 	c       *rpc.Client
 	wrap    CallWrapper
 	in, out atomic.Int64
+
+	// nextTC is a one-shot trace parent consumed by the next non-Ping
+	// call; ObserveTraced stamps it per attempt. tcSource is a read-only
+	// fallback sampler (a worker's current phase span) used when no
+	// one-shot parent is pending — safe under concurrent callers, which is
+	// why peer-facing paths use it instead of the take-once slot.
+	nextTC   atomic.Pointer[TraceContext]
+	tcSource atomic.Value // func() TraceContext
+}
+
+// SetNextTraceParent arms the one-shot trace parent for the next call
+// issued on this client (stamped onto the request's TC field).
+func (r *RemoteWorker) SetNextTraceParent(tc TraceContext) {
+	r.nextTC.Store(&tc)
+}
+
+// SetTraceSource installs a sampler consulted when no one-shot parent is
+// armed — workers point their dialed peers at the current phase span so
+// peer pulls and deliveries carry a live context.
+func (r *RemoteWorker) SetTraceSource(fn func() TraceContext) {
+	r.tcSource.Store(fn)
+}
+
+// takeTC resolves the TraceContext to stamp on an outgoing request.
+func (r *RemoteWorker) takeTC() TraceContext {
+	if p := r.nextTC.Swap(nil); p != nil {
+		return *p
+	}
+	if fn, _ := r.tcSource.Load().(func() TraceContext); fn != nil {
+		return fn()
+	}
+	return TraceContext{}
 }
 
 // BytesRead reports transport bytes received on this client connection.
@@ -762,95 +889,106 @@ func (r *RemoteWorker) Ping() error {
 
 // Setup implements WorkerAPI.
 func (r *RemoteWorker) Setup(req SetupRequest) error {
+	req.TC = r.takeTC()
 	_, err := rcall[Empty](r, "Setup", true, req)
 	return err
 }
 
 // BeginShard implements WorkerAPI.
 func (r *RemoteWorker) BeginShard(req BeginShardRequest) error {
+	req.TC = r.takeTC()
 	_, err := rcall[Empty](r, "BeginShard", true, req)
 	return err
 }
 
 // GatherBGP implements WorkerAPI.
 func (r *RemoteWorker) GatherBGP() error {
-	_, err := rcall[Empty](r, "GatherBGP", false, Empty{})
+	_, err := rcall[Empty](r, "GatherBGP", false, CallMeta{TC: r.takeTC()})
 	return err
 }
 
 // ApplyBGP implements WorkerAPI.
 func (r *RemoteWorker) ApplyBGP() (ApplyReply, error) {
-	return rcall[ApplyReply](r, "ApplyBGP", false, Empty{})
+	return rcall[ApplyReply](r, "ApplyBGP", false, CallMeta{TC: r.takeTC()})
 }
 
 // GatherOSPF implements WorkerAPI.
 func (r *RemoteWorker) GatherOSPF() error {
-	_, err := rcall[Empty](r, "GatherOSPF", false, Empty{})
+	_, err := rcall[Empty](r, "GatherOSPF", false, CallMeta{TC: r.takeTC()})
 	return err
 }
 
 // ApplyOSPF implements WorkerAPI.
 func (r *RemoteWorker) ApplyOSPF() (ApplyReply, error) {
-	return rcall[ApplyReply](r, "ApplyOSPF", false, Empty{})
+	return rcall[ApplyReply](r, "ApplyOSPF", false, CallMeta{TC: r.takeTC()})
 }
 
 // EndShard implements WorkerAPI.
 func (r *RemoteWorker) EndShard() (EndShardReply, error) {
-	return rcall[EndShardReply](r, "EndShard", false, Empty{})
+	return rcall[EndShardReply](r, "EndShard", false, CallMeta{TC: r.takeTC()})
 }
 
 // PullBGP implements WorkerAPI and sim.PullPeer.
 func (r *RemoteWorker) PullBGP(exporter, puller string, since uint64, seen bool) ([]bgp.Advertisement, uint64, bool, error) {
 	reply, err := rcall[PullBGPReply](r, "PullBGP", true,
-		PullBGPRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen})
+		PullBGPRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen, TC: r.takeTC()})
 	return reply.Advs, reply.Version, reply.Fresh, err
 }
 
 // PullLSAs implements WorkerAPI and sim.PullPeer.
 func (r *RemoteWorker) PullLSAs(exporter, puller string, since uint64, seen bool) ([]*ospf.LSA, uint64, bool, error) {
 	reply, err := rcall[PullLSAsReply](r, "PullLSAs", true,
-		PullLSAsRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen})
+		PullLSAsRequest{Exporter: exporter, Puller: puller, Since: since, Seen: seen, TC: r.takeTC()})
 	return reply.LSAs, reply.Version, reply.Fresh, err
 }
 
-// PullBGPBatch implements WorkerAPI.
+// PullBGPBatch implements WorkerAPI. The trace context rides on the first
+// request of the batch (the wire shape — a bare slice — predates TC).
 func (r *RemoteWorker) PullBGPBatch(reqs []PullBGPRequest) ([]PullBGPReply, error) {
+	if len(reqs) > 0 {
+		reqs[0].TC = r.takeTC()
+	}
 	reply, err := rcall[PullBGPBatchReply](r, "PullBGPBatch", true, reqs)
 	return reply.Replies, err
 }
 
 // PullLSABatch implements WorkerAPI.
 func (r *RemoteWorker) PullLSABatch(reqs []PullLSAsRequest) ([]PullLSAsReply, error) {
+	if len(reqs) > 0 {
+		reqs[0].TC = r.takeTC()
+	}
 	reply, err := rcall[PullLSABatchReply](r, "PullLSABatch", true, reqs)
 	return reply.Replies, err
 }
 
 // ComputeDP implements WorkerAPI.
 func (r *RemoteWorker) ComputeDP() (ComputeDPReply, error) {
-	return rcall[ComputeDPReply](r, "ComputeDP", true, Empty{})
+	return rcall[ComputeDPReply](r, "ComputeDP", true, CallMeta{TC: r.takeTC()})
 }
 
 // BeginQuery implements WorkerAPI.
 func (r *RemoteWorker) BeginQuery(req QueryRequest) error {
+	req.TC = r.takeTC()
 	_, err := rcall[Empty](r, "BeginQuery", true, req)
 	return err
 }
 
 // Inject implements WorkerAPI.
 func (r *RemoteWorker) Inject(req InjectRequest) error {
+	req.TC = r.takeTC()
 	_, err := rcall[Empty](r, "Inject", false, req)
 	return err
 }
 
 // DPRound implements WorkerAPI.
 func (r *RemoteWorker) DPRound() error {
-	_, err := rcall[Empty](r, "DPRound", false, Empty{})
+	_, err := rcall[Empty](r, "DPRound", false, CallMeta{TC: r.takeTC()})
 	return err
 }
 
 // HasWork implements WorkerAPI.
 func (r *RemoteWorker) HasWork() (bool, error) {
-	reply, err := rcall[HasWorkReply](r, "HasWork", true, Empty{})
+	reply, err := rcall[HasWorkReply](r, "HasWork", true, CallMeta{TC: r.takeTC()})
 	return reply.Busy, err
 }
 
@@ -863,24 +1001,48 @@ func (r *RemoteWorker) DeliverPackets(items []PacketDelivery) error {
 // DeliverBatch implements WorkerAPI. Not idempotent: a retried delivery
 // would double-apply the substrate splice and the packet merges.
 func (r *RemoteWorker) DeliverBatch(req DeliverBatchRequest) (DeliverBatchReply, error) {
+	req.TC = r.takeTC()
 	return rcall[DeliverBatchReply](r, "DeliverBatch", false, req)
 }
 
 // FinishQuery implements WorkerAPI.
 func (r *RemoteWorker) FinishQuery() (OutcomeBatch, error) {
-	reply, err := rcall[OutcomesReply](r, "FinishQuery", false, Empty{})
+	reply, err := rcall[OutcomesReply](r, "FinishQuery", false, CallMeta{TC: r.takeTC()})
 	return OutcomeBatch{Wire: reply.Wire, Outcomes: reply.Outcomes}, err
 }
 
 // CollectRIBs implements WorkerAPI.
 func (r *RemoteWorker) CollectRIBs() (map[string][]*route.Route, error) {
-	reply, err := rcall[RIBsReply](r, "CollectRIBs", true, Empty{})
+	reply, err := rcall[RIBsReply](r, "CollectRIBs", true, CallMeta{TC: r.takeTC()})
 	return reply.Routes, err
 }
 
 // Stats implements WorkerAPI.
 func (r *RemoteWorker) Stats() (WorkerStats, error) {
-	return rcall[WorkerStats](r, "Stats", true, Empty{})
+	return rcall[WorkerStats](r, "Stats", true, CallMeta{TC: r.takeTC()})
+}
+
+// PullSpans implements WorkerAPI. Idempotent in the retry sense — a lost
+// reply loses at most one drain batch of telemetry, never application
+// state — and, like Ping, safe against a wedged worker (no phase lock).
+func (r *RemoteWorker) PullSpans(req PullSpansRequest) (PullSpansReply, error) {
+	return rcall[PullSpansReply](r, "PullSpans", true, req)
+}
+
+// PhaseClass reports whether a method is a controller-phase call: issued
+// by the controller, serialized per worker, and the trigger for the
+// worker-side phase span. Only these propagate a one-shot trace parent —
+// probes (Ping/HasWork/Stats/PullSpans) run concurrently with phases and
+// must not disturb span parenting, and peer-facing traffic parents via the
+// read-only trace source instead.
+func PhaseClass(method string) bool {
+	switch method {
+	case "Setup", "BeginShard", "GatherBGP", "ApplyBGP", "GatherOSPF",
+		"ApplyOSPF", "EndShard", "ComputeDP", "BeginQuery", "Inject",
+		"DPRound", "FinishQuery":
+		return true
+	}
+	return false
 }
 
 // Observe wraps api so every call flows through hook (mirrors fault.Wrap).
@@ -893,13 +1055,44 @@ func Observe(api WorkerAPI, hook RPCHook) WorkerAPI {
 	return &observed{api: api, hook: hook}
 }
 
+// ObserveTraced is Observe with cross-process propagation: when api (the
+// layer below, normally the RemoteWorker transport) can carry a trace
+// parent, every phase-class call arms it with the context of the rpc span
+// the hook just opened, so the server-side span parents under this exact
+// call. fault.Wrap sits outside this wrapper, so each retry re-enters the
+// hook and re-arms with its own fresh attempt span.
+func ObserveTraced(api WorkerAPI, hook TraceHook) WorkerAPI {
+	if hook == nil {
+		return api
+	}
+	carrier, _ := api.(traceCarrier)
+	return &observed{api: api, thook: hook, carrier: carrier}
+}
+
+// traceCarrier is the transport-side slot ObserveTraced arms
+// (RemoteWorker implements it).
+type traceCarrier interface {
+	SetNextTraceParent(tc TraceContext)
+}
+
 type observed struct {
-	api  WorkerAPI
-	hook RPCHook
+	api     WorkerAPI
+	hook    RPCHook
+	thook   TraceHook
+	carrier traceCarrier
 }
 
 // obs runs one call through the hook.
 func (o *observed) obs(method string, call func() error) error {
+	if o.thook != nil {
+		tc, done := o.thook(method)
+		if tc.Valid() && o.carrier != nil && PhaseClass(method) {
+			o.carrier.SetNextTraceParent(tc)
+		}
+		err := call()
+		done(err)
+		return err
+	}
 	done := o.hook(method)
 	err := call()
 	done(err)
@@ -1074,4 +1267,11 @@ func (o *observed) Stats() (WorkerStats, error) {
 		return err
 	})
 	return st, err
+}
+
+// PullSpans deliberately bypasses the hook: instrumenting the telemetry
+// drain itself would mint a new rpc span per harvest, which the harvest
+// then ships — an infinite feedback loop of self-describing spans.
+func (o *observed) PullSpans(req PullSpansRequest) (PullSpansReply, error) {
+	return o.api.PullSpans(req)
 }

@@ -122,6 +122,9 @@ func (s *stubWorker) CollectRIBs() (map[string][]*route.Route, error) {
 func (s *stubWorker) Stats() (WorkerStats, error) {
 	return WorkerStats{WorkerID: 3, Nodes: 5, PeakBytes: 2048}, nil
 }
+func (s *stubWorker) PullSpans(PullSpansRequest) (PullSpansReply, error) {
+	return PullSpansReply{}, nil
+}
 
 func dialStub(t *testing.T) (*RemoteWorker, *stubWorker) {
 	t.Helper()

@@ -383,6 +383,22 @@ func (v *Verifier) Progress() core.Progress { return v.ctrl.Progress() }
 // verifier is unusable afterwards.
 func (v *Verifier) Close() error { return v.ctrl.Close() }
 
+// HarvestSpans drains remote workers' span export rings into the verifier's
+// trace now. Normally unnecessary — harvests piggyback on stage boundaries
+// and Close — but useful before writing a trace mid-run.
+func (v *Verifier) HarvestSpans() { v.ctrl.HarvestSpans() }
+
+// FlightRecorder exposes the controller's always-on ring of structured
+// events (phase transitions, RPC faults, evictions) for post-mortem dumps.
+func (v *Verifier) FlightRecorder() *obs.FlightRecorder { return v.ctrl.FlightRecorder() }
+
+// AttributionReport distills the merged trace and worker stats into a
+// per-worker × per-stage accounting table (wall time, RPCs, bytes, BDD
+// nodes, GC pauses). Render with String() or JSON().
+func (v *Verifier) AttributionReport() *core.AttributionReport {
+	return v.ctrl.AttributionReport()
+}
+
 // PhaseDurations reports wall-clock per pipeline phase.
 func (v *Verifier) PhaseDurations() map[string]time.Duration {
 	out := map[string]time.Duration{}
