@@ -1,0 +1,130 @@
+// Command s2serve is the verification-as-a-service daemon: it boots the
+// distributed pipeline once over a directory of device configurations,
+// keeps the converged per-worker state resident, and serves an HTTP/JSON
+// API for staging config deltas (POST /v1/configs), incremental
+// re-verification (POST /v1/verify), and warm queries (GET /v1/queries).
+//
+// Usage:
+//
+//	s2serve -configs DIR [-addr :8642] [-workers N] [-shards M]
+//	        [-workers-at host:port,...] [-procs N] [-seed S]
+//	        [-recover] [-heartbeat-interval D] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"s2"
+	"s2/internal/obs"
+	"s2/internal/serve"
+)
+
+func main() {
+	var (
+		configs    = flag.String("configs", "", "directory of *.cfg device configurations (required)")
+		addr       = flag.String("addr", ":8642", "HTTP listen address for the API (and /metrics)")
+		workers    = flag.Int("workers", 4, "number of in-process workers")
+		workerAddr = flag.String("workers-at", "", "comma-separated sidecar addresses of remote workers (overrides -workers)")
+		shards     = flag.Int("shards", 1, "prefix shard count (>1 enables sharding and incremental shard reuse)")
+		scheme     = flag.String("scheme", "metis", "partition scheme: metis|random|expert|imbalanced|commheavy")
+		seed       = flag.Int64("seed", 1, "seed for partitioning and shard shuffling")
+		procs      = flag.Int("procs", 0, "per-worker goroutine pool for the simulation phases (0 = all CPUs)")
+		rpcTimeout = flag.Duration("rpc-timeout", 0, "deadline per worker RPC attempt (0 = none)")
+		retries    = flag.Int("retries", 0, "extra attempts for idempotent worker RPCs that fail transiently")
+		heartbeat  = flag.Duration("heartbeat-interval", 0, "worker heartbeat interval (0 = off)")
+		recoverOn  = flag.Bool("recover", false, "on worker death, re-partition onto survivors and re-verify")
+		verbose    = flag.Bool("v", false, "log the boot verification summary")
+	)
+	flag.Parse()
+	if *configs == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	network, err := s2.LoadDirectory(*configs)
+	fatal(err)
+	fmt.Printf("s2serve: parsed %d devices from %s\n", network.Size(), *configs)
+
+	reg := obs.NewRegistry()
+	opts := s2.Options{
+		Workers:           *workers,
+		PartitionScheme:   *scheme,
+		Shards:            *shards,
+		Seed:              *seed,
+		KeepRIBs:          true, // RIB queries are part of the API surface
+		Parallelism:       *procs,
+		RPCTimeout:        *rpcTimeout,
+		RPCRetries:        *retries,
+		HeartbeatInterval: *heartbeat,
+		Recover:           *recoverOn,
+		Metrics:           reg,
+	}
+	if *workerAddr != "" {
+		opts.WorkerAddrs = strings.Split(*workerAddr, ",")
+	}
+	v, err := s2.NewVerifier(network, opts)
+	fatal(err)
+	defer v.Close()
+	for _, warn := range v.TopologyWarnings() {
+		fmt.Fprintln(os.Stderr, "s2serve: topology warning:", warn)
+	}
+
+	// Boot verification: converge once so every query after startup is warm.
+	start := time.Now()
+	warnings, err := v.ComputeDataPlane()
+	fatal(err)
+	report, err := v.CheckAllPairs()
+	fatal(err)
+	fmt.Printf("s2serve: boot verification done in %s (epoch %d)\n",
+		time.Since(start).Round(time.Millisecond), v.Epoch())
+	if *verbose {
+		for _, warn := range warnings {
+			fmt.Fprintln(os.Stderr, "s2serve: FIB warning:", warn)
+		}
+		fmt.Println(report)
+	}
+
+	// SIGQUIT dumps the flight recorder and keeps serving.
+	flight := v.FlightRecorder()
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "s2serve: SIGQUIT — flight recorder dump:")
+			flight.WriteTo(os.Stderr)
+		}
+	}()
+
+	lis, err := net.Listen("tcp", *addr)
+	fatal(err)
+	srv := serve.New(v, reg)
+	fmt.Printf("s2serve: serving on http://%s\n", lis.Addr())
+
+	// SIGINT/SIGTERM shut down cleanly (Close tears down workers).
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "s2serve: shutting down")
+		httpSrv.Close()
+	}()
+	if err := httpSrv.Serve(lis); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,164 @@
+package config
+
+import (
+	"testing"
+)
+
+const fpBase = `hostname r1
+!
+interface eth0
+ ip address 10.0.0.0/31
+ description link to r2
+interface vlan10
+ ip address 10.128.0.1/24
+!
+router bgp 65001
+ router-id 1.0.0.1
+ maximum-paths 4
+ network 10.128.0.0/24
+ neighbor 10.0.0.1 remote-as 65002
+`
+
+func parseOne(t *testing.T, text string) *Device {
+	t.Helper()
+	dev, err := Parse("r1.cfg", text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return dev
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := DeviceFingerprint(parseOne(t, fpBase))
+	b := DeviceFingerprint(parseOne(t, fpBase))
+	if !a.Equal(b) {
+		t.Fatalf("same text fingerprinted differently: %+v vs %+v", a, b)
+	}
+}
+
+func TestFingerprintIgnoresCommentsAndWhitespace(t *testing.T) {
+	noisy := "! leading comment\nhostname r1\n!\n! another comment\ninterface eth0\n ip address 10.0.0.0/31\n description link to r2\n\n\ninterface vlan10\n ip address 10.128.0.1/24\n!\nrouter bgp 65001\n router-id 1.0.0.1\n maximum-paths 4\n network 10.128.0.0/24\n neighbor 10.0.0.1 remote-as 65002\n!\n"
+	a := DeviceFingerprint(parseOne(t, fpBase))
+	b := DeviceFingerprint(parseOne(t, noisy))
+	if !a.Equal(b) {
+		t.Fatalf("comment/whitespace edit changed fingerprint: %+v vs %+v", a, b)
+	}
+}
+
+// TestFingerprintClassification drives one edit per section and checks the
+// resulting class.
+func TestFingerprintClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		edit string // replacement full config text
+		want DeltaClass
+	}{
+		{
+			name: "identical",
+			edit: fpBase,
+			want: DeltaNone,
+		},
+		{
+			name: "description-only is dp",
+			edit: "hostname r1\n!\ninterface eth0\n ip address 10.0.0.0/31\n description RENAMED LINK\ninterface vlan10\n ip address 10.128.0.1/24\n!\nrouter bgp 65001\n router-id 1.0.0.1\n maximum-paths 4\n network 10.128.0.0/24\n neighbor 10.0.0.1 remote-as 65002\n",
+			want: DeltaDP,
+		},
+		{
+			name: "acl binding is dp",
+			edit: "hostname r1\n!\ninterface eth0\n ip address 10.0.0.0/31\n description link to r2\ninterface vlan10\n ip address 10.128.0.1/24\n ip access-group BLOCK out\n!\nip access-list BLOCK\n deny ip any 10.128.0.0/24\n permit ip any any\n!\nrouter bgp 65001\n router-id 1.0.0.1\n maximum-paths 4\n network 10.128.0.0/24\n neighbor 10.0.0.1 remote-as 65002\n",
+			want: DeltaDP,
+		},
+		{
+			name: "network statement is orig",
+			edit: "hostname r1\n!\ninterface eth0\n ip address 10.0.0.0/31\n description link to r2\ninterface vlan10\n ip address 10.128.0.1/24\n!\nrouter bgp 65001\n router-id 1.0.0.1\n maximum-paths 4\n network 10.128.0.0/25\n neighbor 10.0.0.1 remote-as 65002\n",
+			want: DeltaOrig,
+		},
+		{
+			name: "maximum-paths is policy",
+			edit: "hostname r1\n!\ninterface eth0\n ip address 10.0.0.0/31\n description link to r2\ninterface vlan10\n ip address 10.128.0.1/24\n!\nrouter bgp 65001\n router-id 1.0.0.1\n maximum-paths 8\n network 10.128.0.0/24\n neighbor 10.0.0.1 remote-as 65002\n",
+			want: DeltaPolicy,
+		},
+		{
+			name: "interface address is topo",
+			edit: "hostname r1\n!\ninterface eth0\n ip address 10.0.0.2/31\n description link to r2\ninterface vlan10\n ip address 10.128.0.1/24\n!\nrouter bgp 65001\n router-id 1.0.0.1\n maximum-paths 4\n network 10.128.0.0/24\n neighbor 10.0.0.1 remote-as 65002\n",
+			want: DeltaTopo,
+		},
+		{
+			name: "neighbor remote-as is topo",
+			edit: "hostname r1\n!\ninterface eth0\n ip address 10.0.0.0/31\n description link to r2\ninterface vlan10\n ip address 10.128.0.1/24\n!\nrouter bgp 65001\n router-id 1.0.0.1\n maximum-paths 4\n network 10.128.0.0/24\n neighbor 10.0.0.1 remote-as 65003\n",
+			want: DeltaTopo,
+		},
+	}
+	base := DeviceFingerprint(parseOne(t, fpBase))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Classify(base, DeviceFingerprint(parseOne(t, tc.edit)))
+			if got != tc.want {
+				t.Fatalf("class = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDiffSnapshots covers add/modify/remove/rename at the snapshot level.
+func TestDiffSnapshots(t *testing.T) {
+	mk := func(texts map[string]string) *Snapshot {
+		t.Helper()
+		files := map[string]string{}
+		for n, txt := range texts {
+			files[n+".cfg"] = txt
+		}
+		snap, err := ParseTexts(files)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return snap
+	}
+	r1 := fpBase
+	r2 := "hostname r2\n!\ninterface eth0\n ip address 10.0.0.1/31\n!\nrouter bgp 65002\n router-id 1.0.0.2\n neighbor 10.0.0.0 remote-as 65001\n"
+	r2mod := "hostname r2\n!\ninterface eth0\n ip address 10.0.0.1/31\n!\nrouter bgp 65002\n router-id 1.0.0.2\n maximum-paths 2\n neighbor 10.0.0.0 remote-as 65001\n"
+	r3 := "hostname r3\n!\ninterface eth0\n ip address 10.0.2.1/31\n"
+
+	old := mk(map[string]string{"r1": r1, "r2": r2})
+
+	t.Run("no change", func(t *testing.T) {
+		d := DiffSnapshots(old, mk(map[string]string{"r1": r1, "r2": r2}))
+		if !d.Empty() || d.Class() != DeltaNone {
+			t.Fatalf("expected empty diff, got %+v", d)
+		}
+	})
+	t.Run("modify", func(t *testing.T) {
+		d := DiffSnapshots(old, mk(map[string]string{"r1": r1, "r2": r2mod}))
+		if len(d.Added)+len(d.Removed) != 0 || d.Changed["r2"] != DeltaPolicy {
+			t.Fatalf("expected r2 policy change, got %+v", d)
+		}
+		if d.Class() != DeltaPolicy {
+			t.Fatalf("class = %v, want policy", d.Class())
+		}
+	})
+	t.Run("add", func(t *testing.T) {
+		d := DiffSnapshots(old, mk(map[string]string{"r1": r1, "r2": r2, "r3": r3}))
+		if len(d.Added) != 1 || d.Added[0] != "r3" || len(d.Removed) != 0 {
+			t.Fatalf("expected r3 added, got %+v", d)
+		}
+		if d.Class() != DeltaTopo {
+			t.Fatalf("device add must classify topo, got %v", d.Class())
+		}
+	})
+	t.Run("remove", func(t *testing.T) {
+		d := DiffSnapshots(old, mk(map[string]string{"r1": r1}))
+		if len(d.Removed) != 1 || d.Removed[0] != "r2" {
+			t.Fatalf("expected r2 removed, got %+v", d)
+		}
+		if d.Class() != DeltaTopo {
+			t.Fatalf("device remove must classify topo, got %v", d.Class())
+		}
+	})
+	t.Run("rename", func(t *testing.T) {
+		renamed := "hostname r9\n!\ninterface eth0\n ip address 10.0.0.1/31\n!\nrouter bgp 65002\n router-id 1.0.0.2\n neighbor 10.0.0.0 remote-as 65001\n"
+		d := DiffSnapshots(old, mk(map[string]string{"r1": r1, "r9": renamed}))
+		if len(d.Added) != 1 || d.Added[0] != "r9" || len(d.Removed) != 1 || d.Removed[0] != "r2" {
+			t.Fatalf("expected rename as remove+add, got %+v", d)
+		}
+	})
+}

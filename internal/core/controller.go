@@ -197,7 +197,18 @@ type Controller struct {
 	dpWanted    bool
 	dpDone      bool
 	recoveries  int
-	closed      bool
+
+	// closed is atomic so in-flight recoverable loops (queries, deltas)
+	// observe a concurrent Close without racing; closeMu serializes the
+	// teardown body itself so concurrent Close calls are safe and
+	// idempotent.
+	closed  atomic.Bool
+	closeMu sync.Mutex
+
+	// epoch counts successfully verified states: it advances once per
+	// completed data-plane compute (cold runs and deltas alike) and once
+	// per accepted no-op delta. Serving layers key warm query caches on it.
+	epoch atomic.Uint64
 
 	cpRounds   int
 	dpRounds   int
@@ -247,10 +258,15 @@ func (c *Controller) FlightRecorder() *obs.FlightRecorder { return c.flight }
 func (c *Controller) FaultCounters() *metrics.FaultCounters { return c.faults }
 
 // Close stops the failure detector and tears down remote connections. The
-// controller is unusable afterwards.
+// controller is unusable afterwards. Close is idempotent and safe to call
+// concurrently — with itself and with in-flight queries: the closed flag
+// flips atomically (recoverable loops stop retrying), the body is
+// serialized, and in-flight RPCs on a torn-down client surface as ordinary
+// transport errors.
 func (c *Controller) Close() error {
-	alreadyClosed := c.closed
-	c.closed = true
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	alreadyClosed := c.closed.Swap(true)
 	c.stopHarvester()
 	// Final span drain: whatever the workers' export rings still hold must
 	// land in the merged trace before the connections go away.
@@ -283,6 +299,22 @@ func (c *Controller) Shards() []*shard.Shard { return c.shards }
 
 // Timer exposes recorded phase durations.
 func (c *Controller) Timer() *metrics.PhaseTimer { return c.timer }
+
+// Epoch returns the verified-state epoch: 0 until the first data plane is
+// computed, then +1 per completed verification (full or delta). Safe from
+// any goroutine.
+func (c *Controller) Epoch() uint64 { return c.epoch.Load() }
+
+// Resident reports whether converged control- and data-plane state is
+// resident across the workers — the precondition for answering queries
+// without re-running the pipeline and for incremental delta paths.
+func (c *Controller) Resident() bool { return c.setupDone && c.cpDone && c.dpDone }
+
+// DeviceNames lists the devices of the current snapshot, sorted.
+func (c *Controller) DeviceNames() []string { return c.snap.DeviceNames() }
+
+// ConfigText returns the raw config text for one device ("" if unknown).
+func (c *Controller) ConfigText(device string) string { return c.texts[device] }
 
 // CPRounds and DPRounds expose orchestration round counts.
 func (c *Controller) CPRounds() int { return c.cpRounds }
@@ -495,7 +527,7 @@ func (c *Controller) stopDetector() {
 func (c *Controller) recoverable(body func() error) error {
 	for {
 		err := body()
-		if err == nil || c.closed || !c.opts.Recover || !fault.IsTransient(err) {
+		if err == nil || c.closed.Load() || !c.opts.Recover || !fault.IsTransient(err) {
 			return err
 		}
 		if rerr := c.repair(); rerr != nil {
@@ -785,54 +817,69 @@ func (c *Controller) runControlPlane() error {
 }
 
 // runBGPShards is the body of the cp-bgp stage: the shard loop with
-// runtime dependency merges (§7).
+// runtime dependency merges (§7). A full run treats every shard as dirty.
 func (c *Controller) runBGPShards() error {
-	shards := c.shards
-	{
-		var globalPrefixes []route.Prefix
-		if len(shards) > 1 {
-			globalPrefixes = shard.CollectBGPPrefixes(c.snap)
-		}
-		skipped := make([]bool, len(shards))
-		for i := 0; i < len(shards); i++ {
-			if skipped[i] {
-				continue
-			}
-			reports, err := c.runShard(i, shards[i])
-			if err != nil {
-				return err
-			}
-			if len(shards) <= 1 || shards[i] == nil {
-				continue
-			}
-			// Runtime dependency detection (§7): a condition consulted
-			// during this round may reference prefixes living in other
-			// shards — merge those shards into this one and recompute.
-			missing := c.unforeseenDeps(reports, shards[i], globalPrefixes)
-			if len(missing) == 0 {
-				continue
-			}
-			merged := shards[i]
-			mergedAny := false
-			for j := range shards {
-				if j == i || skipped[j] || shards[j] == nil {
-					continue
-				}
-				if containsAny(shards[j], missing) {
-					merged = shard.Merge(merged, shards[j])
-					skipped[j] = true
-					mergedAny = true
-					c.shardMerge = append(c.shardMerge,
-						fmt.Sprintf("shard %d merged into shard %d (unforeseen conditional dependency)", j, i))
-				}
-			}
-			if mergedAny {
-				shards[i] = merged
-				i-- // recompute the merged shard in place
-			}
-		}
-		return nil
+	dirty := make([]bool, len(c.shards))
+	for i := range dirty {
+		dirty[i] = true
 	}
+	_, err := c.runDirtyShards(dirty)
+	return err
+}
+
+// runDirtyShards executes exactly the shards marked dirty (with §7 runtime
+// dependency merges — a merged-in shard is recomputed as part of the merged
+// whole) and returns how many shard rounds actually ran. Clean shards keep
+// their resident per-prefix results: every shard round is cold and
+// self-contained, so results accumulate per prefix and skipping a shard
+// whose prefixes are untouched is sound.
+func (c *Controller) runDirtyShards(dirty []bool) (int, error) {
+	shards := c.shards
+	runs := 0
+	var globalPrefixes []route.Prefix
+	if len(shards) > 1 {
+		globalPrefixes = shard.CollectBGPPrefixes(c.snap)
+	}
+	skipped := make([]bool, len(shards))
+	for i := 0; i < len(shards); i++ {
+		if skipped[i] || !dirty[i] {
+			continue
+		}
+		reports, err := c.runShard(i, shards[i])
+		if err != nil {
+			return runs, err
+		}
+		runs++
+		if len(shards) <= 1 || shards[i] == nil {
+			continue
+		}
+		// Runtime dependency detection (§7): a condition consulted
+		// during this round may reference prefixes living in other
+		// shards — merge those shards into this one and recompute.
+		missing := c.unforeseenDeps(reports, shards[i], globalPrefixes)
+		if len(missing) == 0 {
+			continue
+		}
+		merged := shards[i]
+		mergedAny := false
+		for j := range shards {
+			if j == i || skipped[j] || shards[j] == nil {
+				continue
+			}
+			if containsAny(shards[j], missing) {
+				merged = shard.Merge(merged, shards[j])
+				skipped[j] = true
+				mergedAny = true
+				c.shardMerge = append(c.shardMerge,
+					fmt.Sprintf("shard %d merged into shard %d (unforeseen conditional dependency)", j, i))
+			}
+		}
+		if mergedAny {
+			shards[i] = merged
+			i-- // recompute the merged shard in place
+		}
+	}
+	return runs, nil
 }
 
 // runShard executes one full shard round (reset, fixed point, harvest) and
@@ -965,9 +1012,19 @@ func (c *Controller) computeDataPlane() ([]string, error) {
 		return nil, err
 	}
 	c.dpDone = true
+	c.bumpEpoch()
 	c.harvestAll()
 	sort.Strings(warnings)
 	return warnings, nil
+}
+
+// bumpEpoch advances the verified-state epoch and publishes it as a gauge.
+func (c *Controller) bumpEpoch() {
+	e := c.epoch.Add(1)
+	if c.reg != nil {
+		c.reg.Gauge(MetricEpoch, "Verified-state epoch (advances per completed verification).").
+			Set(float64(e))
+	}
 }
 
 // OwnedPrefixes returns the prefixes a node originates (its BGP network
@@ -1002,6 +1059,9 @@ func (c *Controller) PrefixOwners() []string {
 // which lets a single traversal serve per-source attribution (all-pair
 // checks); sources without owned prefixes are injected unconstrained.
 func (c *Controller) RunQuery(q *dataplane.Query, constrainSrc bool) (*dataplane.Collector, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("core: controller is closed")
+	}
 	if err := q.Validate(c.layout); err != nil {
 		return nil, err
 	}
@@ -1076,8 +1136,15 @@ func (c *Controller) forwardQuery(q *dataplane.Query, sources []string, constrai
 				return fmt.Errorf("core: unknown source node %q", src)
 			}
 			c.wmu.RLock()
-			w := c.workers[owner]
+			var w sidecar.WorkerAPI
+			if owner < len(c.workers) {
+				w = c.workers[owner]
+			}
 			c.wmu.RUnlock()
+			if w == nil {
+				// A concurrent Close emptied the directory mid-query.
+				return fmt.Errorf("core: controller closed while querying (worker %d unavailable)", owner)
+			}
 			if err := w.Inject(sidecar.InjectRequest{
 				Source: src,
 				Packet: c.engine.Serialize(pkt),
@@ -1247,6 +1314,9 @@ func (c *Controller) CheckAllPairs() (*AllPairsResult, error) {
 
 // CollectRIBs merges the per-worker RIBs (requires Options.KeepRIBs).
 func (c *Controller) CollectRIBs() (map[string]*route.RIB, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("core: controller is closed")
+	}
 	var out map[string]*route.RIB
 	err := c.recoverable(func() error {
 		var err error

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"s2/internal/config"
+	"s2/internal/fault"
+)
+
+func copyTexts(texts map[string]string) map[string]string {
+	out := make(map[string]string, len(texts))
+	for k, v := range texts {
+		out[k] = v
+	}
+	return out
+}
+
+// findLine returns the first line of text starting with prefix.
+func findLine(t *testing.T, text, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	t.Fatalf("no line with prefix %q in:\n%s", prefix, text)
+	return ""
+}
+
+// assertColdEquivalent verifies the warm controller's resident state —
+// RIBs, route counts, and all-pair answers — is identical to a cold full
+// verification of the same texts.
+func assertColdEquivalent(t *testing.T, step string, warm *Controller, texts map[string]string, coldOpts Options) {
+	t.Helper()
+	warmRIBs, err := warm.CollectRIBs()
+	if err != nil {
+		t.Fatalf("%s: warm RIBs: %v", step, err)
+	}
+	warmRes, err := warm.CheckAllPairs()
+	if err != nil {
+		t.Fatalf("%s: warm all-pairs: %v", step, err)
+	}
+	snap, err := config.ParseTexts(withCfgSuffix(texts))
+	if err != nil {
+		t.Fatalf("%s: %v", step, err)
+	}
+	cold := newS2(t, snap, copyTexts(texts), coldOpts)
+	defer cold.Close()
+	runCP(t, cold)
+	if _, err := cold.ComputeDataPlane(); err != nil {
+		t.Fatalf("%s: cold compute: %v", step, err)
+	}
+	coldRIBs, err := cold.CollectRIBs()
+	if err != nil {
+		t.Fatalf("%s: cold RIBs: %v", step, err)
+	}
+	coldRes, err := cold.CheckAllPairs()
+	if err != nil {
+		t.Fatalf("%s: cold all-pairs: %v", step, err)
+	}
+	if len(warmRIBs) != len(coldRIBs) {
+		t.Fatalf("%s: warm has %d RIBs, cold has %d", step, len(warmRIBs), len(coldRIBs))
+	}
+	for name, coldRIB := range coldRIBs {
+		warmRIB := warmRIBs[name]
+		if warmRIB == nil {
+			t.Fatalf("%s: warm state missing RIB for %s", step, name)
+		}
+		if !warmRIB.Equal(coldRIB) {
+			t.Fatalf("%s: RIB mismatch at %s:\n%s", step, name, coldRIB.Diff(warmRIB))
+		}
+	}
+	if fmt.Sprint(warmRes.Unreached) != fmt.Sprint(coldRes.Unreached) {
+		t.Fatalf("%s: unreached mismatch: warm=%v cold=%v", step, warmRes.Unreached, coldRes.Unreached)
+	}
+	if len(warmRes.Violations) != len(coldRes.Violations) {
+		t.Fatalf("%s: violation count mismatch: warm=%d cold=%d",
+			step, len(warmRes.Violations), len(coldRes.Violations))
+	}
+}
+
+// TestDeltaEquivalence is the serving-mode soundness claim: after any
+// sequence of deltas — semantic no-ops, data-plane-only edits, origination
+// add/remove/revert, policy changes, topology changes, and a device rename
+// — the resident state is identical to a cold full verification of the
+// final configs, at per-worker parallelism 1 and N.
+func TestDeltaEquivalence(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs-%d", procs), func(t *testing.T) {
+			snap, texts := fatTreeSnap(t, 4)
+			opts := Options{Workers: 2, Shards: 4, KeepRIBs: true, Seed: 7, Parallelism: procs}
+			warm := newS2(t, snap, copyTexts(texts), opts)
+			defer warm.Close()
+			runCP(t, warm)
+			if _, err := warm.ComputeDataPlane(); err != nil {
+				t.Fatal(err)
+			}
+			if got := warm.Epoch(); got != 1 {
+				t.Fatalf("epoch after cold run = %d, want 1", got)
+			}
+
+			cur := copyTexts(texts)
+			apply := func(step string, set map[string]string, remove []string, wantMode string) *DeltaResult {
+				t.Helper()
+				before := warm.Epoch()
+				res, err := warm.ApplyDelta(set, remove)
+				if err != nil {
+					t.Fatalf("%s: ApplyDelta: %v", step, err)
+				}
+				if res.Mode != wantMode {
+					t.Fatalf("%s: mode = %q, want %q (result %+v)", step, res.Mode, wantMode, res)
+				}
+				if res.Epoch <= before {
+					t.Fatalf("%s: epoch %d did not advance past %d", step, res.Epoch, before)
+				}
+				if !warm.Resident() {
+					t.Fatalf("%s: state not resident after delta", step)
+				}
+				assertColdEquivalent(t, step, warm, cur, opts)
+				return res
+			}
+
+			// 1. Comment-only edit: a semantic no-op, nothing re-runs.
+			cur["edge-0-0"] = cur["edge-0-0"] + "!\n! audited\n"
+			res := apply("noop", map[string]string{"edge-0-0": cur["edge-0-0"]}, nil, "noop")
+			if res.DirtyShards != 0 {
+				t.Fatalf("noop: dirty shards = %d, want 0", res.DirtyShards)
+			}
+
+			// 2. Description edit: data-plane only, zero shard rounds.
+			cur["agg-0-0"] = strings.Replace(cur["agg-0-0"], "description link to", "description uplink to", 1)
+			res = apply("dp", map[string]string{"agg-0-0": cur["agg-0-0"]}, nil, "dp")
+			if res.DirtyShards != 0 {
+				t.Fatalf("dp: dirty shards = %d, want 0", res.DirtyShards)
+			}
+
+			// 3. Withdraw an origination: the retired prefix must be purged
+			// from every worker's resident RIBs.
+			origEdge10 := cur["edge-1-0"]
+			netLine := findLine(t, origEdge10, " network ")
+			cur["edge-1-0"] = strings.Replace(origEdge10, netLine+"\n", "", 1)
+			apply("orig-remove", map[string]string{"edge-1-0": cur["edge-1-0"]}, nil, "shards")
+
+			// 4. Revert it: only the shard holding the re-announced prefix's
+			// dependency closure re-runs.
+			cur["edge-1-0"] = origEdge10
+			res = apply("orig-revert", map[string]string{"edge-1-0": cur["edge-1-0"]}, nil, "shards")
+			if res.DirtyShards == 0 || res.DirtyShards >= res.TotalShards {
+				t.Fatalf("orig-revert: dirty=%d total=%d, want strict subset > 0",
+					res.DirtyShards, res.TotalShards)
+			}
+
+			// 5. Policy edit (ECMP limit): every shard is dirty, but the
+			// workers are not re-Setup.
+			cur["edge-0-1"] = strings.Replace(cur["edge-0-1"], "maximum-paths 64", "maximum-paths 2", 1)
+			res = apply("policy", map[string]string{"edge-0-1": cur["edge-0-1"]}, nil, "shards")
+			if res.DirtyShards != res.TotalShards {
+				t.Fatalf("policy: dirty=%d total=%d, want all dirty", res.DirtyShards, res.TotalShards)
+			}
+
+			// 6. Topology edit (new interface + origination): full pipeline.
+			netLine00 := findLine(t, cur["edge-0-0"], " network ")
+			withIfc := strings.Replace(cur["edge-0-0"],
+				"!\nrouter bgp", "interface vlan90\n ip address 10.202.0.1/24\n!\nrouter bgp", 1)
+			cur["edge-0-0"] = strings.Replace(withIfc,
+				netLine00+"\n", netLine00+"\n network 10.202.0.0/24\n", 1)
+			apply("topo", map[string]string{"edge-0-0": cur["edge-0-0"]}, nil, "full")
+
+			// 7. Rename a device: remove + add, full pipeline.
+			renamed := strings.Replace(cur["edge-1-1"], "hostname edge-1-1\n", "hostname edge-9-9\n", 1)
+			delete(cur, "edge-1-1")
+			cur["edge-9-9"] = renamed
+			res = apply("rename", map[string]string{"edge-1-1": renamed}, nil, "full")
+			if fmt.Sprint(res.Removed) != "[edge-1-1]" || fmt.Sprint(res.Added) != "[edge-9-9]" {
+				t.Fatalf("rename: added=%v removed=%v", res.Added, res.Removed)
+			}
+		})
+	}
+}
+
+// TestDeltaWorkerCrashRecovers kills one worker mid-delta (on its
+// ApplyDelta push); recovery must evict it, re-partition, and fall back to
+// a full re-verification whose answers match a cold run.
+func TestDeltaWorkerCrashRecovers(t *testing.T) {
+	snap, texts := fatTreeSnap(t, 4)
+	hook, injp := injectOn(1, fault.Plan{Method: "ApplyDelta", Nth: 1, Mode: fault.Crash})
+	opts := Options{
+		Workers: 3, Shards: 4, KeepRIBs: true, Seed: 21,
+		Recover: true, WrapWorker: hook,
+	}
+	warm := newS2(t, snap, copyTexts(texts), opts)
+	defer warm.Close()
+	runCP(t, warm)
+	if _, err := warm.ComputeDataPlane(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A policy edit on every device guarantees every worker — including the
+	// doomed one — receives an ApplyDelta push.
+	cur := copyTexts(texts)
+	set := map[string]string{}
+	for name, text := range cur {
+		nt := strings.Replace(text, "maximum-paths 64", "maximum-paths 2", 1)
+		if nt != text {
+			set[name] = nt
+			cur[name] = nt
+		}
+	}
+	res, err := warm.ApplyDelta(set, nil)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if *injp == nil || !(*injp).Crashed() {
+		t.Fatal("injected crash never triggered")
+	}
+	if res.Mode != "full" {
+		t.Fatalf("mode after mid-delta crash = %q, want full (recovery wipes resident state)", res.Mode)
+	}
+	fc := warm.FaultCounters()
+	if fc.Get("worker.deaths") != 1 {
+		t.Fatalf("worker.deaths = %d, want 1 (counters: %s)", fc.Get("worker.deaths"), fc)
+	}
+	coldOpts := Options{Workers: 3, Shards: 4, KeepRIBs: true, Seed: 21}
+	assertColdEquivalent(t, "crash", warm, cur, coldOpts)
+}
+
+// TestCloseIdempotentConcurrent: Close must be callable repeatedly and
+// concurrently — with itself and with in-flight queries — without panics,
+// and a post-Close query must fail cleanly.
+func TestCloseIdempotentConcurrent(t *testing.T) {
+	snap, texts := fatTreeSnap(t, 4)
+	c := newS2(t, snap, texts, Options{Workers: 2, Shards: 2, KeepRIBs: true, Seed: 3})
+	runCP(t, c)
+	if _, err := c.ComputeDataPlane(); err != nil {
+		t.Fatal(err)
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			// Racing a concurrent Close: any error is fine, panics are not.
+			c.CheckAllPairs()
+			c.CollectRIBs()
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := c.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Errorf("Close after Close: %v", err)
+	}
+	if _, err := c.CheckAllPairs(); err == nil {
+		t.Error("query after Close should fail")
+	}
+	if _, err := c.ApplyDelta(nil, nil); err == nil {
+		t.Error("delta after Close should fail")
+	}
+}

@@ -31,6 +31,10 @@ const (
 	MetricWorkersAlive    = "s2_workers_alive"
 	MetricWireBytes       = "s2_wire_packet_bytes_total"
 	MetricWireDeduped     = "s2_wire_nodes_deduped_total"
+	MetricEpoch           = "s2_epoch"
+	MetricDeltas          = "s2_deltas_total"
+	MetricDeltaDirty      = "s2_delta_dirty_shards"
+	MetricDeltaTotal      = "s2_delta_total_shards"
 )
 
 // faultEventKeys are the metrics.FaultCounters keys bridged to

@@ -86,6 +86,10 @@ type Worker struct {
 	// batch deliveries until the next drain (guarded by qmu).
 	wireDedup    bool
 	noWire       map[int]bool
+	// noWirePull remembers peers that don't serve the varint-encoded batch
+	// pull RPCs (PullBGPBatchWire/PullLSABatchWire); pulls to them fall
+	// back to the gob batch, then to per-pull calls. Guarded by noBatchMu.
+	noWirePull   map[int]bool
 	sendSessions map[int]*bdd.WireSession
 	recvTables   map[int]*bdd.WireTable
 	wireInbox    []wireDelivery
@@ -250,6 +254,7 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 	w.noBatchMu.Lock()
 	w.noBatch = map[int]bool{}
 	w.noWire = map[int]bool{}
+	w.noWirePull = map[int]bool{}
 	w.noBatchMu.Unlock()
 
 	snap, err := config.ParseTexts(req.Configs)
@@ -424,6 +429,19 @@ func (w *Worker) PullLSABatch(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSA
 	return replies, nil
 }
 
+// PullBGPBatchWire implements sidecar.WorkerAPI. In-process there is no
+// wire, so it is the gob batch; the varint encoding happens in the sidecar
+// Service/RemoteWorker pair when the call actually crosses a process
+// boundary.
+func (w *Worker) PullBGPBatchWire(reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
+	return w.PullBGPBatch(reqs)
+}
+
+// PullLSABatchWire implements sidecar.WorkerAPI.
+func (w *Worker) PullLSABatchWire(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSAsReply, error) {
+	return w.PullLSABatch(reqs)
+}
+
 // peerLacksBatch reports whether peer owner is known to predate the batch
 // pull RPCs.
 func (w *Worker) peerLacksBatch(owner int) bool {
@@ -438,6 +456,56 @@ func (w *Worker) markNoBatch(owner int) {
 	w.noBatchMu.Lock()
 	w.noBatch[owner] = true
 	w.noBatchMu.Unlock()
+}
+
+// peerLacksWirePull reports whether peer owner is known to predate the
+// varint-encoded batch pull RPCs.
+func (w *Worker) peerLacksWirePull(owner int) bool {
+	w.noBatchMu.Lock()
+	defer w.noBatchMu.Unlock()
+	return w.noWirePull[owner]
+}
+
+// markNoWirePull records that peer owner rejected a wire batch pull, so
+// later gathers go straight to the gob batch.
+func (w *Worker) markNoWirePull(owner int) {
+	w.noBatchMu.Lock()
+	w.noWirePull[owner] = true
+	w.noBatchMu.Unlock()
+}
+
+// pullBGPBatchTiered issues one owner's coalesced BGP pulls through the
+// preferred encodings in order: varint wire batch (when wire dedup is on
+// and the peer serves it), then the gob batch. A method-not-found rejection
+// demotes the peer one tier and retries within the same gather; other
+// errors surface unchanged.
+func (w *Worker) pullBGPBatchTiered(owner int, peer sidecar.WorkerAPI, reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
+	if w.wireDedup && !w.peerLacksWirePull(owner) {
+		replies, err := peer.PullBGPBatchWire(reqs)
+		if err == nil {
+			return replies, nil
+		}
+		if !isNoBatchErr(err) {
+			return nil, err
+		}
+		w.markNoWirePull(owner)
+	}
+	return peer.PullBGPBatch(reqs)
+}
+
+// pullLSABatchTiered is the OSPF analogue of pullBGPBatchTiered.
+func (w *Worker) pullLSABatchTiered(owner int, peer sidecar.WorkerAPI, reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSAsReply, error) {
+	if w.wireDedup && !w.peerLacksWirePull(owner) {
+		replies, err := peer.PullLSABatchWire(reqs)
+		if err == nil {
+			return replies, nil
+		}
+		if !isNoBatchErr(err) {
+			return nil, err
+		}
+		w.markNoWirePull(owner)
+	}
+	return peer.PullLSABatch(reqs)
 }
 
 // isNoBatchErr matches net/rpc's rejection of an unregistered method —
@@ -581,7 +649,7 @@ func (w *Worker) GatherBGP() error {
 				Since: st.Version, Seen: st.Seen,
 			}
 		}
-		replies, err := peer.PullBGPBatch(reqs)
+		replies, err := w.pullBGPBatchTiered(owner, peer, reqs)
 		if err != nil && isNoBatchErr(err) {
 			// Old peer binary: remember and fall back to per-pull calls.
 			w.markNoBatch(owner)
@@ -809,7 +877,7 @@ func (w *Worker) GatherOSPF() error {
 				Since: st.Version, Seen: st.Seen,
 			}
 		}
-		replies, err := peer.PullLSABatch(reqs)
+		replies, err := w.pullLSABatchTiered(owner, peer, reqs)
 		if err != nil && isNoBatchErr(err) {
 			w.markNoBatch(owner)
 			for k, ref := range refs {
@@ -1081,6 +1149,79 @@ func (w *Worker) EndShard() (sidecar.EndShardReply, error) {
 	}
 	reply.ModelBytes = w.tracker.Current()
 	return reply, w.tracker.CheckBudget()
+}
+
+// ApplyDelta implements sidecar.WorkerAPI: swap changed local device
+// models into resident state after a converged run, without the full reset
+// of Setup. Changed devices get their BGP processes rebuilt (every shard
+// round cold-resets them anyway, so a fresh process is indistinguishable
+// from a reset one), and prefixes no device originates any more are purged
+// from the accumulated per-node results. OSPF processes are deliberately
+// left alone: any delta that could change OSPF behaviour classifies as a
+// topology change on the controller and takes the full Setup path instead.
+func (w *Worker) ApplyDelta(req sidecar.DeltaRequest) (sidecar.DeltaReply, error) {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
+	span := w.obsWorkerSpan("apply-delta")
+	defer span.End()
+	w.flight.Record("phase", "apply-delta: %d configs, %d purged prefixes",
+		len(req.Configs), len(req.PurgePrefixes))
+	var reply sidecar.DeltaReply
+	if len(req.Configs) > 0 {
+		files := make(map[string]string, len(req.Configs))
+		for name, text := range req.Configs {
+			files[name+".cfg"] = text
+		}
+		snap, err := config.ParseTexts(files)
+		if err != nil {
+			return reply, fmt.Errorf("core: worker %d parsing delta configs: %w", w.id, err)
+		}
+		for name, dev := range snap.Devices {
+			if _, ok := w.devices[name]; !ok {
+				return reply, fmt.Errorf("core: worker %d received delta for non-local device %q", w.id, name)
+			}
+			w.devices[name] = dev
+			if dev.BGP != nil {
+				w.bgpProcs[name] = bgp.NewProcess(dev, w.sessions[name], w.tracker)
+			} else {
+				delete(w.bgpProcs, name)
+			}
+			reply.Devices++
+		}
+	}
+	if len(req.PurgePrefixes) > 0 {
+		for _, name := range w.localNames {
+			for _, p := range req.PurgePrefixes {
+				w.fibRIBs[name].Remove(p)
+				if w.keepRIBs {
+					w.finalRIBs[name].Remove(p)
+				}
+			}
+		}
+		// In spill mode the in-memory removal above is not enough: ComputeDP
+		// replays every spill file in write order, which would resurrect the
+		// purged prefixes. Append a purge record — non-nil Prefixes (nil
+		// means clear-all) with no routes — so the replay forgets them too.
+		if w.spillDir != "" && len(w.spills) > 0 {
+			path := filepath.Join(w.spillDir, fmt.Sprintf("w%d-delta-purge-run%d.gob", w.id, len(w.spills)))
+			f, err := os.Create(path)
+			if err != nil {
+				return reply, fmt.Errorf("core: worker %d spilling delta purge: %w", w.id, err)
+			}
+			payload := spillPayload{Prefixes: req.PurgePrefixes, Routes: map[string][]*route.Route{}}
+			if err := gob.NewEncoder(f).Encode(payload); err != nil {
+				f.Close()
+				os.Remove(path)
+				return reply, fmt.Errorf("core: worker %d spilling delta purge: %w", w.id, err)
+			}
+			if err := f.Close(); err != nil {
+				os.Remove(path)
+				return reply, fmt.Errorf("core: worker %d spilling delta purge: %w", w.id, err)
+			}
+			w.spills = append(w.spills, path)
+		}
+	}
+	return reply, nil
 }
 
 // ComputeDP implements sidecar.WorkerAPI: build FIBs and per-port

@@ -342,6 +342,15 @@ func (n *nullWorker) Stats() (sidecar.WorkerStats, error) {
 func (n *nullWorker) PullSpans(sidecar.PullSpansRequest) (sidecar.PullSpansReply, error) {
 	return sidecar.PullSpansReply{}, nil
 }
+func (n *nullWorker) PullBGPBatchWire(reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
+	return make([]sidecar.PullBGPReply, len(reqs)), nil
+}
+func (n *nullWorker) PullLSABatchWire(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSAsReply, error) {
+	return make([]sidecar.PullLSAsReply, len(reqs)), nil
+}
+func (n *nullWorker) ApplyDelta(sidecar.DeltaRequest) (sidecar.DeltaReply, error) {
+	return sidecar.DeltaReply{}, nil
+}
 
 func TestInjectorNthCall(t *testing.T) {
 	inner := &nullWorker{}

@@ -207,6 +207,27 @@ func (j *Injector) PullLSABatch(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullL
 	return j.inner.PullLSABatch(reqs)
 }
 
+func (j *Injector) PullBGPBatchWire(reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
+	if err := j.before("PullBGPBatchWire"); err != nil {
+		return nil, err
+	}
+	return j.inner.PullBGPBatchWire(reqs)
+}
+
+func (j *Injector) PullLSABatchWire(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSAsReply, error) {
+	if err := j.before("PullLSABatchWire"); err != nil {
+		return nil, err
+	}
+	return j.inner.PullLSABatchWire(reqs)
+}
+
+func (j *Injector) ApplyDelta(req sidecar.DeltaRequest) (sidecar.DeltaReply, error) {
+	if err := j.before("ApplyDelta"); err != nil {
+		return sidecar.DeltaReply{}, err
+	}
+	return j.inner.ApplyDelta(req)
+}
+
 func (j *Injector) ComputeDP() (sidecar.ComputeDPReply, error) {
 	if err := j.before("ComputeDP"); err != nil {
 		return sidecar.ComputeDPReply{}, err

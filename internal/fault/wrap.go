@@ -115,6 +115,36 @@ func (w *wrapped) PullLSABatch(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLS
 	return replies, err
 }
 
+func (w *wrapped) PullBGPBatchWire(reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
+	var replies []sidecar.PullBGPReply
+	err := w.c.Do("PullBGPBatchWire", true, func() error {
+		var err error
+		replies, err = w.api.PullBGPBatchWire(reqs)
+		return err
+	})
+	return replies, err
+}
+
+func (w *wrapped) PullLSABatchWire(reqs []sidecar.PullLSAsRequest) ([]sidecar.PullLSAsReply, error) {
+	var replies []sidecar.PullLSAsReply
+	err := w.c.Do("PullLSABatchWire", true, func() error {
+		var err error
+		replies, err = w.api.PullLSABatchWire(reqs)
+		return err
+	})
+	return replies, err
+}
+
+func (w *wrapped) ApplyDelta(req sidecar.DeltaRequest) (sidecar.DeltaReply, error) {
+	var reply sidecar.DeltaReply
+	err := w.c.Do("ApplyDelta", true, func() error {
+		var err error
+		reply, err = w.api.ApplyDelta(req)
+		return err
+	})
+	return reply, err
+}
+
 func (w *wrapped) ComputeDP() (sidecar.ComputeDPReply, error) {
 	var reply sidecar.ComputeDPReply
 	err := w.c.Do("ComputeDP", true, func() error {

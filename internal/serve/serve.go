@@ -1,0 +1,257 @@
+// Package serve is the verification-as-a-service layer: it wraps a
+// resident s2.Verifier — booted once, converged state kept warm across
+// requests — with an HTTP/JSON API for staging config deltas, triggering
+// incremental re-verification, and answering queries from the resident
+// state without re-running the pipeline.
+//
+// Endpoints:
+//
+//	POST /v1/configs  stage changes: {"set": {...}, "remove": [...]} for
+//	                  per-device deltas, or {"snapshot": {...}} to replace
+//	                  the whole config set (devices absent from the
+//	                  snapshot are removed).
+//	POST /v1/verify   apply staged changes and re-verify incrementally;
+//	                  returns the delta report (mode, dirty shards, epoch).
+//	GET  /v1/queries  warm queries: ?type=allpairs|ribs|routecount
+//	                  (&device=NAME filters ribs).
+//	GET  /v1/epoch    the verified-state epoch.
+//	GET  /v1/status   epoch, device count, staged-change count, last delta.
+//	GET  /metrics     Prometheus text exposition (when wired with a
+//	                  registry).
+//
+// Epoch semantics: the epoch advances once per completed verification —
+// the boot run, every successful /v1/verify (even a semantic no-op), and
+// nothing else. Query responses carry the epoch they were answered at;
+// the all-pairs report is cached per epoch, so repeated queries between
+// verifies are free.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"s2"
+	"s2/internal/obs"
+)
+
+// Server holds the resident verifier and the staged-but-unverified config
+// changes. All verifier operations are serialized: the underlying pipeline
+// orchestrates multi-step worker phases that must not interleave.
+type Server struct {
+	mu sync.Mutex
+	v  *s2.Verifier
+
+	staged  map[string]string // device → replacement text
+	removed map[string]bool   // device → staged removal
+
+	// Warm-query cache, keyed by epoch: between verifies the all-pairs
+	// report is immutable.
+	cacheEpoch  uint64
+	cacheReport *s2.ReachabilityReport
+
+	lastDelta *s2.DeltaReport
+	reg       *obs.Registry
+	started   time.Time
+}
+
+// New wraps a booted verifier. reg, when non-nil, backs GET /metrics.
+func New(v *s2.Verifier, reg *obs.Registry) *Server {
+	return &Server{
+		v:       v,
+		staged:  map[string]string{},
+		removed: map[string]bool{},
+		reg:     reg,
+		started: time.Now(),
+	}
+}
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/configs", s.handleConfigs)
+	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/v1/queries", s.handleQueries)
+	mux.HandleFunc("/v1/epoch", s.handleEpoch)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	if s.reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			s.reg.WritePrometheus(w)
+		})
+	}
+	return mux
+}
+
+// configsRequest stages config changes. Exactly one shape applies per
+// request: snapshot replaces everything; set/remove are per-device deltas.
+type configsRequest struct {
+	// Set maps device names to replacement config texts (add or modify; a
+	// text whose parsed hostname differs renames the device).
+	Set map[string]string `json:"set"`
+	// Remove lists devices to delete.
+	Remove []string `json:"remove"`
+	// Snapshot, when non-empty, replaces the entire config set: devices
+	// absent from it are removed.
+	Snapshot map[string]string `json:"snapshot"`
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req configsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Snapshot) > 0 && (len(req.Set) > 0 || len(req.Remove) > 0) {
+		writeError(w, http.StatusBadRequest, "snapshot and set/remove are mutually exclusive")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(req.Snapshot) > 0 {
+		// Full replacement: stage every snapshot device and the removal of
+		// every current device the snapshot no longer has.
+		s.staged = map[string]string{}
+		s.removed = map[string]bool{}
+		for name, text := range req.Snapshot {
+			s.staged[name] = text
+		}
+		for _, name := range s.v.Devices() {
+			if _, ok := req.Snapshot[name]; !ok {
+				s.removed[name] = true
+			}
+		}
+	} else {
+		for name, text := range req.Set {
+			delete(s.removed, name)
+			s.staged[name] = text
+		}
+		for _, name := range req.Remove {
+			delete(s.staged, name)
+			s.removed[name] = true
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"staged":  len(s.staged),
+		"removed": len(s.removed),
+		"epoch":   s.v.Epoch(),
+	})
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.staged
+	var remove []string
+	for name := range s.removed {
+		remove = append(remove, name)
+	}
+	sort.Strings(remove)
+	report, err := s.v.ApplyDelta(set, remove)
+	if err != nil {
+		// Staged changes stay staged: the caller can fix and re-verify.
+		writeError(w, http.StatusUnprocessableEntity, "verification failed: %v", err)
+		return
+	}
+	s.staged = map[string]string{}
+	s.removed = map[string]bool{}
+	s.lastDelta = report
+	writeJSON(w, http.StatusOK, report)
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	kind := r.URL.Query().Get("type")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch := s.v.Epoch()
+	switch kind {
+	case "", "allpairs":
+		if s.cacheReport == nil || s.cacheEpoch != epoch {
+			report, err := s.v.CheckAllPairs()
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "all-pairs: %v", err)
+				return
+			}
+			s.cacheReport, s.cacheEpoch = report, epoch
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":      epoch,
+			"ok":         s.cacheReport.OK(),
+			"sources":    s.cacheReport.Sources,
+			"dests":      s.cacheReport.Dests,
+			"unreached":  s.cacheReport.Unreached,
+			"violations": s.cacheReport.Violations,
+		})
+	case "ribs":
+		ribs, err := s.v.RIBs()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "ribs: %v", err)
+			return
+		}
+		if dev := r.URL.Query().Get("device"); dev != "" {
+			routes, ok := ribs[dev]
+			if !ok {
+				writeError(w, http.StatusNotFound, "unknown device %q", dev)
+				return
+			}
+			ribs = map[string][]string{dev: routes}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "ribs": ribs})
+	case "routecount":
+		n, err := s.v.RouteCount()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "routecount: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "routes": n})
+	default:
+		writeError(w, http.StatusBadRequest, "unknown query type %q (want allpairs, ribs, or routecount)", kind)
+	}
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": s.v.Epoch()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":          s.v.Epoch(),
+		"devices":        len(s.v.Devices()),
+		"staged":         len(s.staged),
+		"staged_removes": len(s.removed),
+		"last_delta":     s.lastDelta,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

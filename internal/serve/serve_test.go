@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"s2"
+	"s2/internal/synth"
+)
+
+// bootServer builds a fat-tree verifier, runs the boot verification, and
+// wraps it in a test HTTP server.
+func bootServer(t *testing.T) (*httptest.Server, map[string]string) {
+	t.Helper()
+	texts, err := synth.FatTree(synth.FatTreeOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network, err := s2.LoadConfigs(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s2.NewVerifier(network, s2.Options{Workers: 2, Shards: 4, Seed: 5, KeepRIBs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { v.Close() })
+	if _, err := v.ComputeDataPlane(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(v, nil).Handler())
+	t.Cleanup(ts.Close)
+	return ts, texts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return body
+}
+
+func postJSON(t *testing.T, url string, req any, wantStatus int) map[string]any {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d (body %v)", url, resp.StatusCode, wantStatus, body)
+	}
+	return body
+}
+
+func TestServeDeltaLifecycle(t *testing.T) {
+	ts, texts := bootServer(t)
+
+	// Boot state: epoch 1, clean all-pairs, warm queries answer.
+	if got := getJSON(t, ts.URL+"/v1/epoch", 200)["epoch"].(float64); got != 1 {
+		t.Fatalf("boot epoch = %v, want 1", got)
+	}
+	ap := getJSON(t, ts.URL+"/v1/queries?type=allpairs", 200)
+	if ap["ok"] != true || ap["epoch"].(float64) != 1 {
+		t.Fatalf("boot all-pairs: %v", ap)
+	}
+	rc := getJSON(t, ts.URL+"/v1/queries?type=routecount", 200)
+	if rc["routes"].(float64) <= 0 {
+		t.Fatalf("routecount: %v", rc)
+	}
+	ribs := getJSON(t, ts.URL+"/v1/queries?type=ribs&device=edge-0-0", 200)
+	if _, ok := ribs["ribs"].(map[string]any)["edge-0-0"]; !ok {
+		t.Fatalf("ribs for edge-0-0 missing: %v", ribs)
+	}
+
+	// Stage a description-only delta and verify: dp mode, epoch advances.
+	edited := strings.Replace(texts["agg-0-0"], "description link to", "description uplink to", 1)
+	staged := postJSON(t, ts.URL+"/v1/configs",
+		map[string]any{"set": map[string]string{"agg-0-0": edited}}, 200)
+	if staged["staged"].(float64) != 1 {
+		t.Fatalf("staged: %v", staged)
+	}
+	rep := postJSON(t, ts.URL+"/v1/verify", map[string]any{}, 200)
+	if rep["Mode"] != "dp" || rep["Epoch"].(float64) != 2 {
+		t.Fatalf("dp delta report: %v", rep)
+	}
+
+	// Status reflects the applied delta and empty staging area.
+	st := getJSON(t, ts.URL+"/v1/status", 200)
+	if st["staged"].(float64) != 0 || st["epoch"].(float64) != 2 {
+		t.Fatalf("status: %v", st)
+	}
+
+	// Withdraw an origination: shards mode, answers still clean and warm.
+	var netLine string
+	for _, line := range strings.Split(texts["edge-1-0"], "\n") {
+		if strings.HasPrefix(line, " network ") {
+			netLine = line
+			break
+		}
+	}
+	if netLine == "" {
+		t.Fatal("no network line in edge-1-0")
+	}
+	withdrawn := strings.Replace(texts["edge-1-0"], netLine+"\n", "", 1)
+	postJSON(t, ts.URL+"/v1/configs",
+		map[string]any{"set": map[string]string{"edge-1-0": withdrawn}}, 200)
+	rep = postJSON(t, ts.URL+"/v1/verify", map[string]any{}, 200)
+	if rep["Mode"] != "shards" || rep["Epoch"].(float64) != 3 {
+		t.Fatalf("shards delta report: %v", rep)
+	}
+	ap = getJSON(t, ts.URL+"/v1/queries?type=allpairs", 200)
+	if ap["ok"] != true || ap["epoch"].(float64) != 3 {
+		t.Fatalf("post-delta all-pairs: %v", ap)
+	}
+
+	// Full-snapshot replacement removing one device: full mode.
+	snapshot := map[string]string{}
+	for name, text := range texts {
+		snapshot[name] = text
+	}
+	snapshot["edge-1-0"] = withdrawn
+	delete(snapshot, "edge-1-1")
+	staged = postJSON(t, ts.URL+"/v1/configs", map[string]any{"snapshot": snapshot}, 200)
+	if staged["removed"].(float64) != 1 {
+		t.Fatalf("snapshot staging: %v", staged)
+	}
+	rep = postJSON(t, ts.URL+"/v1/verify", map[string]any{}, 200)
+	if rep["Mode"] != "full" || fmt.Sprint(rep["Removed"]) != "[edge-1-1]" {
+		t.Fatalf("snapshot delta report: %v", rep)
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	ts, _ := bootServer(t)
+
+	// Wrong methods.
+	resp, err := http.Get(ts.URL + "/v1/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/verify: %d", resp.StatusCode)
+	}
+
+	// Unknown query type and unknown device.
+	getJSON(t, ts.URL+"/v1/queries?type=bogus", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/v1/queries?type=ribs&device=nope", http.StatusNotFound)
+
+	// Bad JSON.
+	br, err := http.Post(ts.URL+"/v1/configs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.Body.Close()
+	if br.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d", br.StatusCode)
+	}
+
+	// A config that fails to parse: verify fails, staging survives, and a
+	// corrected re-verify succeeds.
+	postJSON(t, ts.URL+"/v1/configs",
+		map[string]any{"set": map[string]string{"edge-0-0": "hostname edge-0-0\ninterface"}}, 200)
+	postJSON(t, ts.URL+"/v1/verify", map[string]any{}, http.StatusUnprocessableEntity)
+	st := getJSON(t, ts.URL+"/v1/status", 200)
+	if st["staged"].(float64) != 1 {
+		t.Fatalf("failed verify must keep staging: %v", st)
+	}
+}

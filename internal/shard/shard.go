@@ -251,6 +251,12 @@ func mergePrefixDeps(existing, add []route.Prefix, self route.Prefix) []route.Pr
 	return out
 }
 
+// Components returns the weakly connected components of the DPDG, each as a
+// sorted prefix slice, ordered deterministically (by first prefix). The
+// delta planner uses this to expand a set of changed prefixes to the full
+// dependency closure that must re-simulate together.
+func (d *DPDG) Components() [][]route.Prefix { return d.components() }
+
 // components returns the weakly connected components of the DPDG, each as a
 // sorted prefix slice, ordered deterministically (by first prefix).
 func (d *DPDG) components() [][]route.Prefix {

@@ -185,6 +185,38 @@ type PullLSABatchReply struct {
 	Replies []PullLSAsReply
 }
 
+// PullWireReply carries a batch-pull reply set as one compact varint
+// payload (wirecodec.go) instead of gob-encoded structs — the control-plane
+// analogue of the data plane's shared-substrate wire codec. Workers fall
+// back to the gob batch RPCs against peers that predate it.
+type PullWireReply struct {
+	Payload []byte
+}
+
+// DeltaRequest applies a configuration delta to a worker's resident state:
+// re-parse and swap the named LOCAL devices in place (rebuilding their BGP
+// processes) and drop routes for prefixes that no longer exist anywhere in
+// the network. It deliberately does NOT touch OSPF state — any change that
+// could affect OSPF classifies as a topology change and takes the full
+// re-Setup path instead.
+type DeltaRequest struct {
+	// Configs holds the new raw configuration text of changed local
+	// devices, keyed by hostname.
+	Configs map[string]string
+	// PurgePrefixes lists prefixes originated under the previous snapshot
+	// but by no device under the new one; every worker removes them from
+	// its resident per-node RIBs (results accumulate per prefix, so
+	// nothing else would ever overwrite them).
+	PurgePrefixes []route.Prefix
+	TC            TraceContext
+}
+
+// DeltaReply reports what the worker swapped.
+type DeltaReply struct {
+	// Devices is the number of local device models replaced.
+	Devices int
+}
+
 // ComputeDPReply summarizes FIB and predicate compilation.
 type ComputeDPReply struct {
 	FIBEntries int
@@ -332,6 +364,18 @@ type WorkerAPI interface {
 	// against peers that predate these methods.
 	PullBGPBatch(reqs []PullBGPRequest) ([]PullBGPReply, error)
 	PullLSABatch(reqs []PullLSAsRequest) ([]PullLSAsReply, error)
+	// PullBGPBatchWire and PullLSABatchWire are the batch pulls with the
+	// reply set varint-encoded on the wire (PullWireReply) instead of gob.
+	// In-process they are identical to the gob batches; workers fall back
+	// per peer when the remote end predates them.
+	PullBGPBatchWire(reqs []PullBGPRequest) ([]PullBGPReply, error)
+	PullLSABatchWire(reqs []PullLSAsRequest) ([]PullLSAsReply, error)
+
+	// ApplyDelta swaps changed local device models into resident state
+	// after a converged run, without a full re-Setup. Not idempotent in
+	// principle (it mutates resident RIBs), but safe to retry in practice
+	// because the swap is deterministic from the request.
+	ApplyDelta(req DeltaRequest) (DeltaReply, error)
 
 	ComputeDP() (ComputeDPReply, error)
 	BeginQuery(req QueryRequest) error
@@ -509,6 +553,48 @@ func (s *Service) PullLSABatch(reqs []PullLSAsRequest, reply *PullLSABatchReply)
 	return s.do("PullLSABatch", tc, func() error {
 		replies, err := s.api.PullLSABatch(reqs)
 		reply.Replies = replies
+		return err
+	})
+}
+
+// PullBGPBatchWire RPC: the reply set crosses the wire as one varint
+// payload instead of gob structs.
+func (s *Service) PullBGPBatchWire(reqs []PullBGPRequest, reply *PullWireReply) error {
+	var tc TraceContext
+	if len(reqs) > 0 {
+		tc = reqs[0].TC
+	}
+	return s.do("PullBGPBatchWire", tc, func() error {
+		replies, err := s.api.PullBGPBatchWire(reqs)
+		if err != nil {
+			return err
+		}
+		reply.Payload = EncodeBGPReplies(replies)
+		return nil
+	})
+}
+
+// PullLSABatchWire RPC.
+func (s *Service) PullLSABatchWire(reqs []PullLSAsRequest, reply *PullWireReply) error {
+	var tc TraceContext
+	if len(reqs) > 0 {
+		tc = reqs[0].TC
+	}
+	return s.do("PullLSABatchWire", tc, func() error {
+		replies, err := s.api.PullLSABatchWire(reqs)
+		if err != nil {
+			return err
+		}
+		reply.Payload = EncodeLSAReplies(replies)
+		return nil
+	})
+}
+
+// ApplyDelta RPC.
+func (s *Service) ApplyDelta(req DeltaRequest, reply *DeltaReply) error {
+	return s.do("ApplyDelta", req.TC, func() error {
+		r, err := s.api.ApplyDelta(req)
+		*reply = r
 		return err
 	})
 }
@@ -961,6 +1047,38 @@ func (r *RemoteWorker) PullLSABatch(reqs []PullLSAsRequest) ([]PullLSAsReply, er
 	return reply.Replies, err
 }
 
+// PullBGPBatchWire implements WorkerAPI: the reply set arrives as one
+// varint payload and is decoded client-side.
+func (r *RemoteWorker) PullBGPBatchWire(reqs []PullBGPRequest) ([]PullBGPReply, error) {
+	if len(reqs) > 0 {
+		reqs[0].TC = r.takeTC()
+	}
+	reply, err := rcall[PullWireReply](r, "PullBGPBatchWire", true, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBGPReplies(reply.Payload)
+}
+
+// PullLSABatchWire implements WorkerAPI.
+func (r *RemoteWorker) PullLSABatchWire(reqs []PullLSAsRequest) ([]PullLSAsReply, error) {
+	if len(reqs) > 0 {
+		reqs[0].TC = r.takeTC()
+	}
+	reply, err := rcall[PullWireReply](r, "PullLSABatchWire", true, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeLSAReplies(reply.Payload)
+}
+
+// ApplyDelta implements WorkerAPI. Retry-safe: the swap is deterministic
+// from the request and purges are idempotent.
+func (r *RemoteWorker) ApplyDelta(req DeltaRequest) (DeltaReply, error) {
+	req.TC = r.takeTC()
+	return rcall[DeltaReply](r, "ApplyDelta", true, req)
+}
+
 // ComputeDP implements WorkerAPI.
 func (r *RemoteWorker) ComputeDP() (ComputeDPReply, error) {
 	return rcall[ComputeDPReply](r, "ComputeDP", true, CallMeta{TC: r.takeTC()})
@@ -1039,7 +1157,7 @@ func PhaseClass(method string) bool {
 	switch method {
 	case "Setup", "BeginShard", "GatherBGP", "ApplyBGP", "GatherOSPF",
 		"ApplyOSPF", "EndShard", "ComputeDP", "BeginQuery", "Inject",
-		"DPRound", "FinishQuery":
+		"DPRound", "FinishQuery", "ApplyDelta":
 		return true
 	}
 	return false
@@ -1191,6 +1309,36 @@ func (o *observed) PullLSABatch(reqs []PullLSAsRequest) ([]PullLSAsReply, error)
 		return err
 	})
 	return replies, err
+}
+
+func (o *observed) PullBGPBatchWire(reqs []PullBGPRequest) ([]PullBGPReply, error) {
+	var replies []PullBGPReply
+	err := o.obs("PullBGPBatchWire", func() error {
+		var err error
+		replies, err = o.api.PullBGPBatchWire(reqs)
+		return err
+	})
+	return replies, err
+}
+
+func (o *observed) PullLSABatchWire(reqs []PullLSAsRequest) ([]PullLSAsReply, error) {
+	var replies []PullLSAsReply
+	err := o.obs("PullLSABatchWire", func() error {
+		var err error
+		replies, err = o.api.PullLSABatchWire(reqs)
+		return err
+	})
+	return replies, err
+}
+
+func (o *observed) ApplyDelta(req DeltaRequest) (DeltaReply, error) {
+	var reply DeltaReply
+	err := o.obs("ApplyDelta", func() error {
+		var err error
+		reply, err = o.api.ApplyDelta(req)
+		return err
+	})
+	return reply, err
 }
 
 func (o *observed) ComputeDP() (ComputeDPReply, error) {

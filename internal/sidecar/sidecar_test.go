@@ -92,6 +92,18 @@ func (s *stubWorker) PullLSABatch(reqs []PullLSAsRequest) ([]PullLSAsReply, erro
 	return replies, nil
 }
 
+func (s *stubWorker) PullBGPBatchWire(reqs []PullBGPRequest) ([]PullBGPReply, error) {
+	return s.PullBGPBatch(reqs)
+}
+
+func (s *stubWorker) PullLSABatchWire(reqs []PullLSAsRequest) ([]PullLSAsReply, error) {
+	return s.PullLSABatch(reqs)
+}
+
+func (s *stubWorker) ApplyDelta(req DeltaRequest) (DeltaReply, error) {
+	return DeltaReply{Devices: len(req.Configs)}, nil
+}
+
 func (s *stubWorker) ComputeDP() (ComputeDPReply, error) {
 	return ComputeDPReply{FIBEntries: 7, BDDNodes: 100}, nil
 }

@@ -1,0 +1,127 @@
+package sidecar
+
+import (
+	"reflect"
+	"testing"
+
+	"s2/internal/bgp"
+	"s2/internal/ospf"
+	"s2/internal/route"
+)
+
+func TestBGPWireCodecRoundTrip(t *testing.T) {
+	mkRoute := func(addr uint32, nhNode string, path []uint32) *route.Route {
+		return &route.Route{
+			Prefix:       route.MakePrefix(addr, 24),
+			Protocol:     route.BGP,
+			NextHop:      0x0a000001,
+			NextHopNode:  nhNode,
+			Metric:       5,
+			ASPath:       path,
+			LocalPref:    100,
+			Origin:       route.OriginIGP,
+			Communities:  []route.Community{route.MakeCommunity(65000, 7)},
+			OriginatorID: 0x01000002,
+			PeerAS:       65002,
+		}
+	}
+	cases := [][]PullBGPReply{
+		nil,
+		{},
+		{{Version: 3, Fresh: false}},
+		{
+			{
+				Version: 42,
+				Fresh:   true,
+				Advs: []bgp.Advertisement{
+					{Route: mkRoute(0x0a800000, "edge-0-0", []uint32{65001, 65002})},
+					{Route: mkRoute(0x0a800100, "edge-0-0", []uint32{65001})},
+					{Route: mkRoute(0x0a800200, "agg-1-1", nil)},
+				},
+			},
+			{Version: 7, Fresh: true, Advs: []bgp.Advertisement{{Route: mkRoute(0x0a800300, "edge-0-0", nil)}}},
+			{Version: 9, Fresh: false},
+		},
+	}
+	for i, replies := range cases {
+		payload := EncodeBGPReplies(replies)
+		got, err := DecodeBGPReplies(payload)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		want := replies
+		if want == nil {
+			want = []PullBGPReply{}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("case %d: got %d replies, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j].Version != want[j].Version || got[j].Fresh != want[j].Fresh {
+				t.Fatalf("case %d reply %d: header mismatch: %+v vs %+v", i, j, got[j], want[j])
+			}
+			if len(got[j].Advs) != len(want[j].Advs) {
+				t.Fatalf("case %d reply %d: %d advs, want %d", i, j, len(got[j].Advs), len(want[j].Advs))
+			}
+			for k := range want[j].Advs {
+				if !got[j].Advs[k].Route.Equal(want[j].Advs[k].Route) {
+					t.Fatalf("case %d reply %d adv %d: route mismatch:\n got %v\nwant %v",
+						i, j, k, got[j].Advs[k].Route, want[j].Advs[k].Route)
+				}
+			}
+		}
+	}
+}
+
+func TestBGPWireCodecSmallerThanNaive(t *testing.T) {
+	// Many routes sharing one next-hop node: the interned string table
+	// should make repeats nearly free.
+	var advs []bgp.Advertisement
+	for i := 0; i < 200; i++ {
+		advs = append(advs, bgp.Advertisement{Route: &route.Route{
+			Prefix:      route.MakePrefix(0x0a800000+uint32(i)*256, 24),
+			Protocol:    route.BGP,
+			NextHopNode: "a-rather-long-device-hostname-0-0",
+			ASPath:      []uint32{65001, 65002, 65003},
+		}})
+	}
+	payload := EncodeBGPReplies([]PullBGPReply{{Version: 1, Fresh: true, Advs: advs}})
+	naive := 200 * len("a-rather-long-device-hostname-0-0")
+	if len(payload) >= naive {
+		t.Fatalf("payload %d bytes, expected well under the %d bytes of repeated names alone", len(payload), naive)
+	}
+}
+
+func TestLSAWireCodecRoundTrip(t *testing.T) {
+	replies := []PullLSAsReply{
+		{Version: 11, Fresh: true, LSAs: []*ospf.LSA{
+			{
+				Router:   "r1",
+				RouterID: 0x01000001,
+				Links:    []ospf.LSALink{{Neighbor: "r2", Cost: 10}, {Neighbor: "r3", Cost: 20}},
+				Stubs:    []ospf.LSAStub{{Prefix: route.MakePrefix(0x0a800000, 24), Cost: 1}},
+			},
+			{Router: "r2", RouterID: 0x01000002, Links: []ospf.LSALink{{Neighbor: "r1", Cost: 10}}},
+			nil,
+		}},
+		{Version: 12, Fresh: false},
+	}
+	payload := EncodeLSAReplies(replies)
+	got, err := DecodeLSAReplies(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, replies) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, replies)
+	}
+}
+
+func TestWireCodecRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBGPReplies([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("expected error on truncated payload")
+	}
+	good := EncodeBGPReplies([]PullBGPReply{{Version: 1, Fresh: true}})
+	if _, err := DecodeBGPReplies(append(good, 0x00)); err == nil {
+		t.Fatal("expected error on trailing bytes")
+	}
+}

@@ -380,8 +380,77 @@ func (v *Verifier) FaultStats() map[string]int64 {
 func (v *Verifier) Progress() core.Progress { return v.ctrl.Progress() }
 
 // Close stops the failure detector and tears down worker connections. The
-// verifier is unusable afterwards.
+// verifier is unusable afterwards. Close is idempotent and safe to call
+// concurrently with in-flight queries.
 func (v *Verifier) Close() error { return v.ctrl.Close() }
+
+// DeltaReport describes one applied configuration delta and the
+// re-verification it triggered.
+type DeltaReport struct {
+	// Class is the most invasive per-device change class: "none", "dp",
+	// "orig", "policy", or "topo".
+	Class string
+	// Mode is the re-verification path taken: "noop" (nothing semantic
+	// changed), "dp" (data-plane recompute only), "shards" (dirty prefix
+	// shards re-simulated), or "full" (complete pipeline).
+	Mode string
+	// Changed maps modified devices to their change class; Added and
+	// Removed list devices that appeared or disappeared (a rename is a
+	// remove plus an add).
+	Changed map[string]string
+	Added   []string
+	Removed []string
+	// DirtyShards is how many prefix-shard rounds were re-simulated;
+	// TotalShards is the shard count of the new verified state.
+	DirtyShards int
+	TotalShards int
+	// Epoch is the verified-state epoch after the delta.
+	Epoch uint64
+	// Warnings are FIB resolution warnings from the data-plane compute.
+	Warnings []string
+}
+
+// ApplyDelta applies per-device configuration changes to the resident
+// verified state and re-verifies incrementally: set maps device names to
+// replacement config texts (a text whose parsed hostname differs renames
+// the device) and remove lists devices to delete. Only the shards whose
+// prefixes the delta can affect are re-simulated; topology-class changes
+// fall back to a full re-run. On return the verifier answers queries for
+// the new configs exactly as if they had been verified from cold.
+func (v *Verifier) ApplyDelta(set map[string]string, remove []string) (*DeltaReport, error) {
+	res, err := v.ctrl.ApplyDelta(set, remove)
+	if err != nil {
+		return nil, err
+	}
+	v.cpDone, v.dpDone = true, true
+	changed := make(map[string]string, len(res.Changed))
+	for name, cl := range res.Changed {
+		changed[name] = cl.String()
+	}
+	return &DeltaReport{
+		Class:       res.Class.String(),
+		Mode:        res.Mode,
+		Changed:     changed,
+		Added:       res.Added,
+		Removed:     res.Removed,
+		DirtyShards: res.DirtyShards,
+		TotalShards: res.TotalShards,
+		Epoch:       res.Epoch,
+		Warnings:    res.Warnings,
+	}, nil
+}
+
+// Epoch returns the verified-state epoch: 0 until the first verification
+// completes, then +1 per completed run or accepted delta. Safe from any
+// goroutine.
+func (v *Verifier) Epoch() uint64 { return v.ctrl.Epoch() }
+
+// Devices returns the device hostnames of the currently verified
+// configuration snapshot, sorted.
+func (v *Verifier) Devices() []string { return v.ctrl.DeviceNames() }
+
+// ConfigText returns the raw config text of one device ("" if unknown).
+func (v *Verifier) ConfigText(device string) string { return v.ctrl.ConfigText(device) }
 
 // HarvestSpans drains remote workers' span export rings into the verifier's
 // trace now. Normally unnecessary — harvests piggyback on stage boundaries
