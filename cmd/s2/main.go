@@ -51,6 +51,8 @@ func main() {
 		showReport = flag.Bool("report", false, "print the per-worker × per-stage attribution table after the run")
 		reportJSON = flag.String("report-json", "", "write the attribution report as JSON to this file (- for stdout)")
 		flightLog  = flag.String("flight-log", "", "write the controller's flight-recorder events to this file at exit")
+		logLevel   = flag.String("log-level", "warn", "structured log level on stderr: debug|info|warn|error|off")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: logfmt-style text)")
 		verbose    = flag.Bool("v", false, "print phase timings and per-worker stats")
 	)
 	flag.Parse()
@@ -58,6 +60,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Structured logs go to stderr: stdout is the report surface and is
+	// diffed by the comparison harnesses.
+	level, err := obs.ParseLogLevel(*logLevel)
+	fatal(err)
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 
 	net, err := s2.LoadDirectory(*configs)
 	fatal(err)
@@ -83,6 +91,7 @@ func main() {
 		Parallelism:       *procs,
 		DisableBatchPulls: *noBatch,
 		DisableWireDedup:  *noWire,
+		Logger:            logger,
 	}
 	if *workerAddr != "" {
 		opts.WorkerAddrs = strings.Split(*workerAddr, ",")

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"s2/internal/experiments"
+	"s2/internal/obs"
 )
 
 var figures = map[int]struct {
@@ -56,8 +57,19 @@ func main() {
 		procs   = flag.Int("procs", 0, "per-worker goroutine pool for S2 runs (0 = all CPUs, 1 = sequential)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (after all figures) to this file")
+		logLvl  = flag.String("log-level", "off", "structured controller/worker log level on stderr: debug|info|warn|error|off")
+		logJSON = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: logfmt-style text)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLvl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2bench:", err)
+		os.Exit(2)
+	}
+	if level != obs.LevelOff {
+		experiments.SetLogger(obs.NewLogger(os.Stderr, level, *logJSON))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -4,11 +4,17 @@
 // API for staging config deltas (POST /v1/configs), incremental
 // re-verification (POST /v1/verify), and warm queries (GET /v1/queries).
 //
+// Serving-mode telemetry rides along: per-request traces (GET
+// /debug/traces), a delta audit journal (GET /v1/audit, -audit-log),
+// structured logs (-log-level, -log-json), and RED metrics on /metrics.
+//
 // Usage:
 //
 //	s2serve -configs DIR [-addr :8642] [-workers N] [-shards M]
 //	        [-workers-at host:port,...] [-procs N] [-seed S]
 //	        [-recover] [-heartbeat-interval D] [-v]
+//	        [-log-level info] [-log-json] [-audit-log FILE]
+//	        [-audit-size N] [-trace-store N] [-trace-slowest N]
 package main
 
 import (
@@ -42,6 +48,13 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat-interval", 0, "worker heartbeat interval (0 = off)")
 		recoverOn  = flag.Bool("recover", false, "on worker death, re-partition onto survivors and re-verify")
 		verbose    = flag.Bool("v", false, "log the boot verification summary")
+
+		logLevel  = flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: logfmt-style text)")
+		auditLog  = flag.String("audit-log", "", "append every audit entry as a JSON line to this file")
+		auditSize = flag.Int("audit-size", 1024, "audit entries kept in memory for /v1/audit")
+		traceCap  = flag.Int("trace-store", 512, "per-request traces kept for /debug/traces (0 disables tracing)")
+		traceSlow = flag.Int("trace-slowest", 16, "slowest traces always retained by eviction")
 	)
 	flag.Parse()
 	if *configs == "" {
@@ -49,11 +62,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	level, err := obs.ParseLogLevel(*logLevel)
+	fatal(err)
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+
 	network, err := s2.LoadDirectory(*configs)
 	fatal(err)
-	fmt.Printf("s2serve: parsed %d devices from %s\n", network.Size(), *configs)
+	logger.Info("configs parsed", obs.FInt("devices", network.Size()), obs.FStr("dir", *configs))
 
 	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *traceCap > 0 {
+		tracer = obs.NewTracer()
+	}
 	opts := s2.Options{
 		Workers:           *workers,
 		PartitionScheme:   *scheme,
@@ -66,6 +87,8 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		Recover:           *recoverOn,
 		Metrics:           reg,
+		Tracer:            tracer,
+		Logger:            logger,
 	}
 	if *workerAddr != "" {
 		opts.WorkerAddrs = strings.Split(*workerAddr, ",")
@@ -74,7 +97,20 @@ func main() {
 	fatal(err)
 	defer v.Close()
 	for _, warn := range v.TopologyWarnings() {
-		fmt.Fprintln(os.Stderr, "s2serve: topology warning:", warn)
+		logger.Warn("topology warning", obs.FStr("warning", warn))
+	}
+
+	var auditSink *os.File
+	if *auditLog != "" {
+		auditSink, err = os.OpenFile(*auditLog, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		fatal(err)
+		defer auditSink.Close()
+	}
+	var journal *serve.Journal
+	if auditSink != nil {
+		journal = serve.NewJournal(*auditSize, auditSink)
+	} else {
+		journal = serve.NewJournal(*auditSize, nil)
 	}
 
 	// Boot verification: converge once so every query after startup is warm.
@@ -83,14 +119,34 @@ func main() {
 	fatal(err)
 	report, err := v.CheckAllPairs()
 	fatal(err)
-	fmt.Printf("s2serve: boot verification done in %s (epoch %d)\n",
-		time.Since(start).Round(time.Millisecond), v.Epoch())
+	bootTook := time.Since(start)
+	logger.Info("boot verification done",
+		obs.FDur("took", bootTook.Round(time.Millisecond)),
+		obs.FUint64("epoch", v.Epoch()),
+		obs.FInt("shards", v.ShardCount()))
 	if *verbose {
 		for _, warn := range warnings {
-			fmt.Fprintln(os.Stderr, "s2serve: FIB warning:", warn)
+			logger.Warn("FIB warning", obs.FStr("warning", warn))
 		}
 		fmt.Println(report)
 	}
+
+	// The boot run is the journal's first entry: every shard ran.
+	bootShards := make([]int, v.ShardCount())
+	for i := range bootShards {
+		bootShards[i] = i
+	}
+	journal.Record(serve.AuditEntry{
+		Epoch:       v.Epoch(),
+		Time:        time.Now(),
+		Class:       "boot",
+		Mode:        "boot",
+		DirtyShards: bootShards,
+		DirtyCount:  v.ShardCount(),
+		TotalShards: v.ShardCount(),
+		Seconds:     bootTook.Seconds(),
+		Outcome:     "ok",
+	})
 
 	// SIGQUIT dumps the flight recorder and keeps serving.
 	flight := v.FlightRecorder()
@@ -105,7 +161,14 @@ func main() {
 
 	lis, err := net.Listen("tcp", *addr)
 	fatal(err)
-	srv := serve.New(v, reg)
+	srv := serve.New(v, serve.Options{
+		Registry:         reg,
+		Tracer:           tracer,
+		TraceCapacity:    *traceCap,
+		TraceKeepSlowest: *traceSlow,
+		Logger:           logger,
+		Audit:            journal,
+	})
 	fmt.Printf("s2serve: serving on http://%s\n", lis.Addr())
 
 	// SIGINT/SIGTERM shut down cleanly (Close tears down workers).
@@ -114,7 +177,7 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() {
 		<-stop
-		fmt.Fprintln(os.Stderr, "s2serve: shutting down")
+		logger.Info("shutting down")
 		httpSrv.Close()
 	}()
 	if err := httpSrv.Serve(lis); err != nil && err != http.ErrServerClosed {

@@ -41,7 +41,16 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, /debug/flightrecorder, and /debug/pprof for this worker on this address")
 	spanRing := flag.Int("span-ring", 16384, "capacity of the span export ring drained by the controller's PullSpans")
 	flightLog := flag.String("flight-log", "", "also write flight-recorder dumps (SIGQUIT) to this file")
+	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines (default: logfmt-style text)")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2worker:", err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -49,6 +58,7 @@ func main() {
 		os.Exit(1)
 	}
 	w := core.NewWorker()
+	w.SetLogger(logger)
 	w.SetDefaultPolicy(fault.Policy{Timeout: *rpcTimeout, Retries: *retries})
 	defProcs := *procs
 	if defProcs <= 0 {
@@ -99,7 +109,7 @@ func main() {
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigs
-		fmt.Printf("s2worker: %v, draining (grace %v)\n", sig, *grace)
+		logger.Info("draining on signal", obs.FStr("signal", sig.String()), obs.FDur("grace", *grace))
 		srv.Shutdown(*grace)
 	}()
 

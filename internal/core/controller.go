@@ -111,6 +111,11 @@ type Options struct {
 	// (RPC latency, routes exchanged, BDD and modelled-memory stats); serve
 	// it with obs.ServeIntrospection (the -obs-addr flag).
 	Metrics *obs.Registry
+	// Logger, when set, receives leveled structured logs from the
+	// controller, delta planner, and in-process workers (stage progress,
+	// delta classifications, recovery events). A nil logger makes every
+	// site a nil-check no-op.
+	Logger *obs.Logger
 }
 
 func (o Options) maxRounds() int {
@@ -170,6 +175,7 @@ type Controller struct {
 	// clientHook builds the per-worker traced RPC hook (nil with obs off).
 	tracer     *obs.Tracer
 	reg        *obs.Registry
+	log        *obs.Logger
 	curSpan    atomic.Value
 	clientHook func(workerID int) sidecar.TraceHook
 	pmu        sync.Mutex
@@ -208,7 +214,10 @@ type Controller struct {
 	// epoch counts successfully verified states: it advances once per
 	// completed data-plane compute (cold runs and deltas alike) and once
 	// per accepted no-op delta. Serving layers key warm query caches on it.
-	epoch atomic.Uint64
+	// epochAt is the UnixNano timestamp of the last advance, behind the
+	// s2_epoch_age_seconds gauge (staleness SLO for serving mode).
+	epoch   atomic.Uint64
+	epochAt atomic.Int64
 
 	cpRounds   int
 	dpRounds   int
@@ -305,6 +314,23 @@ func (c *Controller) Timer() *metrics.PhaseTimer { return c.timer }
 // any goroutine.
 func (c *Controller) Epoch() uint64 { return c.epoch.Load() }
 
+// ShardCount returns the prefix-shard count of the resident verified state
+// (0 before the control plane has run).
+func (c *Controller) ShardCount() int { return len(c.shards) }
+
+// SetRequestSpan points the controller's span tree at root: stages, shard
+// rounds, and RPC spans opened while it is current parent under it, so a
+// serving layer can give each request its own span tree instead of one
+// process-lifetime trace. It returns the previous current span, which the
+// caller must restore when the request completes. Only call between
+// pipeline operations (the serving layer serializes requests around the
+// verifier, so there is never an open stage when it switches roots).
+func (c *Controller) SetRequestSpan(root *obs.Span) *obs.Span {
+	prev, _ := c.curSpan.Load().(*obs.Span)
+	c.curSpan.Store(root)
+	return prev
+}
+
 // Resident reports whether converged control- and data-plane state is
 // resident across the workers — the precondition for answering queries
 // without re-running the pipeline and for incremental delta paths.
@@ -395,6 +421,7 @@ func (c *Controller) provision() error {
 	for i := range workers {
 		locals[i] = NewWorker()
 		locals[i].SetObservability(c.tracer, c.reg)
+		locals[i].SetLogger(c.log)
 		workers[i] = c.newWorkerTransport(i, locals[i])
 	}
 	c.wmu.Lock()
@@ -499,6 +526,7 @@ func (c *Controller) startDetector() {
 	}, c.faults)
 	d.OnDead(func(id int) {
 		c.flight.Record("detector", "worker %d declared dead after missed heartbeats", id)
+		c.log.Warn("worker declared dead", obs.FInt("worker", id))
 		c.wmu.RLock()
 		var client *sidecar.RemoteWorker
 		if id < len(c.clients) {
@@ -544,6 +572,8 @@ func (c *Controller) recoverable(body func() error) error {
 func (c *Controller) repair() error {
 	c.recoveries++
 	c.flight.Record("recovery", "attempt %d/%d", c.recoveries, c.opts.maxRecoveries())
+	c.log.Warn("recovery attempt",
+		obs.FInt("attempt", c.recoveries), obs.FInt("budget", c.opts.maxRecoveries()))
 	if c.recoveries > c.opts.maxRecoveries() {
 		return fmt.Errorf("core: recovery budget exhausted after %d attempts", c.opts.maxRecoveries())
 	}
@@ -598,6 +628,7 @@ func (c *Controller) evict(dead []int) error {
 		return nil
 	}
 	c.flight.Record("evict", "evicting workers %v", dead)
+	c.log.Warn("evicting dead workers", obs.FStr("workers", fmt.Sprint(dead)))
 	c.evictCapture(dead)
 	isDead := map[int]bool{}
 	for _, id := range dead {
@@ -829,13 +860,14 @@ func (c *Controller) runBGPShards() error {
 
 // runDirtyShards executes exactly the shards marked dirty (with §7 runtime
 // dependency merges — a merged-in shard is recomputed as part of the merged
-// whole) and returns how many shard rounds actually ran. Clean shards keep
+// whole) and returns the shard ids that actually ran, in execution order (a
+// §7 merge recompute repeats the absorbing shard's id). Clean shards keep
 // their resident per-prefix results: every shard round is cold and
 // self-contained, so results accumulate per prefix and skipping a shard
 // whose prefixes are untouched is sound.
-func (c *Controller) runDirtyShards(dirty []bool) (int, error) {
+func (c *Controller) runDirtyShards(dirty []bool) ([]int, error) {
 	shards := c.shards
-	runs := 0
+	var runs []int
 	var globalPrefixes []route.Prefix
 	if len(shards) > 1 {
 		globalPrefixes = shard.CollectBGPPrefixes(c.snap)
@@ -849,7 +881,7 @@ func (c *Controller) runDirtyShards(dirty []bool) (int, error) {
 		if err != nil {
 			return runs, err
 		}
-		runs++
+		runs = append(runs, i)
 		if len(shards) <= 1 || shards[i] == nil {
 			continue
 		}
@@ -872,6 +904,8 @@ func (c *Controller) runDirtyShards(dirty []bool) (int, error) {
 				mergedAny = true
 				c.shardMerge = append(c.shardMerge,
 					fmt.Sprintf("shard %d merged into shard %d (unforeseen conditional dependency)", j, i))
+				c.log.Warn("shard merged on unforeseen dependency",
+					obs.FInt("shard", j), obs.FInt("into", i))
 			}
 		}
 		if mergedAny {
@@ -1021,10 +1055,12 @@ func (c *Controller) computeDataPlane() ([]string, error) {
 // bumpEpoch advances the verified-state epoch and publishes it as a gauge.
 func (c *Controller) bumpEpoch() {
 	e := c.epoch.Add(1)
+	c.epochAt.Store(time.Now().UnixNano())
 	if c.reg != nil {
 		c.reg.Gauge(MetricEpoch, "Verified-state epoch (advances per completed verification).").
 			Set(float64(e))
 	}
+	c.log.Debug("epoch advanced", obs.FUint64("epoch", e))
 }
 
 // OwnedPrefixes returns the prefixes a node originates (its BGP network

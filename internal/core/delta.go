@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"s2/internal/config"
 	"s2/internal/obs"
@@ -47,6 +48,14 @@ type DeltaResult struct {
 	// merge recomputes); TotalShards is the shard count of the new state.
 	DirtyShards int
 	TotalShards int
+	// DirtyShardIDs lists the shard rounds that ran, in execution order (a
+	// §7 merge recompute repeats the absorbing shard's id) — the audit
+	// trail for every skipped shard's soundness claim. Empty for noop and
+	// dp deltas; all shards for full.
+	DirtyShardIDs []int
+	// Stages maps pipeline stage names (partition+setup, cp-ospf, cp-bgp,
+	// dp-compute, dp-forward) to the wall time this delta spent in them.
+	Stages map[string]time.Duration
 	// Epoch is the verified-state epoch after the delta.
 	Epoch uint64
 	// Warnings are FIB resolution warnings from the data-plane compute.
@@ -111,15 +120,44 @@ func (c *Controller) ApplyDelta(set map[string]string, remove []string) (*DeltaR
 	defer end()
 	c.flight.Record("delta", "class=%s changed=%d added=%d removed=%d",
 		diff.Class(), len(diff.Changed), len(diff.Added), len(diff.Removed))
+	c.log.Info("delta classified",
+		obs.FStr("class", diff.Class().String()),
+		obs.FInt("changed", len(diff.Changed)),
+		obs.FInt("added", len(diff.Added)),
+		obs.FInt("removed", len(diff.Removed)))
+	started := time.Now()
+	phasesBefore := len(c.timer.Phases())
 	err = c.timer.Time("delta", func() error {
 		return c.recoverable(func() error { return c.applyDeltaBody(newSnap, newTexts, diff, res) })
 	})
+	// Attribute per-stage wall time from the phase timer: every stage a
+	// recoverable attempt ran landed between the two snapshots. Recovery
+	// re-runs accumulate into the same stage — the audit records what this
+	// delta actually cost, not just the successful attempt.
+	res.Stages = map[string]time.Duration{}
+	for _, p := range c.timer.Phases()[phasesBefore:] {
+		if p.Name != "delta" {
+			res.Stages[p.Name] += p.Duration
+		}
+	}
 	if err != nil {
+		c.log.Error("delta failed",
+			obs.FStr("class", diff.Class().String()),
+			obs.FStr("mode", res.Mode),
+			obs.FDur("took", time.Since(started)),
+			obs.FErr(err))
 		return nil, err
 	}
 	res.Epoch = c.epoch.Load()
 	c.flight.Record("delta", "done mode=%s dirty=%d/%d epoch=%d",
 		res.Mode, res.DirtyShards, res.TotalShards, res.Epoch)
+	c.log.Info("delta applied",
+		obs.FStr("class", res.Class.String()),
+		obs.FStr("mode", res.Mode),
+		obs.FInt("dirty_shards", res.DirtyShards),
+		obs.FInt("total_shards", res.TotalShards),
+		obs.FUint64("epoch", res.Epoch),
+		obs.FDur("took", time.Since(started)))
 	c.recordDeltaMetrics(res)
 	return res, nil
 }
@@ -129,6 +167,7 @@ func (c *Controller) ApplyDelta(set map[string]string, remove []string) (*DeltaR
 // re-entry falls through to the full path.
 func (c *Controller) applyDeltaBody(newSnap *config.Snapshot, newTexts map[string]string, diff *config.SnapshotDiff, res *DeltaResult) error {
 	res.Mode, res.DirtyShards, res.TotalShards, res.Warnings = "", 0, 0, nil
+	res.DirtyShardIDs = nil
 	if diff.Empty() {
 		res.Mode = "noop"
 		if err := c.adopt(newSnap, newTexts); err != nil {
@@ -179,6 +218,10 @@ func (c *Controller) deltaFull(newSnap *config.Snapshot, newTexts map[string]str
 	res.Warnings = warnings
 	res.TotalShards = len(c.shards)
 	res.DirtyShards = len(c.shards)
+	res.DirtyShardIDs = make([]int, len(c.shards))
+	for i := range res.DirtyShardIDs {
+		res.DirtyShardIDs[i] = i
+	}
 	return nil
 }
 
@@ -310,8 +353,9 @@ func (c *Controller) deltaShards(newSnap *config.Snapshot, newTexts map[string]s
 	err := c.timer.Time("cp-bgp", func() error {
 		return c.stage("cp-bgp", func() error {
 			runs, err := c.runDirtyShards(dirty)
-			if runs > res.DirtyShards {
-				res.DirtyShards = runs // §7 merges pulled in clean shards
+			res.DirtyShardIDs = runs
+			if len(runs) > res.DirtyShards {
+				res.DirtyShards = len(runs) // §7 merges pulled in clean shards
 			}
 			return err
 		})
@@ -359,6 +403,8 @@ func (c *Controller) recordDeltaMetrics(res *DeltaResult) {
 	}
 	c.reg.Counter(MetricDeltas, "Config deltas applied, by re-verification mode.", "mode").
 		Inc(res.Mode)
+	c.reg.Counter(MetricDeltaPlans, "Delta re-verification plans chosen, by change class.", "class").
+		Inc(res.Class.String())
 	c.reg.Gauge(MetricDeltaDirty, "Shard rounds re-run by the last delta.").
 		Set(float64(res.DirtyShards))
 	c.reg.Gauge(MetricDeltaTotal, "Total prefix shards at the last delta.").

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"s2/internal/metrics"
 	"s2/internal/obs"
@@ -32,7 +33,9 @@ const (
 	MetricWireBytes       = "s2_wire_packet_bytes_total"
 	MetricWireDeduped     = "s2_wire_nodes_deduped_total"
 	MetricEpoch           = "s2_epoch"
+	MetricEpochAge        = "s2_epoch_age_seconds"
 	MetricDeltas          = "s2_deltas_total"
+	MetricDeltaPlans      = "s2_delta_plan_total"
 	MetricDeltaDirty      = "s2_delta_dirty_shards"
 	MetricDeltaTotal      = "s2_delta_total_shards"
 )
@@ -91,6 +94,7 @@ func (c *Controller) Progress() Progress {
 func (c *Controller) initObs() {
 	c.tracer = c.opts.Tracer
 	c.reg = c.opts.Metrics
+	c.log = c.opts.Logger
 	var parent func() *obs.Span
 	if c.tracer != nil {
 		parent = c.curStageSpan
@@ -116,6 +120,14 @@ func (c *Controller) initObs() {
 			c.wmu.RLock()
 			defer c.wmu.RUnlock()
 			return float64(len(c.workers))
+		})
+	c.reg.Gauge(MetricEpochAge, "Seconds since the verified-state epoch last advanced.").
+		SetFunc(func() float64 {
+			at := c.epochAt.Load()
+			if at == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, at)).Seconds()
 		})
 	bytes := c.reg.Counter(obs.MetricRPCBytes,
 		"Transport bytes moved by sidecar RPC, by role and direction.",
@@ -177,15 +189,21 @@ func (c *Controller) startSpan(name string, attrs ...obs.Attr) func() {
 func (c *Controller) stage(name string, fn func() error) error {
 	end := c.startSpan("stage:" + name)
 	c.flight.Record("stage", "enter %s", name)
+	c.log.Debug("stage enter", obs.FStr("stage", name))
 	c.pmu.Lock()
 	c.prog.Stage = name
 	c.pmu.Unlock()
+	start := time.Now()
 	err := fn()
 	end()
 	if err != nil {
 		c.flight.Record("stage", "leave %s: %v", name, err)
+		c.log.Warn("stage failed", obs.FStr("stage", name),
+			obs.FDur("took", time.Since(start)), obs.FErr(err))
 	} else {
 		c.flight.Record("stage", "leave %s", name)
+		c.log.Debug("stage leave", obs.FStr("stage", name),
+			obs.FDur("took", time.Since(start)))
 	}
 	return err
 }
@@ -279,6 +297,21 @@ func (o *workerObs) curTC() obs.TraceContext {
 // would steal the parent armed for the phase in flight.
 func (w *Worker) AcceptTraceParent(method string, tc sidecar.TraceContext) {
 	if w.obs == nil || w.obs.tracer == nil || !tc.Valid() || !sidecar.PhaseClass(method) {
+		return
+	}
+	t := tc
+	w.obs.pendingTC.Store(&t)
+}
+
+// SetNextTraceParent implements the sidecar traceCarrier slot for the
+// in-process transport: ObserveTraced arms it with the client rpc span's
+// context immediately before each phase-class call, so local workers'
+// phase spans parent under the exact rpc span that triggered them — the
+// same tree shape remote workers get from the wire's TraceContext. The
+// caller (the observed transport wrapper) has already filtered to
+// phase-class methods and valid contexts.
+func (w *Worker) SetNextTraceParent(tc sidecar.TraceContext) {
+	if w.obs == nil || w.obs.tracer == nil || !tc.Valid() {
 		return
 	}
 	t := tc

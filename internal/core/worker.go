@@ -145,6 +145,9 @@ type Worker struct {
 	// obs is the worker's observability handle (see observability.go).
 	// Infrastructure, not run state: Setup's full reset leaves it alone.
 	obs *workerObs
+	// log receives the worker's structured logs (nil-safe). Like obs it is
+	// infrastructure and survives Setup's full reset.
+	log *obs.Logger
 	// flight is the worker's always-on flight recorder: phase transitions,
 	// GC, wire-session resets, and peer RPC faults land here regardless of
 	// whether tracing/metrics are wired. Like obs, it survives Setup.
@@ -185,6 +188,11 @@ func (w *Worker) SetDefaultPolicy(p fault.Policy) { w.defPolicy = p }
 // SetDefaultParallelism sets the pool size used when Setup doesn't carry
 // one (the s2worker -procs flag). Values <= 0 mean sequential.
 func (w *Worker) SetDefaultParallelism(n int) { w.defProcs = n }
+
+// SetLogger attaches a structured logger (nil disables). Like the obs
+// handle it is infrastructure: Setup's full reset leaves it alone, so
+// recovery re-Setups keep their logging.
+func (w *Worker) SetLogger(l *obs.Logger) { w.log = l }
 
 // Ping implements sidecar.WorkerAPI: the liveness probe. It deliberately
 // avoids phaseMu — a worker busy in a long phase is alive, not dead.
@@ -328,6 +336,10 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 		w.adjIndex[dev] = m
 	}
 	w.obsSetupDone()
+	w.log.Info("worker setup",
+		obs.FInt("worker", w.id),
+		obs.FInt("devices", len(w.localNames)),
+		obs.FInt("procs", w.procs))
 	return nil
 }
 
@@ -1166,6 +1178,10 @@ func (w *Worker) ApplyDelta(req sidecar.DeltaRequest) (sidecar.DeltaReply, error
 	defer span.End()
 	w.flight.Record("phase", "apply-delta: %d configs, %d purged prefixes",
 		len(req.Configs), len(req.PurgePrefixes))
+	w.log.Debug("apply-delta",
+		obs.FInt("worker", w.id),
+		obs.FInt("configs", len(req.Configs)),
+		obs.FInt("purge_prefixes", len(req.PurgePrefixes)))
 	var reply sidecar.DeltaReply
 	if len(req.Configs) > 0 {
 		files := make(map[string]string, len(req.Configs))

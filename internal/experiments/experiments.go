@@ -209,6 +209,15 @@ func parse(texts map[string]string) (*config.Snapshot, error) {
 	return config.ParseTexts(keyed)
 }
 
+// logger receives structured logs from every controller the experiment
+// runners build (nil = off). Process-wide because the runners construct
+// controllers at many sites; the s2bench -log-level flag sets it once.
+var logger *obs.Logger
+
+// SetLogger routes controller/worker structured logs from all experiment
+// runs to l. Call before running figures; nil disables.
+func SetLogger(l *obs.Logger) { logger = l }
+
 // s2Run executes the full S2 pipeline and measures it.
 type s2Params struct {
 	workers int
@@ -265,6 +274,7 @@ func runS2(texts map[string]string, p s2Params) (row Row) {
 		LoadOf:       p.loadOf,
 		Sequential:   true,
 		Metrics:      reg,
+		Logger:       logger,
 
 		Parallelism:       p.procs,
 		DisableBatchPulls: p.noBatch,
@@ -326,6 +336,7 @@ func runS2CP(texts map[string]string, p s2Params) (row Row) {
 		KeepRIBs:     true,
 		Sequential:   true,
 		Metrics:      reg,
+		Logger:       logger,
 
 		Parallelism:       p.procs,
 		DisableBatchPulls: p.noBatch,

@@ -64,6 +64,7 @@ func runS2SinglePair(texts map[string]string, k int, cfg Config) (Row, error) {
 		LoadOf:      partition.EstimateFatTreeLoad(k),
 		Sequential:  true,
 		Parallelism: cfg.Procs,
+		Logger:      logger,
 	})
 	if err != nil {
 		return row, err

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoggerJSONRecords(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, true)
+	l.Info("hello \"world\"\n",
+		FStr("device", "edge-0-0"),
+		FInt("shard", 3),
+		FInt64("bytes", -7),
+		FUint64("epoch", 12),
+		FBool("ok", true),
+		FDur("took", 1500*time.Millisecond),
+		FErr(errors.New("boom")),
+		FErr(nil))
+
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("want exactly one line, got %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, line)
+	}
+	if rec["level"] != "info" || rec["msg"] != "hello \"world\"\n" {
+		t.Fatalf("level/msg: %v", rec)
+	}
+	if rec["device"] != "edge-0-0" || rec["shard"].(float64) != 3 ||
+		rec["bytes"].(float64) != -7 || rec["epoch"].(float64) != 12 {
+		t.Fatalf("fields: %v", rec)
+	}
+	if rec["ok"] != true || rec["took"] != "1.5s" {
+		t.Fatalf("bool/duration fields: %v", rec)
+	}
+	// Duplicate keys: encoding/json keeps the last one, which is FErr(nil).
+	if rec["error"] != "" {
+		t.Fatalf("error field: %v", rec)
+	}
+	if _, err := time.Parse("2006-01-02T15:04:05.000000Z", rec["ts"].(string)); err != nil {
+		t.Fatalf("timestamp: %v", err)
+	}
+}
+
+func TestLoggerTextRecords(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, false)
+	l.Warn("watch out", FStr("plain", "abc"), FStr("quoted", "a b"), FInt("n", 5))
+	line := strings.TrimSuffix(buf.String(), "\n")
+	for _, want := range []string{"WARN", "watch out", " plain=abc", ` quoted="a b"`, " n=5"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("text record missing %q: %q", want, line)
+		}
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn, true)
+	l.Debug("dropped")
+	l.Info("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("below-gate records emitted: %q", buf.String())
+	}
+	l.Warn("kept")
+	l.Error("kept")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("want 2 records, got %d: %q", got, buf.String())
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Fatal("Enabled disagrees with the gate")
+	}
+
+	// SetLevel applies to With-derived loggers too (shared sink).
+	child := l.With(FStr("req", "r1"))
+	child.SetLevel(LevelOff)
+	l.Error("dropped")
+	child.Error("dropped")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("LevelOff still emitted: %q", buf.String())
+	}
+}
+
+func TestLoggerWithBindsFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, true).With(FInt("worker", 2)).With(FStr("req", "r9"))
+	l.Info("bound")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["worker"].(float64) != 2 || rec["req"] != "r9" {
+		t.Fatalf("bound fields missing: %v", rec)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("no-op")
+	l.Error("no-op", FStr("k", "v"))
+	if derived := l.With(FInt("a", 1)); derived != nil {
+		t.Fatal("With on nil logger must stay nil")
+	}
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]LogLevel{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "off": LevelOff, "none": LevelOff,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLogLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Fatal("ParseLogLevel must reject unknown levels")
+	}
+}
+
+// TestLoggerDisabledZeroAllocs is the benchmark guard the serving layer
+// relies on: with logging off — nil logger or below the gate — a log call
+// in a hot path must not allocate.
+func TestLoggerDisabledZeroAllocs(t *testing.T) {
+	var nilLogger *Logger
+	gated := NewLogger(&bytes.Buffer{}, LevelError, true)
+	err := errors.New("x")
+	if n := testing.AllocsPerRun(200, func() {
+		nilLogger.Info("dropped", FStr("a", "b"), FInt("n", 1), FDur("d", time.Second))
+	}); n != 0 {
+		t.Fatalf("nil logger allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		gated.Debug("dropped", FStr("a", "b"), FBool("ok", true), FErr(err))
+	}); n != 0 {
+		t.Fatalf("gated logger allocates %v per call", n)
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			child := l.With(FInt("goroutine", g))
+			for i := 0; i < 50; i++ {
+				child.Info("tick", FInt("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("want 400 records, got %d", len(lines))
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("interleaved write corrupted a record: %v\n%q", err, line)
+		}
+	}
+}

@@ -328,6 +328,30 @@ func (t *Tracer) Events() []TraceEvent {
 		return nil
 	}
 	t.mu.Lock()
+	spans := t.snapshotLocked()
+	t.mu.Unlock()
+	return eventsFromSpans(spans)
+}
+
+// DrainEvents returns the completed spans as Chrome trace events (same
+// contract as Events) and removes them from the tracer. This is the
+// serving-mode primitive: each request ends its root span and drains the
+// tracer into a per-request RequestTrace, so a long-running daemon never
+// accumulates a process-lifetime span list.
+func (t *Tracer) DrainEvents() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := t.snapshotLocked()
+	t.done = t.done[:0]
+	t.mu.Unlock()
+	return eventsFromSpans(spans)
+}
+
+// snapshotLocked copies the completed spans into exportedSpan values;
+// caller holds t.mu.
+func (t *Tracer) snapshotLocked() []exportedSpan {
 	spans := make([]exportedSpan, 0, len(t.done))
 	for _, s := range t.done {
 		ts := s.start.Sub(t.start).Microseconds()
@@ -343,8 +367,10 @@ func (t *Tracer) Events() []TraceEvent {
 			attrs: append([]Attr(nil), s.attrs...),
 		})
 	}
-	t.mu.Unlock()
+	return spans
+}
 
+func eventsFromSpans(spans []exportedSpan) []TraceEvent {
 	// Clamp children into their parents, transitively (a parent may itself
 	// move when clamped into the grandparent). Memoized DFS over parent
 	// links; spans whose parent is absent from this trace are left alone.
@@ -416,7 +442,17 @@ func (t *Tracer) Events() []TraceEvent {
 // WriteChromeTrace serializes every completed span as Chrome trace_event
 // JSON. Writing a nil tracer emits an empty (still valid) trace.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteTraceEvents(w, t.Events())
+}
+
+// WriteTraceEvents serializes pre-extracted events (from Events or
+// DrainEvents) as a complete Chrome trace file — the single-request export
+// behind /debug/traces/<id>.
+func WriteTraceEvents(w io.Writer, events []TraceEvent) error {
+	if events == nil {
+		events = []TraceEvent{}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(traceFile{TraceEvents: t.Events(), Meta: "s2 trace"})
+	return enc.Encode(traceFile{TraceEvents: events, Meta: "s2 trace"})
 }

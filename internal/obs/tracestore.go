@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestTrace is one request's completed span tree plus the summary the
+// trace browser lists: who it was, how long it took, and how it ended.
+type RequestTrace struct {
+	ID       string
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Status   int
+	Err      bool
+	Spans    int
+	Events   []TraceEvent
+}
+
+// TraceStore keeps recent request traces in memory with tail-based
+// retention: when over capacity it evicts the oldest trace that is neither
+// an error nor among the keepSlowest slowest, so the interesting tail
+// (failures, latency outliers) survives a churn of fast healthy requests.
+// Errors become evictable only once every resident trace is protected.
+//
+// All methods are safe for concurrent use, and a nil *TraceStore is a
+// valid disabled store: every method no-ops or returns zero values.
+type TraceStore struct {
+	mu      sync.Mutex
+	cap     int
+	slowN   int
+	list    []*RequestTrace // insertion order: oldest first
+	added   uint64
+	evicted uint64
+	seq     atomic.Uint64
+}
+
+// NewTraceStore returns a store holding at most capacity traces, always
+// retaining the keepSlowest slowest seen among residents. capacity <= 0
+// returns nil (tracing disabled).
+func NewTraceStore(capacity, keepSlowest int) *TraceStore {
+	if capacity <= 0 {
+		return nil
+	}
+	if keepSlowest < 0 {
+		keepSlowest = 0
+	}
+	return &TraceStore{cap: capacity, slowN: keepSlowest}
+}
+
+// NextID returns a fresh request id ("r000001", ...). Unique per store
+// lifetime; ids are only meaningful within this process.
+func (s *TraceStore) NextID() string {
+	if s == nil {
+		return ""
+	}
+	n := s.seq.Add(1)
+	id := strconv.FormatUint(n, 10)
+	for len(id) < 6 {
+		id = "0" + id
+	}
+	return "r" + id
+}
+
+// Add inserts a completed trace, evicting per the retention policy.
+func (s *TraceStore) Add(tr *RequestTrace) {
+	if s == nil || tr == nil {
+		return
+	}
+	tr.Spans = countSpans(tr.Events)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.list = append(s.list, tr)
+	s.added++
+	for len(s.list) > s.cap {
+		s.evictLocked()
+	}
+}
+
+// evictLocked removes one trace: the oldest unprotected one, falling back
+// to the oldest non-slow, then the oldest outright.
+func (s *TraceStore) evictLocked() {
+	cut := s.slowCutLocked()
+	victim := -1
+	for i, tr := range s.list {
+		if !tr.Err && tr.Duration < cut {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		for i, tr := range s.list {
+			if tr.Duration < cut {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		victim = 0
+	}
+	copy(s.list[victim:], s.list[victim+1:])
+	s.list[len(s.list)-1] = nil
+	s.list = s.list[:len(s.list)-1]
+	s.evicted++
+}
+
+// slowCutLocked returns the duration at and above which a resident trace
+// counts as one of the slowest-N. With slowN == 0 nothing qualifies.
+func (s *TraceStore) slowCutLocked() time.Duration {
+	if s.slowN <= 0 {
+		return 1<<63 - 1
+	}
+	durs := make([]time.Duration, len(s.list))
+	for i, tr := range s.list {
+		durs[i] = tr.Duration
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] > durs[j] })
+	if len(durs) <= s.slowN {
+		if len(durs) == 0 {
+			return 1<<63 - 1
+		}
+		return durs[len(durs)-1]
+	}
+	return durs[s.slowN-1]
+}
+
+// Get returns the trace with the given id, or nil.
+func (s *TraceStore) Get(id string) *RequestTrace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tr := range s.list {
+		if tr.ID == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// Traces returns a snapshot of resident traces, newest first.
+func (s *TraceStore) Traces() []*RequestTrace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*RequestTrace, len(s.list))
+	for i, tr := range s.list {
+		out[len(s.list)-1-i] = tr
+	}
+	return out
+}
+
+// Len returns the number of resident traces.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.list)
+}
+
+// Stats returns the lifetime added and evicted counts.
+func (s *TraceStore) Stats() (added, evicted uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.added, s.evicted
+}
+
+func countSpans(events []TraceEvent) int {
+	n := 0
+	for _, e := range events {
+		if e.Ph == "X" {
+			n++
+		}
+	}
+	return n
+}

@@ -4,18 +4,46 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"s2"
+	"s2/internal/obs"
 	"s2/internal/synth"
 )
 
 // bootServer builds a fat-tree verifier, runs the boot verification, and
-// wraps it in a test HTTP server.
+// wraps it in a test HTTP server with observability off.
 func bootServer(t *testing.T) (*httptest.Server, map[string]string) {
+	ts, texts, _ := bootServerOpts(t, func(*s2.Options) {}, Options{})
+	return ts, texts
+}
+
+// bootObsServer is bootServer with the full telemetry stack wired: shared
+// tracer, registry, logger (discarded), trace store, and audit journal.
+func bootObsServer(t *testing.T) (*httptest.Server, map[string]string, Options) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	opts := Options{
+		Registry:         reg,
+		Tracer:           tracer,
+		TraceCapacity:    64,
+		TraceKeepSlowest: 4,
+		Logger:           obs.NewLogger(io.Discard, obs.LevelDebug, true),
+		Audit:            NewJournal(64, nil),
+	}
+	ts, texts, _ := bootServerOpts(t, func(o *s2.Options) {
+		o.Metrics = reg
+		o.Tracer = tracer
+		o.Logger = opts.Logger
+	}, opts)
+	return ts, texts, opts
+}
+
+func bootServerOpts(t *testing.T, tweak func(*s2.Options), sopts Options) (*httptest.Server, map[string]string, *s2.Verifier) {
 	t.Helper()
 	texts, err := synth.FatTree(synth.FatTreeOptions{K: 4})
 	if err != nil {
@@ -25,7 +53,9 @@ func bootServer(t *testing.T) (*httptest.Server, map[string]string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := s2.NewVerifier(network, s2.Options{Workers: 2, Shards: 4, Seed: 5, KeepRIBs: true})
+	vopts := s2.Options{Workers: 2, Shards: 4, Seed: 5, KeepRIBs: true}
+	tweak(&vopts)
+	v, err := s2.NewVerifier(network, vopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,9 +63,9 @@ func bootServer(t *testing.T) (*httptest.Server, map[string]string) {
 	if _, err := v.ComputeDataPlane(); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(v, nil).Handler())
+	ts := httptest.NewServer(New(v, sopts).Handler())
 	t.Cleanup(ts.Close)
-	return ts, texts
+	return ts, texts, v
 }
 
 func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
@@ -189,5 +219,249 @@ func TestServeRejectsBadRequests(t *testing.T) {
 	st := getJSON(t, ts.URL+"/v1/status", 200)
 	if st["staged"].(float64) != 1 {
 		t.Fatalf("failed verify must keep staging: %v", st)
+	}
+}
+
+// TestServeStatusAndContentType is the table-driven handler audit: every
+// endpoint answers with an explicit JSON Content-Type, malformed bodies are
+// client errors (400, never 500), and wrong methods are 405.
+func TestServeStatusAndContentType(t *testing.T) {
+	ts, _ := bootServer(t)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"epoch get", "GET", "/v1/epoch", "", 200},
+		{"epoch post rejected", "POST", "/v1/epoch", "", 405},
+		{"status get", "GET", "/v1/status", "", 200},
+		{"status delete rejected", "DELETE", "/v1/status", "", 405},
+		{"healthz", "GET", "/healthz", "", 200},
+		{"queries put rejected", "PUT", "/v1/queries?type=allpairs", "", 405},
+		{"configs get rejected", "GET", "/v1/configs", "", 405},
+		{"configs malformed body", "POST", "/v1/configs", "{not json", 400},
+		{"configs snapshot plus set", "POST", "/v1/configs",
+			`{"snapshot": {"a": "hostname a"}, "remove": ["b"]}`, 400},
+		{"verify empty body ok", "POST", "/v1/verify", "", 200},
+		{"verify object body ok", "POST", "/v1/verify", "{}", 200},
+		{"verify malformed body", "POST", "/v1/verify", "{oops", 400},
+		{"verify array body", "POST", "/v1/verify", "[1, 2]", 400},
+		{"audit without journal", "GET", "/v1/audit", "", 200},
+		{"audit bad limit", "GET", "/v1/audit?limit=nope", "", 400},
+		{"trace list without store", "GET", "/debug/traces", "", 200},
+		{"trace get unknown", "GET", "/debug/traces/r000042", "", 404},
+		{"trace post rejected", "POST", "/debug/traces", "", 405},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				raw, _ := io.ReadAll(resp.Body)
+				t.Fatalf("%s %s: status %d, want %d (body %s)",
+					tc.method, tc.path, resp.StatusCode, tc.wantStatus, raw)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+				t.Fatalf("%s %s: Content-Type %q", tc.method, tc.path, ct)
+			}
+			var body any
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("%s %s: response is not JSON: %v", tc.method, tc.path, err)
+			}
+			if tc.wantStatus >= 400 {
+				if _, ok := body.(map[string]any)["error"]; !ok {
+					t.Fatalf("%s %s: error response lacks error field: %v", tc.method, tc.path, body)
+				}
+			}
+		})
+	}
+}
+
+// TestServeAuditAndTraces drives a delta sequence on a fully instrumented
+// server and checks the audit journal and per-request trace store.
+func TestServeAuditAndTraces(t *testing.T) {
+	ts, texts, opts := bootObsServer(t)
+
+	// dp delta (epoch 2), then shards delta (epoch 3).
+	edited := strings.Replace(texts["agg-0-0"], "description link to", "description uplink to", 1)
+	postJSON(t, ts.URL+"/v1/configs",
+		map[string]any{"set": map[string]string{"agg-0-0": edited}}, 200)
+	postJSON(t, ts.URL+"/v1/verify", map[string]any{}, 200)
+	var netLine string
+	for _, line := range strings.Split(texts["edge-1-0"], "\n") {
+		if strings.HasPrefix(line, " network ") {
+			netLine = line
+			break
+		}
+	}
+	withdrawn := strings.Replace(texts["edge-1-0"], netLine+"\n", "", 1)
+	postJSON(t, ts.URL+"/v1/configs",
+		map[string]any{"set": map[string]string{"edge-1-0": withdrawn}}, 200)
+	postJSON(t, ts.URL+"/v1/verify", map[string]any{}, 200)
+	// Restore the origination: the re-announced prefix's dependency closure
+	// is re-simulated, so this delta runs a non-empty strict shard subset
+	// (the withdrawal itself only purges — 0 dirty shards).
+	postJSON(t, ts.URL+"/v1/configs",
+		map[string]any{"set": map[string]string{"edge-1-0": texts["edge-1-0"]}}, 200)
+	postJSON(t, ts.URL+"/v1/verify", map[string]any{}, 200)
+
+	// Audit journal: one ok entry per verify, classes and plans recorded,
+	// the restore entry names the shards that ran.
+	audit := getJSON(t, ts.URL+"/v1/audit", 200)
+	entries, _ := audit["entries"].([]any)
+	if len(entries) != 3 {
+		t.Fatalf("audit entries = %d, want 3 (%v)", len(entries), audit)
+	}
+	first := entries[0].(map[string]any)
+	if first["epoch"].(float64) != 2 || first["class"] != "dp" || first["mode"] != "dp" {
+		t.Fatalf("first audit entry: %v", first)
+	}
+	if first["outcome"] != "ok" || first["seconds"].(float64) <= 0 {
+		t.Fatalf("first audit entry outcome: %v", first)
+	}
+	restore := entries[2].(map[string]any)
+	if restore["epoch"].(float64) != 4 || restore["class"] != "orig" || restore["mode"] != "shards" {
+		t.Fatalf("restore audit entry: %v", restore)
+	}
+	dirty, _ := restore["dirty_shards"].([]any)
+	if len(dirty) == 0 || restore["dirty_count"].(float64) != float64(len(dirty)) {
+		t.Fatalf("restore entry dirty set: %v", restore)
+	}
+	if restore["dirty_count"].(float64) >= restore["total_shards"].(float64) {
+		t.Fatalf("restore entry re-ran everything: %v", restore)
+	}
+	if stages, _ := restore["stage_seconds"].(map[string]any); len(stages) == 0 {
+		t.Fatalf("restore entry has no stage timings: %v", restore)
+	}
+	if restore["request_id"] == "" {
+		t.Fatalf("audit entry lacks request id: %v", restore)
+	}
+
+	// A failed verify is audited too.
+	postJSON(t, ts.URL+"/v1/configs",
+		map[string]any{"set": map[string]string{"edge-0-0": "hostname edge-0-0\ninterface"}}, 200)
+	postJSON(t, ts.URL+"/v1/verify", map[string]any{}, http.StatusUnprocessableEntity)
+	last := opts.Audit.Last()
+	if last == nil || last.Outcome != "error" || last.Error == "" {
+		t.Fatalf("failed verify not audited: %+v", last)
+	}
+
+	// Trace store: every verify (including the failed one) left a trace
+	// named after the request; newest first.
+	list := getJSON(t, ts.URL+"/debug/traces", 200)
+	traces, _ := list["traces"].([]any)
+	if len(traces) == 0 {
+		t.Fatalf("no traces stored: %v", list)
+	}
+	var verifyTrace map[string]any
+	for _, raw := range traces {
+		tr := raw.(map[string]any)
+		if tr["name"] == "POST /v1/verify" && tr["error"] == false {
+			verifyTrace = tr
+			break
+		}
+	}
+	if verifyTrace == nil {
+		t.Fatalf("no successful verify trace in %v", list)
+	}
+
+	// The trace body is Chrome trace JSON whose span names include the
+	// controller-side RPC spans and the worker-side phase spans.
+	resp, err := http.Get(ts.URL + "/debug/traces/" + verifyTrace["id"].(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace fetch: %d", resp.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			PID  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("trace is not Chrome JSON: %v", err)
+	}
+	var sawRoot, sawRPC, sawWorkerPhase bool
+	for _, e := range chrome.TraceEvents {
+		switch {
+		case e.Name == "POST /v1/verify":
+			sawRoot = true
+		case strings.HasPrefix(e.Name, "rpc:"):
+			sawRPC = true
+		case e.PID >= 1 && (e.Name == "apply-delta" || e.Name == "compute-dp" ||
+			e.Name == "gather-bgp" || e.Name == "apply-bgp"):
+			sawWorkerPhase = true
+		}
+	}
+	if !sawRoot || !sawRPC || !sawWorkerPhase {
+		t.Fatalf("verify trace incomplete: root=%v rpc=%v workerPhase=%v (%d events)",
+			sawRoot, sawRPC, sawWorkerPhase, len(chrome.TraceEvents))
+	}
+
+	// Status surfaces the audit and trace summary.
+	st := getJSON(t, ts.URL+"/v1/status", 200)
+	if st["audit_entries"].(float64) != 4 {
+		t.Fatalf("status audit summary: %v", st)
+	}
+	if st["traces"].(map[string]any)["stored"].(float64) == 0 {
+		t.Fatalf("status trace summary: %v", st)
+	}
+}
+
+// TestServeMetricsSurface checks the serving-layer metric series: staged
+// gauge transitions, RED counters, and the delta-plan counter.
+func TestServeMetricsSurface(t *testing.T) {
+	ts, texts, _ := bootObsServer(t)
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	edited := strings.Replace(texts["agg-0-0"], "description link to", "description uplink to", 1)
+	postJSON(t, ts.URL+"/v1/configs",
+		map[string]any{"set": map[string]string{"agg-0-0": edited}}, 200)
+	if m := scrape(); !strings.Contains(m, "s2_staged_configs 1") {
+		t.Fatalf("staged gauge after staging:\n%s", m)
+	}
+	postJSON(t, ts.URL+"/v1/verify", map[string]any{}, 200)
+
+	m := scrape()
+	for _, want := range []string{
+		"s2_staged_configs 0",
+		`s2_delta_plan_total{class="dp"} 1`,
+		`s2_http_requests_total{path="/v1/verify",method="POST",code="200"} 1`,
+		`s2_http_requests_total{path="/v1/configs",method="POST",code="200"} 1`,
+		`s2_verify_seconds_count{class="dp"} 1`,
+		`s2_resident_memory_bytes{kind="watermark"}`,
+		"s2_epoch_age_seconds",
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
 	}
 }

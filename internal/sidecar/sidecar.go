@@ -1187,8 +1187,9 @@ func ObserveTraced(api WorkerAPI, hook TraceHook) WorkerAPI {
 	return &observed{api: api, thook: hook, carrier: carrier}
 }
 
-// traceCarrier is the transport-side slot ObserveTraced arms
-// (RemoteWorker implements it).
+// traceCarrier is the transport-side slot ObserveTraced arms (RemoteWorker
+// implements it for the wire; core.Worker implements it directly so the
+// in-process transport yields the same parenting).
 type traceCarrier interface {
 	SetNextTraceParent(tc TraceContext)
 }

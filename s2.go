@@ -122,6 +122,10 @@ type Options struct {
 	// histograms for the run; serve it with obs.ServeIntrospection
 	// (cmd/s2 -obs-addr).
 	Metrics *obs.Registry
+	// Logger, when set, receives leveled structured logs from the
+	// controller, delta planner, and in-process workers (the -log-level /
+	// -log-json flags of the binaries).
+	Logger *obs.Logger
 }
 
 // FatTreeLoadEstimator returns the paper's per-role load estimates for a
@@ -180,6 +184,7 @@ func NewVerifier(n *Network, opts Options) (*Verifier, error) {
 
 		Tracer:  opts.Tracer,
 		Metrics: opts.Metrics,
+		Logger:  opts.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -404,6 +409,13 @@ type DeltaReport struct {
 	// TotalShards is the shard count of the new verified state.
 	DirtyShards int
 	TotalShards int
+	// DirtyShardIDs lists the shard rounds that ran, in execution order (a
+	// runtime dependency merge repeats the absorbing shard's id) — the
+	// audit trail behind every skipped shard's soundness claim.
+	DirtyShardIDs []int
+	// StageSeconds maps pipeline stage names to the wall seconds this
+	// delta spent in them.
+	StageSeconds map[string]float64
 	// Epoch is the verified-state epoch after the delta.
 	Epoch uint64
 	// Warnings are FIB resolution warnings from the data-plane compute.
@@ -427,16 +439,25 @@ func (v *Verifier) ApplyDelta(set map[string]string, remove []string) (*DeltaRep
 	for name, cl := range res.Changed {
 		changed[name] = cl.String()
 	}
+	var stages map[string]float64
+	if len(res.Stages) > 0 {
+		stages = make(map[string]float64, len(res.Stages))
+		for name, d := range res.Stages {
+			stages[name] = d.Seconds()
+		}
+	}
 	return &DeltaReport{
-		Class:       res.Class.String(),
-		Mode:        res.Mode,
-		Changed:     changed,
-		Added:       res.Added,
-		Removed:     res.Removed,
-		DirtyShards: res.DirtyShards,
-		TotalShards: res.TotalShards,
-		Epoch:       res.Epoch,
-		Warnings:    res.Warnings,
+		Class:         res.Class.String(),
+		Mode:          res.Mode,
+		Changed:       changed,
+		Added:         res.Added,
+		Removed:       res.Removed,
+		DirtyShards:   res.DirtyShards,
+		TotalShards:   res.TotalShards,
+		DirtyShardIDs: res.DirtyShardIDs,
+		StageSeconds:  stages,
+		Epoch:         res.Epoch,
+		Warnings:      res.Warnings,
 	}, nil
 }
 
@@ -444,6 +465,20 @@ func (v *Verifier) ApplyDelta(set map[string]string, remove []string) (*DeltaRep
 // completes, then +1 per completed run or accepted delta. Safe from any
 // goroutine.
 func (v *Verifier) Epoch() uint64 { return v.ctrl.Epoch() }
+
+// ShardCount returns the prefix-shard count of the resident verified state
+// (0 before the control plane has run).
+func (v *Verifier) ShardCount() int { return v.ctrl.ShardCount() }
+
+// SetRequestSpan points the verifier's span tree at root: pipeline spans
+// opened while it is current parent under it. The serving layer gives each
+// request its own root so a long-running daemon yields per-request traces
+// instead of one process-lifetime trace. Returns the previous current
+// span; restore it when the request completes. Call only between pipeline
+// operations.
+func (v *Verifier) SetRequestSpan(root *obs.Span) *obs.Span {
+	return v.ctrl.SetRequestSpan(root)
+}
 
 // Devices returns the device hostnames of the currently verified
 // configuration snapshot, sorted.
