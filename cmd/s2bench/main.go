@@ -45,6 +45,45 @@ var figures = map[int]struct {
 	11: {"multi-core: pool-size sweep × batched pulls on/off", experiments.Figure11},
 }
 
+// printGCSummary prints a per-variant BDD GC pause digest for rows whose
+// telemetry carries the collector's percentiles (runs with collections).
+// For fig11 this is the before/after table the GC work is judged on: the
+// `+gcwipe` variant is the seed collector, everything else the relocating
+// parallel one.
+func printGCSummary(rows []experiments.Row) {
+	any := false
+	for _, r := range rows {
+		t := r.Telemetry
+		if t == nil || t["s2_bdd_gc_pause_p50_seconds"] == 0 && t["s2_bdd_gc_pause_p99_seconds"] == 0 {
+			continue
+		}
+		if !any {
+			fmt.Printf("%-8s %-14s %12s %12s %12s %12s\n",
+				"", "gc", "pause-p50", "pause-p99", "relocated", "gc-runs")
+			any = true
+		}
+		variant := r.Variant
+		if variant == "" {
+			variant = r.System
+		}
+		// Counters are per-worker labeled series in the snapshot; sum them.
+		sum := func(prefix string) float64 {
+			var s float64
+			for k, v := range t {
+				if strings.HasPrefix(k, prefix) {
+					s += v
+				}
+			}
+			return s
+		}
+		fmt.Printf("%-8s %-14s %12s %12s %12.0f %12.0f\n",
+			"", variant,
+			(time.Duration(t["s2_bdd_gc_pause_p50_seconds"]*1e9) * time.Nanosecond).Round(time.Microsecond).String(),
+			(time.Duration(t["s2_bdd_gc_pause_p99_seconds"]*1e9) * time.Nanosecond).Round(time.Microsecond).String(),
+			sum("s2_bdd_cache_relocated_total"), sum("s2_bdd_gc_runs_total"))
+	}
+}
+
 func main() {
 	var (
 		fig     = flag.Int("fig", 0, "figure number (4-11); 0 = all paper figures (4-10)")
@@ -149,6 +188,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(experiments.Format(rows))
+		printGCSummary(rows)
 		elapsed := time.Since(start)
 		fmt.Printf("(figure %d measured in %v)\n\n", n, elapsed.Round(time.Millisecond))
 		results = append(results, figureResult{

@@ -139,6 +139,14 @@ type Engine struct {
 	// It may be invoked from many goroutines; observers must be
 	// thread-safe. Set it before issuing concurrent operations.
 	onGrow func(delta int)
+
+	// GC configuration and telemetry (see gc.go / gcstats.go). gcProcs and
+	// gcNoRelocate are set once before operations begin; gcStats is
+	// guarded by gcMu because collections and stat readers may interleave.
+	gcProcs      int
+	gcNoRelocate bool
+	gcMu         sync.Mutex
+	gcStats      GCStats
 }
 
 // New creates an engine over numVars Boolean variables with an optional

@@ -79,6 +79,53 @@ func FuzzSerializeRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzGCCacheRelocation is the relocation safety property: after a GC keeps
+// an arbitrary subset of a fuzz-built ref set live, replaying the same
+// program on the collected engine — where ops may be answered from
+// relocated cache entries — must produce functions identical to a fresh
+// engine that never collected. A wrong relocated hit would surface as a
+// serialization mismatch.
+func FuzzGCCacheRelocation(f *testing.F) {
+	f.Add([]byte{0, 4, 8, 2, 1, 3}, uint8(1))
+	f.Add(bytes.Repeat([]byte{0, 2, 3, 1}, 30), uint8(0b10101))
+	f.Add([]byte{12, 1, 2, 16, 3, 1, 1, 2}, uint8(0xff))
+	f.Fuzz(func(t *testing.T, ops []byte, keepMask uint8) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		e := New(8, 1<<16)
+		refs := fuzzBuild(t, e, ops)
+		var roots []Ref
+		for i, r := range refs {
+			if keepMask&(1<<(i%8)) != 0 {
+				roots = append(roots, r)
+			}
+		}
+		remap := e.GC(roots)
+		for _, r := range roots {
+			if remap(r) == False && r != False {
+				// Only legal if the function itself is False.
+				if e.SatCount(remap(r)) != 0 {
+					t.Fatal("live root lost by GC")
+				}
+			}
+		}
+		// Replay on the collected engine (relocated cache in play) and on a
+		// cold one; canonical serializations must agree ref-by-ref.
+		got := fuzzBuild(t, e, ops)
+		fresh := New(8, 1<<16)
+		want := fuzzBuild(t, fresh, ops)
+		if len(got) != len(want) {
+			t.Fatalf("replay produced %d refs, fresh %d", len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(e.Serialize(got[i]), fresh.Serialize(want[i])) {
+				t.Fatalf("ref %d differs after relocated-cache replay", i)
+			}
+		}
+	})
+}
+
 // FuzzDeserializeSet throws arbitrary bytes at the wire decoder: it must
 // reject corruption with an error, never panic or corrupt the engine.
 func FuzzDeserializeSet(f *testing.F) {

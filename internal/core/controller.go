@@ -78,6 +78,15 @@ type Options struct {
 	// boundary-crossing packets and outcome harvests: every packet goes
 	// back to an independently serialized BDD as before.
 	DisableWireDedup bool
+	// GCStress makes every worker's BDD GC pacer collect at each safe
+	// point where the node table grew at all — maximizing collection count
+	// to exercise relocation and remapping (results stay byte-identical;
+	// CI's gc-smoke uses it).
+	GCStress bool
+	// GCWipe reverts the workers' engines to the seed collector's
+	// behavior — single-goroutine mark and the op cache wiped on every
+	// collection — as the A/B baseline for GC benchmarks.
+	GCWipe bool
 
 	// RPCTimeout bounds every controller→worker call attempt (0 = no
 	// deadline, the pre-fault-tolerance behavior). It also bounds worker
@@ -483,6 +492,8 @@ func (c *Controller) configureBody() error {
 				Parallelism:       procs,
 				DisableBatchPulls: c.opts.DisableBatchPulls,
 				DisableWireDedup:  c.opts.DisableWireDedup,
+				GCStress:          c.opts.GCStress,
+				GCWipe:            c.opts.GCWipe,
 			}
 			for _, name := range c.assignment.Segment(id) {
 				req.Configs[name+".cfg"] = c.texts[name]

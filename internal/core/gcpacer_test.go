@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"s2/internal/bdd"
+)
+
+func TestGCPacerSeedEnvelope(t *testing.T) {
+	p := newGCPacer(false, false)
+	p.lastNodes = 100_000
+	// Initial factors reproduce the seed heuristic exactly: post at 1.25×,
+	// mid at 2× plus the fixed headrooms.
+	if got, want := p.postThreshold(), 125_000+gcPacerPostHeadroom; got != want {
+		t.Fatalf("initial postThreshold = %d, want %d", got, want)
+	}
+	if got, want := p.midThreshold(), 200_000+gcPacerMidHeadroom; got != want {
+		t.Fatalf("initial midThreshold = %d, want %d", got, want)
+	}
+}
+
+func TestGCPacerAdaptsToUnproductiveCollections(t *testing.T) {
+	p := newGCPacer(false, false)
+	start := p.factor
+	// A collection that reclaimed almost nothing backs the factor off.
+	p.observe(bdd.GCStats{LastLive: 100_000, LastFreed: 100, LastPause: time.Millisecond})
+	if p.factor <= start {
+		t.Fatalf("factor did not grow after an unproductive collection: %v", p.factor)
+	}
+	for i := 0; i < 20; i++ {
+		p.observe(bdd.GCStats{LastLive: 100_000, LastFreed: 100, LastPause: time.Millisecond})
+	}
+	if p.factor > gcPacerMaxFactor {
+		t.Fatalf("factor escaped the clamp: %v", p.factor)
+	}
+}
+
+func TestGCPacerBudgetCapsAtSeedTrigger(t *testing.T) {
+	p := newGCPacer(false, true)
+	// Drive the factor to its ceiling with unproductive collections.
+	for i := 0; i < 20; i++ {
+		p.observe(bdd.GCStats{LastLive: 100_000, LastFreed: 100, LastPause: time.Millisecond})
+	}
+	if p.factor <= gcPacerInitFactor {
+		t.Fatalf("adaptation should still track internally: %v", p.factor)
+	}
+	// Under a budget the thresholds never loosen beyond the seed trigger.
+	if got, max := p.midThreshold(), 2*p.lastNodes+gcPacerMidHeadroom; got > max {
+		t.Fatalf("budgeted midThreshold %d exceeds seed envelope %d", got, max)
+	}
+	if got, max := p.postThreshold(), int(1.25*float64(p.lastNodes))+gcPacerPostHeadroom; got > max {
+		t.Fatalf("budgeted postThreshold %d exceeds seed envelope %d", got, max)
+	}
+}
+
+func TestGCPacerStressMode(t *testing.T) {
+	p := newGCPacer(true, false)
+	p.lastNodes = 1_000_000
+	if got := p.postThreshold(); got != 1_000_000+gcPacerStressHeadroom {
+		t.Fatalf("stress postThreshold = %d", got)
+	}
+	if got := p.midThreshold(); got != 1_000_000+4*gcPacerStressHeadroom {
+		t.Fatalf("stress midThreshold = %d", got)
+	}
+	// Stress mode never adapts.
+	p.observe(bdd.GCStats{LastLive: 1_000_000, LastFreed: 1, LastPause: time.Second})
+	if p.factor != gcPacerInitFactor {
+		t.Fatalf("stress mode adapted: %v", p.factor)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"s2/internal/bdd"
 	"s2/internal/metrics"
 	"s2/internal/obs"
 	"s2/internal/sidecar"
@@ -26,6 +27,10 @@ const (
 	MetricCPChangedNodes  = "s2_cp_changed_nodes"
 	MetricBDDNodes        = "s2_bdd_nodes"
 	MetricBDDGCRuns       = "s2_bdd_gc_runs_total"
+	MetricBDDGCPause      = "s2_bdd_gc_pause_seconds"
+	MetricBDDGCFreed      = "s2_bdd_gc_freed_total"
+	MetricBDDCacheReloc   = "s2_bdd_cache_relocated_total"
+	MetricBDDCacheDropped = "s2_bdd_cache_dropped_total"
 	MetricSpillBytes      = "s2_spill_bytes_total"
 	MetricModelMemory     = "s2_model_memory_bytes"
 	MetricFaultEvents     = "s2_fault_events_total"
@@ -446,6 +451,42 @@ func (w *Worker) obsBDD(nodes int, gcRun bool) {
 			"BDD garbage collections run.", "worker").
 			Inc(lbl)
 	}
+}
+
+// gcPauseBuckets resolve the engine's µs-scale stop-the-world pauses:
+// 5µs .. 250ms, roughly ×2–×2.5 steps. DefLatencyBuckets start at 100µs,
+// which would flatten every healthy collection into the first bucket.
+var gcPauseBuckets = []float64{
+	0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+}
+
+// obsGC records one completed collection: the pause distribution split by
+// phase (mark/sweep/relocate labels plus a "total" series), nodes freed,
+// and the op-cache relocation outcome.
+func (w *Worker) obsGC(st bdd.GCStats) {
+	if w.obs == nil || w.obs.reg == nil {
+		return
+	}
+	lbl := fmt.Sprint(w.id)
+	pause := w.obs.reg.Histogram(MetricBDDGCPause,
+		"BDD GC stop-the-world pause by phase (total = whole collection).",
+		gcPauseBuckets, "worker", "phase")
+	pause.Observe(st.LastPause.Seconds(), lbl, "total")
+	pause.Observe(st.LastMark.Seconds(), lbl, "mark")
+	pause.Observe(st.LastSweep.Seconds(), lbl, "sweep")
+	pause.Observe(st.LastRelocate.Seconds(), lbl, "relocate")
+	w.obs.reg.Counter(MetricBDDGCFreed,
+		"BDD nodes reclaimed by garbage collection.", "worker").
+		Add(float64(st.LastFreed), lbl)
+	w.obs.reg.Counter(MetricBDDCacheReloc,
+		"Op-cache entries relocated (translated to new refs) across GCs.",
+		"worker").
+		Add(float64(st.LastCacheRelocated), lbl)
+	w.obs.reg.Counter(MetricBDDCacheDropped,
+		"Op-cache entries dropped at GC because an operand or result died.",
+		"worker").
+		Add(float64(st.LastCacheDropped), lbl)
 }
 
 // obsWireBytes counts data-plane packet payload bytes shipped across

@@ -173,3 +173,55 @@ func TestParallelRunIsByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestGCStressRunIsByteIdentical extends the determinism contract to the
+// collector: results must be byte-identical whether GCs are rare (adaptive
+// pacing), constant (stress mode forces a collection at nearly every
+// trigger site), relocating in parallel, or wiping sequentially like the
+// seed collector. GC placement and cache policy may change *when* nodes are
+// rebuilt, never *what* the verification computes.
+func TestGCStressRunIsByteIdentical(t *testing.T) {
+	run := func(procs int, stress, wipe bool) (string, string) {
+		snap, texts := fatTreeSnap(t, 4)
+		c := newS2(t, snap, texts, Options{
+			Workers:     3,
+			Shards:      2,
+			Seed:        1,
+			KeepRIBs:    true,
+			Parallelism: procs,
+			GCStress:    stress,
+			GCWipe:      wipe,
+		})
+		defer c.Close()
+		res := runFull(t, c)
+		ribs, err := c.CollectRIBs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ribsFingerprint(ribs), checkFingerprint(c, res)
+	}
+
+	baseRIBs, baseCheck := run(1, false, false)
+	if !strings.Contains(baseRIBs, "node edge-0-0") {
+		t.Fatalf("baseline fingerprint looks empty:\n%.200s", baseRIBs)
+	}
+	for _, cfg := range []struct {
+		name   string
+		procs  int
+		stress bool
+		wipe   bool
+	}{
+		{"stress procs=1", 1, true, false},
+		{"stress procs=8", 8, true, false},
+		{"stress+wipe procs=8", 8, true, true},
+		{"wipe procs=1", 1, false, true},
+	} {
+		ribs, check := run(cfg.procs, cfg.stress, cfg.wipe)
+		if ribs != baseRIBs {
+			t.Errorf("%s: RIBs differ from the default-collector baseline", cfg.name)
+		}
+		if check != baseCheck {
+			t.Errorf("%s: verification outcomes differ:\nbase:\n%s\ngot:\n%s", cfg.name, baseCheck, check)
+		}
+	}
+}

@@ -62,6 +62,25 @@ type WorkerAttribution struct {
 	PeakBytes    int64                `json:"peak_bytes"`
 	GCPauses     int                  `json:"gc_pauses"`
 	GCMicros     int64                `json:"gc_micros"`
+	// GC phase split and cache-relocation outcome, summed over the worker's
+	// collections (from the gc spans' mark_us/sweep_us/relocate_us and
+	// relocated attributes; zero when tracing is off).
+	GCMarkMicros     int64 `json:"gc_mark_micros,omitempty"`
+	GCSweepMicros    int64 `json:"gc_sweep_micros,omitempty"`
+	GCRelocateMicros int64 `json:"gc_relocate_micros,omitempty"`
+	GCRelocated      int64 `json:"gc_cache_relocated,omitempty"`
+}
+
+// argInt64 parses an integer span attribute, tolerating absence.
+func argInt64(args map[string]string, key string) int64 {
+	if args == nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(args[key], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
 }
 
 // AttributionReport is the whole table plus the controller's own stage
@@ -115,6 +134,10 @@ func (c *Controller) AttributionReport() *AttributionReport {
 				if ev.Name == "gc" {
 					r.GCPauses++
 					r.GCMicros += ev.Dur
+					r.GCMarkMicros += argInt64(ev.Args, "mark_us")
+					r.GCSweepMicros += argInt64(ev.Args, "sweep_us")
+					r.GCRelocateMicros += argInt64(ev.Args, "relocate_us")
+					r.GCRelocated += argInt64(ev.Args, "relocated")
 				}
 				if stage := stageOfSpan(ev.Name); stage != "" {
 					st := r.Stages[stage]
@@ -212,7 +235,7 @@ func (r *AttributionReport) String() string {
 
 	header := []string{"worker"}
 	header = append(header, r.Stages...)
-	header = append(header, "rpcs", "rpc-time", "rx", "tx", "bdd-nodes", "gc-pauses")
+	header = append(header, "rpcs", "rpc-time", "rx", "tx", "bdd-nodes", "gc-pauses", "gc-mark/sweep/reloc", "gc-cache-kept")
 	fmt.Fprintln(tw, strings.Join(header, "\t"))
 
 	writeRow := func(name string, stages map[string]StageTime, w *WorkerAttribution) {
@@ -222,8 +245,13 @@ func (r *AttributionReport) String() string {
 		}
 		if w != nil {
 			gc := "-"
+			phases := "-"
+			kept := "-"
 			if w.GCPauses > 0 {
 				gc = fmt.Sprintf("%d (%s)", w.GCPauses, fmtMicros(w.GCMicros))
+				phases = fmt.Sprintf("%s/%s/%s",
+					fmtMicros(w.GCMarkMicros), fmtMicros(w.GCSweepMicros), fmtMicros(w.GCRelocateMicros))
+				kept = strconv.FormatInt(w.GCRelocated, 10)
 			}
 			cols = append(cols,
 				strconv.FormatInt(w.RPCCount, 10),
@@ -231,9 +259,9 @@ func (r *AttributionReport) String() string {
 				fmtBytes(w.BytesRead),
 				fmtBytes(w.BytesWritten),
 				strconv.Itoa(w.BDDNodes),
-				gc)
+				gc, phases, kept)
 		} else {
-			cols = append(cols, "-", "-", "-", "-", "-", "-")
+			cols = append(cols, "-", "-", "-", "-", "-", "-", "-", "-")
 		}
 		fmt.Fprintln(tw, strings.Join(cols, "\t"))
 	}

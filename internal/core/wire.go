@@ -91,7 +91,15 @@ func (w *Worker) drainInbox(cur map[packetSlot]bdd.Ref) error {
 	w.inbox = nil
 	wireIn := w.wireInbox
 	w.wireInbox = nil
-	tables := w.recvTables
+	// Snapshot the table pointers for the senders being drained: peers keep
+	// delivering (and inserting sessions for new senders) under qmu while
+	// this drain runs, so the shared map must not leave the lock. The tables
+	// themselves are safe to use outside it — accept-side and
+	// materialize-side state are disjoint by design (see bdd.WireTable).
+	tables := make(map[int]*bdd.WireTable, len(wireIn))
+	for _, wd := range wireIn {
+		tables[wd.from] = w.recvTables[wd.from]
+	}
 	w.qmu.Unlock()
 
 	merge := func(slot packetSlot, pkt bdd.Ref) error {

@@ -140,7 +140,12 @@ type Worker struct {
 
 	statsPulls   int64
 	statsPackets int64
-	lastGCNodes  int
+	// pacer schedules BDD collections from measured GCStats (gcpacer.go);
+	// gcPauses windows recent pause durations for WorkerStats percentiles.
+	pacer    gcPacer
+	gcStress bool
+	gcWipe   bool
+	gcPauses *metrics.DurationQuantiles
 
 	// obs is the worker's observability handle (see observability.go).
 	// Infrastructure, not run state: Setup's full reset leaves it alone.
@@ -233,7 +238,9 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 	}
 	w.spills = nil
 	w.engine, w.nodesDP, w.query, w.destSet = nil, nil, nil, nil
-	w.lastGCNodes = 0
+	w.gcStress, w.gcWipe = req.GCStress, req.GCWipe
+	w.pacer = newGCPacer(req.GCStress, req.MemoryBudget > 0)
+	w.gcPauses = metrics.NewDurationQuantiles(0)
 	w.qmu.Lock()
 	w.inbox, w.queue, w.queueLen, w.outcomes = nil, nil, 0, nil
 	w.wireInbox, w.recvTables = nil, map[int]*bdd.WireTable{}
@@ -1292,6 +1299,17 @@ func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
 	w.engine.SetGrowObserver(func(delta int) {
 		w.tracker.Add("bdd", int64(delta)*bdd.NodeModelBytes)
 	})
+	// The marker pool reuses the worker's phase parallelism; at -procs 1
+	// the mark stays fully sequential. GCWipe (benchmark A/B knob) reverts
+	// the whole collector to seed behavior: one mark goroutine and the op
+	// cache wiped on every collection.
+	if w.gcWipe {
+		w.engine.SetGCParallelism(1)
+		w.engine.SetGCRelocation(false)
+	} else {
+		w.engine.SetGCParallelism(w.procs)
+		w.engine.SetGCRelocation(true)
+	}
 	// Per-node FIB builds and BDD compiles are independent given the
 	// concurrent engine, so they run on the pool; the reply counters and
 	// error list merge sequentially in name order.
@@ -1462,7 +1480,7 @@ func (w *Worker) DPRound() error {
 		// partial next wavefront, and packets awaiting shipment to other
 		// workers (live refs until ship time, when the whole round shares
 		// one substrate per peer) are extra roots.
-		if w.engine.NodeCount() > 2*w.lastGCNodes+16384 {
+		if w.engine.NodeCount() > w.pacer.midThreshold() {
 			remap := w.gcWithExtraRoots(func(add func(bdd.Ref)) {
 				for _, rest := range slots[si:] {
 					add(cur[rest])
@@ -1548,8 +1566,9 @@ func (w *Worker) DPRound() error {
 	// outcomes stay live. Per-worker engines keep these collections small
 	// and un-contended (§4.3). The grow observer has already charged the
 	// intra-round high water to the tracker, so the peak is preserved.
-	// Collect when the table has grown 25% past the last collection.
-	if w.engine.NodeCount() > w.lastGCNodes+w.lastGCNodes/4+2048 {
+	// The pacer picks the growth threshold from measured pause cost and
+	// reclaim yield (see gcpacer.go).
+	if w.engine.NodeCount() > w.pacer.postThreshold() {
 		w.gcEngine()
 	}
 	return w.tracker.CheckBudget()
@@ -1631,7 +1650,7 @@ func (w *Worker) dpRoundParallel() error {
 		if hi > len(slots) {
 			hi = len(slots)
 		}
-		if w.engine.NodeCount() > 2*w.lastGCNodes+16384 {
+		if w.engine.NodeCount() > w.pacer.midThreshold() {
 			remap := w.gcWithExtraRoots(func(add func(bdd.Ref)) {
 				for _, rest := range slots[lo:] {
 					add(cur[rest])
@@ -1760,7 +1779,7 @@ func (w *Worker) dpRoundParallel() error {
 	w.queueLen = len(nextLocal)
 	w.qmu.Unlock()
 
-	if w.engine.NodeCount() > w.lastGCNodes+w.lastGCNodes/4+2048 {
+	if w.engine.NodeCount() > w.pacer.postThreshold() {
 		w.gcEngine()
 	}
 	return w.tracker.CheckBudget()
@@ -1835,12 +1854,26 @@ func (w *Worker) gcWithExtraRoots(extra func(add func(bdd.Ref))) func(bdd.Ref) b
 	if len(w.sendSessions) > 0 {
 		w.flight.Record("wire", "reset %d send sessions after gc", len(w.sendSessions))
 	}
-	w.lastGCNodes = w.engine.NodeCount()
-	w.obsBDD(w.lastGCNodes, true)
-	gcSpan.SetAttr("nodes_after", fmt.Sprint(w.lastGCNodes))
+	st := w.engine.GCStats()
+	w.pacer.observe(st)
+	if w.gcPauses != nil {
+		w.gcPauses.Observe(st.LastPause)
+	}
+	nodesAfter := w.engine.NodeCount()
+	w.obsBDD(nodesAfter, true)
+	w.obsGC(st)
+	gcSpan.SetAttr("nodes_after", fmt.Sprint(nodesAfter))
+	gcSpan.SetAttr("mark_us", fmt.Sprint(st.LastMark.Microseconds()))
+	gcSpan.SetAttr("sweep_us", fmt.Sprint(st.LastSweep.Microseconds()))
+	gcSpan.SetAttr("relocate_us", fmt.Sprint(st.LastRelocate.Microseconds()))
+	gcSpan.SetAttr("relocated", fmt.Sprint(st.LastCacheRelocated))
+	gcSpan.SetAttr("mark_procs", fmt.Sprint(st.LastMarkProcs))
 	gcSpan.End()
-	w.flight.Record("gc", "%d -> %d nodes in %s",
-		nodesBefore, w.lastGCNodes, time.Since(gcStart).Round(time.Microsecond))
+	w.flight.Record("gc", "%d -> %d nodes in %s (mark %s/%d, sweep %s, relocate %s, cache %d kept / %d dropped)",
+		nodesBefore, nodesAfter, time.Since(gcStart).Round(time.Microsecond),
+		st.LastMark.Round(time.Microsecond), st.LastMarkProcs,
+		st.LastSweep.Round(time.Microsecond), st.LastRelocate.Round(time.Microsecond),
+		st.LastCacheRelocated, st.LastCacheDropped)
 	return remap
 }
 
@@ -1980,6 +2013,14 @@ func (w *Worker) Stats() (sidecar.WorkerStats, error) {
 	}
 	if w.engine != nil {
 		st.BDDNodes = w.engine.NodeCount()
+		gs := w.engine.GCStats()
+		st.GCRuns = gs.Runs
+		st.GCPauseMicros = gs.TotalPause.Microseconds()
+		st.GCCacheRelocated = gs.CacheRelocated
+	}
+	if w.gcPauses != nil {
+		st.GCPauseP50Micros = w.gcPauses.Quantile(0.50).Microseconds()
+		st.GCPauseP99Micros = w.gcPauses.Quantile(0.99).Microseconds()
 	}
 	return st, nil
 }

@@ -229,6 +229,7 @@ type s2Params struct {
 	procs   int  // per-worker pool size (0 = all CPUs)
 	noBatch bool // disable cross-worker pull batching
 	noWire  bool // disable the shared-substrate wire codec
+	gcWipe  bool // revert BDD GC to the seed collector (A/B baseline)
 }
 
 // resolvedProcs mirrors the controller's Parallelism default so telemetry
@@ -254,6 +255,21 @@ func recordPoolTelemetry(t map[string]float64, p s2Params) {
 	} else {
 		t["s2_wire_dedup_enabled"] = 1
 	}
+	if p.gcWipe {
+		t["s2_gc_relocation_enabled"] = 0
+	} else {
+		t["s2_gc_relocation_enabled"] = 1
+	}
+}
+
+// recordGCTelemetry stamps fleet-wide GC pause percentiles (aggregated
+// over every worker's "total" pause series) into the telemetry map — the
+// numbers BENCH_pr8.json compares between the relocating collector and
+// the -gc-wipe seed baseline.
+func recordGCTelemetry(t map[string]float64, reg *obs.Registry) {
+	t["s2_bdd_gc_pause_p50_seconds"] = reg.HistogramQuantile(core.MetricBDDGCPause, 0.50, "phase", "total")
+	t["s2_bdd_gc_pause_p99_seconds"] = reg.HistogramQuantile(core.MetricBDDGCPause, 0.99, "phase", "total")
+	t["s2_bdd_gc_mark_p99_seconds"] = reg.HistogramQuantile(core.MetricBDDGCPause, 0.99, "phase", "mark")
 }
 
 func runS2(texts map[string]string, p s2Params) (row Row) {
@@ -279,6 +295,7 @@ func runS2(texts map[string]string, p s2Params) (row Row) {
 		Parallelism:       p.procs,
 		DisableBatchPulls: p.noBatch,
 		DisableWireDedup:  p.noWire,
+		GCWipe:            p.gcWipe,
 	})
 	if err != nil {
 		row.Err = err.Error()
@@ -289,6 +306,7 @@ func runS2(texts map[string]string, p s2Params) (row Row) {
 		row.WallTime = time.Since(start)
 		row.Telemetry = reg.Snapshot()
 		recordPoolTelemetry(row.Telemetry, p)
+		recordGCTelemetry(row.Telemetry, reg)
 	}()
 	if err := ctrl.RunControlPlane(); err != nil {
 		return finishErr(row, err)
@@ -341,6 +359,7 @@ func runS2CP(texts map[string]string, p s2Params) (row Row) {
 		Parallelism:       p.procs,
 		DisableBatchPulls: p.noBatch,
 		DisableWireDedup:  p.noWire,
+		GCWipe:            p.gcWipe,
 	})
 	if err != nil {
 		row.Err = err.Error()
@@ -351,6 +370,7 @@ func runS2CP(texts map[string]string, p s2Params) (row Row) {
 		row.WallTime = time.Since(start)
 		row.Telemetry = reg.Snapshot()
 		recordPoolTelemetry(row.Telemetry, p)
+		recordGCTelemetry(row.Telemetry, reg)
 	}()
 	if err := ctrl.RunControlPlane(); err != nil {
 		return finishErr(row, err)

@@ -312,10 +312,16 @@ func Figure11(cfg Config) ([]Row, error) {
 		suffix  string
 		noBatch bool
 		noWire  bool
+		gcWipe  bool
 	}{
 		{suffix: "", noBatch: true, noWire: true},
 		{suffix: "+batch-nowire", noBatch: false, noWire: true},
 		{suffix: "+batch", noBatch: false, noWire: false},
+		// The seed-collector baseline (sequential mark, op cache wiped per
+		// collection) against the default relocating parallel collector:
+		// compare s2_bdd_gc_pause_p50/p99_seconds between +batch and
+		// +batch+gcwipe at equal (byte-identical) results.
+		{suffix: "+batch+gcwipe", noBatch: false, noWire: false, gcWipe: true},
 	}
 	var rows []Row
 	for _, cc := range configs {
@@ -323,7 +329,7 @@ func Figure11(cfg Config) ([]Row, error) {
 			r := runS2(texts, s2Params{
 				workers: workers, shards: cfg.Shards,
 				loadOf: partition.EstimateFatTreeLoad(cfg.FixedK), seed: cfg.Seed,
-				procs: procs, noBatch: cc.noBatch, noWire: cc.noWire,
+				procs: procs, noBatch: cc.noBatch, noWire: cc.noWire, gcWipe: cc.gcWipe,
 			})
 			r.Figure, r.Network, r.Variant = "fig11", network, fmt.Sprintf("p%d%s", procs, cc.suffix)
 			rows = append(rows, r)

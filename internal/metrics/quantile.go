@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DurationQuantiles tracks quantiles over a sliding window of duration
+// samples — the worker-side accounting for GC pauses, where the interesting
+// figures are the median and tail of *recent* collections, not a lifetime
+// mean. The window is a fixed ring of the last Cap samples, so memory is
+// bounded no matter how long a serving process runs.
+//
+// It is safe for concurrent use; Quantile sorts a copy.
+type DurationQuantiles struct {
+	mu    sync.Mutex
+	ring  []time.Duration
+	next  int
+	count int64
+}
+
+// NewDurationQuantiles returns a tracker holding the last cap samples
+// (cap <= 0 defaults to 512).
+func NewDurationQuantiles(cap int) *DurationQuantiles {
+	if cap <= 0 {
+		cap = 512
+	}
+	return &DurationQuantiles{ring: make([]time.Duration, 0, cap)}
+}
+
+// Observe records one sample, evicting the oldest when the window is full.
+func (q *DurationQuantiles) Observe(d time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.ring) < cap(q.ring) {
+		q.ring = append(q.ring, d)
+	} else {
+		q.ring[q.next] = d
+	}
+	q.next = (q.next + 1) % cap(q.ring)
+	q.count++
+}
+
+// Count returns the number of samples observed (including evicted ones).
+func (q *DurationQuantiles) Count() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Quantile returns the f-quantile (0 ≤ f ≤ 1, nearest-rank) of the current
+// window, or 0 with no samples. f is clamped into [0,1].
+func (q *DurationQuantiles) Quantile(f float64) time.Duration {
+	q.mu.Lock()
+	sorted := make([]time.Duration, len(q.ring))
+	copy(sorted, q.ring)
+	q.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	idx := int(f*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1}, "phase")
+
+	// 10 samples in (0.01, 0.1], 10 in (0.1, 1] under phase=total.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05, "total")
+		h.Observe(0.5, "total")
+	}
+	// Pollution under another label value: must be excluded by the filter.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001, "mark")
+	}
+
+	// Filtered: median sits at the boundary of the two populated buckets.
+	p50 := r.HistogramQuantile("lat_seconds", 0.5, "phase", "total")
+	if math.Abs(p50-0.1) > 1e-9 {
+		t.Fatalf("filtered p50 = %v, want 0.1 (upper bound of the first populated bucket)", p50)
+	}
+	// p99 interpolates inside the (0.1, 1] bucket.
+	p99 := r.HistogramQuantile("lat_seconds", 0.99, "phase", "total")
+	if p99 <= 0.1 || p99 > 1 {
+		t.Fatalf("filtered p99 = %v, want in (0.1, 1]", p99)
+	}
+	// Unfiltered: the 100 tiny mark samples dominate, dragging p50 down.
+	if un := r.HistogramQuantile("lat_seconds", 0.5); un >= p50 {
+		t.Fatalf("unfiltered p50 %v should be below filtered %v", un, p50)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var nilReg *Registry
+	if got := nilReg.HistogramQuantile("x", 0.5); got != 0 {
+		t.Fatalf("nil registry: %v", got)
+	}
+	r := NewRegistry()
+	if got := r.HistogramQuantile("missing", 0.5); got != 0 {
+		t.Fatalf("unknown family: %v", got)
+	}
+	r.Counter("a_counter", "not a histogram")
+	if got := r.HistogramQuantile("a_counter", 0.5); got != 0 {
+		t.Fatalf("non-histogram: %v", got)
+	}
+	h := r.Histogram("h", "", []float64{1, 2})
+	if got := r.HistogramQuantile("h", 0.5); got != 0 {
+		t.Fatalf("empty histogram: %v", got)
+	}
+	// Samples beyond the last finite bucket land in +Inf and report the
+	// highest finite bound rather than infinity.
+	h.Observe(100)
+	if got := r.HistogramQuantile("h", 0.99); got != 2 {
+		t.Fatalf("+Inf samples: %v, want 2", got)
+	}
+	// Quantile clamping.
+	h.Observe(0.5)
+	if lo, hi := r.HistogramQuantile("h", -3), r.HistogramQuantile("h", 7); lo <= 0 || hi != 2 {
+		t.Fatalf("clamping: q=-3 -> %v, q=7 -> %v", lo, hi)
+	}
+	// A filter naming an unknown label matches nothing.
+	if got := r.HistogramQuantile("h", 0.5, "nope", "x"); got != 0 {
+		t.Fatalf("unknown label filter: %v", got)
+	}
+}

@@ -251,6 +251,89 @@ func (h *Histogram) Count(labelValues ...string) uint64 {
 	return ch.count
 }
 
+// HistogramQuantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram
+// family, aggregating bucket counts across every labeled series — the
+// scrape-free way to pull a fleet-wide p50/p99 out of a per-worker
+// histogram (benchmark rows, status pages). Optional trailing arguments
+// are label name/value pairs restricting the aggregation (e.g. "phase",
+// "total" sums only series whose phase label is "total"). Linear
+// interpolation within the winning bucket, the standard Prometheus
+// histogram_quantile estimate; samples in the +Inf bucket report the
+// highest finite bound. Returns 0 for an unknown name, a non-histogram,
+// or an empty selection. Nil-safe.
+func (r *Registry) HistogramQuantile(name string, q float64, labelPairs ...string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	f, ok := r.fams[name]
+	r.mu.Unlock()
+	if !ok || f.kind != kindHistogram {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	match := func(c *child) bool {
+		for i := 0; i+1 < len(labelPairs); i += 2 {
+			found := false
+			for j, ln := range f.labels {
+				if ln == labelPairs[i] {
+					found = c.labelValues[j] == labelPairs[i+1]
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	// Observe keeps per-child bucket counts cumulative, so the aggregate
+	// is cumulative too.
+	cum := make([]uint64, len(f.buckets)+1)
+	var total uint64
+	f.mu.Lock()
+	for _, c := range f.children {
+		if c.counts == nil || !match(c) {
+			continue
+		}
+		for i, n := range c.counts {
+			cum[i] += n
+		}
+		total += c.count
+	}
+	f.mu.Unlock()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var prevCum uint64
+	lower := 0.0
+	for i, ub := range f.buckets {
+		if float64(cum[i]) >= rank {
+			span := float64(cum[i] - prevCum)
+			if span == 0 {
+				return ub
+			}
+			return lower + (ub-lower)*(rank-float64(prevCum))/span
+		}
+		prevCum = cum[i]
+		lower = ub
+	}
+	// Landed in +Inf: the best finite answer is the largest bound.
+	if len(f.buckets) > 0 {
+		return f.buckets[len(f.buckets)-1]
+	}
+	return 0
+}
+
 // read samples one child under the family lock.
 func (f *family) read(c *child) float64 {
 	f.mu.Lock()

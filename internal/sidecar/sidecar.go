@@ -99,6 +99,15 @@ type SetupRequest struct {
 	// node dedup), reverting to one independently-serialized BDD per
 	// packet (the zero value keeps dedup ON).
 	DisableWireDedup bool
+	// GCStress forces the worker's BDD GC pacer to collect at every safe
+	// point where the table grew at all — a smoke-test knob that maximizes
+	// collection count so relocation and pacing bugs surface; results must
+	// stay byte-identical. GCWipe reverts the engine to the seed
+	// collector's cache behavior (op cache wiped on every collection) as
+	// the A/B baseline for GC benchmarks. Both default off; gob tolerates
+	// the new fields in mixed fleets (old workers ignore them).
+	GCStress bool
+	GCWipe   bool
 	// TC parents the worker's setup span under the caller's RPC span.
 	TC TraceContext
 }
@@ -314,6 +323,14 @@ type WorkerStats struct {
 	BDDNodes   int
 	RoutePulls int64 // cross-worker pulls served (communication metric)
 	PacketsIn  int64 // cross-worker packet deliveries received
+	// BDD garbage-collection accounting: collection count, cumulative
+	// stop-the-world pause, op-cache entries relocated across collections,
+	// and pause percentiles over the recent-collection window.
+	GCRuns           int64
+	GCPauseMicros    int64
+	GCCacheRelocated int64
+	GCPauseP50Micros int64
+	GCPauseP99Micros int64
 }
 
 // PullSpansRequest asks a worker to drain its span export queue (bounded

@@ -101,6 +101,14 @@ type Options struct {
 	// the shared-substrate wire codec with per-peer node dedup
 	// (cmd/s2 -no-wire-dedup).
 	DisableWireDedup bool
+	// GCStress makes every worker's BDD GC pacer collect at each safe
+	// point where the node table grew at all (cmd/s2 -gc-stress). Results
+	// are byte-identical; used by CI to exercise relocation heavily.
+	GCStress bool
+	// GCWipe reverts the workers' BDD collectors to the seed behavior —
+	// single-goroutine mark, op cache wiped per collection — as the A/B
+	// baseline for GC benchmarks (cmd/s2 -gc-wipe).
+	GCWipe bool
 	// RPCTimeout bounds every controller→worker (and worker→worker) RPC
 	// attempt (0 = no deadline).
 	RPCTimeout time.Duration
@@ -176,6 +184,8 @@ func NewVerifier(n *Network, opts Options) (*Verifier, error) {
 		Parallelism:       opts.Parallelism,
 		DisableBatchPulls: opts.DisableBatchPulls,
 		DisableWireDedup:  opts.DisableWireDedup,
+		GCStress:          opts.GCStress,
+		GCWipe:            opts.GCWipe,
 
 		RPCTimeout:        opts.RPCTimeout,
 		RPCRetries:        opts.RPCRetries,
