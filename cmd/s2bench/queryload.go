@@ -1,0 +1,324 @@
+package main
+
+// The -queryload mode: an HTTP load generator for the concurrent query
+// plane (PR 9). It boots the serving daemon over a fat-tree and measures
+// the three effects the plane is judged on — epoch-cache speedup, batched
+// passes running fewer symbolic injection phases than sequential
+// submission, and served QPS with tail latency read off the daemon's own
+// request histograms.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"s2"
+	"s2/internal/core"
+	"s2/internal/obs"
+	"s2/internal/serve"
+	"s2/internal/synth"
+)
+
+// queryLoadConfig sizes the query-plane load experiment: a fat-tree
+// served by the HTTP daemon under a mixed cold/warm/batched workload.
+type queryLoadConfig struct {
+	K       int   // fat-tree pods
+	Workers int   // in-process workers
+	Shards  int   // prefix shards
+	Procs   int   // per-worker goroutine pool (0 = all CPUs)
+	Clients int   // concurrent load-generator clients
+	Repeats int   // requests per client in the throughput phase
+	Seed    int64 // query sampling seed
+}
+
+func (c queryLoadConfig) defaults() queryLoadConfig {
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// queryLoadResult is the -queryload JSON schema (BENCH_pr9.json): the
+// cache-speedup and pass-count evidence plus the served throughput and
+// the latency quantiles pulled off the s2_http_request_seconds and
+// s2_verify_seconds histograms.
+type queryLoadResult struct {
+	Config queryLoadConfig
+
+	DistinctQueries int `json:"distinct_queries"`
+
+	// Cold one pass per query vs the same requests answered from the
+	// epoch-keyed cache.
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	CacheHits   float64 `json:"cache_hits"`
+
+	// Symbolic injection phases for the same distinct mix, submitted one
+	// POST per query vs one batched POST.
+	SequentialPasses float64 `json:"sequential_passes"`
+	BatchedPasses    float64 `json:"batched_passes"`
+
+	// Throughput phase: Clients concurrent generators, Repeats requests
+	// each, sampling the warm mix.
+	Requests      int     `json:"requests"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	QPS           float64 `json:"qps"`
+	HTTPp50       float64 `json:"http_p50_seconds"`
+	HTTPp99       float64 `json:"http_p99_seconds"`
+	VerifyP50     float64 `json:"verify_p50_seconds"`
+	VerifyP99     float64 `json:"verify_p99_seconds"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+}
+
+// queryLoadServer boots one fat-tree verifier behind the serving daemon
+// with its own metrics registry.
+func queryLoadServer(cfg queryLoadConfig, texts map[string]string) (*httptest.Server, *obs.Registry, *s2.Verifier, error) {
+	reg := obs.NewRegistry()
+	network, err := s2.LoadConfigs(texts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v, err := s2.NewVerifier(network, s2.Options{
+		Workers:     cfg.Workers,
+		Shards:      cfg.Shards,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Procs,
+		KeepRIBs:    true,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := v.ComputeDataPlane(); err != nil {
+		v.Close()
+		return nil, nil, nil, err
+	}
+	ts := httptest.NewServer(serve.New(v, serve.Options{Registry: reg}).Handler())
+	return ts, reg, v, nil
+}
+
+// queryLoadMix builds the distinct batch-compatible query mix: one
+// per-edge-prefix reachability query plus a restricted-source pair and a
+// TCP/80 sweep, mirroring the operator workload the paper's §5 DPV
+// experiments sample.
+func queryLoadMix(texts map[string]string) []map[string]any {
+	var edges []string
+	for name := range texts {
+		if strings.HasPrefix(name, "edge-") {
+			edges = append(edges, name)
+		}
+	}
+	// Deterministic order: map iteration is randomized.
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j] < edges[j-1]; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	var mix []map[string]any
+	for i, e := range edges {
+		if i >= 6 {
+			break
+		}
+		mix = append(mix, map[string]any{"dests": []string{e}})
+	}
+	if len(edges) >= 2 {
+		mix = append(mix, map[string]any{
+			"sources": []string{edges[0]}, "dests": []string{edges[1]},
+		})
+	}
+	mix = append(mix, map[string]any{"protocol": 6, "dst_port": 80})
+	return mix
+}
+
+func postQueries(url string, queries []map[string]any) error {
+	payload, err := json.Marshal(map[string]any{"queries": queries})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url+"/v1/queries", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/queries: status %d: %v", resp.StatusCode, body["error"])
+	}
+	return nil
+}
+
+// runQueryLoad measures the concurrent query plane end to end over HTTP:
+//
+//  1. cold sequential posts (one symbolic pass each) vs the same posts
+//     warm (epoch-cache hits) — the cache-speedup evidence;
+//  2. the same distinct mix on a fresh server as one batched POST — the
+//     fewer-injection-phases evidence (passes counted by
+//     s2_query_passes_total on each server's own registry);
+//  3. a concurrent throughput phase whose QPS and p50/p99 come from the
+//     serving daemon's own request histograms.
+func runQueryLoad(cfg queryLoadConfig) (*queryLoadResult, error) {
+	cfg = cfg.defaults()
+	texts, err := synth.FatTree(synth.FatTreeOptions{K: cfg.K})
+	if err != nil {
+		return nil, err
+	}
+	mix := queryLoadMix(texts)
+	res := &queryLoadResult{Config: cfg, DistinctQueries: len(mix)}
+
+	// Server A: cold-vs-warm and throughput.
+	ts, reg, v, err := queryLoadServer(cfg, texts)
+	if err != nil {
+		return nil, err
+	}
+	defer ts.Close()
+	defer v.Close()
+
+	passes0 := reg.Snapshot()[core.MetricQueryPasses]
+	start := time.Now()
+	for _, q := range mix {
+		if err := postQueries(ts.URL, []map[string]any{q}); err != nil {
+			return nil, err
+		}
+	}
+	res.ColdSeconds = time.Since(start).Seconds()
+	res.SequentialPasses = reg.Snapshot()[core.MetricQueryPasses] - passes0
+
+	// Warm repeats: identical requests, answered from the cache. Average
+	// over a few rounds so one scheduler hiccup does not dominate.
+	const warmRounds = 3
+	start = time.Now()
+	for r := 0; r < warmRounds; r++ {
+		for _, q := range mix {
+			if err := postQueries(ts.URL, []map[string]any{q}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.WarmSeconds = time.Since(start).Seconds() / warmRounds
+	if res.WarmSeconds > 0 {
+		res.WarmSpeedup = res.ColdSeconds / res.WarmSeconds
+	}
+	res.CacheHits = reg.Snapshot()[core.MetricQueryCacheHits]
+
+	// Server B: the same distinct mix as ONE batched submission on a cold
+	// cache, so its pass counter isolates the batching effect.
+	tsB, regB, vB, err := queryLoadServer(cfg, texts)
+	if err != nil {
+		return nil, err
+	}
+	defer tsB.Close()
+	defer vB.Close()
+	passesB := regB.Snapshot()[core.MetricQueryPasses]
+	if err := postQueries(tsB.URL, mix); err != nil {
+		return nil, err
+	}
+	res.BatchedPasses = regB.Snapshot()[core.MetricQueryPasses] - passesB
+
+	// One staged no-op verify so the s2_verify_seconds histogram has a
+	// sample to quote quantiles from.
+	for name, text := range texts {
+		payload, _ := json.Marshal(map[string]any{"set": map[string]string{name: text}})
+		if _, err := http.Post(ts.URL+"/v1/configs", "application/json", bytes.NewReader(payload)); err != nil {
+			return nil, err
+		}
+		if _, err := http.Post(ts.URL+"/v1/verify", "application/json", strings.NewReader("{}")); err != nil {
+			return nil, err
+		}
+		break
+	}
+
+	// Throughput phase on server A: concurrent clients sampling the mix,
+	// mostly warm solo posts with periodic batched posts.
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Clients)
+	total := 0
+	start = time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+		wg.Add(1)
+		total += cfg.Repeats
+		go func(rng *rand.Rand) {
+			defer wg.Done()
+			for i := 0; i < cfg.Repeats; i++ {
+				var batch []map[string]any
+				if i%5 == 4 { // every fifth request is a full-mix batch
+					batch = mix
+				} else {
+					batch = []map[string]any{mix[rng.Intn(len(mix))]}
+				}
+				if err := postQueries(ts.URL, batch); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(rng)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	res.Requests = total
+	if res.WallSeconds > 0 {
+		res.QPS = float64(total) / res.WallSeconds
+	}
+
+	res.HTTPp50 = reg.HistogramQuantile(serve.MetricHTTPLatency, 0.50, "path", "/v1/queries")
+	res.HTTPp99 = reg.HistogramQuantile(serve.MetricHTTPLatency, 0.99, "path", "/v1/queries")
+	res.VerifyP50 = reg.HistogramQuantile(serve.MetricVerifyLatency, 0.50)
+	res.VerifyP99 = reg.HistogramQuantile(serve.MetricVerifyLatency, 0.99)
+	snap := reg.Snapshot()
+	if n := snap[core.MetricQueryBatchSize+"_count"]; n > 0 {
+		res.MeanBatchSize = snap[core.MetricQueryBatchSize+"_sum"] / n
+	}
+	return res, nil
+}
+
+// formatQueryLoad renders the result in the s2bench table style.
+func formatQueryLoad(r *queryLoadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fat-tree k=%d, %d workers, %d shards, %d distinct queries\n",
+		r.Config.K, r.Config.Workers, r.Config.Shards, r.DistinctQueries)
+	fmt.Fprintf(&b, "%-28s %12.1fms\n", "cold sequential (total)", r.ColdSeconds*1e3)
+	fmt.Fprintf(&b, "%-28s %12.1fms  (%.0fx speedup, %.0f cache hits)\n",
+		"warm repeat (total)", r.WarmSeconds*1e3, r.WarmSpeedup, r.CacheHits)
+	fmt.Fprintf(&b, "%-28s %12.0f\n", "sequential passes", r.SequentialPasses)
+	fmt.Fprintf(&b, "%-28s %12.0f\n", "batched passes", r.BatchedPasses)
+	fmt.Fprintf(&b, "%-28s %12.0f reqs in %.2fs = %.0f qps\n",
+		"throughput", float64(r.Requests), r.WallSeconds, r.QPS)
+	fmt.Fprintf(&b, "%-28s %12.2fms p50, %.2fms p99\n",
+		"http /v1/queries latency", r.HTTPp50*1e3, r.HTTPp99*1e3)
+	fmt.Fprintf(&b, "%-28s %12.2fms p50, %.2fms p99\n",
+		"verify latency", r.VerifyP50*1e3, r.VerifyP99*1e3)
+	fmt.Fprintf(&b, "%-28s %12.1f\n", "mean submitted batch size", r.MeanBatchSize)
+	return b.String()
+}

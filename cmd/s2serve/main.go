@@ -2,7 +2,9 @@
 // distributed pipeline once over a directory of device configurations,
 // keeps the converged per-worker state resident, and serves an HTTP/JSON
 // API for staging config deltas (POST /v1/configs), incremental
-// re-verification (POST /v1/verify), and warm queries (GET /v1/queries).
+// re-verification (POST /v1/verify), warm queries (GET /v1/queries), and
+// batched reachability queries (POST /v1/queries) answered through the
+// coalescing, epoch-cached, intent-sliced query plane.
 //
 // Serving-mode telemetry rides along: per-request traces (GET
 // /debug/traces), a delta audit journal (GET /v1/audit, -audit-log),
@@ -13,6 +15,7 @@
 //	s2serve -configs DIR [-addr :8642] [-workers N] [-shards M]
 //	        [-workers-at host:port,...] [-procs N] [-seed S]
 //	        [-recover] [-heartbeat-interval D] [-v]
+//	        [-no-query-slicing] [-no-query-cache]
 //	        [-log-level info] [-log-json] [-audit-log FILE]
 //	        [-audit-size N] [-trace-store N] [-trace-slowest N]
 package main
@@ -47,6 +50,8 @@ func main() {
 		retries    = flag.Int("retries", 0, "extra attempts for idempotent worker RPCs that fail transiently")
 		heartbeat  = flag.Duration("heartbeat-interval", 0, "worker heartbeat interval (0 = off)")
 		recoverOn  = flag.Bool("recover", false, "on worker death, re-partition onto survivors and re-verify")
+		noSlicing  = flag.Bool("no-query-slicing", false, "involve every worker in each query pass instead of only the reachable slice")
+		noQCache   = flag.Bool("no-query-cache", false, "disable the epoch-keyed query answer cache")
 		verbose    = flag.Bool("v", false, "log the boot verification summary")
 
 		logLevel  = flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
@@ -76,19 +81,21 @@ func main() {
 		tracer = obs.NewTracer()
 	}
 	opts := s2.Options{
-		Workers:           *workers,
-		PartitionScheme:   *scheme,
-		Shards:            *shards,
-		Seed:              *seed,
-		KeepRIBs:          true, // RIB queries are part of the API surface
-		Parallelism:       *procs,
-		RPCTimeout:        *rpcTimeout,
-		RPCRetries:        *retries,
-		HeartbeatInterval: *heartbeat,
-		Recover:           *recoverOn,
-		Metrics:           reg,
-		Tracer:            tracer,
-		Logger:            logger,
+		Workers:             *workers,
+		PartitionScheme:     *scheme,
+		Shards:              *shards,
+		Seed:                *seed,
+		KeepRIBs:            true, // RIB queries are part of the API surface
+		Parallelism:         *procs,
+		RPCTimeout:          *rpcTimeout,
+		RPCRetries:          *retries,
+		HeartbeatInterval:   *heartbeat,
+		Recover:             *recoverOn,
+		DisableQuerySlicing: *noSlicing,
+		DisableQueryCache:   *noQCache,
+		Metrics:             reg,
+		Tracer:              tracer,
+		Logger:              logger,
 	}
 	if *workerAddr != "" {
 		opts.WorkerAddrs = strings.Split(*workerAddr, ",")

@@ -78,6 +78,13 @@ type Options struct {
 	// boundary-crossing packets and outcome harvests: every packet goes
 	// back to an independently serialized BDD as before.
 	DisableWireDedup bool
+	// DisableQuerySlicing turns off intent-based slicing: every query pass
+	// involves every worker instead of only the workers whose nodes the
+	// query's sources can possibly reach within its hop budget.
+	DisableQuerySlicing bool
+	// DisableQueryCache turns off the epoch-keyed query outcome cache:
+	// every SubmitQuery runs a fresh symbolic pass.
+	DisableQueryCache bool
 	// GCStress makes every worker's BDD GC pacer collect at each safe
 	// point where the node table grew at all — maximizing collection count
 	// to exercise relocation and remapping (results stay byte-identical;
@@ -219,6 +226,15 @@ type Controller struct {
 	// idempotent.
 	closed  atomic.Bool
 	closeMu sync.Mutex
+
+	// Query plane (queryplane.go): qpMu guards the coalescing window and
+	// leader flag; qcMu guards the epoch-keyed answer cache.
+	qpMu      sync.Mutex
+	qpPending []*queryJob
+	qpLeader  bool
+	qcMu      sync.Mutex
+	qcEpoch   uint64
+	qcache    map[uint64]*dataplane.Collector
 
 	// epoch counts successfully verified states: it advances once per
 	// completed data-plane compute (cold runs and deltas alike) and once
@@ -697,16 +713,46 @@ func (c *Controller) eachChanged(fn func(w sidecar.WorkerAPI) (bool, error)) (bo
 // eachPhase runs fn on every worker concurrently; when phase is non-empty
 // the slowest worker's duration is charged to that phase's critical path.
 func (c *Controller) eachPhase(phase string, fn func(id int, w sidecar.WorkerAPI) (bool, error)) (bool, error) {
+	return c.eachPhaseIDs(phase, nil, fn)
+}
+
+// eachSubset is each() restricted to the given worker ids (nil = all).
+func (c *Controller) eachSubset(ids []int, fn func(id int, w sidecar.WorkerAPI) error) error {
+	_, err := c.eachPhaseIDs("", ids, func(id int, w sidecar.WorkerAPI) (bool, error) {
+		return false, fn(id, w)
+	})
+	return err
+}
+
+// eachPhaseIDs is eachPhase restricted to the given worker ids (nil = all
+// workers). fn always receives the worker's position in the live directory,
+// so harvest ordering and assignment lookups stay consistent with each().
+func (c *Controller) eachPhaseIDs(phase string, ids []int, fn func(id int, w sidecar.WorkerAPI) (bool, error)) (bool, error) {
 	c.wmu.RLock()
-	workers := append([]sidecar.WorkerAPI(nil), c.workers...)
+	all := append([]sidecar.WorkerAPI(nil), c.workers...)
 	c.wmu.RUnlock()
+	sel := ids
+	if sel == nil {
+		sel = make([]int, len(all))
+		for i := range all {
+			sel[i] = i
+		}
+	}
+	workers := make([]sidecar.WorkerAPI, 0, len(sel))
+	idOf := make([]int, 0, len(sel))
+	for _, id := range sel {
+		if id >= 0 && id < len(all) {
+			workers = append(workers, all[id])
+			idOf = append(idOf, id)
+		}
+	}
 	changed := make([]bool, len(workers))
 	errs := make([]error, len(workers))
 	durs := make([]time.Duration, len(workers))
 	if c.opts.Sequential {
 		for i, w := range workers {
 			start := time.Now()
-			changed[i], errs[i] = fn(i, w)
+			changed[i], errs[i] = fn(idOf[i], w)
 			durs[i] = time.Since(start)
 		}
 	} else {
@@ -716,7 +762,7 @@ func (c *Controller) eachPhase(phase string, fn func(id int, w sidecar.WorkerAPI
 			go func(i int, w sidecar.WorkerAPI) {
 				defer wg.Done()
 				start := time.Now()
-				changed[i], errs[i] = fn(i, w)
+				changed[i], errs[i] = fn(idOf[i], w)
 				durs[i] = time.Since(start)
 			}(i, w)
 		}
@@ -1067,6 +1113,7 @@ func (c *Controller) computeDataPlane() ([]string, error) {
 func (c *Controller) bumpEpoch() {
 	e := c.epoch.Add(1)
 	c.epochAt.Store(time.Now().UnixNano())
+	c.purgeQueryCache()
 	if c.reg != nil {
 		c.reg.Gauge(MetricEpoch, "Verified-state epoch (advances per completed verification).").
 			Set(float64(e))
@@ -1106,62 +1153,129 @@ func (c *Controller) PrefixOwners() []string {
 // which lets a single traversal serve per-source attribution (all-pair
 // checks); sources without owned prefixes are injected unconstrained.
 func (c *Controller) RunQuery(q *dataplane.Query, constrainSrc bool) (*dataplane.Collector, error) {
+	cols, err := c.RunQueryBatch([]*dataplane.Query{q}, constrainSrc)
+	if err != nil {
+		return nil, err
+	}
+	return cols[0], nil
+}
+
+// RunQueryBatch executes up to N batch-compatible queries (§ query plane)
+// in ONE symbolic pass: a single injection phase carries every query's
+// header-space predicate, each tagged with its batch index, and the shared
+// wavefront rounds advance all of them together. Per-query outcomes are
+// split apart at harvest, so each returned Collector is byte-identical to
+// the one a solo RunQuery of that query would have produced (tags keep the
+// packets in distinct wavefront slots; canonical BDD serialization makes
+// the per-query harvests independent of their co-travellers).
+//
+// A batch of one takes the legacy single-query arming RPC — older workers
+// that predate BeginQueryBatch keep answering solo queries; multi-query
+// batches against such a fleet fail with errLegacyNoBatch, which the query
+// scheduler turns into a sequential fallback.
+func (c *Controller) RunQueryBatch(qs []*dataplane.Query, constrainSrc bool) ([]*dataplane.Collector, error) {
 	if c.closed.Load() {
 		return nil, fmt.Errorf("core: controller is closed")
 	}
-	if err := q.Validate(c.layout); err != nil {
-		return nil, err
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("core: empty query batch")
 	}
-	var col *dataplane.Collector
+	for i, q := range qs {
+		if err := q.Validate(c.layout); err != nil {
+			return nil, err
+		}
+		if i > 0 && !dataplane.BatchCompatible(qs[0], q) {
+			return nil, fmt.Errorf("core: query %d is not batch-compatible with query 0", i)
+		}
+	}
+	var cols []*dataplane.Collector
 	err := c.recoverable(func() error {
 		var err error
-		col, err = c.runQuery(q, constrainSrc)
+		cols, err = c.runQueryBatch(qs, constrainSrc)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	return col, nil
+	return cols, nil
 }
 
-// runQuery is one attempt; recovery re-runs it whole so a fresh Collector
-// never mixes outcomes from a failed attempt.
-func (c *Controller) runQuery(q *dataplane.Query, constrainSrc bool) (*dataplane.Collector, error) {
+// runQueryBatch is one attempt; recovery re-runs it whole so fresh
+// Collectors never mix outcomes from a failed attempt.
+func (c *Controller) runQueryBatch(qs []*dataplane.Query, constrainSrc bool) ([]*dataplane.Collector, error) {
 	if c.dpWanted && !c.dpDone {
 		if _, err := c.computeDataPlane(); err != nil {
 			return nil, err
 		}
 	}
-	sources := q.Sources
-	if len(sources) == 0 {
-		sources = c.PrefixOwners()
+	sources := make([][]string, len(qs))
+	for i, q := range qs {
+		sources[i] = q.Sources
+		if len(sources[i]) == 0 {
+			sources[i] = c.PrefixOwners()
+		}
 	}
-	col := dataplane.NewCollector(c.engine, q)
+	cols := make([]*dataplane.Collector, len(qs))
+	for i, q := range qs {
+		cols[i] = dataplane.NewCollector(c.engine, q)
+	}
 	err := c.timer.Time("dp-forward", func() error {
-		return c.stage("dp-forward", func() error { return c.forwardQuery(q, sources, constrainSrc, col) })
+		return c.stage("dp-forward", func() error { return c.forwardQueryBatch(qs, sources, constrainSrc, cols) })
 	})
 	if err != nil {
 		return nil, err
 	}
 	c.harvestAll()
-	return col, nil
+	return cols, nil
 }
 
-// forwardQuery is the body of the dp-forward stage: inject at every source,
-// run wavefront rounds to quiescence, then aggregate outcomes.
-func (c *Controller) forwardQuery(q *dataplane.Query, sources []string, constrainSrc bool, col *dataplane.Collector) error {
-	{
-		if err := c.each(func(_ int, w sidecar.WorkerAPI) error {
-			return w.BeginQuery(sidecar.QueryRequest{Query: *q})
+// forwardQueryBatch is the body of the dp-forward stage: inject every
+// query's predicate at its sources (tagged by batch index when there is
+// more than one query), run wavefront rounds to quiescence, then split the
+// harvest back into per-query outcome streams.
+func (c *Controller) forwardQueryBatch(qs []*dataplane.Query, sources [][]string, constrainSrc bool, cols []*dataplane.Collector) error {
+	// Intent-based slicing: only the workers owning nodes the sources can
+	// possibly reach within the hop budget take part in the pass. nil means
+	// every worker (slicing disabled or nothing to prune).
+	ids, err := c.sliceWorkers(sources, qs[0].EffectiveMaxHops())
+	if err != nil {
+		return err
+	}
+
+	if len(qs) == 1 {
+		if err := c.eachSubset(ids, func(_ int, w sidecar.WorkerAPI) error {
+			return w.BeginQuery(sidecar.QueryRequest{Query: *qs[0]})
 		}); err != nil {
 			return err
 		}
+	} else {
+		reqQs := make([]dataplane.Query, len(qs))
+		for i, q := range qs {
+			reqQs[i] = *q
+		}
+		if err := c.eachSubset(ids, func(_ int, w sidecar.WorkerAPI) error {
+			return w.BeginQueryBatch(sidecar.QueryBatchRequest{Queries: reqQs})
+		}); err != nil {
+			if isNoBatchErr(err) {
+				return errLegacyNoBatch
+			}
+			return err
+		}
+	}
+	// Count the pass only once arming succeeded: an aborted legacy-fleet
+	// attempt never injects, so it is not an injection phase.
+	c.observeQueryPass(len(qs), ids)
 
+	for i, q := range qs {
 		base, err := q.Header.Compile(c.engine)
 		if err != nil {
 			return err
 		}
-		for _, src := range sources {
+		tag := ""
+		if len(qs) > 1 {
+			tag = dataplane.QueryTag(i)
+		}
+		for _, src := range sources[i] {
 			pkt := base
 			if constrainSrc {
 				srcSet, err := c.prefixSetMatch(dataplane.OffSrcIP, c.OwnedPrefixes(src))
@@ -1194,72 +1308,97 @@ func (c *Controller) forwardQuery(q *dataplane.Query, sources []string, constrai
 			}
 			if err := w.Inject(sidecar.InjectRequest{
 				Source: src,
+				Tag:    tag,
 				Packet: c.engine.Serialize(pkt),
 			}); err != nil {
 				return err
 			}
 		}
+	}
 
-		for hop := 0; hop <= q.EffectiveMaxHops(); hop++ {
-			endHop := c.startSpan("hop", obs.Int("hop", hop))
-			if _, err := c.eachPhase("dp-forward", func(_ int, w sidecar.WorkerAPI) (bool, error) { return false, w.DPRound() }); err != nil {
-				endHop()
-				return err
-			}
-			c.dpRounds++
-			c.pmu.Lock()
-			c.prog.Round = hop
-			c.pmu.Unlock()
-			busy, err := c.eachChanged(func(w sidecar.WorkerAPI) (bool, error) { return w.HasWork() })
+	for hop := 0; hop <= qs[0].EffectiveMaxHops(); hop++ {
+		endHop := c.startSpan("hop", obs.Int("hop", hop))
+		if _, err := c.eachPhaseIDs("dp-forward", ids, func(_ int, w sidecar.WorkerAPI) (bool, error) { return false, w.DPRound() }); err != nil {
 			endHop()
-			if err != nil {
-				return err
-			}
-			if !busy {
-				break
-			}
-		}
-
-		var mu sync.Mutex
-		batches := map[int]sidecar.OutcomeBatch{}
-		if err := c.each(func(id int, w sidecar.WorkerAPI) error {
-			batch, err := w.FinishQuery()
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			batches[id] = batch
-			mu.Unlock()
-			return nil
-		}); err != nil {
 			return err
 		}
-		// Decode per worker (set-encoded harvests materialize their shared
-		// substrate once), then absorb in a global deterministic order.
-		ids := make([]int, 0, len(batches))
-		for id := range batches {
-			ids = append(ids, id)
+		c.dpRounds++
+		c.pmu.Lock()
+		c.prog.Round = hop
+		c.pmu.Unlock()
+		busy, err := c.eachPhaseIDs("", ids, func(_ int, w sidecar.WorkerAPI) (bool, error) { return w.HasWork() })
+		endHop()
+		if err != nil {
+			return err
 		}
-		sort.Ints(ids)
-		var all []dataplane.Outcome
-		for _, id := range ids {
-			batch := batches[id]
-			if len(batch.Wire) > 0 {
-				outs, err := dataplane.DecodeOutcomes(c.engine, batch.Wire, batch.Outcomes)
-				if err != nil {
-					return fmt.Errorf("core: harvest from worker %d: %w", id, err)
-				}
-				all = append(all, outs...)
-				continue
+		if !busy {
+			break
+		}
+	}
+
+	var mu sync.Mutex
+	batches := map[int]sidecar.OutcomeBatch{}
+	if err := c.eachSubset(ids, func(id int, w sidecar.WorkerAPI) error {
+		batch, err := w.FinishQuery()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		batches[id] = batch
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Decode per worker (set-encoded harvests materialize their shared
+	// substrate once), then absorb per query in a global deterministic
+	// order. With more than one query in flight each outcome's source
+	// carries its query tag: split on it, strip it, and route the outcome
+	// to its own collector.
+	workerIDs := make([]int, 0, len(batches))
+	for id := range batches {
+		workerIDs = append(workerIDs, id)
+	}
+	sort.Ints(workerIDs)
+	perQuery := make([][]dataplane.Outcome, len(qs))
+	route := func(workerID int, o dataplane.Outcome) error {
+		qi := 0
+		if len(qs) > 1 {
+			idx, rest, ok := dataplane.SplitQueryTag(o.Source)
+			if !ok || idx >= len(qs) {
+				return fmt.Errorf("core: harvest from worker %d: outcome source %q carries no valid query tag", workerID, o.Source)
 			}
-			for _, o := range batch.Outcomes {
-				pkt, err := c.engine.Deserialize(o.Packet)
-				if err != nil {
-					return fmt.Errorf("core: harvest from worker %d: outcome %s@%s: %w", id, o.Source, o.Node, err)
+			qi, o.Source = idx, rest
+		}
+		perQuery[qi] = append(perQuery[qi], o)
+		return nil
+	}
+	for _, id := range workerIDs {
+		batch := batches[id]
+		if len(batch.Wire) > 0 {
+			outs, err := dataplane.DecodeOutcomes(c.engine, batch.Wire, batch.Outcomes)
+			if err != nil {
+				return fmt.Errorf("core: harvest from worker %d: %w", id, err)
+			}
+			for _, o := range outs {
+				if err := route(id, o); err != nil {
+					return err
 				}
-				all = append(all, dataplane.Outcome{Source: o.Source, Node: o.Node, State: o.State, Packet: pkt})
+			}
+			continue
+		}
+		for _, o := range batch.Outcomes {
+			pkt, err := c.engine.Deserialize(o.Packet)
+			if err != nil {
+				return fmt.Errorf("core: harvest from worker %d: outcome %s@%s: %w", id, o.Source, o.Node, err)
+			}
+			if err := route(id, dataplane.Outcome{Source: o.Source, Node: o.Node, State: o.State, Packet: pkt}); err != nil {
+				return err
 			}
 		}
+	}
+	for qi := range qs {
+		all := perQuery[qi]
 		sort.SliceStable(all, func(i, j int) bool {
 			if all[i].Node != all[j].Node {
 				return all[i].Node < all[j].Node
@@ -1267,12 +1406,69 @@ func (c *Controller) forwardQuery(q *dataplane.Query, sources []string, constrai
 			return all[i].Source < all[j].Source
 		})
 		for _, o := range all {
-			if err := col.Add(o); err != nil {
+			if err := cols[qi].Add(o); err != nil {
 				return err
 			}
 		}
-		return nil
 	}
+	return nil
+}
+
+// sliceWorkers computes the worker subset a pass must involve: breadth-
+// first search over the topology adjacencies from every effective source,
+// bounded by maxHops+1 edges — a packet advances one adjacency per
+// wavefront round and the hop loop runs maxHops+1 rounds, so nodes beyond
+// that horizon can never hold a packet of this pass. Returns nil (= all
+// workers) when slicing is disabled or nothing can be pruned, keeping the
+// full-fleet path byte-identical to the pre-slicing code.
+func (c *Controller) sliceWorkers(sources [][]string, maxHops int) ([]int, error) {
+	if c.opts.DisableQuerySlicing {
+		return nil, nil
+	}
+	c.wmu.RLock()
+	n := len(c.workers)
+	c.wmu.RUnlock()
+	if n <= 1 {
+		return nil, nil
+	}
+	seen := map[string]int{}
+	var frontier []string
+	for _, srcs := range sources {
+		for _, s := range srcs {
+			if _, ok := seen[s]; !ok {
+				seen[s] = 0
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	for depth := 0; depth <= maxHops && len(frontier) > 0; depth++ {
+		var next []string
+		for _, node := range frontier {
+			for _, adj := range c.net.Adjacencies[node] {
+				if _, ok := seen[adj.Neighbor]; !ok {
+					seen[adj.Neighbor] = depth + 1
+					next = append(next, adj.Neighbor)
+				}
+			}
+		}
+		frontier = next
+	}
+	inSlice := make([]bool, n)
+	for node := range seen {
+		if id, ok := c.assignment.Of[node]; ok && id >= 0 && id < n {
+			inSlice[id] = true
+		}
+	}
+	var ids []int
+	for id, in := range inSlice {
+		if in {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 || len(ids) == n {
+		return nil, nil
+	}
+	return ids, nil
 }
 
 // prefixSetMatch ORs prefix cubes at the given field offset.
@@ -1303,6 +1499,8 @@ type AllPairsResult struct {
 	Violations []dataplane.Violation
 	Sources    int
 	Dests      int
+	// Epoch is the verified-state epoch the traversal ran against.
+	Epoch uint64
 }
 
 // CheckAllPairs runs all-pair reachability in one symbolic traversal:
@@ -1326,11 +1524,11 @@ func (c *Controller) CheckAllPairs() (*AllPairsResult, error) {
 		Sources: owners,
 		Dests:   owners,
 	}
-	col, err := c.RunQuery(q, true)
+	col, epoch, err := c.SubmitQuery(q, true)
 	if err != nil {
 		return nil, err
 	}
-	res := &AllPairsResult{Collector: col, Sources: len(owners), Dests: len(owners)}
+	res := &AllPairsResult{Collector: col, Sources: len(owners), Dests: len(owners), Epoch: epoch}
 	srcUnion, err := c.prefixSetMatch(dataplane.OffSrcIP, allOwned)
 	if err != nil {
 		return nil, err

@@ -43,6 +43,12 @@ const (
 	MetricDeltaPlans      = "s2_delta_plan_total"
 	MetricDeltaDirty      = "s2_delta_dirty_shards"
 	MetricDeltaTotal      = "s2_delta_total_shards"
+
+	// Query-plane metrics (see queryplane.go).
+	MetricQueryCacheHits     = "s2_query_cache_hits_total"
+	MetricQueryPasses        = "s2_query_passes_total"
+	MetricQueryBatchSize     = "s2_query_batch_size"
+	MetricQuerySlicedWorkers = "s2_query_sliced_workers"
 )
 
 // faultEventKeys are the metrics.FaultCounters keys bridged to

@@ -35,6 +35,7 @@ type wireDelivery struct {
 	from  int
 	wire  []byte
 	items []sidecar.WirePacket
+	round int
 }
 
 // peerLacksWire reports whether peer owner rejected DeliverBatch before.
@@ -75,22 +76,41 @@ func (w *Worker) DeliverBatch(req sidecar.DeliverBatchRequest) (sidecar.DeliverB
 	if !ok {
 		return sidecar.DeliverBatchReply{Reset: true}, nil
 	}
-	w.wireInbox = append(w.wireInbox, wireDelivery{from: req.From, wire: req.Wire, items: req.Items})
+	w.wireInbox = append(w.wireInbox, wireDelivery{from: req.From, wire: req.Wire, items: req.Items, round: req.Round})
 	w.statsPackets += int64(len(req.Items))
 	return sidecar.DeliverBatchReply{}, nil
 }
 
-// drainInbox moves every queued delivery into cur, Or-merging per slot:
-// legacy per-packet payloads deserialize individually; wire substrates
-// materialize in arrival order — each message bulk-inserts its node table
-// into the engine in one pass under a single stripe-ordered lock
-// acquisition — and resolve packet roots against the sender's table.
-func (w *Worker) drainInbox(cur map[packetSlot]bdd.Ref) error {
+// drainInbox moves queued deliveries stamped for rounds <= upTo into cur,
+// Or-merging per slot: legacy per-packet payloads deserialize individually;
+// wire substrates materialize in arrival order — each message bulk-inserts
+// its node table into the engine in one pass under a single stripe-ordered
+// lock acquisition — and resolve packet roots against the sender's table.
+// Deliveries stamped for later rounds stay parked so that a packet crosses
+// exactly one adjacency per wavefront round no matter how peer DPRounds
+// interleave; the phase barrier guarantees every round-r shipment has
+// arrived before any round-r drain begins, and rounds arrive monotonically
+// per sender, so the kept prefix preserves per-sender wire session order.
+func (w *Worker) drainInbox(cur map[packetSlot]bdd.Ref, upTo int) error {
 	w.qmu.Lock()
-	inbox := w.inbox
-	w.inbox = nil
-	wireIn := w.wireInbox
-	w.wireInbox = nil
+	var inbox, parked []sidecar.PacketDelivery
+	for _, d := range w.inbox {
+		if d.Round > upTo {
+			parked = append(parked, d)
+		} else {
+			inbox = append(inbox, d)
+		}
+	}
+	w.inbox = parked
+	var wireIn, wireParked []wireDelivery
+	for _, wd := range w.wireInbox {
+		if wd.round > upTo {
+			wireParked = append(wireParked, wd)
+		} else {
+			wireIn = append(wireIn, wd)
+		}
+	}
+	w.wireInbox = wireParked
 	// Snapshot the table pointers for the senders being drained: peers keep
 	// delivering (and inserting sessions for new senders) under qmu while
 	// this drain runs, so the shared map must not leave the lock. The tables
@@ -161,7 +181,7 @@ func wireBytesOf(wire []byte, roots []uint32) int {
 // false (with nil error) means the peer does not serve DeliverBatch and
 // the caller must fall back to per-packet delivery. A Reset reply runs
 // the handshake once: reset the session and re-send self-contained.
-func (w *Worker) deliverWire(peer sidecar.WorkerAPI, owner int, items []wireItem) (ok bool, err error) {
+func (w *Worker) deliverWire(peer sidecar.WorkerAPI, owner int, items []wireItem, next int) (ok bool, err error) {
 	sess := w.sendSessions[owner]
 	if sess == nil {
 		sess = bdd.NewWireSession()
@@ -171,7 +191,7 @@ func (w *Worker) deliverWire(peer sidecar.WorkerAPI, owner int, items []wireItem
 	for i, it := range items {
 		refs[i] = it.out
 	}
-	req := sidecar.DeliverBatchRequest{From: w.id, Items: make([]sidecar.WirePacket, len(items))}
+	req := sidecar.DeliverBatchRequest{From: w.id, Items: make([]sidecar.WirePacket, len(items)), Round: next}
 	for attempt := 0; attempt < 2; attempt++ {
 		wire, roots, _, deduped := w.engine.EncodeDelta(sess, refs)
 		req.Wire = wire
@@ -207,8 +227,9 @@ func (w *Worker) deliverWire(peer sidecar.WorkerAPI, owner int, items []wireItem
 // shipRemote delivers the round's (or chunk's) boundary crossings in
 // deterministic owner order, one message per destination worker on the
 // wire path, falling back per packet for peers without DeliverBatch or
-// when wire dedup is disabled.
-func (w *Worker) shipRemote(remote map[int][]wireItem) error {
+// when wire dedup is disabled. next is the wavefront round the crossings
+// belong to at the receiver (the shipping round plus one).
+func (w *Worker) shipRemote(remote map[int][]wireItem, next int) error {
 	owners := make([]int, 0, len(remote))
 	for o := range remote {
 		owners = append(owners, o)
@@ -224,7 +245,7 @@ func (w *Worker) shipRemote(remote map[int][]wireItem) error {
 			return fmt.Errorf("core: worker %d has no peer %d", w.id, o)
 		}
 		if w.wireDedup && !w.peerLacksWire(o) {
-			ok, err := w.deliverWire(peer, o, items)
+			ok, err := w.deliverWire(peer, o, items, next)
 			if err != nil {
 				return err
 			}
@@ -237,7 +258,7 @@ func (w *Worker) shipRemote(remote map[int][]wireItem) error {
 		for i, it := range items {
 			pkt := w.engine.Serialize(it.out)
 			bytes += len(pkt)
-			out[i] = sidecar.PacketDelivery{Source: it.source, Node: it.node, InPort: it.inPort, Packet: pkt}
+			out[i] = sidecar.PacketDelivery{Source: it.source, Node: it.node, InPort: it.inPort, Packet: pkt, Round: next}
 		}
 		if err := peer.DeliverPackets(out); err != nil {
 			return fmt.Errorf("core: worker %d delivering to %d: %w", w.id, o, err)

@@ -12,6 +12,7 @@ package core
 import (
 	"encoding/gob"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -84,8 +85,8 @@ type Worker struct {
 	// receiver half (map and accept cursors guarded by qmu, materialized
 	// refs touched only by the phase goroutine); wireInbox parks accepted
 	// batch deliveries until the next drain (guarded by qmu).
-	wireDedup    bool
-	noWire       map[int]bool
+	wireDedup bool
+	noWire    map[int]bool
 	// noWirePull remembers peers that don't serve the varint-encoded batch
 	// pull RPCs (PullBGPBatchWire/PullLSABatchWire); pulls to them fall
 	// back to the gob batch, then to per-pull calls. Guarded by noBatchMu.
@@ -129,6 +130,10 @@ type Worker struct {
 	adjIndex dataplane.AdjacencyIndex
 	query    *dataplane.Query
 	destSet  map[string]bool
+	// batchDests holds the per-query dest sets of a multi-query pass
+	// (BeginQueryBatch), indexed by the query's tag index; nil outside a
+	// batch pass. A nil entry means "any delivery counts" for that query.
+	batchDests []map[string]bool
 
 	// qmu guards the cross-RPC mutable state below: peers deliver packets
 	// concurrently with the controller's round barrier.
@@ -137,6 +142,11 @@ type Worker struct {
 	queue    map[packetSlot]bdd.Ref
 	queueLen int
 	outcomes []dataplane.Outcome
+	// qround is the wavefront round the next DPRound will process. Peer
+	// deliveries stamped for a later round stay parked in the inbox, so a
+	// packet advances exactly one adjacency per round no matter how the
+	// concurrently-running workers' deliveries interleave with the drain.
+	qround int
 
 	statsPulls   int64
 	statsPackets int64
@@ -237,12 +247,13 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 		os.Remove(p)
 	}
 	w.spills = nil
-	w.engine, w.nodesDP, w.query, w.destSet = nil, nil, nil, nil
+	w.engine, w.nodesDP, w.query, w.destSet, w.batchDests = nil, nil, nil, nil, nil
 	w.gcStress, w.gcWipe = req.GCStress, req.GCWipe
 	w.pacer = newGCPacer(req.GCStress, req.MemoryBudget > 0)
 	w.gcPauses = metrics.NewDurationQuantiles(0)
 	w.qmu.Lock()
 	w.inbox, w.queue, w.queueLen, w.outcomes = nil, nil, 0, nil
+	w.qround = 0
 	w.wireInbox, w.recvTables = nil, map[int]*bdd.WireTable{}
 	w.statsPulls, w.statsPackets = 0, 0
 	w.qmu.Unlock()
@@ -1376,20 +1387,74 @@ func (w *Worker) BeginQuery(req sidecar.QueryRequest) error {
 	}
 	w.query = &q
 	w.destSet = nil
+	w.batchDests = nil
 	if len(q.Dests) > 0 {
 		w.destSet = map[string]bool{}
 		for _, d := range q.Dests {
 			w.destSet[d] = true
 		}
 	}
+	w.resetQueryState()
+	return nil
+}
+
+// BeginQueryBatch implements sidecar.WorkerAPI: arm one multi-query pass.
+// Pass-wide state (transit metadata bits, TTL) comes from the first query —
+// the controller only batches BatchCompatible queries, and the worker
+// re-checks. Per-query dest sets are kept by tag index; injected packets
+// carry dataplane.QueryTag(i) source prefixes so the wavefront never merges
+// packets across queries (packetSlot keys on the tagged source).
+func (w *Worker) BeginQueryBatch(req sidecar.QueryBatchRequest) error {
+	w.phaseMu.Lock()
+	defer w.phaseMu.Unlock()
+	span := w.obsWorkerSpan("begin-query-batch")
+	defer span.End()
+	if w.nodesDP == nil {
+		return fmt.Errorf("core: worker %d: ComputeDP must run before queries", w.id)
+	}
+	if len(req.Queries) == 0 {
+		return fmt.Errorf("core: worker %d: empty query batch", w.id)
+	}
+	w.flight.Record("phase", "begin-query-batch: %d queries", len(req.Queries))
+	qs := req.Queries
+	for i := range qs {
+		if err := qs[i].Validate(w.layout); err != nil {
+			return err
+		}
+		if !dataplane.BatchCompatible(&qs[0], &qs[i]) {
+			return fmt.Errorf("core: worker %d: query %d is not batch-compatible", w.id, i)
+		}
+	}
+	w.query = &qs[0]
+	w.destSet = nil
+	w.batchDests = make([]map[string]bool, len(qs))
+	for i := range qs {
+		if len(qs[i].Dests) == 0 {
+			continue
+		}
+		ds := make(map[string]bool, len(qs[i].Dests))
+		for _, d := range qs[i].Dests {
+			ds[d] = true
+		}
+		w.batchDests[i] = ds
+	}
+	w.resetQueryState()
+	return nil
+}
+
+// resetQueryState is the shared tail of BeginQuery/BeginQueryBatch: stamp
+// the transit metadata bits, clear the wavefront, and GC the previous
+// query's garbage. Call with phaseMu held and w.query set.
+func (w *Worker) resetQueryState() {
 	for name, n := range w.nodesDP {
-		n.MetaBit = q.MetaBitFor(name)
+		n.MetaBit = w.query.MetaBitFor(name)
 	}
 	w.qmu.Lock()
 	w.inbox = nil
 	w.queue = map[packetSlot]bdd.Ref{}
 	w.queueLen = 0
 	w.outcomes = nil
+	w.qround = 0
 	// Wire sessions are per phase: drop receive state and start the send
 	// sessions over so every peer's first message is self-contained.
 	w.wireInbox = nil
@@ -1398,7 +1463,6 @@ func (w *Worker) BeginQuery(req sidecar.QueryRequest) error {
 	w.sendSessions = map[int]*bdd.WireSession{}
 	// Collect the previous query's garbage before this one starts.
 	w.gcEngine()
-	return nil
 }
 
 // Inject implements sidecar.WorkerAPI: queue a symbolic packet at a local
@@ -1411,7 +1475,9 @@ func (w *Worker) Inject(req sidecar.InjectRequest) error {
 	}
 	w.qmu.Lock()
 	defer w.qmu.Unlock()
-	w.inbox = append(w.inbox, sidecar.PacketDelivery{Source: req.Source, Node: req.Source, Packet: req.Packet})
+	// In a batch pass the packet circulates under its tagged source, which
+	// keeps per-query packets in distinct wavefront slots end to end.
+	w.inbox = append(w.inbox, sidecar.PacketDelivery{Source: req.Tag + req.Source, Node: req.Source, Packet: req.Packet})
 	return nil
 }
 
@@ -1444,12 +1510,16 @@ func (w *Worker) DPRound() error {
 		return w.dpRoundParallel()
 	}
 	// Drain the inbox into the queue (deserializing on our goroutine).
+	// Only deliveries stamped for this round or earlier materialize;
+	// later-stamped ones park until their round.
 	w.qmu.Lock()
 	cur := w.queue
 	w.queue = map[packetSlot]bdd.Ref{}
 	w.queueLen = 0
+	round := w.qround
+	w.qround++
 	w.qmu.Unlock()
-	if err := w.drainInbox(cur); err != nil {
+	if err := w.drainInbox(cur, round); err != nil {
 		return err
 	}
 	if len(cur) == 0 {
@@ -1521,7 +1591,7 @@ func (w *Worker) DPRound() error {
 			if !ok {
 				// Edge port: leaves the network here.
 				state := dataplane.Exit
-				if w.isDest(s.node) {
+				if w.isDest(s.source, s.node) {
 					state = dataplane.Arrive
 				}
 				w.classify(s.source, s.node, state, out)
@@ -1551,8 +1621,9 @@ func (w *Worker) DPRound() error {
 	}
 
 	// Ship boundary crossings (③→④→⑤ in Figure 3): one shared-substrate
-	// message per destination worker, per-packet for legacy peers.
-	if err := w.shipRemote(remote); err != nil {
+	// message per destination worker, per-packet for legacy peers. The
+	// crossings belong to the next round.
+	if err := w.shipRemote(remote, round+1); err != nil {
 		return err
 	}
 
@@ -1586,8 +1657,10 @@ func (w *Worker) dpRoundParallel() error {
 	cur := w.queue
 	w.queue = map[packetSlot]bdd.Ref{}
 	w.queueLen = 0
+	round := w.qround
+	w.qround++
 	w.qmu.Unlock()
-	if err := w.drainInbox(cur); err != nil {
+	if err := w.drainInbox(cur, round); err != nil {
 		return err
 	}
 	if len(cur) == 0 {
@@ -1715,7 +1788,7 @@ func (w *Worker) dpRoundParallel() error {
 				if po.edge {
 					// Edge port: leaves the network here.
 					state := dataplane.Exit
-					if w.isDest(s.node) {
+					if w.isDest(s.source, s.node) {
 						state = dataplane.Arrive
 					}
 					w.classify(s.source, s.node, state, po.out)
@@ -1746,13 +1819,14 @@ func (w *Worker) dpRoundParallel() error {
 						Node:   po.dest.Node,
 						InPort: po.dest.Port,
 						Packet: po.packet,
+						Round:  round + 1,
 					})
 				}
 			}
 		}
 		// Ship this chunk's wire-path crossings: one substrate message per
 		// destination worker (③→④→⑤ in Figure 3, batched).
-		if err := w.shipRemote(chunkWire); err != nil {
+		if err := w.shipRemote(chunkWire, round+1); err != nil {
 			return err
 		}
 	}
@@ -1877,7 +1951,16 @@ func (w *Worker) gcWithExtraRoots(extra func(add func(bdd.Ref))) func(bdd.Ref) b
 	return remap
 }
 
-func (w *Worker) isDest(node string) bool {
+// isDest reports whether delivery at node counts as Arrive for the query
+// that owns source. In a batch pass the source's tag index selects the
+// query's dest set; solo passes use the single destSet.
+func (w *Worker) isDest(source, node string) bool {
+	if w.batchDests != nil {
+		if i, _, ok := dataplane.SplitQueryTag(source); ok && i < len(w.batchDests) {
+			ds := w.batchDests[i]
+			return ds == nil || ds[node]
+		}
+	}
 	return w.destSet == nil || w.destSet[node]
 }
 
@@ -1885,7 +1968,7 @@ func (w *Worker) classify(source, node string, state dataplane.FinalState, pkt b
 	if pkt == bdd.False {
 		return
 	}
-	if state == dataplane.Arrive && !w.isDest(node) {
+	if state == dataplane.Arrive && !w.isDest(source, node) {
 		state = dataplane.Exit
 	}
 	w.outcomes = append(w.outcomes, dataplane.Outcome{Source: source, Node: node, State: state, Packet: pkt})
@@ -1913,8 +1996,9 @@ func (w *Worker) FinishQuery() (sidecar.OutcomeBatch, error) {
 	w.queueLen = 0
 	w.qmu.Unlock()
 	// Deliveries that raced the controller's convergence check are loops
-	// too; drainInbox also materializes any parked wire batches.
-	if err := w.drainInbox(stragglers); err != nil {
+	// too, whatever round they were stamped for; drainInbox also
+	// materializes any parked wire batches.
+	if err := w.drainInbox(stragglers, math.MaxInt); err != nil {
 		return sidecar.OutcomeBatch{}, err
 	}
 	slots := make([]packetSlot, 0, len(stragglers))

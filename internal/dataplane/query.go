@@ -1,8 +1,12 @@
 package dataplane
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"strconv"
+	"strings"
 
 	"s2/internal/bdd"
 	"s2/internal/route"
@@ -68,6 +72,126 @@ func (q *Query) MetaBitFor(name string) int {
 		}
 	}
 	return -1
+}
+
+// queryTagSep separates a multi-query pass tag from the real source name.
+// The unit separator cannot appear in device hostnames, so tagged sources
+// ("q3\x1fedge-0-0") never collide with untagged ones and survive every
+// delivery path (wire codec, per-packet, outcome harvest) untouched.
+const queryTagSep = "\x1f"
+
+// QueryTag returns the source prefix that marks packets of query i within
+// a multi-query pass. Query packets with different tags occupy different
+// wavefront slots, so they propagate independently through one shared pass.
+func QueryTag(i int) string {
+	return "q" + strconv.Itoa(i) + queryTagSep
+}
+
+// SplitQueryTag splits a possibly tagged source into its query index and
+// the real source name. Untagged sources report ok=false.
+func SplitQueryTag(source string) (idx int, rest string, ok bool) {
+	sep := strings.Index(source, queryTagSep)
+	if sep < 2 || source[0] != 'q' {
+		return 0, source, false
+	}
+	n, err := strconv.Atoi(source[1:sep])
+	if err != nil || n < 0 {
+		return 0, source, false
+	}
+	return n, source[sep+len(queryTagSep):], true
+}
+
+// BatchCompatible reports whether two queries can share one symbolic pass.
+// The pass-wide state a batch shares is exactly the transit metadata-bit
+// assignment (BeginQuery stamps MetaBitFor onto every node) and the hop
+// loop's TTL; header spaces, sources, and dests stay per-query via tagged
+// injection.
+func BatchCompatible(a, b *Query) bool {
+	if a.EffectiveMaxHops() != b.EffectiveMaxHops() {
+		return false
+	}
+	if len(a.Transits) != len(b.Transits) {
+		return false
+	}
+	for i := range a.Transits {
+		if a.Transits[i] != b.Transits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fpHasher is a small FNV-64a wrapper with length-prefixed fields, so
+// adjacent variable-length fields cannot alias (the internal/config
+// fingerprint idiom).
+type fpHasher struct {
+	h interface{ Write([]byte) (int, error) }
+}
+
+func (f fpHasher) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	f.h.Write(b[:])
+}
+
+func (f fpHasher) str(s string) {
+	f.u32(uint32(len(s)))
+	f.h.Write([]byte(s))
+}
+
+func (f fpHasher) strs(ss []string) {
+	f.u32(uint32(len(ss)))
+	for _, s := range ss {
+		f.str(s)
+	}
+}
+
+func (f fpHasher) prefix(p route.Prefix) {
+	f.u32(p.Addr)
+	f.u32(uint32(p.Len))
+}
+
+// Fingerprint computes the canonical identity of a query for caching:
+// every field that affects the answer is hashed with length prefixes, in a
+// fixed order. constrainSrc is part of the identity because it changes the
+// injected predicates. Deterministic across processes (FNV-64a, no map
+// iteration).
+func (q *Query) Fingerprint(constrainSrc bool) uint64 {
+	h := fnv.New64a()
+	f := fpHasher{h: h}
+	if q.Header != nil {
+		f.u32(uint32(q.Header.Proto))
+		f.u32(uint32(q.Header.DstPortLo))
+		f.u32(uint32(q.Header.DstPortHi))
+		if q.Header.SrcPrefix != nil {
+			f.u32(1)
+			f.prefix(*q.Header.SrcPrefix)
+		} else {
+			f.u32(0)
+		}
+		if q.Header.DstPrefix != nil {
+			f.u32(1)
+			f.prefix(*q.Header.DstPrefix)
+		} else {
+			f.u32(0)
+		}
+		f.u32(uint32(len(q.Header.DstIn)))
+		for _, p := range q.Header.DstIn {
+			f.prefix(p)
+		}
+	} else {
+		f.u32(0)
+	}
+	f.strs(q.Sources)
+	f.strs(q.Dests)
+	f.strs(q.Transits)
+	f.u32(uint32(q.EffectiveMaxHops()))
+	if constrainSrc {
+		f.u32(1)
+	} else {
+		f.u32(0)
+	}
+	return h.Sum64()
 }
 
 // Validate checks the query against a layout.

@@ -242,6 +242,13 @@ func (j *Injector) BeginQuery(req sidecar.QueryRequest) error {
 	return j.inner.BeginQuery(req)
 }
 
+func (j *Injector) BeginQueryBatch(req sidecar.QueryBatchRequest) error {
+	if err := j.before("BeginQueryBatch"); err != nil {
+		return err
+	}
+	return j.inner.BeginQueryBatch(req)
+}
+
 func (j *Injector) Inject(req sidecar.InjectRequest) error {
 	if err := j.before("Inject"); err != nil {
 		return err

@@ -159,6 +159,10 @@ func (w *wrapped) BeginQuery(req sidecar.QueryRequest) error {
 	return w.c.Do("BeginQuery", true, func() error { return w.api.BeginQuery(req) })
 }
 
+func (w *wrapped) BeginQueryBatch(req sidecar.QueryBatchRequest) error {
+	return w.c.Do("BeginQueryBatch", true, func() error { return w.api.BeginQueryBatch(req) })
+}
+
 func (w *wrapped) Inject(req sidecar.InjectRequest) error {
 	return w.c.Do("Inject", false, func() error { return w.api.Inject(req) })
 }

@@ -15,6 +15,11 @@
 //	                        epoch).
 //	GET  /v1/queries        warm queries: ?type=allpairs|ribs|routecount
 //	                        (&device=NAME filters ribs).
+//	POST /v1/queries        batch reachability queries: {"queries": [...]};
+//	                        compatible queries share symbolic passes, repeat
+//	                        queries hit the epoch-keyed answer cache, and
+//	                        every result carries the epoch it was answered
+//	                        against.
 //	GET  /v1/epoch          the verified-state epoch.
 //	GET  /v1/status         epoch, device count, staged-change count, last
 //	                        delta, audit and trace summary.
@@ -94,11 +99,13 @@ type Options struct {
 }
 
 // Server holds the resident verifier and the staged-but-unverified config
-// changes. All verifier operations are serialized: the underlying pipeline
-// orchestrates multi-step worker phases that must not interleave. That
-// serialization is also what makes per-request span attribution sound —
-// between SetRequestSpan and the drain, every pipeline span belongs to the
-// one request holding the lock.
+// changes. State-changing requests (/v1/configs, /v1/verify) serialize on
+// s.mu; warm read-only queries (GET and POST /v1/queries) deliberately do
+// NOT take it — the verifier's own readers/writer lock lets them run
+// concurrently with each other while still excluding verifies. That is also
+// why per-request span attribution stays on /v1/verify only: with reads in
+// flight concurrently there is no single request a pipeline span could be
+// attributed to.
 type Server struct {
 	mu sync.Mutex
 	v  *s2.Verifier
@@ -106,10 +113,14 @@ type Server struct {
 	staged  map[string]string // device → replacement text
 	removed map[string]bool   // device → staged removal
 
-	// Warm-query cache, keyed by epoch: between verifies the all-pairs
-	// report is immutable.
-	cacheEpoch  uint64
-	cacheReport *s2.ReachabilityReport
+	// Single-flighted all-pairs cache: between verifies the report is
+	// immutable, so concurrent cold requests collapse into one
+	// CheckAllPairs with the waiters sharing the result. apMu guards the
+	// three fields; apDone is closed when the in-flight computation ends.
+	apMu     sync.Mutex
+	apReport *s2.ReachabilityReport
+	apBusy   bool
+	apDone   chan struct{}
 
 	lastDelta *s2.DeltaReport
 	started   time.Time
@@ -459,34 +470,37 @@ func (s *Server) handleVerify(r *http.Request) (status int, body any) {
 }
 
 func (s *Server) handleQueries(r *http.Request) (status int, body any) {
-	if r.Method != http.MethodGet {
-		return errBody(http.StatusMethodNotAllowed, "GET only")
+	switch r.Method {
+	case http.MethodGet:
+		return s.handleWarmQueries(r)
+	case http.MethodPost:
+		return s.handleBatchQueries(r)
+	default:
+		return errBody(http.StatusMethodNotAllowed, "GET or POST only")
 	}
+}
+
+// handleWarmQueries answers read-only queries from resident state. No s.mu:
+// the verifier's readers/writer lock makes these safe to run concurrently
+// with each other while excluding /v1/verify.
+func (s *Server) handleWarmQueries(r *http.Request) (int, any) {
 	kind := r.URL.Query().Get("type")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if end := s.beginTrace(r, "GET /v1/queries"); end != nil {
-		defer func() { end(status) }()
-	}
-	epoch := s.v.Epoch()
 	switch kind {
 	case "", "allpairs":
-		if s.cacheReport == nil || s.cacheEpoch != epoch {
-			report, err := s.v.CheckAllPairs()
-			if err != nil {
-				return errBody(http.StatusInternalServerError, "all-pairs: %v", err)
-			}
-			s.cacheReport, s.cacheEpoch = report, epoch
+		report, err := s.allPairs()
+		if err != nil {
+			return errBody(http.StatusInternalServerError, "all-pairs: %v", err)
 		}
 		return http.StatusOK, map[string]any{
-			"epoch":      epoch,
-			"ok":         s.cacheReport.OK(),
-			"sources":    s.cacheReport.Sources,
-			"dests":      s.cacheReport.Dests,
-			"unreached":  s.cacheReport.Unreached,
-			"violations": s.cacheReport.Violations,
+			"epoch":      report.Epoch,
+			"ok":         report.OK(),
+			"sources":    report.Sources,
+			"dests":      report.Dests,
+			"unreached":  report.Unreached,
+			"violations": report.Violations,
 		}
 	case "ribs":
+		epoch := s.v.Epoch()
 		ribs, err := s.v.RIBs()
 		if err != nil {
 			return errBody(http.StatusInternalServerError, "ribs: %v", err)
@@ -500,6 +514,7 @@ func (s *Server) handleQueries(r *http.Request) (status int, body any) {
 		}
 		return http.StatusOK, map[string]any{"epoch": epoch, "ribs": ribs}
 	case "routecount":
+		epoch := s.v.Epoch()
 		n, err := s.v.RouteCount()
 		if err != nil {
 			return errBody(http.StatusInternalServerError, "routecount: %v", err)
@@ -507,6 +522,103 @@ func (s *Server) handleQueries(r *http.Request) (status int, body any) {
 		return http.StatusOK, map[string]any{"epoch": epoch, "routes": n}
 	default:
 		return errBody(http.StatusBadRequest, "unknown query type %q (want allpairs, ribs, or routecount)", kind)
+	}
+}
+
+// allPairs returns the per-epoch all-pairs report, computing it at most
+// once per epoch no matter how many cold requests arrive concurrently:
+// the first takes the computation, the rest wait on it and share the
+// result. The report's own Epoch field keys the cache, so a stale report
+// can never be served for a newer epoch.
+func (s *Server) allPairs() (*s2.ReachabilityReport, error) {
+	for {
+		epoch := s.v.Epoch()
+		s.apMu.Lock()
+		if s.apReport != nil && s.apReport.Epoch == epoch {
+			report := s.apReport
+			s.apMu.Unlock()
+			return report, nil
+		}
+		if !s.apBusy {
+			break
+		}
+		done := s.apDone
+		s.apMu.Unlock()
+		<-done
+	}
+	s.apBusy = true
+	done := make(chan struct{})
+	s.apDone = done
+	s.apMu.Unlock()
+	report, err := s.v.CheckAllPairs()
+	s.apMu.Lock()
+	s.apBusy = false
+	if err == nil {
+		s.apReport = report
+	}
+	s.apMu.Unlock()
+	close(done)
+	return report, err
+}
+
+// batchQuery is the wire form of one POST /v1/queries entry, mirroring
+// s2.Query field for field.
+type batchQuery struct {
+	DstPrefix string   `json:"dst_prefix"`
+	SrcPrefix string   `json:"src_prefix"`
+	Protocol  uint8    `json:"protocol"`
+	DstPort   uint16   `json:"dst_port"`
+	Sources   []string `json:"sources"`
+	Dests     []string `json:"dests"`
+	Transits  []string `json:"transits"`
+	MaxHops   int      `json:"max_hops"`
+}
+
+// handleBatchQueries answers a batch of reachability queries in one
+// submission: compatible queries share symbolic passes, duplicates collapse,
+// and repeats against an unchanged epoch hit the answer cache.
+func (s *Server) handleBatchQueries(r *http.Request) (int, any) {
+	var req struct {
+		Queries []batchQuery `json:"queries"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return errBody(http.StatusBadRequest, "bad JSON: %v", err)
+	}
+	if len(req.Queries) == 0 {
+		return errBody(http.StatusBadRequest, "no queries")
+	}
+	qs := make([]s2.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		qs[i] = s2.Query{
+			DstPrefix: q.DstPrefix,
+			SrcPrefix: q.SrcPrefix,
+			Protocol:  q.Protocol,
+			DstPort:   q.DstPort,
+			Sources:   q.Sources,
+			Dests:     q.Dests,
+			Transits:  q.Transits,
+			MaxHops:   q.MaxHops,
+		}
+	}
+	reports, err := s.v.CheckBatch(qs)
+	if err != nil {
+		return errBody(http.StatusBadRequest, "query batch: %v", err)
+	}
+	results := make([]map[string]any, len(reports))
+	var epoch uint64
+	for i, rep := range reports {
+		epoch = rep.Epoch
+		results[i] = map[string]any{
+			"epoch":      rep.Epoch,
+			"ok":         rep.OK(),
+			"reached":    rep.ReachedDests,
+			"violations": rep.Violations,
+		}
+	}
+	return http.StatusOK, map[string]any{
+		"epoch":   epoch,
+		"count":   len(results),
+		"results": results,
 	}
 }
 

@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"s2"
+	"s2/internal/core"
 	"s2/internal/obs"
 	"s2/internal/synth"
 )
@@ -464,4 +466,148 @@ func TestServeMetricsSurface(t *testing.T) {
 			t.Fatalf("metrics missing %q:\n%s", want, m)
 		}
 	}
+}
+
+func TestServeBatchQueries(t *testing.T) {
+	ts, _ := bootServer(t)
+	queries := []map[string]any{
+		{"dst_prefix": "10.128.64.0/24", "sources": []string{"edge-0-0"}, "dests": []string{"edge-0-1"}},
+		{"dst_prefix": "10.128.0.0/24", "dests": []string{"edge-0-0"}},
+		{"dst_prefix": "10.128.64.0/24", "sources": []string{"edge-0-0"}, "dests": []string{"edge-0-1"}}, // duplicate of #0
+	}
+	body := postJSON(t, ts.URL+"/v1/queries", map[string]any{"queries": queries}, 200)
+	if got := body["count"].(float64); got != 3 {
+		t.Fatalf("count = %v", got)
+	}
+	if body["epoch"].(float64) < 1 {
+		t.Fatalf("epoch = %v", body["epoch"])
+	}
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, raw := range results {
+		res := raw.(map[string]any)
+		if res["ok"] != true {
+			t.Errorf("result %d: %v", i, res)
+		}
+		if res["epoch"] != body["epoch"] {
+			t.Errorf("result %d: epoch %v != batch epoch %v", i, res["epoch"], body["epoch"])
+		}
+	}
+	// Duplicate queries must agree exactly.
+	if a, b := fmt.Sprint(results[0]), fmt.Sprint(results[2]); a != b {
+		t.Errorf("duplicate queries answered differently:\n%s\n%s", a, b)
+	}
+
+	// Malformed inputs.
+	postJSON(t, ts.URL+"/v1/queries", map[string]any{"queries": []any{}}, 400)
+	postJSON(t, ts.URL+"/v1/queries",
+		map[string]any{"queries": []map[string]any{{"dst_prefix": "bogus"}}}, 400)
+	resp, err := http.Post(ts.URL+"/v1/queries", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad JSON: status %d", resp.StatusCode)
+	}
+}
+
+// TestServeAllPairsSingleFlight fires a burst of cold all-pairs reads and
+// checks that exactly one symbolic pass served them all: one flight
+// computes, the rest wait and share, repeats hit the per-epoch cache.
+func TestServeAllPairsSingleFlight(t *testing.T) {
+	ts, _, sopts := bootObsServer(t)
+	before := sopts.Registry.Snapshot()[core.MetricQueryPasses]
+
+	const burst = 8
+	var wg sync.WaitGroup
+	epochs := make([]float64, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/queries?type=allpairs")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var body map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != 200 || body["ok"] != true {
+				t.Errorf("allpairs %d: status %d body %v", i, resp.StatusCode, body)
+				return
+			}
+			epochs[i] = body["epoch"].(float64)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < burst; i++ {
+		if epochs[i] != epochs[0] {
+			t.Fatalf("epoch drift across burst: %v", epochs)
+		}
+	}
+	after := sopts.Registry.Snapshot()[core.MetricQueryPasses]
+	if got := after - before; got != 1 {
+		t.Fatalf("%v passes for a %d-wide cold burst, want exactly 1", got, burst)
+	}
+	// Warm repeat: no new pass at all.
+	getJSON(t, ts.URL+"/v1/queries?type=allpairs", 200)
+	if got := sopts.Registry.Snapshot()[core.MetricQueryPasses]; got != after {
+		t.Fatalf("warm all-pairs repeat ran %v extra passes", got-after)
+	}
+}
+
+// TestServeWarmReadsRunConcurrently mixes every warm read kind and batch
+// posts in flight at once; all must succeed against the shared verifier.
+func TestServeWarmReadsRunConcurrently(t *testing.T) {
+	ts, _ := bootServer(t)
+	urls := []string{
+		ts.URL + "/v1/queries?type=allpairs",
+		ts.URL + "/v1/queries?type=ribs&device=edge-0-0",
+		ts.URL + "/v1/queries?type=routecount",
+		ts.URL + "/v1/epoch",
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for _, u := range urls {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				resp, err := http.Get(u)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("GET %s: %d", u, resp.StatusCode)
+				}
+			}(u)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload, _ := json.Marshal(map[string]any{"queries": []map[string]any{
+				{"dst_prefix": "10.128.0.0/24", "dests": []string{"edge-0-0"}},
+			}})
+			resp, err := http.Post(ts.URL+"/v1/queries", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("POST /v1/queries: %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
 }

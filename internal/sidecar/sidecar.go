@@ -239,21 +239,44 @@ type QueryRequest struct {
 	TC    TraceContext
 }
 
+// QueryBatchRequest configures one multi-query symbolic pass: every query
+// shares the pass's transit metadata bits and TTL (dataplane.BatchCompatible),
+// while injected packets carry dataplane.QueryTag(i) source prefixes so the
+// wavefront keeps per-query packets in distinct slots. Workers that predate
+// this RPC reject it with the net/rpc unknown-method error; the controller
+// falls back to sequential per-query passes.
+type QueryBatchRequest struct {
+	Queries []dataplane.Query
+	TC      TraceContext
+}
+
 // InjectRequest injects a symbolic packet at a source node (owned by the
-// receiving worker). The packet is a serialized BDD.
+// receiving worker). The packet is a serialized BDD. Tag, when non-empty,
+// is the dataplane.QueryTag prefix of a multi-query pass: ownership is
+// validated against Source, and the packet circulates as Tag+Source.
+// (gob tolerates the added field in mixed fleets; old peers never see it
+// because batch passes are negotiated via BeginQueryBatch first.)
 type InjectRequest struct {
 	Source string
 	Packet []byte
+	Tag    string
 	TC     TraceContext
 }
 
 // PacketDelivery is one symbolic packet crossing a worker boundary: it
-// arrives at Node on port InPort (③→④→⑤ in the paper's Figure 3).
+// arrives at Node on port InPort (③→④→⑤ in the paper's Figure 3). Round
+// is the wavefront round the packet must be processed in: a delivery can
+// physically arrive before the receiver has drained its current round
+// (workers run each round concurrently), and processing it early would
+// let the packet cross two adjacencies in one TTL tick. Receivers park
+// deliveries stamped for a future round. Zero means round 0 (injection),
+// and senders that predate the field degrade to immediate processing.
 type PacketDelivery struct {
 	Source string
 	Node   string
 	InPort string
 	Packet []byte
+	Round  int
 }
 
 // WirePacket is one symbolic packet inside a DeliverBatch message: the
@@ -275,6 +298,7 @@ type DeliverBatchRequest struct {
 	From  int
 	Wire  []byte
 	Items []WirePacket
+	Round int // wavefront round the batch is for (see PacketDelivery.Round)
 	TC    TraceContext
 }
 
@@ -396,6 +420,10 @@ type WorkerAPI interface {
 
 	ComputeDP() (ComputeDPReply, error)
 	BeginQuery(req QueryRequest) error
+	// BeginQueryBatch arms one multi-query symbolic pass (tagged sources,
+	// per-query dest sets). Workers that predate it return the net/rpc
+	// unknown-method error; the controller falls back to per-query passes.
+	BeginQueryBatch(req QueryBatchRequest) error
 	Inject(req InjectRequest) error
 	DPRound() error
 	HasWork() (bool, error)
@@ -628,6 +656,11 @@ func (s *Service) ComputeDP(args CallMeta, reply *ComputeDPReply) error {
 // BeginQuery RPC.
 func (s *Service) BeginQuery(req QueryRequest, _ *Empty) error {
 	return s.do("BeginQuery", req.TC, func() error { return s.api.BeginQuery(req) })
+}
+
+// BeginQueryBatch RPC.
+func (s *Service) BeginQueryBatch(req QueryBatchRequest, _ *Empty) error {
+	return s.do("BeginQueryBatch", req.TC, func() error { return s.api.BeginQueryBatch(req) })
 }
 
 // Inject RPC.
@@ -1108,6 +1141,13 @@ func (r *RemoteWorker) BeginQuery(req QueryRequest) error {
 	return err
 }
 
+// BeginQueryBatch implements WorkerAPI.
+func (r *RemoteWorker) BeginQueryBatch(req QueryBatchRequest) error {
+	req.TC = r.takeTC()
+	_, err := rcall[Empty](r, "BeginQueryBatch", true, req)
+	return err
+}
+
 // Inject implements WorkerAPI.
 func (r *RemoteWorker) Inject(req InjectRequest) error {
 	req.TC = r.takeTC()
@@ -1173,8 +1213,8 @@ func (r *RemoteWorker) PullSpans(req PullSpansRequest) (PullSpansReply, error) {
 func PhaseClass(method string) bool {
 	switch method {
 	case "Setup", "BeginShard", "GatherBGP", "ApplyBGP", "GatherOSPF",
-		"ApplyOSPF", "EndShard", "ComputeDP", "BeginQuery", "Inject",
-		"DPRound", "FinishQuery", "ApplyDelta":
+		"ApplyOSPF", "EndShard", "ComputeDP", "BeginQuery", "BeginQueryBatch",
+		"Inject", "DPRound", "FinishQuery", "ApplyDelta":
 		return true
 	}
 	return false
@@ -1371,6 +1411,10 @@ func (o *observed) ComputeDP() (ComputeDPReply, error) {
 
 func (o *observed) BeginQuery(req QueryRequest) error {
 	return o.obs("BeginQuery", func() error { return o.api.BeginQuery(req) })
+}
+
+func (o *observed) BeginQueryBatch(req QueryBatchRequest) error {
+	return o.obs("BeginQueryBatch", func() error { return o.api.BeginQueryBatch(req) })
 }
 
 func (o *observed) Inject(req InjectRequest) error {

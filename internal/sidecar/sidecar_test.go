@@ -107,7 +107,8 @@ func (s *stubWorker) ApplyDelta(req DeltaRequest) (DeltaReply, error) {
 func (s *stubWorker) ComputeDP() (ComputeDPReply, error) {
 	return ComputeDPReply{FIBEntries: 7, BDDNodes: 100}, nil
 }
-func (s *stubWorker) BeginQuery(QueryRequest) error { return nil }
+func (s *stubWorker) BeginQuery(QueryRequest) error           { return nil }
+func (s *stubWorker) BeginQueryBatch(QueryBatchRequest) error { return nil }
 func (s *stubWorker) Inject(req InjectRequest) error {
 	s.delivered = append(s.delivered, PacketDelivery{Source: req.Source, Node: req.Source, Packet: req.Packet})
 	return nil

@@ -67,32 +67,76 @@ type Report struct {
 	// Violations found by the §4.4 checks: reachability, waypoint,
 	// multipath consistency, loop- and blackhole-freedom.
 	Violations []Violation
+	// Epoch is the verified-state epoch the answer was computed against.
+	Epoch uint64
 }
 
 // OK reports whether the query found no violations.
 func (r *Report) OK() bool { return len(r.Violations) == 0 }
 
 // Check runs a property query across the workers and evaluates all five
-// §4.4 property types against the outcome.
+// §4.4 property types against the outcome. Answers go through the
+// concurrent query plane: repeated queries against the same verified epoch
+// are served from the outcome cache, and concurrent Check calls coalesce
+// into shared symbolic passes — both byte-identical to a cold solo run.
 func (v *Verifier) Check(q Query) (*Report, error) {
-	if !v.dpDone {
-		if _, err := v.ComputeDataPlane(); err != nil {
-			return nil, err
-		}
+	if err := v.ensureDP(); err != nil {
+		return nil, err
 	}
 	dq, err := q.compile()
 	if err != nil {
 		return nil, err
 	}
-	col, err := v.ctrl.RunQuery(dq, false)
+	v.qmu.RLock()
+	defer v.qmu.RUnlock()
+	col, epoch, err := v.ctrl.SubmitQuery(dq, false)
 	if err != nil {
 		return nil, err
 	}
+	return v.buildReport(col, epoch)
+}
+
+// CheckBatch answers a set of queries in one submission: batch-compatible
+// queries (same transit list and hop budget) share single symbolic passes
+// instead of running one pass each, and duplicates collapse to one
+// execution. Reports come back positionally.
+func (v *Verifier) CheckBatch(qs []Query) ([]*Report, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	if err := v.ensureDP(); err != nil {
+		return nil, err
+	}
+	dqs := make([]*dataplane.Query, len(qs))
+	for i := range qs {
+		dq, err := qs[i].compile()
+		if err != nil {
+			return nil, fmt.Errorf("s2: query %d: %w", i, err)
+		}
+		dqs[i] = dq
+	}
+	v.qmu.RLock()
+	defer v.qmu.RUnlock()
+	cols, epochs, err := v.ctrl.SubmitQueryBatch(dqs, false)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, len(qs))
+	for i, col := range cols {
+		if reports[i], err = v.buildReport(col, epochs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}
+
+// buildReport evaluates a collector into the public report form.
+func (v *Verifier) buildReport(col *dataplane.Collector, epoch uint64) (*Report, error) {
 	vios, err := col.Report()
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Violations: fromDP(vios)}
+	rep := &Report{Violations: fromDP(vios), Epoch: epoch}
 	for _, d := range v.net.Devices() {
 		if col.Arrived(d) != 0 {
 			rep.ReachedDests = append(rep.ReachedDests, d)

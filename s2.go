@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"s2/internal/config"
@@ -101,6 +102,13 @@ type Options struct {
 	// the shared-substrate wire codec with per-peer node dedup
 	// (cmd/s2 -no-wire-dedup).
 	DisableWireDedup bool
+	// DisableQuerySlicing makes every query pass involve every worker
+	// instead of only the workers the query's sources can possibly reach
+	// within the hop budget (cmd/s2serve -no-query-slicing).
+	DisableQuerySlicing bool
+	// DisableQueryCache turns off the epoch-keyed query answer cache
+	// (cmd/s2serve -no-query-cache).
+	DisableQueryCache bool
 	// GCStress makes every worker's BDD GC pacer collect at each safe
 	// point where the node table grew at all (cmd/s2 -gc-stress). Results
 	// are byte-identical; used by CI to exercise relocation heavily.
@@ -143,10 +151,21 @@ func FatTreeLoadEstimator(k int) func(string) int64 {
 }
 
 // Verifier runs the distributed verification pipeline.
+//
+// Concurrency: read-only operations against resident state (Check,
+// CheckBatch, CheckAllPairs, RIBs, RouteCount) may run concurrently with
+// each other; state-changing operations (SimulateControlPlane,
+// ComputeDataPlane, ApplyDelta) take the verifier's write lock and are
+// exclusive. A query therefore always observes one verified epoch — never
+// a half-applied delta — and the epoch it reports is the epoch it was
+// answered against.
 type Verifier struct {
 	net  *Network
 	ctrl *core.Controller
 
+	// qmu is the query-plane readers/writer lock described above; it also
+	// guards cpDone/dpDone.
+	qmu    sync.RWMutex
 	cpDone bool
 	dpDone bool
 }
@@ -181,11 +200,13 @@ func NewVerifier(n *Network, opts Options) (*Verifier, error) {
 		KeepRIBs:     opts.KeepRIBs,
 		LoadOf:       opts.LoadEstimator,
 
-		Parallelism:       opts.Parallelism,
-		DisableBatchPulls: opts.DisableBatchPulls,
-		DisableWireDedup:  opts.DisableWireDedup,
-		GCStress:          opts.GCStress,
-		GCWipe:            opts.GCWipe,
+		Parallelism:         opts.Parallelism,
+		DisableBatchPulls:   opts.DisableBatchPulls,
+		DisableWireDedup:    opts.DisableWireDedup,
+		DisableQuerySlicing: opts.DisableQuerySlicing,
+		DisableQueryCache:   opts.DisableQueryCache,
+		GCStress:            opts.GCStress,
+		GCWipe:              opts.GCWipe,
 
 		RPCTimeout:        opts.RPCTimeout,
 		RPCRetries:        opts.RPCRetries,
@@ -212,6 +233,12 @@ func (v *Verifier) TopologyWarnings() []string {
 // SimulateControlPlane runs the distributed fixed-point route computation
 // (per prefix shard when sharding is enabled).
 func (v *Verifier) SimulateControlPlane() error {
+	v.qmu.Lock()
+	defer v.qmu.Unlock()
+	return v.simulateControlPlaneLocked()
+}
+
+func (v *Verifier) simulateControlPlaneLocked() error {
 	if err := v.ctrl.RunControlPlane(); err != nil {
 		return err
 	}
@@ -222,8 +249,14 @@ func (v *Verifier) SimulateControlPlane() error {
 // ComputeDataPlane builds FIBs and per-port predicates on every worker.
 // The returned warnings report unresolvable next hops.
 func (v *Verifier) ComputeDataPlane() ([]string, error) {
+	v.qmu.Lock()
+	defer v.qmu.Unlock()
+	return v.computeDataPlaneLocked()
+}
+
+func (v *Verifier) computeDataPlaneLocked() ([]string, error) {
 	if !v.cpDone {
-		if err := v.SimulateControlPlane(); err != nil {
+		if err := v.simulateControlPlaneLocked(); err != nil {
 			return nil, err
 		}
 	}
@@ -233,6 +266,24 @@ func (v *Verifier) ComputeDataPlane() ([]string, error) {
 	}
 	v.dpDone = true
 	return warnings, nil
+}
+
+// ensureDP makes the data plane resident, taking the write lock only when
+// it is not already; warm callers pay one RLock'd flag read.
+func (v *Verifier) ensureDP() error {
+	v.qmu.RLock()
+	done := v.dpDone
+	v.qmu.RUnlock()
+	if done {
+		return nil
+	}
+	v.qmu.Lock()
+	defer v.qmu.Unlock()
+	if v.dpDone {
+		return nil
+	}
+	_, err := v.computeDataPlaneLocked()
+	return err
 }
 
 // Violation is one property violation.
@@ -270,6 +321,8 @@ type ReachabilityReport struct {
 	Unreached []string
 	// Violations are the generic property findings.
 	Violations []Violation
+	// Epoch is the verified-state epoch the check was answered against.
+	Epoch uint64
 }
 
 // OK reports whether the network passed cleanly.
@@ -297,11 +350,11 @@ func (r *ReachabilityReport) String() string {
 // CheckAllPairs verifies all-pair reachability (the paper's default
 // property, §5.2) in one distributed symbolic traversal.
 func (v *Verifier) CheckAllPairs() (*ReachabilityReport, error) {
-	if !v.dpDone {
-		if _, err := v.ComputeDataPlane(); err != nil {
-			return nil, err
-		}
+	if err := v.ensureDP(); err != nil {
+		return nil, err
 	}
+	v.qmu.RLock()
+	defer v.qmu.RUnlock()
 	res, err := v.ctrl.CheckAllPairs()
 	if err != nil {
 		return nil, err
@@ -311,12 +364,15 @@ func (v *Verifier) CheckAllPairs() (*ReachabilityReport, error) {
 		Dests:      res.Dests,
 		Unreached:  res.Unreached,
 		Violations: fromDP(res.Violations),
+		Epoch:      res.Epoch,
 	}, nil
 }
 
 // RIBs returns each device's computed routes as formatted strings (the
 // show-ip-route view); requires Options.KeepRIBs.
 func (v *Verifier) RIBs() (map[string][]string, error) {
+	v.qmu.RLock()
+	defer v.qmu.RUnlock()
 	ribs, err := v.ctrl.CollectRIBs()
 	if err != nil {
 		return nil, err
@@ -333,6 +389,8 @@ func (v *Verifier) RIBs() (map[string][]string, error) {
 // RouteCount returns the total number of computed routes across all
 // devices; requires Options.KeepRIBs.
 func (v *Verifier) RouteCount() (int, error) {
+	v.qmu.RLock()
+	defer v.qmu.RUnlock()
 	ribs, err := v.ctrl.CollectRIBs()
 	if err != nil {
 		return 0, err
@@ -440,6 +498,8 @@ type DeltaReport struct {
 // fall back to a full re-run. On return the verifier answers queries for
 // the new configs exactly as if they had been verified from cold.
 func (v *Verifier) ApplyDelta(set map[string]string, remove []string) (*DeltaReport, error) {
+	v.qmu.Lock()
+	defer v.qmu.Unlock()
 	res, err := v.ctrl.ApplyDelta(set, remove)
 	if err != nil {
 		return nil, err

@@ -1,9 +1,11 @@
 package s2
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -194,5 +196,109 @@ func TestFatTreeLoadEstimatorExported(t *testing.T) {
 	}
 	if FatTreeSize(8) != 80 {
 		t.Fatal("FatTreeSize")
+	}
+}
+
+func TestCheckBatchMatchesSequentialChecks(t *testing.T) {
+	v, err := NewVerifier(fatTree4(t), Options{Workers: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ComputeDataPlane(); err != nil {
+		t.Fatal(err)
+	}
+	qs := []Query{
+		{DstPrefix: "10.128.0.0/24", Dests: []string{"edge-0-0"}},
+		{DstPrefix: "10.128.64.0/24", Sources: []string{"edge-0-0"}, Dests: []string{"edge-0-1"}},
+		{Protocol: 6, DstPort: 80},
+	}
+	reps, err := v.CheckBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(qs) {
+		t.Fatalf("got %d reports for %d queries", len(reps), len(qs))
+	}
+	for i, q := range qs {
+		solo, err := v.Check(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if reps[i].OK() != solo.OK() || len(reps[i].Violations) != len(solo.Violations) ||
+			len(reps[i].ReachedDests) != len(solo.ReachedDests) {
+			t.Errorf("query %d: batch report %+v differs from solo %+v", i, reps[i], solo)
+		}
+		if reps[i].Epoch != v.Epoch() {
+			t.Errorf("query %d: epoch %d, want %d", i, reps[i].Epoch, v.Epoch())
+		}
+	}
+	if batch, err := v.CheckBatch(nil); err != nil || batch != nil {
+		t.Fatalf("empty batch: %v %v", batch, err)
+	}
+	if _, err := v.CheckBatch([]Query{{DstPrefix: "bogus"}}); err == nil {
+		t.Fatal("bad query in a batch must fail")
+	}
+}
+
+// TestConcurrentQueriesDuringApplyDelta races warm queries against config
+// deltas: every answer must carry the epoch of a state that was current at
+// some point during the call — never an epoch older than the one observed
+// before the query was issued (a stale-cache answer), and never one newer
+// than the state at return.
+func TestConcurrentQueriesDuringApplyDelta(t *testing.T) {
+	net := fatTree4(t)
+	v, err := NewVerifier(net, Options{Workers: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ComputeDataPlane(); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{DstPrefix: "10.128.64.0/24", Sources: []string{"edge-0-0"}, Dests: []string{"edge-0-1"}}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				before := v.Epoch()
+				rep, err := v.Check(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				after := v.Epoch()
+				if rep.Epoch < before || rep.Epoch > after {
+					errs <- fmt.Errorf("stale answer: epoch %d outside [%d, %d]", rep.Epoch, before, after)
+					return
+				}
+				if !rep.OK() {
+					errs <- fmt.Errorf("clean pair failed at epoch %d: %+v", rep.Epoch, rep.Violations)
+					return
+				}
+			}
+		}()
+	}
+
+	dev := net.Devices()[0]
+	text := v.ConfigText(dev)
+	for i := 0; i < 3; i++ {
+		if _, err := v.ApplyDelta(map[string]string{dev: text}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
