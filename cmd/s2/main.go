@@ -53,6 +53,8 @@ func main() {
 		showReport = flag.Bool("report", false, "print the per-worker × per-stage attribution table after the run")
 		reportJSON = flag.String("report-json", "", "write the attribution report as JSON to this file (- for stdout)")
 		flightLog  = flag.String("flight-log", "", "write the controller's flight-recorder events to this file at exit")
+		history    = flag.Int("history", 512, "fleet health samples per series for /debug/dashboard (with -obs-addr; 0 disables)")
+		profileCap = flag.Int("profile-store", 16, "harvested worker pprof profiles kept for /debug/profiles (with -obs-addr; 0 disables)")
 		logLevel   = flag.String("log-level", "warn", "structured log level on stderr: debug|info|warn|error|off")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: logfmt-style text)")
 		verbose    = flag.Bool("v", false, "print phase timings and per-worker stats")
@@ -109,6 +111,8 @@ func main() {
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
 		opts.Metrics = reg
+		opts.HistorySamples = *history
+		opts.ProfileCapacity = *profileCap
 	}
 	v, err := s2.NewVerifier(net, opts)
 	fatal(err)
@@ -145,6 +149,14 @@ func main() {
 			},
 			Progress: func() any { return v.Progress() },
 			Flight:   flight,
+			Dashboard: &obs.Dashboard{
+				Health:  func() any { return v.FleetHealth() },
+				History: v.History(),
+			},
+			Profiles: v.Profiles(),
+			ProfilePull: func(worker int, kind string, seconds int) (*obs.Profile, error) {
+				return v.PullWorkerProfile(worker, kind, seconds)
+			},
 		})
 		fatal(err)
 		defer isrv.Close()

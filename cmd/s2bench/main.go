@@ -87,18 +87,20 @@ func printGCSummary(rows []experiments.Row) {
 
 func main() {
 	var (
-		fig     = flag.Int("fig", 0, "figure number (4-11); 0 = all paper figures (4-10)")
-		quick   = flag.Bool("quick", false, "small sizes for a fast smoke run")
-		ks      = flag.String("ks", "", "comma-separated FatTree pod counts for sweeps (e.g. 4,6,8,10)")
-		fixed   = flag.Int("k", 0, "FatTree size for single-size figures")
-		shard   = flag.Int("shards", 0, "default prefix shard count")
-		maxW    = flag.Int("maxworkers", 0, "largest S2 worker count")
-		jsonOut = flag.String("json", "", "also write rows (with per-run phase and RPC telemetry) as JSON to this file")
-		procs   = flag.Int("procs", 0, "per-worker goroutine pool for S2 runs (0 = all CPUs, 1 = sequential)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile (after all figures) to this file")
-		logLvl  = flag.String("log-level", "off", "structured controller/worker log level on stderr: debug|info|warn|error|off")
-		logJSON = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: logfmt-style text)")
+		fig       = flag.Int("fig", 0, "figure number (4-11); 0 = all paper figures (4-10)")
+		quick     = flag.Bool("quick", false, "small sizes for a fast smoke run")
+		ks        = flag.String("ks", "", "comma-separated FatTree pod counts for sweeps (e.g. 4,6,8,10)")
+		fixed     = flag.Int("k", 0, "FatTree size for single-size figures")
+		shard     = flag.Int("shards", 0, "default prefix shard count")
+		maxW      = flag.Int("maxworkers", 0, "largest S2 worker count")
+		jsonOut   = flag.String("json", "", "also write rows (with per-run phase and RPC telemetry) as JSON to this file")
+		procs     = flag.Int("procs", 0, "per-worker goroutine pool for S2 runs (0 = all CPUs, 1 = sequential)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (after all figures) to this file")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile (after all figures) to this file")
+		blockProf = flag.String("blockprofile", "", "write a goroutine blocking profile (after all figures) to this file")
+		logLvl    = flag.String("log-level", "off", "structured controller/worker log level on stderr: debug|info|warn|error|off")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: logfmt-style text)")
 
 		queryLoad = flag.String("queryload", "", "run the HTTP query-plane load experiment instead of the figures and write its JSON to this file")
 		clients   = flag.Int("clients", 0, "concurrent clients for -queryload (default 8)")
@@ -129,6 +131,15 @@ func main() {
 			pprof.StopCPUProfile()
 			f.Close()
 		}()
+	}
+	// Contention profiling is sampled at runtime and must be switched on
+	// before the workload runs; rate 1 records every event (these are
+	// benchmark runs — accuracy beats overhead).
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1)
 	}
 
 	cfg := experiments.Config{}
@@ -260,4 +271,25 @@ func main() {
 		f.Close()
 		fmt.Printf("wrote %s\n", *memProf)
 	}
+	writeLookupProfile(*mutexProf, "mutex")
+	writeLookupProfile(*blockProf, "block")
+}
+
+// writeLookupProfile dumps a named runtime/pprof profile ("mutex",
+// "block") to path; no-op when path is empty.
+func writeLookupProfile(path, name string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2bench:", err)
+		os.Exit(1)
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "s2bench:", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("wrote %s\n", path)
 }

@@ -60,6 +60,13 @@ func main() {
 		auditSize = flag.Int("audit-size", 1024, "audit entries kept in memory for /v1/audit")
 		traceCap  = flag.Int("trace-store", 512, "per-request traces kept for /debug/traces (0 disables tracing)")
 		traceSlow = flag.Int("trace-slowest", 16, "slowest traces always retained by eviction")
+
+		history      = flag.Int("history", 512, "fleet health samples kept per series for /debug/dashboard (0 disables the history plane)")
+		historyEvery = flag.Duration("history-interval", 0, "fleet sampling cadence (0 = heartbeat interval, else 5s)")
+		profileCap   = flag.Int("profile-store", 32, "harvested worker pprof profiles kept for /debug/profiles (0 disables)")
+		profileEvery = flag.Duration("profile-interval", 0, "periodic heap-profile harvest cadence (0 = 60s default, negative disables)")
+		slowWorker   = flag.Int("slow-worker", -1, "inject a persistent per-call delay on this worker's phase RPCs (straggler experiment; -1 = off)")
+		slowDelay    = flag.Duration("slow-worker-delay", 20*time.Millisecond, "per-call delay for -slow-worker")
 	)
 	flag.Parse()
 	if *configs == "" {
@@ -96,6 +103,14 @@ func main() {
 		Metrics:             reg,
 		Tracer:              tracer,
 		Logger:              logger,
+		HistorySamples:      *history,
+		HistoryInterval:     *historyEvery,
+		ProfileCapacity:     *profileCap,
+		ProfileInterval:     *profileEvery,
+	}
+	if *slowWorker >= 0 {
+		opts.SlowWorker = *slowWorker
+		opts.SlowWorkerDelay = *slowDelay
 	}
 	if *workerAddr != "" {
 		opts.WorkerAddrs = strings.Split(*workerAddr, ",")

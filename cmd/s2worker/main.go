@@ -38,7 +38,8 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for idempotent peer RPCs that fail transiently")
 	grace := flag.Duration("grace", 10*time.Second, "max time to finish in-flight RPCs on SIGINT/SIGTERM")
 	procs := flag.Int("procs", 0, "default goroutine pool for the simulation phases when Setup doesn't set one (0 = all CPUs, 1 = sequential)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, /debug/flightrecorder, and /debug/pprof for this worker on this address")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /progress, /debug/flightrecorder, /debug/dashboard, and /debug/pprof for this worker on this address")
+	histSamples := flag.Int("history", 256, "metric samples per series for this worker's /debug/dashboard sparklines (with -obs-addr; 0 disables)")
 	spanRing := flag.Int("span-ring", 16384, "capacity of the span export ring drained by the controller's PullSpans")
 	flightLog := flag.String("flight-log", "", "also write flight-recorder dumps (SIGQUIT) to this file")
 	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
@@ -84,6 +85,15 @@ func main() {
 			"Bytes moved over sidecar RPC connections.", "role", "dir")
 		bytesTotal.SetFunc(func() float64 { return float64(srv.BytesRead()) }, "server", "in")
 		bytesTotal.SetFunc(func() float64 { return float64(srv.BytesWritten()) }, "server", "out")
+		obs.RegisterProcessVitals(reg)
+		// Local history ring: the worker samples its own registry so its
+		// /debug/dashboard sparklines work even without a controller
+		// harvesting it.
+		hist := obs.NewHistory(*histSamples)
+		if hist != nil {
+			stop := hist.Start(5*time.Second, func() map[string]float64 { return reg.Snapshot() })
+			defer stop()
+		}
 		isrv, err := obs.ServeIntrospection(*obsAddr, obs.ServerOptions{
 			Registry: reg,
 			Health: func() any {
@@ -96,6 +106,12 @@ func main() {
 				}
 			},
 			Flight: w.FlightRecorder(),
+			Dashboard: &obs.Dashboard{
+				Health: func() any {
+					return map[string]any{"role": "worker", "listen": lis.Addr().String()}
+				},
+				History: hist,
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "s2worker:", err)

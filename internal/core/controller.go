@@ -132,6 +132,23 @@ type Options struct {
 	// delta classifications, recovery events). A nil logger makes every
 	// site a nil-check no-op.
 	Logger *obs.Logger
+
+	// HistorySamples sizes the fleet health time-series ring: every
+	// registry metric plus per-worker vitals sampled each HistoryInterval.
+	// 0 disables the ring, the background sampler, and the dashboard's
+	// sparklines (the PR 7 zero-overhead contract).
+	HistorySamples int
+	// HistoryInterval is the vitals sampling cadence (default:
+	// HeartbeatInterval, else 5s).
+	HistoryInterval time.Duration
+	// ProfileCapacity bounds the ring of harvested pprof profiles
+	// (PullWorkerProfile and the periodic heap harvest). 0 disables the
+	// store and the harvest.
+	ProfileCapacity int
+	// ProfileInterval paces the periodic heap-profile harvest when the
+	// store is enabled (default 60s; < 0 disables the periodic harvest,
+	// keeping on-demand pulls only).
+	ProfileInterval time.Duration
 }
 
 func (o Options) maxRounds() int {
@@ -208,6 +225,21 @@ type Controller struct {
 	harvestStop chan struct{}
 	harvestWG   sync.WaitGroup
 
+	// Fleet health plane (fleet.go): the metric/vitals time-series ring,
+	// the harvested-profile store, the latest per-worker vitals, and the
+	// per-worker straggler scores. noPullStats memoizes workers that
+	// predate the PullStats RPC (guarded by skewMu like noPullSpans);
+	// statsStop/statsWG manage the background vitals sampler.
+	history     *obs.History
+	profiles    *obs.ProfileStore
+	fleetMu     sync.Mutex
+	fleetVitals map[int]fleetVital
+	stragglers  map[int]float64
+	lastSkew    map[string]float64
+	noPullStats map[*sidecar.RemoteWorker]bool
+	statsStop   chan struct{}
+	statsWG     sync.WaitGroup
+
 	// Stage flags drive recovery: repair re-Setups the survivors and
 	// clears cpDone/dpDone, so each internal runner re-establishes exactly
 	// the stages the caller had already requested (the *Wanted flags) —
@@ -279,6 +311,9 @@ func NewController(snap *config.Snapshot, texts map[string]string, opts Options)
 		flight:      obs.NewFlightRecorder(0),
 		skews:       map[*sidecar.RemoteWorker]*obs.SkewEstimator{},
 		noPullSpans: map[*sidecar.RemoteWorker]bool{},
+		noPullStats: map[*sidecar.RemoteWorker]bool{},
+		history:     obs.NewHistory(opts.HistorySamples),
+		profiles:    obs.NewProfileStore(opts.ProfileCapacity),
 	}
 	c.initObs()
 	return c, nil
@@ -301,6 +336,7 @@ func (c *Controller) Close() error {
 	c.closeMu.Lock()
 	defer c.closeMu.Unlock()
 	alreadyClosed := c.closed.Swap(true)
+	c.stopStatsSampler()
 	c.stopHarvester()
 	// Final span drain: whatever the workers' export rings still hold must
 	// land in the merged trace before the connections go away.
@@ -391,6 +427,7 @@ func (c *Controller) setup() error {
 	}
 	c.startDetector()
 	c.startHarvester()
+	c.startStatsSampler()
 	return nil
 }
 
@@ -779,6 +816,7 @@ func (c *Controller) eachPhaseIDs(phase string, ids []int, fn func(id int, w sid
 			c.critical = map[string]time.Duration{}
 		}
 		c.critical[phase] += max
+		c.observeRoundSkew(phase, idOf, durs)
 	}
 	// A dead worker makes several workers error at once (healthy ones
 	// report failed pulls from it). Prefer a transient error so the

@@ -49,6 +49,18 @@ const (
 	MetricQueryPasses        = "s2_query_passes_total"
 	MetricQueryBatchSize     = "s2_query_batch_size"
 	MetricQuerySlicedWorkers = "s2_query_sliced_workers"
+
+	// Fleet health metrics (see fleet.go).
+	MetricStragglerScore   = "s2_straggler_score"
+	MetricRoundSkew        = "s2_round_skew_seconds"
+	MetricWorkerShard      = "s2_worker_shard"
+	MetricWorkerRound      = "s2_worker_round"
+	MetricWorkerQueueLen   = "s2_worker_queue_len"
+	MetricWorkerRSS        = "s2_worker_rss_bytes"
+	MetricWorkerHeap       = "s2_worker_heap_bytes"
+	MetricWorkerGoroutines = "s2_worker_goroutines"
+	MetricWorkerGCPauseP99 = "s2_worker_gc_pause_p99_seconds"
+	MetricProfilesStored   = "s2_profiles_stored"
 )
 
 // faultEventKeys are the metrics.FaultCounters keys bridged to
@@ -145,6 +157,11 @@ func (c *Controller) initObs() {
 		"role", "dir")
 	bytes.SetFunc(func() float64 { return float64(c.clientBytes(false)) }, "client", "in")
 	bytes.SetFunc(func() float64 { return float64(c.clientBytes(true)) }, "client", "out")
+	obs.RegisterProcessVitals(c.reg)
+	if c.profiles != nil {
+		c.reg.Gauge(MetricProfilesStored, "Harvested pprof profiles currently held in the store.").
+			SetFunc(func() float64 { return float64(c.profiles.Len()) })
+	}
 }
 
 // clientBytes sums transport bytes across the live remote clients.

@@ -69,6 +69,9 @@ type WorkerAttribution struct {
 	GCSweepMicros    int64 `json:"gc_sweep_micros,omitempty"`
 	GCRelocateMicros int64 `json:"gc_relocate_micros,omitempty"`
 	GCRelocated      int64 `json:"gc_cache_relocated,omitempty"`
+	// StragglerScore is the fleet plane's per-worker progress-skew EWMA
+	// (fleet.go); zero when the worker kept pace or the plane was off.
+	StragglerScore float64 `json:"straggler_score,omitempty"`
 }
 
 // argInt64 parses an integer span attribute, tolerating absence.
@@ -184,6 +187,11 @@ func (c *Controller) AttributionReport() *AttributionReport {
 			r.BytesWritten = cl.BytesWritten()
 		}
 	}
+	for id, score := range c.StragglerScores() {
+		if id < n {
+			row(id).StragglerScore = score
+		}
+	}
 
 	ids := make([]int, 0, len(rows))
 	for id := range rows {
@@ -235,7 +243,7 @@ func (r *AttributionReport) String() string {
 
 	header := []string{"worker"}
 	header = append(header, r.Stages...)
-	header = append(header, "rpcs", "rpc-time", "rx", "tx", "bdd-nodes", "gc-pauses", "gc-mark/sweep/reloc", "gc-cache-kept")
+	header = append(header, "rpcs", "rpc-time", "rx", "tx", "bdd-nodes", "gc-pauses", "gc-mark/sweep/reloc", "gc-cache-kept", "straggler")
 	fmt.Fprintln(tw, strings.Join(header, "\t"))
 
 	writeRow := func(name string, stages map[string]StageTime, w *WorkerAttribution) {
@@ -253,15 +261,19 @@ func (r *AttributionReport) String() string {
 					fmtMicros(w.GCMarkMicros), fmtMicros(w.GCSweepMicros), fmtMicros(w.GCRelocateMicros))
 				kept = strconv.FormatInt(w.GCRelocated, 10)
 			}
+			straggler := "-"
+			if w.StragglerScore > 0 {
+				straggler = fmt.Sprintf("%.2f", w.StragglerScore)
+			}
 			cols = append(cols,
 				strconv.FormatInt(w.RPCCount, 10),
 				fmtMicros(w.RPCMicros),
 				fmtBytes(w.BytesRead),
 				fmtBytes(w.BytesWritten),
 				strconv.Itoa(w.BDDNodes),
-				gc, phases, kept)
+				gc, phases, kept, straggler)
 		} else {
-			cols = append(cols, "-", "-", "-", "-", "-", "-", "-", "-")
+			cols = append(cols, "-", "-", "-", "-", "-", "-", "-", "-", "-")
 		}
 		fmt.Fprintln(tw, strings.Join(cols, "\t"))
 	}

@@ -266,6 +266,7 @@ func TestPhaseClass(t *testing.T) {
 		}
 	}
 	for _, m := range []string{"Ping", "HasWork", "Stats", "PullSpans",
+		"PullStats", "PullProfile",
 		"PullBGP", "PullLSAs", "PullBGPBatch", "PullLSABatch",
 		"DeliverPackets", "DeliverBatch", "CollectRIBs", "Bogus"} {
 		if sidecar.PhaseClass(m) {

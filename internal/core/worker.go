@@ -10,14 +10,18 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s2/internal/bdd"
@@ -150,6 +154,14 @@ type Worker struct {
 
 	statsPulls   int64
 	statsPackets int64
+	// vitals mirrors phase-guarded state behind atomics so the PullStats
+	// probe (fleet health sampler) never touches phaseMu: writers update
+	// it at phase boundaries (Setup, BeginShard, ComputeDP, GC) while
+	// holding phaseMu; PullStats reads it lock-free.
+	vitals workerVitals
+	// profileMu single-flights CPU captures — runtime/pprof allows one
+	// active CPU profile per process.
+	profileMu sync.Mutex
 	// pacer schedules BDD collections from measured GCStats (gcpacer.go);
 	// gcPauses windows recent pause durations for WorkerStats percentiles.
 	pacer    gcPacer
@@ -260,6 +272,7 @@ func (w *Worker) Setup(req sidecar.SetupRequest) error {
 	w.sendSessions = map[int]*bdd.WireSession{}
 
 	w.id = req.WorkerID
+	w.vitals.reset(req.WorkerID)
 	w.assignment = req.Assignment
 	w.layout = dataplane.Layout{MetaBits: req.MetaBits}
 	w.maxBDD = req.MaxBDDNodes
@@ -556,6 +569,7 @@ func (w *Worker) BeginShard(req sidecar.BeginShardRequest) error {
 	w.obsBeginShard(req.Index, len(req.Prefixes))
 	w.flight.Record("phase", "begin-shard %d: %d prefixes", req.Index, len(req.Prefixes))
 	w.shardIndex = req.Index
+	w.vitals.shard.Store(int64(req.Index))
 	w.shardPrefixes = req.Prefixes
 	var filter bgp.PrefixFilter
 	if len(req.Prefixes) > 0 {
@@ -1366,6 +1380,7 @@ func (w *Worker) ComputeDP() (sidecar.ComputeDPReply, error) {
 	}
 	w.tracker.Set("fib.compiled", fibBytes)
 	reply.BDDNodes = w.engine.NodeCount()
+	w.vitals.bddNodes.Store(int64(reply.BDDNodes))
 	w.obsBDD(reply.BDDNodes, false)
 	return reply, w.tracker.CheckBudget()
 }
@@ -1932,8 +1947,10 @@ func (w *Worker) gcWithExtraRoots(extra func(add func(bdd.Ref))) func(bdd.Ref) b
 	w.pacer.observe(st)
 	if w.gcPauses != nil {
 		w.gcPauses.Observe(st.LastPause)
+		w.vitals.gcPauseP99.Store(w.gcPauses.Quantile(0.99).Microseconds())
 	}
 	nodesAfter := w.engine.NodeCount()
+	w.vitals.bddNodes.Store(int64(nodesAfter))
 	w.obsBDD(nodesAfter, true)
 	w.obsGC(st)
 	gcSpan.SetAttr("nodes_after", fmt.Sprint(nodesAfter))
@@ -2107,4 +2124,84 @@ func (w *Worker) Stats() (sidecar.WorkerStats, error) {
 		st.GCPauseP99Micros = w.gcPauses.Quantile(0.99).Microseconds()
 	}
 	return st, nil
+}
+
+// workerVitals mirrors phase-guarded worker state behind atomics so the
+// PullStats probe reads a consistent-enough snapshot without phaseMu.
+// Writers hold phaseMu (phase boundaries are the only mutation points);
+// readers are lock-free.
+type workerVitals struct {
+	id         atomic.Int64
+	shard      atomic.Int64
+	bddNodes   atomic.Int64
+	gcPauseP99 atomic.Int64 // microseconds
+}
+
+// reset re-arms the mirror for a (re-)Setup. Caller holds phaseMu.
+func (v *workerVitals) reset(workerID int) {
+	v.id.Store(int64(workerID))
+	v.shard.Store(0)
+	v.bddNodes.Store(0)
+	v.gcPauseP99.Store(0)
+}
+
+// PullStats implements sidecar.WorkerAPI: the fleet health sampler's
+// vitals probe. Like Ping/Stats/PullSpans it never takes phaseMu — the
+// controller polls it at heartbeat cadence while phases run — so all
+// phase-owned state arrives via the atomic vitals mirror.
+func (w *Worker) PullStats(_ sidecar.PullStatsRequest) (sidecar.PullStatsReply, error) {
+	w.qmu.Lock()
+	round := w.qround
+	queued := w.queueLen + len(w.inbox) + len(w.wireInbox)
+	w.qmu.Unlock()
+	return sidecar.PullStatsReply{Vitals: sidecar.WorkerVitals{
+		WorkerID:         int(w.vitals.id.Load()),
+		Shard:            int(w.vitals.shard.Load()),
+		Round:            round,
+		QueueLen:         queued,
+		BDDNodes:         w.vitals.bddNodes.Load(),
+		GCPauseP99Micros: w.vitals.gcPauseP99.Load(),
+		RSSBytes:         obs.ProcessRSSBytes(),
+		HeapBytes:        obs.HeapBytes(),
+		Goroutines:       runtime.NumGoroutine(),
+		NowUnixMicro:     time.Now().UnixMicro(),
+	}}, nil
+}
+
+// PullProfile implements sidecar.WorkerAPI: capture one pprof profile for
+// the centralized harvest. No phaseMu — profiling a wedged phase is the
+// whole point. A cpu capture blocks the caller for the capture window and
+// single-flights per process (runtime/pprof allows one active CPU
+// profile); in-process fleets therefore profile the whole process, not
+// one worker goroutine set.
+func (w *Worker) PullProfile(req sidecar.PullProfileRequest) (sidecar.PullProfileReply, error) {
+	reply := sidecar.PullProfileReply{WorkerID: int(w.vitals.id.Load()), Kind: req.Kind}
+	var buf bytes.Buffer
+	switch req.Kind {
+	case "cpu":
+		secs := req.Seconds
+		if secs <= 0 {
+			secs = 2
+		}
+		if secs > 30 {
+			secs = 30
+		}
+		w.profileMu.Lock()
+		defer w.profileMu.Unlock()
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			return reply, fmt.Errorf("core: worker %d cpu profile: %w", reply.WorkerID, err)
+		}
+		time.Sleep(time.Duration(secs) * time.Second)
+		pprof.StopCPUProfile()
+	case "heap":
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+			return reply, fmt.Errorf("core: worker %d heap profile: %w", reply.WorkerID, err)
+		}
+	default:
+		return reply, fmt.Errorf("core: unknown profile kind %q (want cpu or heap)", req.Kind)
+	}
+	w.flight.Record("profile", "%s profile captured: %d bytes", req.Kind, buf.Len())
+	reply.Profile = buf.Bytes()
+	return reply, nil
 }

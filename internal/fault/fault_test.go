@@ -343,6 +343,12 @@ func (n *nullWorker) Stats() (sidecar.WorkerStats, error) {
 func (n *nullWorker) PullSpans(sidecar.PullSpansRequest) (sidecar.PullSpansReply, error) {
 	return sidecar.PullSpansReply{}, nil
 }
+func (n *nullWorker) PullStats(sidecar.PullStatsRequest) (sidecar.PullStatsReply, error) {
+	return sidecar.PullStatsReply{}, nil
+}
+func (n *nullWorker) PullProfile(sidecar.PullProfileRequest) (sidecar.PullProfileReply, error) {
+	return sidecar.PullProfileReply{}, nil
+}
 func (n *nullWorker) PullBGPBatchWire(reqs []sidecar.PullBGPRequest) ([]sidecar.PullBGPReply, error) {
 	return make([]sidecar.PullBGPReply, len(reqs)), nil
 }
@@ -427,6 +433,36 @@ func TestInjectorDelay(t *testing.T) {
 	c := NewCaller(Policy{Timeout: 20 * time.Millisecond}, nil)
 	if err := c.Do("Ping", false, j2.Ping); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want deadline error, got %v", err)
+	}
+}
+
+func TestInjectorPersistentPlan(t *testing.T) {
+	// Nth ≤ 0 matches every invocation: a permanently slow worker.
+	inner := &nullWorker{}
+	j := NewInjector(inner, Plan{Method: "GatherBGP", Nth: 0, Mode: Delay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := j.GatherBGP(); err != nil {
+			t.Fatalf("call %d: %v", i+1, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("persistent delay applied only partially: %v for 3 calls", elapsed)
+	}
+	if inner.gathers != 3 {
+		t.Fatalf("inner saw %d calls, want 3 (Delay passes through)", inner.gathers)
+	}
+	// Other methods are untouched.
+	if err := j.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persistent Drop: every matched call fails, forever.
+	j2 := NewInjector(&nullWorker{}, Plan{Method: "Ping", Nth: -1, Mode: Drop})
+	for i := 0; i < 4; i++ {
+		if err := j2.Ping(); err == nil || !IsTransient(err) {
+			t.Fatalf("call %d must drop transiently, got %v", i+1, err)
+		}
 	}
 }
 

@@ -29,10 +29,12 @@ const (
 )
 
 // Plan triggers one injection: the Nth invocation of Method ("*" matches
-// any method, counting all calls) behaves per Mode.
+// any method, counting all calls) behaves per Mode. Nth ≤ 0 matches every
+// invocation — a persistent fault, e.g. a permanently slow worker for
+// straggler experiments.
 type Plan struct {
 	Method string
-	Nth    int // 1-based count of matching calls
+	Nth    int // 1-based count of matching calls; ≤ 0 = every call
 	Mode   Mode
 	Delay  time.Duration // only for Delay
 }
@@ -99,7 +101,7 @@ func (j *Injector) before(method string) error {
 		if p.Method == "*" {
 			cnt = j.total
 		}
-		if cnt != p.Nth {
+		if p.Nth > 0 && cnt != p.Nth {
 			continue
 		}
 		switch p.Mode {
@@ -310,6 +312,20 @@ func (j *Injector) PullSpans(req sidecar.PullSpansRequest) (sidecar.PullSpansRep
 		return sidecar.PullSpansReply{}, err
 	}
 	return j.inner.PullSpans(req)
+}
+
+func (j *Injector) PullStats(req sidecar.PullStatsRequest) (sidecar.PullStatsReply, error) {
+	if err := j.before("PullStats"); err != nil {
+		return sidecar.PullStatsReply{}, err
+	}
+	return j.inner.PullStats(req)
+}
+
+func (j *Injector) PullProfile(req sidecar.PullProfileRequest) (sidecar.PullProfileReply, error) {
+	if err := j.before("PullProfile"); err != nil {
+		return sidecar.PullProfileReply{}, err
+	}
+	return j.inner.PullProfile(req)
 }
 
 // Interface conformance.

@@ -235,4 +235,24 @@ func (w *wrapped) PullSpans(req sidecar.PullSpansRequest) (sidecar.PullSpansRepl
 	return reply, err
 }
 
+func (w *wrapped) PullStats(req sidecar.PullStatsRequest) (sidecar.PullStatsReply, error) {
+	var reply sidecar.PullStatsReply
+	err := w.c.Do("PullStats", true, func() error {
+		var err error
+		reply, err = w.api.PullStats(req)
+		return err
+	})
+	return reply, err
+}
+
+func (w *wrapped) PullProfile(req sidecar.PullProfileRequest) (sidecar.PullProfileReply, error) {
+	var reply sidecar.PullProfileReply
+	err := w.c.Do("PullProfile", true, func() error {
+		var err error
+		reply, err = w.api.PullProfile(req)
+		return err
+	})
+	return reply, err
+}
+
 var _ sidecar.WorkerAPI = (*wrapped)(nil)

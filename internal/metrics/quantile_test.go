@@ -29,8 +29,8 @@ func TestDurationQuantilesNearestRank(t *testing.T) {
 		{0.5, 5 * time.Millisecond},
 		{0.99, 10 * time.Millisecond},
 		{1, 10 * time.Millisecond},
-		{-1, 1 * time.Millisecond},  // clamped
-		{2, 10 * time.Millisecond},  // clamped
+		{-1, 1 * time.Millisecond},   // clamped
+		{2, 10 * time.Millisecond},   // clamped
 		{0.25, 3 * time.Millisecond}, // rank round(2.5) = 3rd smallest
 	}
 	for _, c := range cases {

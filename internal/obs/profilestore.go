@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Profile is one harvested pprof proto (already gzip-framed by
+// runtime/pprof on the worker), tagged with where and when it was taken.
+type Profile struct {
+	ID     string    `json:"id"`
+	Worker int       `json:"worker"`
+	Kind   string    `json:"kind"` // "cpu" or "heap"
+	Taken  time.Time `json:"taken"`
+	Bytes  int       `json:"bytes"`
+	Data   []byte    `json:"-"`
+}
+
+// ProfileStore is the bounded ring of harvested profiles, with the same
+// retention contract as the TraceStore: capacity ≤ 0 disables the store
+// (NewProfileStore returns nil) and every method no-ops on a nil receiver.
+// Eviction is FIFO — continuous harvest keeps the newest window.
+type ProfileStore struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	list    []*Profile // insertion order, oldest first
+	added   uint64
+	evicted uint64
+}
+
+// NewProfileStore returns a store keeping the last capacity profiles, or
+// nil (disabled) when capacity ≤ 0.
+func NewProfileStore(capacity int) *ProfileStore {
+	if capacity <= 0 {
+		return nil
+	}
+	return &ProfileStore{cap: capacity}
+}
+
+// Add stores p, assigns it an ID ("p000001"-style), and returns the ID.
+// The oldest profile is evicted once the store is full.
+func (s *ProfileStore) Add(p *Profile) string {
+	if s == nil || p == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	p.ID = fmt.Sprintf("p%06d", s.seq)
+	p.Bytes = len(p.Data)
+	s.list = append(s.list, p)
+	s.added++
+	if len(s.list) > s.cap {
+		n := copy(s.list, s.list[1:])
+		s.list[n] = nil
+		s.list = s.list[:n]
+		s.evicted++
+	}
+	return p.ID
+}
+
+// Get returns the profile with the given ID, or nil.
+func (s *ProfileStore) Get(id string) *Profile {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.list {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// Profiles lists stored profiles newest-first (the slice is a copy; the
+// Profile values are shared).
+func (s *ProfileStore) Profiles() []*Profile {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Profile, len(s.list))
+	for i, p := range s.list {
+		out[len(s.list)-1-i] = p
+	}
+	return out
+}
+
+// Len reports how many profiles are held.
+func (s *ProfileStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.list)
+}
+
+// Stats reports lifetime added and evicted counts.
+func (s *ProfileStore) Stats() (added, evicted uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.added, s.evicted
+}

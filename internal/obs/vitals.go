@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Process vitals gauge names, registered by RegisterProcessVitals wherever
+// a registry is live (controller, workers, s2serve).
+const (
+	MetricGoroutines    = "s2_goroutines"
+	MetricGCCPUFraction = "s2_gc_cpu_fraction"
+	MetricOpenFDs       = "s2_open_fds"
+)
+
+// RegisterProcessVitals wires scrape-time gauges for the hosting process:
+// goroutine count, the runtime's GC CPU fraction, and (best-effort, linux)
+// the open file-descriptor count. Safe on a nil registry and idempotent —
+// re-registering just refreshes the sampling funcs.
+func RegisterProcessVitals(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge(MetricGoroutines, "live goroutines in this process").
+		SetFunc(func() float64 { return float64(runtime.NumGoroutine()) })
+	r.Gauge(MetricGCCPUFraction, "fraction of CPU time spent in the Go GC since process start").
+		SetFunc(func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.GCCPUFraction
+		})
+	r.Gauge(MetricOpenFDs, "open file descriptors (best-effort via /proc; -1 when unavailable)").
+		SetFunc(func() float64 { return float64(OpenFDs()) })
+}
+
+// OpenFDs counts the process' open file descriptors via /proc/self/fd,
+// returning -1 where that isn't available (non-linux).
+func OpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir itself holds one fd open; don't count it.
+	return len(ents) - 1
+}
+
+// ProcessRSSBytes reads the resident set size from /proc/self/statm
+// (best-effort; 0 when unavailable).
+func ProcessRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}
+
+// HeapBytes samples the Go heap in use.
+func HeapBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapInuse)
+}

@@ -29,6 +29,13 @@
 //	                        first).
 //	GET  /debug/traces/<id> one request's span tree as Chrome trace JSON
 //	                        (chrome://tracing, ui.perfetto.dev).
+//	GET  /debug/dashboard   live fleet health dashboard (HTML; ?stream=1
+//	                        for the raw SSE frame feed).
+//	POST /debug/profile     pull a pprof profile from one worker:
+//	                        ?worker=N&kind=cpu|heap[&seconds=S].
+//	GET  /debug/profiles    stored worker profiles (JSON index;
+//	                        /debug/profiles/<id> downloads the proto).
+//	GET  /debug/pprof/      controller-process pprof handlers.
 //	GET  /metrics           Prometheus text exposition (when wired with a
 //	                        registry).
 //
@@ -53,6 +60,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strconv"
@@ -236,6 +244,25 @@ func (s *Server) Handler() http.Handler {
 			s.reg.WritePrometheus(w)
 		})
 	}
+	// Controller-process pprof: the daemon previously exposed pprof only
+	// via a separate obs.ServeIntrospection listener, leaving the API port
+	// without it; register the standard handlers here too.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Fleet health plane: live dashboard, worker profile pulls, stored
+	// profiles. All handlers are nil-safe — with the history/profile planes
+	// disabled these routes answer 404/501 and cost nothing otherwise.
+	dash := &obs.Dashboard{
+		Health:  func() any { return s.v.FleetHealth() },
+		History: s.v.History(),
+	}
+	obs.RegisterFleetHandlers(mux, dash, s.v.Profiles(),
+		func(worker int, kind string, seconds int) (*obs.Profile, error) {
+			return s.v.PullWorkerProfile(worker, kind, seconds)
+		})
 	return mux
 }
 

@@ -383,6 +383,64 @@ type PullSpansReply struct {
 	Flight []obs.FlightEvent
 }
 
+// PullStatsRequest asks a worker for a point-in-time vitals snapshot —
+// the fleet health sampler's per-worker probe, riding the heartbeat
+// cadence.
+type PullStatsRequest struct {
+	TC TraceContext
+}
+
+// WorkerVitals is one worker's live health snapshot, cheap enough to
+// serve at heartbeat cadence without touching phase state.
+type WorkerVitals struct {
+	WorkerID int
+	// Shard and Round are the worker's current shard index and wavefront
+	// round — the forward-progress indicators the straggler analytics and
+	// dashboard heatmap key on.
+	Shard int
+	Round int
+	// QueueLen counts parked symbolic packets (plus undelivered inbox
+	// entries) awaiting the next dataplane round.
+	QueueLen int
+	// BDDNodes is the engine's live node count after the last compile/GC.
+	BDDNodes int64
+	// GCPauseP99Micros is the p99 stop-the-world BDD GC pause over the
+	// recent-collection window.
+	GCPauseP99Micros int64
+	// Process vitals: resident set (linux best-effort), Go heap in use,
+	// and goroutine count.
+	RSSBytes   int64
+	HeapBytes  int64
+	Goroutines int
+	// NowUnixMicro is the worker's clock while serving this call (fed to
+	// the controller's per-worker SkewEstimator).
+	NowUnixMicro int64
+}
+
+// PullStatsReply carries the vitals snapshot.
+type PullStatsReply struct {
+	Vitals WorkerVitals
+}
+
+// PullProfileRequest asks a worker to capture one pprof profile for the
+// centralized continuous-profiling harvest.
+type PullProfileRequest struct {
+	// Kind selects the profile: "cpu" or "heap".
+	Kind string
+	// Seconds bounds a cpu capture (default 2, clamped to [1, 30]);
+	// ignored for heap.
+	Seconds int
+	TC      TraceContext
+}
+
+// PullProfileReply carries the captured profile.
+type PullProfileReply struct {
+	WorkerID int
+	Kind     string
+	// Profile is the gzip-framed pprof proto as written by runtime/pprof.
+	Profile []byte
+}
+
 // WorkerAPI is the Go-level surface of a worker. The in-process
 // core.Worker implements it directly; RemoteWorker implements it over RPC.
 type WorkerAPI interface {
@@ -440,6 +498,15 @@ type WorkerAPI interface {
 	// Ping/Stats: it must not block on phase state, and workers that
 	// predate it (or run without a tracer) return an empty reply.
 	PullSpans(req PullSpansRequest) (PullSpansReply, error)
+	// PullStats returns the worker's live vitals for the fleet health
+	// plane. Probe-class like Ping/Stats/PullSpans: it must not block on
+	// phase state; workers that predate it answer with the net/rpc
+	// unknown-method error and the controller stops asking.
+	PullStats(req PullStatsRequest) (PullStatsReply, error)
+	// PullProfile captures and returns one pprof profile. Probe-class (no
+	// phase lock), though a cpu capture blocks its caller for the capture
+	// window — callers bypass short per-RPC deadlines for it.
+	PullProfile(req PullProfileRequest) (PullProfileReply, error)
 }
 
 // Empty is the placeholder for void RPC arguments/replies.
@@ -728,6 +795,24 @@ func (s *Service) Stats(args CallMeta, reply *WorkerStats) error {
 func (s *Service) PullSpans(req PullSpansRequest, reply *PullSpansReply) error {
 	return s.do("PullSpans", req.TC, func() error {
 		r, err := s.api.PullSpans(req)
+		*reply = r
+		return err
+	})
+}
+
+// PullStats RPC.
+func (s *Service) PullStats(req PullStatsRequest, reply *PullStatsReply) error {
+	return s.do("PullStats", req.TC, func() error {
+		r, err := s.api.PullStats(req)
+		*reply = r
+		return err
+	})
+}
+
+// PullProfile RPC.
+func (s *Service) PullProfile(req PullProfileRequest, reply *PullProfileReply) error {
+	return s.do("PullProfile", req.TC, func() error {
+		r, err := s.api.PullProfile(req)
 		*reply = r
 		return err
 	})
@@ -1204,6 +1289,17 @@ func (r *RemoteWorker) PullSpans(req PullSpansRequest) (PullSpansReply, error) {
 	return rcall[PullSpansReply](r, "PullSpans", true, req)
 }
 
+// PullStats implements WorkerAPI. Idempotent: a pure point-in-time read.
+func (r *RemoteWorker) PullStats(req PullStatsRequest) (PullStatsReply, error) {
+	return rcall[PullStatsReply](r, "PullStats", true, req)
+}
+
+// PullProfile implements WorkerAPI. Idempotent in the retry sense — a
+// retried capture just captures again.
+func (r *RemoteWorker) PullProfile(req PullProfileRequest) (PullProfileReply, error) {
+	return rcall[PullProfileReply](r, "PullProfile", true, req)
+}
+
 // PhaseClass reports whether a method is a controller-phase call: issued
 // by the controller, serialized per worker, and the trigger for the
 // worker-side phase span. Only these propagate a one-shot trace parent —
@@ -1484,4 +1580,15 @@ func (o *observed) Stats() (WorkerStats, error) {
 // then ships — an infinite feedback loop of self-describing spans.
 func (o *observed) PullSpans(req PullSpansRequest) (PullSpansReply, error) {
 	return o.api.PullSpans(req)
+}
+
+// PullStats and PullProfile bypass the hook for the same reason as
+// PullSpans: the fleet health plane observing itself would pollute the
+// very telemetry it collects.
+func (o *observed) PullStats(req PullStatsRequest) (PullStatsReply, error) {
+	return o.api.PullStats(req)
+}
+
+func (o *observed) PullProfile(req PullProfileRequest) (PullProfileReply, error) {
+	return o.api.PullProfile(req)
 }

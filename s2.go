@@ -11,10 +11,21 @@ import (
 	"s2/internal/config"
 	"s2/internal/core"
 	"s2/internal/dataplane"
+	"s2/internal/fault"
 	"s2/internal/obs"
 	"s2/internal/partition"
 	"s2/internal/route"
+	"s2/internal/sidecar"
 )
+
+// slowWorkerMethods are the phase RPCs delayed by Options.SlowWorkerDelay.
+// Ping is deliberately absent (the failure detector must keep passing), as
+// are the probe-class pulls (they observe the straggler, not cause it).
+var slowWorkerMethods = []string{
+	"BeginShard", "GatherBGP", "ApplyBGP", "GatherOSPF", "ApplyOSPF",
+	"EndShard", "ComputeDP", "BeginQuery", "BeginQueryBatch", "DPRound",
+	"FinishQuery",
+}
 
 // Network is a parsed configuration snapshot ready for verification.
 type Network struct {
@@ -130,6 +141,31 @@ type Options struct {
 	// Recover re-partitions a dead worker's segment onto the survivors
 	// and re-executes the in-flight phase instead of failing the run.
 	Recover bool
+	// HistorySamples sizes the fleet health time-series ring: every
+	// HistoryInterval the controller snapshots its metrics registry plus
+	// per-worker vitals pulled over the sidecar PullStats RPC into a ring
+	// of this many points per series (0 disables the history plane and its
+	// sampler goroutine entirely; cmd/s2serve -history).
+	HistorySamples int
+	// HistoryInterval is the fleet sampling cadence (default: the
+	// heartbeat interval, else 5s).
+	HistoryInterval time.Duration
+	// ProfileCapacity bounds the controller-side pprof profile ring
+	// harvested from workers over PullProfile (0 disables profile storage;
+	// cmd/s2serve -profile-store).
+	ProfileCapacity int
+	// ProfileInterval paces the periodic heap-profile harvest when the
+	// profile store is enabled (default 60s; < 0 disables periodic
+	// harvest, leaving only on-demand pulls).
+	ProfileInterval time.Duration
+	// SlowWorkerDelay, when > 0, wraps worker SlowWorker's transport with
+	// a persistent per-call delay on every phase RPC — an injected
+	// straggler for exercising the fleet health plane (cmd/s2serve
+	// -slow-worker). Heartbeats are left untouched so the failure detector
+	// does not declare the worker dead.
+	SlowWorkerDelay time.Duration
+	// SlowWorker is the worker index slowed by SlowWorkerDelay (default 0).
+	SlowWorker int
 	// Tracer, when set, records the run as hierarchical spans (controller
 	// stages, shards, convergence rounds, RPCs) exportable as Chrome
 	// trace_event JSON via its WriteChromeTrace method (cmd/s2 -trace).
@@ -188,6 +224,22 @@ func NewVerifier(n *Network, opts Options) (*Verifier, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	var wrap func(id int, w sidecar.WorkerAPI) sidecar.WorkerAPI
+	if opts.SlowWorkerDelay > 0 {
+		slow, delay := opts.SlowWorker, opts.SlowWorkerDelay
+		wrap = func(id int, w sidecar.WorkerAPI) sidecar.WorkerAPI {
+			if id != slow {
+				return w
+			}
+			// Delay phase RPCs only: Ping stays fast (failure detector) and
+			// the probe-class RPCs stay honest (they measure the straggler).
+			plans := make([]fault.Plan, 0, len(slowWorkerMethods))
+			for _, m := range slowWorkerMethods {
+				plans = append(plans, fault.Plan{Method: m, Mode: fault.Delay, Delay: delay})
+			}
+			return fault.NewInjector(w, plans...)
+		}
+	}
 	ctrl, err := core.NewController(n.snap, n.texts, core.Options{
 		Workers:      workers,
 		WorkerAddrs:  opts.WorkerAddrs,
@@ -212,6 +264,12 @@ func NewVerifier(n *Network, opts Options) (*Verifier, error) {
 		RPCRetries:        opts.RPCRetries,
 		HeartbeatInterval: opts.HeartbeatInterval,
 		Recover:           opts.Recover,
+		WrapWorker:        wrap,
+
+		HistorySamples:  opts.HistorySamples,
+		HistoryInterval: opts.HistoryInterval,
+		ProfileCapacity: opts.ProfileCapacity,
+		ProfileInterval: opts.ProfileInterval,
 
 		Tracer:  opts.Tracer,
 		Metrics: opts.Metrics,
@@ -565,6 +623,27 @@ func (v *Verifier) HarvestSpans() { v.ctrl.HarvestSpans() }
 // FlightRecorder exposes the controller's always-on ring of structured
 // events (phase transitions, RPC faults, evictions) for post-mortem dumps.
 func (v *Verifier) FlightRecorder() *obs.FlightRecorder { return v.ctrl.FlightRecorder() }
+
+// History exposes the fleet health time-series ring (nil unless
+// Options.HistorySamples > 0). Safe to read concurrently with a run.
+func (v *Verifier) History() *obs.History { return v.ctrl.History() }
+
+// FleetHealth assembles the live fleet snapshot — per-worker vitals from
+// the last PullStats sweep plus straggler scores — for dashboards and the
+// /debug/dashboard endpoint. Safe from any goroutine.
+func (v *Verifier) FleetHealth() core.FleetHealth { return v.ctrl.FleetHealth() }
+
+// Profiles exposes the bounded ring of pprof profiles harvested from
+// workers (nil unless Options.ProfileCapacity > 0).
+func (v *Verifier) Profiles() *obs.ProfileStore { return v.ctrl.Profiles() }
+
+// PullWorkerProfile captures a pprof profile ("cpu" or "heap") from one
+// worker over the sidecar PullProfile RPC and stores it in the profile
+// ring; seconds bounds CPU capture duration (0 = 2s default). Requires
+// Options.ProfileCapacity > 0.
+func (v *Verifier) PullWorkerProfile(worker int, kind string, seconds int) (*obs.Profile, error) {
+	return v.ctrl.PullWorkerProfile(worker, kind, seconds)
+}
 
 // AttributionReport distills the merged trace and worker stats into a
 // per-worker × per-stage accounting table (wall time, RPCs, bytes, BDD
